@@ -1,0 +1,176 @@
+(* Benchmark and reproduction harness.
+
+   Part 1 — Bechamel micro-benchmarks: one Test.make per table/figure of
+   the paper, timing the computational kernel that experiment exercises
+   (client run, trace decode, hybrid vs static points-to, full pipeline,
+   monitored workloads, Gist planning).
+
+   Part 2 — the full reproduction: prints every table and figure the
+   paper's evaluation contains, with the paper's own numbers quoted for
+   comparison.  `dune exec bench/main.exe` runs both; pass `--quick` to
+   reduce the hypothesis sample count. *)
+
+open Bechamel
+open Toolkit
+
+(* --- shared fixtures (prepared once, outside the timed sections) -------- *)
+
+let pbzip_entry = lazy (Experiments.Eval_runs.get (Corpus.Registry.find "pbzip2-1"))
+
+let mysql_module =
+  lazy
+    (let built = (Corpus.Registry.find "mysql-1").Corpus.Bug.build () in
+     Lir.Irmod.layout built.Corpus.Bug.m;
+     built.Corpus.Bug.m)
+
+let failing_fixture =
+  lazy
+    (let e = Lazy.force pbzip_entry in
+     let c = e.Experiments.Eval_runs.collected in
+     let m = c.Corpus.Runner.built.Corpus.Bug.m in
+     let first = List.hd c.Corpus.Runner.failing in
+     (m, c, first))
+
+let executed_fixture =
+  lazy
+    (let m, _, first = Lazy.force failing_fixture in
+     let tp =
+       Snorlax_core.Diagnosis.process_failing m ~config:Pt.Config.default first
+     in
+     (m, tp.Snorlax_core.Trace_processing.executed))
+
+(* --- one micro-benchmark per table/figure -------------------------------- *)
+
+(* Tables 1-3: the measurement unit is one reproduction attempt of a
+   corpus bug under the timestamp instrumentation. *)
+let bench_hypothesis_run =
+  Test.make ~name:"tables1-3: instrumented client run (pbzip2-1)"
+    (Staged.stage (fun () ->
+         let e = Lazy.force pbzip_entry in
+         let built = e.Experiments.Eval_runs.collected.Corpus.Runner.built in
+         ignore (Corpus.Runner.run_untraced ~built ~entry:"main" ~seed:11 ())))
+
+(* Table 4: hybrid (scope-restricted) vs whole-program points-to. *)
+let bench_hybrid_pta =
+  Test.make ~name:"table4: hybrid points-to (executed scope)"
+    (Staged.stage (fun () ->
+         let m, executed = Lazy.force executed_fixture in
+         ignore
+           (Analysis.Pointsto.analyze m ~scope:(fun iid ->
+                Snorlax_core.Trace_processing.Iset.mem iid executed))))
+
+let bench_static_pta =
+  Test.make ~name:"table4: whole-program points-to"
+    (Staged.stage (fun () ->
+         ignore (Analysis.Pointsto.analyze_all (Lazy.force mysql_module))))
+
+(* Figure 7 / section 6.1: the full server-side pipeline on one received
+   failure report (steps 2-7). *)
+let bench_pipeline =
+  Test.make ~name:"fig7: full diagnosis pipeline (pbzip2-1)"
+    (Staged.stage (fun () ->
+         let m, c, _ = Lazy.force failing_fixture in
+         ignore
+           (Snorlax_core.Diagnosis.diagnose m ~config:Pt.Config.default
+              ~failing:c.Corpus.Runner.failing
+              ~successful:c.Corpus.Runner.successful)))
+
+(* The decoder alone: steps 2-3 on the failing thread's ring snapshot. *)
+let bench_decoder =
+  Test.make ~name:"fig7: trace decode (failing thread ring)"
+    (Staged.stage (fun () ->
+         let m, _, first = Lazy.force failing_fixture in
+         let _, bytes = List.hd first.Snorlax_core.Report.traces in
+         ignore (Pt.Decoder.decode m ~config:Pt.Config.default bytes)))
+
+(* Figure 8: one traced workload execution (the overhead numerator). *)
+let bench_traced_workload =
+  Test.make ~name:"fig8: traced throughput workload (memcached)"
+    (Staged.stage (fun () ->
+         let spec = Experiments.Workloads.find "memcached" in
+         ignore
+           (Experiments.Workloads.run_overhead spec ~threads:2 ~seed:3
+              ~tracer_config:(Some Pt.Config.default) ~gist_costs:None)))
+
+(* Figure 9: the Gist-instrumented counterpart. *)
+let bench_gist_workload =
+  Test.make ~name:"fig9: gist-instrumented workload (memcached)"
+    (Staged.stage (fun () ->
+         let spec = Experiments.Workloads.find "memcached" in
+         ignore
+           (Experiments.Workloads.run_overhead spec ~threads:2 ~seed:3
+              ~tracer_config:None ~gist_costs:(Some Gist.default_costs))))
+
+(* Section 6.3: Gist's slice planning per failure report. *)
+let bench_gist_plan =
+  Test.make ~name:"sec6.3: gist slice plan"
+    (Staged.stage (fun () ->
+         let m, executed = Lazy.force executed_fixture in
+         let _, _, first = Lazy.force failing_fixture in
+         let pta =
+           Analysis.Pointsto.analyze m ~scope:(fun iid ->
+               Snorlax_core.Trace_processing.Iset.mem iid executed)
+         in
+         ignore
+           (Gist.plan m ~points_to:pta
+              ~failing_iid:(Snorlax_core.Report.failing_anchor_iid first))))
+
+let run_benchmarks () =
+  let tests =
+    [
+      bench_hypothesis_run;
+      bench_hybrid_pta;
+      bench_static_pta;
+      bench_pipeline;
+      bench_decoder;
+      bench_traced_workload;
+      bench_gist_workload;
+      bench_gist_plan;
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None
+      ~stabilize:false ()
+  in
+  print_endline "=== Bechamel micro-benchmarks (one per table/figure) ===";
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances test
+        |> Analyze.all ols Instance.monotonic_clock
+      in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          Printf.printf "  %-50s %12.0f ns/run\n%!" name ns)
+        results)
+    tests
+
+(* --- part 2: the reproduction harness ------------------------------------ *)
+
+let run_reproduction ~samples =
+  print_endline "\n=== Paper reproduction: every table and figure ===";
+  let t1 = Experiments.Report.print_table1 ~samples () in
+  let t2 = Experiments.Report.print_table2 ~samples () in
+  let t3 = Experiments.Report.print_table3 ~samples () in
+  Experiments.Report.print_hypothesis_summary [ t1; t2; t3 ];
+  ignore (Experiments.Report.print_accuracy ());
+  ignore (Experiments.Report.print_figure7 ());
+  ignore (Experiments.Report.print_table4 ());
+  ignore (Experiments.Report.print_figure8 ());
+  ignore (Experiments.Report.print_figure9 ());
+  ignore (Experiments.Report.print_latency ());
+  Experiments.Ablations.print_all ()
+
+let () =
+  let quick = Array.exists (String.equal "--quick") Sys.argv in
+  run_benchmarks ();
+  run_reproduction ~samples:(if quick then 3 else 10)

@@ -1,0 +1,305 @@
+(* Command-line interface: list the corpus, reproduce and diagnose a bug,
+   dump a corpus program's IR, and run each of the paper's experiments. *)
+
+open Cmdliner
+module Core = Snorlax_core
+
+let list_bugs () =
+  let t =
+    Snorlax_util.Tablefmt.create
+      ~headers:[ "id"; "system"; "tracker"; "kind"; "eval"; "description" ]
+  in
+  Snorlax_util.Tablefmt.set_align t
+    Snorlax_util.Tablefmt.[ Left; Left; Left; Left; Left; Left ];
+  let eval_ids =
+    List.map (fun b -> b.Corpus.Bug.id) Corpus.Registry.eval_set
+  in
+  List.iter
+    (fun (b : Corpus.Bug.t) ->
+      Snorlax_util.Tablefmt.add_row t
+        [
+          b.Corpus.Bug.id;
+          b.Corpus.Bug.system;
+          b.Corpus.Bug.tracker_id;
+          Corpus.Bug.kind_name b.Corpus.Bug.kind;
+          (if List.mem b.Corpus.Bug.id eval_ids then "yes" else "");
+          b.Corpus.Bug.description;
+        ])
+    Corpus.Registry.all;
+  Snorlax_util.Tablefmt.print t;
+  Printf.printf "\n%d bugs in %d systems (11 in the evaluation set).\n"
+    (List.length Corpus.Registry.all)
+    (List.length Corpus.Registry.systems)
+
+let diagnose_bug id verbose =
+  match Corpus.Registry.find id with
+  | exception Not_found ->
+    Printf.eprintf "unknown bug id %s (try `snorlax list`)\n" id;
+    1
+  | bug -> (
+    Printf.printf "Reproducing %s (%s): %s\n%!" bug.Corpus.Bug.id
+      (Corpus.Bug.kind_name bug.Corpus.Bug.kind)
+      bug.Corpus.Bug.description;
+    match Corpus.Runner.collect bug () with
+    | Error msg ->
+      Printf.eprintf "reproduction failed: %s\n" msg;
+      1
+    | Ok c ->
+      Printf.printf
+        "Reproduced after %d executions (seed %s); %d successful traces \
+         gathered at the failure location.\n%!"
+        c.Corpus.Runner.runs_needed
+        (String.concat "," (List.map string_of_int c.Corpus.Runner.failing_seeds))
+        (List.length c.Corpus.Runner.successful);
+      let m = c.Corpus.Runner.built.Corpus.Bug.m in
+      let res =
+        Core.Diagnosis.diagnose m ~config:Pt.Config.default
+          ~failing:c.Corpus.Runner.failing
+          ~successful:c.Corpus.Runner.successful
+      in
+      (match res.Core.Diagnosis.top with
+      | None ->
+        Printf.printf "No pattern found.\n";
+        ()
+      | Some top ->
+        Printf.printf "\nDiagnosed root cause (F1 = %.2f):\n%s\n"
+          top.Core.Statistics.f1
+          (Core.Patterns.describe m top.Core.Statistics.pattern);
+        let gt = c.Corpus.Runner.built.Corpus.Bug.ground_truth in
+        Printf.printf
+          "\nGround truth check: root cause %s, ordering accuracy %.1f%%\n"
+          (if
+             Core.Accuracy.root_cause_match
+               ~diagnosed:top.Core.Statistics.pattern ~ground_truth:gt
+           then "matches the developers' fix"
+           else "MISMATCH")
+          (Core.Accuracy.ordering_accuracy ~diagnosed:top.Core.Statistics.pattern
+             ~ground_truth:gt));
+      if verbose then begin
+        Printf.printf "\nAll scored patterns:\n";
+        List.iter
+          (fun (s : Core.Statistics.scored) ->
+            Printf.printf "  F1=%.2f P=%.2f R=%.2f  %s\n" s.Core.Statistics.f1
+              s.Core.Statistics.precision s.Core.Statistics.recall
+              (Core.Patterns.id s.Core.Statistics.pattern))
+          res.Core.Diagnosis.scored;
+        let sc = res.Core.Diagnosis.stage_counts in
+        Printf.printf
+          "Stage funnel: %d static -> %d executed -> %d aliasing -> %d \
+           rank-1 -> %d in patterns -> %d in root cause\n"
+          sc.Core.Diagnosis.total_instrs sc.Core.Diagnosis.after_trace_processing
+          sc.Core.Diagnosis.after_points_to sc.Core.Diagnosis.after_type_ranking
+          sc.Core.Diagnosis.after_patterns sc.Core.Diagnosis.after_statistics
+      end;
+      0)
+
+let validate () =
+  let ok = ref 0 and bad = ref 0 in
+  List.iter
+    (fun bug ->
+      match Corpus.Runner.collect bug () with
+      | Error msg ->
+        incr bad;
+        Printf.printf "%-16s FAILED-TO-REPRODUCE %s\n%!" bug.Corpus.Bug.id msg
+      | Ok c -> (
+        let res =
+          Core.Diagnosis.diagnose c.Corpus.Runner.built.Corpus.Bug.m
+            ~config:Pt.Config.default ~failing:c.Corpus.Runner.failing
+            ~successful:c.Corpus.Runner.successful
+        in
+        let gt = c.Corpus.Runner.built.Corpus.Bug.ground_truth in
+        match res.Core.Diagnosis.top with
+        | Some top
+          when Core.Accuracy.root_cause_match
+                 ~diagnosed:top.Core.Statistics.pattern ~ground_truth:gt
+               && Core.Accuracy.ordering_accuracy
+                    ~diagnosed:top.Core.Statistics.pattern ~ground_truth:gt
+                  = 100.0 ->
+          incr ok;
+          Printf.printf "%-16s ok (F1 %.2f, A_O 100%%)\n%!" bug.Corpus.Bug.id
+            top.Core.Statistics.f1
+        | Some top ->
+          incr bad;
+          Printf.printf "%-16s WRONG ROOT CAUSE: %s\n%!" bug.Corpus.Bug.id
+            (Core.Patterns.id top.Core.Statistics.pattern)
+        | None ->
+          incr bad;
+          Printf.printf "%-16s NO PATTERN\n%!" bug.Corpus.Bug.id))
+    Corpus.Registry.all;
+  Printf.printf "\n%d/%d bugs diagnosed with full accuracy.\n" !ok (!ok + !bad);
+  if !bad = 0 then 0 else 1
+
+let replay_bug id =
+  match Corpus.Registry.find id with
+  | exception Not_found ->
+    Printf.eprintf "unknown bug id %s\n" id;
+    1
+  | bug -> (
+    match Corpus.Runner.collect bug ~success_per_failing:10 () with
+    | Error msg ->
+      Printf.eprintf "reproduction failed: %s\n" msg;
+      1
+    | Ok c ->
+      let m = c.Corpus.Runner.built.Corpus.Bug.m in
+      let res =
+        Core.Diagnosis.diagnose m ~config:Pt.Config.default
+          ~failing:c.Corpus.Runner.failing
+          ~successful:c.Corpus.Runner.successful
+      in
+      (match res.Core.Diagnosis.top with
+      | None ->
+        Printf.eprintf "no pattern to replay\n";
+        ()
+      | Some top ->
+        let racy = Replay.racy_iids_of_pattern top.Core.Statistics.pattern in
+        let seed = List.hd c.Corpus.Runner.failing_seeds in
+        let r0, schedule =
+          Replay.record ~seed m ~entry:bug.Corpus.Bug.entry ~racy_iids:racy
+        in
+        Printf.printf
+          "Recorded the failing run (seed %d): %d racing-access events.\n" seed
+          (Replay.schedule_length schedule);
+        (match r0.Sim.Interp.outcome with
+        | Sim.Interp.Failed { failure; _ } ->
+          Printf.printf "  original failure: %s\n" (Sim.Failure.to_string failure)
+        | _ -> ());
+        let r1, fidelity =
+          Replay.replay ~seed m ~entry:bug.Corpus.Bug.entry ~racy_iids:racy
+            schedule
+        in
+        Printf.printf
+          "Replay under the coarse schedule: %s (%d enforced, %d diverged%s).\n"
+          (match r1.Sim.Interp.outcome with
+          | Sim.Interp.Failed { failure; _ } -> Sim.Failure.to_string failure
+          | Sim.Interp.Completed -> "completed"
+          | Sim.Interp.Stuck -> "stuck"
+          | Sim.Interp.Fuel_exhausted -> "fuel exhausted")
+          fidelity.Replay.enforced fidelity.Replay.diverged
+          (if fidelity.Replay.gave_up then ", gave up" else ""));
+      0)
+
+let dump_bug id =
+  match Corpus.Registry.find id with
+  | exception Not_found ->
+    Printf.eprintf "unknown bug id %s\n" id;
+    1
+  | bug ->
+    let built = bug.Corpus.Bug.build () in
+    print_string (Lir.Printer.module_to_string built.Corpus.Bug.m);
+    0
+
+let experiment name samples =
+  match name with
+  | "hypothesis" | "tables" ->
+    let t1 = Experiments.Report.print_table1 ?samples () in
+    let t2 = Experiments.Report.print_table2 ?samples () in
+    let t3 = Experiments.Report.print_table3 ?samples () in
+    Experiments.Report.print_hypothesis_summary [ t1; t2; t3 ];
+    0
+  | "accuracy" ->
+    ignore (Experiments.Report.print_accuracy ());
+    0
+  | "stages" | "figure7" ->
+    ignore (Experiments.Report.print_figure7 ());
+    0
+  | "analysis-time" | "table4" ->
+    ignore (Experiments.Report.print_table4 ());
+    0
+  | "overhead" | "figure8" ->
+    ignore (Experiments.Report.print_figure8 ());
+    0
+  | "scalability" | "figure9" ->
+    ignore (Experiments.Report.print_figure9 ());
+    0
+  | "latency" ->
+    ignore (Experiments.Report.print_latency ());
+    0
+  | "ablations" ->
+    Experiments.Ablations.print_all ();
+    0
+  | "all" ->
+    let t1 = Experiments.Report.print_table1 ?samples () in
+    let t2 = Experiments.Report.print_table2 ?samples () in
+    let t3 = Experiments.Report.print_table3 ?samples () in
+    Experiments.Report.print_hypothesis_summary [ t1; t2; t3 ];
+    ignore (Experiments.Report.print_accuracy ());
+    ignore (Experiments.Report.print_figure7 ());
+    ignore (Experiments.Report.print_table4 ());
+    ignore (Experiments.Report.print_figure8 ());
+    ignore (Experiments.Report.print_figure9 ());
+    ignore (Experiments.Report.print_latency ());
+    Experiments.Ablations.print_all ();
+    0
+  | other ->
+    Printf.eprintf
+      "unknown experiment %s (hypothesis|accuracy|stages|analysis-time|\
+       overhead|scalability|latency|ablations|all)\n"
+      other;
+    1
+
+(* --- cmdliner plumbing ------------------------------------------------- *)
+
+let bug_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BUG_ID")
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the 54-bug corpus")
+    Term.(const (fun () -> list_bugs (); 0) $ const ())
+
+let diagnose_cmd =
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show all patterns")
+  in
+  Cmd.v
+    (Cmd.info "diagnose"
+       ~doc:"Reproduce a corpus bug and run Lazy Diagnosis on it")
+    Term.(const diagnose_bug $ bug_arg $ verbose)
+
+let dump_cmd =
+  Cmd.v (Cmd.info "dump" ~doc:"Print a corpus program's LIR")
+    Term.(const dump_bug $ bug_arg)
+
+let validate_cmd =
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Reproduce and diagnose the whole 54-bug corpus, checking every \
+          diagnosis against its ground truth")
+    Term.(const validate $ const ())
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Diagnose a corpus bug, record the order of its racing accesses \
+          in the failing run, and replay that coarse schedule (section \
+          3.3's record/replay implication)")
+    Term.(const replay_bug $ bug_arg)
+
+let experiment_cmd =
+  let exp_name =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let samples =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples" ] ~doc:"Failing runs per bug for the hypothesis study")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:
+         "Reproduce a table/figure: hypothesis (Tables 1-3), accuracy, \
+          stages (Fig 7), analysis-time (Table 4), overhead (Fig 8), \
+          scalability (Fig 9), latency, ablations, or all")
+    Term.(const experiment $ exp_name $ samples)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "snorlax" ~version:"1.0"
+       ~doc:
+         "Lazy Diagnosis of in-production concurrency bugs (SOSP'17 \
+          reproduction)")
+    [ list_cmd; diagnose_cmd; dump_cmd; replay_cmd; validate_cmd; experiment_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

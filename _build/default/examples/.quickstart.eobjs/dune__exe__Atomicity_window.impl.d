@@ -1,0 +1,1 @@
+examples/atomicity_window.ml: Corpus Lir List Printf Pt Snorlax_core

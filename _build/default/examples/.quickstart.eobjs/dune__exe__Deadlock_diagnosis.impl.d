@@ -1,0 +1,1 @@
+examples/deadlock_diagnosis.ml: Bytes Corpus Lir List Printf Pt Snorlax_core

@@ -1,0 +1,1 @@
+examples/gist_comparison.ml: Analysis Corpus Experiments Gist List Printf Pt Snorlax_core

@@ -1,0 +1,1 @@
+examples/gist_comparison.mli:

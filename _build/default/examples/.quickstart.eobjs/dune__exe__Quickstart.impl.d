@@ -1,0 +1,1 @@
+examples/quickstart.ml: Corpus Lir List Option Printf Pt Sim Snorlax_core

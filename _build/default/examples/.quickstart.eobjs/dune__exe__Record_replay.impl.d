@@ -1,0 +1,1 @@
+examples/record_replay.ml: Lir Printf Replay Sim

@@ -1,0 +1,42 @@
+(* Diagnose the classic SQLite-style lock-order deadlock from the corpus
+   and show what the client actually shipped to the server: per-thread
+   ring-buffer snapshots and the hung threads' blocked pcs.
+
+   Run with: dune exec examples/deadlock_diagnosis.exe *)
+
+module Core = Snorlax_core
+
+let () =
+  let bug = Corpus.Registry.find "sqlite-1" in
+  Printf.printf "Bug: %s — %s\n\n%!" bug.Corpus.Bug.id bug.Corpus.Bug.description;
+  match Corpus.Runner.collect bug () with
+  | Error msg -> prerr_endline msg
+  | Ok c ->
+    let m = c.Corpus.Runner.built.Corpus.Bug.m in
+    let failing = List.hd c.Corpus.Runner.failing in
+    (* What the client sent (Figure 2, step 1). *)
+    Printf.printf "Client report at t=%d ns:\n" failing.Core.Report.failure_time_ns;
+    (match failing.Core.Report.info with
+    | Core.Report.Deadlock_info { blocked } ->
+      List.iter
+        (fun (tid, iid) ->
+          Printf.printf "  thread %d blocked at %s\n" tid
+            (Lir.Printer.instr_with_location m iid))
+        blocked
+    | Core.Report.Crash_info _ -> ());
+    List.iter
+      (fun (tid, bytes) ->
+        Printf.printf "  thread %d ring snapshot: %d bytes of packets\n" tid
+          (Bytes.length bytes))
+      failing.Core.Report.traces;
+    (* Server-side diagnosis. *)
+    let result =
+      Core.Diagnosis.diagnose m ~config:Pt.Config.default
+        ~failing:c.Corpus.Runner.failing ~successful:c.Corpus.Runner.successful
+    in
+    (match result.Core.Diagnosis.top with
+    | Some top ->
+      Printf.printf "\nDiagnosed (F1 = %.2f):\n%s\n" top.Core.Statistics.f1
+        (Core.Patterns.describe m top.Core.Statistics.pattern);
+      Printf.printf "\nThe fix: make both paths acquire db_lock before journal_lock.\n"
+    | None -> print_endline "no pattern found")

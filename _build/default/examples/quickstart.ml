@@ -1,0 +1,95 @@
+(* Quickstart: build a small racy program with the LIR builder, run it
+   under the PT-style tracer until it crashes, gather successful traces at
+   the failure location, and let Lazy Diagnosis name the root cause.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+module Core = Snorlax_core
+
+(* A producer publishes a message buffer; a logger thread reads it after a
+   flush delay.  The producer retires the buffer too early: a classic WR
+   order violation. *)
+let build_program () =
+  let m = Lir.Irmod.create "quickstart" in
+  ignore (Lir.Irmod.declare_struct m "Msg" [ T.I64 ]);
+  Lir.Irmod.declare_global m "mailbox" (T.Ptr (T.Struct "Msg"));
+  B.define m "logger" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      (* Flush takes a while; sometimes a long while. *)
+      let slow = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b slow
+        ~then_:(fun () -> B.io_delay b ~ns:600_000)
+        ~else_:(fun () -> B.io_delay b ~ns:100_000);
+      let msg = B.load b ~name:"msg" (V.Global "mailbox") in
+      let body = B.gep b ~name:"body" msg 0 in
+      let v = B.load b ~name:"v" body in
+      B.call_void b Lir.Intrinsics.print_i64 [ v ];
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let msg = B.malloc b ~name:"msg" (T.Struct "Msg") in
+      B.store b ~value:(V.i64 42) ~ptr:(B.gep b msg 0);
+      B.store b ~value:msg ~ptr:(V.Global "mailbox");
+      let t = B.spawn b "logger" (V.i64 0) in
+      B.work b ~ns:300_000;
+      (* BUG: retire the mailbox without waiting for the logger. *)
+      B.store b ~value:(V.Null (T.Ptr (T.Struct "Msg"))) ~ptr:(V.Global "mailbox");
+      B.call_void b Lir.Intrinsics.print_i64 [ V.i64 0 ] (* "shutting down" *);
+      B.join b t;
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  m
+
+let run_traced m ~seed ~watch_pcs =
+  let driver = Pt.Driver.create () in
+  if watch_pcs <> [] then Pt.Driver.set_watchpoints driver ~pcs:watch_pcs;
+  let config =
+    { Sim.Interp.default_config with seed; hooks = Pt.Driver.hooks driver }
+  in
+  (Sim.Interp.run ~config m ~entry:"main", driver)
+
+let () =
+  let m = build_program () in
+  Lir.Irmod.layout m;
+  (* 1. Run until the bug bites, with always-on tracing. *)
+  let rec find_failure seed =
+    let result, driver = run_traced m ~seed ~watch_pcs:[] in
+    match result.Sim.Interp.outcome with
+    | Sim.Interp.Failed { failure; time_ns } ->
+      Printf.printf "Run %d failed: %s\n" seed (Sim.Failure.to_string failure);
+      let snap = Pt.Driver.snapshot_now driver ~at_time_ns:time_ns in
+      (seed, Core.Report.of_sim_failure failure ~time_ns ~traces:snap.Pt.Driver.traces)
+    | _ -> find_failure (seed + 1)
+  in
+  let failing_seed, failing = find_failure 1 in
+  (* 2. Gather successful traces at the failure location (step 8). *)
+  let watch_pcs = Corpus.Runner.watch_pcs_for m failing in
+  let rec gather seed acc =
+    if List.length acc >= 10 then List.rev acc
+    else
+      let result, driver = run_traced m ~seed ~watch_pcs in
+      match result.Sim.Interp.outcome, Pt.Driver.watch_snapshot driver with
+      | Sim.Interp.Completed, Some snap ->
+        let s =
+          {
+            Core.Report.s_traces = snap.Pt.Driver.traces;
+            trigger_time_ns = int_of_float snap.Pt.Driver.at_time_ns;
+            trigger_tid = Option.value ~default:0 snap.Pt.Driver.trigger_tid;
+            trigger_pc = Option.value ~default:0 snap.Pt.Driver.trigger_pc;
+          }
+        in
+        gather (seed + 1) (s :: acc)
+      | _ -> gather (seed + 1) acc
+  in
+  let successful = gather (failing_seed + 1) [] in
+  (* 3. Diagnose. *)
+  let result =
+    Core.Diagnosis.diagnose m ~config:Pt.Config.default ~failing:[ failing ]
+      ~successful
+  in
+  match result.Core.Diagnosis.top with
+  | Some top ->
+    Printf.printf "\nRoot cause (F1 = %.2f):\n%s\n" top.Core.Statistics.f1
+      (Core.Patterns.describe m top.Core.Statistics.pattern)
+  | None -> print_endline "no pattern found"

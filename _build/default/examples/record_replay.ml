@@ -1,0 +1,96 @@
+(* The §3.3 implication, end to end: diagnose a bug once, record just the
+   order of the racing accesses in a failing run, then replay that coarse
+   schedule under a seed whose natural interleaving would NOT fail — the
+   failure reproduces on demand.
+
+   Run with: dune exec examples/record_replay.exe *)
+
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+
+(* A deliberately knife-edge race: whether main's teardown beats the
+   logger's flush depends only on scheduling jitter, so seeds split
+   between failing and passing runs. *)
+let build () =
+  let m = Lir.Irmod.create "rr" in
+  ignore (Lir.Irmod.declare_struct m "Msg" [ T.I64 ]);
+  Lir.Irmod.declare_global m "mailbox" (T.Ptr (T.Struct "Msg"));
+  B.define m "logger" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.io_delay b ~ns:380_000;
+      let msg = B.load b ~name:"msg" (V.Global "mailbox") in
+      let v = B.load b (B.gep b msg 0) in
+      B.call_void b Lir.Intrinsics.print_i64 [ v ];
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let msg = B.malloc b ~name:"msg" (T.Struct "Msg") in
+      B.store b ~value:(V.i64 42) ~ptr:(B.gep b msg 0);
+      B.store b ~value:msg ~ptr:(V.Global "mailbox");
+      let t = B.spawn b "logger" (V.i64 0) in
+      B.work b ~ns:380_000;
+      B.store b ~value:(V.Null (T.Ptr (T.Struct "Msg"))) ~ptr:(V.Global "mailbox");
+      B.call_void b Lir.Intrinsics.print_i64 [ V.i64 0 ];
+      B.join b t;
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  Lir.Irmod.layout m;
+  m
+
+let outcome_name r =
+  match r.Sim.Interp.outcome with
+  | Sim.Interp.Completed -> "completed"
+  | Sim.Interp.Failed { failure; _ } -> Sim.Failure.to_string failure
+  | Sim.Interp.Stuck -> "stuck"
+  | Sim.Interp.Fuel_exhausted -> "fuel exhausted"
+
+let failed r =
+  match r.Sim.Interp.outcome with Sim.Interp.Failed _ -> true | _ -> false
+
+let () =
+  let m = build () in
+  (* Find one failing and one naturally-passing seed. *)
+  let rec find p seed =
+    if p (Sim.Interp.run ~config:{ Sim.Interp.default_config with seed } m ~entry:"main")
+    then seed
+    else find p (seed + 1)
+  in
+  let failing_seed = find failed 1 in
+  let passing_seed = find (fun r -> not (failed r)) (failing_seed + 1) in
+  Printf.printf "seed %d fails naturally; seed %d passes naturally.\n\n"
+    failing_seed passing_seed;
+  (* The racy instructions: in a deployment these come from a Snorlax
+     diagnosis (Replay.racy_iids_of_pattern); here we mark the mailbox
+     store and load by rebuilding with the iids captured. *)
+  let racy_iids =
+    let found = ref [] in
+    Lir.Irmod.iter_instrs m (fun _ _ i ->
+        match i.Lir.Instr.kind with
+        | Lir.Instr.Store { ptr = Lir.Value.Global "mailbox"; _ }
+        | Lir.Instr.Load { ptr = Lir.Value.Global "mailbox"; _ } ->
+          found := i.Lir.Instr.iid :: !found
+        | _ -> ());
+    !found
+  in
+  (* 1. Record the racing-access order in the failing run. *)
+  let r_rec, schedule = Replay.record ~seed:failing_seed m ~entry:"main" ~racy_iids in
+  Printf.printf "recorded run: %s\n" (outcome_name r_rec);
+  Printf.printf "coarse schedule: %d racing-access events (that is all we store)\n\n"
+    (Replay.schedule_length schedule);
+  (* 2. The passing seed, unconstrained. *)
+  let r_free =
+    Sim.Interp.run
+      ~config:{ Sim.Interp.default_config with seed = passing_seed }
+      m ~entry:"main"
+  in
+  Printf.printf "seed %d, free run:     %s\n" passing_seed (outcome_name r_free);
+  (* 3. The same seed, with the recorded order enforced. *)
+  let r_rep, fidelity =
+    Replay.replay ~seed:passing_seed m ~entry:"main" ~racy_iids schedule
+  in
+  Printf.printf "seed %d, under replay: %s\n" passing_seed (outcome_name r_rep);
+  Printf.printf "  (%d accesses steered into the recorded order, %d diverged)\n"
+    fidelity.Replay.enforced fidelity.Replay.diverged;
+  if failed r_rep && not (failed r_free) then
+    print_endline
+      "\nThe coarse schedule alone reproduced the failure — the record/replay \
+       implication of the coarse interleaving hypothesis (section 3.3)."

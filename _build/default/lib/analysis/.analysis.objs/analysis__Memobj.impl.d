@@ -1,0 +1,1 @@
+lib/analysis/memobj.ml: Printf Set Stdlib

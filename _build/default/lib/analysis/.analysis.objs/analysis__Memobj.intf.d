@@ -1,0 +1,1 @@
+lib/analysis/memobj.mli: Set

@@ -1,0 +1,1 @@
+lib/analysis/pointsto.ml: Hashtbl Int Lir List Map Memobj Option Queue Set Stdlib String

@@ -1,0 +1,1 @@
+lib/analysis/slice.ml: Hashtbl Int Lir List Memobj Option Pointsto Queue Set

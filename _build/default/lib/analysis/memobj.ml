@@ -1,0 +1,35 @@
+type t =
+  | Global of string
+  | Stack of int
+  | Heap of int
+  | Func of string
+  | Field of t * int
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let rec to_string = function
+  | Global g -> "@" ^ g
+  | Stack iid -> Printf.sprintf "stack#%d" iid
+  | Heap iid -> Printf.sprintf "heap#%d" iid
+  | Func f -> "fn:" ^ f
+  | Field (b, n) -> Printf.sprintf "%s.%d" (to_string b) n
+
+let rec base = function
+  | Field (b, _) -> base b
+  | (Global _ | Stack _ | Heap _ | Func _) as o -> o
+
+let rec is_prefix a b =
+  equal a b
+  || match b with Field (b', _) -> is_prefix a b' | Global _ | Stack _ | Heap _ | Func _ -> false
+
+let overlaps a b = is_prefix a b || is_prefix b a
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+let sets_overlap s1 s2 =
+  Set.exists (fun a -> Set.exists (fun b -> overlaps a b) s2) s1

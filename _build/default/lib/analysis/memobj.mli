@@ -1,0 +1,27 @@
+(** Abstract memory objects for the points-to analysis: one object per
+    allocation site (global, alloca, malloc call), refined by struct field
+    (field-sensitive); array elements collapse onto their array. *)
+
+type t =
+  | Global of string
+  | Stack of int  (** iid of the alloca *)
+  | Heap of int  (** iid of the malloc call site *)
+  | Func of string  (** a function, for function pointers *)
+  | Field of t * int  (** field [n] of a base object *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val base : t -> t
+(** Strip [Field] wrappers down to the allocation site. *)
+
+val overlaps : t -> t -> bool
+(** Whether two objects can share memory: equal, or one is a field path
+    inside the other (freeing or locking a whole struct touches all its
+    fields). *)
+
+module Set : Set.S with type elt = t
+
+val sets_overlap : Set.t -> Set.t -> bool
+(** Some pair across the two sets overlaps. *)

@@ -1,0 +1,281 @@
+(* Constraint graph nodes are either a virtual register or the cells of an
+   abstract object.  Solving is a standard worklist over inclusion edges,
+   with load/store/gep constraints re-expanded as pointer points-to sets
+   grow (rules (1)-(4) of Figure 3 in the paper). *)
+
+module ISet = Set.Make (Int)
+
+type node = Var of int (* register rid *) | Cell of Memobj.t
+
+module Node = struct
+  type t = node
+
+  let compare = Stdlib.compare
+end
+
+module Nmap = Map.Make (Node)
+
+type graph = {
+  mutable pts : Memobj.Set.t Nmap.t;
+  mutable copy : node list Nmap.t; (* src -> dsts *)
+  mutable loads : node list Nmap.t; (* ptr -> load dsts *)
+  mutable stores : node list Nmap.t; (* ptr -> stored value nodes *)
+  mutable geps : (int * node) list Nmap.t; (* base -> (field, dst) *)
+  mutable iterations : int;
+}
+
+type t = {
+  m : Lir.Irmod.t;
+  g : graph;
+  scoped_instrs : int;
+}
+
+let find_default map node ~default =
+  match Nmap.find_opt node map with Some v -> v | None -> default
+
+let pts g n = find_default g.pts n ~default:Memobj.Set.empty
+
+(* Direct points-to contribution of an operand: globals and functions are
+   address constants; registers are graph variables looked up at use time. *)
+let operand_node v =
+  match (v : Lir.Value.t) with
+  | Lir.Value.Reg r -> Some (Var r.Lir.Value.rid)
+  | Lir.Value.Imm _ | Lir.Value.Null _ | Lir.Value.Global _ | Lir.Value.Fn_ref _
+    ->
+    None
+
+let operand_consts v =
+  match (v : Lir.Value.t) with
+  | Lir.Value.Global gname -> Memobj.Set.singleton (Memobj.Global gname)
+  | Lir.Value.Fn_ref f -> Memobj.Set.singleton (Memobj.Func f)
+  | Lir.Value.Reg _ | Lir.Value.Imm _ | Lir.Value.Null _ -> Memobj.Set.empty
+
+let add_pts g node objs =
+  let cur = pts g node in
+  let merged = Memobj.Set.union cur objs in
+  if not (Memobj.Set.equal cur merged) then begin
+    g.pts <- Nmap.add node merged g.pts;
+    true
+  end
+  else false
+
+let add_edge map src dst =
+  let cur = find_default !map src ~default:[] in
+  if List.mem dst cur then false
+  else begin
+    map := Nmap.add src (dst :: cur) !map;
+    true
+  end
+
+let generate_constraints m ~scope g =
+  let pending = ref [] in
+  let seed node objs =
+    if not (Memobj.Set.is_empty objs) then pending := (node, objs) :: !pending
+  in
+  let copy = ref g.copy
+  and loads = ref g.loads
+  and stores = ref g.stores
+  and geps = ref g.geps in
+  (* Flow from operand [v] into [dst]: constants seed directly, registers
+     add a copy edge. *)
+  let flow v dst =
+    seed dst (operand_consts v);
+    match operand_node v with
+    | Some src -> ignore (add_edge copy src dst)
+    | None -> ()
+  in
+  let ret_regs = Hashtbl.create 16 in
+  (* Collect in-scope return operands per function for call binding. *)
+  Lir.Irmod.iter_instrs m (fun f _ i ->
+      if scope i.Lir.Instr.iid then
+        match i.Lir.Instr.kind with
+        | Lir.Instr.Ret (Some v) ->
+          let cur =
+            Option.value ~default:[] (Hashtbl.find_opt ret_regs f.Lir.Func.fname)
+          in
+          Hashtbl.replace ret_regs f.Lir.Func.fname (v :: cur)
+        | _ -> ());
+  let visit _f _b (i : Lir.Instr.t) =
+    if scope i.Lir.Instr.iid then
+      match i.Lir.Instr.kind with
+      | Lir.Instr.Alloca { dst; _ } ->
+        seed (Var dst.Lir.Value.rid) (Memobj.Set.singleton (Memobj.Stack i.Lir.Instr.iid))
+      | Lir.Instr.Cast { dst; src } -> flow src (Var dst.Lir.Value.rid)
+      | Lir.Instr.Binop { dst; lhs; rhs; _ } ->
+        (* Pointer arithmetic via integers: conservative copy. *)
+        flow lhs (Var dst.Lir.Value.rid);
+        flow rhs (Var dst.Lir.Value.rid)
+      | Lir.Instr.Icmp _ -> ()
+      | Lir.Instr.Gep { dst; base; field } -> (
+        seed (Var dst.Lir.Value.rid)
+          (Memobj.Set.of_list
+             (List.map
+                (fun o -> Memobj.Field (o, field))
+                (Memobj.Set.elements (operand_consts base))));
+        match operand_node base with
+        | Some bn -> ignore (add_edge geps bn (field, Var dst.Lir.Value.rid))
+        | None -> ())
+      | Lir.Instr.Index { dst; base; _ } ->
+        (* Array elements collapse onto the array object. *)
+        flow base (Var dst.Lir.Value.rid)
+      | Lir.Instr.Load { dst; ptr } -> (
+        let dn = Var dst.Lir.Value.rid in
+        Memobj.Set.iter
+          (fun o -> ignore (add_edge copy (Cell o) dn))
+          (operand_consts ptr);
+        match operand_node ptr with
+        | Some pn -> ignore (add_edge loads pn dn)
+        | None -> ())
+      | Lir.Instr.Store { value; ptr } -> (
+        Memobj.Set.iter
+          (fun o -> flow value (Cell o))
+          (operand_consts ptr);
+        match operand_node ptr with
+        | None -> ()
+        | Some pn -> (
+          match operand_node value with
+          | Some vn -> ignore (add_edge stores pn vn)
+          | None ->
+            (* A stored address constant rides on a synthetic variable so
+               it reaches pointees discovered during solving. *)
+            let consts = operand_consts value in
+            if not (Memobj.Set.is_empty consts) then begin
+              let synthetic = Var (-i.Lir.Instr.iid - 1) in
+              seed synthetic consts;
+              ignore (add_edge stores pn synthetic)
+            end))
+      | Lir.Instr.Call { dst; callee; args } ->
+        if String.equal callee Lir.Intrinsics.malloc then (
+          match dst with
+          | Some d ->
+            seed (Var d.Lir.Value.rid)
+              (Memobj.Set.singleton (Memobj.Heap i.Lir.Instr.iid))
+          | None -> ())
+        else if String.equal callee Lir.Intrinsics.thread_create then (
+          match args with
+          | Lir.Value.Fn_ref f :: arg :: _ when Lir.Irmod.has_func m f -> (
+            let target = Lir.Irmod.find_func m f in
+            match target.Lir.Func.params with
+            | p :: _ -> flow arg (Var p.Lir.Value.rid)
+            | [] -> ())
+          | _ -> ())
+        else if Lir.Intrinsics.is_intrinsic callee then ()
+        else begin
+          (match Lir.Irmod.find_func m callee with
+          | target ->
+            (try
+               List.iter2
+                 (fun (p : Lir.Value.reg) a -> flow a (Var p.Lir.Value.rid))
+                 target.Lir.Func.params args
+             with Invalid_argument _ -> ())
+          | exception Not_found -> ());
+          match dst with
+          | Some d ->
+            List.iter
+              (fun v -> flow v (Var d.Lir.Value.rid))
+              (Option.value ~default:[] (Hashtbl.find_opt ret_regs callee))
+          | None -> ()
+        end
+      | Lir.Instr.Br _ | Lir.Instr.Cond_br _ | Lir.Instr.Ret _
+      | Lir.Instr.Unreachable ->
+        ()
+  in
+  Lir.Irmod.iter_instrs m visit;
+  g.copy <- !copy;
+  g.loads <- !loads;
+  g.stores <- !stores;
+  g.geps <- !geps;
+  !pending
+
+let solve g pending =
+  let worklist = Queue.create () in
+  let dirty = Hashtbl.create 64 in
+  let touch n =
+    if not (Hashtbl.mem dirty n) then begin
+      Hashtbl.add dirty n ();
+      Queue.add n worklist
+    end
+  in
+  (* Materializing a copy edge also propagates the source's current set. *)
+  let add_copy_edge src dst =
+    let cur = find_default g.copy src ~default:[] in
+    if not (List.mem dst cur) then begin
+      g.copy <- Nmap.add src (dst :: cur) g.copy;
+      if add_pts g dst (pts g src) then touch dst
+    end
+  in
+  List.iter
+    (fun (n, objs) -> if add_pts g n objs then touch n)
+    pending;
+  while not (Queue.is_empty worklist) do
+    let n = Queue.pop worklist in
+    Hashtbl.remove dirty n;
+    g.iterations <- g.iterations + 1;
+    let objs = pts g n in
+    (* Copy edges propagate the whole set. *)
+    List.iter
+      (fun dst -> if add_pts g dst objs then touch dst)
+      (find_default g.copy n ~default:[]);
+    (* Loads: dst includes the contents of every pointee of n. *)
+    List.iter
+      (fun dst -> Memobj.Set.iter (fun o -> add_copy_edge (Cell o) dst) objs)
+      (find_default g.loads n ~default:[]);
+    (* Stores: every pointee's cells include the stored node's set. *)
+    List.iter
+      (fun vn -> Memobj.Set.iter (fun o -> add_copy_edge vn (Cell o)) objs)
+      (find_default g.stores n ~default:[]);
+    (* Geps: field projection of each pointee. *)
+    List.iter
+      (fun (field, dst) ->
+        let projected =
+          Memobj.Set.map (fun o -> Memobj.Field (o, field)) objs
+        in
+        if add_pts g dst projected then touch dst)
+      (find_default g.geps n ~default:[])
+  done
+
+let analyze m ~scope =
+  Lir.Irmod.layout m;
+  let g =
+    {
+      pts = Nmap.empty;
+      copy = Nmap.empty;
+      loads = Nmap.empty;
+      stores = Nmap.empty;
+      geps = Nmap.empty;
+      iterations = 0;
+    }
+  in
+  let pending = generate_constraints m ~scope g in
+  solve g pending;
+  let scoped = ref 0 in
+  Lir.Irmod.iter_instrs m (fun _ _ i ->
+      if scope i.Lir.Instr.iid then incr scoped);
+  { m; g; scoped_instrs = !scoped }
+
+let analyze_all m = analyze m ~scope:(fun _ -> true)
+
+let instructions_analyzed t = t.scoped_instrs
+let solver_iterations t = t.g.iterations
+
+let pts_of_operand t v =
+  let consts = operand_consts v in
+  match operand_node v with
+  | Some n -> Memobj.Set.union consts (pts t.g n)
+  | None -> consts
+
+let pts_of_object t o = pts t.g (Cell o)
+
+let accessed_objects t (i : Lir.Instr.t) =
+  match i.Lir.Instr.kind with
+  | Lir.Instr.Load { ptr; _ } | Lir.Instr.Store { ptr; _ } ->
+    pts_of_operand t ptr
+  | Lir.Instr.Call { callee; args; _ }
+    when String.equal callee Lir.Intrinsics.mutex_lock
+         || String.equal callee Lir.Intrinsics.mutex_unlock
+         || String.equal callee Lir.Intrinsics.free -> (
+    match args with a :: _ -> pts_of_operand t a | [] -> Memobj.Set.empty)
+  | _ -> Memobj.Set.empty
+
+let may_alias t a b =
+  not (Memobj.Set.disjoint (pts_of_operand t a) (pts_of_operand t b))

@@ -1,0 +1,38 @@
+(** Inclusion-based (Andersen-style) interprocedural points-to analysis,
+    following the constraint rules of the paper's Figure 3.
+
+    The analysis is flow-insensitive (§4.2: instruction order across
+    threads cannot be trusted in a multithreaded program) and
+    field-sensitive for struct accesses.  [scope] restricts constraint
+    generation to a subset of instructions — the hybrid analysis passes the
+    executed-instruction set from trace processing; the whole-program
+    baseline passes everything.  Calls bind arguments to parameters and
+    return values to call results context-insensitively; [thread_create]
+    binds its argument to the entry function's parameter. *)
+
+type t
+
+val analyze : Lir.Irmod.t -> scope:(int -> bool) -> t
+(** [scope iid] decides whether the instruction participates. *)
+
+val analyze_all : Lir.Irmod.t -> t
+(** Whole-program analysis ([scope] = always true). *)
+
+val instructions_analyzed : t -> int
+val solver_iterations : t -> int
+
+val pts_of_operand : t -> Lir.Value.t -> Memobj.Set.t
+(** Objects the operand may point to ([Global g] is the singleton address
+    of [g], registers come from the solved constraints). *)
+
+val pts_of_object : t -> Memobj.t -> Memobj.Set.t
+(** Objects stored inside the given object's cells. *)
+
+val accessed_objects : t -> Lir.Instr.t -> Memobj.Set.t
+(** Objects a load/store may access through its pointer operand, or a
+    [mutex_lock]/[mutex_unlock]/[free] call may name through its argument;
+    empty for other instructions ([free] counts because releasing an
+    object is the racing "write" of use-after-free order violations). *)
+
+val may_alias : t -> Lir.Value.t -> Lir.Value.t -> bool
+(** Whether the two pointer operands may reference a common object. *)

@@ -1,0 +1,148 @@
+module ISet = Set.Make (Int)
+
+(* Pre-computed dependence indices for one module. *)
+type index = {
+  def_of_reg : (int, int) Hashtbl.t; (* rid -> defining iid *)
+  stores_to_obj : (Memobj.t, int list) Hashtbl.t; (* base object -> store iids *)
+  callers_of : (string, (int * Lir.Value.t list) list) Hashtbl.t;
+      (* callee -> (call iid, args) *)
+  rets_of : (string, int list) Hashtbl.t; (* fname -> ret iids *)
+  param_pos : (int, string * int) Hashtbl.t; (* param rid -> (fname, index) *)
+  block_terms : (string * string, int) Hashtbl.t; (* (fname, label) -> iid *)
+  cfgs : (string, Lir.Cfg.t) Hashtbl.t;
+}
+
+let build_index m ~points_to =
+  let idx =
+    {
+      def_of_reg = Hashtbl.create 256;
+      stores_to_obj = Hashtbl.create 64;
+      callers_of = Hashtbl.create 32;
+      rets_of = Hashtbl.create 32;
+      param_pos = Hashtbl.create 32;
+      block_terms = Hashtbl.create 64;
+      cfgs = Hashtbl.create 16;
+    }
+  in
+  List.iter
+    (fun (f : Lir.Func.t) ->
+      Hashtbl.replace idx.cfgs f.Lir.Func.fname (Lir.Cfg.of_func f);
+      List.iteri
+        (fun n (p : Lir.Value.reg) ->
+          Hashtbl.replace idx.param_pos p.Lir.Value.rid (f.Lir.Func.fname, n))
+        f.Lir.Func.params)
+    (Lir.Irmod.funcs m);
+  Lir.Irmod.iter_instrs m (fun f b i ->
+      (match Lir.Instr.defined_reg i with
+      | Some r -> Hashtbl.replace idx.def_of_reg r.Lir.Value.rid i.Lir.Instr.iid
+      | None -> ());
+      (match List.rev b.Lir.Block.instrs with
+      | last :: _ when last.Lir.Instr.iid = i.Lir.Instr.iid ->
+        Hashtbl.replace idx.block_terms
+          (f.Lir.Func.fname, b.Lir.Block.label)
+          i.Lir.Instr.iid
+      | _ -> ());
+      match i.Lir.Instr.kind with
+      | Lir.Instr.Store _ ->
+        let objs = Pointsto.accessed_objects points_to i in
+        Memobj.Set.iter
+          (fun o ->
+            let base = Memobj.base o in
+            let cur =
+              Option.value ~default:[] (Hashtbl.find_opt idx.stores_to_obj base)
+            in
+            Hashtbl.replace idx.stores_to_obj base (i.Lir.Instr.iid :: cur))
+          objs
+      | Lir.Instr.Call { callee; args; _ } ->
+        let cur =
+          Option.value ~default:[] (Hashtbl.find_opt idx.callers_of callee)
+        in
+        Hashtbl.replace idx.callers_of callee ((i.Lir.Instr.iid, args) :: cur)
+      | Lir.Instr.Ret _ ->
+        let cur =
+          Option.value ~default:[] (Hashtbl.find_opt idx.rets_of f.Lir.Func.fname)
+        in
+        Hashtbl.replace idx.rets_of f.Lir.Func.fname (i.Lir.Instr.iid :: cur)
+      | _ -> ());
+  idx
+
+let backward_slice_depths m ~points_to ~from_iid =
+  Lir.Irmod.layout m;
+  let idx = build_index m ~points_to in
+  let depth_of = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let push ~depth iid =
+    if not (Hashtbl.mem depth_of iid) then begin
+      Hashtbl.add depth_of iid depth;
+      Queue.add (iid, depth) work
+    end
+  in
+  push ~depth:0 from_iid;
+  let push_reg_def ~depth (r : Lir.Value.reg) =
+    match Hashtbl.find_opt idx.def_of_reg r.Lir.Value.rid with
+    | Some def -> push ~depth def
+    | None -> (
+      (* A parameter: depend on every caller's matching argument def. *)
+      match Hashtbl.find_opt idx.param_pos r.Lir.Value.rid with
+      | None -> ()
+      | Some (fname, n) ->
+        List.iter
+          (fun (call_iid, args) ->
+            push ~depth call_iid;
+            match List.nth_opt args n with
+            | Some (Lir.Value.Reg ar) -> (
+              match Hashtbl.find_opt idx.def_of_reg ar.Lir.Value.rid with
+              | Some def -> push ~depth def
+              | None -> ())
+            | Some _ | None -> ())
+          (Option.value ~default:[] (Hashtbl.find_opt idx.callers_of fname)))
+  in
+  while not (Queue.is_empty work) do
+    let iid, d = Queue.pop work in
+    let depth = d + 1 in
+    let i = Lir.Irmod.instr_by_iid m iid in
+    let f, b = Lir.Irmod.location_of_iid m iid in
+    (* Data dependences through registers. *)
+    List.iter
+      (fun v ->
+        match (v : Lir.Value.t) with
+        | Lir.Value.Reg r -> push_reg_def ~depth r
+        | Lir.Value.Imm _ | Lir.Value.Global _ | Lir.Value.Null _
+        | Lir.Value.Fn_ref _ ->
+          ())
+      (Lir.Instr.operands i);
+    (* Memory dependences: loads depend on may-aliasing stores. *)
+    (match i.Lir.Instr.kind with
+    | Lir.Instr.Load _ ->
+      let objs = Pointsto.accessed_objects points_to i in
+      Memobj.Set.iter
+        (fun o ->
+          List.iter (push ~depth)
+            (Option.value ~default:[]
+               (Hashtbl.find_opt idx.stores_to_obj (Memobj.base o))))
+        objs
+    | Lir.Instr.Call { dst = Some _; callee; _ }
+      when not (Lir.Intrinsics.is_intrinsic callee) ->
+      (* The result depends on the callee's returns. *)
+      List.iter (push ~depth)
+        (Option.value ~default:[] (Hashtbl.find_opt idx.rets_of callee))
+    | _ -> ());
+    (* Control dependence: terminators of predecessor blocks. *)
+    (match Hashtbl.find_opt idx.cfgs f.Lir.Func.fname with
+    | None -> ()
+    | Some cfg ->
+      List.iter
+        (fun pred ->
+          match Hashtbl.find_opt idx.block_terms (f.Lir.Func.fname, pred) with
+          | Some term -> push ~depth term
+          | None -> ())
+        (Lir.Cfg.predecessors cfg b.Lir.Block.label))
+  done;
+  Hashtbl.fold (fun iid depth acc -> (iid, depth) :: acc) depth_of []
+  |> List.sort compare
+
+let backward_slice m ~points_to ~from_iid =
+  List.map fst (backward_slice_depths m ~points_to ~from_iid)
+
+let slice_size m ~points_to ~from_iid =
+  List.length (backward_slice m ~points_to ~from_iid)

@@ -1,0 +1,17 @@
+(** Static backward slicing, the core of the Gist baseline (§6.3): the set
+    of instructions that could affect a given (failing) instruction through
+    data dependences (register def-use, may-aliasing stores reaching
+    loads), call bindings, and control dependences (terminators of blocks
+    that decide whether the dependent code runs). *)
+
+val backward_slice :
+  Lir.Irmod.t -> points_to:Pointsto.t -> from_iid:int -> int list
+(** Iids in the slice, including [from_iid]; order unspecified. *)
+
+val backward_slice_depths :
+  Lir.Irmod.t -> points_to:Pointsto.t -> from_iid:int -> (int * int) list
+(** Slice iids paired with their dependence distance from [from_iid]
+    (0 = the failing instruction itself).  Gist's iterative refinement
+    instruments the slice one depth ring at a time. *)
+
+val slice_size : Lir.Irmod.t -> points_to:Pointsto.t -> from_iid:int -> int

@@ -1,0 +1,1 @@
+lib/core/accuracy.ml: List Patterns Snorlax_util

@@ -1,0 +1,1 @@
+lib/core/diagnosis.ml: Analysis Array Hashtbl Lir List Patterns Report Statistics Sys Trace_processing Type_ranking

@@ -1,0 +1,1 @@
+lib/core/diagnosis.mli: Lir Pt Report Statistics Trace_processing

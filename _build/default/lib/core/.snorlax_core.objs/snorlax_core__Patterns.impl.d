@@ -1,0 +1,1 @@
+lib/core/patterns.ml: Analysis Array Hashtbl Lir List Option Printf Report String Trace_processing Type_ranking

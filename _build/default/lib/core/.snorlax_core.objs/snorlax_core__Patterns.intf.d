@@ -1,0 +1,1 @@
+lib/core/patterns.mli: Analysis Lir Report Trace_processing Type_ranking

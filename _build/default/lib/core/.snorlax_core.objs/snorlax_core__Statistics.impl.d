@@ -1,0 +1,1 @@
+lib/core/statistics.ml: List Patterns Snorlax_util

@@ -1,0 +1,1 @@
+lib/core/statistics.mli: Analysis Lir Patterns Trace_processing

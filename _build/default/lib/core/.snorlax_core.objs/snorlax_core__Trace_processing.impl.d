@@ -1,0 +1,1 @@
+lib/core/trace_processing.ml: Array Hashtbl Int List Option Pt Set

@@ -1,0 +1,1 @@
+lib/core/trace_processing.mli: Hashtbl Lir Pt Set

@@ -1,0 +1,1 @@
+lib/core/type_ranking.ml: Analysis Lir List String Trace_processing

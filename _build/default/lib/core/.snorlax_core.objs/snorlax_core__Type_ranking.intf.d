@@ -1,0 +1,1 @@
+lib/core/type_ranking.mli: Analysis Lir Trace_processing

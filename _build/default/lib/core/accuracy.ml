@@ -1,0 +1,9 @@
+module Stats = Snorlax_util.Stats
+
+let ordering_accuracy ~diagnosed ~ground_truth =
+  Stats.ordering_accuracy (Patterns.ordered_iids diagnosed) ground_truth
+
+let root_cause_match ~diagnosed ~ground_truth =
+  let a = List.sort_uniq compare (Patterns.ordered_iids diagnosed) in
+  let b = List.sort_uniq compare ground_truth in
+  a = b

@@ -1,0 +1,11 @@
+(** §6.1's evaluation metrics: whether the diagnosed pattern matches a
+    bug's ground truth, and the ordering accuracy A_O based on the
+    normalized Kendall-tau distance. *)
+
+val ordering_accuracy : diagnosed:Patterns.t -> ground_truth:int list -> float
+(** A_O between the diagnosed pattern's instruction order and the manually
+    established ground-truth order (100.0 = perfect). *)
+
+val root_cause_match : diagnosed:Patterns.t -> ground_truth:int list -> bool
+(** True when the diagnosed pattern involves exactly the ground-truth
+    instructions (as a set). *)

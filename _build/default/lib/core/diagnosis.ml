@@ -1,0 +1,186 @@
+module Tp = Trace_processing
+
+type stage_counts = {
+  total_instrs : int;
+  after_trace_processing : int;
+  after_points_to : int;
+  after_type_ranking : int;
+  after_patterns : int;
+  after_statistics : int;
+}
+
+type timings = { hybrid_analysis_s : float; pipeline_s : float }
+
+type result = {
+  scored : Statistics.scored list;
+  top : Statistics.scored option;
+  unique_top : bool;
+  stage_counts : stage_counts;
+  timings : timings;
+  anchor_iid : int;
+  executed_count : int;
+  desynced : bool;
+}
+
+let build_def_table m =
+  let tbl = Hashtbl.create 256 in
+  Lir.Irmod.iter_instrs m (fun _ _ i ->
+      match Lir.Instr.defined_reg i with
+      | Some r -> Hashtbl.replace tbl r.Lir.Value.rid i
+      | None -> ());
+  tbl
+
+(* RETracer-style provenance: follow the faulting pointer value back
+   through geps/casts/arithmetic to the load that produced it — that load
+   read the racing memory location. *)
+let rec provenance defs (v : Lir.Value.t) =
+  match v with
+  | Lir.Value.Reg r -> (
+    match Hashtbl.find_opt defs r.Lir.Value.rid with
+    | None -> None
+    | Some (def : Lir.Instr.t) -> (
+      match def.Lir.Instr.kind with
+      | Lir.Instr.Load _ -> Some def.Lir.Instr.iid
+      | Lir.Instr.Gep { base; _ } -> provenance defs base
+      | Lir.Instr.Index { base; _ } -> provenance defs base
+      | Lir.Instr.Cast { src; _ } -> provenance defs src
+      | Lir.Instr.Binop { lhs; _ } -> provenance defs lhs
+      | _ -> None))
+  | Lir.Value.Imm _ | Lir.Value.Global _ | Lir.Value.Null _
+  | Lir.Value.Fn_ref _ ->
+    None
+
+(* Latest memory access the failing thread performed before the failure
+   (the assert-style fallback). *)
+let nearest_access m tp (r : Report.failing_report) ~reported =
+  let best = ref None in
+  Array.iter
+    (fun (e : Tp.event) ->
+      if
+        e.Tp.tid = r.Report.failing_tid
+        && Lir.Instr.is_memory_access (Lir.Irmod.instr_by_iid m e.Tp.iid)
+      then
+        match !best with
+        | Some (b : Tp.event) when b.Tp.seq >= e.Tp.seq -> ()
+        | Some _ | None -> best := Some e)
+    tp.Tp.events;
+  match !best with Some e -> e.Tp.iid | None -> reported
+
+let resolve_anchor m tp (r : Report.failing_report) =
+  let reported = Report.failing_anchor_iid r in
+  match r.Report.info with
+  | Report.Deadlock_info _ -> reported
+  | Report.Crash_info { crash_kind; _ } -> (
+    let i = Lir.Irmod.instr_by_iid m reported in
+    match i.Lir.Instr.kind with
+    | Lir.Instr.Load { ptr; _ } | Lir.Instr.Store { ptr; _ } -> (
+      match crash_kind with
+      | Report.Bad_pointer -> (
+        match provenance (build_def_table m) ptr with
+        | Some iid -> iid
+        | None -> reported)
+      | Report.Use_after_free | Report.Assertion -> reported)
+    | _ -> nearest_access m tp r ~reported)
+
+let tails_of m (r : Report.failing_report) =
+  let pc_of iid = (Lir.Irmod.instr_by_iid m iid).Lir.Instr.pc in
+  match r.Report.info with
+  | Report.Crash_info { failing_iid; _ } ->
+    [ (r.Report.failing_tid, pc_of failing_iid, r.Report.failure_time_ns) ]
+  | Report.Deadlock_info { blocked } ->
+    List.map
+      (fun (tid, iid) -> (tid, pc_of iid, r.Report.failure_time_ns))
+      blocked
+
+let process_failing m ~config (r : Report.failing_report) =
+  Tp.process m ~config ~fail_tails:(tails_of m r) r.Report.traces
+
+let process_successful m ~config (s : Report.success_report) =
+  (* The successful trace was snapped at the watchpoint; replay the
+     triggering thread up to the watched pc so the events right before it
+     (branch-free code) participate in the statistics, exactly as the
+     failing thread is replayed to the crash pc. *)
+  Tp.process m ~config
+    ~fail_tails:
+      [ (s.Report.trigger_tid, s.Report.trigger_pc, s.Report.trigger_time_ns) ]
+    s.Report.s_traces
+
+let diagnose m ~config ~failing ~successful =
+  let first =
+    match failing with
+    | [] -> invalid_arg "Diagnosis.diagnose: no failing report"
+    | r :: _ -> r
+  in
+  Lir.Irmod.layout m;
+  let t0 = Sys.time () in
+  (* Steps 2-3: trace processing for every execution. *)
+  let failing_tps = List.map (process_failing m ~config) failing in
+  let success_tps = List.map (process_successful m ~config) successful in
+  let first_tp = List.hd failing_tps in
+  let executed =
+    List.fold_left
+      (fun acc (tp : Tp.t) -> Tp.Iset.union acc tp.Tp.executed)
+      Tp.Iset.empty (failing_tps @ success_tps)
+  in
+  (* Step 4: hybrid points-to restricted to executed code. *)
+  let t_pta0 = Sys.time () in
+  let points_to =
+    Analysis.Pointsto.analyze m ~scope:(fun iid -> Tp.Iset.mem iid executed)
+  in
+  let hybrid_analysis_s = Sys.time () -. t_pta0 in
+  (* Step 5: candidates ranked by type. *)
+  let anchor_iid = resolve_anchor m first_tp first in
+  let prefer_free =
+    match first.Report.info with
+    | Report.Crash_info { crash_kind = Report.Use_after_free; _ } -> true
+    | Report.Crash_info _ | Report.Deadlock_info _ -> false
+  in
+  let candidates =
+    Type_ranking.candidates m ~points_to ~executed ~anchor_iid ~prefer_free ()
+  in
+  (* Step 6: bug patterns from the first failing trace. *)
+  let info =
+    match first.Report.info with
+    | Report.Crash_info { crash_kind; _ } ->
+      Report.Crash_info { failing_iid = anchor_iid; crash_kind }
+    | Report.Deadlock_info _ as d -> d
+  in
+  let patterns =
+    Patterns.generate m ~points_to ~tp:first_tp ~info
+      ~failing_tid:first.Report.failing_tid ~candidates
+  in
+  (* Step 7: statistical diagnosis over all runs. *)
+  let scored =
+    Statistics.score m ~points_to ~patterns ~failing:failing_tps
+      ~successful:success_tps
+  in
+  let top = Statistics.top scored in
+  let pipeline_s = Sys.time () -. t0 in
+  let distinct_iids ps =
+    List.sort_uniq compare (List.concat_map Patterns.ordered_iids ps)
+  in
+  let rank1 = Type_ranking.rank1_count candidates in
+  let stage_counts =
+    {
+      total_instrs = Lir.Irmod.instr_count m;
+      after_trace_processing = Tp.Iset.cardinal executed;
+      after_points_to = List.length candidates;
+      after_type_ranking = (if rank1 > 0 then rank1 else List.length candidates);
+      after_patterns = List.length (distinct_iids patterns);
+      after_statistics =
+        (match top with
+        | Some s -> List.length (Patterns.ordered_iids s.Statistics.pattern)
+        | None -> 0);
+    }
+  in
+  {
+    scored;
+    top;
+    unique_top = Statistics.is_unique_top scored;
+    stage_counts;
+    timings = { hybrid_analysis_s; pipeline_s };
+    anchor_iid;
+    executed_count = Tp.Iset.cardinal executed;
+    desynced =
+      List.exists (fun (tp : Tp.t) -> tp.Tp.desynced_tids <> []) failing_tps;
+  }

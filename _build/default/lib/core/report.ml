@@ -1,0 +1,63 @@
+type crash_kind = Bad_pointer | Use_after_free | Assertion
+
+type failure_info =
+  | Crash_info of { failing_iid : int; crash_kind : crash_kind }
+  | Deadlock_info of { blocked : (int * int) list }
+
+type failing_report = {
+  info : failure_info;
+  failing_tid : int;
+  failure_time_ns : int;
+  traces : (int * bytes) list;
+}
+
+type success_report = {
+  s_traces : (int * bytes) list;
+  trigger_time_ns : int;
+  trigger_tid : int;
+  trigger_pc : int;
+}
+
+let of_sim_failure failure ~time_ns ~traces =
+  let time = int_of_float time_ns in
+  match (failure : Sim.Failure.t) with
+  | Sim.Failure.Crash { tid; iid; reason; _ } ->
+    let crash_kind =
+      match reason with
+      | Sim.Failure.Null_deref | Sim.Failure.Unmapped -> Bad_pointer
+      | Sim.Failure.Use_after_free -> Use_after_free
+    in
+    {
+      info = Crash_info { failing_iid = iid; crash_kind };
+      failing_tid = tid;
+      failure_time_ns = time;
+      traces;
+    }
+  | Sim.Failure.Assert_fail { tid; iid; _ } ->
+    {
+      info = Crash_info { failing_iid = iid; crash_kind = Assertion };
+      failing_tid = tid;
+      failure_time_ns = time;
+      traces;
+    }
+  | Sim.Failure.Deadlock { waiters } ->
+    let blocked = List.map (fun (tid, iid, _) -> (tid, iid)) waiters in
+    let failing_tid =
+      match List.rev waiters with
+      | (tid, _, _) :: _ -> tid
+      | [] -> invalid_arg "Report.of_sim_failure: empty deadlock"
+    in
+    { info = Deadlock_info { blocked }; failing_tid; failure_time_ns = time; traces }
+
+let failing_anchor_iid r =
+  match r.info with
+  | Crash_info { failing_iid; _ } -> failing_iid
+  | Deadlock_info { blocked } -> (
+    match
+      List.find_opt (fun (tid, _) -> tid = r.failing_tid) (List.rev blocked)
+    with
+    | Some (_, iid) -> iid
+    | None -> (
+      match List.rev blocked with
+      | (_, iid) :: _ -> iid
+      | [] -> invalid_arg "Report.failing_anchor_iid: empty deadlock"))

@@ -1,0 +1,43 @@
+(** What travels from a client to the diagnosis server (Figure 2, step 1):
+    the failure kind and pc (from the OS error tracker / core dump), and
+    the per-thread control-flow trace snapshots.  No data values — Snorlax
+    tracks control flow only (§7, privacy). *)
+
+type crash_kind =
+  | Bad_pointer
+      (** null/wild dereference: the core dump shows a bad pointer value,
+          so diagnosis walks back to its provenance as RETracer does *)
+  | Use_after_free  (** the faulting address lies in a freed allocation *)
+  | Assertion  (** a program-defined failure mode (custom assert, SS7) *)
+
+type failure_info =
+  | Crash_info of { failing_iid : int; crash_kind : crash_kind }
+      (** crash or assertion: the faulting instruction *)
+  | Deadlock_info of { blocked : (int * int) list }
+      (** (tid, iid of the blocked lock call) for every deadlocked thread,
+          recovered from the hung threads' stacks *)
+
+type failing_report = {
+  info : failure_info;
+  failing_tid : int;
+  failure_time_ns : int;
+  traces : (int * bytes) list;  (** per-thread ring snapshots *)
+}
+
+type success_report = {
+  s_traces : (int * bytes) list;
+  trigger_time_ns : int;  (** when the watchpoint fired *)
+  trigger_tid : int;  (** the thread that reached the watched pc *)
+  trigger_pc : int;
+}
+
+val of_sim_failure :
+  Sim.Failure.t ->
+  time_ns:float ->
+  traces:(int * bytes) list ->
+  failing_report
+(** Package a simulated failure the way the client driver would. *)
+
+val failing_anchor_iid : failing_report -> int
+(** The instruction the diagnosis anchors on (the crash pc, or the
+    cycle-closing lock call for deadlocks). *)

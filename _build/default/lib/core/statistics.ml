@@ -1,0 +1,54 @@
+module Stats = Snorlax_util.Stats
+
+type scored = {
+  pattern : Patterns.t;
+  f1 : float;
+  precision : float;
+  recall : float;
+  present_in_failing : int;
+  present_in_successful : int;
+}
+
+let score m ~points_to ~patterns ~failing ~successful =
+  let score_one pattern =
+    let count tps =
+      List.length
+        (List.filter (fun tp -> Patterns.present_in m ~points_to pattern tp) tps)
+    in
+    let tp_count = count failing in
+    let fp_count = count successful in
+    let fn_count = List.length failing - tp_count in
+    let precision, recall =
+      Stats.precision_recall ~true_pos:tp_count ~false_pos:fp_count
+        ~false_neg:fn_count
+    in
+    {
+      pattern;
+      f1 = Stats.f1 ~precision ~recall;
+      precision;
+      recall;
+      present_in_failing = tp_count;
+      present_in_successful = fp_count;
+    }
+  in
+  let scored = List.map score_one patterns in
+  (* Equal F1 scores are broken toward the structurally simpler pattern
+     (order/deadlock before atomicity): an order violation whose failing
+     thread also read the variable earlier always induces a tying
+     atomicity candidate, and the fix developers apply targets the order. *)
+  let class_rank = function
+    | Patterns.Order _ | Patterns.Deadlock_cycle _ -> 0
+    | Patterns.Atomicity _ -> 1
+  in
+  let cmp a b =
+    match compare b.f1 a.f1 with
+    | 0 -> compare (class_rank a.pattern) (class_rank b.pattern)
+    | c -> c
+  in
+  List.stable_sort cmp scored
+
+let top = function [] -> None | s :: _ -> Some s
+
+let is_unique_top = function
+  | [] | [ _ ] -> true
+  | s1 :: s2 :: _ -> s1.f1 > s2.f1

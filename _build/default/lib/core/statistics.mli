@@ -1,0 +1,32 @@
+(** Step 7 of Lazy Diagnosis: statistical diagnosis.  Each candidate
+    pattern's presence is evaluated over the failing execution(s) and the
+    successful executions collected at the failure location (step 8); the
+    patterns are scored by F1 = harmonic mean of precision and recall
+    (§4.5) and the top scorer is reported as the root cause. *)
+
+type scored = {
+  pattern : Patterns.t;
+  f1 : float;
+  precision : float;
+  recall : float;
+  present_in_failing : int;
+  present_in_successful : int;
+}
+
+val score :
+  Lir.Irmod.t ->
+  points_to:Analysis.Pointsto.t ->
+  patterns:Patterns.t list ->
+  failing:Trace_processing.t list ->
+  successful:Trace_processing.t list ->
+  scored list
+(** Sorted by descending F1; ties prefer order/deadlock patterns over
+    atomicity ones (the simpler explanation), then generation order
+    (which is type-rank order). *)
+
+val top : scored list -> scored option
+(** Highest-F1 pattern, if any. *)
+
+val is_unique_top : scored list -> bool
+(** False when several patterns tie at the maximal F1 — the case §4.5
+    says requires manual disambiguation. *)

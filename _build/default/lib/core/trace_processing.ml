@@ -1,0 +1,71 @@
+type event = {
+  tid : int;
+  seq : int;
+  iid : int;
+  pc : int;
+  t_lo : int;
+  t_hi : int;
+}
+
+module Iset = Set.Make (Int)
+
+type t = {
+  executed : Iset.t;
+  events : event array;
+  events_by_iid : (int, event list) Hashtbl.t;
+  lost_bytes : int;
+  desynced_tids : int list;
+}
+
+let process m ~config ?(fail_tails = []) traces =
+  let executed = ref Iset.empty in
+  let all_events = ref [] in
+  let by_iid = Hashtbl.create 256 in
+  let lost = ref 0 in
+  let desynced = ref [] in
+  let decode_one (tid, snapshot) =
+    let tail_stop =
+      match List.find_opt (fun (ftid, _, _) -> ftid = tid) fail_tails with
+      | Some (_, stop_pc, t_hi) -> Some (stop_pc, t_hi)
+      | None -> None
+    in
+    let d = Pt.Decoder.decode m ~config ?tail_stop snapshot in
+    lost := !lost + d.Pt.Decoder.lost_bytes;
+    if d.Pt.Decoder.desynced then desynced := tid :: !desynced;
+    List.iteri
+      (fun seq (s : Pt.Decoder.step) ->
+        let e =
+          {
+            tid;
+            seq;
+            iid = s.Pt.Decoder.iid;
+            pc = s.Pt.Decoder.pc;
+            t_lo = s.Pt.Decoder.t_lo;
+            t_hi = s.Pt.Decoder.t_hi;
+          }
+        in
+        executed := Iset.add e.iid !executed;
+        all_events := e :: !all_events;
+        let cur = Option.value ~default:[] (Hashtbl.find_opt by_iid e.iid) in
+        Hashtbl.replace by_iid e.iid (e :: cur))
+      d.Pt.Decoder.steps
+  in
+  List.iter decode_one traces;
+  (* Per-iid instance lists were built newest-first; restore order. *)
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) by_iid [] in
+  List.iter
+    (fun k -> Hashtbl.replace by_iid k (List.rev (Hashtbl.find by_iid k)))
+    keys;
+  {
+    executed = !executed;
+    events = Array.of_list (List.rev !all_events);
+    events_by_iid = by_iid;
+    lost_bytes = !lost;
+    desynced_tids = !desynced;
+  }
+
+let executes_before a b =
+  if a.tid = b.tid then a.seq < b.seq else a.t_hi < b.t_lo
+
+let instances t ~iid =
+  Option.value ~default:[] (Hashtbl.find_opt t.events_by_iid iid)

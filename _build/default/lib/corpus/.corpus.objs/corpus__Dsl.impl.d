@@ -1,0 +1,1 @@
+lib/corpus/dsl.ml: Lir Printf Snorlax_util

@@ -1,0 +1,1 @@
+lib/corpus/registry.ml: Bug List String Sys_aget Sys_dbcp Sys_derby Sys_groovy Sys_httpd Sys_jdk Sys_log4j Sys_lucene Sys_memcached Sys_mysql Sys_pbzip2 Sys_sqlite Sys_transmission

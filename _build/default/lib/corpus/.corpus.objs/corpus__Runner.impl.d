@@ -1,0 +1,1 @@
+lib/corpus/runner.ml: Bug Lir List Option Printf Pt Sim Snorlax_core

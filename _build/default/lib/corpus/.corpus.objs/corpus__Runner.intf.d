@@ -1,0 +1,1 @@
+lib/corpus/runner.mli: Bug Lir Pt Sim Snorlax_core

@@ -1,0 +1,1 @@
+lib/corpus/sys_aget.ml: Bug Dsl Lir Scenario

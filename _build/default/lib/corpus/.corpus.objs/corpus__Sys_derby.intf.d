@@ -1,0 +1,1 @@
+lib/corpus/sys_derby.mli: Bug

@@ -1,0 +1,1 @@
+lib/corpus/sys_groovy.mli: Bug

@@ -1,0 +1,1 @@
+lib/corpus/sys_httpd.ml: Array Bug Dsl Lir List Scenario

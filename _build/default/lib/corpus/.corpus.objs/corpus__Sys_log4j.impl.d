@@ -1,0 +1,1 @@
+lib/corpus/sys_log4j.ml: Bug Scenario

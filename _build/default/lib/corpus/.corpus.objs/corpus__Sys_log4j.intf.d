@@ -1,0 +1,1 @@
+lib/corpus/sys_log4j.mli: Bug

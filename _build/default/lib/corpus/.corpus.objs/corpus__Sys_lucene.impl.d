@@ -1,0 +1,1 @@
+lib/corpus/sys_lucene.ml: Bug Scenario

@@ -1,0 +1,1 @@
+lib/corpus/sys_mysql.ml: Array Bug Dsl Lir List

@@ -1,0 +1,1 @@
+lib/corpus/sys_pbzip2.ml: Bug Dsl Lir

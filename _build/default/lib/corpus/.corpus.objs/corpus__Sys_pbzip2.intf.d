@@ -1,0 +1,1 @@
+lib/corpus/sys_pbzip2.mli: Bug

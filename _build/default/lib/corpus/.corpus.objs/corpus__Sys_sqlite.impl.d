@@ -1,0 +1,1 @@
+lib/corpus/sys_sqlite.ml: Bug Dsl Lir

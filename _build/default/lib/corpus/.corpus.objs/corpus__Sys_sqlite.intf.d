@@ -1,0 +1,1 @@
+lib/corpus/sys_sqlite.mli: Bug

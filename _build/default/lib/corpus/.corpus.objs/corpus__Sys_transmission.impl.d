@@ -1,0 +1,1 @@
+lib/corpus/sys_transmission.ml: Bug Dsl Lir Scenario

@@ -1,0 +1,24 @@
+type kind = Deadlock | Order_violation | Atomicity_violation
+
+type built = {
+  m : Lir.Irmod.t;
+  ground_truth : int list;
+  delta_pairs : (int * int) list;
+}
+
+type t = {
+  id : string;
+  system : string;
+  tracker_id : string;
+  kind : kind;
+  description : string;
+  java : bool;
+  expected_delta_us : float;
+  build : unit -> built;
+  entry : string;
+}
+
+let kind_name = function
+  | Deadlock -> "deadlock"
+  | Order_violation -> "order violation"
+  | Atomicity_violation -> "atomicity violation"

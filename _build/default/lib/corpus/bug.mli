@@ -1,0 +1,36 @@
+(** A corpus entry: one reproducible concurrency bug in one modelled
+    system, with machine-checkable ground truth.
+
+    The corpus mirrors the paper's study set (§3.2): 54 bugs across 13
+    systems — the seven C/C++ systems (also used for the Snorlax
+    end-to-end evaluation, §6) and six Java systems (hypothesis study
+    only).  Each modelled bug reproduces the *pattern* and the
+    microsecond-scale event spacing of its real counterpart. *)
+
+type kind = Deadlock | Order_violation | Atomicity_violation
+
+type built = {
+  m : Lir.Irmod.t;
+  ground_truth : int list;
+      (** target-instruction iids in failure order (Fig. 1), e.g.
+          [\[store; load\]] for a WR order violation *)
+  delta_pairs : (int * int) list;
+      (** consecutive ground-truth event pairs whose elapsed time the
+          hypothesis study measures: ΔT for deadlocks/order violations,
+          ΔT1/ΔT2 for atomicity violations *)
+}
+
+type t = {
+  id : string;  (** e.g. ["pbzip2-1"] *)
+  system : string;
+  tracker_id : string;  (** upstream bug id, or ["N/A"] as in the tables *)
+  kind : kind;
+  description : string;
+  java : bool;  (** hypothesis-study-only system (JDK, Derby, ...) *)
+  expected_delta_us : float;
+      (** the ΔT scale the model is tuned for, for documentation *)
+  build : unit -> built;  (** fresh module each call *)
+  entry : string;
+}
+
+val kind_name : kind -> string

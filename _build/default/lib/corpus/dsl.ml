@@ -1,0 +1,83 @@
+module B = Lir.Builder
+module Prng = Snorlax_util.Prng
+
+let checkpoint b =
+  let always = B.icmp b Lir.Instr.Eq (Lir.Value.i64 0) (Lir.Value.i64 0) in
+  B.if_ b always ~then_:(fun () -> ()) ~else_:(fun () -> ())
+
+let pause b ~ns =
+  B.work b ~ns;
+  checkpoint b
+
+let io_pause b ~ns =
+  B.io_delay b ~ns;
+  checkpoint b
+
+(* Three separate untyped reads model a serializer walking the state
+   word by word (re-reading deliberately, as volatile debug dumps do). *)
+let probe_word b ptr =
+  let cell = B.cast b ~name:"rawview" ptr (Lir.Ty.Ptr Lir.Ty.I64) in
+  let w0 = B.load b ~name:"raw0" cell in
+  let w1 = B.load b ~name:"raw1" cell in
+  let w2 = B.load b ~name:"raw2" cell in
+  let x = B.binop b Lir.Instr.Xor w0 w1 in
+  let x = B.binop b Lir.Instr.Xor x w2 in
+  B.call_void b Lir.Intrinsics.print_i64 [ x ]
+
+let probe_global b gname = probe_word b (Lir.Value.Global gname)
+
+let mutex_struct m =
+  match Lir.Irmod.struct_fields m "Mutex" with
+  | _ -> Lir.Ty.Struct "Mutex"
+  | exception Not_found ->
+    Lir.Irmod.declare_struct m "Mutex" [ Lir.Ty.I64 ]
+
+(* Cold code: plausible library internals that reference their own structs
+   and each other.  Never called from any entry point, so trace-processing
+   scope restriction eliminates all of it. *)
+let add_cold_code m ~seed ~functions =
+  let prng = Prng.create ~seed in
+  let prefix = Printf.sprintf "cold%d" seed in
+  let struct_name i = Printf.sprintf "%s_rec%d" prefix i in
+  let nstructs = max 2 (functions / 8) in
+  for i = 0 to nstructs - 1 do
+    ignore
+      (Lir.Irmod.declare_struct m (struct_name i)
+         [ Lir.Ty.I64; Lir.Ty.Ptr Lir.Ty.I64; Lir.Ty.Ptr (Lir.Ty.Struct "Mutex") ])
+  done;
+  let fn_name i = Printf.sprintf "%s_fn%d" prefix i in
+  for i = 0 to functions - 1 do
+    let sname = struct_name (Prng.int prng ~bound:nstructs) in
+    let callee =
+      (* Only call already-defined cold functions to keep the callgraph a
+         DAG; the verifier requires callees to exist. *)
+      if i > 0 then Some (fn_name (Prng.int prng ~bound:i)) else None
+    in
+    let body b =
+      let obj = B.malloc b ~name:"rec" (Lir.Ty.Struct sname) in
+      let counter = B.gep b ~name:"count" obj 0 in
+      let buf = B.gep b ~name:"buf" obj 1 in
+      B.store b ~value:(B.param b 0) ~ptr:counter;
+      let spill = B.alloca b ~name:"spill" Lir.Ty.I64 in
+      B.store b ~value:(Lir.Value.i64 0) ~ptr:spill;
+      B.for_ b ~from:0 ~below:(Lir.Value.i64 4) (fun idx ->
+          let v = B.load b ~name:"count" counter in
+          let v' = B.add b v idx in
+          B.store b ~value:v' ~ptr:spill;
+          let cell = B.cast b spill (Lir.Ty.Ptr Lir.Ty.I64) in
+          B.store b ~value:cell ~ptr:buf);
+      let again = B.load b ~name:"again" counter in
+      let deep = B.icmp b Lir.Instr.Sgt again (Lir.Value.i64 100) in
+      B.if_ b deep
+        ~then_:(fun () ->
+          match callee with
+          | Some f ->
+            ignore (B.call b ~ret:Lir.Ty.I64 f [ again ])
+          | None -> ())
+        ~else_:(fun () -> ());
+      B.call_void b Lir.Intrinsics.free
+        [ B.cast b obj (Lir.Ty.Ptr Lir.Ty.I8) ];
+      B.ret b again
+    in
+    B.define m (fn_name i) ~params:[ ("n", Lir.Ty.I64) ] ~ret:Lir.Ty.I64 body
+  done

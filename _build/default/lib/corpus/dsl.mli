@@ -1,0 +1,35 @@
+(** Shared building blocks for the corpus system models. *)
+
+val checkpoint : Lir.Builder.t -> unit
+(** An always-taken conditional branch.  Real code is branch-dense; our
+    models compress long stretches of computation into [work]/[io_delay]
+    intrinsics, so a checkpoint after each delay restores the timing
+    packets a real program would have emitted there, pinning the trace
+    clock right before the accesses that follow. *)
+
+val pause : Lir.Builder.t -> ns:int -> unit
+(** CPU work followed by a checkpoint. *)
+
+val io_pause : Lir.Builder.t -> ns:int -> unit
+(** Off-CPU wait followed by a checkpoint. *)
+
+val probe_word : Lir.Builder.t -> Lir.Value.t -> unit
+(** Read the first machine word behind a pointer through a generic
+    [i64*] view and feed it to the diagnostics sink.  Models the untyped
+    accesses real code makes (serializers, memcpy, crash handlers): they
+    alias the typed accesses but move a generic type, giving type-based
+    ranking (§4.3) something to down-rank. *)
+
+val probe_global : Lir.Builder.t -> string -> unit
+(** [probe_word] on a module global's cell. *)
+
+val mutex_struct : Lir.Irmod.t -> Lir.Ty.t
+(** Declare (once) and return the [%struct.Mutex] type for a module. *)
+
+val add_cold_code :
+  Lir.Irmod.t -> seed:int -> functions:int -> unit
+(** Synthesize never-executed library code (error handling, maintenance
+    paths): functions with allocations, field traffic, branches and
+    cross-calls.  This is the code a whole-program static analysis must
+    chew through but scope restriction skips — the source of Table 4's
+    speedups and Figure 7's trace-processing contribution. *)

@@ -1,0 +1,38 @@
+let all =
+  Sys_mysql.bugs @ Sys_httpd.bugs @ Sys_memcached.bugs @ Sys_sqlite.bugs
+  @ Sys_transmission.bugs @ Sys_pbzip2.bugs @ Sys_aget.bugs @ Sys_jdk.bugs
+  @ Sys_derby.bugs @ Sys_groovy.bugs @ Sys_dbcp.bugs @ Sys_log4j.bugs
+  @ Sys_lucene.bugs
+
+let eval_ids =
+  [
+    "mysql-1";
+    "mysql-4";
+    "mysql-7";
+    "httpd-1";
+    "httpd-3";
+    "memcached-2";
+    "sqlite-1";
+    "sqlite-3";
+    "transmission-2";
+    "pbzip2-1";
+    "aget-1";
+  ]
+
+let find id = List.find (fun b -> String.equal b.Bug.id id) all
+
+let eval_set = List.map find eval_ids
+
+let by_system system =
+  List.filter (fun b -> String.equal b.Bug.system system) all
+
+let systems =
+  let rec uniq seen = function
+    | [] -> List.rev seen
+    | b :: rest ->
+      if List.mem b.Bug.system seen then uniq seen rest
+      else uniq (b.Bug.system :: seen) rest
+  in
+  uniq [] all
+
+let by_kind kind = List.filter (fun b -> b.Bug.kind = kind) all

@@ -1,0 +1,19 @@
+(** The full corpus: 54 bugs across 13 systems, mirroring the paper's
+    study set (§3.2), and the 11-bug C/C++ subset used for the Snorlax
+    end-to-end evaluation (§6). *)
+
+val all : Bug.t list
+(** All 54 bugs, grouped by system in the paper's order. *)
+
+val eval_set : Bug.t list
+(** The 11 bugs in the C/C++ systems that the evaluation sections (§6.1,
+    Table 4, Figure 7) run end-to-end. *)
+
+val find : string -> Bug.t
+(** Lookup by id, e.g. ["mysql-7"].  Raises [Not_found]. *)
+
+val by_system : string -> Bug.t list
+val systems : string list
+(** System names in corpus order. *)
+
+val by_kind : Bug.kind -> Bug.t list

@@ -1,0 +1,122 @@
+module Report = Snorlax_core.Report
+
+type run = { result : Sim.Interp.run_result; driver : Pt.Driver.t }
+
+let run_traced ~built ~entry ~seed ?(pt_config = Pt.Config.default)
+    ?(watch_pcs = []) ?extra_hooks () =
+  let m = built.Bug.m in
+  Lir.Irmod.layout m;
+  let driver = Pt.Driver.create ~config:pt_config () in
+  if watch_pcs <> [] then Pt.Driver.set_watchpoints driver ~pcs:watch_pcs;
+  let hooks =
+    match extra_hooks with
+    | None -> Pt.Driver.hooks driver
+    | Some h -> Sim.Hooks.combine (Pt.Driver.hooks driver) h
+  in
+  let config = { Sim.Interp.default_config with seed; hooks } in
+  let result = Sim.Interp.run ~config m ~entry in
+  { result; driver }
+
+let run_untraced ~built ~entry ~seed () =
+  Lir.Irmod.layout built.Bug.m;
+  let config = { Sim.Interp.default_config with seed } in
+  Sim.Interp.run ~config built.Bug.m ~entry
+
+type collected = {
+  built : Bug.built;
+  failing : Report.failing_report list;
+  failing_seeds : int list;
+  successful : Report.success_report list;
+  success_seeds : int list;
+  runs_needed : int;
+}
+
+let watch_pcs_for m (r : Report.failing_report) =
+  let iid = Report.failing_anchor_iid r in
+  let i = Lir.Irmod.instr_by_iid m iid in
+  let f, b = Lir.Irmod.location_of_iid m iid in
+  let cfg = Lir.Cfg.of_func f in
+  let pred_pcs =
+    List.map
+      (fun label ->
+        Lir.Irmod.block_start_pc m ~fname:f.Lir.Func.fname ~label)
+      (Lir.Cfg.predecessors cfg b.Lir.Block.label)
+  in
+  i.Lir.Instr.pc :: pred_pcs
+
+let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
+    ?(success_per_failing = 10) ?(max_tries = 5000) ?(seed_base = 1) () =
+  let built = bug.Bug.build () in
+  let entry = bug.Bug.entry in
+  let failing = ref [] in
+  let failing_seeds = ref [] in
+  let successful = ref [] in
+  let success_seeds = ref [] in
+  let watch = ref [] in
+  let runs_needed = ref 0 in
+  let want_success () = success_per_failing * List.length !failing in
+  let seed = ref seed_base in
+  while
+    (List.length !failing < failing_count
+    || List.length !successful < want_success ())
+    && !seed - seed_base < max_tries
+  do
+    if List.length !failing < failing_count then incr runs_needed;
+    let r =
+      run_traced ~built ~entry ~seed:!seed ~pt_config ~watch_pcs:!watch ()
+    in
+    (match r.result.Sim.Interp.outcome with
+    | Sim.Interp.Failed { failure; time_ns } ->
+      if List.length !failing < failing_count then begin
+        let snap = Pt.Driver.snapshot_now r.driver ~at_time_ns:time_ns in
+        let report =
+          Report.of_sim_failure failure ~time_ns
+            ~traces:snap.Pt.Driver.traces
+        in
+        failing := !failing @ [ report ];
+        failing_seeds := !failing_seeds @ [ !seed ];
+        if !watch = [] then watch := watch_pcs_for built.Bug.m report
+      end
+    | Sim.Interp.Completed ->
+      if
+        !watch <> []
+        && List.length !successful < want_success ()
+      then (
+        match Pt.Driver.watch_snapshot r.driver with
+        | Some snap ->
+          let trigger_pc = Option.value ~default:0 snap.Pt.Driver.trigger_pc in
+          let trigger_tid =
+            Option.value ~default:0 snap.Pt.Driver.trigger_tid
+          in
+          successful :=
+            !successful
+            @ [
+                {
+                  Report.s_traces = snap.Pt.Driver.traces;
+                  trigger_time_ns = int_of_float snap.Pt.Driver.at_time_ns;
+                  trigger_tid;
+                  trigger_pc;
+                };
+              ];
+          success_seeds := !success_seeds @ [ !seed ]
+        | None -> ())
+    | Sim.Interp.Stuck | Sim.Interp.Fuel_exhausted -> ());
+    incr seed
+  done;
+  if List.length !failing < failing_count then
+    Error
+      (Printf.sprintf "bug %s did not reproduce in %d runs" bug.Bug.id max_tries)
+  else if List.length !successful < want_success () then
+    Error
+      (Printf.sprintf "bug %s: only %d successful traces in %d runs" bug.Bug.id
+         (List.length !successful) max_tries)
+  else
+    Ok
+      {
+        built;
+        failing = !failing;
+        failing_seeds = !failing_seeds;
+        successful = !successful;
+        success_seeds = !success_seeds;
+        runs_needed = !runs_needed;
+      }

@@ -1,0 +1,52 @@
+(** The client-side experiment harness: runs a corpus bug under the PT
+    driver across seeds, captures a failing report when the bug manifests,
+    then re-runs with watchpoints at the failure location to collect
+    successful-execution traces (Figure 2, step 8). *)
+
+type run = {
+  result : Sim.Interp.run_result;
+  driver : Pt.Driver.t;
+}
+
+val run_traced :
+  built:Bug.built ->
+  entry:string ->
+  seed:int ->
+  ?pt_config:Pt.Config.t ->
+  ?watch_pcs:int list ->
+  ?extra_hooks:Sim.Hooks.t ->
+  unit ->
+  run
+(** One simulated client execution with tracing on. *)
+
+val run_untraced :
+  built:Bug.built -> entry:string -> seed:int -> unit -> Sim.Interp.run_result
+(** Baseline execution without any tracing cost (for overhead numbers). *)
+
+type collected = {
+  built : Bug.built;
+  failing : Snorlax_core.Report.failing_report list;
+  failing_seeds : int list;
+  successful : Snorlax_core.Report.success_report list;
+  success_seeds : int list;
+  runs_needed : int;  (** executions performed to reproduce the bug *)
+}
+
+val watch_pcs_for :
+  Lir.Irmod.t -> Snorlax_core.Report.failing_report -> int list
+(** The failing pc plus its block's predecessors' entry pcs — the paper's
+    fallback when the exact location cannot re-trigger on success. *)
+
+val collect :
+  Bug.t ->
+  ?pt_config:Pt.Config.t ->
+  ?failing_count:int ->
+  ?success_per_failing:int ->
+  ?max_tries:int ->
+  ?seed_base:int ->
+  unit ->
+  (collected, string) result
+(** Reproduce the bug [failing_count] times (default 1) and gather
+    [success_per_failing] (default 10, the paper's 10x cap) successful
+    traces per failing one.  [Error _] when the bug will not reproduce or
+    successful runs cannot be found within [max_tries] seeds. *)

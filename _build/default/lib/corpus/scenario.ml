@@ -1,0 +1,336 @@
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+
+type check_reuse = {
+  system : string;
+  struct_name : string;
+  global_name : string;
+  mutator_name : string;
+  checker_name : string;
+  rotations : int;
+  rotate_gap_ns : int;
+  swap_gap_ns : int;
+  poll_ns : int;
+  long_ns : int;
+  short_ns : int;
+  long_one_in : int;
+  cold_seed : int;
+  cold_functions : int;
+}
+
+let check_reuse c =
+  let m = Lir.Irmod.create c.system in
+  ignore (Dsl.mutex_struct m);
+  ignore (Lir.Irmod.declare_struct m c.struct_name [ T.I64; T.I64 ]);
+  let ptr_ty = T.Ptr (T.Struct c.struct_name) in
+  Lir.Irmod.declare_global m c.global_name ptr_ty;
+  Lir.Irmod.declare_global m "mutator_done" T.I64;
+  let gt_check = ref (-1) in
+  let gt_swap = ref (-1) in
+  let gt_reuse = ref (-1) in
+  B.define m c.mutator_name ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 c.rotations) (fun _ ->
+          Dsl.io_pause b ~ns:c.rotate_gap_ns;
+          B.store b ~value:(V.Null ptr_ty) ~ptr:(V.Global c.global_name);
+          gt_swap := B.last_iid b;
+          Dsl.checkpoint b;
+          Dsl.pause b ~ns:c.swap_gap_ns;
+          let fresh = B.malloc b ~name:"fresh" (T.Struct c.struct_name) in
+          B.store b ~value:(V.i64 0) ~ptr:(B.gep b fresh 0);
+          B.store b ~value:fresh ~ptr:(V.Global c.global_name);
+          (* Trace-log the slot through a generic view. *)
+          Dsl.probe_global b c.global_name);
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "mutator_done");
+      B.ret_void b);
+  B.define m c.checker_name ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.while_ b
+        ~cond:(fun () ->
+          let s = B.load b ~name:"s" (V.Global "mutator_done") in
+          B.icmp b Lir.Instr.Eq s (V.i64 0))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:c.poll_ns;
+          let p = B.load b ~name:"p" (V.Global c.global_name) in
+          gt_check := B.last_iid b;
+          let ok = B.icmp b Lir.Instr.Ne p (V.Null ptr_ty) in
+          B.if_ b ok
+            ~then_:(fun () ->
+              let long =
+                B.icmp b Lir.Instr.Eq (B.rand b ~bound:c.long_one_in) (V.i64 0)
+              in
+              B.if_ b long
+                ~then_:(fun () -> Dsl.pause b ~ns:c.long_ns)
+                ~else_:(fun () -> Dsl.pause b ~ns:c.short_ns);
+              let p2 = B.load b ~name:"p2" (V.Global c.global_name) in
+              gt_reuse := B.last_iid b;
+              let field = B.gep b ~name:"field" p2 0 in
+              let v = B.load b ~name:"v" field in
+              B.store b ~value:(B.add b v (V.i64 1)) ~ptr:field)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let first = B.malloc b ~name:"first" (T.Struct c.struct_name) in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b first 0);
+      B.store b ~value:first ~ptr:(V.Global c.global_name);
+      let t1 = B.spawn b c.checker_name (V.i64 0) in
+      let t2 = B.spawn b c.mutator_name (V.i64 0) in
+      B.join b t2;
+      B.join b t1;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:c.cold_seed ~functions:c.cold_functions;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_check; !gt_swap; !gt_reuse ];
+    delta_pairs = [ (!gt_check, !gt_swap); (!gt_swap, !gt_reuse) ];
+  }
+
+type publish_clear_use = {
+  system : string;
+  struct_name : string;
+  global_name : string;
+  worker_name : string;
+  sweeper_name : string;
+  iterations : int;
+  work_gap_ns : int;
+  sweep_gap_ns : int;
+  sweep_one_in : int;
+  long_ns : int;
+  short_ns : int;
+  long_one_in : int;
+  cold_seed : int;
+  cold_functions : int;
+}
+
+let publish_clear_use c =
+  let m = Lir.Irmod.create c.system in
+  ignore (Dsl.mutex_struct m);
+  ignore (Lir.Irmod.declare_struct m c.struct_name [ T.I64; T.I64 ]);
+  let ptr_ty = T.Ptr (T.Struct c.struct_name) in
+  Lir.Irmod.declare_global m c.global_name ptr_ty;
+  Lir.Irmod.declare_global m "worker_done" T.I64;
+  let gt_publish = ref (-1) in
+  let gt_clear = ref (-1) in
+  let gt_use = ref (-1) in
+  B.define m c.worker_name ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 c.iterations) (fun i ->
+          Dsl.io_pause b ~ns:c.work_gap_ns;
+          let obj = B.malloc b ~name:"obj" (T.Struct c.struct_name) in
+          B.store b ~value:i ~ptr:(B.gep b obj 0);
+          B.store b ~value:(V.i64 0) ~ptr:(B.gep b obj 1);
+          B.store b ~value:obj ~ptr:(V.Global c.global_name);
+          gt_publish := B.last_iid b;
+          Dsl.checkpoint b;
+          let long =
+            B.icmp b Lir.Instr.Eq (B.rand b ~bound:c.long_one_in) (V.i64 0)
+          in
+          B.if_ b long
+            ~then_:(fun () -> Dsl.pause b ~ns:c.long_ns)
+            ~else_:(fun () -> Dsl.pause b ~ns:c.short_ns);
+          let current = B.load b ~name:"current" (V.Global c.global_name) in
+          gt_use := B.last_iid b;
+          let field = B.gep b ~name:"field" current 1 in
+          let v = B.load b ~name:"v" field in
+          B.store b ~value:(B.add b v (V.i64 1)) ~ptr:field);
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "worker_done");
+      B.ret_void b);
+  B.define m c.sweeper_name ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.while_ b
+        ~cond:(fun () ->
+          let s = B.load b ~name:"s" (V.Global "worker_done") in
+          B.icmp b Lir.Instr.Eq s (V.i64 0))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:c.sweep_gap_ns;
+          let sweep =
+            B.icmp b Lir.Instr.Eq (B.rand b ~bound:c.sweep_one_in) (V.i64 0)
+          in
+          B.if_ b sweep
+            ~then_:(fun () ->
+              B.store b ~value:(V.Null ptr_ty) ~ptr:(V.Global c.global_name);
+              gt_clear := B.last_iid b;
+              Dsl.checkpoint b)
+            ~else_:(fun () -> Dsl.probe_global b c.global_name));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let first = B.malloc b ~name:"first" (T.Struct c.struct_name) in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b first 0);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b first 1);
+      B.store b ~value:first ~ptr:(V.Global c.global_name);
+      let t1 = B.spawn b c.worker_name (V.i64 0) in
+      let t2 = B.spawn b c.sweeper_name (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:c.cold_seed ~functions:c.cold_functions;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_publish; !gt_clear; !gt_use ];
+    delta_pairs = [ (!gt_publish, !gt_clear); (!gt_clear, !gt_use) ];
+  }
+
+type two_lock_deadlock = {
+  system : string;
+  lock1 : string;
+  lock2 : string;
+  counter1 : string;
+  counter2 : string;
+  thread_a : string;
+  thread_b : string;
+  iters_a : int;
+  iters_b : int;
+  gap_a_ns : int;
+  gap_b_ns : int;
+  hold_a_ns : int;
+  hold_b_ns : int;
+  b_one_in : int;
+  cold_seed : int;
+  cold_functions : int;
+}
+
+let two_lock_deadlock c =
+  let m = Lir.Irmod.create c.system in
+  ignore (Dsl.mutex_struct m);
+  Lir.Irmod.declare_global m c.lock1 (T.Struct "Mutex");
+  Lir.Irmod.declare_global m c.lock2 (T.Struct "Mutex");
+  Lir.Irmod.declare_global m c.counter1 T.I64;
+  Lir.Irmod.declare_global m c.counter2 T.I64;
+  let gt = Array.make 4 (-1) in
+  let bump b counter =
+    let v = B.load b ~name:"v" (V.Global counter) in
+    B.store b ~value:(B.add b v (V.i64 1)) ~ptr:(V.Global counter)
+  in
+  B.define m c.thread_a ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 c.iters_a) (fun _ ->
+          Dsl.io_pause b ~ns:c.gap_a_ns;
+          B.mutex_lock b (V.Global c.lock1);
+          gt.(0) <- B.last_iid b;
+          bump b c.counter1;
+          Dsl.pause b ~ns:c.hold_a_ns;
+          B.mutex_lock b (V.Global c.lock2);
+          gt.(1) <- B.last_iid b;
+          bump b c.counter2;
+          B.mutex_unlock b (V.Global c.lock2);
+          B.mutex_unlock b (V.Global c.lock1));
+      B.ret_void b);
+  B.define m c.thread_b ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 c.iters_b) (fun _ ->
+          Dsl.io_pause b ~ns:c.gap_b_ns;
+          (* Lock diagnostics read the mutex words through a raw view. *)
+          Dsl.probe_global b c.lock1;
+          Dsl.probe_global b c.lock2;
+          let due = B.icmp b Lir.Instr.Eq (B.rand b ~bound:c.b_one_in) (V.i64 0) in
+          B.if_ b due
+            ~then_:(fun () ->
+              (* BUG: the opposite nesting order from thread A. *)
+              B.mutex_lock b (V.Global c.lock2);
+              gt.(2) <- B.last_iid b;
+              bump b c.counter2;
+              Dsl.pause b ~ns:c.hold_b_ns;
+              B.mutex_lock b (V.Global c.lock1);
+              gt.(3) <- B.last_iid b;
+              bump b c.counter1;
+              B.mutex_unlock b (V.Global c.lock1);
+              B.mutex_unlock b (V.Global c.lock2))
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global c.lock1 ];
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global c.lock2 ];
+      let t1 = B.spawn b c.thread_a (V.i64 0) in
+      let t2 = B.spawn b c.thread_b (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:c.cold_seed ~functions:c.cold_functions;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ gt.(0); gt.(1); gt.(2); gt.(3) ];
+    delta_pairs = [ (gt.(1), gt.(3)) ];
+  }
+
+type teardown_order = {
+  system : string;
+  struct_name : string;
+  global_name : string;
+  worker_name : string;
+  teardown_name : string;
+  retire : [ `Null | `Free ];
+  items : int;
+  item_gap_ns : int;
+  cleanup_slow_ns : int;
+  cleanup_fast_ns : int;
+  grace_ns : int;
+  cold_seed : int;
+  cold_functions : int;
+}
+
+let teardown_order c =
+  let m = Lir.Irmod.create c.system in
+  ignore (Dsl.mutex_struct m);
+  ignore (Lir.Irmod.declare_struct m c.struct_name [ T.I64; T.I64 ]);
+  let ptr_ty = T.Ptr (T.Struct c.struct_name) in
+  Lir.Irmod.declare_global m c.global_name ptr_ty;
+  Lir.Irmod.declare_global m "work_done" T.I64;
+  let gt_retire = ref (-1) in
+  let gt_read = ref (-1) in
+  B.define m c.worker_name ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let cached = B.load b ~name:"cached" (V.Global c.global_name) in
+      B.for_ b ~from:0 ~below:(V.i64 c.items) (fun _ ->
+          Dsl.io_pause b ~ns:c.item_gap_ns;
+          let field = B.gep b ~name:"field" cached 1 in
+          let v = B.load b ~name:"v" field in
+          B.store b ~value:(B.add b v (V.i64 1)) ~ptr:field);
+      (* Cleanup path: flush, then one final racy read through the shared
+         pointer. *)
+      let slow = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b slow
+        ~then_:(fun () -> Dsl.io_pause b ~ns:c.cleanup_slow_ns)
+        ~else_:(fun () -> Dsl.io_pause b ~ns:c.cleanup_fast_ns);
+      let p = B.load b ~name:"p" (V.Global c.global_name) in
+      (match c.retire with
+      | `Null -> gt_read := B.last_iid b
+      | `Free -> ());
+      let field0 = B.gep b ~name:"field0" p 0 in
+      let v = B.load b ~name:"v0" field0 in
+      (match c.retire with
+      | `Free -> gt_read := B.last_iid b
+      | `Null -> ());
+      B.call_void b Lir.Intrinsics.print_i64 [ v ];
+      B.ret_void b);
+  B.define m c.teardown_name ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      (* Wait out the nominal workload, then retire the object after a
+         fixed grace period — the missing join.  The retired pointer is
+         first dumped through a generic view (state save). *)
+      Dsl.io_pause b ~ns:(c.items * c.item_gap_ns);
+      Dsl.pause b ~ns:c.grace_ns;
+      Dsl.probe_global b c.global_name;
+      (match c.retire with
+      | `Null ->
+        B.store b ~value:(V.Null ptr_ty) ~ptr:(V.Global c.global_name);
+        gt_retire := B.last_iid b
+      | `Free ->
+        let old = B.load b ~name:"old" (V.Global c.global_name) in
+        B.call_void b Lir.Intrinsics.free [ B.cast b old (T.Ptr T.I8) ];
+        gt_retire := B.last_iid b);
+      Dsl.checkpoint b;
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "work_done");
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let obj = B.malloc b ~name:"obj" (T.Struct c.struct_name) in
+      B.store b ~value:(V.i64 7) ~ptr:(B.gep b obj 0);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b obj 1);
+      B.store b ~value:obj ~ptr:(V.Global c.global_name);
+      let t1 = B.spawn b c.worker_name (V.i64 0) in
+      let t2 = B.spawn b c.teardown_name (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:c.cold_seed ~functions:c.cold_functions;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_retire; !gt_read ];
+    delta_pairs = [ (!gt_retire, !gt_read) ];
+  }

@@ -1,0 +1,101 @@
+(** Parameterized bug scenarios shared across system models.
+
+    Real concurrency bugs fall into a small number of interleaving shapes
+    (the paper's Figure 1); what differs between systems is the domain
+    structure around them.  These generators implement the shapes once;
+    each system instantiates them with its own module, struct and thread
+    names, workload rhythm and window sizes, and adds bespoke bugs where
+    the shape does not fit. *)
+
+(** Configuration for {!check_reuse} (single-variable RWR atomicity): a
+    checker validates a shared pointer, spends a data-dependent while in
+    the middle, then re-reads and dereferences; a mutator periodically
+    swaps the pointee with a transient null window. *)
+type check_reuse = {
+  system : string;
+  struct_name : string;
+  global_name : string;
+  mutator_name : string;
+  checker_name : string;
+  rotations : int;
+  rotate_gap_ns : int;  (** mutator period *)
+  swap_gap_ns : int;  (** width of the null window *)
+  poll_ns : int;  (** checker period *)
+  long_ns : int;  (** vulnerable middle section, slow path *)
+  short_ns : int;  (** vulnerable middle section, fast path *)
+  long_one_in : int;  (** slow path probability = 1/long_one_in *)
+  cold_seed : int;
+  cold_functions : int;
+}
+
+val check_reuse : check_reuse -> Bug.built
+
+(** Configuration for {!publish_clear_use} (WWR atomicity): a worker
+    publishes an object into a shared slot, works for a data-dependent
+    while, then reads the slot back and dereferences; a sweeper
+    occasionally clears the slot without checking ownership. *)
+type publish_clear_use = {
+  system : string;
+  struct_name : string;
+  global_name : string;
+  worker_name : string;
+  sweeper_name : string;
+  iterations : int;
+  work_gap_ns : int;  (** worker period *)
+  sweep_gap_ns : int;  (** sweeper period *)
+  sweep_one_in : int;
+  long_ns : int;
+  short_ns : int;
+  long_one_in : int;
+  cold_seed : int;
+  cold_functions : int;
+}
+
+val publish_clear_use : publish_clear_use -> Bug.built
+
+(** Configuration for {!two_lock_deadlock}: thread A nests lock1 before
+    lock2 on every iteration; thread B occasionally nests them the other
+    way.  Both locks are module globals named by the caller. *)
+type two_lock_deadlock = {
+  system : string;
+  lock1 : string;
+  lock2 : string;
+  counter1 : string;  (** shared counter guarded by the pair, thread A *)
+  counter2 : string;  (** shared counter touched by thread B *)
+  thread_a : string;
+  thread_b : string;
+  iters_a : int;
+  iters_b : int;
+  gap_a_ns : int;
+  gap_b_ns : int;
+  hold_a_ns : int;  (** time A holds lock1 before wanting lock2 *)
+  hold_b_ns : int;
+  b_one_in : int;  (** probability B runs its nested section *)
+  cold_seed : int;
+  cold_functions : int;
+}
+
+val two_lock_deadlock : two_lock_deadlock -> Bug.built
+
+(** Configuration for {!teardown_order} (WR order violation): a worker
+    loops over items then runs a cleanup path that re-reads a shared
+    pointer; a teardown thread retires the pointee after a fixed grace
+    period instead of joining.  [`Null] stores null (crash = null deref);
+    [`Free] frees the object (crash = use-after-free). *)
+type teardown_order = {
+  system : string;
+  struct_name : string;
+  global_name : string;
+  worker_name : string;
+  teardown_name : string;
+  retire : [ `Null | `Free ];
+  items : int;
+  item_gap_ns : int;
+  cleanup_slow_ns : int;
+  cleanup_fast_ns : int;
+  grace_ns : int;  (** teardown delay after the workload completes *)
+  cold_seed : int;
+  cold_functions : int;
+}
+
+val teardown_order : teardown_order -> Bug.built

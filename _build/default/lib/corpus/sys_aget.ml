@@ -1,0 +1,110 @@
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+
+(* aget-1 (order violation, assert-detected): the SIGINT save path
+   detaches the segment table while a worker is mid-download; the worker's
+   own sanity assertion fires on the nulled table. *)
+let build_sigint_save_order () =
+  let m = Lir.Irmod.create "aget" in
+  ignore (Dsl.mutex_struct m);
+  (* Segments = { offset; written } *)
+  ignore (Lir.Irmod.declare_struct m "Segments" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "segments" (T.Ptr (T.Struct "Segments"));
+  let gt_detach = ref (-1) in
+  let gt_read = ref (-1) in
+  B.define m "segment_worker" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let segs = B.load b ~name:"segs" (V.Global "segments") in
+      B.for_ b ~from:0 ~below:(V.i64 13) (fun _ ->
+          Dsl.io_pause b ~ns:210_000;
+          let written = B.gep b ~name:"written" segs 1 in
+          let w = B.load b ~name:"w" written in
+          B.store b ~value:(B.add b w (V.i64 8192)) ~ptr:written);
+      (* Final bookkeeping; a stalling server delays the last recv. *)
+      let stall = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b stall
+        ~then_:(fun () -> Dsl.io_pause b ~ns:820_000)
+        ~else_:(fun () -> Dsl.io_pause b ~ns:60_000);
+      let table = B.load b ~name:"table" (V.Global "segments") in
+      gt_read := B.last_iid b;
+      let ok =
+        B.icmp b Lir.Instr.Ne table (V.Null (T.Ptr (T.Struct "Segments")))
+      in
+      B.assert_true b ok;
+      let off = B.gep b ~name:"off" table 0 in
+      let o = B.load b ~name:"o" off in
+      B.call_void b Lir.Intrinsics.print_i64 [ o ];
+      B.ret_void b);
+  B.define m "sigint_handler" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      (* The user interrupts near the end of the download. *)
+      Dsl.io_pause b ~ns:2_730_000;
+      Dsl.pause b ~ns:340_000;
+      (* BUG: detaches the table for the resume save without stopping the
+         workers first.  The resume file gets the raw pointer word. *)
+      Dsl.probe_global b "segments";
+      B.store b ~value:(V.Null (T.Ptr (T.Struct "Segments")))
+        ~ptr:(V.Global "segments");
+      gt_detach := B.last_iid b;
+      Dsl.checkpoint b;
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let segs = B.malloc b ~name:"segs" (T.Struct "Segments") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b segs 0);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b segs 1);
+      B.store b ~value:segs ~ptr:(V.Global "segments");
+      let t1 = B.spawn b "segment_worker" (V.i64 0) in
+      let t2 = B.spawn b "sigint_handler" (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:701 ~functions:12;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_detach; !gt_read ];
+    delta_pairs = [ (!gt_detach, !gt_read) ];
+  }
+
+let build_progress_atomicity () =
+  Scenario.publish_clear_use
+    {
+      Scenario.system = "aget";
+      struct_name = "Progress";
+      global_name = "progress_slot";
+      worker_name = "segment_worker";
+      sweeper_name = "progress_reporter";
+      iterations = 10;
+      work_gap_ns = 390_000;
+      sweep_gap_ns = 470_000;
+      sweep_one_in = 3;
+      long_ns = 200_000;
+      short_ns = 15_000;
+      long_one_in = 5;
+      cold_seed = 702;
+      cold_functions = 12;
+    }
+
+let mk id kind description delta build =
+  {
+    Bug.id;
+    system = "aget";
+    tracker_id = "N/A";
+    kind;
+    description;
+    java = false;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "aget-1" Bug.Order_violation
+      "SIGINT resume-save detaches the segment table while a worker's \
+       final bookkeeping still reads it (assertion-detected)"
+      350.0 build_sigint_save_order;
+    mk "aget-2" Bug.Atomicity_violation
+      "worker publishes its progress record and re-reads it; the \
+       reporter clears the slot in between"
+      200.0 build_progress_atomicity;
+  ]

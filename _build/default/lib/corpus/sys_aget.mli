@@ -1,0 +1,6 @@
+(** Model of aget (842 LOC): a multi-connection download accelerator with
+    per-segment worker threads, a progress reporter, and resume-state
+    saving on SIGINT.  Two corpus bugs, one of which fails through an
+    assertion (exercising the non-crash fail-stop path of §7). *)
+
+val bugs : Bug.t list

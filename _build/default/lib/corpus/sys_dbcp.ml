@@ -1,0 +1,110 @@
+let deadlock_evictor () =
+  Scenario.two_lock_deadlock
+    {
+      Scenario.system = "dbcp";
+      lock1 = "pool_lock";
+      lock2 = "evictor_lock";
+      counter1 = "borrowed";
+      counter2 = "evicted";
+      thread_a = "borrower";
+      thread_b = "evictor";
+      iters_a = 9;
+      iters_b = 6;
+      gap_a_ns = 350_000;
+      gap_b_ns = 560_000;
+      hold_a_ns = 330_000;
+      hold_b_ns = 286_000;
+      b_one_in = 3;
+      cold_seed = 1101;
+      cold_functions = 40;
+    }
+
+let deadlock_factory () =
+  Scenario.two_lock_deadlock
+    {
+      Scenario.system = "dbcp";
+      lock1 = "factory_lock";
+      lock2 = "pool_lock2";
+      counter1 = "created";
+      counter2 = "pooled";
+      thread_a = "connection_creator";
+      thread_b = "pool_maintainer";
+      iters_a = 7;
+      iters_b = 5;
+      gap_a_ns = 700_000;
+      gap_b_ns = 1_150_000;
+      hold_a_ns = 748_000;
+      hold_b_ns = 616_000;
+      b_one_in = 3;
+      cold_seed = 1102;
+      cold_functions = 40;
+    }
+
+let order_pool_close () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "dbcp";
+      struct_name = "IdleConns";
+      global_name = "idle_list";
+      worker_name = "returner";
+      teardown_name = "pool_closer";
+      retire = `Null;
+      items = 11;
+      item_gap_ns = 270_000;
+      cleanup_slow_ns = 930_000;
+      cleanup_fast_ns = 75_000;
+      grace_ns = 450_000;
+      cold_seed = 1103;
+      cold_functions = 40;
+    }
+
+let atomicity_borrow () =
+  Scenario.publish_clear_use
+    {
+      Scenario.system = "dbcp";
+      struct_name = "PooledConn";
+      global_name = "checkout_slot";
+      worker_name = "borrower";
+      sweeper_name = "abandoned_remover";
+      iterations = 10;
+      work_gap_ns = 440_000;
+      sweep_gap_ns = 610_000;
+      sweep_one_in = 3;
+      long_ns = 220_000;
+      short_ns = 17_000;
+      long_one_in = 5;
+      cold_seed = 1104;
+      cold_functions = 40;
+    }
+
+let mk id tracker kind description delta build =
+  {
+    Bug.id;
+    system = "dbcp";
+    tracker_id = tracker;
+    kind;
+    description;
+    java = true;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "dbcp-1" "44" Bug.Deadlock
+      "borrow nests pool then evictor locks; the evictor nests them the \
+       other way"
+      140.0 deadlock_evictor;
+    mk "dbcp-2" "N/A" Bug.Deadlock
+      "connection creation nests factory then pool locks; maintenance \
+       nests them the other way"
+      330.0 deadlock_factory;
+    mk "dbcp-3" "N/A" Bug.Order_violation
+      "pool close nulls the idle list while a return is in flight"
+      380.0 order_pool_close;
+    mk "dbcp-4" "N/A" Bug.Atomicity_violation
+      "borrower publishes the checked-out connection and re-reads the \
+       slot; the abandoned-connection remover clears it in between"
+      240.0 atomicity_borrow;
+  ]

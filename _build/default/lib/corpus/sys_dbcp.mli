@@ -1,0 +1,5 @@
+(** Model of Apache Commons DBCP (JDBC connection pool): the pool, its
+    evictor thread, and the connection factory.  Four corpus bugs
+    (hypothesis study only). *)
+
+val bugs : Bug.t list

@@ -1,0 +1,107 @@
+let deadlock_latches () =
+  Scenario.two_lock_deadlock
+    {
+      Scenario.system = "derby";
+      lock1 = "container_lock";
+      lock2 = "page_latch";
+      counter1 = "rows_fetched";
+      counter2 = "pages_pinned";
+      thread_a = "row_scanner";
+      thread_b = "page_splitter";
+      iters_a = 7;
+      iters_b = 5;
+      gap_a_ns = 640_000;
+      gap_b_ns = 1_050_000;
+      hold_a_ns = 682_000;
+      hold_b_ns = 594_000;
+      b_one_in = 3;
+      cold_seed = 901;
+      cold_functions = 70;
+    }
+
+let order_context_close () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "derby";
+      struct_name = "ConnContext";
+      global_name = "lcc";
+      worker_name = "statement_executor";
+      teardown_name = "connection_closer";
+      retire = `Free;
+      items = 10;
+      item_gap_ns = 360_000;
+      cleanup_slow_ns = 1_150_000;
+      cleanup_fast_ns = 90_000;
+      grace_ns = 560_000;
+      cold_seed = 902;
+      cold_functions = 70;
+    }
+
+let order_plan_invalidate () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "derby";
+      struct_name = "StmtPlan";
+      global_name = "prepared_plan";
+      worker_name = "plan_executor";
+      teardown_name = "ddl_invalidator";
+      retire = `Null;
+      items = 12;
+      item_gap_ns = 230_000;
+      cleanup_slow_ns = 870_000;
+      cleanup_fast_ns = 60_000;
+      grace_ns = 410_000;
+      cold_seed = 903;
+      cold_functions = 70;
+    }
+
+let atomicity_bufpool () =
+  Scenario.check_reuse
+    {
+      Scenario.system = "derby";
+      struct_name = "BufSlot";
+      global_name = "buffer_pool_head";
+      mutator_name = "checkpoint_writer";
+      checker_name = "page_reader";
+      rotations = 9;
+      rotate_gap_ns = 1_300_000;
+      swap_gap_ns = 350_000;
+      poll_ns = 560_000;
+      long_ns = 430_000;
+      short_ns = 30_000;
+      long_one_in = 4;
+      cold_seed = 904;
+      cold_functions = 70;
+    }
+
+let mk id tracker kind description delta build =
+  {
+    Bug.id;
+    system = "derby";
+    tracker_id = tracker;
+    kind;
+    description;
+    java = true;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "derby-1" "2861" Bug.Deadlock
+      "row scan nests container lock then page latch; page split nests \
+       them the other way"
+      300.0 deadlock_latches;
+    mk "derby-2" "3786" Bug.Order_violation
+      "connection close frees the language context while a statement \
+       still executes against it"
+      500.0 order_context_close;
+    mk "derby-3" "N/A" Bug.Order_violation
+      "DDL invalidation nulls the prepared plan under a running executor"
+      350.0 order_plan_invalidate;
+    mk "derby-4" "N/A" Bug.Atomicity_violation
+      "page reader checks then re-reads the buffer-pool slot while the \
+       checkpoint writer recycles it"
+      560.0 atomicity_bufpool;
+  ]

@@ -1,0 +1,5 @@
+(** Model of Apache Derby (pure-Java RDBMS): page latches, a buffer pool,
+    connection contexts and statement plans.  Four corpus bugs
+    (hypothesis study only). *)
+
+val bugs : Bug.t list

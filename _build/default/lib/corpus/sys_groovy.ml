@@ -1,0 +1,86 @@
+let deadlock_metaclass () =
+  Scenario.two_lock_deadlock
+    {
+      Scenario.system = "groovy";
+      lock1 = "registry_lock";
+      lock2 = "class_init_lock";
+      counter1 = "metaclasses";
+      counter2 = "initialized_classes";
+      thread_a = "script_runner";
+      thread_b = "class_initializer";
+      iters_a = 8;
+      iters_b = 6;
+      gap_a_ns = 420_000;
+      gap_b_ns = 680_000;
+      hold_a_ns = 440_000;
+      hold_b_ns = 352_000;
+      b_one_in = 3;
+      cold_seed = 1001;
+      cold_functions = 45;
+    }
+
+let order_metaclass_swap () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "groovy";
+      struct_name = "MetaClass";
+      global_name = "instance_metaclass";
+      worker_name = "invoker";
+      teardown_name = "metaclass_replacer";
+      retire = `Null;
+      items = 13;
+      item_gap_ns = 190_000;
+      cleanup_slow_ns = 760_000;
+      cleanup_fast_ns = 55_000;
+      grace_ns = 360_000;
+      cold_seed = 1002;
+      cold_functions = 45;
+    }
+
+let atomicity_callsite () =
+  Scenario.check_reuse
+    {
+      Scenario.system = "groovy";
+      struct_name = "CallSite";
+      global_name = "cached_callsite";
+      mutator_name = "cache_invalidator";
+      checker_name = "dispatcher";
+      rotations = 11;
+      rotate_gap_ns = 470_000;
+      swap_gap_ns = 162_500;
+      poll_ns = 210_000;
+      long_ns = 150_000;
+      short_ns = 12_000;
+      long_one_in = 5;
+      cold_seed = 1003;
+      cold_functions = 45;
+    }
+
+let mk id kind description delta build =
+  {
+    Bug.id;
+    system = "groovy";
+    tracker_id = "N/A";
+    kind;
+    description;
+    java = true;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "groovy-1" Bug.Deadlock
+      "script dispatch nests registry then class-init locks; static \
+       initialization nests them the other way"
+      190.0 deadlock_metaclass;
+    mk "groovy-2" Bug.Order_violation
+      "metaclass replacement nulls the per-instance metaclass under a \
+       running invoker"
+      300.0 order_metaclass_swap;
+    mk "groovy-3" Bug.Atomicity_violation
+      "dispatcher checks then reuses the call-site cache entry while the \
+       invalidator swaps it"
+      150.0 atomicity_callsite;
+  ]

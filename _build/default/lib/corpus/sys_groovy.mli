@@ -1,0 +1,4 @@
+(** Model of Apache Groovy's runtime: the metaclass registry and call-site
+    method cache.  Three corpus bugs (hypothesis study only). *)
+
+val bugs : Bug.t list

@@ -1,0 +1,388 @@
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+
+(* Worker-MPM scaffolding: an accept queue guarded by queue_lock, a
+   scoreboard guarded by sb_lock, and a shared server-config pointer that
+   graceful restart swaps. *)
+
+let declare_server m =
+  let mutex = Dsl.mutex_struct m in
+  (* Scoreboard = { busy; served; lock } *)
+  ignore (Lir.Irmod.declare_struct m "Scoreboard" [ T.I64; T.I64; mutex ]);
+  (* Config = { timeout; keepalive } *)
+  ignore (Lir.Irmod.declare_struct m "Config" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "scoreboard" (T.Ptr (T.Struct "Scoreboard"));
+  Lir.Irmod.declare_global m "config" (T.Ptr (T.Struct "Config"));
+  Lir.Irmod.declare_global m "queue_lock" (T.Struct "Mutex");
+  Lir.Irmod.declare_global m "accepted" T.I64;
+  Lir.Irmod.declare_global m "shutting_down" T.I64
+
+let sb_busy = 0
+let sb_served = 1
+let sb_lock = 2
+
+let define_bootstrap m ~threads =
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let sb = B.malloc b ~name:"sb" (T.Struct "Scoreboard") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b sb sb_busy);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b sb sb_served);
+      B.call_void b Lir.Intrinsics.mutex_init [ B.gep b sb sb_lock ];
+      B.store b ~value:sb ~ptr:(V.Global "scoreboard");
+      let conf = B.malloc b ~name:"conf" (T.Struct "Config") in
+      B.store b ~value:(V.i64 30) ~ptr:(B.gep b conf 0);
+      B.store b ~value:(V.i64 5) ~ptr:(B.gep b conf 1);
+      B.store b ~value:conf ~ptr:(V.Global "config");
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global "queue_lock" ];
+      let tids = List.map (fun fn -> B.spawn b fn (V.i64 0)) threads in
+      List.iter (fun t -> B.join b t) tids;
+      B.ret_void b)
+
+(* httpd-1 (deadlock): a worker serving a request holds queue_lock and
+   updates the scoreboard; the graceful-restart path holds sb_lock and
+   drains the accept queue. *)
+let build_graceful_deadlock () =
+  let m = Lir.Irmod.create "httpd" in
+  declare_server m;
+  let gt = Array.make 4 (-1) in
+  B.define m "worker" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let sb = B.load b ~name:"sb" (V.Global "scoreboard") in
+      let slock = B.gep b ~name:"slock" sb sb_lock in
+      B.for_ b ~from:0 ~below:(V.i64 9) (fun _ ->
+          Dsl.io_pause b ~ns:290_000;
+          B.mutex_lock b (V.Global "queue_lock");
+          gt.(0) <- B.last_iid b;
+          let acc = B.load b ~name:"acc" (V.Global "accepted") in
+          B.store b ~value:(B.add b acc (V.i64 1)) ~ptr:(V.Global "accepted");
+          Dsl.pause b ~ns:260_000;
+          B.mutex_lock b slock;
+          gt.(1) <- B.last_iid b;
+          let served = B.gep b ~name:"served" sb sb_served in
+          let s = B.load b ~name:"s" served in
+          B.store b ~value:(B.add b s (V.i64 1)) ~ptr:served;
+          B.mutex_unlock b slock;
+          B.mutex_unlock b (V.Global "queue_lock"));
+      B.ret_void b);
+  B.define m "graceful_restart" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let sb = B.load b ~name:"sb" (V.Global "scoreboard") in
+      let slock = B.gep b ~name:"slock" sb sb_lock in
+      B.for_ b ~from:0 ~below:(V.i64 5) (fun _ ->
+          Dsl.io_pause b ~ns:520_000;
+          Dsl.probe_global b "queue_lock";
+          Dsl.probe_word b slock;
+          let restart = B.icmp b Lir.Instr.Eq (B.rand b ~bound:3) (V.i64 0) in
+          B.if_ b restart
+            ~then_:(fun () ->
+              B.mutex_lock b slock;
+              gt.(2) <- B.last_iid b;
+              (* BUG: drains the accept queue while holding sb_lock. *)
+              Dsl.pause b ~ns:220_000;
+              B.mutex_lock b (V.Global "queue_lock");
+              gt.(3) <- B.last_iid b;
+              B.store b ~value:(V.i64 0) ~ptr:(V.Global "accepted");
+              B.mutex_unlock b (V.Global "queue_lock");
+              B.mutex_unlock b slock)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  define_bootstrap m ~threads:[ "worker"; "graceful_restart" ];
+  Dsl.add_cold_code m ~seed:401 ~functions:90;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ gt.(0); gt.(1); gt.(2); gt.(3) ];
+    delta_pairs = [ (gt.(1), gt.(3)) ];
+  }
+
+(* httpd-2 (deadlock): mod_ssl's session-cache lock nests against the
+   scoreboard lock in opposite orders on the handshake and the
+   cache-expiry paths. *)
+let build_ssl_cache_deadlock () =
+  let m = Lir.Irmod.create "httpd" in
+  declare_server m;
+  Lir.Irmod.declare_global m "ssl_cache_lock" (T.Struct "Mutex");
+  Lir.Irmod.declare_global m "sessions" T.I64;
+  let gt = Array.make 4 (-1) in
+  B.define m "handshake" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let sb = B.load b ~name:"sb" (V.Global "scoreboard") in
+      let slock = B.gep b ~name:"slock" sb sb_lock in
+      B.for_ b ~from:0 ~below:(V.i64 8) (fun _ ->
+          Dsl.io_pause b ~ns:430_000;
+          B.mutex_lock b (V.Global "ssl_cache_lock");
+          gt.(0) <- B.last_iid b;
+          let sess = B.load b ~name:"sess" (V.Global "sessions") in
+          B.store b ~value:(B.add b sess (V.i64 1)) ~ptr:(V.Global "sessions");
+          Dsl.pause b ~ns:400_000;
+          B.mutex_lock b slock;
+          gt.(1) <- B.last_iid b;
+          let busy = B.gep b ~name:"busy" sb sb_busy in
+          let v = B.load b ~name:"v" busy in
+          B.store b ~value:(B.add b v (V.i64 1)) ~ptr:busy;
+          B.mutex_unlock b slock;
+          B.mutex_unlock b (V.Global "ssl_cache_lock"));
+      B.ret_void b);
+  B.define m "cache_expiry" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let sb = B.load b ~name:"sb" (V.Global "scoreboard") in
+      let slock = B.gep b ~name:"slock" sb sb_lock in
+      B.for_ b ~from:0 ~below:(V.i64 6) (fun _ ->
+          Dsl.io_pause b ~ns:660_000;
+          let due = B.icmp b Lir.Instr.Eq (B.rand b ~bound:3) (V.i64 0) in
+          B.if_ b due
+            ~then_:(fun () ->
+              B.mutex_lock b slock;
+              gt.(2) <- B.last_iid b;
+              Dsl.pause b ~ns:340_000;
+              B.mutex_lock b (V.Global "ssl_cache_lock");
+              gt.(3) <- B.last_iid b;
+              B.store b ~value:(V.i64 0) ~ptr:(V.Global "sessions");
+              B.mutex_unlock b (V.Global "ssl_cache_lock");
+              B.mutex_unlock b slock)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  define_bootstrap m ~threads:[ "handshake"; "cache_expiry" ];
+  Dsl.add_cold_code m ~seed:402 ~functions:90;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ gt.(0); gt.(1); gt.(2); gt.(3) ];
+    delta_pairs = [ (gt.(1), gt.(3)) ];
+  }
+
+(* httpd-3 (order violation): graceful restart nulls the old config while
+   a worker still resolves its request timeout through it. *)
+let build_config_swap_order () =
+  let m = Lir.Irmod.create "httpd" in
+  declare_server m;
+  let gt_write = ref (-1) in
+  let gt_read = ref (-1) in
+  B.define m "worker" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 11) (fun _ ->
+          Dsl.io_pause b ~ns:240_000;
+          let sb = B.load b ~name:"sb" (V.Global "scoreboard") in
+          let served = B.gep b ~name:"served" sb sb_served in
+          let s = B.load b ~name:"s" served in
+          B.store b ~value:(B.add b s (V.i64 1)) ~ptr:served);
+      (* Lingering close consults the (possibly swapped-out) config; a
+         slow client stretches the window. *)
+      let lingering = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b lingering
+        ~then_:(fun () -> Dsl.io_pause b ~ns:1_100_000)
+        ~else_:(fun () -> Dsl.io_pause b ~ns:90_000);
+      let conf = B.load b ~name:"conf" (V.Global "config") in
+      gt_read := B.last_iid b;
+      let timeout = B.gep b ~name:"timeout" conf 0 in
+      let t = B.load b ~name:"t" timeout in
+      B.call_void b Lir.Intrinsics.print_i64 [ t ];
+      B.ret_void b);
+  B.define m "restarter" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      Dsl.io_pause b ~ns:2_800_000;
+      Dsl.pause b ~ns:320_000;
+      (* BUG: old config retired before workers finished lingering
+         closes. *)
+      Dsl.probe_global b "config";
+      B.store b ~value:(V.Null (T.Ptr (T.Struct "Config"))) ~ptr:(V.Global "config");
+      gt_write := B.last_iid b;
+      Dsl.checkpoint b;
+      B.ret_void b);
+  define_bootstrap m ~threads:[ "worker"; "restarter" ];
+  Dsl.add_cold_code m ~seed:403 ~functions:90;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_write; !gt_read ];
+    delta_pairs = [ (!gt_write, !gt_read) ];
+  }
+
+(* httpd-4 (order violation, use-after-free): shutdown frees the
+   scoreboard while a worker posts its final status. *)
+let build_scoreboard_uaf () =
+  let m = Lir.Irmod.create "httpd" in
+  declare_server m;
+  let gt_free = ref (-1) in
+  let gt_write = ref (-1) in
+  B.define m "worker" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let sb = B.load b ~name:"sb" (V.Global "scoreboard") in
+      B.for_ b ~from:0 ~below:(V.i64 10) (fun _ ->
+          Dsl.io_pause b ~ns:310_000;
+          let served = B.gep b ~name:"served" sb sb_served in
+          let s = B.load b ~name:"s" served in
+          B.store b ~value:(B.add b s (V.i64 1)) ~ptr:served);
+      (* Final status post after access-log flush. *)
+      let slow_log = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b slow_log
+        ~then_:(fun () -> Dsl.io_pause b ~ns:1_000_000)
+        ~else_:(fun () -> Dsl.io_pause b ~ns:70_000);
+      let busy = B.gep b ~name:"busy" sb sb_busy in
+      B.store b ~value:(V.i64 0) ~ptr:busy;
+      gt_write := B.last_iid b;
+      Dsl.checkpoint b;
+      B.ret_void b);
+  B.define m "shutdown" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      Dsl.io_pause b ~ns:3_300_000;
+      Dsl.pause b ~ns:300_000;
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "shutting_down");
+      let sb = B.load b ~name:"sb" (V.Global "scoreboard") in
+      (* BUG: releases the scoreboard without joining the workers. *)
+      B.call_void b Lir.Intrinsics.free [ B.cast b sb (T.Ptr T.I8) ];
+      gt_free := B.last_iid b;
+      Dsl.checkpoint b;
+      B.ret_void b);
+  define_bootstrap m ~threads:[ "worker"; "shutdown" ];
+  Dsl.add_cold_code m ~seed:404 ~functions:90;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_free; !gt_write ];
+    delta_pairs = [ (!gt_free, !gt_write) ];
+  }
+
+(* httpd-5 (atomicity, RWR): keepalive connection record check-then-reuse
+   against the reaper's recycle window. *)
+let build_keepalive_atomicity () =
+  Scenario.check_reuse
+    {
+      Scenario.system = "httpd";
+      struct_name = "ConnRec";
+      global_name = "keptalive";
+      mutator_name = "conn_reaper";
+      checker_name = "keepalive_filter";
+      rotations = 11;
+      rotate_gap_ns = 480_000;
+      swap_gap_ns = 150_000;
+      poll_ns = 260_000;
+      long_ns = 180_000;
+      short_ns = 15_000;
+      long_one_in = 5;
+      cold_seed = 405;
+      cold_functions = 90;
+    }
+
+(* httpd-6 (atomicity, WWR): a worker publishes its request pool, then
+   re-reads it after running filters; the pool recycler clears the slot in
+   between. *)
+let build_pool_slot_atomicity () =
+  let m = Lir.Irmod.create "httpd" in
+  ignore (Dsl.mutex_struct m);
+  ignore (Lir.Irmod.declare_struct m "Pool" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "active_pool" (T.Ptr (T.Struct "Pool"));
+  Lir.Irmod.declare_global m "worker_done" T.I64;
+  let gt_publish = ref (-1) in
+  let gt_clear = ref (-1) in
+  let gt_use = ref (-1) in
+  B.define m "request_worker" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 10) (fun i ->
+          Dsl.io_pause b ~ns:420_000;
+          let pool = B.malloc b ~name:"pool" (T.Struct "Pool") in
+          B.store b ~value:i ~ptr:(B.gep b pool 0);
+          B.store b ~value:(V.i64 0) ~ptr:(B.gep b pool 1);
+          B.store b ~value:pool ~ptr:(V.Global "active_pool");
+          gt_publish := B.last_iid b;
+          Dsl.checkpoint b;
+          let heavy = B.icmp b Lir.Instr.Eq (B.rand b ~bound:5) (V.i64 0) in
+          B.if_ b heavy
+            ~then_:(fun () -> Dsl.pause b ~ns:210_000)
+            ~else_:(fun () -> Dsl.pause b ~ns:16_000);
+          let current = B.load b ~name:"current" (V.Global "active_pool") in
+          gt_use := B.last_iid b;
+          let bytes = B.gep b ~name:"bytes" current 1 in
+          let v = B.load b ~name:"v" bytes in
+          B.store b ~value:(B.add b v (V.i64 512)) ~ptr:bytes);
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "worker_done");
+      B.ret_void b);
+  B.define m "pool_recycler" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.while_ b
+        ~cond:(fun () ->
+          let s = B.load b ~name:"s" (V.Global "worker_done") in
+          B.icmp b Lir.Instr.Eq s (V.i64 0))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:560_000;
+          let sweep = B.icmp b Lir.Instr.Eq (B.rand b ~bound:3) (V.i64 0) in
+          B.if_ b sweep
+            ~then_:(fun () ->
+              (* BUG: recycles the slot without checking the owner. *)
+              B.store b ~value:(V.Null (T.Ptr (T.Struct "Pool")))
+                ~ptr:(V.Global "active_pool");
+              gt_clear := B.last_iid b;
+              Dsl.checkpoint b)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let pool = B.malloc b ~name:"pool" (T.Struct "Pool") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b pool 0);
+      B.store b ~value:pool ~ptr:(V.Global "active_pool");
+      let t1 = B.spawn b "request_worker" (V.i64 0) in
+      let t2 = B.spawn b "pool_recycler" (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:406 ~functions:90;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_publish; !gt_clear; !gt_use ];
+    delta_pairs = [ (!gt_publish, !gt_clear); (!gt_clear, !gt_use) ];
+  }
+
+(* httpd-7 (atomicity, RWR): mod_status samples the stats block pointer
+   twice around rendering while the collector swaps it. *)
+let build_status_atomicity () =
+  Scenario.check_reuse
+    {
+      Scenario.system = "httpd";
+      struct_name = "StatsBlock";
+      global_name = "stats";
+      mutator_name = "stats_collector";
+      checker_name = "mod_status";
+      rotations = 9;
+      rotate_gap_ns = 740_000;
+      swap_gap_ns = 225_000;
+      poll_ns = 380_000;
+      long_ns = 260_000;
+      short_ns = 20_000;
+      long_one_in = 4;
+      cold_seed = 407;
+      cold_functions = 90;
+    }
+
+let mk id tracker kind description delta build =
+  {
+    Bug.id;
+    system = "httpd";
+    tracker_id = tracker;
+    kind;
+    description;
+    java = false;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "httpd-1" "42031" Bug.Deadlock
+      "worker nests queue_lock then sb_lock; graceful restart nests them \
+       the other way"
+      120.0 build_graceful_deadlock;
+    mk "httpd-2" "N/A" Bug.Deadlock
+      "mod_ssl session-cache lock vs scoreboard lock in opposite orders \
+       on handshake and expiry paths"
+      190.0 build_ssl_cache_deadlock;
+    mk "httpd-3" "25520" Bug.Order_violation
+      "graceful restart retires the config while a lingering close still \
+       reads the timeout through it"
+      350.0 build_config_swap_order;
+    mk "httpd-4" "21287" Bug.Order_violation
+      "shutdown frees the scoreboard before workers post final status"
+      320.0 build_scoreboard_uaf;
+    mk "httpd-5" "N/A" Bug.Atomicity_violation
+      "keepalive filter checks the connection record then reuses it; the \
+       reaper recycles it in between"
+      180.0 build_keepalive_atomicity;
+    mk "httpd-6" "N/A" Bug.Atomicity_violation
+      "worker publishes its request pool and re-reads it after filters; \
+       the recycler clears the slot in between"
+      210.0 build_pool_slot_atomicity;
+    mk "httpd-7" "45605" Bug.Atomicity_violation
+      "mod_status samples the stats pointer around rendering while the \
+       collector swaps it"
+      260.0 build_status_atomicity;
+  ]

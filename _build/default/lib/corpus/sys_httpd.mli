@@ -1,0 +1,5 @@
+(** Model of Apache httpd (~223 KLOC): a worker-MPM server with a
+    listener, worker threads, a scoreboard, a shared configuration
+    pointer, and graceful-restart machinery.  Seven corpus bugs. *)
+
+val bugs : Bug.t list

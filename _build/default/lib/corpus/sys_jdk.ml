@@ -1,0 +1,156 @@
+let deadlock_classloader () =
+  Scenario.two_lock_deadlock
+    {
+      Scenario.system = "jdk";
+      lock1 = "classloader_lock";
+      lock2 = "resolution_lock";
+      counter1 = "classes_loaded";
+      counter2 = "symbols_resolved";
+      thread_a = "app_loader";
+      thread_b = "reflection_resolver";
+      iters_a = 8;
+      iters_b = 6;
+      gap_a_ns = 520_000;
+      gap_b_ns = 760_000;
+      hold_a_ns = 572_000;
+      hold_b_ns = 462_000;
+      b_one_in = 3;
+      cold_seed = 801;
+      cold_functions = 80;
+    }
+
+let deadlock_timer () =
+  Scenario.two_lock_deadlock
+    {
+      Scenario.system = "jdk";
+      lock1 = "timer_queue_lock";
+      lock2 = "task_cancel_lock";
+      counter1 = "tasks_fired";
+      counter2 = "tasks_cancelled";
+      thread_a = "timer_thread";
+      thread_b = "canceller";
+      iters_a = 10;
+      iters_b = 6;
+      gap_a_ns = 300_000;
+      gap_b_ns = 540_000;
+      hold_a_ns = 264_000;
+      hold_b_ns = 220_000;
+      b_one_in = 3;
+      cold_seed = 802;
+      cold_functions = 80;
+    }
+
+let order_timer_cancel () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "jdk";
+      struct_name = "TimerTask";
+      global_name = "next_task";
+      worker_name = "timer_scheduler";
+      teardown_name = "cancel_all";
+      retire = `Null;
+      items = 12;
+      item_gap_ns = 280_000;
+      cleanup_slow_ns = 950_000;
+      cleanup_fast_ns = 70_000;
+      grace_ns = 430_000;
+      cold_seed = 803;
+      cold_functions = 80;
+    }
+
+let order_handler_close () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "jdk";
+      struct_name = "LogHandler";
+      global_name = "root_handler";
+      worker_name = "logging_thread";
+      teardown_name = "handler_closer";
+      retire = `Free;
+      items = 14;
+      item_gap_ns = 150_000;
+      cleanup_slow_ns = 640_000;
+      cleanup_fast_ns = 40_000;
+      grace_ns = 290_000;
+      cold_seed = 804;
+      cold_functions = 80;
+    }
+
+let atomicity_refcache () =
+  Scenario.check_reuse
+    {
+      Scenario.system = "jdk";
+      struct_name = "CachedRef";
+      global_name = "soft_cache";
+      mutator_name = "reference_handler";
+      checker_name = "cache_client";
+      rotations = 10;
+      rotate_gap_ns = 900_000;
+      swap_gap_ns = 275_000;
+      poll_ns = 420_000;
+      long_ns = 300_000;
+      short_ns = 22_000;
+      long_one_in = 4;
+      cold_seed = 805;
+      cold_functions = 80;
+    }
+
+let atomicity_task_slot () =
+  Scenario.publish_clear_use
+    {
+      Scenario.system = "jdk";
+      struct_name = "Runnable";
+      global_name = "queued_task";
+      worker_name = "executor_worker";
+      sweeper_name = "purge_thread";
+      iterations = 10;
+      work_gap_ns = 500_000;
+      sweep_gap_ns = 630_000;
+      sweep_one_in = 3;
+      long_ns = 240_000;
+      short_ns = 20_000;
+      long_one_in = 5;
+      cold_seed = 806;
+      cold_functions = 80;
+    }
+
+let mk id tracker kind description delta build =
+  {
+    Bug.id;
+    system = "jdk";
+    tracker_id = tracker;
+    kind;
+    description;
+    java = true;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "jdk-1" "4670071" Bug.Deadlock
+      "class loading nests the loader lock then the resolution lock; \
+       reflection resolves in the opposite order"
+      260.0 deadlock_classloader;
+    mk "jdk-2" "6453355" Bug.Deadlock
+      "Timer firing nests queue then cancel locks; TimerTask.cancel nests \
+       them the other way"
+      110.0 deadlock_timer;
+    mk "jdk-3" "N/A" Bug.Order_violation
+      "Timer.cancel clears the next-task slot while the scheduler still \
+       dereferences it"
+      380.0 order_timer_cancel;
+    mk "jdk-4" "N/A" Bug.Order_violation
+      "handler close releases the log handler while a logging thread \
+       still writes through it"
+      260.0 order_handler_close;
+    mk "jdk-5" "N/A" Bug.Atomicity_violation
+      "client checks the soft-reference cache then re-reads it; the \
+       reference handler clears it in between"
+      400.0 atomicity_refcache;
+    mk "jdk-6" "N/A" Bug.Atomicity_violation
+      "executor publishes a task and re-reads the slot after setup; the \
+       purge thread clears it in between"
+      280.0 atomicity_task_slot;
+  ]

@@ -1,0 +1,5 @@
+(** Model of the JDK runtime libraries: class loading, [java.util.Timer],
+    logging, and reference caches.  Six corpus bugs (hypothesis study
+    only, like all Java systems — §3.2). *)
+
+val bugs : Bug.t list

@@ -1,0 +1,86 @@
+let deadlock_appender () =
+  Scenario.two_lock_deadlock
+    {
+      Scenario.system = "log4j";
+      lock1 = "hierarchy_lock";
+      lock2 = "appender_lock";
+      counter1 = "events_logged";
+      counter2 = "appenders_flushed";
+      thread_a = "logging_caller";
+      thread_b = "config_reloader";
+      iters_a = 10;
+      iters_b = 6;
+      gap_a_ns = 260_000;
+      gap_b_ns = 480_000;
+      hold_a_ns = 242_000;
+      hold_b_ns = 209_000;
+      b_one_in = 3;
+      cold_seed = 1201;
+      cold_functions = 35;
+    }
+
+let order_remove_appender () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "log4j";
+      struct_name = "Appender";
+      global_name = "console_appender";
+      worker_name = "async_logger";
+      teardown_name = "appender_remover";
+      retire = `Null;
+      items = 14;
+      item_gap_ns = 160_000;
+      cleanup_slow_ns = 690_000;
+      cleanup_fast_ns = 45_000;
+      grace_ns = 310_000;
+      cold_seed = 1202;
+      cold_functions = 35;
+    }
+
+let atomicity_level () =
+  Scenario.check_reuse
+    {
+      Scenario.system = "log4j";
+      struct_name = "Level";
+      global_name = "category_level";
+      mutator_name = "level_setter";
+      checker_name = "is_enabled_check";
+      rotations = 12;
+      rotate_gap_ns = 390_000;
+      swap_gap_ns = 137_500;
+      poll_ns = 180_000;
+      long_ns = 130_000;
+      short_ns = 11_000;
+      long_one_in = 5;
+      cold_seed = 1203;
+      cold_functions = 35;
+    }
+
+let mk id tracker kind description delta build =
+  {
+    Bug.id;
+    system = "log4j";
+    tracker_id = tracker;
+    kind;
+    description;
+    java = true;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "log4j-1" "509" Bug.Deadlock
+      "logging nests hierarchy then appender locks; config reload nests \
+       them the other way"
+      100.0 deadlock_appender;
+    mk "log4j-2" "N/A" Bug.Order_violation
+      "removeAppender nulls the appender while the async logger still \
+       calls through it"
+      250.0 order_remove_appender;
+    mk "log4j-3" "N/A" Bug.Atomicity_violation
+      "isEnabledFor checks then re-reads the category level while \
+       setLevel swaps it"
+      130.0 atomicity_level;
+  ]

@@ -1,0 +1,4 @@
+(** Model of Apache Log4j: the logger hierarchy, appender list and
+    category levels.  Three corpus bugs (hypothesis study only). *)
+
+val bugs : Bug.t list

@@ -1,0 +1,61 @@
+let order_reader_close () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "lucene";
+      struct_name = "SegmentReader";
+      global_name = "current_reader";
+      worker_name = "searcher";
+      teardown_name = "reader_closer";
+      retire = `Free;
+      items = 12;
+      item_gap_ns = 320_000;
+      cleanup_slow_ns = 1_250_000;
+      cleanup_fast_ns = 85_000;
+      grace_ns = 590_000;
+      cold_seed = 1301;
+      cold_functions = 55;
+    }
+
+let atomicity_segment_infos () =
+  Scenario.check_reuse
+    {
+      Scenario.system = "lucene";
+      struct_name = "SegmentInfos";
+      global_name = "segment_infos";
+      mutator_name = "merge_scheduler";
+      checker_name = "index_searcher";
+      rotations = 8;
+      rotate_gap_ns = 1_700_000;
+      swap_gap_ns = 450_000;
+      poll_ns = 740_000;
+      long_ns = 520_000;
+      short_ns = 35_000;
+      long_one_in = 4;
+      cold_seed = 1302;
+      cold_functions = 55;
+    }
+
+let mk id kind description delta build =
+  {
+    Bug.id;
+    system = "lucene";
+    tracker_id = "N/A";
+    kind;
+    description;
+    java = true;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "lucene-1" Bug.Order_violation
+      "IndexReader.close frees the segment reader while a search still \
+       scores against it"
+      530.0 order_reader_close;
+    mk "lucene-2" Bug.Atomicity_violation
+      "searcher checks then reuses the SegmentInfos pointer while the \
+       merge scheduler installs a new generation"
+      700.0 atomicity_segment_infos;
+  ]

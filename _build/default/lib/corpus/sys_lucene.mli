@@ -1,0 +1,4 @@
+(** Model of Apache Lucene: segment readers and the merge scheduler.
+    Two corpus bugs (hypothesis study only). *)
+
+val bugs : Bug.t list

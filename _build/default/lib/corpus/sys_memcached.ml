@@ -1,0 +1,86 @@
+let build_lock_order_deadlock () =
+  Scenario.two_lock_deadlock
+    {
+      Scenario.system = "memcached";
+      lock1 = "cache_lock";
+      lock2 = "slabs_lock";
+      counter1 = "stored_items";
+      counter2 = "slab_pages";
+      thread_a = "worker_store";
+      thread_b = "slab_rebalancer";
+      iters_a = 9;
+      iters_b = 6;
+      gap_a_ns = 220_000;
+      gap_b_ns = 390_000;
+      hold_a_ns = 110_000;
+      hold_b_ns = 90_000;
+      b_one_in = 4;
+      cold_seed = 501;
+      cold_functions = 30;
+    }
+
+let build_hash_expand_order () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "memcached";
+      struct_name = "HashTable";
+      global_name = "primary_hashtable";
+      worker_name = "worker_get";
+      teardown_name = "hash_expander";
+      retire = `Null;
+      items = 12;
+      item_gap_ns = 170_000;
+      cleanup_slow_ns = 700_000;
+      cleanup_fast_ns = 50_000;
+      grace_ns = 330_000;
+      cold_seed = 502;
+      cold_functions = 30;
+    }
+
+let build_item_evict_atomicity () =
+  Scenario.check_reuse
+    {
+      Scenario.system = "memcached";
+      struct_name = "Item";
+      global_name = "hot_item";
+      mutator_name = "lru_maintainer";
+      checker_name = "worker_touch";
+      rotations = 10;
+      rotate_gap_ns = 560_000;
+      swap_gap_ns = 175_000;
+      poll_ns = 240_000;
+      long_ns = 170_000;
+      short_ns = 13_000;
+      long_one_in = 5;
+      cold_seed = 503;
+      cold_functions = 30;
+    }
+
+let mk id tracker kind description delta build =
+  {
+    Bug.id;
+    system = "memcached";
+    tracker_id = tracker;
+    kind;
+    description;
+    java = false;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "memcached-1" "N/A" Bug.Deadlock
+      "store path nests cache_lock then slabs_lock; the rebalancer nests \
+       them the other way"
+      90.0 build_lock_order_deadlock;
+    mk "memcached-2" "127" Bug.Order_violation
+      "hash expansion retires the primary table while a get still walks \
+       it"
+      200.0 build_hash_expand_order;
+    mk "memcached-3" "N/A" Bug.Atomicity_violation
+      "worker checks then touches a hot item while the LRU maintainer \
+       evicts it in between"
+      170.0 build_item_evict_atomicity;
+  ]

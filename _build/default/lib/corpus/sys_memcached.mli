@@ -1,0 +1,5 @@
+(** Model of memcached (~9 KLOC): worker threads over a hash table and a
+    slab allocator, with an LRU maintainer and online hash expansion.
+    Three corpus bugs. *)
+
+val bugs : Bug.t list

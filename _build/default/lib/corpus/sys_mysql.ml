@@ -1,0 +1,670 @@
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+
+(* Server scaffolding shared by the MySQL bugs: a table cache protected by
+   LOCK_open, a binlog protected by LOCK_log, and per-connection handler
+   threads that run queries against them. *)
+
+let declare_server m =
+  let mutex = Dsl.mutex_struct m in
+  (* Table = { rows; version; lock } *)
+  ignore (Lir.Irmod.declare_struct m "Table" [ T.I64; T.I64; mutex ]);
+  (* Binlog = { pos; lock } *)
+  ignore (Lir.Irmod.declare_struct m "Binlog" [ T.I64; mutex ]);
+  Lir.Irmod.declare_global m "table" (T.Ptr (T.Struct "Table"));
+  Lir.Irmod.declare_global m "binlog" (T.Ptr (T.Struct "Binlog"));
+  Lir.Irmod.declare_global m "lock_open" (T.Struct "Mutex");
+  Lir.Irmod.declare_global m "queries_served" T.I64
+
+let tbl_rows = 0
+let tbl_version = 1
+let tbl_lock = 2
+let log_pos = 0
+let log_lock = 1
+
+let define_server_main m ~threads =
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let table = B.malloc b ~name:"table" (T.Struct "Table") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b table tbl_rows);
+      B.store b ~value:(V.i64 1) ~ptr:(B.gep b table tbl_version);
+      B.call_void b Lir.Intrinsics.mutex_init [ B.gep b table tbl_lock ];
+      B.store b ~value:table ~ptr:(V.Global "table");
+      let binlog = B.malloc b ~name:"binlog" (T.Struct "Binlog") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b binlog log_pos);
+      B.call_void b Lir.Intrinsics.mutex_init [ B.gep b binlog log_lock ];
+      B.store b ~value:binlog ~ptr:(V.Global "binlog");
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global "lock_open" ];
+      let tids =
+        List.map (fun (fn, arg) -> B.spawn b fn (V.i64 arg)) threads
+      in
+      List.iter (fun t -> B.join b t) tids;
+      B.ret_void b)
+
+(* mysql-1 (deadlock): a writer journals under the table lock then takes
+   LOCK_log, while the binlog rotation thread holds LOCK_log and asks for
+   the table lock to stamp the table version. *)
+let build_binlog_deadlock () =
+  let m = Lir.Irmod.create "mysql" in
+  declare_server m;
+  let gt = Array.make 4 (-1) in
+  B.define m "writer_conn" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let table = B.load b ~name:"table" (V.Global "table") in
+      let binlog = B.load b ~name:"binlog" (V.Global "binlog") in
+      let tlock = B.gep b ~name:"tlock" table tbl_lock in
+      let llock = B.gep b ~name:"llock" binlog log_lock in
+      B.for_ b ~from:0 ~below:(V.i64 9) (fun _ ->
+          Dsl.io_pause b ~ns:340_000;
+          B.mutex_lock b tlock;
+          gt.(0) <- B.last_iid b;
+          let rows = B.gep b ~name:"rows" table tbl_rows in
+          let r = B.load b ~name:"r" rows in
+          B.store b ~value:(B.add b r (V.i64 1)) ~ptr:rows;
+          (* Row change must reach the binlog atomically with the commit. *)
+          Dsl.pause b ~ns:360_000;
+          B.mutex_lock b llock;
+          gt.(1) <- B.last_iid b;
+          let pos = B.gep b ~name:"pos" binlog log_pos in
+          let p = B.load b ~name:"p" pos in
+          B.store b ~value:(B.add b p (V.i64 1)) ~ptr:pos;
+          B.mutex_unlock b llock;
+          B.mutex_unlock b tlock);
+      B.ret_void b);
+  B.define m "rotate_thread" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let table = B.load b ~name:"table" (V.Global "table") in
+      let binlog = B.load b ~name:"binlog" (V.Global "binlog") in
+      let tlock = B.gep b ~name:"tlock" table tbl_lock in
+      let llock = B.gep b ~name:"llock" binlog log_lock in
+      B.for_ b ~from:0 ~below:(V.i64 6) (fun _ ->
+          Dsl.io_pause b ~ns:520_000;
+          Dsl.probe_word b tlock;
+          Dsl.probe_word b llock;
+          let due = B.icmp b Lir.Instr.Eq (B.rand b ~bound:3) (V.i64 0) in
+          B.if_ b due
+            ~then_:(fun () ->
+              B.mutex_lock b llock;
+              gt.(2) <- B.last_iid b;
+              (* BUG: stamps the table version while holding LOCK_log. *)
+              Dsl.pause b ~ns:300_000;
+              B.mutex_lock b tlock;
+              gt.(3) <- B.last_iid b;
+              let ver = B.gep b ~name:"ver" table tbl_version in
+              let v = B.load b ~name:"v" ver in
+              B.store b ~value:(B.add b v (V.i64 1)) ~ptr:ver;
+              B.mutex_unlock b tlock;
+              B.mutex_unlock b llock)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  define_server_main m ~threads:[ ("writer_conn", 0); ("rotate_thread", 0) ];
+  Dsl.add_cold_code m ~seed:301 ~functions:120;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ gt.(0); gt.(1); gt.(2); gt.(3) ];
+    delta_pairs = [ (gt.(1), gt.(3)) ];
+  }
+
+(* mysql-2 (deadlock): DROP TABLE holds LOCK_open and needs the table
+   lock; a handler holds the table lock and re-enters the cache under
+   LOCK_open. *)
+let build_lock_open_deadlock () =
+  let m = Lir.Irmod.create "mysql" in
+  declare_server m;
+  let gt = Array.make 4 (-1) in
+  B.define m "handler_conn" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let table = B.load b ~name:"table" (V.Global "table") in
+      let tlock = B.gep b ~name:"tlock" table tbl_lock in
+      B.for_ b ~from:0 ~below:(V.i64 8) (fun _ ->
+          Dsl.io_pause b ~ns:410_000;
+          B.mutex_lock b tlock;
+          gt.(0) <- B.last_iid b;
+          let rows = B.gep b ~name:"rows" table tbl_rows in
+          let r = B.load b ~name:"r" rows in
+          B.store b ~value:(B.add b r (V.i64 1)) ~ptr:rows;
+          (* Re-open a second table: goes back through the cache. *)
+          Dsl.pause b ~ns:220_000;
+          B.mutex_lock b (V.Global "lock_open");
+          gt.(1) <- B.last_iid b;
+          let served = B.load b ~name:"served" (V.Global "queries_served") in
+          B.store b ~value:(B.add b served (V.i64 1))
+            ~ptr:(V.Global "queries_served");
+          B.mutex_unlock b (V.Global "lock_open");
+          B.mutex_unlock b tlock);
+      B.ret_void b);
+  B.define m "drop_table" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let table = B.load b ~name:"table" (V.Global "table") in
+      let tlock = B.gep b ~name:"tlock" table tbl_lock in
+      B.for_ b ~from:0 ~below:(V.i64 5) (fun _ ->
+          Dsl.io_pause b ~ns:640_000;
+          let ddl = B.icmp b Lir.Instr.Eq (B.rand b ~bound:3) (V.i64 0) in
+          B.if_ b ddl
+            ~then_:(fun () ->
+              B.mutex_lock b (V.Global "lock_open");
+              gt.(2) <- B.last_iid b;
+              Dsl.pause b ~ns:380_000;
+              B.mutex_lock b tlock;
+              gt.(3) <- B.last_iid b;
+              let ver = B.gep b ~name:"ver" table tbl_version in
+              let v = B.load b ~name:"v" ver in
+              B.store b ~value:(B.add b v (V.i64 1)) ~ptr:ver;
+              B.mutex_unlock b tlock;
+              B.mutex_unlock b (V.Global "lock_open"))
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  define_server_main m ~threads:[ ("handler_conn", 0); ("drop_table", 0) ];
+  Dsl.add_cold_code m ~seed:302 ~functions:120;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ gt.(0); gt.(1); gt.(2); gt.(3) ];
+    delta_pairs = [ (gt.(1), gt.(3)) ];
+  }
+
+(* mysql-3 (deadlock): the purge thread acquires the binlog lock then the
+   table lock, racing a checkpointing handler that nests them the other
+   way around; three-way pressure comes from a stats thread that briefly
+   holds the table lock. *)
+let build_purge_deadlock () =
+  let m = Lir.Irmod.create "mysql" in
+  declare_server m;
+  let gt = Array.make 4 (-1) in
+  B.define m "checkpoint_conn" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let table = B.load b ~name:"table" (V.Global "table") in
+      let binlog = B.load b ~name:"binlog" (V.Global "binlog") in
+      let tlock = B.gep b ~name:"tlock" table tbl_lock in
+      let llock = B.gep b ~name:"llock" binlog log_lock in
+      B.for_ b ~from:0 ~below:(V.i64 7) (fun _ ->
+          Dsl.io_pause b ~ns:940_000;
+          B.mutex_lock b tlock;
+          gt.(0) <- B.last_iid b;
+          Dsl.pause b ~ns:420_000;
+          B.mutex_lock b llock;
+          gt.(1) <- B.last_iid b;
+          let pos = B.gep b ~name:"pos" binlog log_pos in
+          let p = B.load b ~name:"p" pos in
+          B.store b ~value:(B.add b p (V.i64 1)) ~ptr:pos;
+          B.mutex_unlock b llock;
+          B.mutex_unlock b tlock);
+      B.ret_void b);
+  B.define m "purge_thread" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let table = B.load b ~name:"table" (V.Global "table") in
+      let binlog = B.load b ~name:"binlog" (V.Global "binlog") in
+      let tlock = B.gep b ~name:"tlock" table tbl_lock in
+      let llock = B.gep b ~name:"llock" binlog log_lock in
+      B.for_ b ~from:0 ~below:(V.i64 5) (fun _ ->
+          Dsl.io_pause b ~ns:1_300_000;
+          let due = B.icmp b Lir.Instr.Eq (B.rand b ~bound:4) (V.i64 0) in
+          B.if_ b due
+            ~then_:(fun () ->
+              B.mutex_lock b llock;
+              gt.(2) <- B.last_iid b;
+              Dsl.pause b ~ns:380_000;
+              B.mutex_lock b tlock;
+              gt.(3) <- B.last_iid b;
+              let rows = B.gep b ~name:"rows" table tbl_rows in
+              let r = B.load b ~name:"r" rows in
+              B.store b ~value:r ~ptr:(V.Global "queries_served");
+              B.mutex_unlock b tlock;
+              B.mutex_unlock b llock)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "stats_thread" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let table = B.load b ~name:"table" (V.Global "table") in
+      let tlock = B.gep b ~name:"tlock" table tbl_lock in
+      B.for_ b ~from:0 ~below:(V.i64 10) (fun _ ->
+          Dsl.io_pause b ~ns:700_000;
+          B.mutex_lock b tlock;
+          let rows = B.gep b ~name:"rows" table tbl_rows in
+          let r = B.load b ~name:"r" rows in
+          B.call_void b Lir.Intrinsics.print_i64 [ r ];
+          B.mutex_unlock b tlock);
+      B.ret_void b);
+  define_server_main m
+    ~threads:[ ("checkpoint_conn", 0); ("purge_thread", 0); ("stats_thread", 0) ];
+  Dsl.add_cold_code m ~seed:303 ~functions:120;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ gt.(0); gt.(1); gt.(2); gt.(3) ];
+    delta_pairs = [ (gt.(1), gt.(3)) ];
+  }
+
+(* mysql-4 (order violation): KILL CONNECTION nulls the THD's network
+   buffer while the handler drains the final result set through it. *)
+let build_kill_net_order () =
+  let m = Lir.Irmod.create "mysql" in
+  ignore (Dsl.mutex_struct m);
+  (* Net = { written; fd } *)
+  ignore (Lir.Irmod.declare_struct m "Net" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "thd_net" (T.Ptr (T.Struct "Net"));
+  Lir.Irmod.declare_global m "kill_flag" T.I64;
+  let gt_write = ref (-1) in
+  let gt_read = ref (-1) in
+  B.define m "result_writer" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 12) (fun _ ->
+          Dsl.io_pause b ~ns:280_000;
+          let net = B.load b ~name:"net" (V.Global "thd_net") in
+          let written = B.gep b ~name:"written" net 0 in
+          let w = B.load b ~name:"w" written in
+          B.store b ~value:(B.add b w (V.i64 64)) ~ptr:written);
+      (* Final flush: a slow client keeps the socket busy long enough for
+         the kill path to win. *)
+      let slow_client = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b slow_client
+        ~then_:(fun () -> Dsl.io_pause b ~ns:1_400_000)
+        ~else_:(fun () -> Dsl.io_pause b ~ns:100_000);
+      let net2 = B.load b ~name:"net2" (V.Global "thd_net") in
+      gt_read := B.last_iid b;
+      let fd = B.gep b ~name:"fd" net2 1 in
+      let f = B.load b ~name:"f" fd in
+      B.call_void b Lir.Intrinsics.print_i64 [ f ];
+      B.ret_void b);
+  B.define m "kill_conn" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      (* The admin issues KILL once the connection looks stuck. *)
+      Dsl.io_pause b ~ns:3_360_000;
+      Dsl.pause b ~ns:500_000;
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "kill_flag");
+      Dsl.probe_global b "thd_net";
+      B.store b ~value:(V.Null (T.Ptr (T.Struct "Net"))) ~ptr:(V.Global "thd_net");
+      gt_write := B.last_iid b;
+      Dsl.checkpoint b;
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let net = B.malloc b ~name:"net" (T.Struct "Net") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b net 0);
+      B.store b ~value:(V.i64 3) ~ptr:(B.gep b net 1);
+      B.store b ~value:net ~ptr:(V.Global "thd_net");
+      let t1 = B.spawn b "result_writer" (V.i64 0) in
+      let t2 = B.spawn b "kill_conn" (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:304 ~functions:120;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_write; !gt_read ];
+    delta_pairs = [ (!gt_write, !gt_read) ];
+  }
+
+(* mysql-5 (order violation, use-after-free): log rotation frees the old
+   relay-log descriptor while the replication applier still reads its
+   position field. *)
+let build_relay_rotate_uaf () =
+  let m = Lir.Irmod.create "mysql" in
+  ignore (Dsl.mutex_struct m);
+  (* Relay = { pos; events } *)
+  ignore (Lir.Irmod.declare_struct m "Relay" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "relay" (T.Ptr (T.Struct "Relay"));
+  Lir.Irmod.declare_global m "rotation_done" T.I64;
+  let gt_free = ref (-1) in
+  let gt_read = ref (-1) in
+  B.define m "applier" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let log = B.load b ~name:"log" (V.Global "relay") in
+      B.for_ b ~from:0 ~below:(V.i64 10) (fun _ ->
+          Dsl.io_pause b ~ns:450_000;
+          let events = B.gep b ~name:"events" log 1 in
+          let e = B.load b ~name:"e" events in
+          B.store b ~value:(B.add b e (V.i64 1)) ~ptr:events);
+      (* Record the final applied position from the (possibly stale)
+         descriptor; a slow fsync widens the window. *)
+      let slow = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b slow
+        ~then_:(fun () -> Dsl.io_pause b ~ns:1_200_000)
+        ~else_:(fun () -> Dsl.io_pause b ~ns:90_000);
+      let posp = B.gep b ~name:"posp" log 0 in
+      let p = B.load b ~name:"p" posp in
+      gt_read := B.last_iid b;
+      B.call_void b Lir.Intrinsics.print_i64 [ p ];
+      B.ret_void b);
+  B.define m "rotator" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      Dsl.io_pause b ~ns:4_500_000;
+      Dsl.pause b ~ns:480_000;
+      let old = B.load b ~name:"old" (V.Global "relay") in
+      let fresh = B.malloc b ~name:"fresh" (T.Struct "Relay") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b fresh 0);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b fresh 1);
+      B.store b ~value:fresh ~ptr:(V.Global "relay");
+      (* BUG: frees the old descriptor without waiting for the applier. *)
+      B.call_void b Lir.Intrinsics.free [ B.cast b old (T.Ptr T.I8) ];
+      gt_free := B.last_iid b;
+      Dsl.checkpoint b;
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "rotation_done");
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let log = B.malloc b ~name:"log" (T.Struct "Relay") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b log 0);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b log 1);
+      B.store b ~value:log ~ptr:(V.Global "relay");
+      let t1 = B.spawn b "applier" (V.i64 0) in
+      let t2 = B.spawn b "rotator" (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:305 ~functions:120;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_free; !gt_read ];
+    delta_pairs = [ (!gt_free, !gt_read) ];
+  }
+
+(* mysql-6 (order violation): FLUSH QUERY CACHE nulls the cache block
+   pointer while a reader resolves a cached result through it. *)
+let build_query_cache_order () =
+  let m = Lir.Irmod.create "mysql" in
+  ignore (Dsl.mutex_struct m);
+  (* CacheBlock = { hits; result } *)
+  ignore (Lir.Irmod.declare_struct m "CacheBlock" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "qcache" (T.Ptr (T.Struct "CacheBlock"));
+  let gt_write = ref (-1) in
+  let gt_read = ref (-1) in
+  B.define m "select_conn" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 10) (fun _ ->
+          Dsl.io_pause b ~ns:180_000;
+          let block = B.load b ~name:"block" (V.Global "qcache") in
+          gt_read := B.last_iid b;
+          let hits = B.gep b ~name:"hits" block 0 in
+          let h = B.load b ~name:"h" hits in
+          B.store b ~value:(B.add b h (V.i64 1)) ~ptr:hits;
+          (* A cache miss recomputes the result, lengthening the window
+             between iterations. *)
+          let miss = B.icmp b Lir.Instr.Eq (B.rand b ~bound:6) (V.i64 0) in
+          B.if_ b miss
+            ~then_:(fun () -> Dsl.pause b ~ns:300_000)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "flush_conn" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      Dsl.io_pause b ~ns:2_450_000;
+      (* BUG: invalidates by nulling the pointer before readers drain. *)
+      B.store b
+        ~value:(V.Null (T.Ptr (T.Struct "CacheBlock")))
+        ~ptr:(V.Global "qcache");
+      gt_write := B.last_iid b;
+      Dsl.checkpoint b;
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let block = B.malloc b ~name:"block" (T.Struct "CacheBlock") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b block 0);
+      B.store b ~value:(V.i64 42) ~ptr:(B.gep b block 1);
+      B.store b ~value:block ~ptr:(V.Global "qcache");
+      let t1 = B.spawn b "select_conn" (V.i64 0) in
+      let t2 = B.spawn b "flush_conn" (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:306 ~functions:120;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_write; !gt_read ];
+    delta_pairs = [ (!gt_write, !gt_read) ];
+  }
+
+(* mysql-7 (atomicity, RWR): the classic thd->proc_info race — a monitor
+   checks the status string pointer, then dereferences it again after
+   formatting, while the owning connection resets it in between. *)
+let build_proc_info_atomicity () =
+  let m = Lir.Irmod.create "mysql" in
+  ignore (Dsl.mutex_struct m);
+  (* ProcInfo = { stage; len } *)
+  ignore (Lir.Irmod.declare_struct m "ProcInfo" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "proc_info" (T.Ptr (T.Struct "ProcInfo"));
+  Lir.Irmod.declare_global m "conn_done" T.I64;
+  let gt_check = ref (-1) in
+  let gt_reset = ref (-1) in
+  let gt_reuse = ref (-1) in
+  B.define m "conn_thread" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 11) (fun i ->
+          Dsl.io_pause b ~ns:540_000;
+          (* Entering a new query stage: dump, clear, then publish. *)
+          Dsl.probe_global b "proc_info";
+          B.store b
+            ~value:(V.Null (T.Ptr (T.Struct "ProcInfo")))
+            ~ptr:(V.Global "proc_info");
+          gt_reset := B.last_iid b;
+          Dsl.checkpoint b;
+          Dsl.pause b ~ns:150_000;
+          let info = B.malloc b ~name:"info" (T.Struct "ProcInfo") in
+          B.store b ~value:i ~ptr:(B.gep b info 0);
+          B.store b ~value:(V.i64 16) ~ptr:(B.gep b info 1);
+          B.store b ~value:info ~ptr:(V.Global "proc_info"));
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "conn_done");
+      B.ret_void b);
+  B.define m "show_processlist" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.while_ b
+        ~cond:(fun () ->
+          let s = B.load b ~name:"s" (V.Global "conn_done") in
+          B.icmp b Lir.Instr.Eq s (V.i64 0))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:330_000;
+          let info = B.load b ~name:"info" (V.Global "proc_info") in
+          gt_check := B.last_iid b;
+          let ok =
+            B.icmp b Lir.Instr.Ne info (V.Null (T.Ptr (T.Struct "ProcInfo")))
+          in
+          B.if_ b ok
+            ~then_:(fun () ->
+              (* Formatting the row for a wide terminal takes a while. *)
+              let wide = B.icmp b Lir.Instr.Eq (B.rand b ~bound:5) (V.i64 0) in
+              B.if_ b wide
+                ~then_:(fun () -> Dsl.pause b ~ns:200_000)
+                ~else_:(fun () -> Dsl.pause b ~ns:14_000);
+              let info2 = B.load b ~name:"info2" (V.Global "proc_info") in
+              gt_reuse := B.last_iid b;
+              let stage = B.gep b ~name:"stage" info2 0 in
+              let s = B.load b ~name:"s" stage in
+              B.call_void b Lir.Intrinsics.print_i64 [ s ])
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let info = B.malloc b ~name:"info" (T.Struct "ProcInfo") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b info 0);
+      B.store b ~value:(V.i64 8) ~ptr:(B.gep b info 1);
+      B.store b ~value:info ~ptr:(V.Global "proc_info");
+      let t1 = B.spawn b "show_processlist" (V.i64 0) in
+      let t2 = B.spawn b "conn_thread" (V.i64 0) in
+      B.join b t2;
+      B.join b t1;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:307 ~functions:120;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_check; !gt_reset; !gt_reuse ];
+    delta_pairs = [ (!gt_check, !gt_reset); (!gt_reset, !gt_reuse) ];
+  }
+
+(* mysql-8 (atomicity, WWR): a handler publishes its active statement,
+   expects it to still be there after parsing, but the kill path clears
+   it in between (write-write-read on the same slot). *)
+let build_stmt_slot_atomicity () =
+  let m = Lir.Irmod.create "mysql" in
+  ignore (Dsl.mutex_struct m);
+  (* Stmt = { id; cost } *)
+  ignore (Lir.Irmod.declare_struct m "Stmt" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "active_stmt" (T.Ptr (T.Struct "Stmt"));
+  Lir.Irmod.declare_global m "handler_done" T.I64;
+  let gt_publish = ref (-1) in
+  let gt_clear = ref (-1) in
+  let gt_use = ref (-1) in
+  B.define m "stmt_handler" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 10) (fun i ->
+          Dsl.io_pause b ~ns:470_000;
+          let stmt = B.malloc b ~name:"stmt" (T.Struct "Stmt") in
+          B.store b ~value:i ~ptr:(B.gep b stmt 0);
+          B.store b ~value:(V.i64 0) ~ptr:(B.gep b stmt 1);
+          (* Publish the statement for monitoring... *)
+          B.store b ~value:stmt ~ptr:(V.Global "active_stmt");
+          gt_publish := B.last_iid b;
+          Dsl.checkpoint b;
+          (* ...then parse; complex queries take long enough for the kill
+             path to clear the slot underneath us. *)
+          let complex = B.icmp b Lir.Instr.Eq (B.rand b ~bound:5) (V.i64 0) in
+          B.if_ b complex
+            ~then_:(fun () -> Dsl.pause b ~ns:230_000)
+            ~else_:(fun () -> Dsl.pause b ~ns:18_000);
+          let current = B.load b ~name:"current" (V.Global "active_stmt") in
+          gt_use := B.last_iid b;
+          let cost = B.gep b ~name:"cost" current 1 in
+          let c = B.load b ~name:"c" cost in
+          B.store b ~value:(B.add b c (V.i64 1)) ~ptr:cost);
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "handler_done");
+      B.ret_void b);
+  B.define m "kill_sweeper" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.while_ b
+        ~cond:(fun () ->
+          let s = B.load b ~name:"s" (V.Global "handler_done") in
+          B.icmp b Lir.Instr.Eq s (V.i64 0))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:590_000;
+          let sweep = B.icmp b Lir.Instr.Eq (B.rand b ~bound:3) (V.i64 0) in
+          B.if_ b sweep
+            ~then_:(fun () ->
+              (* BUG: clears the slot without checking ownership. *)
+              B.store b
+                ~value:(V.Null (T.Ptr (T.Struct "Stmt")))
+                ~ptr:(V.Global "active_stmt");
+              gt_clear := B.last_iid b;
+              Dsl.checkpoint b)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let stmt = B.malloc b ~name:"stmt" (T.Struct "Stmt") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b stmt 0);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b stmt 1);
+      B.store b ~value:stmt ~ptr:(V.Global "active_stmt");
+      let t1 = B.spawn b "stmt_handler" (V.i64 0) in
+      let t2 = B.spawn b "kill_sweeper" (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:308 ~functions:120;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_publish; !gt_clear; !gt_use ];
+    delta_pairs = [ (!gt_publish, !gt_clear); (!gt_clear, !gt_use) ];
+  }
+
+(* mysql-9 (atomicity, RWR): InnoDB adaptive-hash-index pointer — a
+   searcher validates the AHI block, drops the latch while computing the
+   fold, then re-reads it; the btree reorganizer swaps it in between. *)
+let build_ahi_atomicity () =
+  let m = Lir.Irmod.create "mysql" in
+  ignore (Dsl.mutex_struct m);
+  (* AhiBlock = { fold; refs } *)
+  ignore (Lir.Irmod.declare_struct m "AhiBlock" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "ahi" (T.Ptr (T.Struct "AhiBlock"));
+  Lir.Irmod.declare_global m "reorg_done" T.I64;
+  let gt_check = ref (-1) in
+  let gt_swap = ref (-1) in
+  let gt_reuse = ref (-1) in
+  B.define m "btree_reorg" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 8) (fun _ ->
+          Dsl.io_pause b ~ns:1_150_000;
+          B.store b
+            ~value:(V.Null (T.Ptr (T.Struct "AhiBlock")))
+            ~ptr:(V.Global "ahi");
+          gt_swap := B.last_iid b;
+          Dsl.checkpoint b;
+          Dsl.pause b ~ns:330_000;
+          let fresh = B.malloc b ~name:"fresh" (T.Struct "AhiBlock") in
+          B.store b ~value:(V.i64 0) ~ptr:(B.gep b fresh 0);
+          B.store b ~value:fresh ~ptr:(V.Global "ahi"));
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "reorg_done");
+      B.ret_void b);
+  B.define m "searcher" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.while_ b
+        ~cond:(fun () ->
+          let s = B.load b ~name:"s" (V.Global "reorg_done") in
+          B.icmp b Lir.Instr.Eq s (V.i64 0))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:620_000;
+          let blockp = B.load b ~name:"blockp" (V.Global "ahi") in
+          gt_check := B.last_iid b;
+          let ok =
+            B.icmp b Lir.Instr.Ne blockp (V.Null (T.Ptr (T.Struct "AhiBlock")))
+          in
+          B.if_ b ok
+            ~then_:(fun () ->
+              let deep = B.icmp b Lir.Instr.Eq (B.rand b ~bound:4) (V.i64 0) in
+              B.if_ b deep
+                ~then_:(fun () -> Dsl.pause b ~ns:340_000)
+                ~else_:(fun () -> Dsl.pause b ~ns:25_000);
+              let block2 = B.load b ~name:"block2" (V.Global "ahi") in
+              gt_reuse := B.last_iid b;
+              let fold = B.gep b ~name:"fold" block2 0 in
+              let f = B.load b ~name:"f" fold in
+              B.store b ~value:(B.add b f (V.i64 1)) ~ptr:fold)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let block = B.malloc b ~name:"block" (T.Struct "AhiBlock") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b block 0);
+      B.store b ~value:block ~ptr:(V.Global "ahi");
+      let t1 = B.spawn b "searcher" (V.i64 0) in
+      let t2 = B.spawn b "btree_reorg" (V.i64 0) in
+      B.join b t2;
+      B.join b t1;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:309 ~functions:120;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_check; !gt_swap; !gt_reuse ];
+    delta_pairs = [ (!gt_check, !gt_swap); (!gt_swap, !gt_reuse) ];
+  }
+
+let mk id tracker kind description delta build =
+  {
+    Bug.id;
+    system = "mysql";
+    tracker_id = tracker;
+    kind;
+    description;
+    java = false;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "mysql-1" "169" Bug.Deadlock
+      "commit path nests table lock then LOCK_log; binlog rotation nests \
+       them the other way"
+      160.0 build_binlog_deadlock;
+    mk "mysql-2" "644" Bug.Deadlock
+      "DROP TABLE holds LOCK_open and wants the table lock; a handler \
+       holds the table lock and re-enters the cache"
+      180.0 build_lock_open_deadlock;
+    mk "mysql-3" "791" Bug.Deadlock
+      "purge thread (binlog->table) deadlocks against checkpointing \
+       handler (table->binlog) under stats-thread pressure"
+      400.0 build_purge_deadlock;
+    mk "mysql-4" "12228" Bug.Order_violation
+      "KILL CONNECTION nulls thd->net while the handler drains the final \
+       result set"
+      500.0 build_kill_net_order;
+    mk "mysql-5" "56324" Bug.Order_violation
+      "relay-log rotation frees the old descriptor while the applier \
+       records its final position"
+      480.0 build_relay_rotate_uaf;
+    mk "mysql-6" "3596" Bug.Order_violation
+      "FLUSH QUERY CACHE nulls the block pointer under concurrent \
+       readers"
+      200.0 build_query_cache_order;
+    mk "mysql-7" "2011" Bug.Atomicity_violation
+      "SHOW PROCESSLIST checks thd->proc_info then dereferences it again \
+       after formatting; the owner resets it in between"
+      200.0 build_proc_info_atomicity;
+    mk "mysql-8" "12848" Bug.Atomicity_violation
+      "handler publishes its active statement and re-reads it after \
+       parsing; the kill sweeper clears the slot in between"
+      230.0 build_stmt_slot_atomicity;
+    mk "mysql-9" "59464" Bug.Atomicity_violation
+      "adaptive-hash-index check-then-reuse races with the btree \
+       reorganizer's swap window"
+      340.0 build_ahi_atomicity;
+  ]

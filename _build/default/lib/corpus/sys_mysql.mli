@@ -1,0 +1,7 @@
+(** Model of MySQL (~650 KLOC): connection handler threads over a table
+    cache, a binlog, a query cache and a replication applier.  Nine corpus
+    bugs: three lock-order deadlocks, three order violations, three
+    single-variable atomicity violations, loosely patterned after the
+    MySQL tickets used in the paper's study set. *)
+
+val bugs : Bug.t list

@@ -1,0 +1,296 @@
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+
+(* The shared scaffolding of the pbzip2 model: a producer (main) pushes
+   [blocks] compressed-block descriptors through a FIFO; one consumer
+   drains it.  Delay constants are in nanoseconds and set the coarse event
+   spacing the hypothesis study measures. *)
+
+let declare_queue m =
+  let mutex = Dsl.mutex_struct m in
+  ignore
+    (Lir.Irmod.declare_struct m "Queue" [ T.I64; T.I64; mutex ]);
+  Lir.Irmod.declare_global m "fifo" (T.Ptr (T.Struct "Queue"));
+  Lir.Irmod.declare_global m "done_flag" T.I64;
+  Lir.Irmod.declare_global m "consumed" T.I64
+
+let field_head = 0
+let field_tail = 1
+let field_mut = 2
+
+(* Consumer loop shared by the teardown bugs: caches the queue pointer,
+   processes [blocks] items, then runs a cleanup path that re-reads the
+   global queue pointer — the racy access. *)
+let define_consumer m ~blocks ~poll_ns ~process_ns ~gt_read ~read_field =
+  B.define m "consumer" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let q = B.load b ~name:"q" (V.Global "fifo") in
+      let i = B.alloca b ~name:"seen" T.I64 in
+      B.store b ~value:(V.i64 0) ~ptr:i;
+      B.while_ b
+        ~cond:(fun () ->
+          let seen = B.load b ~name:"seen" i in
+          B.icmp b Lir.Instr.Slt seen (V.i64 blocks))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:poll_ns;
+          let mut = B.gep b ~name:"mut" q field_mut in
+          B.mutex_lock b mut;
+          let head = B.load b ~name:"head" (B.gep b ~name:"headp" q field_head) in
+          let seen = B.load b ~name:"seen" i in
+          let avail = B.icmp b Lir.Instr.Sgt head seen in
+          B.if_ b avail
+            ~then_:(fun () ->
+              let seen' = B.add b seen (V.i64 1) in
+              B.store b ~value:seen' ~ptr:i;
+              B.store b ~value:seen' ~ptr:(V.Global "consumed"))
+            ~else_:(fun () -> ());
+          B.mutex_unlock b mut;
+          let seen2 = B.load b ~name:"seen" i in
+          let progressed = B.icmp b Lir.Instr.Sgt seen2 seen in
+          B.if_ b progressed
+            ~then_:(fun () -> Dsl.pause b ~ns:process_ns)
+            ~else_:(fun () -> ()));
+      (* Cleanup/statistics path: flush the output file — fast when the OS
+         cache absorbs it, slow when it hits the disk — then read the
+         shared queue pointer one last time.  The slow path is what loses
+         the race with main's teardown. *)
+      let slow = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b slow
+        ~then_:(fun () -> Dsl.io_pause b ~ns:620_000)
+        ~else_:(fun () -> Dsl.io_pause b ~ns:60_000);
+      let f2 = B.load b ~name:"fifo2" (V.Global "fifo") in
+      gt_read := B.last_iid b;
+      let tailp = B.gep b ~name:"tailp" f2 read_field in
+      let remaining = B.load b ~name:"remaining" tailp in
+      B.call_void b Lir.Intrinsics.print_i64 [ remaining ];
+      B.ret_void b)
+
+let define_producer_main m ~blocks ~produce_ns ~teardown ~shutdown_ns =
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let q = B.malloc b ~name:"q" (T.Struct "Queue") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b q field_head);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b q field_tail);
+      let mut = B.gep b ~name:"mut" q field_mut in
+      B.call_void b Lir.Intrinsics.mutex_init [ mut ];
+      B.store b ~value:q ~ptr:(V.Global "fifo");
+      let tid = B.spawn b "consumer" (V.i64 0) in
+      B.for_ b ~from:0 ~below:(V.i64 blocks) (fun _ ->
+          Dsl.pause b ~ns:produce_ns;
+          B.mutex_lock b mut;
+          let headp = B.gep b ~name:"headp" q field_head in
+          let h = B.load b ~name:"head" headp in
+          B.store b ~value:(B.add b h (V.i64 1)) ~ptr:headp;
+          B.mutex_unlock b mut);
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "done_flag");
+      (* BUG: tears the queue down after a fixed grace period instead of
+         joining the consumer first. *)
+      Dsl.pause b ~ns:shutdown_ns;
+      Dsl.probe_global b "fifo";
+      teardown b q;
+      Dsl.checkpoint b;
+      B.join b tid;
+      B.ret_void b)
+
+(* pbzip2-1: WR order violation.  main nulls the global queue pointer; the
+   consumer's cleanup re-read dereferences null. *)
+let build_null_teardown () =
+  let m = Lir.Irmod.create "pbzip2" in
+  declare_queue m;
+  let gt_read = ref (-1) in
+  let gt_write = ref (-1) in
+  define_consumer m ~blocks:10 ~poll_ns:120_000 ~process_ns:260_000 ~gt_read
+    ~read_field:field_tail;
+  define_producer_main m ~blocks:10 ~produce_ns:380_000
+    ~shutdown_ns:800_000
+    ~teardown:(fun b _q ->
+      B.store b ~value:(V.Null (T.Ptr (T.Struct "Queue")))
+        ~ptr:(V.Global "fifo");
+      gt_write := B.last_iid b);
+  Dsl.add_cold_code m ~seed:101 ~functions:40;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_write; !gt_read ];
+    delta_pairs = [ (!gt_write, !gt_read) ];
+  }
+
+(* pbzip2-2: WR order violation, use-after-free flavour.  main frees the
+   queue; the consumer's cleanup read of a queue field faults. *)
+let build_free_teardown () =
+  let m = Lir.Irmod.create "pbzip2" in
+  declare_queue m;
+  let gt_read = ref (-1) in
+  let gt_write = ref (-1) in
+  B.define m "queue_destroy" ~params:[ ("q", T.Ptr (T.Struct "Queue")) ]
+    ~ret:T.Void (fun b ->
+      let q = B.param b 0 in
+      B.call_void b Lir.Intrinsics.free [ B.cast b q (T.Ptr T.I8) ];
+      gt_write := B.last_iid b;
+      B.ret_void b);
+  (* The consumer re-reads @fifo (still the dangling pointer) and then
+     loads a field through it: the field load is the crashing, racy
+     access. *)
+  let gt_field_read = ref (-1) in
+  B.define m "consumer" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let q = B.load b ~name:"q" (V.Global "fifo") in
+      let i = B.alloca b ~name:"seen" T.I64 in
+      B.store b ~value:(V.i64 0) ~ptr:i;
+      B.while_ b
+        ~cond:(fun () ->
+          let seen = B.load b ~name:"seen" i in
+          B.icmp b Lir.Instr.Slt seen (V.i64 10))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:120_000;
+          let mut = B.gep b ~name:"mut" q field_mut in
+          B.mutex_lock b mut;
+          let head = B.load b ~name:"head" (B.gep b ~name:"headp" q field_head) in
+          let seen = B.load b ~name:"seen" i in
+          let avail = B.icmp b Lir.Instr.Sgt head seen in
+          B.if_ b avail
+            ~then_:(fun () ->
+              let seen' = B.add b seen (V.i64 1) in
+              B.store b ~value:seen' ~ptr:i;
+              B.store b ~value:seen' ~ptr:(V.Global "consumed"))
+            ~else_:(fun () -> ());
+          B.mutex_unlock b mut;
+          let seen2 = B.load b ~name:"seen" i in
+          let progressed = B.icmp b Lir.Instr.Sgt seen2 seen in
+          B.if_ b progressed
+            ~then_:(fun () -> Dsl.pause b ~ns:260_000)
+            ~else_:(fun () -> ()));
+      let slow = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b slow
+        ~then_:(fun () -> Dsl.io_pause b ~ns:620_000)
+        ~else_:(fun () -> Dsl.io_pause b ~ns:60_000);
+      let f2 = B.load b ~name:"fifo2" (V.Global "fifo") in
+      gt_read := B.last_iid b;
+      let tailp = B.gep b ~name:"tailp" f2 field_tail in
+      let remaining = B.load b ~name:"remaining" tailp in
+      gt_field_read := B.last_iid b;
+      B.call_void b Lir.Intrinsics.print_i64 [ remaining ];
+      B.ret_void b);
+  define_producer_main m ~blocks:10 ~produce_ns:380_000
+    ~shutdown_ns:800_000
+    ~teardown:(fun b q -> B.call_void b "queue_destroy" [ q ]);
+  Dsl.add_cold_code m ~seed:102 ~functions:40;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_write; !gt_field_read ];
+    delta_pairs = [ (!gt_write, !gt_field_read) ];
+  }
+
+(* pbzip2-3: RWR atomicity violation on the shared output-buffer pointer:
+   the consumer checks it, formats (a long pause), then re-reads and
+   dereferences; the writer swaps buffers in between, transiently nulling
+   the pointer. *)
+let build_outbuf_swap () =
+  let m = Lir.Irmod.create "pbzip2" in
+  ignore (Dsl.mutex_struct m);
+  ignore (Lir.Irmod.declare_struct m "OutBuf" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "outbuf" (T.Ptr (T.Struct "OutBuf"));
+  Lir.Irmod.declare_global m "stop" T.I64;
+  let gt_check = ref (-1) in
+  let gt_swap = ref (-1) in
+  let gt_reuse = ref (-1) in
+  (* Writer thread: every rotation, retire the buffer (null it), allocate
+     a fresh one, publish it. *)
+  B.define m "rotator" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 12) (fun _ ->
+          Dsl.io_pause b ~ns:520_000;
+          B.store b
+            ~value:(V.Null (T.Ptr (T.Struct "OutBuf")))
+            ~ptr:(V.Global "outbuf");
+          gt_swap := B.last_iid b;
+          Dsl.checkpoint b;
+          Dsl.pause b ~ns:110_000;
+          let fresh = B.malloc b ~name:"fresh" (T.Struct "OutBuf") in
+          B.store b ~value:(V.i64 0) ~ptr:(B.gep b fresh 0);
+          B.store b ~value:fresh ~ptr:(V.Global "outbuf"));
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "stop");
+      B.ret_void b);
+  B.define m "emitter" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.while_ b
+        ~cond:(fun () ->
+          let s = B.load b ~name:"stop" (V.Global "stop") in
+          B.icmp b Lir.Instr.Eq s (V.i64 0))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:310_000;
+          let buf = B.load b ~name:"buf" (V.Global "outbuf") in
+          gt_check := B.last_iid b;
+          let ok = B.icmp b Lir.Instr.Ne buf (V.Null (T.Ptr (T.Struct "OutBuf"))) in
+          B.if_ b ok
+            ~then_:(fun () ->
+              (* Formatting is usually quick; a large block takes long
+                 enough for a rotation to land inside the unprotected
+                 window. *)
+              let big = B.icmp b Lir.Instr.Eq (B.rand b ~bound:6) (V.i64 0) in
+              B.if_ b big
+                ~then_:(fun () -> Dsl.pause b ~ns:170_000)
+                ~else_:(fun () -> Dsl.pause b ~ns:15_000);
+              let buf2 = B.load b ~name:"buf2" (V.Global "outbuf") in
+              gt_reuse := B.last_iid b;
+              let lenp = B.gep b ~name:"lenp" buf2 0 in
+              let len = B.load b ~name:"len" lenp in
+              B.store b ~value:(B.add b len (V.i64 1)) ~ptr:lenp)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let first = B.malloc b ~name:"first" (T.Struct "OutBuf") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b first 0);
+      B.store b ~value:first ~ptr:(V.Global "outbuf");
+      let t1 = B.spawn b "emitter" (V.i64 0) in
+      let t2 = B.spawn b "rotator" (V.i64 0) in
+      B.join b t2;
+      B.join b t1;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:103 ~functions:40;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_check; !gt_swap; !gt_reuse ];
+    delta_pairs = [ (!gt_check, !gt_swap); (!gt_swap, !gt_reuse) ];
+  }
+
+let bugs =
+  [
+    {
+      Bug.id = "pbzip2-1";
+      system = "pbzip2";
+      tracker_id = "N/A";
+      kind = Bug.Order_violation;
+      description =
+        "main nulls the shared FIFO pointer during teardown while the \
+         consumer's cleanup path still dereferences it";
+      java = false;
+      expected_delta_us = 200.0;
+      build = build_null_teardown;
+      entry = "main";
+    };
+    {
+      Bug.id = "pbzip2-2";
+      system = "pbzip2";
+      tracker_id = "N/A";
+      kind = Bug.Order_violation;
+      description =
+        "main frees the FIFO before the consumer finished; the cleanup \
+         read hits freed memory";
+      java = false;
+      expected_delta_us = 200.0;
+      build = build_free_teardown;
+      entry = "main";
+    };
+    {
+      Bug.id = "pbzip2-3";
+      system = "pbzip2";
+      tracker_id = "N/A";
+      kind = Bug.Atomicity_violation;
+      description =
+        "check-then-reuse of the shared output buffer races with the \
+         rotator's unprotected swap window";
+      java = false;
+      expected_delta_us = 150.0;
+      build = build_outbuf_swap;
+      entry = "main";
+    };
+  ]

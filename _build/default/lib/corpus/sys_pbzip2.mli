@@ -1,0 +1,6 @@
+(** Model of pbzip2, the parallel bzip2 compressor (~2 KLOC): a producer
+    enqueues blocks into a shared FIFO, consumer threads drain it.  Its
+    famous crash is an order violation — main tears the queue down while a
+    consumer still uses it.  Three corpus bugs. *)
+
+val bugs : Bug.t list

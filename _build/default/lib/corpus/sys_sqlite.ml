@@ -1,0 +1,333 @@
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+
+(* Shared scaffolding: a Db handle with two locks (database and journal),
+   a page counter and a dirty flag.  A writer executes transactions while
+   a checkpointer occasionally flushes the journal. *)
+
+let declare_db m =
+  let mutex = Dsl.mutex_struct m in
+  (* Db = { db_lock; journal_lock; pages; dirty } *)
+  ignore (Lir.Irmod.declare_struct m "Db" [ mutex; mutex; T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "db" (T.Ptr (T.Struct "Db"));
+  Lir.Irmod.declare_global m "txns_done" T.I64
+
+let f_db_lock = 0
+let f_journal_lock = 1
+let f_pages = 2
+let f_dirty = 3
+
+let define_main m ~writer ~helper =
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let db = B.malloc b ~name:"db" (T.Struct "Db") in
+      B.call_void b Lir.Intrinsics.mutex_init [ B.gep b db f_db_lock ];
+      B.call_void b Lir.Intrinsics.mutex_init [ B.gep b db f_journal_lock ];
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b db f_pages);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b db f_dirty);
+      B.store b ~value:db ~ptr:(V.Global "db");
+      let t1 = B.spawn b writer (V.i64 0) in
+      let t2 = B.spawn b helper (V.i64 0) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b)
+
+(* sqlite-1: classic two-lock deadlock.  The writer takes db_lock then
+   journal_lock; the checkpointer occasionally takes journal_lock then
+   db_lock. *)
+let build_journal_deadlock () =
+  let m = Lir.Irmod.create "sqlite" in
+  declare_db m;
+  let gt_w_hold = ref (-1) in
+  let gt_w_attempt = ref (-1) in
+  let gt_c_hold = ref (-1) in
+  let gt_c_attempt = ref (-1) in
+  B.define m "writer" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let db = B.load b ~name:"db" (V.Global "db") in
+      let dlock = B.gep b ~name:"dlock" db f_db_lock in
+      let jlock = B.gep b ~name:"jlock" db f_journal_lock in
+      B.for_ b ~from:0 ~below:(V.i64 8) (fun _ ->
+          Dsl.io_pause b ~ns:260_000;
+          B.mutex_lock b dlock;
+          gt_w_hold := B.last_iid b;
+          (* Prepare the row update before journaling it. *)
+          Dsl.pause b ~ns:280_000;
+          B.mutex_lock b jlock;
+          gt_w_attempt := B.last_iid b;
+          let pages = B.gep b ~name:"pages" db f_pages in
+          let p = B.load b ~name:"p" pages in
+          B.store b ~value:(B.add b p (V.i64 1)) ~ptr:pages;
+          B.mutex_unlock b jlock;
+          B.mutex_unlock b dlock);
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "txns_done");
+      B.ret_void b);
+  B.define m "checkpointer" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let db = B.load b ~name:"db" (V.Global "db") in
+      let dlock = B.gep b ~name:"dlock" db f_db_lock in
+      let jlock = B.gep b ~name:"jlock" db f_journal_lock in
+      B.for_ b ~from:0 ~below:(V.i64 6) (fun _ ->
+          Dsl.io_pause b ~ns:380_000;
+          (* Checkpoint only when the journal looks worth flushing. *)
+          Dsl.probe_word b dlock;
+          Dsl.probe_word b jlock;
+          let worth = B.icmp b Lir.Instr.Eq (B.rand b ~bound:3) (V.i64 0) in
+          B.if_ b worth
+            ~then_:(fun () ->
+              B.mutex_lock b jlock;
+              gt_c_hold := B.last_iid b;
+              (* BUG: grabs db_lock while holding journal_lock — the
+                 opposite order from the writer. *)
+              Dsl.pause b ~ns:240_000;
+              B.mutex_lock b dlock;
+              gt_c_attempt := B.last_iid b;
+              let dirty = B.gep b ~name:"dirty" db f_dirty in
+              B.store b ~value:(V.i64 0) ~ptr:dirty;
+              B.mutex_unlock b dlock;
+              B.mutex_unlock b jlock)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  define_main m ~writer:"writer" ~helper:"checkpointer";
+  Dsl.add_cold_code m ~seed:201 ~functions:60;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_w_hold; !gt_w_attempt; !gt_c_hold; !gt_c_attempt ];
+    delta_pairs = [ (!gt_w_attempt, !gt_c_attempt) ];
+  }
+
+(* sqlite-2: deadlock between a transaction rollback (journal -> db) and
+   a busy-handler retry path (db -> journal), both in the writer-facing
+   API but driven from different threads. *)
+let build_rollback_deadlock () =
+  let m = Lir.Irmod.create "sqlite" in
+  declare_db m;
+  let gt_w_hold = ref (-1) in
+  let gt_w_attempt = ref (-1) in
+  let gt_r_hold = ref (-1) in
+  let gt_r_attempt = ref (-1) in
+  B.define m "busy_retry" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let db = B.load b ~name:"db" (V.Global "db") in
+      let dlock = B.gep b ~name:"dlock" db f_db_lock in
+      let jlock = B.gep b ~name:"jlock" db f_journal_lock in
+      B.for_ b ~from:0 ~below:(V.i64 7) (fun _ ->
+          Dsl.io_pause b ~ns:310_000;
+          B.mutex_lock b dlock;
+          gt_w_hold := B.last_iid b;
+          Dsl.pause b ~ns:320_000;
+          B.mutex_lock b jlock;
+          gt_w_attempt := B.last_iid b;
+          let pages = B.gep b ~name:"pages" db f_pages in
+          let p = B.load b ~name:"p" pages in
+          B.store b ~value:(B.add b p (V.i64 1)) ~ptr:pages;
+          B.mutex_unlock b jlock;
+          B.mutex_unlock b dlock);
+      B.ret_void b);
+  B.define m "rollback" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let db = B.load b ~name:"db" (V.Global "db") in
+      let dlock = B.gep b ~name:"dlock" db f_db_lock in
+      let jlock = B.gep b ~name:"jlock" db f_journal_lock in
+      B.for_ b ~from:0 ~below:(V.i64 5) (fun _ ->
+          Dsl.io_pause b ~ns:420_000;
+          let hot = B.icmp b Lir.Instr.Eq (B.rand b ~bound:3) (V.i64 0) in
+          B.if_ b hot
+            ~then_:(fun () ->
+              B.mutex_lock b jlock;
+              gt_r_hold := B.last_iid b;
+              Dsl.pause b ~ns:260_000;
+              B.mutex_lock b dlock;
+              gt_r_attempt := B.last_iid b;
+              let dirty = B.gep b ~name:"dirty" db f_dirty in
+              B.store b ~value:(V.i64 1) ~ptr:dirty;
+              B.mutex_unlock b dlock;
+              B.mutex_unlock b jlock)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  define_main m ~writer:"busy_retry" ~helper:"rollback";
+  Dsl.add_cold_code m ~seed:202 ~functions:60;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_w_hold; !gt_w_attempt; !gt_r_hold; !gt_r_attempt ];
+    delta_pairs = [ (!gt_w_attempt, !gt_r_attempt) ];
+  }
+
+(* sqlite-3: order violation — sqlite3_close nulls the handle while a
+   reader is still inside a statement. *)
+let build_close_order_violation () =
+  let m = Lir.Irmod.create "sqlite" in
+  declare_db m;
+  let gt_write = ref (-1) in
+  let gt_read = ref (-1) in
+  B.define m "reader" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let local = B.load b ~name:"local" (V.Global "db") in
+      B.for_ b ~from:0 ~below:(V.i64 9) (fun _ ->
+          Dsl.io_pause b ~ns:230_000;
+          let pages = B.gep b ~name:"pages" local f_pages in
+          let p = B.load b ~name:"p" pages in
+          B.call_void b Lir.Intrinsics.print_i64 [ p ]);
+      (* Final statistics query re-reads the shared handle; a slow stat
+         aggregation loses the race against sqlite3_close. *)
+      let slow = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b slow
+        ~then_:(fun () -> Dsl.io_pause b ~ns:900_000)
+        ~else_:(fun () -> Dsl.io_pause b ~ns:80_000);
+      let handle = B.load b ~name:"handle" (V.Global "db") in
+      gt_read := B.last_iid b;
+      let pages = B.gep b ~name:"pages2" handle f_pages in
+      let p = B.load b ~name:"p2" pages in
+      B.call_void b Lir.Intrinsics.print_i64 [ p ];
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let db = B.malloc b ~name:"db" (T.Struct "Db") in
+      B.call_void b Lir.Intrinsics.mutex_init [ B.gep b db f_db_lock ];
+      B.call_void b Lir.Intrinsics.mutex_init [ B.gep b db f_journal_lock ];
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b db f_pages);
+      B.store b ~value:db ~ptr:(V.Global "db");
+      let t = B.spawn b "reader" (V.i64 0) in
+      B.for_ b ~from:0 ~below:(V.i64 9) (fun _ ->
+          Dsl.pause b ~ns:240_000;
+          let pages = B.gep b ~name:"pages" db f_pages in
+          let p = B.load b ~name:"p" pages in
+          B.store b ~value:(B.add b p (V.i64 1)) ~ptr:pages);
+      (* BUG: sqlite3_close runs after a fixed drain period, without
+         waiting for the reader. *)
+      Dsl.pause b ~ns:500_000;
+      Dsl.probe_global b "db";
+      B.store b ~value:(V.Null (T.Ptr (T.Struct "Db"))) ~ptr:(V.Global "db");
+      gt_write := B.last_iid b;
+      Dsl.checkpoint b;
+      B.join b t;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:203 ~functions:60;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_write; !gt_read ];
+    delta_pairs = [ (!gt_write, !gt_read) ];
+  }
+
+(* sqlite-4: RWR atomicity violation on the page-cache pointer: a reader
+   validates the cache entry, then re-fetches it after a computed step
+   while the cache manager invalidates entries in between. *)
+let build_pcache_atomicity () =
+  let m = Lir.Irmod.create "sqlite" in
+  ignore (Dsl.mutex_struct m);
+  ignore (Lir.Irmod.declare_struct m "Page" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "pcache" (T.Ptr (T.Struct "Page"));
+  Lir.Irmod.declare_global m "shutdown" T.I64;
+  let gt_check = ref (-1) in
+  let gt_invalidate = ref (-1) in
+  let gt_reuse = ref (-1) in
+  B.define m "cache_manager" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 10) (fun _ ->
+          Dsl.io_pause b ~ns:610_000;
+          (* Invalidate, then install the replacement page. *)
+          B.store b ~value:(V.Null (T.Ptr (T.Struct "Page")))
+            ~ptr:(V.Global "pcache");
+          gt_invalidate := B.last_iid b;
+          Dsl.checkpoint b;
+          Dsl.pause b ~ns:140_000;
+          let page = B.malloc b ~name:"page" (T.Struct "Page") in
+          B.store b ~value:(V.i64 0) ~ptr:(B.gep b page 0);
+          B.store b ~value:page ~ptr:(V.Global "pcache"));
+      B.store b ~value:(V.i64 1) ~ptr:(V.Global "shutdown");
+      B.ret_void b);
+  B.define m "reader" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.while_ b
+        ~cond:(fun () ->
+          let s = B.load b ~name:"s" (V.Global "shutdown") in
+          B.icmp b Lir.Instr.Eq s (V.i64 0))
+        ~body:(fun () ->
+          Dsl.io_pause b ~ns:270_000;
+          let page = B.load b ~name:"page" (V.Global "pcache") in
+          gt_check := B.last_iid b;
+          let ok =
+            B.icmp b Lir.Instr.Ne page (V.Null (T.Ptr (T.Struct "Page")))
+          in
+          B.if_ b ok
+            ~then_:(fun () ->
+              (* Pin and decode the page; large pages take long enough for
+                 an invalidation to slip in. *)
+              let big = B.icmp b Lir.Instr.Eq (B.rand b ~bound:5) (V.i64 0) in
+              B.if_ b big
+                ~then_:(fun () -> Dsl.pause b ~ns:190_000)
+                ~else_:(fun () -> Dsl.pause b ~ns:12_000);
+              let page2 = B.load b ~name:"page2" (V.Global "pcache") in
+              gt_reuse := B.last_iid b;
+              let hits = B.gep b ~name:"hits" page2 0 in
+              let h = B.load b ~name:"h" hits in
+              B.store b ~value:(B.add b h (V.i64 1)) ~ptr:hits)
+            ~else_:(fun () -> ()));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let first = B.malloc b ~name:"first" (T.Struct "Page") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b first 0);
+      B.store b ~value:first ~ptr:(V.Global "pcache");
+      let t1 = B.spawn b "reader" (V.i64 0) in
+      let t2 = B.spawn b "cache_manager" (V.i64 0) in
+      B.join b t2;
+      B.join b t1;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:204 ~functions:60;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_check; !gt_invalidate; !gt_reuse ];
+    delta_pairs = [ (!gt_check, !gt_invalidate); (!gt_invalidate, !gt_reuse) ];
+  }
+
+let bugs =
+  [
+    {
+      Bug.id = "sqlite-1";
+      system = "sqlite";
+      tracker_id = "1672";
+      kind = Bug.Deadlock;
+      description =
+        "writer takes db_lock then journal_lock; checkpointer takes them \
+         in the opposite order";
+      java = false;
+      expected_delta_us = 130.0;
+      build = build_journal_deadlock;
+      entry = "main";
+    };
+    {
+      Bug.id = "sqlite-2";
+      system = "sqlite";
+      tracker_id = "N/A";
+      kind = Bug.Deadlock;
+      description =
+        "busy-handler retry (db->journal) deadlocks against rollback \
+         (journal->db)";
+      java = false;
+      expected_delta_us = 150.0;
+      build = build_rollback_deadlock;
+      entry = "main";
+    };
+    {
+      Bug.id = "sqlite-3";
+      system = "sqlite";
+      tracker_id = "N/A";
+      kind = Bug.Order_violation;
+      description =
+        "sqlite3_close nulls the shared handle while a reader's final \
+         statistics query still dereferences it";
+      java = false;
+      expected_delta_us = 300.0;
+      build = build_close_order_violation;
+      entry = "main";
+    };
+    {
+      Bug.id = "sqlite-4";
+      system = "sqlite";
+      tracker_id = "N/A";
+      kind = Bug.Atomicity_violation;
+      description =
+        "page-cache check-then-reuse races with the cache manager's \
+         invalidate/replace window";
+      java = false;
+      expected_delta_us = 100.0;
+      build = build_pcache_atomicity;
+      entry = "main";
+    };
+  ]

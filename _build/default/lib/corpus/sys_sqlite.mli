@@ -1,0 +1,7 @@
+(** Model of SQLite (~100 KLOC): an embedded database with a connection
+    handle protected by a database lock and a journal lock, a page cache,
+    and a background checkpointer.  Four corpus bugs: two lock-order
+    deadlocks, one teardown order violation, one page-cache atomicity
+    violation. *)
+
+val bugs : Bug.t list

@@ -1,0 +1,151 @@
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+
+let build_session_torrent_deadlock () =
+  Scenario.two_lock_deadlock
+    {
+      Scenario.system = "transmission";
+      lock1 = "session_lock";
+      lock2 = "torrent_lock";
+      counter1 = "session_peers";
+      counter2 = "torrent_bytes";
+      thread_a = "peer_io";
+      thread_b = "torrent_stopper";
+      iters_a = 8;
+      iters_b = 5;
+      gap_a_ns = 480_000;
+      gap_b_ns = 820_000;
+      hold_a_ns = 506_000;
+      hold_b_ns = 418_000;
+      b_one_in = 3;
+      cold_seed = 601;
+      cold_functions = 50;
+    }
+
+(* transmission-2 (order violation): tr_torrentFree nulls the torrent
+   while the tracker announce timer still reads its stats — the crash
+   that plagued shutdown for years. *)
+let build_torrent_close_order () =
+  let m = Lir.Irmod.create "transmission" in
+  ignore (Dsl.mutex_struct m);
+  (* Torrent = { downloaded; uploaded } *)
+  ignore (Lir.Irmod.declare_struct m "Torrent" [ T.I64; T.I64 ]);
+  Lir.Irmod.declare_global m "torrent" (T.Ptr (T.Struct "Torrent"));
+  let gt_write = ref (-1) in
+  let gt_read = ref (-1) in
+  B.define m "announce_timer" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 6) (fun _ ->
+          (* Tracker interval, with DNS/TCP jitter on the last announce. *)
+          Dsl.io_pause b ~ns:800_000;
+          let tor = B.load b ~name:"tor" (V.Global "torrent") in
+          gt_read := B.last_iid b;
+          let down = B.gep b ~name:"down" tor 0 in
+          let d = B.load b ~name:"d" down in
+          B.call_void b Lir.Intrinsics.print_i64 [ d ]);
+      B.ret_void b);
+  B.define m "downloader" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      let tor = B.load b ~name:"tor" (V.Global "torrent") in
+      B.for_ b ~from:0 ~below:(V.i64 16) (fun _ ->
+          Dsl.io_pause b ~ns:260_000;
+          let down = B.gep b ~name:"down" tor 0 in
+          let d = B.load b ~name:"d" down in
+          B.store b ~value:(B.add b d (V.i64 16384)) ~ptr:down);
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let tor = B.malloc b ~name:"tor" (T.Struct "Torrent") in
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b tor 0);
+      B.store b ~value:(V.i64 0) ~ptr:(B.gep b tor 1);
+      B.store b ~value:tor ~ptr:(V.Global "torrent");
+      let t1 = B.spawn b "announce_timer" (V.i64 0) in
+      let t2 = B.spawn b "downloader" (V.i64 0) in
+      B.join b t2;
+      (* BUG: the user hits "remove torrent" as the download completes;
+         the timer thread may still have one announce in flight. *)
+      let quick_user = B.icmp b Lir.Instr.Eq (B.rand b ~bound:2) (V.i64 0) in
+      B.if_ b quick_user
+        ~then_:(fun () -> Dsl.pause b ~ns:180_000)
+        ~else_:(fun () -> Dsl.pause b ~ns:1_300_000);
+      Dsl.probe_global b "torrent";
+      B.store b ~value:(V.Null (T.Ptr (T.Struct "Torrent"))) ~ptr:(V.Global "torrent");
+      gt_write := B.last_iid b;
+      Dsl.checkpoint b;
+      B.join b t1;
+      B.ret_void b);
+  Dsl.add_cold_code m ~seed:602 ~functions:50;
+  Lir.Verify.check_exn m;
+  {
+    Bug.m;
+    ground_truth = [ !gt_write; !gt_read ];
+    delta_pairs = [ (!gt_write, !gt_read) ];
+  }
+
+let build_bandwidth_uaf () =
+  Scenario.teardown_order
+    {
+      Scenario.system = "transmission";
+      struct_name = "Bandwidth";
+      global_name = "session_bandwidth";
+      worker_name = "peer_reader";
+      teardown_name = "session_close";
+      retire = `Free;
+      items = 11;
+      item_gap_ns = 300_000;
+      cleanup_slow_ns = 1_000_000;
+      cleanup_fast_ns = 80_000;
+      grace_ns = 520_000;
+      cold_seed = 603;
+      cold_functions = 50;
+    }
+
+let build_peer_msgs_atomicity () =
+  Scenario.check_reuse
+    {
+      Scenario.system = "transmission";
+      struct_name = "PeerMsgs";
+      global_name = "active_peer";
+      mutator_name = "peer_reconnector";
+      checker_name = "request_scheduler";
+      rotations = 9;
+      rotate_gap_ns = 680_000;
+      swap_gap_ns = 212_500;
+      poll_ns = 310_000;
+      long_ns = 220_000;
+      short_ns = 18_000;
+      long_one_in = 4;
+      cold_seed = 604;
+      cold_functions = 50;
+    }
+
+let mk id tracker kind description delta build =
+  {
+    Bug.id;
+    system = "transmission";
+    tracker_id = tracker;
+    kind;
+    description;
+    java = false;
+    expected_delta_us = delta;
+    build;
+    entry = "main";
+  }
+
+let bugs =
+  [
+    mk "transmission-1" "1818" Bug.Deadlock
+      "peer I/O nests session_lock then torrent_lock; the stopper nests \
+       them the other way"
+      220.0 build_session_torrent_deadlock;
+    mk "transmission-2" "N/A" Bug.Order_violation
+      "remove-torrent nulls the handle while the announce timer still \
+       reads its stats"
+      600.0 build_torrent_close_order;
+    mk "transmission-3" "N/A" Bug.Order_violation
+      "session close frees the bandwidth accounting while a peer reader \
+       still charges bytes to it"
+      400.0 build_bandwidth_uaf;
+    mk "transmission-4" "N/A" Bug.Atomicity_violation
+      "request scheduler checks then reuses the peer-msgs pointer while \
+       the reconnector swaps it"
+      250.0 build_peer_msgs_atomicity;
+  ]

@@ -1,0 +1,5 @@
+(** Model of Transmission (~60 KLOC BitTorrent client): torrents with
+    per-torrent state, a session with shared bandwidth accounting, tracker
+    announces and peer I/O.  Four corpus bugs. *)
+
+val bugs : Bug.t list

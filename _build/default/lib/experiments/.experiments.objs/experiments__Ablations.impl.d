@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Corpus Float List Printf Pt Snorlax_core Snorlax_util

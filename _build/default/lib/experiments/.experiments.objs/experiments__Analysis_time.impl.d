@@ -1,0 +1,1 @@
+lib/experiments/analysis_time.ml: Analysis Corpus Eval_runs Float List Pt Snorlax_core Snorlax_util Sys

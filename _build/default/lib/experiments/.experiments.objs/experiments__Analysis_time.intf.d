@@ -1,0 +1,1 @@
+lib/experiments/analysis_time.mli: Eval_runs

@@ -1,0 +1,1 @@
+lib/experiments/eval_runs.ml: Corpus Hashtbl List Pt Snorlax_core

@@ -1,0 +1,1 @@
+lib/experiments/eval_runs.mli: Corpus Snorlax_core

@@ -1,0 +1,1 @@
+lib/experiments/hypothesis.ml: Array Corpus Float Hashtbl Lir List Printf Sim Snorlax_util

@@ -1,0 +1,1 @@
+lib/experiments/latency.ml: Analysis Corpus Eval_runs Gist List Pt Snorlax_core Snorlax_util

@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: List Pt Snorlax_util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Analysis_time Corpus Eval_runs Hypothesis Latency List Overhead Printf Scalability Snorlax_core Snorlax_util Stages

@@ -1,0 +1,1 @@
+lib/experiments/report.mli: Analysis_time Hypothesis Latency Overhead Scalability Stages

@@ -1,0 +1,1 @@
+lib/experiments/scalability.ml: Gist List Pt Snorlax_util Workloads

@@ -1,0 +1,1 @@
+lib/experiments/stages.ml: Corpus Eval_runs List Snorlax_core Snorlax_util

@@ -1,0 +1,1 @@
+lib/experiments/stages.mli: Eval_runs

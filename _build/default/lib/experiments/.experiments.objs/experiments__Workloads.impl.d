@@ -1,0 +1,1 @@
+lib/experiments/workloads.ml: Corpus Gist Lir List Pt Sim String

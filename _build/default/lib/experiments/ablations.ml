@@ -1,0 +1,217 @@
+module Core = Snorlax_core
+module Tablefmt = Snorlax_util.Tablefmt
+
+let diagnose_with_config bug ~pt_config =
+  match Corpus.Runner.collect bug ~pt_config () with
+  | Error msg -> Error msg
+  | Ok c ->
+    let res =
+      Core.Diagnosis.diagnose c.Corpus.Runner.built.Corpus.Bug.m
+        ~config:pt_config ~failing:c.Corpus.Runner.failing
+        ~successful:c.Corpus.Runner.successful
+    in
+    Ok (c, res)
+
+let correctness c (res : Core.Diagnosis.result) =
+  match res.Core.Diagnosis.top with
+  | None -> (false, false)
+  | Some top ->
+    ( true,
+      Core.Accuracy.root_cause_match ~diagnosed:top.Core.Statistics.pattern
+        ~ground_truth:c.Corpus.Runner.built.Corpus.Bug.ground_truth )
+
+(* --- timing granularity -------------------------------------------------- *)
+
+type timing_row = {
+  mode : string;
+  patterns : int;
+  diagnosed : bool;
+  correct : bool;
+  candidates : int;
+}
+
+let timing_sweep ?(bug_id = "mysql-7") () =
+  let bug = Corpus.Registry.find bug_id in
+  let modes =
+    [
+      ("cyc+mtc (default)", Pt.Config.Cyc_and_mtc { mtc_period_ns = 1024 });
+      ("mtc only, 4 us", Pt.Config.Mtc_only { mtc_period_ns = 4_096 });
+      ("mtc only, 64 us", Pt.Config.Mtc_only { mtc_period_ns = 65_536 });
+      ("mtc only, 1 ms", Pt.Config.Mtc_only { mtc_period_ns = 1_048_576 });
+      ("no timing", Pt.Config.No_timing);
+    ]
+  in
+  List.map
+    (fun (mode, timing) ->
+      let pt_config = { Pt.Config.default with Pt.Config.timing } in
+      match diagnose_with_config bug ~pt_config with
+      | Error _ ->
+        { mode; patterns = 0; diagnosed = false; correct = false; candidates = 0 }
+      | Ok (c, res) ->
+        let diagnosed, correct = correctness c res in
+        {
+          mode;
+          patterns = List.length res.Core.Diagnosis.scored;
+          diagnosed;
+          correct;
+          candidates = res.Core.Diagnosis.stage_counts.Core.Diagnosis.after_points_to;
+        })
+    modes
+
+(* --- ring-buffer size ----------------------------------------------------- *)
+
+type ring_row = {
+  ring_bytes : int;
+  decoded_events : int;
+  r_diagnosed : bool;
+  r_correct : bool;
+}
+
+let ring_sweep ?(bug_id = "pbzip2-1") () =
+  let bug = Corpus.Registry.find bug_id in
+  List.map
+    (fun ring_bytes ->
+      (* The PSB cadence is a fixed driver setting (4 KB, as deployed);
+         rings smaller than it cannot re-sync after wrap-around. *)
+      let pt_config =
+        { Pt.Config.default with Pt.Config.buffer_size = ring_bytes }
+      in
+      match diagnose_with_config bug ~pt_config with
+      | Error _ ->
+        { ring_bytes; decoded_events = 0; r_diagnosed = false; r_correct = false }
+      | Ok (c, res) ->
+        let diagnosed, correct = correctness c res in
+        let first = List.hd c.Corpus.Runner.failing in
+        let tp =
+          Core.Diagnosis.process_failing c.Corpus.Runner.built.Corpus.Bug.m
+            ~config:pt_config first
+        in
+        {
+          ring_bytes;
+          decoded_events = Array.length tp.Core.Trace_processing.events;
+          r_diagnosed = diagnosed;
+          r_correct = correct;
+        })
+    [ 65536; 16384; 6144; 2048; 512 ]
+
+(* --- successful-trace budget ---------------------------------------------- *)
+
+type budget_row = {
+  successes : int;
+  top_f1 : float;
+  margin : float;
+  b_correct : bool;
+}
+
+let success_budget_sweep ?(bug_id = "pbzip2-1") () =
+  let bug = Corpus.Registry.find bug_id in
+  match Corpus.Runner.collect bug () with
+  | Error msg -> failwith ("Ablations.success_budget_sweep: " ^ msg)
+  | Ok c ->
+    let m = c.Corpus.Runner.built.Corpus.Bug.m in
+    let gt = c.Corpus.Runner.built.Corpus.Bug.ground_truth in
+    let rec take n = function
+      | [] -> []
+      | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
+    in
+    List.map
+      (fun successes ->
+        let res =
+          Core.Diagnosis.diagnose m ~config:Pt.Config.default
+            ~failing:c.Corpus.Runner.failing
+            ~successful:(take successes c.Corpus.Runner.successful)
+        in
+        match res.Core.Diagnosis.scored with
+        | [] -> { successes; top_f1 = 0.0; margin = 0.0; b_correct = false }
+        | (top : Core.Statistics.scored) :: _ ->
+          let correct =
+            Core.Accuracy.root_cause_match
+              ~diagnosed:top.Core.Statistics.pattern ~ground_truth:gt
+          in
+          (* The margin is the F1 gap between the best pattern covering
+             the ground-truth instructions (the RWR sibling of a WR root
+             cause counts: same finding) and the best pattern naming other
+             code.  Zero means statistics cannot tell them apart. *)
+          let covers_gt (s : Core.Statistics.scored) =
+            let iids = Core.Patterns.ordered_iids s.Core.Statistics.pattern in
+            List.for_all (fun g -> List.mem g iids) gt
+          in
+          let best pred =
+            List.fold_left
+              (fun acc (s : Core.Statistics.scored) ->
+                if pred s then Float.max acc s.Core.Statistics.f1 else acc)
+              0.0 res.Core.Diagnosis.scored
+          in
+          {
+            successes;
+            top_f1 = top.Core.Statistics.f1;
+            margin = best covers_gt -. best (fun s -> not (covers_gt s));
+            b_correct = correct;
+          })
+      [ 0; 1; 2; 5; 10 ]
+
+(* --- printing -------------------------------------------------------------- *)
+
+let print_all () =
+  Printf.printf "\n=== Ablation: timing-packet granularity (mysql-7) ===\n";
+  let t =
+    Tablefmt.create
+      ~headers:[ "timing mode"; "candidates"; "patterns"; "diagnosed"; "correct" ]
+  in
+  Tablefmt.set_align t
+    Tablefmt.[ Left; Right; Right; Left; Left ];
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          r.mode;
+          string_of_int r.candidates;
+          string_of_int r.patterns;
+          (if r.diagnosed then "yes" else "no");
+          (if r.correct then "yes" else "events-only");
+        ])
+    (timing_sweep ());
+  Tablefmt.print t;
+  Printf.printf
+    "Coarser timing keeps the candidate events but erodes the ordering; \
+     with no timing the tool degrades to listing events, as section 7 \
+     describes.\n";
+  Printf.printf "\n=== Ablation: ring-buffer size (pbzip2-1) ===\n";
+  let t =
+    Tablefmt.create
+      ~headers:[ "ring (bytes)"; "decoded events"; "diagnosed"; "correct" ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          string_of_int r.ring_bytes;
+          string_of_int r.decoded_events;
+          (if r.r_diagnosed then "yes" else "no");
+          (if r.r_correct then "yes" else "no");
+        ])
+    (ring_sweep ());
+  Tablefmt.print t;
+  Printf.printf
+    "The window shrinks with the ring until the bug's control-flow \
+     footprint (and eventually the PSB sync point) falls out — the \
+     short-distance-hypothesis limit of section 7.\n";
+  Printf.printf "\n=== Ablation: successful-trace budget (pbzip2-1) ===\n";
+  let t =
+    Tablefmt.create ~headers:[ "success traces"; "top F1"; "margin"; "correct" ]
+  in
+  List.iter
+    (fun r ->
+      Tablefmt.add_row t
+        [
+          string_of_int r.successes;
+          Printf.sprintf "%.2f" r.top_f1;
+          Printf.sprintf "%.2f" r.margin;
+          (if r.b_correct then "yes" else "no");
+        ])
+    (success_budget_sweep ());
+  Tablefmt.print t;
+  Printf.printf
+    "Without successful traces every candidate ties at F1 = 1; a handful \
+     of traces separates the root cause, supporting the paper's 10x cap \
+     (section 4.5).\n"

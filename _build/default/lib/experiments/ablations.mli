@@ -1,0 +1,45 @@
+(** Ablations of the design choices DESIGN.md calls out (beyond Table 4
+    and Figure 7, which already ablate scope restriction and type
+    ranking): timing-packet granularity, ring-buffer size, and the
+    successful-trace budget. *)
+
+type timing_row = {
+  mode : string;
+  patterns : int;  (** candidate patterns the pipeline could still form *)
+  diagnosed : bool;
+  correct : bool;
+  candidates : int;  (** aliasing instructions — reported even unordered *)
+}
+
+val timing_sweep : ?bug_id:string -> unit -> timing_row list
+(** Re-trace and re-diagnose one bug under CYC+MTC (default), MTC-only at
+    widening periods, and no timing at all.  Coarser timing keeps the
+    candidate events but loses the ordering, exactly the degradation §7
+    describes. *)
+
+type ring_row = {
+  ring_bytes : int;
+  decoded_events : int;  (** events surviving in the failing thread *)
+  r_diagnosed : bool;
+  r_correct : bool;
+}
+
+val ring_sweep : ?bug_id:string -> unit -> ring_row list
+(** Shrink the per-thread ring buffer: once the window (and eventually
+    its PSB sync point) no longer covers the bug's control-flow
+    footprint, diagnosis degrades — the short-distance-hypothesis limit
+    of §7. *)
+
+type budget_row = {
+  successes : int;
+  top_f1 : float;
+  margin : float;  (** top F1 minus the best non-matching pattern's F1 *)
+  b_correct : bool;
+}
+
+val success_budget_sweep : ?bug_id:string -> unit -> budget_row list
+(** Diagnose with 0..10 successful traces: without successes every
+    pattern ties at F1 = 1 (no statistical power); a few traces restore
+    the separation, supporting the paper's empirically-chosen 10x cap. *)
+
+val print_all : unit -> unit

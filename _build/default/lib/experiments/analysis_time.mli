@@ -1,0 +1,21 @@
+(** Table 4: server-side analysis time per received trace and the speedup
+    of the hybrid (scope-restricted) points-to analysis over a
+    whole-program static analysis of the same module.  Times are real,
+    measured wall-clock seconds of this OCaml implementation; the paper's
+    absolute numbers differ, but the speedup is the measured quantity the
+    table is about. *)
+
+type row = {
+  bug_id : string;
+  system : string;
+  analysis_s : float;  (** full pipeline (steps 2-7) per trace *)
+  hybrid_pta_s : float;
+  static_pta_s : float;  (** whole-program points-to on the same module *)
+  speedup : float;  (** static_pta_s / hybrid_pta_s *)
+  scope_reduction : float;  (** static instrs / executed instrs *)
+}
+
+val of_entry : Eval_runs.entry -> row
+
+val run : unit -> row list * float
+(** Rows plus the geometric-mean speedup (the paper reports 24x). *)

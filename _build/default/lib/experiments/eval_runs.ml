@@ -1,0 +1,40 @@
+module Core = Snorlax_core
+
+type entry = {
+  bug : Corpus.Bug.t;
+  collected : Corpus.Runner.collected;
+  diagnosis : Core.Diagnosis.result;
+}
+
+let cache : (string, entry) Hashtbl.t = Hashtbl.create 16
+
+let get bug =
+  match Hashtbl.find_opt cache bug.Corpus.Bug.id with
+  | Some e -> e
+  | None ->
+    let collected =
+      match Corpus.Runner.collect bug () with
+      | Ok c -> c
+      | Error msg -> failwith ("Eval_runs.get: " ^ msg)
+    in
+    let diagnosis =
+      Core.Diagnosis.diagnose collected.Corpus.Runner.built.Corpus.Bug.m
+        ~config:Pt.Config.default ~failing:collected.Corpus.Runner.failing
+        ~successful:collected.Corpus.Runner.successful
+    in
+    let e = { bug; collected; diagnosis } in
+    Hashtbl.add cache bug.Corpus.Bug.id e;
+    e
+
+let eval_entries () = List.map get Corpus.Registry.eval_set
+
+let accuracy_of e =
+  let gt = e.collected.Corpus.Runner.built.Corpus.Bug.ground_truth in
+  match e.diagnosis.Core.Diagnosis.top with
+  | None -> (false, 0.0, false)
+  | Some top ->
+    ( Core.Accuracy.root_cause_match ~diagnosed:top.Core.Statistics.pattern
+        ~ground_truth:gt,
+      Core.Accuracy.ordering_accuracy ~diagnosed:top.Core.Statistics.pattern
+        ~ground_truth:gt,
+      e.diagnosis.Core.Diagnosis.unique_top )

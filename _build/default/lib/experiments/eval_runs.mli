@@ -1,0 +1,21 @@
+(** Shared, memoized end-to-end runs of the 11-bug evaluation set: each
+    bug is reproduced once, ten successful traces are gathered at the
+    failure location, and the full diagnosis pipeline runs — the inputs to
+    §6.1 accuracy, Figure 7, Table 4 and the §6.3 latency comparison. *)
+
+type entry = {
+  bug : Corpus.Bug.t;
+  collected : Corpus.Runner.collected;
+  diagnosis : Snorlax_core.Diagnosis.result;
+}
+
+val get : Corpus.Bug.t -> entry
+(** Memoized per bug id (the corpus builds deterministically, so one
+    collection per process is enough). *)
+
+val eval_entries : unit -> entry list
+(** All 11 evaluation bugs, collected and diagnosed. *)
+
+val accuracy_of : entry -> bool * float * bool
+(** (root-cause match vs ground truth, ordering accuracy A_O, unique top
+    F1). *)

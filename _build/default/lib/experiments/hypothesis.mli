@@ -1,0 +1,32 @@
+(** The coarse-interleaving-hypothesis study (§3.2, Tables 1–3): reproduce
+    every corpus bug several times while timestamping its target
+    instructions (the clock_gettime instrumentation of the paper) and
+    measure the time elapsed between consecutive target events. *)
+
+type measurement = {
+  bug : Corpus.Bug.t;
+  deltas_us : float list list;
+      (** one list per ΔT pair (deadlock/order: one; atomicity: ΔT1, ΔT2),
+          each with one sample per reproduced failure *)
+  runs_to_reproduce : int list;  (** executions needed per reproduction *)
+}
+
+type row = {
+  r_bug : Corpus.Bug.t;
+  avg_us : float list;  (** mean per ΔT pair *)
+  std_us : float list;
+  min_us : float;
+}
+
+val measure : ?samples:int -> ?max_tries:int -> Corpus.Bug.t -> measurement
+(** Reproduce the bug [samples] (default 10, the paper's count) times. *)
+
+val row_of_measurement : measurement -> row
+
+val run :
+  ?samples:int -> kind:Corpus.Bug.kind -> unit -> row list
+(** All corpus bugs of one kind — one table of the paper. *)
+
+val summary : row list list -> float * float * float
+(** (smallest per-bug average, largest per-bug average, global minimum
+    sample) across tables — the paper quotes 154 µs, 3505 µs and 91 µs. *)

@@ -1,0 +1,40 @@
+module Stats = Snorlax_util.Stats
+module D = Snorlax_core.Diagnosis
+module Tp = Snorlax_core.Trace_processing
+
+type row = {
+  bug_id : string;
+  snorlax_failures : int;
+  gist_recurrences : int;
+  slice_size : int;
+}
+
+let of_entry (e : Eval_runs.entry) =
+  let m = e.Eval_runs.collected.Corpus.Runner.built.Corpus.Bug.m in
+  let first = List.hd e.Eval_runs.collected.Corpus.Runner.failing in
+  let tp = D.process_failing m ~config:Pt.Config.default first in
+  let executed = tp.Tp.executed in
+  let points_to =
+    Analysis.Pointsto.analyze m ~scope:(fun iid -> Tp.Iset.mem iid executed)
+  in
+  let failing_iid = Snorlax_core.Report.failing_anchor_iid first in
+  let plan = Gist.plan m ~points_to ~failing_iid in
+  let targets =
+    e.Eval_runs.collected.Corpus.Runner.built.Corpus.Bug.ground_truth
+  in
+  {
+    bug_id = e.Eval_runs.bug.Corpus.Bug.id;
+    snorlax_failures = 1;
+    gist_recurrences = Gist.recurrences_needed plan ~targets;
+    slice_size = List.length plan.Gist.slice;
+  }
+
+let run () =
+  let rows = List.map of_entry (Eval_runs.eval_entries ()) in
+  let avg =
+    Stats.mean (List.map (fun r -> float_of_int r.gist_recurrences) rows)
+  in
+  (rows, avg)
+
+let chromium_scenario ~avg_recurrences ~tracked_bugs =
+  avg_recurrences *. float_of_int tracked_bugs

@@ -1,0 +1,22 @@
+module Stats = Snorlax_util.Stats
+
+type row = { system : string; avg_pct : float; peak_pct : float }
+
+let run ?(seeds = [ 3; 11; 27 ]) () =
+  let measure spec =
+    let pcts =
+      List.map
+        (fun seed ->
+          100.0
+          *. Workloads.run_overhead spec ~threads:2 ~seed
+               ~tracer_config:(Some Pt.Config.default) ~gist_costs:None)
+        seeds
+    in
+    {
+      system = spec.Workloads.name;
+      avg_pct = Stats.mean pcts;
+      peak_pct = snd (Stats.min_max pcts);
+    }
+  in
+  let rows = List.map measure Workloads.specs in
+  (rows, Stats.mean (List.map (fun r -> r.avg_pct) rows))

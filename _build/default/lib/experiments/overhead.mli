@@ -1,0 +1,12 @@
+(** Figure 8: runtime overhead of always-on control-flow tracing on each
+    benchmark's throughput workload (2 application threads, the paper's
+    client), averaged over several seeds. *)
+
+type row = {
+  system : string;
+  avg_pct : float;
+  peak_pct : float;  (** worst seed *)
+}
+
+val run : ?seeds:int list -> unit -> row list * float
+(** Per-system rows plus the cross-system average (the paper's 0.97%). *)

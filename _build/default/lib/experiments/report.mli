@@ -1,0 +1,28 @@
+(** Plain-text rendering of every table and figure the paper's evaluation
+    contains, in paper order.  Each [print_*] returns the data it printed
+    so callers (the bench harness, EXPERIMENTS.md generation) can reuse
+    it. *)
+
+val print_table1 : ?samples:int -> unit -> Hypothesis.row list
+(** Deadlock ΔT table. *)
+
+val print_table2 : ?samples:int -> unit -> Hypothesis.row list
+(** Order-violation ΔT table. *)
+
+val print_table3 : ?samples:int -> unit -> Hypothesis.row list
+(** Atomicity-violation ΔT1/ΔT2 table. *)
+
+val print_hypothesis_summary : Hypothesis.row list list -> unit
+
+val print_accuracy : unit -> (string * bool * float * bool) list
+(** §6.1: per eval bug (id, root-cause match, A_O, unique top). *)
+
+val print_figure7 : unit -> Stages.stage_shares list
+
+val print_table4 : unit -> Analysis_time.row list
+
+val print_figure8 : ?seeds:int list -> unit -> Overhead.row list
+
+val print_figure9 : ?threads:int list -> unit -> Scalability.point list
+
+val print_latency : unit -> Latency.row list

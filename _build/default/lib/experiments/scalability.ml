@@ -1,0 +1,38 @@
+module Stats = Snorlax_util.Stats
+
+type point = { threads : int; snorlax_pct : float; gist_pct : float }
+
+(* Keep total simulated work roughly constant as threads grow so the
+   sweep completes quickly; overhead is a ratio, so the absolute workload
+   size only affects noise. *)
+let scaled spec ~threads =
+  {
+    spec with
+    Workloads.requests = max 12 (spec.Workloads.requests * 2 / threads);
+  }
+
+let run ?(threads = [ 2; 4; 8; 16; 32 ]) ?(seed = 7) () =
+  let point threads =
+    let per_spec monitor =
+      Stats.mean
+        (List.map
+           (fun spec ->
+             let spec = scaled spec ~threads in
+             100.0
+             *.
+             match monitor with
+             | `Snorlax ->
+               Workloads.run_overhead spec ~threads ~seed
+                 ~tracer_config:(Some Pt.Config.default) ~gist_costs:None
+             | `Gist ->
+               Workloads.run_overhead spec ~threads ~seed ~tracer_config:None
+                 ~gist_costs:(Some Gist.default_costs))
+           Workloads.specs)
+    in
+    {
+      threads;
+      snorlax_pct = per_spec `Snorlax;
+      gist_pct = per_spec `Gist;
+    }
+  in
+  List.map point threads

@@ -1,0 +1,11 @@
+(** Figure 9: Snorlax vs Gist runtime overhead as the application thread
+    count doubles from 2 to 32, conflated (averaged) across the benchmark
+    workloads as in the paper. *)
+
+type point = {
+  threads : int;
+  snorlax_pct : float;
+  gist_pct : float;
+}
+
+val run : ?threads:int list -> ?seed:int -> unit -> point list

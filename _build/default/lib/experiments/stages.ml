@@ -1,0 +1,56 @@
+module Stats = Snorlax_util.Stats
+module D = Snorlax_core.Diagnosis
+
+type stage_shares = {
+  bug_id : string;
+  shares : float list;
+  reduction_trace : float;
+  reduction_ranking : float;
+}
+
+let stage_names =
+  [
+    "trace processing";
+    "hybrid points-to";
+    "type ranking";
+    "pattern computation";
+    "statistical diagnosis";
+  ]
+
+let of_entry (e : Eval_runs.entry) =
+  let c = e.Eval_runs.diagnosis.D.stage_counts in
+  let counts =
+    [
+      c.D.total_instrs;
+      c.D.after_trace_processing;
+      c.D.after_points_to;
+      c.D.after_type_ranking;
+      c.D.after_patterns;
+      c.D.after_statistics;
+    ]
+  in
+  let total_eliminated =
+    float_of_int (c.D.total_instrs - c.D.after_statistics)
+  in
+  let rec pair_shares = function
+    | a :: (b :: _ as rest) ->
+      (* A stage can only eliminate; clamp the rare case where pattern
+         enumeration lists more instruction slots than candidates. *)
+      (100.0 *. float_of_int (max 0 (a - b)) /. total_eliminated)
+      :: pair_shares rest
+    | [ _ ] | [] -> []
+  in
+  {
+    bug_id = e.Eval_runs.bug.Corpus.Bug.id;
+    shares = pair_shares counts;
+    reduction_trace =
+      float_of_int c.D.total_instrs /. float_of_int (max 1 c.D.after_trace_processing);
+    reduction_ranking =
+      float_of_int c.D.after_points_to /. float_of_int (max 1 c.D.after_type_ranking);
+  }
+
+let run () =
+  let shares = List.map of_entry (Eval_runs.eval_entries ()) in
+  let g_trace = Stats.geomean (List.map (fun s -> s.reduction_trace) shares) in
+  let g_rank = Stats.geomean (List.map (fun s -> s.reduction_ranking) shares) in
+  (shares, g_trace, g_rank)

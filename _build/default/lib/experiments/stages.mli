@@ -1,0 +1,21 @@
+(** Figure 7: how much each Lazy Diagnosis stage contributes to narrowing
+    the candidate instructions down to the root cause, plus the §6.1
+    accuracy numbers themselves. *)
+
+type stage_shares = {
+  bug_id : string;
+  shares : float list;
+      (** five percentages summing to ~100: trace processing, points-to,
+          type ranking, pattern computation, statistical diagnosis — each
+          stage's share of the total candidate elimination *)
+  reduction_trace : float;  (** the "9x" analog: static / executed *)
+  reduction_ranking : float;  (** the "4.6x" analog: candidates / rank-1 *)
+}
+
+val stage_names : string list
+
+val of_entry : Eval_runs.entry -> stage_shares
+
+val run : unit -> stage_shares list * float * float
+(** Per-bug shares plus geometric means of the trace-processing and
+    type-ranking reduction factors over the eval set. *)

@@ -1,0 +1,34 @@
+(** Throughput workloads for the overhead experiments (Figures 8 and 9):
+    bug-free server loops with per-system compute/IO profiles.  The
+    profile controls branch density, which controls how much trace the
+    hardware tracer emits per unit time — compute-bound pbzip2 tops the
+    overhead chart exactly as in the paper. *)
+
+type spec = {
+  name : string;
+  requests : int;  (** requests per worker thread *)
+  io_gap_ns : int;  (** off-CPU wait between requests *)
+  inner_iters : int;  (** branch-dense compute per request *)
+  lock_every : int;  (** take the shared lock once per N requests *)
+}
+
+val specs : spec list
+(** One per C/C++ system of §6.2's Figure 8, in display order. *)
+
+val find : string -> spec
+
+val build : spec -> threads:int -> Lir.Irmod.t * (int -> bool)
+(** The workload module (entry ["main"]) and a predicate marking the
+    worker's memory accesses — what a Gist-style tool instruments. *)
+
+val run_overhead :
+  spec ->
+  threads:int ->
+  seed:int ->
+  tracer_config:Pt.Config.t option ->
+  gist_costs:Gist.cost_model option ->
+  float
+(** Relative slowdown (e.g. 0.011 = 1.1%) of running the workload under
+    the given monitoring versus bare, same seed.  Exactly one of
+    [tracer_config]/[gist_costs] should be [Some]; both [None] returns
+    0. *)

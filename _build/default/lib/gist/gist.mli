@@ -1,0 +1,53 @@
+(** Re-implementation of Gist's algorithmic skeleton (Kasikci et al.,
+    SOSP'15 "Failure Sketching"), the state-of-the-art baseline of §6.3.
+
+    Gist computes a static backward slice from the failing instruction and
+    then *iteratively* instruments widening windows of the slice across
+    failure recurrences, refining the failure sketch each time.  Its
+    instrumentation tracks the order of shared accesses with blocking
+    synchronization, which is why its overhead grows with thread count
+    (Figure 9), and its sampling-in-space means it monitors one bug per
+    execution, multiplying diagnosis latency by the number of tracked bugs
+    (§6.3). *)
+
+type plan = {
+  slice : int list;  (** backward slice from the failing instruction *)
+  windows : int list list;
+      (** slice iids by dependence depth: window k is instrumented from
+          recurrence k+1 on *)
+}
+
+val plan : Lir.Irmod.t -> points_to:Analysis.Pointsto.t -> failing_iid:int -> plan
+
+val recurrences_needed : plan -> targets:int list -> int
+(** Failure recurrences before every target instruction (the root-cause
+    events) is inside the instrumented region — Gist's diagnosis latency
+    in units of failures (paper average: 3.7). *)
+
+val monitored_after : plan -> recurrences:int -> int list
+(** The instrumented instruction set once [recurrences] failures have been
+    observed. *)
+
+(** {2 Cost model for the instrumentation (Figure 9)} *)
+
+type cost_model = {
+  per_event_ns : float;  (** bookkeeping per monitored access *)
+  contention_ns : float;
+      (** extra cost per monitored access per *other* application thread:
+          Gist orders accesses with blocking synchronization *)
+}
+
+val default_costs : cost_model
+
+val instrument_hooks :
+  monitored:(int -> bool) -> threads:int -> costs:cost_model -> Sim.Hooks.t
+(** Simulation hooks charging each monitored memory access the
+    synchronization cost. *)
+
+(** {2 Latency comparison (§6.3)} *)
+
+val latency_factor_vs_snorlax :
+  recurrences:int -> tracked_bugs:int -> float
+(** How many failing executions Gist needs for one diagnosis relative to
+    Snorlax's single failure: [recurrences * tracked_bugs] (sampling in
+    space monitors one bug per execution). *)

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Func Instr Intrinsics Irmod List Printf Ty Value

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Block Func Hashtbl Instr List Option

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Block List String Ty Value

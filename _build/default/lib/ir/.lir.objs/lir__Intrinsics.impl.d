@@ -1,0 +1,1 @@
+lib/ir/intrinsics.ml: List Ty

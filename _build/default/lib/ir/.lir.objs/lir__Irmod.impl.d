@@ -1,0 +1,1 @@
+lib/ir/irmod.ml: Block Func Hashtbl Instr List Printf String Ty Value

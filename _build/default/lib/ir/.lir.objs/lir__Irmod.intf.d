@@ -1,0 +1,1 @@
+lib/ir/irmod.mli: Block Func Instr Ty Value

@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Block Buffer Func Instr Irmod List Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/ir/value.ml: Int64 Printf Ty

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Block Func Hashtbl Instr Intrinsics Irmod List Printf String Ty Value

@@ -1,0 +1,18 @@
+type t = { label : Instr.label; mutable instrs : Instr.t list }
+
+let create ~label = { label; instrs = [] }
+
+let terminator t =
+  match List.rev t.instrs with
+  | last :: _ when Instr.is_terminator last -> last
+  | _ -> invalid_arg ("Block.terminator: unsealed block " ^ t.label)
+
+let successors t =
+  match (terminator t).Instr.kind with
+  | Instr.Br l -> [ l ]
+  | Instr.Cond_br { then_; else_; _ } -> [ then_; else_ ]
+  | Instr.Ret _ | Instr.Unreachable -> []
+  | Instr.Alloca _ | Instr.Load _ | Instr.Store _ | Instr.Binop _
+  | Instr.Icmp _ | Instr.Gep _ | Instr.Index _ | Instr.Cast _ | Instr.Call _
+    ->
+    assert false

@@ -1,0 +1,17 @@
+(** A basic block: a labelled, branch-free instruction sequence ending in a
+    single terminator.  Blocks are the nodes of the control-flow graph the
+    trace decoder walks. *)
+
+type t = {
+  label : Instr.label;
+  mutable instrs : Instr.t list;  (** in execution order; last = terminator *)
+}
+
+val create : label:Instr.label -> t
+
+val terminator : t -> Instr.t
+(** Raises [Invalid_argument] when the block is empty or does not end in a
+    terminator (i.e. before the builder seals it). *)
+
+val successors : t -> Instr.label list
+(** Labels this block can branch to (empty for return blocks). *)

@@ -1,0 +1,225 @@
+type t = {
+  m : Irmod.t;
+  func : Func.t;
+  mutable current : Block.t option;
+  mutable labels : Instr.label list; (* declared labels, for the final check *)
+  mutable label_counter : int;
+  mutable last_iid : int;
+}
+
+let md t = t.m
+
+let param t i =
+  match List.nth_opt t.func.Func.params i with
+  | Some r -> Value.Reg r
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Builder.param: %s has no param %d" t.func.Func.fname i)
+
+let fresh_label t hint =
+  t.label_counter <- t.label_counter + 1;
+  let label = Printf.sprintf "%s%d" hint t.label_counter in
+  t.labels <- label :: t.labels;
+  label
+
+let current_block t =
+  match t.current with
+  | Some b -> b
+  | None ->
+    invalid_arg
+      ("Builder: emitting into a sealed block in " ^ t.func.Func.fname
+     ^ "; call start_block first")
+
+let emit t kind =
+  let b = current_block t in
+  let i = Instr.make ~iid:(Irmod.fresh_iid t.m) kind in
+  b.Block.instrs <- b.Block.instrs @ [ i ];
+  if Instr.is_terminator i then t.current <- None;
+  t.last_iid <- i.Instr.iid;
+  i
+
+let last_iid t =
+  if t.last_iid < 0 then invalid_arg "Builder.last_iid: nothing emitted yet";
+  t.last_iid
+
+let start_block t label =
+  (match t.current with
+  | Some b ->
+    invalid_arg
+      (Printf.sprintf "Builder.start_block: block %s not sealed" b.Block.label)
+  | None -> ());
+  let b = Block.create ~label in
+  t.func.Func.blocks <- t.func.Func.blocks @ [ b ];
+  t.current <- Some b
+
+let reg t name ty = Irmod.fresh_reg t.m ~name ~ty
+
+let value_ty t v = Value.ty_of ~globals:(Irmod.global_ty t.m) v
+
+let alloca t ?(name = "slot") ty =
+  let dst = reg t name (Ty.Ptr ty) in
+  ignore (emit t (Instr.Alloca { dst; ty }));
+  Value.Reg dst
+
+let load t ?(name = "val") ptr =
+  let pointee = Ty.pointee (value_ty t ptr) in
+  let dst = reg t name pointee in
+  ignore (emit t (Instr.Load { dst; ptr }));
+  Value.Reg dst
+
+let store t ~value ~ptr = ignore (emit t (Instr.Store { value; ptr }))
+
+let binop t op lhs rhs =
+  let dst = reg t "tmp" (value_ty t lhs) in
+  ignore (emit t (Instr.Binop { dst; op; lhs; rhs }));
+  Value.Reg dst
+
+let add t a b = binop t Instr.Add a b
+let sub t a b = binop t Instr.Sub a b
+let mul t a b = binop t Instr.Mul a b
+
+let icmp t cmp lhs rhs =
+  let dst = reg t "cmp" Ty.I1 in
+  ignore (emit t (Instr.Icmp { dst; cmp; lhs; rhs }));
+  Value.Reg dst
+
+let gep t ?(name = "field") base field =
+  let field_ty =
+    match value_ty t base with
+    | Ty.Ptr (Ty.Struct s) -> (
+      match List.nth_opt (Irmod.struct_fields t.m s) field with
+      | Some ty -> ty
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Builder.gep: %%struct.%s has no field %d" s field))
+    | ty ->
+      invalid_arg ("Builder.gep: base is not a struct pointer: " ^ Ty.to_string ty)
+  in
+  let dst = reg t name (Ty.Ptr field_ty) in
+  ignore (emit t (Instr.Gep { dst; base; field }));
+  Value.Reg dst
+
+let index t ?(name = "elem") base idx =
+  let elem_ty =
+    match value_ty t base with
+    | Ty.Ptr (Ty.Array (elem, _)) -> elem
+    | Ty.Ptr elem -> elem
+    | ty -> invalid_arg ("Builder.index: not a pointer: " ^ Ty.to_string ty)
+  in
+  let dst = reg t name (Ty.Ptr elem_ty) in
+  ignore (emit t (Instr.Index { dst; base; idx }));
+  Value.Reg dst
+
+let cast t ?(name = "cast") src ty =
+  let dst = reg t name ty in
+  ignore (emit t (Instr.Cast { dst; src }));
+  Value.Reg dst
+
+let call t ?(name = "ret") ~ret callee args =
+  let dst = reg t name ret in
+  ignore (emit t (Instr.Call { dst = Some dst; callee; args }));
+  Value.Reg dst
+
+let call_void t callee args =
+  ignore (emit t (Instr.Call { dst = None; callee; args }))
+
+let malloc t ?(name = "obj") ty =
+  let size = Irmod.size_of t.m ty in
+  let raw = call t ~name:(name ^ ".raw") ~ret:(Ty.Ptr Ty.I8) Intrinsics.malloc [ Value.i64 size ] in
+  cast t ~name raw (Ty.Ptr ty)
+
+let mutex_lock t m = call_void t Intrinsics.mutex_lock [ m ]
+let mutex_unlock t m = call_void t Intrinsics.mutex_unlock [ m ]
+
+let cond_wait t ~cond ~mutex = call_void t Intrinsics.cond_wait [ cond; mutex ]
+let cond_signal t c = call_void t Intrinsics.cond_signal [ c ]
+let cond_broadcast t c = call_void t Intrinsics.cond_broadcast [ c ]
+let work t ~ns = call_void t Intrinsics.work [ Value.i64 ns ]
+let io_delay t ~ns = call_void t Intrinsics.io_delay [ Value.i64 ns ]
+let assert_true t v = call_void t Intrinsics.assert_true [ v ]
+
+let rand t ~bound =
+  call t ~name:"rand" ~ret:Ty.I64 Intrinsics.rand [ Value.i64 bound ]
+
+let spawn t ?(name = "tid") fn arg =
+  call t ~name ~ret:Ty.I64 Intrinsics.thread_create [ Value.Fn_ref fn; arg ]
+
+let join t tid = call_void t Intrinsics.thread_join [ tid ]
+
+let br t label = ignore (emit t (Instr.Br label))
+
+let cond_br t cond then_ else_ =
+  ignore (emit t (Instr.Cond_br { cond; then_; else_ }))
+
+let ret t v = ignore (emit t (Instr.Ret (Some v)))
+let ret_void t = ignore (emit t (Instr.Ret None))
+
+let if_ t cond ~then_ ~else_ =
+  let lt = fresh_label t "then" in
+  let le = fresh_label t "else" in
+  let lj = fresh_label t "join" in
+  cond_br t cond lt le;
+  start_block t lt;
+  then_ ();
+  if t.current <> None then br t lj;
+  start_block t le;
+  else_ ();
+  if t.current <> None then br t lj;
+  start_block t lj
+
+let while_ t ~cond ~body =
+  let lh = fresh_label t "head" in
+  let lb = fresh_label t "body" in
+  let lx = fresh_label t "exit" in
+  br t lh;
+  start_block t lh;
+  let c = cond () in
+  cond_br t c lb lx;
+  start_block t lb;
+  body ();
+  if t.current <> None then br t lh;
+  start_block t lx
+
+let for_ t ~from ~below body =
+  let slot = alloca t ~name:"i" Ty.I64 in
+  store t ~value:(Value.i64 from) ~ptr:slot;
+  let cond () =
+    let i = load t ~name:"i" slot in
+    icmp t Instr.Slt i below
+  in
+  let step () =
+    let i = load t ~name:"i" slot in
+    body i;
+    if t.current <> None then begin
+      let i' = load t ~name:"i" slot in
+      let next = add t i' (Value.i64 1) in
+      store t ~value:next ~ptr:slot
+    end
+  in
+  while_ t ~cond ~body:step
+
+let define m fname ~params ~ret body =
+  let params =
+    List.map (fun (pname, ty) -> Irmod.fresh_reg m ~name:pname ~ty) params
+  in
+  let func = Func.create ~fname ~params ~ret in
+  Irmod.add_func m func;
+  let t =
+    { m; func; current = None; labels = []; label_counter = 0; last_iid = -1 }
+  in
+  start_block t "entry";
+  body t;
+  (match t.current with
+  | Some b ->
+    invalid_arg
+      (Printf.sprintf "Builder.define: %s ends with unsealed block %s" fname
+         b.Block.label)
+  | None -> ());
+  let defined = List.map (fun b -> b.Block.label) func.Func.blocks in
+  let missing = List.filter (fun l -> not (List.mem l defined)) t.labels in
+  (* Labels created by combinators are always defined; a user label branched
+     to but never started is a bug in the corpus program. *)
+  match missing with
+  | [] -> ()
+  | l :: _ ->
+    invalid_arg (Printf.sprintf "Builder.define: %s: label %s never defined" fname l)

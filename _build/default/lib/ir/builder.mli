@@ -1,0 +1,96 @@
+(** Imperative construction DSL for LIR modules.
+
+    The corpus programs (lib/corpus) are thousands of lines of this DSL, so
+    it favours brevity: types are inferred from operand types where
+    possible, and structured combinators ([if_], [while_], [for_]) spare the
+    caller explicit label plumbing while still producing ordinary branches
+    that the tracer records. *)
+
+type t
+(** A function under construction. *)
+
+val define :
+  Irmod.t ->
+  string ->
+  params:(string * Ty.t) list ->
+  ret:Ty.t ->
+  (t -> unit) ->
+  unit
+(** [define m name ~params ~ret body] adds a function to [m]; [body]
+    receives the builder positioned in the entry block.  The builder checks
+    at the end that every declared block was defined and sealed. *)
+
+val md : t -> Irmod.t
+val param : t -> int -> Value.t
+
+val last_iid : t -> int
+(** The iid of the most recently emitted instruction.  The corpus captures
+    ground-truth target instructions with this right after emitting them.
+    Raises [Invalid_argument] before the first emission. *)
+
+(** {2 Block plumbing (for irreducible shapes the combinators can't build)} *)
+
+val fresh_label : t -> string -> Instr.label
+val start_block : t -> Instr.label -> unit
+(** Begin emitting into the (previously branched-to) label.  The current
+    block must be sealed. *)
+
+(** {2 Straight-line instructions.  All [?name]s are printing hints.} *)
+
+val alloca : t -> ?name:string -> Ty.t -> Value.t
+val load : t -> ?name:string -> Value.t -> Value.t
+val store : t -> value:Value.t -> ptr:Value.t -> unit
+val binop : t -> Instr.binop -> Value.t -> Value.t -> Value.t
+val add : t -> Value.t -> Value.t -> Value.t
+val sub : t -> Value.t -> Value.t -> Value.t
+val mul : t -> Value.t -> Value.t -> Value.t
+val icmp : t -> Instr.icmp -> Value.t -> Value.t -> Value.t
+val gep : t -> ?name:string -> Value.t -> int -> Value.t
+(** Field address; the base must have type [Ptr (Struct s)]. *)
+
+val index : t -> ?name:string -> Value.t -> Value.t -> Value.t
+(** Element address; the base must have type [Ptr (Array (t, n))] or
+    [Ptr t] (plain pointer arithmetic). *)
+
+val cast : t -> ?name:string -> Value.t -> Ty.t -> Value.t
+val call : t -> ?name:string -> ret:Ty.t -> string -> Value.t list -> Value.t
+val call_void : t -> string -> Value.t list -> unit
+
+(** {2 Intrinsic shorthands} *)
+
+val malloc : t -> ?name:string -> Ty.t -> Value.t
+(** [call malloc(sizeof ty)] followed by a cast to [Ptr ty]. *)
+
+val mutex_lock : t -> Value.t -> unit
+val mutex_unlock : t -> Value.t -> unit
+val cond_wait : t -> cond:Value.t -> mutex:Value.t -> unit
+val cond_signal : t -> Value.t -> unit
+val cond_broadcast : t -> Value.t -> unit
+val work : t -> ns:int -> unit
+val io_delay : t -> ns:int -> unit
+val assert_true : t -> Value.t -> unit
+val rand : t -> bound:int -> Value.t
+(** Draw a seeded pseudo-random i64 in [0, bound). *)
+
+val spawn : t -> ?name:string -> string -> Value.t -> Value.t
+(** [thread_create(@fn, arg)]; returns the thread id as an i64 value. *)
+
+val join : t -> Value.t -> unit
+
+(** {2 Terminators} *)
+
+val br : t -> Instr.label -> unit
+val cond_br : t -> Value.t -> Instr.label -> Instr.label -> unit
+val ret : t -> Value.t -> unit
+val ret_void : t -> unit
+
+(** {2 Structured control flow} *)
+
+val if_ : t -> Value.t -> then_:(unit -> unit) -> else_:(unit -> unit) -> unit
+(** Both arms fall through to a fresh join block (arms may also return). *)
+
+val while_ : t -> cond:(unit -> Value.t) -> body:(unit -> unit) -> unit
+(** [cond] is re-emitted in the loop header each iteration. *)
+
+val for_ : t -> from:int -> below:Value.t -> (Value.t -> unit) -> unit
+(** Counted loop over an i64 induction variable held in a stack slot. *)

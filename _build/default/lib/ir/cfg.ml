@@ -1,0 +1,39 @@
+type t = {
+  entry : Instr.label;
+  succ : (Instr.label, Instr.label list) Hashtbl.t;
+  pred : (Instr.label, Instr.label list) Hashtbl.t;
+}
+
+let of_func f =
+  let succ = Hashtbl.create 16 and pred = Hashtbl.create 16 in
+  let note_block b =
+    let ss = Block.successors b in
+    Hashtbl.replace succ b.Block.label ss;
+    if not (Hashtbl.mem pred b.Block.label) then
+      Hashtbl.replace pred b.Block.label [];
+    List.iter
+      (fun s ->
+        let existing = Option.value ~default:[] (Hashtbl.find_opt pred s) in
+        Hashtbl.replace pred s (b.Block.label :: existing))
+      ss
+  in
+  List.iter note_block f.Func.blocks;
+  { entry = (Func.entry f).Block.label; succ; pred }
+
+let successors t l = Option.value ~default:[] (Hashtbl.find_opt t.succ l)
+let predecessors t l = List.rev (Option.value ~default:[] (Hashtbl.find_opt t.pred l))
+
+let reverse_postorder t =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs l =
+    if not (Hashtbl.mem visited l) then begin
+      Hashtbl.add visited l ();
+      List.iter dfs (successors t l);
+      order := l :: !order
+    end
+  in
+  dfs t.entry;
+  !order
+
+let reachable t = reverse_postorder t

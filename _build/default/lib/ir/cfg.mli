@@ -1,0 +1,16 @@
+(** Control-flow graph queries over a function's blocks.  The trace decoder
+    replays branches against this graph, and Gist's backward slicer uses the
+    predecessor relation for control dependences. *)
+
+type t
+
+val of_func : Func.t -> t
+
+val successors : t -> Instr.label -> Instr.label list
+val predecessors : t -> Instr.label -> Instr.label list
+
+val reverse_postorder : t -> Instr.label list
+(** Entry-first ordering suitable for forward dataflow. *)
+
+val reachable : t -> Instr.label list
+(** Labels reachable from the entry block. *)

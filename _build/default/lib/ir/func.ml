@@ -1,0 +1,22 @@
+type t = {
+  fname : string;
+  params : Value.reg list;
+  ret : Ty.t;
+  mutable blocks : Block.t list;
+}
+
+let create ~fname ~params ~ret = { fname; params; ret; blocks = [] }
+
+let entry t =
+  match t.blocks with
+  | [] -> invalid_arg ("Func.entry: empty function " ^ t.fname)
+  | b :: _ -> b
+
+let find_block t label =
+  List.find (fun b -> String.equal b.Block.label label) t.blocks
+
+let iter_instrs t f =
+  List.iter (fun b -> List.iter (f b) b.Block.instrs) t.blocks
+
+let instr_count t =
+  List.fold_left (fun acc b -> acc + List.length b.Block.instrs) 0 t.blocks

@@ -1,0 +1,22 @@
+(** An LIR function: parameters, return type and an ordered list of basic
+    blocks whose first element is the entry block. *)
+
+type t = {
+  fname : string;
+  params : Value.reg list;
+  ret : Ty.t;
+  mutable blocks : Block.t list;
+}
+
+val create : fname:string -> params:Value.reg list -> ret:Ty.t -> t
+
+val entry : t -> Block.t
+(** Raises [Invalid_argument] on a body-less function. *)
+
+val find_block : t -> Instr.label -> Block.t
+(** Raises [Not_found] for unknown labels. *)
+
+val iter_instrs : t -> (Block.t -> Instr.t -> unit) -> unit
+(** Visit every instruction in block order. *)
+
+val instr_count : t -> int

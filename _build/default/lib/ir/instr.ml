@@ -1,0 +1,124 @@
+type binop = Add | Sub | Mul | Sdiv | Srem | And | Or | Xor | Shl | Lshr
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge
+
+type label = string
+
+type kind =
+  | Alloca of { dst : Value.reg; ty : Ty.t }
+  | Load of { dst : Value.reg; ptr : Value.t }
+  | Store of { value : Value.t; ptr : Value.t }
+  | Binop of { dst : Value.reg; op : binop; lhs : Value.t; rhs : Value.t }
+  | Icmp of { dst : Value.reg; cmp : icmp; lhs : Value.t; rhs : Value.t }
+  | Gep of { dst : Value.reg; base : Value.t; field : int }
+  | Index of { dst : Value.reg; base : Value.t; idx : Value.t }
+  | Cast of { dst : Value.reg; src : Value.t }
+  | Call of { dst : Value.reg option; callee : string; args : Value.t list }
+  | Br of label
+  | Cond_br of { cond : Value.t; then_ : label; else_ : label }
+  | Ret of Value.t option
+  | Unreachable
+
+type t = { iid : int; kind : kind; mutable pc : int }
+
+let make ~iid kind = { iid; kind; pc = -1 }
+
+let is_terminator t =
+  match t.kind with
+  | Br _ | Cond_br _ | Ret _ | Unreachable -> true
+  | Alloca _ | Load _ | Store _ | Binop _ | Icmp _ | Gep _ | Index _ | Cast _
+  | Call _ ->
+    false
+
+let defined_reg t =
+  match t.kind with
+  | Alloca { dst; _ }
+  | Load { dst; _ }
+  | Binop { dst; _ }
+  | Icmp { dst; _ }
+  | Gep { dst; _ }
+  | Index { dst; _ }
+  | Cast { dst; _ } ->
+    Some dst
+  | Call { dst; _ } -> dst
+  | Store _ | Br _ | Cond_br _ | Ret _ | Unreachable -> None
+
+let operands t =
+  match t.kind with
+  | Alloca _ | Br _ | Unreachable -> []
+  | Load { ptr; _ } -> [ ptr ]
+  | Store { value; ptr } -> [ value; ptr ]
+  | Binop { lhs; rhs; _ } | Icmp { lhs; rhs; _ } -> [ lhs; rhs ]
+  | Gep { base; _ } -> [ base ]
+  | Index { base; idx; _ } -> [ base; idx ]
+  | Cast { src; _ } -> [ src ]
+  | Call { args; _ } -> args
+  | Cond_br { cond; _ } -> [ cond ]
+  | Ret v -> ( match v with None -> [] | Some v -> [ v ])
+
+let is_memory_access t =
+  match t.kind with
+  | Load _ | Store _ -> true
+  | Alloca _ | Binop _ | Icmp _ | Gep _ | Index _ | Cast _ | Call _ | Br _
+  | Cond_br _ | Ret _ | Unreachable ->
+    false
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Srem -> "srem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+
+let icmp_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+
+let vstr = Value.to_string
+
+let to_string t =
+  match t.kind with
+  | Alloca { dst; ty } ->
+    Printf.sprintf "%%%s = alloca %s" dst.Value.rname (Ty.to_string ty)
+  | Load { dst; ptr } ->
+    Printf.sprintf "%%%s = load %s, %s" dst.Value.rname
+      (Ty.to_string dst.Value.rty) (vstr ptr)
+  | Store { value; ptr } -> Printf.sprintf "store %s, %s" (vstr value) (vstr ptr)
+  | Binop { dst; op; lhs; rhs } ->
+    Printf.sprintf "%%%s = %s %s, %s" dst.Value.rname (binop_to_string op)
+      (vstr lhs) (vstr rhs)
+  | Icmp { dst; cmp; lhs; rhs } ->
+    Printf.sprintf "%%%s = icmp %s %s, %s" dst.Value.rname (icmp_to_string cmp)
+      (vstr lhs) (vstr rhs)
+  | Gep { dst; base; field } ->
+    Printf.sprintf "%%%s = getelementptr %s, field %d" dst.Value.rname
+      (vstr base) field
+  | Index { dst; base; idx } ->
+    Printf.sprintf "%%%s = getelementptr %s, idx %s" dst.Value.rname (vstr base)
+      (vstr idx)
+  | Cast { dst; src } ->
+    Printf.sprintf "%%%s = bitcast %s to %s" dst.Value.rname (vstr src)
+      (Ty.to_string dst.Value.rty)
+  | Call { dst; callee; args } ->
+    let args = String.concat ", " (List.map vstr args) in
+    let prefix =
+      match dst with
+      | None -> ""
+      | Some d -> Printf.sprintf "%%%s = " d.Value.rname
+    in
+    Printf.sprintf "%scall @%s(%s)" prefix callee args
+  | Br l -> "br label %" ^ l
+  | Cond_br { cond; then_; else_ } ->
+    Printf.sprintf "br %s, label %%%s, label %%%s" (vstr cond) then_ else_
+  | Ret None -> "ret void"
+  | Ret (Some v) -> "ret " ^ vstr v
+  | Unreachable -> "unreachable"

@@ -1,0 +1,55 @@
+(** LIR instructions.
+
+    Every instruction carries a module-unique id ([iid]) — the analyses key
+    on iids — and, once the module is laid out, a synthetic program counter
+    ([pc]) that the trace packets refer to, playing the role of machine
+    addresses in the paper. *)
+
+type binop = Add | Sub | Mul | Sdiv | Srem | And | Or | Xor | Shl | Lshr
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge
+
+type label = string
+
+type kind =
+  | Alloca of { dst : Value.reg; ty : Ty.t }
+      (** stack slot of type [ty]; [dst] has type [Ptr ty] *)
+  | Load of { dst : Value.reg; ptr : Value.t }
+  | Store of { value : Value.t; ptr : Value.t }
+  | Binop of { dst : Value.reg; op : binop; lhs : Value.t; rhs : Value.t }
+  | Icmp of { dst : Value.reg; cmp : icmp; lhs : Value.t; rhs : Value.t }
+  | Gep of { dst : Value.reg; base : Value.t; field : int }
+      (** address of field [field] of the struct pointed to by [base] *)
+  | Index of { dst : Value.reg; base : Value.t; idx : Value.t }
+      (** address of element [idx] of the array pointed to by [base] *)
+  | Cast of { dst : Value.reg; src : Value.t }
+      (** bit/pointer cast; changes only the static type *)
+  | Call of { dst : Value.reg option; callee : string; args : Value.t list }
+  | Br of label
+  | Cond_br of { cond : Value.t; then_ : label; else_ : label }
+  | Ret of Value.t option
+  | Unreachable
+
+type t = {
+  iid : int;
+  kind : kind;
+  mutable pc : int;  (** assigned by {!Layout}; -1 before layout *)
+}
+
+val make : iid:int -> kind -> t
+
+val is_terminator : t -> bool
+
+val defined_reg : t -> Value.reg option
+(** The register the instruction defines, if any. *)
+
+val operands : t -> Value.t list
+(** All value operands (excluding labels and callee names). *)
+
+val is_memory_access : t -> bool
+(** Loads and stores — the shared-memory target-event candidates of §3. *)
+
+val to_string : t -> string
+
+val binop_to_string : binop -> string
+val icmp_to_string : icmp -> string

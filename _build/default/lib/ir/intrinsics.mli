@@ -1,0 +1,48 @@
+(** Runtime intrinsics: the external functions the simulator implements
+    directly (the analogue of libc/pthreads in the paper's subject
+    programs).  The verifier accepts calls to these without a module-level
+    definition, and the points-to analysis models [malloc] as an allocation
+    site. *)
+
+type signature = { arg_count : int; ret : Ty.t }
+
+val lookup : string -> signature option
+(** [None] when the name is not an intrinsic. *)
+
+val is_intrinsic : string -> bool
+
+val mutex_lock : string
+(** ["mutex_lock"] — the lock-acquisition intrinsic the deadlock pattern
+    analysis keys on. *)
+
+val mutex_unlock : string
+val mutex_init : string
+val cond_init : string
+
+(** [cond_wait(cond, mutex)]: atomically release the mutex and sleep until
+    signalled, then re-acquire the mutex before returning *)
+val cond_wait : string
+
+val cond_signal : string
+val cond_broadcast : string
+val malloc : string
+val free : string
+val thread_create : string
+val thread_join : string
+
+(** busy CPU for the given number of nanoseconds *)
+val work : string
+
+(** off-CPU wait for the given number of nanoseconds *)
+val io_delay : string
+
+(** fail-stop when the argument is 0 *)
+val assert_true : string
+
+(** [rand(bound)]: uniform in [0, bound), drawn from the simulator's
+    seeded stream — the corpus' stand-in for data-dependent control flow
+    (request sizes, cache hits, I/O latencies) that varies run to run *)
+val rand : string
+
+val print_i64 : string
+val all : string list

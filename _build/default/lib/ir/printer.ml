@@ -1,0 +1,37 @@
+let func_to_string f =
+  let buf = Buffer.create 256 in
+  let params =
+    String.concat ", "
+      (List.map
+         (fun r -> Ty.to_string r.Value.rty ^ " %" ^ r.Value.rname)
+         f.Func.params)
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "define %s @%s(%s) {\n" (Ty.to_string f.Func.ret)
+       f.Func.fname params);
+  let emit_block b =
+    Buffer.add_string buf (b.Block.label ^ ":\n");
+    List.iter
+      (fun i -> Buffer.add_string buf ("  " ^ Instr.to_string i ^ "\n"))
+      b.Block.instrs
+  in
+  List.iter emit_block f.Func.blocks;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let module_to_string m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "; module %s\n" (Irmod.name m));
+  Irmod.iter_globals m (fun g ty ->
+      Buffer.add_string buf
+        (Printf.sprintf "@%s = global %s\n" g (Ty.to_string ty)));
+  List.iter
+    (fun f -> Buffer.add_string buf ("\n" ^ func_to_string f))
+    (Irmod.funcs m);
+  Buffer.contents buf
+
+let instr_with_location m iid =
+  let i = Irmod.instr_by_iid m iid in
+  let f, b = Irmod.location_of_iid m iid in
+  Printf.sprintf "%s:%s: %s  (pc 0x%x)" f.Func.fname b.Block.label
+    (Instr.to_string i) i.Instr.pc

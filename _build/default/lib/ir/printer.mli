@@ -1,0 +1,9 @@
+(** Textual rendering of LIR modules in an LLVM-flavoured syntax, used by
+    the CLI's [dump] command and by diagnosis reports that show the
+    instructions involved in a bug pattern. *)
+
+val func_to_string : Func.t -> string
+val module_to_string : Irmod.t -> string
+
+val instr_with_location : Irmod.t -> int -> string
+(** ["func:block: <instr>  (pc 0x...)"] for the given iid. *)

@@ -1,0 +1,51 @@
+type t =
+  | Void
+  | I1
+  | I8
+  | I32
+  | I64
+  | Ptr of t
+  | Struct of string
+  | Array of t * int
+  | Fn
+
+let rec equal a b =
+  match a, b with
+  | Void, Void | I1, I1 | I8, I8 | I32, I32 | I64, I64 | Fn, Fn -> true
+  | Ptr a, Ptr b -> equal a b
+  | Struct a, Struct b -> String.equal a b
+  | Array (a, n), Array (b, m) -> n = m && equal a b
+  | (Void | I1 | I8 | I32 | I64 | Ptr _ | Struct _ | Array _ | Fn), _ -> false
+
+let compare = Stdlib.compare
+
+let rec to_string = function
+  | Void -> "void"
+  | I1 -> "i1"
+  | I8 -> "i8"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Ptr t -> to_string t ^ "*"
+  | Struct name -> "%struct." ^ name
+  | Array (t, n) -> Printf.sprintf "[%d x %s]" n (to_string t)
+  | Fn -> "fn"
+
+let pointee = function
+  | Ptr t -> t
+  | t -> invalid_arg ("Ty.pointee: not a pointer: " ^ to_string t)
+
+let is_pointer = function
+  | Ptr _ -> true
+  | Void | I1 | I8 | I32 | I64 | Struct _ | Array _ | Fn -> false
+
+let rec size_in_bytes ~struct_fields = function
+  | Void -> invalid_arg "Ty.size_in_bytes: void"
+  | Fn -> invalid_arg "Ty.size_in_bytes: fn"
+  | I1 | I8 -> 1
+  | I32 -> 4
+  | I64 | Ptr _ -> 8
+  | Struct name ->
+    List.fold_left
+      (fun acc f -> acc + size_in_bytes ~struct_fields f)
+      0 (struct_fields name)
+  | Array (t, n) -> n * size_in_bytes ~struct_fields t

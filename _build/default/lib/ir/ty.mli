@@ -1,0 +1,34 @@
+(** Types of the LIR intermediate representation.
+
+    The set mirrors the LLVM types Lazy Diagnosis cares about: integers of a
+    few widths, pointers, and named structs.  Named structs are resolved
+    through the enclosing module's struct table, which keeps recursive types
+    (e.g. linked-list nodes) representable. *)
+
+type t =
+  | Void
+  | I1
+  | I8
+  | I32
+  | I64
+  | Ptr of t
+  | Struct of string  (** named struct; fields live in the module table *)
+  | Array of t * int
+  | Fn  (** opaque function type, used for function pointers *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val pointee : t -> t
+(** The pointed-to type.  Raises [Invalid_argument] on non-pointers. *)
+
+val is_pointer : t -> bool
+
+val to_string : t -> string
+(** LLVM-flavoured rendering, e.g. ["%struct.Queue*"], ["i32"]. *)
+
+val size_in_bytes : struct_fields:(string -> t list) -> t -> int
+(** Byte size under the simulator's layout (i1/i8 = 1, i32 = 4, i64 and
+    pointers = 8, structs = sum of fields, arrays = n * elem).
+    [struct_fields] resolves named structs; raises [Invalid_argument] for
+    [Void] and [Fn]. *)

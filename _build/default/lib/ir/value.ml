@@ -1,0 +1,28 @@
+type reg = { rid : int; rname : string; rty : Ty.t }
+
+type t =
+  | Reg of reg
+  | Imm of int64 * Ty.t
+  | Global of string
+  | Null of Ty.t
+  | Fn_ref of string
+
+let ty_of ~globals = function
+  | Reg r -> r.rty
+  | Imm (_, ty) -> ty
+  | Global g -> Ty.Ptr (globals g)
+  | Null ty -> ty
+  | Fn_ref _ -> Ty.Ptr Ty.Fn
+
+let to_string = function
+  | Reg r -> "%" ^ r.rname
+  | Imm (v, ty) -> Printf.sprintf "%s %Ld" (Ty.to_string ty) v
+  | Global g -> "@" ^ g
+  | Null ty -> Printf.sprintf "%s null" (Ty.to_string ty)
+  | Fn_ref f -> "@" ^ f
+
+let i64 v = Imm (Int64.of_int v, Ty.I64)
+let i32 v = Imm (Int64.of_int v, Ty.I32)
+let i8 v = Imm (Int64.of_int v, Ty.I8)
+let bool_true = Imm (1L, Ty.I1)
+let bool_false = Imm (0L, Ty.I1)

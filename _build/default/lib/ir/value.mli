@@ -1,0 +1,27 @@
+(** Operands of LIR instructions: virtual registers, immediates, globals,
+    null pointers and function references. *)
+
+type reg = {
+  rid : int;  (** unique within the enclosing function *)
+  rname : string;  (** for printing, e.g. ["%fifo"] *)
+  rty : Ty.t;
+}
+
+type t =
+  | Reg of reg
+  | Imm of int64 * Ty.t  (** integer immediate of an integer type *)
+  | Global of string  (** address of a module global (a pointer value) *)
+  | Null of Ty.t  (** null of pointer type [Ty.Ptr _] *)
+  | Fn_ref of string  (** address of a function, for thread entry points *)
+
+val ty_of : globals:(string -> Ty.t) -> t -> Ty.t
+(** Static type of the operand.  For [Global g], the result is a pointer to
+    the global's declared type, which [globals] resolves. *)
+
+val to_string : t -> string
+
+val i64 : int -> t
+val i32 : int -> t
+val i8 : int -> t
+val bool_true : t
+val bool_false : t

@@ -1,0 +1,119 @@
+type error = { where : string; what : string }
+
+let check m =
+  let errors = ref [] in
+  let fail ~where what = errors := { where; what } :: !errors in
+  let check_func f =
+    let where = f.Func.fname in
+    if f.Func.blocks = [] then fail ~where "function has no blocks";
+    (* Block labels unique and sealed. *)
+    let labels = List.map (fun b -> b.Block.label) f.Func.blocks in
+    let dup =
+      List.filter
+        (fun l -> List.length (List.filter (String.equal l) labels) > 1)
+        labels
+    in
+    (match List.sort_uniq compare dup with
+    | [] -> ()
+    | l :: _ -> fail ~where ("duplicate block label " ^ l));
+    let check_sealed b =
+      match List.rev b.Block.instrs with
+      | last :: rest when Instr.is_terminator last ->
+        if List.exists Instr.is_terminator rest then
+          fail ~where (b.Block.label ^ ": terminator in block middle")
+      | _ -> fail ~where (b.Block.label ^ ": block not sealed by a terminator")
+    in
+    List.iter check_sealed f.Func.blocks;
+    (* Branch targets resolve (only meaningful on sealed blocks). *)
+    let is_sealed b =
+      match List.rev b.Block.instrs with
+      | last :: _ -> Instr.is_terminator last
+      | [] -> false
+    in
+    let check_targets b =
+      if is_sealed b then
+        List.iter
+          (fun l ->
+            if not (List.mem l labels) then
+              fail ~where (b.Block.label ^ ": branch to unknown label " ^ l))
+          (Block.successors b)
+    in
+    List.iter check_targets f.Func.blocks;
+    (* Def-before-use in block order (approximation of dominance: a register
+       must be defined in an earlier-or-same position of the block list). *)
+    let defined = Hashtbl.create 32 in
+    List.iter (fun r -> Hashtbl.replace defined r.Value.rid ()) f.Func.params;
+    let use_ok v =
+      match v with
+      | Value.Reg r -> Hashtbl.mem defined r.Value.rid
+      | Value.Imm _ | Value.Null _ | Value.Fn_ref _ | Value.Global _ -> true
+    in
+    let check_instr i =
+      List.iter
+        (fun v ->
+          if not (use_ok v) then
+            fail ~where
+              (Printf.sprintf "use before def of %s in: %s" (Value.to_string v)
+                 (Instr.to_string i)))
+        (Instr.operands i);
+      (match Instr.defined_reg i with
+      | Some r -> Hashtbl.replace defined r.Value.rid ()
+      | None -> ());
+      (* Operand typing for pointer-shaped instructions. *)
+      let vty v = Value.ty_of ~globals:(Irmod.global_ty m) v in
+      match i.Instr.kind with
+      | Instr.Load { dst; ptr } -> (
+        match vty ptr with
+        | Ty.Ptr p ->
+          if not (Ty.equal p dst.Value.rty) then
+            fail ~where ("load type mismatch: " ^ Instr.to_string i)
+        | _ -> fail ~where ("load from non-pointer: " ^ Instr.to_string i))
+      | Instr.Store { ptr; value } -> (
+        match vty ptr with
+        | Ty.Ptr p ->
+          if not (Ty.equal p (vty value)) then
+            fail ~where ("store type mismatch: " ^ Instr.to_string i)
+        | _ -> fail ~where ("store to non-pointer: " ^ Instr.to_string i))
+      | Instr.Gep { base; field; _ } -> (
+        match vty base with
+        | Ty.Ptr (Ty.Struct s) ->
+          let nfields =
+            match Irmod.struct_fields m s with
+            | fields -> List.length fields
+            | exception Not_found ->
+              fail ~where ("gep into undeclared struct " ^ s);
+              max_int
+          in
+          if field < 0 || field >= nfields then
+            fail ~where ("gep field out of range: " ^ Instr.to_string i)
+        | _ -> fail ~where ("gep base not a struct pointer: " ^ Instr.to_string i))
+      | Instr.Call { callee; args; _ } -> (
+        match Intrinsics.lookup callee with
+        | Some { Intrinsics.arg_count; _ } ->
+          if List.length args <> arg_count then
+            fail ~where ("intrinsic arity mismatch: " ^ Instr.to_string i)
+        | None ->
+          if not (Irmod.has_func m callee) then
+            fail ~where ("call to unknown function " ^ callee)
+          else
+            let target = Irmod.find_func m callee in
+            if List.length args <> List.length target.Func.params then
+              fail ~where ("call arity mismatch: " ^ Instr.to_string i))
+      | Instr.Alloca _ | Instr.Binop _ | Instr.Icmp _ | Instr.Index _
+      | Instr.Cast _ | Instr.Br _ | Instr.Cond_br _ | Instr.Ret _
+      | Instr.Unreachable ->
+        ()
+    in
+    Func.iter_instrs f (fun _ i -> check_instr i)
+  in
+  List.iter check_func (Irmod.funcs m);
+  List.rev !errors
+
+let check_exn m =
+  match check m with
+  | [] -> ()
+  | errors ->
+    let msgs =
+      List.map (fun { where; what } -> where ^ ": " ^ what) errors
+    in
+    failwith ("Verify.check_exn:\n  " ^ String.concat "\n  " msgs)

@@ -1,0 +1,12 @@
+(** Module well-formedness checks, run by the corpus tests on every program
+    before it is simulated: sealed blocks, resolvable branch targets and
+    callees, register def-before-use, and operand typing for the memory and
+    pointer instructions the analyses interpret. *)
+
+type error = { where : string; what : string }
+
+val check : Irmod.t -> error list
+(** Empty when the module is well-formed. *)
+
+val check_exn : Irmod.t -> unit
+(** Raises [Failure] with all errors joined when any check fails. *)

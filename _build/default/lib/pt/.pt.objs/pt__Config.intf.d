@@ -1,0 +1,1 @@
+lib/pt/config.mli:

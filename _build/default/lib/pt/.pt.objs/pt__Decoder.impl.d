@@ -1,0 +1,1 @@
+lib/pt/decoder.ml: Array Bytes Config Lir List Packet Printf

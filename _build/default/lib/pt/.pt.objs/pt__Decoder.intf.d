@@ -1,0 +1,1 @@
+lib/pt/decoder.mli: Config Lir

@@ -1,0 +1,1 @@
+lib/pt/driver.ml: Config Lir List Sim Tracer

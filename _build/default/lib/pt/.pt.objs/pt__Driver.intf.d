@@ -1,0 +1,1 @@
+lib/pt/driver.mli: Config Sim Tracer

@@ -1,0 +1,1 @@
+lib/pt/packet.ml: Buffer Bytes Char List Printf Snorlax_util

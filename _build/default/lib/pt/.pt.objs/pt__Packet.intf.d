@@ -1,0 +1,1 @@
+lib/pt/packet.mli: Buffer

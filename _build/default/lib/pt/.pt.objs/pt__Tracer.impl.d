@@ -1,0 +1,1 @@
+lib/pt/tracer.ml: Buffer Config Hashtbl List Packet Sim Snorlax_util

@@ -1,0 +1,1 @@
+lib/pt/tracer.mli: Config Sim

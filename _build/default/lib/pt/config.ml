@@ -1,0 +1,27 @@
+type timing_mode =
+  | Cyc_and_mtc of { mtc_period_ns : int }
+  | Mtc_only of { mtc_period_ns : int }
+  | No_timing
+
+type cost_model = {
+  per_event_ns : float;
+  per_byte_ns : float;
+  per_thread_ns : float;
+}
+
+type t = {
+  buffer_size : int;
+  timing : timing_mode;
+  psb_period_bytes : int;
+  costs : cost_model;
+}
+
+let default_costs = { per_event_ns = 0.18; per_byte_ns = 0.035; per_thread_ns = 0.02 }
+
+let default =
+  {
+    buffer_size = 64 * 1024;
+    timing = Cyc_and_mtc { mtc_period_ns = 1024 };
+    psb_period_bytes = 4 * 1024;
+    costs = default_costs;
+  }

@@ -1,0 +1,33 @@
+(** Tracer configuration, mirroring the knobs of the paper's PT driver:
+    per-thread ring-buffer size (64 KB default, up to 128 MB), timing-packet
+    frequency, and PSB sync cadence.  The cost model parameters feed the
+    virtual-time overhead the tracer charges the traced program. *)
+
+type timing_mode =
+  | Cyc_and_mtc of { mtc_period_ns : int }
+      (** CYC before every control packet plus periodic MTC — the paper's
+          "highest possible frequency" setting *)
+  | Mtc_only of { mtc_period_ns : int }
+      (** coarse timing only; used by the timing-granularity ablation *)
+  | No_timing  (** control flow without time — degrades to unordered events *)
+
+type cost_model = {
+  per_event_ns : float;  (** fixed cost charged per control event *)
+  per_byte_ns : float;  (** cost per trace byte written *)
+  per_thread_ns : float;
+      (** extra per-event cost for each live trace buffer the driver
+          manages; reproduces Figure 9's mild growth with thread count *)
+}
+
+type t = {
+  buffer_size : int;  (** ring capacity in bytes, per thread *)
+  timing : timing_mode;
+  psb_period_bytes : int;  (** emit a PSB sync at least this often *)
+  costs : cost_model;
+}
+
+val default : t
+(** 64 KB ring, CYC+MTC with a 1024 ns MTC period, PSB every 4 KB, and the
+    calibrated cost model. *)
+
+val default_costs : cost_model

@@ -1,0 +1,31 @@
+(** Server-side trace decoder (the analogue of Intel's reference decoder
+    plus the binary-to-IR mapping of §5).
+
+    Given the module (the "binary") and one thread's ring-buffer snapshot,
+    the decoder re-synchronizes at the first PSB, replays control flow by
+    walking the CFG — consuming a TNT bit at every conditional branch and a
+    TIP at every return — and assigns every replayed instruction a coarse
+    time interval [t_lo, t_hi] bounded by the timing packets around it.
+    Those intervals are exactly the partial order of §4.1 (step 3). *)
+
+type step = {
+  pc : int;
+  iid : int;
+  t_lo : int;  (** ns; the instruction executed no earlier than this *)
+  t_hi : int;  (** ns; and no later than this ([max_int] when unbounded) *)
+}
+
+type result = {
+  steps : step list;  (** oldest first *)
+  lost_bytes : int;  (** bytes before the first PSB (overwritten history) *)
+  desynced : bool;
+      (** true when replay hit control flow the packet stream cannot
+          resolve (e.g. a branch whose TNT was overwritten) *)
+}
+
+val decode :
+  Lir.Irmod.t -> config:Config.t -> ?tail_stop:int * int -> bytes -> result
+(** [decode m ~config snapshot] replays one thread's snapshot.
+    [?tail_stop:(pc, t_hi)] continues replay past the last packet along
+    branch-free code until [pc] (the failing instruction, whose time is
+    known from the failure report) — the paper's crash pc binding. *)

@@ -1,0 +1,66 @@
+type snapshot = {
+  traces : (int * bytes) list;
+  at_time_ns : float;
+  trigger_pc : int option;
+  trigger_tid : int option;
+}
+
+type t = {
+  tracer : Tracer.t;
+  mutable watch_pcs : int list; (* head = primary (the failure pc) *)
+  mutable watch_hit : snapshot option;
+  mutable primary_hit : bool;
+}
+
+let create ?(config = Config.default) () =
+  {
+    tracer = Tracer.create ~config;
+    watch_pcs = [];
+    watch_hit = None;
+    primary_hit = false;
+  }
+
+let set_watchpoints t ~pcs = t.watch_pcs <- pcs
+
+let snapshot_now t ~at_time_ns =
+  {
+    traces = Tracer.snapshot t.tracer;
+    at_time_ns;
+    trigger_pc = None;
+    trigger_tid = None;
+  }
+
+(* The head watchpoint (the failure pc itself) wins over the fallback
+   (predecessor-block) pcs, and later hits replace earlier ones: the
+   snapshot that survives is the one with the longest history, ending at
+   the last time the successful execution passed the failure location. *)
+let on_instr t ~tid ~time (i : Lir.Instr.t) =
+  (match t.watch_pcs with
+  | [] -> ()
+  | primary :: fallbacks ->
+    let snap () =
+      Some
+        {
+          traces = Tracer.snapshot t.tracer;
+          at_time_ns = time;
+          trigger_pc = Some i.Lir.Instr.pc;
+          trigger_tid = Some tid;
+        }
+    in
+    if i.Lir.Instr.pc = primary then begin
+      t.watch_hit <- snap ();
+      t.primary_hit <- true
+    end
+    else if (not t.primary_hit) && List.mem i.Lir.Instr.pc fallbacks then
+      t.watch_hit <- snap ());
+  0.0
+
+let hooks t =
+  {
+    Sim.Hooks.on_control = Some (fun ~time e -> Tracer.on_control t.tracer ~time e);
+    on_instr = Some (fun ~tid ~time i -> on_instr t ~tid ~time i);
+    gate = None;
+  }
+
+let watch_snapshot t = t.watch_hit
+let tracer t = t.tracer

@@ -1,0 +1,122 @@
+module Varint = Snorlax_util.Varint
+
+type t =
+  | Psb of { tsc : int }
+  | Fup of { pc : int }
+  | Tip of { pc : int }
+  | Tip_end
+  | Tnt of bool
+  | Mtc of { ctc : int }
+  | Tma of { tsc : int }
+  | Cyc of { delta : int }
+
+let hdr_psb = 0x02
+let psb_magic = 0x82
+let hdr_fup = 0x03
+let hdr_tip = 0x04
+let hdr_tip_end = 0x05
+let hdr_tnt = 0x06
+let hdr_mtc = 0x07
+let hdr_tma = 0x08
+let hdr_cyc = 0x09
+
+let encode buf p =
+  let byte b = Buffer.add_char buf (Char.chr (b land 0xff)) in
+  match p with
+  | Psb { tsc } ->
+    byte hdr_psb;
+    byte psb_magic;
+    Varint.write_unsigned buf tsc
+  | Fup { pc } ->
+    byte hdr_fup;
+    Varint.write_unsigned buf pc
+  | Tip { pc } ->
+    byte hdr_tip;
+    Varint.write_unsigned buf pc
+  | Tip_end -> byte hdr_tip_end
+  | Tnt taken ->
+    byte hdr_tnt;
+    byte (if taken then 1 else 0)
+  | Mtc { ctc } ->
+    byte hdr_mtc;
+    byte (ctc land 0xff)
+  | Tma { tsc } ->
+    byte hdr_tma;
+    Varint.write_unsigned buf tsc
+  | Cyc { delta } ->
+    byte hdr_cyc;
+    Varint.write_unsigned buf delta
+
+let decode_one b pos =
+  let len = Bytes.length b in
+  let u8 p = Char.code (Bytes.get b p) in
+  if pos >= len then None
+  else
+    let hdr = u8 pos in
+    (* A varint or raw payload that runs past the end of the snapshot means
+       the packet was cut by the snapshot boundary; drop it. *)
+    let varint p =
+      match Varint.read_unsigned b ~pos:p with
+      | v -> Some v
+      | exception Invalid_argument _ -> None
+    in
+    if hdr = hdr_psb then
+      if pos + 1 >= len then None
+      else if u8 (pos + 1) <> psb_magic then
+        invalid_arg "Packet.decode: bad PSB magic"
+      else
+        match varint (pos + 2) with
+        | None -> None
+        | Some (tsc, next) -> Some (Psb { tsc }, next)
+    else if hdr = hdr_fup then
+      match varint (pos + 1) with
+      | None -> None
+      | Some (pc, next) -> Some (Fup { pc }, next)
+    else if hdr = hdr_tip then
+      match varint (pos + 1) with
+      | None -> None
+      | Some (pc, next) -> Some (Tip { pc }, next)
+    else if hdr = hdr_tip_end then Some (Tip_end, pos + 1)
+    else if hdr = hdr_tnt then
+      if pos + 1 >= len then None else Some (Tnt (u8 (pos + 1) <> 0), pos + 2)
+    else if hdr = hdr_mtc then
+      if pos + 1 >= len then None else Some (Mtc { ctc = u8 (pos + 1) }, pos + 2)
+    else if hdr = hdr_tma then
+      match varint (pos + 1) with
+      | None -> None
+      | Some (tsc, next) -> Some (Tma { tsc }, next)
+    else if hdr = hdr_cyc then
+      match varint (pos + 1) with
+      | None -> None
+      | Some (delta, next) -> Some (Cyc { delta }, next)
+    else invalid_arg (Printf.sprintf "Packet.decode: bad header 0x%x" hdr)
+
+let decode_stream b ~pos =
+  let rec go pos acc =
+    match decode_one b pos with
+    | None -> List.rev acc
+    | Some (p, next) -> go next ((p, pos) :: acc)
+  in
+  go pos []
+
+let scan_psb b ~pos =
+  let len = Bytes.length b in
+  let rec go p =
+    if p + 1 >= len then None
+    else if
+      Char.code (Bytes.get b p) = hdr_psb
+      && Char.code (Bytes.get b (p + 1)) = psb_magic
+    then Some p
+    else go (p + 1)
+  in
+  go pos
+
+let to_string = function
+  | Psb { tsc } -> Printf.sprintf "PSB tsc=%d" tsc
+  | Fup { pc } -> Printf.sprintf "FUP pc=0x%x" pc
+  | Tip { pc } -> Printf.sprintf "TIP pc=0x%x" pc
+  | Tip_end -> "TIP.END"
+  | Tnt taken -> Printf.sprintf "TNT %c" (if taken then 'T' else 'N')
+  | Mtc { ctc } -> Printf.sprintf "MTC ctc=%d" ctc
+  | Tma { tsc } -> Printf.sprintf "TMA tsc=%d" tsc
+  | Cyc { delta } -> Printf.sprintf "CYC +%d" delta

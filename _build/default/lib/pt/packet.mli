@@ -1,0 +1,34 @@
+(** Byte-level packet format of the control-flow trace, modelled on Intel
+    Processor Trace (§5): per-thread streams of control packets (TNT bits
+    for conditional branches, TIP for indirect targets, i.e. returns) and
+    timing packets (MTC coarse-clock ticks, CYC deltas, TMA full re-syncs),
+    with PSB synchronization points a decoder can find after the ring
+    buffer has wrapped.
+
+    Framing guarantees the byte pair [0x02 0x82] occurs only at a PSB
+    boundary: packet headers are < 0x20, varint payload bytes never pair a
+    terminal 0x02 with a following 0x82, and the single raw payload byte
+    (MTC) follows its own header directly. *)
+
+type t =
+  | Psb of { tsc : int }  (** sync point with full timestamp (ns) *)
+  | Fup of { pc : int }  (** pc bound to the preceding PSB *)
+  | Tip of { pc : int }  (** indirect branch (return) target *)
+  | Tip_end  (** thread exited (entry function returned) *)
+  | Tnt of bool  (** conditional branch outcome *)
+  | Mtc of { ctc : int }  (** low 8 bits of the coarse time counter *)
+  | Tma of { tsc : int }  (** full timestamp after a long quiet gap *)
+  | Cyc of { delta : int }  (** ns elapsed since the last timing packet *)
+
+val encode : Buffer.t -> t -> unit
+
+val decode_stream : bytes -> pos:int -> (t * int) list
+(** Parse consecutive packets starting at [pos] (which must be a packet
+    boundary) until the end of the buffer; each packet is paired with its
+    start offset.  A truncated final packet is dropped.  Raises
+    [Invalid_argument] on a malformed header at a supposed boundary. *)
+
+val scan_psb : bytes -> pos:int -> int option
+(** Offset of the first PSB at or after [pos], or [None]. *)
+
+val to_string : t -> string

@@ -1,0 +1,146 @@
+module Ringbuf = Snorlax_util.Ringbuf
+
+type thread_state = {
+  ring : Ringbuf.t;
+  mutable last_ctc : int;  (** absolute coarse-clock value last emitted *)
+  mutable last_timing_ns : int;
+  mutable bytes_since_psb : int;
+  mutable started : bool;
+}
+
+type t = {
+  config : Config.t;
+  threads : (int, thread_state) Hashtbl.t;
+  scratch : Buffer.t;
+  mutable bytes_written : int;
+  mutable events_seen : int;
+  mutable timing_packets : int;
+}
+
+let create ~config =
+  {
+    config;
+    threads = Hashtbl.create 16;
+    scratch = Buffer.create 64;
+    bytes_written = 0;
+    events_seen = 0;
+    timing_packets = 0;
+  }
+
+let thread_state t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some ts -> ts
+  | None ->
+    let ts =
+      {
+        ring = Ringbuf.create ~capacity:t.config.Config.buffer_size;
+        last_ctc = 0;
+        last_timing_ns = 0;
+        bytes_since_psb = 0;
+        started = false;
+      }
+    in
+    Hashtbl.add t.threads tid ts;
+    ts
+
+(* A TMA re-sync replaces MTC when the coarse counter jumped too far for
+   its 8-bit payload to be unambiguous. *)
+let mtc_wrap_guard = 200
+
+(* [last_timing_ns] mirrors the clock a decoder reconstructs, so CYC
+   deltas are relative to the decoder's state, not the raw event times —
+   otherwise an MTC followed by a CYC would double-count the gap. *)
+let emit_timing t ts ~now_ns =
+  let emit p =
+    Packet.encode t.scratch p;
+    t.timing_packets <- t.timing_packets + 1
+  in
+  (* Returns the decoder clock value after the emitted MTC/TMA, if any.
+     The hardware clock ticks MTC through quiet periods too; we model the
+     first boundary after the previous activity explicitly (it is what
+     bounds the preceding event's upper timestamp to one period) and
+     compress the rest of a long gap into a TMA re-sync. *)
+  let mtc_like ~period =
+    let ctc = now_ns / period in
+    if ctc > ts.last_ctc then begin
+      let jumped = ctc - ts.last_ctc in
+      if jumped > 1 then
+        emit (Packet.Mtc { ctc = (ts.last_ctc + 1) land 0xff });
+      ts.last_ctc <- ctc;
+      if jumped > mtc_wrap_guard then begin
+        emit (Packet.Tma { tsc = now_ns });
+        Some now_ns
+      end
+      else begin
+        emit (Packet.Mtc { ctc = ctc land 0xff });
+        Some (ctc * period)
+      end
+    end
+    else None
+  in
+  match t.config.Config.timing with
+  | Config.No_timing -> ()
+  | Config.Mtc_only { mtc_period_ns } -> (
+    match mtc_like ~period:mtc_period_ns with
+    | Some decoder_time -> ts.last_timing_ns <- decoder_time
+    | None -> ())
+  | Config.Cyc_and_mtc { mtc_period_ns } ->
+    (match mtc_like ~period:mtc_period_ns with
+    | Some decoder_time -> ts.last_timing_ns <- decoder_time
+    | None -> ());
+    if now_ns > ts.last_timing_ns then begin
+      emit (Packet.Cyc { delta = now_ns - ts.last_timing_ns });
+      ts.last_timing_ns <- now_ns
+    end
+
+let emit_psb t ts ~now_ns ~pc =
+  Packet.encode t.scratch (Packet.Psb { tsc = now_ns });
+  Packet.encode t.scratch (Packet.Fup { pc });
+  ts.bytes_since_psb <- 0;
+  ts.last_timing_ns <- now_ns;
+  (match t.config.Config.timing with
+  | Config.Cyc_and_mtc { mtc_period_ns } | Config.Mtc_only { mtc_period_ns } ->
+    ts.last_ctc <- now_ns / mtc_period_ns
+  | Config.No_timing -> ());
+  ts.started <- true
+
+let on_control t ~time event =
+  t.events_seen <- t.events_seen + 1;
+  let now_ns = int_of_float time in
+  let tid = Sim.Hooks.control_event_tid event in
+  let ts = thread_state t tid in
+  Buffer.clear t.scratch;
+  (match event with
+  | Sim.Hooks.Thread_start { entry_pc; _ } -> emit_psb t ts ~now_ns ~pc:entry_pc
+  | Sim.Hooks.Cond_branch { pc; taken; _ } ->
+    if
+      ts.started
+      && ts.bytes_since_psb >= t.config.Config.psb_period_bytes
+    then emit_psb t ts ~now_ns ~pc;
+    emit_timing t ts ~now_ns;
+    Packet.encode t.scratch (Packet.Tnt taken)
+  | Sim.Hooks.Ret_branch { target_pc; _ } -> (
+    emit_timing t ts ~now_ns;
+    match target_pc with
+    | Some pc -> Packet.encode t.scratch (Packet.Tip { pc })
+    | None -> Packet.encode t.scratch Packet.Tip_end)
+  | Sim.Hooks.Thread_exit _ -> ());
+  let produced = Buffer.length t.scratch in
+  if produced > 0 then begin
+    Ringbuf.write_bytes ts.ring (Buffer.to_bytes t.scratch);
+    ts.bytes_since_psb <- ts.bytes_since_psb + produced;
+    t.bytes_written <- t.bytes_written + produced
+  end;
+  let c = t.config.Config.costs in
+  c.Config.per_event_ns
+  +. (c.Config.per_byte_ns *. float_of_int produced)
+  +. (c.Config.per_thread_ns *. float_of_int (Hashtbl.length t.threads))
+
+let snapshot t =
+  Hashtbl.fold (fun tid ts acc -> (tid, Ringbuf.snapshot ts.ring) :: acc) t.threads []
+  |> List.sort compare
+
+let bytes_written t = t.bytes_written
+let events_seen t = t.events_seen
+let timing_packets t = t.timing_packets
+let thread_count t = Hashtbl.length t.threads

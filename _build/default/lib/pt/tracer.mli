@@ -1,0 +1,26 @@
+(** The per-thread control-flow tracer: turns the simulator's control
+    events into packet bytes in per-thread ring buffers and charges the
+    traced thread the (small) virtual-time cost of doing so.
+
+    This module is the mechanism behind the coarse-interleaving story: it
+    records *when* control flow happened at packet granularity, nothing
+    finer, and its cost model is what Figures 8 and 9 measure. *)
+
+type t
+
+val create : config:Config.t -> t
+
+val on_control : t -> time:float -> Sim.Hooks.control_event -> float
+(** Feed one control event; returns the virtual-time cost in ns.  Suitable
+    for use as [Sim.Hooks.on_control]. *)
+
+val snapshot : t -> (int * bytes) list
+(** Current (tid, surviving bytes) for every thread buffer, oldest byte
+    first.  Non-destructive, like dumping the PT ring from the driver. *)
+
+val bytes_written : t -> int
+(** Total trace bytes ever produced across all threads. *)
+
+val events_seen : t -> int
+val timing_packets : t -> int
+val thread_count : t -> int

@@ -1,0 +1,48 @@
+(** Coarse record/replay of racing accesses — the §3.3 implication of the
+    coarse interleaving hypothesis, built out: because the events leading
+    to a concurrency bug are coarsely interleaved, recording just the
+    *order* of the racing accesses (a handful of events, not a
+    fine-grained schedule) is enough to steer a later execution back into
+    the failing interleaving.
+
+    [record] runs a program while logging the global order of dynamic
+    instances of the given racy instructions (in practice, the
+    instructions a Snorlax diagnosis names).  [replay] runs the program
+    again — typically under a seed where the bug would not manifest — and
+    enforces the recorded order by parking a thread that arrives at a racy
+    access out of turn (the {!Sim.Hooks.t.gate} primitive). *)
+
+type schedule = {
+  order : (int * int) array;  (** (tid, iid) instances, in recorded order *)
+}
+
+val schedule_length : schedule -> int
+
+type fidelity = {
+  enforced : int;  (** racy accesses executed in the recorded order *)
+  diverged : int;  (** racy accesses executed out of recorded order *)
+  gave_up : bool;  (** a stalled thread had to be released *)
+}
+
+val record :
+  ?seed:int ->
+  Lir.Irmod.t ->
+  entry:string ->
+  racy_iids:int list ->
+  Sim.Interp.run_result * schedule
+
+val replay :
+  ?seed:int ->
+  ?max_stalls:int ->
+  Lir.Irmod.t ->
+  entry:string ->
+  racy_iids:int list ->
+  schedule ->
+  Sim.Interp.run_result * fidelity
+(** [max_stalls] (default 2000) bounds how long a thread may be parked
+    waiting for its turn before the enforcer gives up on that schedule
+    entry (e.g. when the run's data-dependent paths diverge). *)
+
+val racy_iids_of_pattern : Snorlax_core.Patterns.t -> int list
+(** The instructions a diagnosed pattern names — the natural recording
+    set. *)

@@ -1,0 +1,1 @@
+lib/sim/condvars.ml: Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/sim/hooks.ml: Float Lir

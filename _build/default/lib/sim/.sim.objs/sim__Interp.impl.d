@@ -1,0 +1,1 @@
+lib/sim/interp.ml: Array Condvars Failure Float Hashtbl Hooks Int64 Lir List Memory Mutexes Option Snorlax_util String

@@ -1,0 +1,1 @@
+lib/sim/mutexes.ml: Hashtbl List Printf Queue

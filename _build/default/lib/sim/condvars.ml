@@ -1,0 +1,25 @@
+type t = { queues : (int, (int * int) Queue.t) Hashtbl.t }
+
+let create () = { queues = Hashtbl.create 8 }
+
+let queue t addr =
+  match Hashtbl.find_opt t.queues addr with
+  | Some q -> q
+  | None ->
+    let q = Queue.create () in
+    Hashtbl.add t.queues addr q;
+    q
+
+let wait t ~addr ~tid ~mutex_addr = Queue.add (tid, mutex_addr) (queue t addr)
+
+let signal t ~addr =
+  let q = queue t addr in
+  if Queue.is_empty q then None else Some (Queue.pop q)
+
+let broadcast t ~addr =
+  let q = queue t addr in
+  let all = List.of_seq (Queue.to_seq q) in
+  Queue.clear q;
+  all
+
+let waiters t ~addr = Queue.length (queue t addr)

@@ -1,0 +1,22 @@
+(** POSIX-style condition variables keyed by address.  [wait] parks a
+    thread after the interpreter has released its mutex; [signal]/
+    [broadcast] hand waiters back to the mutex acquisition path (they may
+    immediately re-block there).  A signal with no waiters is lost, which
+    is exactly the missed-wakeup hang class real programs suffer. *)
+
+type t
+
+val create : unit -> t
+
+val wait : t -> addr:int -> tid:int -> mutex_addr:int -> unit
+(** Park [tid] on the condition variable, remembering which mutex it must
+    re-acquire on wakeup. *)
+
+val signal : t -> addr:int -> (int * int) option
+(** Oldest waiter as [(tid, mutex_addr)], removed from the queue; [None]
+    when nobody waits (the wakeup is lost). *)
+
+val broadcast : t -> addr:int -> (int * int) list
+(** All waiters, oldest first. *)
+
+val waiters : t -> addr:int -> int

@@ -1,0 +1,35 @@
+type crash_reason = Null_deref | Use_after_free | Unmapped
+
+type t =
+  | Crash of { tid : int; iid : int; pc : int; reason : crash_reason; addr : int }
+  | Assert_fail of { tid : int; iid : int; pc : int }
+  | Deadlock of { waiters : (int * int * int) list }
+
+let failing_iid = function
+  | Crash { iid; _ } | Assert_fail { iid; _ } -> iid
+  | Deadlock { waiters } -> (
+    match List.rev waiters with
+    | (_, iid, _) :: _ -> iid
+    | [] -> invalid_arg "Failure.failing_iid: empty deadlock")
+
+let kind_name = function
+  | Crash _ -> "crash"
+  | Assert_fail _ -> "assert"
+  | Deadlock _ -> "deadlock"
+
+let reason_to_string = function
+  | Null_deref -> "null dereference"
+  | Use_after_free -> "use after free"
+  | Unmapped -> "unmapped access"
+
+let to_string = function
+  | Crash { tid; iid; pc; reason; addr } ->
+    Printf.sprintf "crash: thread %d, iid %d, pc 0x%x, %s of 0x%x" tid iid pc
+      (reason_to_string reason) addr
+  | Assert_fail { tid; iid; pc } ->
+    Printf.sprintf "assertion failure: thread %d, iid %d, pc 0x%x" tid iid pc
+  | Deadlock { waiters } ->
+    let part (tid, iid, lock) =
+      Printf.sprintf "thread %d blocked at iid %d on lock 0x%x" tid iid lock
+    in
+    "deadlock: " ^ String.concat "; " (List.map part waiters)

@@ -1,0 +1,28 @@
+(** Fail-stop events the simulator can detect, mirroring §4's failure
+    sources: crashes (invalid memory accesses), assertion failures, and
+    deadlocks reported by the runtime (the paper relies on the OS/JVM to
+    flag deadlocks). *)
+
+type crash_reason =
+  | Null_deref  (** access through a (near-)null pointer *)
+  | Use_after_free
+  | Unmapped  (** access outside every live region *)
+
+type t =
+  | Crash of { tid : int; iid : int; pc : int; reason : crash_reason; addr : int }
+  | Assert_fail of { tid : int; iid : int; pc : int }
+  | Deadlock of {
+      waiters : (int * int * int) list;
+          (** (tid, iid of the blocked lock call, lock address) for each
+              thread in the cycle *)
+    }
+
+val failing_iid : t -> int
+(** The instruction the failure is attributed to; for a deadlock, the lock
+    call that closed the cycle (the last element of [waiters]). *)
+
+val kind_name : t -> string
+(** ["crash"], ["assert"] or ["deadlock"] — what Ubuntu's ErrorTracker-style
+    client reports to the server. *)
+
+val to_string : t -> string

@@ -1,0 +1,39 @@
+type control_event =
+  | Thread_start of { tid : int; entry_pc : int }
+  | Cond_branch of { tid : int; pc : int; taken : bool }
+  | Ret_branch of { tid : int; target_pc : int option }
+  | Thread_exit of { tid : int }
+
+type t = {
+  on_control : (time:float -> control_event -> float) option;
+  on_instr : (tid:int -> time:float -> Lir.Instr.t -> float) option;
+  gate : (tid:int -> time:float -> Lir.Instr.t -> float) option;
+}
+
+let none = { on_control = None; on_instr = None; gate = None }
+
+let combine a b =
+  let on_control =
+    match a.on_control, b.on_control with
+    | None, f | f, None -> f
+    | Some f, Some g -> Some (fun ~time e -> f ~time e +. g ~time e)
+  in
+  let on_instr =
+    match a.on_instr, b.on_instr with
+    | None, f | f, None -> f
+    | Some f, Some g -> Some (fun ~tid ~time i -> f ~tid ~time i +. g ~tid ~time i)
+  in
+  let gate =
+    match a.gate, b.gate with
+    | None, f | f, None -> f
+    | Some f, Some g ->
+      (* Both gates must agree to proceed; the longer stall wins. *)
+      Some (fun ~tid ~time i -> Float.max (f ~tid ~time i) (g ~tid ~time i))
+  in
+  { on_control; on_instr; gate }
+
+let control_event_tid = function
+  | Thread_start { tid; _ } -> tid
+  | Cond_branch { tid; _ } -> tid
+  | Ret_branch { tid; _ } -> tid
+  | Thread_exit { tid } -> tid

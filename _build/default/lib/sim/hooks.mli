@@ -1,0 +1,40 @@
+(** Observation points the simulator exposes.
+
+    [on_control] sees exactly what a hardware control-flow tracer sees —
+    thread starts/exits, conditional-branch outcomes, and return targets —
+    and returns the virtual-time cost (ns) the observation adds, which is
+    how the PT tracer's runtime overhead enters the simulation.
+
+    [on_instr] fires before every executed instruction and returns the
+    virtual-time cost (ns) its observation adds.  It models the
+    clock_gettime instrumentation of §3.2 (cost ~0), the driver's hardware
+    watchpoint (trace snapshot at a pc, §5), and Gist-style software
+    instrumentation of monitored accesses, whose per-event cost is exactly
+    what Figure 9 charges against the baseline.  Snorlax's diagnosis never
+    depends on it. *)
+
+type control_event =
+  | Thread_start of { tid : int; entry_pc : int }
+  | Cond_branch of { tid : int; pc : int; taken : bool }
+  | Ret_branch of { tid : int; target_pc : int option }
+      (** [None] when the thread's entry function returns *)
+  | Thread_exit of { tid : int }
+
+type t = {
+  on_control : (time:float -> control_event -> float) option;
+  on_instr : (tid:int -> time:float -> Lir.Instr.t -> float) option;
+  gate : (tid:int -> time:float -> Lir.Instr.t -> float) option;
+      (** Consulted before executing each instruction: a positive return
+          value parks the thread for that many virtual nanoseconds and
+          retries (the instruction does not execute yet).  This is the
+          schedule-enforcement primitive behind the coarse record/replay
+          of §3.3; debug-register stalls would be modelled the same way. *)
+}
+
+val none : t
+
+val combine : t -> t -> t
+(** Run both hooks: control costs add up, instruction observers both fire.
+    Used to stack the PT driver with experiment instrumentation. *)
+
+val control_event_tid : control_event -> int

@@ -1,0 +1,106 @@
+(* Address-space layout (synthetic, collision-free by construction):
+     0x0000_0000 .. 0x0000_0fff   null page (always faults)
+     0x0000_1000 .. 0x00ff_ffff   code (instruction pcs; faults on data access)
+     0x0100_0000 .. 0x0fff_ffff   globals
+     0x1000_0000 .. 0x3fff_ffff   heap
+     0x4000_0000 ..               stacks, 0x10_0000 bytes per thread *)
+
+let null_limit = 0x1000
+let globals_base = 0x0100_0000
+let heap_base = 0x1000_0000
+let heap_limit = 0x4000_0000
+let stacks_base = 0x4000_0000
+let stack_size = 0x10_0000
+
+type access_error = Null | Freed | Unmapped
+
+type t = {
+  cells : (int, int) Hashtbl.t;
+  globals : (string, int) Hashtbl.t;
+  mutable globals_top : int;
+  mutable heap_top : int;
+  live_heap : (int, int) Hashtbl.t; (* base -> size *)
+  mutable freed : (int * int) list; (* (base, size), most recent first *)
+  stack_tops : (int, int) Hashtbl.t; (* tid -> next free stack addr *)
+}
+
+let create () =
+  {
+    cells = Hashtbl.create 1024;
+    globals = Hashtbl.create 32;
+    globals_top = globals_base;
+    heap_top = heap_base;
+    live_heap = Hashtbl.create 64;
+    freed = [];
+    stack_tops = Hashtbl.create 16;
+  }
+
+let align8 n = (n + 7) land lnot 7
+
+let load_globals t m =
+  Lir.Irmod.iter_globals m (fun name ty ->
+      let size = align8 (max 8 (Lir.Irmod.size_of m ty)) in
+      Hashtbl.replace t.globals name t.globals_top;
+      t.globals_top <- t.globals_top + size)
+
+let global_addr t name = Hashtbl.find t.globals name
+
+let alloc_heap t ~size =
+  let base = t.heap_top in
+  t.heap_top <- t.heap_top + align8 (max 8 size);
+  Hashtbl.replace t.live_heap base size;
+  (* Re-allocation of a previously freed base is impossible (bump allocator),
+     so stale freed records never shadow live memory. *)
+  base
+
+let free_heap t base =
+  match Hashtbl.find_opt t.live_heap base with
+  | None -> Error Unmapped
+  | Some size ->
+    Hashtbl.remove t.live_heap base;
+    t.freed <- (base, size) :: t.freed;
+    Ok ()
+
+let stack_base tid = stacks_base + (tid * stack_size)
+
+let frame_mark t ~tid =
+  match Hashtbl.find_opt t.stack_tops tid with
+  | Some top -> top
+  | None ->
+    let base = stack_base tid in
+    Hashtbl.replace t.stack_tops tid base;
+    base
+
+let alloc_stack t ~tid ~size =
+  let top = frame_mark t ~tid in
+  let addr = top in
+  Hashtbl.replace t.stack_tops tid (top + align8 (max 8 size));
+  addr
+
+let pop_frame t ~tid ~mark = Hashtbl.replace t.stack_tops tid mark
+
+let in_freed t addr =
+  List.exists (fun (base, size) -> addr >= base && addr < base + size) t.freed
+
+let validate t addr =
+  if addr < null_limit then Error Null
+  else if addr < globals_base then Error Unmapped (* code region *)
+  else if addr < heap_base then
+    if addr < t.globals_top then Ok () else Error Unmapped
+  else if addr < heap_limit then
+    if in_freed t addr then Error Freed
+    else if addr < t.heap_top then Ok ()
+    else Error Unmapped
+  else Ok () (* stack zone: frame discipline keeps accesses in-bounds *)
+
+let read t ~addr =
+  match validate t addr with
+  | Error _ as e -> e
+  | Ok () -> Ok (Option.value ~default:0 (Hashtbl.find_opt t.cells addr))
+
+let write t ~addr ~value =
+  match validate t addr with
+  | Error _ as e -> e
+  | Ok () ->
+    Hashtbl.replace t.cells addr value;
+    Ok ()

@@ -1,0 +1,74 @@
+type mutex = { mutable owner : int option; waiters : int Queue.t }
+
+type t = {
+  locks : (int, mutex) Hashtbl.t;
+  waits : (int, int) Hashtbl.t; (* tid -> lock addr it is queued on *)
+}
+
+type lock_result = Acquired | Blocked | Deadlocked of int list
+
+let create () = { locks = Hashtbl.create 16; waits = Hashtbl.create 16 }
+
+let get t addr =
+  match Hashtbl.find_opt t.locks addr with
+  | Some m -> m
+  | None ->
+    let m = { owner = None; waiters = Queue.create () } in
+    Hashtbl.add t.locks addr m;
+    m
+
+(* Follow owner-of(waiting-on(...)) links from [start]; a return to [tid]
+   closes a deadlock cycle. *)
+let find_cycle t ~tid ~start =
+  let rec follow current acc =
+    if current = tid then Some (List.rev acc)
+    else
+      match Hashtbl.find_opt t.waits current with
+      | None -> None
+      | Some addr -> (
+        match (Hashtbl.find t.locks addr).owner with
+        | None -> None
+        | Some next -> follow next (next :: acc))
+  in
+  follow start [ start ]
+
+let lock t ~addr ~tid =
+  let m = get t addr in
+  match m.owner with
+  | None ->
+    m.owner <- Some tid;
+    Acquired
+  | Some owner -> (
+    match find_cycle t ~tid ~start:owner with
+    | Some cycle -> Deadlocked (cycle @ [ tid ])
+    | None ->
+      Queue.add tid m.waiters;
+      Hashtbl.replace t.waits tid addr;
+      Blocked)
+
+let unlock t ~addr ~tid =
+  let m = get t addr in
+  match m.owner with
+  | Some owner when owner = tid ->
+    if Queue.is_empty m.waiters then begin
+      m.owner <- None;
+      Ok None
+    end
+    else begin
+      let next = Queue.pop m.waiters in
+      Hashtbl.remove t.waits next;
+      m.owner <- Some next;
+      Ok (Some next)
+    end
+  | Some owner ->
+    Error
+      (Printf.sprintf "thread %d unlocking mutex 0x%x held by thread %d" tid
+         addr owner)
+  | None -> Error (Printf.sprintf "thread %d unlocking free mutex 0x%x" tid addr)
+
+let holder t ~addr =
+  match Hashtbl.find_opt t.locks addr with
+  | None -> None
+  | Some m -> m.owner
+
+let waiting_on t ~tid = Hashtbl.find_opt t.waits tid

@@ -1,0 +1,27 @@
+(** POSIX-style mutexes keyed by address, with FIFO hand-off and wait-for
+    cycle detection.  A lock attempt that would close a cycle is reported
+    immediately — the simulator's stand-in for the OS-level deadlock
+    detection the paper relies on (§4.4). *)
+
+type t
+
+type lock_result =
+  | Acquired
+  | Blocked
+  | Deadlocked of int list
+      (** tids forming the cycle; the requesting thread is included *)
+
+val create : unit -> t
+
+val lock : t -> addr:int -> tid:int -> lock_result
+(** On [Blocked], the caller must park the thread; {!unlock} will name it as
+    the new owner later.  Re-locking a held mutex deadlocks ([tid] alone in
+    the cycle). *)
+
+val unlock : t -> addr:int -> tid:int -> (int option, string) result
+(** Releases and hands off to the eldest waiter, returning the new owner.
+    [Error _] when [tid] does not hold the mutex. *)
+
+val holder : t -> addr:int -> int option
+val waiting_on : t -> tid:int -> int option
+(** The lock address a blocked thread is queued on, if any. *)

@@ -1,0 +1,1 @@
+lib/util/ringbuf.ml: Bytes Char

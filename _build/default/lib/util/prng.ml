@@ -1,0 +1,55 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let next64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let seed = next64 t in
+  { state = seed }
+
+let int t ~bound =
+  assert (bound > 0);
+  (* Mask to OCaml's 62 positive bits: Int64.to_int alone can yield a
+     negative 63-bit value. *)
+  let raw = Int64.to_int (next64 t) land max_int in
+  raw mod bound
+
+let in_range t ~lo ~hi =
+  assert (lo <= hi);
+  lo + int t ~bound:(hi - lo + 1)
+
+let float t ~bound =
+  (* 53 random bits scaled into [0, 1). *)
+  let bits = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  bits /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let chance t ~p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t ~bound:1.0 < p
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t ~bound:(i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let pick t arr =
+  assert (Array.length arr > 0);
+  arr.(int t ~bound:(Array.length arr))

@@ -1,0 +1,40 @@
+type t = {
+  data : bytes;
+  cap : int;
+  mutable head : int; (* next write position *)
+  mutable filled : int; (* bytes retained, <= cap *)
+  mutable written : int; (* bytes ever written *)
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { data = Bytes.create capacity; cap = capacity; head = 0; filled = 0; written = 0 }
+
+let capacity t = t.cap
+let length t = t.filled
+let total_written t = t.written
+let wrapped t = t.written > t.cap
+
+let write_byte t b =
+  Bytes.unsafe_set t.data t.head (Char.unsafe_chr (b land 0xff));
+  t.head <- (t.head + 1) mod t.cap;
+  if t.filled < t.cap then t.filled <- t.filled + 1;
+  t.written <- t.written + 1
+
+let write_bytes t src =
+  for i = 0 to Bytes.length src - 1 do
+    write_byte t (Char.code (Bytes.get src i))
+  done
+
+let snapshot t =
+  let out = Bytes.create t.filled in
+  let start = (t.head - t.filled + t.cap * 2) mod t.cap in
+  for i = 0 to t.filled - 1 do
+    Bytes.set out i (Bytes.get t.data ((start + i) mod t.cap))
+  done;
+  out
+
+let clear t =
+  t.head <- 0;
+  t.filled <- 0;
+  t.written <- 0

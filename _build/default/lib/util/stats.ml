@@ -1,0 +1,75 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let geomean = function
+  | [] -> 0.0
+  | xs ->
+    let logs = List.map (fun x -> assert (x > 0.0); log x) xs in
+    exp (mean logs)
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let percentile xs ~p =
+  match List.sort compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+    let n = List.length sorted in
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    List.nth sorted idx
+
+let f1 ~precision ~recall =
+  if precision +. recall = 0.0 then 0.0
+  else 2.0 *. precision *. recall /. (precision +. recall)
+
+let precision_recall ~true_pos ~false_pos ~false_neg =
+  let p =
+    if true_pos + false_pos = 0 then 0.0
+    else float_of_int true_pos /. float_of_int (true_pos + false_pos)
+  and r =
+    if true_pos + false_neg = 0 then 0.0
+    else float_of_int true_pos /. float_of_int (true_pos + false_neg)
+  in
+  (p, r)
+
+(* Pairs over the intersection of the two lists; a pair is discordant when
+   the two orderings disagree on its relative order. *)
+let common_pairs l1 l2 =
+  let pos l =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i x -> if not (Hashtbl.mem tbl x) then Hashtbl.add tbl x i) l;
+    tbl
+  in
+  let p1 = pos l1 and p2 = pos l2 in
+  let commons = List.filter (Hashtbl.mem p2) (List.sort_uniq compare l1) in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  let discordant (x, y) =
+    let o1 = compare (Hashtbl.find p1 x) (Hashtbl.find p1 y)
+    and o2 = compare (Hashtbl.find p2 x) (Hashtbl.find p2 y) in
+    o1 * o2 < 0
+  in
+  let ps = pairs commons in
+  (ps, List.length (List.filter discordant ps))
+
+let kendall_tau_distance l1 l2 = snd (common_pairs l1 l2)
+
+let ordering_accuracy l1 l2 =
+  let ps, k = common_pairs l1 l2 in
+  match List.length ps with
+  | 0 -> 100.0
+  | n -> 100.0 *. (1.0 -. (float_of_int k /. float_of_int n))

@@ -1,0 +1,34 @@
+(** Descriptive statistics and the metrics used by the paper's evaluation:
+    F1 score (§4.5), normalized Kendall-tau ordering accuracy (§6.1), and
+    geometric-mean speedups (§6.2). *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)
+
+val geomean : float list -> float
+(** Geometric mean of positive values; 0 on the empty list. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest element.  Raises [Invalid_argument] on []. *)
+
+val percentile : float list -> p:float -> float
+(** Nearest-rank percentile, [p] in [\[0,100\]].  Raises on []. *)
+
+val f1 : precision:float -> recall:float -> float
+(** Harmonic mean of precision and recall; 0 when both are 0. *)
+
+val precision_recall :
+  true_pos:int -> false_pos:int -> false_neg:int -> float * float
+(** Precision and recall from confusion counts (0 when denominators are 0). *)
+
+val kendall_tau_distance : 'a list -> 'a list -> int
+(** Number of discordant pairs between two orderings of the same element
+    set.  Elements present in only one list are ignored. *)
+
+val ordering_accuracy : 'a list -> 'a list -> float
+(** A_O from §6.1: [100 * (1 - K/(number of pairs))] where K is the
+    Kendall-tau distance over the union of pairs.  100.0 when fewer than two
+    common elements exist. *)

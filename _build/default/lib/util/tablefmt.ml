@@ -1,0 +1,68 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  ncols : int;
+  mutable aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers =
+  let ncols = List.length headers in
+  { headers; ncols; aligns = List.map (fun _ -> Right) headers; rows = [] }
+
+let set_align t aligns =
+  if List.length aligns <> t.ncols then
+    invalid_arg "Tablefmt.set_align: arity mismatch";
+  t.aligns <- aligns
+
+let add_row t cells =
+  if List.length cells <> t.ncols then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let note = function
+    | Cells cells ->
+      List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+    | Separator -> ()
+  in
+  List.iter note rows;
+  let pad align width s =
+    let fill = String.make (width - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let buf = Buffer.create 256 in
+  let emit_cells cells =
+    let parts =
+      List.mapi
+        (fun i c -> pad (List.nth t.aligns i) widths.(i) c)
+        cells
+    in
+    Buffer.add_string buf (String.concat "  " parts);
+    Buffer.add_char buf '\n'
+  in
+  let rule () =
+    let total =
+      Array.fold_left ( + ) 0 widths + (2 * (t.ncols - 1))
+    in
+    Buffer.add_string buf (String.make total '-');
+    Buffer.add_char buf '\n'
+  in
+  emit_cells t.headers;
+  rule ();
+  let emit = function Cells c -> emit_cells c | Separator -> rule () in
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fmt_us v = Printf.sprintf "%.1f" v
+let fmt_pct v = Printf.sprintf "%.2f" v
+let fmt_x v = Printf.sprintf "%.1fx" v

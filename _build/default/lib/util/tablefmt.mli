@@ -1,0 +1,34 @@
+(** Plain-text table rendering for the experiment reports (Tables 1–4 and
+    the figure data series are printed as aligned ASCII tables). *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with one column per header, all right-aligned by default. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; the list must match the header count. *)
+
+val add_row : t -> string list -> unit
+(** Append a row.  Raises [Invalid_argument] when the cell count does not
+    match the header count. *)
+
+val add_separator : t -> unit
+(** A horizontal rule between row groups. *)
+
+val render : t -> string
+(** The whole table, trailing newline included. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val fmt_us : float -> string
+(** Microseconds with 1 decimal, e.g. ["154.3"]. *)
+
+val fmt_pct : float -> string
+(** Percentage with 2 decimals, e.g. ["0.97"]. *)
+
+val fmt_x : float -> string
+(** Factor with 1 decimal and an [x] suffix, e.g. ["4.6x"]. *)

@@ -1,0 +1,22 @@
+(** LEB128-style variable-length integer codec.
+
+    Trace packets carry deltas (cycle counts, IP offsets) that are small most
+    of the time; a varint encoding keeps the packet stream compact the same
+    way Intel PT compresses target IPs and CYC payloads. *)
+
+val write_unsigned : Buffer.t -> int -> unit
+(** Encode a non-negative integer.  Raises [Invalid_argument] on negative
+    input. *)
+
+val write_signed : Buffer.t -> int -> unit
+(** Zig-zag encode a possibly negative integer. *)
+
+val read_unsigned : bytes -> pos:int -> int * int
+(** [read_unsigned b ~pos] decodes at [pos] and returns [(value, next_pos)].
+    Raises [Invalid_argument] on truncated input. *)
+
+val read_signed : bytes -> pos:int -> int * int
+(** Zig-zag decode; same contract as {!read_unsigned}. *)
+
+val encoded_size : int -> int
+(** Bytes {!write_unsigned} would use for this value. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Array Hashtbl Lir List Option Pt Sim Snorlax_core

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Lir List Printf Sim Snorlax_core

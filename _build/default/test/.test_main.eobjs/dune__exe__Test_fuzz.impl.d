@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Analysis Array Hashtbl Lir List Printf Pt QCheck QCheck_alcotest Sim Snorlax_util

@@ -1,0 +1,1 @@
+test/test_gist.ml: Alcotest Analysis Gist Lir List Sim

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Corpus Experiments Gist List Pt Snorlax_core

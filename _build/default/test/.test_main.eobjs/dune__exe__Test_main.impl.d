@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_core Test_corpus Test_experiments Test_fuzz Test_gist Test_integration Test_ir Test_memory Test_pt Test_replay Test_sim Test_util

@@ -1,0 +1,1 @@
+test/test_pt.ml: Alcotest Buffer Bytes Hashtbl Lir List Printf Pt QCheck QCheck_alcotest Sim

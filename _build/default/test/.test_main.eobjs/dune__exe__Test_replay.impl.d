@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Hashtbl Lir List Replay Sim Snorlax_core

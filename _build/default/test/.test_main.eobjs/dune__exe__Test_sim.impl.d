@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Hashtbl Lir List Option QCheck QCheck_alcotest Sim

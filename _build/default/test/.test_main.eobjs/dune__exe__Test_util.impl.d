@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Buffer Bytes Gen List Printf QCheck QCheck_alcotest Snorlax_util String

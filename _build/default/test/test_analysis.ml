@@ -1,0 +1,269 @@
+(* Tests for the points-to analysis, memory objects and backward slicing. *)
+
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+module Memobj = Analysis.Memobj
+module Pointsto = Analysis.Pointsto
+
+(* --- memobj ------------------------------------------------------------- *)
+
+let test_memobj_overlaps () =
+  let heap = Memobj.Heap 3 in
+  let f0 = Memobj.Field (heap, 0) in
+  let f1 = Memobj.Field (heap, 1) in
+  Alcotest.(check bool) "object overlaps its field" true (Memobj.overlaps heap f0);
+  Alcotest.(check bool) "field overlaps its object" true (Memobj.overlaps f0 heap);
+  Alcotest.(check bool) "sibling fields disjoint" false (Memobj.overlaps f0 f1);
+  Alcotest.(check bool) "distinct allocations disjoint" false
+    (Memobj.overlaps heap (Memobj.Heap 4));
+  Alcotest.(check bool) "nested field" true
+    (Memobj.overlaps heap (Memobj.Field (f0, 2)))
+
+let test_memobj_base () =
+  let deep = Memobj.Field (Memobj.Field (Memobj.Global "g", 1), 0) in
+  Alcotest.(check bool) "base strips fields" true
+    (Memobj.equal (Memobj.Global "g") (Memobj.base deep))
+
+let test_memobj_sets_overlap () =
+  let s1 = Memobj.Set.of_list [ Memobj.Field (Memobj.Heap 1, 0) ] in
+  let s2 = Memobj.Set.of_list [ Memobj.Heap 1 ] in
+  let s3 = Memobj.Set.of_list [ Memobj.Heap 2 ] in
+  Alcotest.(check bool) "field vs base" true (Memobj.sets_overlap s1 s2);
+  Alcotest.(check bool) "disjoint" false (Memobj.sets_overlap s1 s3)
+
+(* --- points-to ---------------------------------------------------------- *)
+
+(* Shared fixture: a module exercising every constraint rule. *)
+let pta_fixture () =
+  let m = Lir.Irmod.create "pta" in
+  ignore (Lir.Irmod.declare_struct m "Node" [ T.I64; T.Ptr T.I64 ]);
+  Lir.Irmod.declare_global m "gptr" (T.Ptr (T.Struct "Node"));
+  let captured = Hashtbl.create 16 in
+  let cap name b = Hashtbl.replace captured name (B.last_iid b) in
+  B.define m "helper" ~params:[ ("n", T.Ptr (T.Struct "Node")) ] ~ret:(T.Ptr (T.Struct "Node"))
+    (fun b ->
+      let n = B.param b 0 in
+      let field = B.gep b n 0 in
+      let v = B.load b field in
+      cap "helper_load" b;
+      B.store b ~value:v ~ptr:field;
+      B.ret b n);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let node = B.malloc b ~name:"node" (T.Struct "Node") in
+      cap "malloc_cast" b;
+      B.store b ~value:node ~ptr:(V.Global "gptr");
+      cap "store_global" b;
+      let reread = B.load b (V.Global "gptr") in
+      cap "load_global" b;
+      let f0 = B.gep b reread 0 in
+      B.store b ~value:(V.i64 1) ~ptr:f0;
+      cap "store_field" b;
+      let other = B.alloca b T.I64 in
+      B.store b ~value:(V.i64 2) ~ptr:other;
+      cap "store_alloca" b;
+      let via_call = B.call b ~ret:(T.Ptr (T.Struct "Node")) "helper" [ node ] in
+      let f0' = B.gep b via_call 0 in
+      let _ = B.load b f0' in
+      cap "load_field_via_call" b;
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  Lir.Irmod.layout m;
+  (m, captured)
+
+let instr (m, captured) name = Lir.Irmod.instr_by_iid m (Hashtbl.find captured name)
+
+let test_pta_alloc_sites () =
+  let ((m, _) as fx) = pta_fixture () in
+  let pta = Pointsto.analyze_all m in
+  (* The global's cell holds the malloc'd node. *)
+  let in_global = Pointsto.pts_of_object pta (Memobj.Global "gptr") in
+  Alcotest.(check bool) "heap object reaches global" true
+    (Memobj.Set.exists (function Memobj.Heap _ -> true | _ -> false) in_global);
+  (* A load of the global sees the same object as the direct pointer. *)
+  let load = instr fx "load_global" in
+  let objs = Pointsto.accessed_objects pta load in
+  Alcotest.(check bool) "load accesses the global cell" true
+    (Memobj.Set.mem (Memobj.Global "gptr") objs)
+
+let test_pta_field_sensitivity () =
+  let ((m, _) as fx) = pta_fixture () in
+  let pta = Pointsto.analyze_all m in
+  let store_field = instr fx "store_field" in
+  let objs = Pointsto.accessed_objects pta store_field in
+  Alcotest.(check bool) "field store hits Field(heap,0)" true
+    (Memobj.Set.exists
+       (function Memobj.Field (Memobj.Heap _, 0) -> true | _ -> false)
+       objs);
+  Alcotest.(check bool) "field store misses Field(heap,1)" false
+    (Memobj.Set.exists
+       (function Memobj.Field (Memobj.Heap _, 1) -> true | _ -> false)
+       objs)
+
+let test_pta_param_binding () =
+  let ((m, _) as fx) = pta_fixture () in
+  let pta = Pointsto.analyze_all m in
+  (* helper's load through its parameter must reach the heap node. *)
+  let helper_load = instr fx "helper_load" in
+  let objs = Pointsto.accessed_objects pta helper_load in
+  Alcotest.(check bool) "param aliases caller object" true
+    (Memobj.Set.exists
+       (function Memobj.Field (Memobj.Heap _, 0) -> true | _ -> false)
+       objs)
+
+let test_pta_return_binding () =
+  let ((m, _) as fx) = pta_fixture () in
+  let pta = Pointsto.analyze_all m in
+  let through_ret = instr fx "load_field_via_call" in
+  let direct = instr fx "store_field" in
+  Alcotest.(check bool) "return value aliases argument" true
+    (Memobj.sets_overlap
+       (Pointsto.accessed_objects pta through_ret)
+       (Pointsto.accessed_objects pta direct))
+
+let test_pta_alloca_distinct () =
+  let ((m, _) as fx) = pta_fixture () in
+  let pta = Pointsto.analyze_all m in
+  let store_alloca = instr fx "store_alloca" in
+  let store_field = instr fx "store_field" in
+  Alcotest.(check bool) "alloca does not alias heap field" false
+    (Memobj.sets_overlap
+       (Pointsto.accessed_objects pta store_alloca)
+       (Pointsto.accessed_objects pta store_field))
+
+let test_pta_scope_restriction () =
+  let m, captured = pta_fixture () in
+  (* Exclude everything: no constraints, empty points-to sets. *)
+  let pta = Pointsto.analyze m ~scope:(fun _ -> false) in
+  Alcotest.(check int) "nothing analyzed" 0 (Pointsto.instructions_analyzed pta);
+  let load = Lir.Irmod.instr_by_iid m (Hashtbl.find captured "load_global") in
+  Alcotest.(check bool) "global constant set remains" true
+    (Memobj.Set.mem (Memobj.Global "gptr") (Pointsto.accessed_objects pta load))
+
+let test_pta_thread_entry_binding () =
+  let m = Lir.Irmod.create "t" in
+  ignore (Lir.Irmod.declare_struct m "Arg" [ T.I64 ]);
+  let worker_load = ref (-1) in
+  B.define m "worker" ~params:[ ("arg", T.Ptr (T.Struct "Arg")) ] ~ret:T.Void
+    (fun b ->
+      let v = B.load b (B.gep b (B.param b 0) 0) in
+      worker_load := B.last_iid b;
+      B.call_void b Lir.Intrinsics.print_i64 [ v ];
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let arg = B.malloc b (T.Struct "Arg") in
+      B.store b ~value:(V.i64 1) ~ptr:(B.gep b arg 0);
+      let t = B.spawn b "worker" arg in
+      B.join b t;
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  Lir.Irmod.layout m;
+  let pta = Pointsto.analyze_all m in
+  let objs =
+    Pointsto.accessed_objects pta (Lir.Irmod.instr_by_iid m !worker_load)
+  in
+  Alcotest.(check bool) "thread arg bound to entry param" true
+    (Memobj.Set.exists
+       (function Memobj.Field (Memobj.Heap _, 0) -> true | _ -> false)
+       objs)
+
+let test_pta_lock_operand () =
+  let m = Lir.Irmod.create "t" in
+  ignore (Lir.Irmod.declare_struct m "Mutex" [ T.I64 ]);
+  Lir.Irmod.declare_global m "l" (T.Struct "Mutex");
+  let lock_iid = ref (-1) in
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.mutex_lock b (V.Global "l");
+      lock_iid := B.last_iid b;
+      B.mutex_unlock b (V.Global "l");
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  Lir.Irmod.layout m;
+  let pta = Pointsto.analyze_all m in
+  let objs = Pointsto.accessed_objects pta (Lir.Irmod.instr_by_iid m !lock_iid) in
+  Alcotest.(check bool) "lock call names the mutex" true
+    (Memobj.Set.mem (Memobj.Global "l") objs)
+
+let test_may_alias () =
+  let m, _ = pta_fixture () in
+  let pta = Pointsto.analyze_all m in
+  Alcotest.(check bool) "global aliases itself" true
+    (Pointsto.may_alias pta (V.Global "gptr") (V.Global "gptr"))
+
+(* --- slicing ------------------------------------------------------------ *)
+
+let slice_fixture () =
+  let m = Lir.Irmod.create "sl" in
+  Lir.Irmod.declare_global m "g" T.I64;
+  let store_iid = ref (-1) and load_iid = ref (-1) in
+  B.define m "producer" ~params:[] ~ret:T.Void (fun b ->
+      B.store b ~value:(V.i64 7) ~ptr:(V.Global "g");
+      store_iid := B.last_iid b;
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b "producer" [];
+      let v = B.load b (V.Global "g") in
+      load_iid := B.last_iid b;
+      let c = B.icmp b Lir.Instr.Sgt v (V.i64 0) in
+      B.if_ b c
+        ~then_:(fun () -> B.call_void b Lir.Intrinsics.print_i64 [ v ])
+        ~else_:(fun () -> ());
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  Lir.Irmod.layout m;
+  (m, !store_iid, !load_iid)
+
+let test_slice_memory_dep () =
+  let m, store_iid, load_iid = slice_fixture () in
+  let pta = Pointsto.analyze_all m in
+  let slice = Analysis.Slice.backward_slice m ~points_to:pta ~from_iid:load_iid in
+  Alcotest.(check bool) "store reaching load in slice" true
+    (List.mem store_iid slice);
+  Alcotest.(check bool) "anchor itself in slice" true (List.mem load_iid slice)
+
+let test_slice_depths_monotone () =
+  let m, _, load_iid = slice_fixture () in
+  let pta = Pointsto.analyze_all m in
+  let depths =
+    Analysis.Slice.backward_slice_depths m ~points_to:pta ~from_iid:load_iid
+  in
+  Alcotest.(check bool) "anchor has depth 0" true
+    (List.exists (fun (iid, d) -> iid = load_iid && d = 0) depths);
+  List.iter
+    (fun (_, d) -> Alcotest.(check bool) "non-negative depth" true (d >= 0))
+    depths
+
+let test_slice_size_consistent () =
+  let m, _, load_iid = slice_fixture () in
+  let pta = Pointsto.analyze_all m in
+  Alcotest.(check int) "size equals list length"
+    (List.length (Analysis.Slice.backward_slice m ~points_to:pta ~from_iid:load_iid))
+    (Analysis.Slice.slice_size m ~points_to:pta ~from_iid:load_iid)
+
+let tests =
+  [
+    ( "analysis.memobj",
+      [
+        Alcotest.test_case "overlaps" `Quick test_memobj_overlaps;
+        Alcotest.test_case "base" `Quick test_memobj_base;
+        Alcotest.test_case "sets overlap" `Quick test_memobj_sets_overlap;
+      ] );
+    ( "analysis.pointsto",
+      [
+        Alcotest.test_case "allocation sites" `Quick test_pta_alloc_sites;
+        Alcotest.test_case "field sensitivity" `Quick test_pta_field_sensitivity;
+        Alcotest.test_case "param binding" `Quick test_pta_param_binding;
+        Alcotest.test_case "return binding" `Quick test_pta_return_binding;
+        Alcotest.test_case "alloca distinct" `Quick test_pta_alloca_distinct;
+        Alcotest.test_case "scope restriction" `Quick test_pta_scope_restriction;
+        Alcotest.test_case "thread entry binding" `Quick test_pta_thread_entry_binding;
+        Alcotest.test_case "lock operand" `Quick test_pta_lock_operand;
+        Alcotest.test_case "may_alias" `Quick test_may_alias;
+      ] );
+    ( "analysis.slice",
+      [
+        Alcotest.test_case "memory dependence" `Quick test_slice_memory_dep;
+        Alcotest.test_case "depths monotone" `Quick test_slice_depths_monotone;
+        Alcotest.test_case "size consistent" `Quick test_slice_size_consistent;
+      ] );
+  ]

@@ -1,0 +1,213 @@
+(* Corpus-wide invariants: every bug builds a verifiable module with valid
+   ground truth, the registry is consistent with the paper's study set,
+   and every bug both reproduces and completes within a reasonable number
+   of seeds. *)
+
+let all = Corpus.Registry.all
+
+let test_corpus_size () =
+  Alcotest.(check int) "54 bugs as in the paper" 54 (List.length all);
+  Alcotest.(check int) "13 systems" 13 (List.length Corpus.Registry.systems);
+  Alcotest.(check int) "11-bug evaluation set" 11
+    (List.length Corpus.Registry.eval_set)
+
+let test_kind_mix () =
+  let count kind = List.length (Corpus.Registry.by_kind kind) in
+  Alcotest.(check int) "sums to 54" 54
+    (count Corpus.Bug.Deadlock
+    + count Corpus.Bug.Order_violation
+    + count Corpus.Bug.Atomicity_violation);
+  Alcotest.(check bool) "all three kinds present" true
+    (count Corpus.Bug.Deadlock > 0
+    && count Corpus.Bug.Order_violation > 0
+    && count Corpus.Bug.Atomicity_violation > 0)
+
+let test_ids_unique () =
+  let ids = List.map (fun b -> b.Corpus.Bug.id) all in
+  Alcotest.(check int) "no duplicate ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let test_eval_set_is_native () =
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (b.Corpus.Bug.id ^ " is a C/C++ system")
+        false b.Corpus.Bug.java)
+    Corpus.Registry.eval_set
+
+let test_find_and_by_system () =
+  let b = Corpus.Registry.find "mysql-7" in
+  Alcotest.(check string) "found" "mysql-7" b.Corpus.Bug.id;
+  Alcotest.(check int) "mysql has 9" 9
+    (List.length (Corpus.Registry.by_system "mysql"));
+  Alcotest.(check bool) "unknown raises" true
+    (try
+       ignore (Corpus.Registry.find "nope-1");
+       false
+     with Not_found -> true)
+
+let test_every_bug_builds_and_verifies () =
+  List.iter
+    (fun bug ->
+      let built = bug.Corpus.Bug.build () in
+      Alcotest.(check int)
+        (bug.Corpus.Bug.id ^ " verifies")
+        0
+        (List.length (Lir.Verify.check built.Corpus.Bug.m));
+      (* Ground truth references valid, distinct instructions. *)
+      let gt = built.Corpus.Bug.ground_truth in
+      Alcotest.(check bool) (bug.Corpus.Bug.id ^ " gt nonempty") true (gt <> []);
+      Alcotest.(check int)
+        (bug.Corpus.Bug.id ^ " gt distinct")
+        (List.length gt)
+        (List.length (List.sort_uniq compare gt));
+      List.iter
+        (fun iid ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s gt iid %d resolvable" bug.Corpus.Bug.id iid)
+            true
+            (match Lir.Irmod.instr_by_iid built.Corpus.Bug.m iid with
+            | _ -> true
+            | exception Not_found -> false))
+        gt;
+      (* Delta pairs reference ground-truth members. *)
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bool)
+            (bug.Corpus.Bug.id ^ " delta pair in gt")
+            true
+            (List.mem a gt && List.mem b gt))
+        built.Corpus.Bug.delta_pairs)
+    all
+
+let test_builds_are_deterministic () =
+  let bug = Corpus.Registry.find "pbzip2-1" in
+  let b1 = bug.Corpus.Bug.build () in
+  let b2 = bug.Corpus.Bug.build () in
+  Alcotest.(check (list int)) "same ground truth iids"
+    b1.Corpus.Bug.ground_truth b2.Corpus.Bug.ground_truth;
+  Alcotest.(check int) "same instruction count"
+    (Lir.Irmod.instr_count b1.Corpus.Bug.m)
+    (Lir.Irmod.instr_count b2.Corpus.Bug.m)
+
+let test_cold_code_present () =
+  (* The whole-program analysis must have substantially more code than
+     any execution touches (Table 4's raison d'etre). *)
+  List.iter
+    (fun bug ->
+      let built = bug.Corpus.Bug.build () in
+      Alcotest.(check bool)
+        (bug.Corpus.Bug.id ^ " has cold code")
+        true
+        (Lir.Irmod.instr_count built.Corpus.Bug.m > 300))
+    Corpus.Registry.eval_set
+
+let reproduction_outcomes bug ~seeds =
+  let built = bug.Corpus.Bug.build () in
+  let fails = ref 0 and completes = ref 0 in
+  for seed = 1 to seeds do
+    match
+      (Corpus.Runner.run_untraced ~built ~entry:bug.Corpus.Bug.entry ~seed ())
+        .Sim.Interp.outcome
+    with
+    | Sim.Interp.Failed _ -> incr fails
+    | Sim.Interp.Completed -> incr completes
+    | Sim.Interp.Stuck | Sim.Interp.Fuel_exhausted -> ()
+  done;
+  (!fails, !completes)
+
+let test_every_bug_reproduces () =
+  List.iter
+    (fun bug ->
+      let fails, completes = reproduction_outcomes bug ~seeds:60 in
+      Alcotest.(check bool)
+        (bug.Corpus.Bug.id ^ " manifests")
+        true (fails > 0);
+      Alcotest.(check bool)
+        (bug.Corpus.Bug.id ^ " also completes")
+        true (completes > 0))
+    all
+
+let test_failure_kind_matches_bug_kind () =
+  List.iter
+    (fun bug ->
+      let built = bug.Corpus.Bug.build () in
+      let rec first_failure seed =
+        if seed > 200 then None
+        else
+          match
+            (Corpus.Runner.run_untraced ~built ~entry:bug.Corpus.Bug.entry ~seed ())
+              .Sim.Interp.outcome
+          with
+          | Sim.Interp.Failed { failure; _ } -> Some failure
+          | _ -> first_failure (seed + 1)
+      in
+      match first_failure 1 with
+      | None -> Alcotest.fail (bug.Corpus.Bug.id ^ " did not reproduce")
+      | Some failure -> (
+        match bug.Corpus.Bug.kind, failure with
+        | Corpus.Bug.Deadlock, Sim.Failure.Deadlock _ -> ()
+        | (Corpus.Bug.Order_violation | Corpus.Bug.Atomicity_violation),
+          (Sim.Failure.Crash _ | Sim.Failure.Assert_fail _) ->
+          ()
+        | _ ->
+          Alcotest.fail
+            (Printf.sprintf "%s failed with unexpected kind: %s"
+               bug.Corpus.Bug.id
+               (Sim.Failure.to_string failure))))
+    Corpus.Registry.eval_set
+
+let test_runner_collect_shape () =
+  let bug = Corpus.Registry.find "pbzip2-1" in
+  match Corpus.Runner.collect bug ~success_per_failing:4 () with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    Alcotest.(check int) "one failing" 1 (List.length c.Corpus.Runner.failing);
+    Alcotest.(check int) "four successes" 4
+      (List.length c.Corpus.Runner.successful);
+    Alcotest.(check bool) "needed at least one run" true
+      (c.Corpus.Runner.runs_needed >= 1);
+    List.iter
+      (fun (s : Snorlax_core.Report.success_report) ->
+        Alcotest.(check bool) "success traces nonempty" true
+          (s.Snorlax_core.Report.s_traces <> []))
+      c.Corpus.Runner.successful
+
+let test_watch_pcs_start_with_failure_pc () =
+  let bug = Corpus.Registry.find "sqlite-3" in
+  match Corpus.Runner.collect bug ~success_per_failing:1 () with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    let m = c.Corpus.Runner.built.Corpus.Bug.m in
+    let failing = List.hd c.Corpus.Runner.failing in
+    let pcs = Corpus.Runner.watch_pcs_for m failing in
+    let anchor = Snorlax_core.Report.failing_anchor_iid failing in
+    Alcotest.(check int) "head is failing pc"
+      (Lir.Irmod.instr_by_iid m anchor).Lir.Instr.pc (List.hd pcs)
+
+let tests =
+  [
+    ( "corpus.registry",
+      [
+        Alcotest.test_case "size" `Quick test_corpus_size;
+        Alcotest.test_case "kind mix" `Quick test_kind_mix;
+        Alcotest.test_case "ids unique" `Quick test_ids_unique;
+        Alcotest.test_case "eval set native" `Quick test_eval_set_is_native;
+        Alcotest.test_case "find/by_system" `Quick test_find_and_by_system;
+      ] );
+    ( "corpus.programs",
+      [
+        Alcotest.test_case "all build and verify" `Slow
+          test_every_bug_builds_and_verifies;
+        Alcotest.test_case "builds deterministic" `Quick test_builds_are_deterministic;
+        Alcotest.test_case "cold code present" `Quick test_cold_code_present;
+      ] );
+    ( "corpus.reproduction",
+      [
+        Alcotest.test_case "every bug reproduces" `Slow test_every_bug_reproduces;
+        Alcotest.test_case "failure kinds match" `Slow
+          test_failure_kind_matches_bug_kind;
+        Alcotest.test_case "collect shape" `Quick test_runner_collect_shape;
+        Alcotest.test_case "watch pcs" `Quick test_watch_pcs_start_with_failure_pc;
+      ] );
+  ]

@@ -1,0 +1,151 @@
+(* Tests for the experiment layer: workload construction, the report
+   runners' shapes, and the ablation sweeps. *)
+
+let test_workload_specs_cover_systems () =
+  let names = List.map (fun s -> s.Experiments.Workloads.name) Experiments.Workloads.specs in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " has a workload") true
+        (List.mem expected names))
+    [ "mysql"; "httpd"; "memcached"; "sqlite"; "transmission"; "pbzip2"; "aget" ]
+
+let test_workload_builds_and_completes () =
+  let spec = Experiments.Workloads.find "httpd" in
+  let m, monitored = Experiments.Workloads.build spec ~threads:3 in
+  Alcotest.(check int) "verifies" 0 (List.length (Lir.Verify.check m));
+  let r = Sim.Interp.run m ~entry:"main" in
+  Alcotest.(check bool) "completes" true (r.Sim.Interp.outcome = Sim.Interp.Completed);
+  Alcotest.(check int) "spawns the workers" 4 r.Sim.Interp.threads_spawned;
+  (* The monitored predicate marks real accesses of the worker. *)
+  let marked = ref 0 in
+  Lir.Irmod.iter_instrs m (fun _ _ i ->
+      if monitored i.Lir.Instr.iid then incr marked);
+  Alcotest.(check bool) "some accesses monitored" true (!marked > 3)
+
+let test_overhead_is_monitoring_cost () =
+  let spec = Experiments.Workloads.find "aget" in
+  let none =
+    Experiments.Workloads.run_overhead spec ~threads:2 ~seed:4
+      ~tracer_config:None ~gist_costs:None
+  in
+  Alcotest.(check (float 1e-9)) "no monitor, no overhead" 0.0 none
+
+let test_hypothesis_rows_have_expected_arity () =
+  let bug = Corpus.Registry.find "mysql-7" in
+  let m = Experiments.Hypothesis.measure ~samples:2 bug in
+  Alcotest.(check int) "atomicity has two delta pairs" 2
+    (List.length m.Experiments.Hypothesis.deltas_us);
+  let bug = Corpus.Registry.find "sqlite-1" in
+  let m = Experiments.Hypothesis.measure ~samples:2 bug in
+  Alcotest.(check int) "deadlock has one delta pair" 1
+    (List.length m.Experiments.Hypothesis.deltas_us)
+
+let test_hypothesis_summary_math () =
+  let mk avg mn =
+    {
+      Experiments.Hypothesis.r_bug = Corpus.Registry.find "pbzip2-1";
+      avg_us = [ avg ];
+      std_us = [ 1.0 ];
+      min_us = mn;
+    }
+  in
+  let lo, hi, global_min =
+    Experiments.Hypothesis.summary [ [ mk 100.0 80.0 ]; [ mk 300.0 91.0 ] ]
+  in
+  Alcotest.(check (float 1e-9)) "lowest avg" 100.0 lo;
+  Alcotest.(check (float 1e-9)) "highest avg" 300.0 hi;
+  Alcotest.(check (float 1e-9)) "global min" 80.0 global_min
+
+let test_eval_runs_cached () =
+  let bug = Corpus.Registry.find "pbzip2-1" in
+  let a = Experiments.Eval_runs.get bug in
+  let b = Experiments.Eval_runs.get bug in
+  Alcotest.(check bool) "memoized" true (a == b);
+  let ok, ao, _ = Experiments.Eval_runs.accuracy_of a in
+  Alcotest.(check bool) "cached entry is correct" true ok;
+  Alcotest.(check (float 1e-6)) "cached entry A_O" 100.0 ao
+
+let test_stage_shares_sum () =
+  let entry = Experiments.Eval_runs.get (Corpus.Registry.find "pbzip2-1") in
+  let s = Experiments.Stages.of_entry entry in
+  Alcotest.(check int) "five shares" 5 (List.length s.Experiments.Stages.shares);
+  let total = List.fold_left ( +. ) 0.0 s.Experiments.Stages.shares in
+  Alcotest.(check bool) "shares sum to ~100%" true
+    (total > 99.0 && total < 101.0);
+  Alcotest.(check bool) "trace processing dominates" true
+    (List.hd s.Experiments.Stages.shares > 50.0)
+
+let test_analysis_time_row () =
+  let entry = Experiments.Eval_runs.get (Corpus.Registry.find "pbzip2-1") in
+  let row = Experiments.Analysis_time.of_entry entry in
+  Alcotest.(check bool) "hybrid faster than static" true
+    (row.Experiments.Analysis_time.speedup > 1.0);
+  Alcotest.(check bool) "scope reduction > 1" true
+    (row.Experiments.Analysis_time.scope_reduction > 1.0)
+
+let test_ablation_timing_degrades () =
+  let rows = Experiments.Ablations.timing_sweep () in
+  Alcotest.(check int) "five modes" 5 (List.length rows);
+  let first = List.hd rows and last = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "default mode diagnoses correctly" true
+    first.Experiments.Ablations.correct;
+  Alcotest.(check bool) "no timing cannot order" false
+    last.Experiments.Ablations.correct;
+  Alcotest.(check bool) "candidates survive even unordered" true
+    (last.Experiments.Ablations.candidates > 0)
+
+let test_ablation_ring_cliff () =
+  let rows = Experiments.Ablations.ring_sweep () in
+  let biggest = List.hd rows in
+  let smallest = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "full ring diagnoses" true
+    biggest.Experiments.Ablations.r_correct;
+  Alcotest.(check bool) "tiny ring loses the window" false
+    smallest.Experiments.Ablations.r_correct;
+  Alcotest.(check bool) "decoded events shrink" true
+    (smallest.Experiments.Ablations.decoded_events
+    < biggest.Experiments.Ablations.decoded_events)
+
+let test_ablation_success_budget () =
+  let rows = Experiments.Ablations.success_budget_sweep () in
+  let zero = List.hd rows in
+  let full = List.nth rows (List.length rows - 1) in
+  Alcotest.(check bool) "no successes, no separation" true
+    (zero.Experiments.Ablations.margin <= full.Experiments.Ablations.margin);
+  Alcotest.(check bool) "full budget separates and is correct" true
+    (full.Experiments.Ablations.b_correct
+    && full.Experiments.Ablations.margin > 0.5)
+
+let test_latency_chromium () =
+  Alcotest.(check (float 1e-6)) "factor math" 2052.0
+    (Experiments.Latency.chromium_scenario ~avg_recurrences:3.0 ~tracked_bugs:684)
+
+let tests =
+  [
+    ( "experiments.workloads",
+      [
+        Alcotest.test_case "specs cover the systems" `Quick
+          test_workload_specs_cover_systems;
+        Alcotest.test_case "builds and completes" `Slow
+          test_workload_builds_and_completes;
+        Alcotest.test_case "no monitor, no overhead" `Slow
+          test_overhead_is_monitoring_cost;
+      ] );
+    ( "experiments.runners",
+      [
+        Alcotest.test_case "hypothesis arity" `Slow
+          test_hypothesis_rows_have_expected_arity;
+        Alcotest.test_case "hypothesis summary" `Quick test_hypothesis_summary_math;
+        Alcotest.test_case "eval runs cached" `Slow test_eval_runs_cached;
+        Alcotest.test_case "stage shares" `Slow test_stage_shares_sum;
+        Alcotest.test_case "analysis time row" `Slow test_analysis_time_row;
+        Alcotest.test_case "latency math" `Quick test_latency_chromium;
+      ] );
+    ( "experiments.ablations",
+      [
+        Alcotest.test_case "timing degrades gracefully" `Slow
+          test_ablation_timing_degrades;
+        Alcotest.test_case "ring-buffer cliff" `Slow test_ablation_ring_cliff;
+        Alcotest.test_case "success budget" `Slow test_ablation_success_budget;
+      ] );
+  ]

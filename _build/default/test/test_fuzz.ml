@@ -1,0 +1,252 @@
+(* Property tests over randomly generated programs: a seeded generator
+   builds arbitrary (but verifiable) multithreaded LIR modules, and we
+   check end-to-end invariants — the verifier accepts them, execution is
+   deterministic per seed, and the PT decode of every thread is a timed
+   prefix of what the interpreter actually executed. *)
+
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+module Prng = Snorlax_util.Prng
+
+(* --- random program generator ------------------------------------------- *)
+
+(* Straight-line/body statements use a small stack of i64 values rooted in
+   allocas and two shared globals; control flow comes from bounded loops
+   and conditionals; cross-thread traffic from lock-protected updates. *)
+let gen_body prng b ~depth ~fuel =
+  let slot = B.alloca b ~name:"slot" T.I64 in
+  B.store b ~value:(V.i64 (Prng.int prng ~bound:100)) ~ptr:slot;
+  let rec stmt ~depth ~fuel =
+    if !fuel > 0 then begin
+      decr fuel;
+      match Prng.int prng ~bound:(if depth > 2 then 6 else 9) with
+      | 0 ->
+        let v = B.load b slot in
+        B.store b ~value:(B.add b v (V.i64 (Prng.int prng ~bound:10))) ~ptr:slot
+      | 1 ->
+        let v = B.load b (V.Global "shared_a") in
+        B.store b ~value:(B.binop b Lir.Instr.Xor v (V.i64 3)) ~ptr:slot;
+        ignore v
+      | 2 -> B.work b ~ns:(10 + Prng.int prng ~bound:500)
+      | 3 ->
+        B.mutex_lock b (V.Global "lock");
+        let v = B.load b (V.Global "shared_b") in
+        B.store b ~value:(B.add b v (V.i64 1)) ~ptr:(V.Global "shared_b");
+        B.mutex_unlock b (V.Global "lock")
+      | 4 ->
+        let v = B.load b slot in
+        B.call_void b Lir.Intrinsics.print_i64 [ v ]
+      | 5 ->
+        let r = B.rand b ~bound:7 in
+        B.store b ~value:r ~ptr:slot
+      | 6 ->
+        (* conditional *)
+        let v = B.load b slot in
+        let c = B.icmp b Lir.Instr.Slt v (V.i64 (Prng.int prng ~bound:100)) in
+        B.if_ b c
+          ~then_:(fun () -> stmt ~depth:(depth + 1) ~fuel)
+          ~else_:(fun () -> stmt ~depth:(depth + 1) ~fuel)
+      | 7 ->
+        (* bounded loop *)
+        let n = 1 + Prng.int prng ~bound:5 in
+        B.for_ b ~from:0 ~below:(V.i64 n) (fun _ ->
+            stmt ~depth:(depth + 1) ~fuel)
+      | _ ->
+        (* call a helper if one exists *)
+        if Prng.bool prng then
+          ignore (B.call b ~ret:T.I64 "helper" [ B.load b slot ])
+        else stmt ~depth:(depth + 1) ~fuel
+    end
+  in
+  let n = 2 + Prng.int prng ~bound:6 in
+  for _ = 1 to n do
+    stmt ~depth ~fuel
+  done
+
+let gen_module seed =
+  let prng = Prng.create ~seed in
+  let m = Lir.Irmod.create (Printf.sprintf "fuzz%d" seed) in
+  ignore (Lir.Irmod.declare_struct m "Mutex" [ T.I64 ]);
+  Lir.Irmod.declare_global m "lock" (T.Struct "Mutex");
+  Lir.Irmod.declare_global m "shared_a" T.I64;
+  Lir.Irmod.declare_global m "shared_b" T.I64;
+  B.define m "helper" ~params:[ ("x", T.I64) ] ~ret:T.I64 (fun b ->
+      let x = B.param b 0 in
+      let c = B.icmp b Lir.Instr.Sgt x (V.i64 50) in
+      let big = B.fresh_label b "big" in
+      let small = B.fresh_label b "small" in
+      B.cond_br b c big small;
+      B.start_block b big;
+      B.ret b (B.sub b x (V.i64 50));
+      B.start_block b small;
+      B.ret b (B.add b x (V.i64 1)));
+  let nworkers = 1 + Prng.int prng ~bound:3 in
+  for w = 0 to nworkers - 1 do
+    B.define m
+      (Printf.sprintf "worker%d" w)
+      ~params:[ ("arg", T.I64) ] ~ret:T.Void
+      (fun b ->
+        gen_body prng b ~depth:0 ~fuel:(ref (8 + Prng.int prng ~bound:16));
+        B.ret_void b)
+  done;
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global "lock" ];
+      let tids =
+        List.init nworkers (fun w ->
+            B.spawn b (Printf.sprintf "worker%d" w) (V.i64 w))
+      in
+      List.iter (fun t -> B.join b t) tids;
+      B.ret_void b);
+  m
+
+(* --- properties ---------------------------------------------------------- *)
+
+let prop_generated_verify =
+  QCheck.Test.make ~name:"fuzz: generated modules verify" ~count:60
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let m = gen_module seed in
+      Lir.Verify.check m = [])
+
+let prop_generated_complete =
+  QCheck.Test.make ~name:"fuzz: generated modules run to completion" ~count:40
+    QCheck.(int_range 1 10_000)
+    (fun seed ->
+      let m = gen_module seed in
+      let r = Sim.Interp.run m ~entry:"main" in
+      r.Sim.Interp.outcome = Sim.Interp.Completed)
+
+let prop_run_deterministic =
+  QCheck.Test.make ~name:"fuzz: same seed, same execution" ~count:25
+    QCheck.(pair (int_range 1 5_000) (int_range 1 50))
+    (fun (mseed, rseed) ->
+      let run () =
+        let m = gen_module mseed in
+        let config = { Sim.Interp.default_config with seed = rseed } in
+        let r = Sim.Interp.run ~config m ~entry:"main" in
+        (r.Sim.Interp.output, r.Sim.Interp.steps, r.Sim.Interp.final_time_ns)
+      in
+      run () = run ())
+
+(* Decoder fidelity against the execution oracle, over random programs. *)
+let decode_matches_oracle mseed rseed =
+  let m = gen_module mseed in
+  Lir.Irmod.layout m;
+  let driver = Pt.Driver.create () in
+  let actual : (int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let oracle ~tid ~time:_ (i : Lir.Instr.t) =
+    (match Hashtbl.find_opt actual tid with
+    | Some l -> l := i.Lir.Instr.iid :: !l
+    | None -> Hashtbl.add actual tid (ref [ i.Lir.Instr.iid ]));
+    0.0
+  in
+  let hooks =
+    Sim.Hooks.combine (Pt.Driver.hooks driver)
+      { Sim.Hooks.on_control = None; on_instr = Some oracle; gate = None }
+  in
+  let config = { Sim.Interp.default_config with seed = rseed; hooks } in
+  let r = Sim.Interp.run ~config m ~entry:"main" in
+  r.Sim.Interp.outcome = Sim.Interp.Completed
+  && List.for_all
+       (fun (tid, bytes) ->
+         let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
+         if d.Pt.Decoder.desynced then false
+         else
+           let decoded = List.map (fun s -> s.Pt.Decoder.iid) d.Pt.Decoder.steps in
+           let actual_iids =
+             match Hashtbl.find_opt actual tid with
+             | Some l -> List.rev !l
+             | None -> []
+           in
+           let rec is_prefix a b =
+             match a, b with
+             | [], _ -> true
+             | x :: a', y :: b' -> x = y && is_prefix a' b'
+             | _ :: _, [] -> false
+           in
+           is_prefix decoded actual_iids)
+       (Pt.Driver.snapshot_now driver ~at_time_ns:r.Sim.Interp.final_time_ns)
+         .Pt.Driver.traces
+
+let prop_decode_prefix =
+  QCheck.Test.make
+    ~name:"fuzz: decoded trace is an execution prefix (random programs)"
+    ~count:30
+    QCheck.(pair (int_range 1 5_000) (int_range 1 20))
+    (fun (mseed, rseed) -> decode_matches_oracle mseed rseed)
+
+(* Time-interval soundness on random programs. *)
+let prop_decode_time_bounds =
+  QCheck.Test.make
+    ~name:"fuzz: decoded intervals contain true execution times" ~count:15
+    QCheck.(int_range 1 5_000)
+    (fun mseed ->
+      let m = gen_module mseed in
+      Lir.Irmod.layout m;
+      let driver = Pt.Driver.create () in
+      let actual : (int, float list ref) Hashtbl.t = Hashtbl.create 8 in
+      let oracle ~tid ~time (_ : Lir.Instr.t) =
+        (match Hashtbl.find_opt actual tid with
+        | Some l -> l := time :: !l
+        | None -> Hashtbl.add actual tid (ref [ time ]));
+        0.0
+      in
+      let hooks =
+        Sim.Hooks.combine (Pt.Driver.hooks driver)
+          { Sim.Hooks.on_control = None; on_instr = Some oracle; gate = None }
+      in
+      let config = { Sim.Interp.default_config with seed = 5; hooks } in
+      let r = Sim.Interp.run ~config m ~entry:"main" in
+      r.Sim.Interp.outcome = Sim.Interp.Completed
+      && List.for_all
+           (fun (tid, bytes) ->
+             let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
+             let times =
+               match Hashtbl.find_opt actual tid with
+               | Some l -> Array.of_list (List.rev !l)
+               | None -> [||]
+             in
+             List.for_all
+               (fun (k, (s : Pt.Decoder.step)) ->
+                 k < Array.length times
+                 && float_of_int s.Pt.Decoder.t_lo <= times.(k) +. 1.0
+                 && times.(k) <= float_of_int s.Pt.Decoder.t_hi +. 1.0)
+               (List.mapi (fun k s -> (k, s)) d.Pt.Decoder.steps))
+           (Pt.Driver.snapshot_now driver ~at_time_ns:r.Sim.Interp.final_time_ns)
+             .Pt.Driver.traces)
+
+(* The points-to analysis is sound on random programs in one useful
+   sense: scope-restricting to the executed set never *adds* objects. *)
+let prop_scope_restriction_shrinks =
+  QCheck.Test.make ~name:"fuzz: scope restriction only shrinks points-to"
+    ~count:15
+    QCheck.(int_range 1 5_000)
+    (fun mseed ->
+      let m = gen_module mseed in
+      Lir.Irmod.layout m;
+      let full = Analysis.Pointsto.analyze_all m in
+      let restricted = Analysis.Pointsto.analyze m ~scope:(fun iid -> iid mod 2 = 0) in
+      let ok = ref true in
+      Lir.Irmod.iter_instrs m (fun _ _ i ->
+          if Lir.Instr.is_memory_access i then begin
+            let o_full = Analysis.Pointsto.accessed_objects full i in
+            let o_restr = Analysis.Pointsto.accessed_objects restricted i in
+            if not (Analysis.Memobj.Set.subset o_restr o_full) then ok := false
+          end);
+      !ok)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    ( "fuzz",
+      [
+        qtest prop_generated_verify;
+        qtest prop_generated_complete;
+        qtest prop_run_deterministic;
+        qtest prop_decode_prefix;
+        qtest prop_decode_time_bounds;
+        qtest prop_scope_restriction_shrinks;
+      ] );
+  ]

@@ -1,0 +1,116 @@
+(* Tests for the Gist baseline: slice windowing, recurrence counting and
+   the instrumentation cost model. *)
+
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+
+let fixture () =
+  let m = Lir.Irmod.create "g" in
+  Lir.Irmod.declare_global m "g" T.I64;
+  let store_iid = ref (-1) and load_iid = ref (-1) in
+  B.define m "producer" ~params:[] ~ret:T.Void (fun b ->
+      B.store b ~value:(V.i64 7) ~ptr:(V.Global "g");
+      store_iid := B.last_iid b;
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b "producer" [];
+      let v = B.load b (V.Global "g") in
+      load_iid := B.last_iid b;
+      B.call_void b Lir.Intrinsics.print_i64 [ v ];
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  Lir.Irmod.layout m;
+  let pta = Analysis.Pointsto.analyze_all m in
+  (m, pta, !store_iid, !load_iid)
+
+let test_plan_windows_partition_slice () =
+  let m, pta, _, load_iid = fixture () in
+  let plan = Gist.plan m ~points_to:pta ~failing_iid:load_iid in
+  let from_windows = List.concat plan.Gist.windows in
+  Alcotest.(check int) "windows cover the slice"
+    (List.length plan.Gist.slice)
+    (List.length from_windows);
+  Alcotest.(check (list int)) "same members"
+    (List.sort compare plan.Gist.slice)
+    (List.sort compare from_windows);
+  (* Window 0 holds only the failing instruction. *)
+  Alcotest.(check (list int)) "depth-0 window" [ load_iid ]
+    (List.hd plan.Gist.windows)
+
+let test_recurrences_grow_with_depth () =
+  let m, pta, store_iid, load_iid = fixture () in
+  let plan = Gist.plan m ~points_to:pta ~failing_iid:load_iid in
+  let r_self = Gist.recurrences_needed plan ~targets:[ load_iid ] in
+  let r_store = Gist.recurrences_needed plan ~targets:[ store_iid ] in
+  Alcotest.(check int) "anchor found in first window" 1 r_self;
+  Alcotest.(check bool) "deeper target needs more recurrences" true
+    (r_store > r_self)
+
+let test_recurrences_monotone_in_targets () =
+  let m, pta, store_iid, load_iid = fixture () in
+  let plan = Gist.plan m ~points_to:pta ~failing_iid:load_iid in
+  let r_one = Gist.recurrences_needed plan ~targets:[ load_iid ] in
+  let r_both = Gist.recurrences_needed plan ~targets:[ load_iid; store_iid ] in
+  Alcotest.(check bool) "more targets never need fewer" true (r_both >= r_one)
+
+let test_unreachable_target_bounded () =
+  let m, pta, _, load_iid = fixture () in
+  let plan = Gist.plan m ~points_to:pta ~failing_iid:load_iid in
+  let r = Gist.recurrences_needed plan ~targets:[ 999_999 ] in
+  Alcotest.(check int) "one past the last window"
+    (List.length plan.Gist.windows + 1)
+    r
+
+let test_monitored_after_prefix () =
+  let m, pta, _, load_iid = fixture () in
+  let plan = Gist.plan m ~points_to:pta ~failing_iid:load_iid in
+  let m1 = Gist.monitored_after plan ~recurrences:1 in
+  let m2 = Gist.monitored_after plan ~recurrences:2 in
+  Alcotest.(check bool) "monitoring only widens" true
+    (List.for_all (fun iid -> List.mem iid m2) m1)
+
+let test_instrument_costs () =
+  let costs = { Gist.per_event_ns = 1.0; contention_ns = 0.5 } in
+  let hooks = Gist.instrument_hooks ~monitored:(fun iid -> iid = 7) ~threads:4 ~costs in
+  match hooks.Sim.Hooks.on_instr with
+  | None -> Alcotest.fail "no instr hook"
+  | Some f ->
+    let load_instr iid =
+      Lir.Instr.make ~iid
+        (Lir.Instr.Load
+           {
+             dst = { Lir.Value.rid = 0; rname = "x"; rty = T.I64 };
+             ptr = V.Null (T.Ptr T.I64);
+           })
+    in
+    Alcotest.(check (float 1e-9)) "monitored access charged"
+      (1.0 +. (0.5 *. 3.0))
+      (f ~tid:0 ~time:0.0 (load_instr 7));
+    Alcotest.(check (float 1e-9)) "unmonitored access free" 0.0
+      (f ~tid:0 ~time:0.0 (load_instr 8));
+    Alcotest.(check (float 1e-9)) "non-access free" 0.0
+      (f ~tid:0 ~time:0.0 (Lir.Instr.make ~iid:7 (Lir.Instr.Br "x")))
+
+let test_latency_factor () =
+  Alcotest.(check (float 1e-9)) "multiplies" 2523.0
+    (Gist.latency_factor_vs_snorlax ~recurrences:3 ~tracked_bugs:841);
+  Alcotest.(check (float 1e-9)) "single bug" 4.0
+    (Gist.latency_factor_vs_snorlax ~recurrences:4 ~tracked_bugs:1)
+
+let tests =
+  [
+    ( "gist",
+      [
+        Alcotest.test_case "windows partition slice" `Quick
+          test_plan_windows_partition_slice;
+        Alcotest.test_case "recurrences grow with depth" `Quick
+          test_recurrences_grow_with_depth;
+        Alcotest.test_case "recurrences monotone" `Quick
+          test_recurrences_monotone_in_targets;
+        Alcotest.test_case "unreachable bounded" `Quick test_unreachable_target_bounded;
+        Alcotest.test_case "monitoring widens" `Quick test_monitored_after_prefix;
+        Alcotest.test_case "instrument costs" `Quick test_instrument_costs;
+        Alcotest.test_case "latency factor" `Quick test_latency_factor;
+      ] );
+  ]

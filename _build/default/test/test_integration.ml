@@ -1,0 +1,180 @@
+(* End-to-end tests: full client/server diagnosis on representative corpus
+   bugs (one of each kind per language side), the hypothesis measurement
+   machinery, and the overhead workloads. *)
+
+module Core = Snorlax_core
+
+let diagnose id =
+  let bug = Corpus.Registry.find id in
+  match Corpus.Runner.collect bug () with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    let res =
+      Core.Diagnosis.diagnose c.Corpus.Runner.built.Corpus.Bug.m
+        ~config:Pt.Config.default ~failing:c.Corpus.Runner.failing
+        ~successful:c.Corpus.Runner.successful
+    in
+    (c, res)
+
+let check_diagnosis id =
+  let c, res = diagnose id in
+  match res.Core.Diagnosis.top with
+  | None -> Alcotest.fail (id ^ ": no pattern")
+  | Some top ->
+    let gt = c.Corpus.Runner.built.Corpus.Bug.ground_truth in
+    Alcotest.(check bool) (id ^ " root cause") true
+      (Core.Accuracy.root_cause_match ~diagnosed:top.Core.Statistics.pattern
+         ~ground_truth:gt);
+    Alcotest.(check (float 1e-6)) (id ^ " A_O") 100.0
+      (Core.Accuracy.ordering_accuracy ~diagnosed:top.Core.Statistics.pattern
+         ~ground_truth:gt);
+    Alcotest.(check (float 1e-6)) (id ^ " F1") 1.0 top.Core.Statistics.f1
+
+let test_deadlock_c () = check_diagnosis "sqlite-1"
+let test_order_c () = check_diagnosis "pbzip2-1"
+let test_order_uaf () = check_diagnosis "transmission-3"
+let test_atomicity_c () = check_diagnosis "mysql-7"
+let test_assert_path () = check_diagnosis "aget-1"
+let test_deadlock_java () = check_diagnosis "log4j-1"
+let test_atomicity_java () = check_diagnosis "lucene-2"
+
+let test_stage_funnel_shrinks () =
+  let _, res = diagnose "httpd-3" in
+  let c = res.Core.Diagnosis.stage_counts in
+  Alcotest.(check bool) "executed < total" true
+    (c.Core.Diagnosis.after_trace_processing < c.Core.Diagnosis.total_instrs);
+  Alcotest.(check bool) "candidates < executed" true
+    (c.Core.Diagnosis.after_points_to < c.Core.Diagnosis.after_trace_processing);
+  Alcotest.(check bool) "rank1 <= candidates" true
+    (c.Core.Diagnosis.after_type_ranking <= c.Core.Diagnosis.after_points_to);
+  Alcotest.(check bool) "root cause smallest" true
+    (c.Core.Diagnosis.after_statistics <= c.Core.Diagnosis.after_patterns)
+
+let test_true_pattern_beats_decoys () =
+  let _, res = diagnose "mysql-6" in
+  match res.Core.Diagnosis.scored with
+  | top :: rest ->
+    List.iter
+      (fun (s : Core.Statistics.scored) ->
+        Alcotest.(check bool) "top dominates or ties" true
+          (s.Core.Statistics.f1 <= top.Core.Statistics.f1))
+      rest;
+    Alcotest.(check bool) "some decoy is demoted" true
+      (List.exists
+         (fun (s : Core.Statistics.scored) ->
+           s.Core.Statistics.f1 < top.Core.Statistics.f1)
+         rest)
+  | [] -> Alcotest.fail "no patterns"
+
+let test_more_failing_runs_still_accurate () =
+  let bug = Corpus.Registry.find "pbzip2-2" in
+  match Corpus.Runner.collect bug ~failing_count:2 () with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    let res =
+      Core.Diagnosis.diagnose c.Corpus.Runner.built.Corpus.Bug.m
+        ~config:Pt.Config.default ~failing:c.Corpus.Runner.failing
+        ~successful:c.Corpus.Runner.successful
+    in
+    (match res.Core.Diagnosis.top with
+    | Some top ->
+      Alcotest.(check bool) "still correct" true
+        (Core.Accuracy.root_cause_match ~diagnosed:top.Core.Statistics.pattern
+           ~ground_truth:c.Corpus.Runner.built.Corpus.Bug.ground_truth)
+    | None -> Alcotest.fail "no pattern")
+
+let test_hypothesis_measurement () =
+  let bug = Corpus.Registry.find "pbzip2-1" in
+  let m = Experiments.Hypothesis.measure ~samples:3 bug in
+  Alcotest.(check int) "one delta pair" 1 (List.length m.Experiments.Hypothesis.deltas_us);
+  let samples = List.hd m.Experiments.Hypothesis.deltas_us in
+  Alcotest.(check int) "three samples" 3 (List.length samples);
+  List.iter
+    (fun d -> Alcotest.(check bool) "positive gap" true (d > 0.0))
+    samples;
+  let row = Experiments.Hypothesis.row_of_measurement m in
+  Alcotest.(check bool) "average in coarse range" true
+    (List.hd row.Experiments.Hypothesis.avg_us > 1.0)
+
+let test_workload_overhead_positive () =
+  let spec = Experiments.Workloads.find "memcached" in
+  let ov =
+    Experiments.Workloads.run_overhead spec ~threads:2 ~seed:3
+      ~tracer_config:(Some Pt.Config.default) ~gist_costs:None
+  in
+  Alcotest.(check bool) "tracing costs something" true (ov > 0.0);
+  Alcotest.(check bool) "but stays cheap (< 5%)" true (ov < 0.05)
+
+let test_gist_overhead_exceeds_snorlax () =
+  let spec = Experiments.Workloads.find "sqlite" in
+  let snorlax =
+    Experiments.Workloads.run_overhead spec ~threads:8 ~seed:3
+      ~tracer_config:(Some Pt.Config.default) ~gist_costs:None
+  in
+  let gist =
+    Experiments.Workloads.run_overhead spec ~threads:8 ~seed:3
+      ~tracer_config:None ~gist_costs:(Some Gist.default_costs)
+  in
+  Alcotest.(check bool) "gist costs more at 8 threads" true (gist > snorlax)
+
+let test_scalability_trend () =
+  let points =
+    Experiments.Scalability.run ~threads:[ 2; 16 ] ~seed:3 ()
+  in
+  match points with
+  | [ p2; p16 ] ->
+    Alcotest.(check bool) "gist overhead grows steeply" true
+      (p16.Experiments.Scalability.gist_pct
+      > 2.0 *. p2.Experiments.Scalability.gist_pct);
+    Alcotest.(check bool) "snorlax stays low" true
+      (p16.Experiments.Scalability.snorlax_pct < 6.0)
+  | _ -> Alcotest.fail "expected two points"
+
+let test_full_eval_set_accuracy () =
+  (* The paper's headline: every evaluation bug diagnosed with full
+     accuracy from one failure.  Uses the memoized runs shared with the
+     experiment tests. *)
+  List.iter
+    (fun (e : Experiments.Eval_runs.entry) ->
+      let ok, ao, _ = Experiments.Eval_runs.accuracy_of e in
+      Alcotest.(check bool) (e.Experiments.Eval_runs.bug.Corpus.Bug.id ^ " correct") true ok;
+      Alcotest.(check (float 1e-6))
+        (e.Experiments.Eval_runs.bug.Corpus.Bug.id ^ " A_O")
+        100.0 ao)
+    (Experiments.Eval_runs.eval_entries ())
+
+let test_gist_needs_more_failures () =
+  let entry = Experiments.Eval_runs.get (Corpus.Registry.find "pbzip2-1") in
+  let row = Experiments.Latency.of_entry entry in
+  Alcotest.(check int) "snorlax needs one" 1 row.Experiments.Latency.snorlax_failures;
+  Alcotest.(check bool) "gist needs more" true
+    (row.Experiments.Latency.gist_recurrences > 1)
+
+let tests =
+  [
+    ( "integration.diagnosis",
+      [
+        Alcotest.test_case "deadlock (sqlite-1)" `Slow test_deadlock_c;
+        Alcotest.test_case "order violation (pbzip2-1)" `Slow test_order_c;
+        Alcotest.test_case "use-after-free (transmission-3)" `Slow test_order_uaf;
+        Alcotest.test_case "atomicity (mysql-7)" `Slow test_atomicity_c;
+        Alcotest.test_case "assert-detected (aget-1)" `Slow test_assert_path;
+        Alcotest.test_case "deadlock java (log4j-1)" `Slow test_deadlock_java;
+        Alcotest.test_case "atomicity java (lucene-2)" `Slow test_atomicity_java;
+        Alcotest.test_case "stage funnel shrinks" `Slow test_stage_funnel_shrinks;
+        Alcotest.test_case "true pattern beats decoys" `Slow
+          test_true_pattern_beats_decoys;
+        Alcotest.test_case "two failing runs" `Slow test_more_failing_runs_still_accurate;
+      ] );
+    ( "integration.experiments",
+      [
+        Alcotest.test_case "hypothesis measurement" `Slow test_hypothesis_measurement;
+        Alcotest.test_case "tracing overhead positive" `Slow
+          test_workload_overhead_positive;
+        Alcotest.test_case "gist overhead larger" `Slow test_gist_overhead_exceeds_snorlax;
+        Alcotest.test_case "scalability trend" `Slow test_scalability_trend;
+        Alcotest.test_case "gist latency" `Slow test_gist_needs_more_failures;
+        Alcotest.test_case "full eval set (11 bugs)" `Slow
+          test_full_eval_set_accuracy;
+      ] );
+  ]

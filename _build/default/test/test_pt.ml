@@ -1,0 +1,381 @@
+(* Tests for the PT model: packet codec, PSB scanning, the tracer, and —
+   most importantly — decoder fidelity: the decoded instruction sequence
+   and its coarse time intervals must agree with what the interpreter
+   actually executed. *)
+
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+module Packet = Pt.Packet
+
+(* --- packet codec ------------------------------------------------------- *)
+
+let arbitrary_packet =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun tsc -> Packet.Psb { tsc }) (int_range 0 1_000_000_000);
+        map (fun pc -> Packet.Fup { pc }) (int_range 0 1_000_000);
+        map (fun pc -> Packet.Tip { pc }) (int_range 0 1_000_000);
+        return Packet.Tip_end;
+        map (fun b -> Packet.Tnt b) bool;
+        map (fun ctc -> Packet.Mtc { ctc = ctc land 0xff }) (int_range 0 255);
+        map (fun tsc -> Packet.Tma { tsc }) (int_range 0 1_000_000_000);
+        map (fun delta -> Packet.Cyc { delta }) (int_range 0 100_000);
+      ])
+
+let prop_packet_roundtrip =
+  QCheck.Test.make ~name:"packet stream round-trips" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) arbitrary_packet))
+    (fun packets ->
+      (* Streams start at a PSB so decode_stream can begin at 0. *)
+      let packets = Packet.Psb { tsc = 0 } :: packets in
+      let buf = Buffer.create 256 in
+      List.iter (Packet.encode buf) packets;
+      let decoded = List.map fst (Packet.decode_stream (Buffer.to_bytes buf) ~pos:0) in
+      decoded = packets)
+
+let prop_psb_unique =
+  QCheck.Test.make
+    ~name:"scan_psb never fires inside non-PSB packet bytes" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) arbitrary_packet))
+    (fun packets ->
+      (* Remove PSBs, then scanning must find nothing. *)
+      let without =
+        List.filter (function Packet.Psb _ -> false | _ -> true) packets
+      in
+      let buf = Buffer.create 256 in
+      List.iter (Packet.encode buf) without;
+      Packet.scan_psb (Buffer.to_bytes buf) ~pos:0 = None)
+
+let test_psb_found_after_garbage () =
+  let buf = Buffer.create 64 in
+  Packet.encode buf (Packet.Tnt true);
+  Packet.encode buf (Packet.Cyc { delta = 12345 });
+  let garbage_len = Buffer.length buf in
+  Packet.encode buf (Packet.Psb { tsc = 77 });
+  (match Packet.scan_psb (Buffer.to_bytes buf) ~pos:0 with
+  | Some pos -> Alcotest.(check int) "skips to PSB" garbage_len pos
+  | None -> Alcotest.fail "PSB not found")
+
+let test_truncated_packet_dropped () =
+  let buf = Buffer.create 16 in
+  Packet.encode buf (Packet.Psb { tsc = 1 });
+  Packet.encode buf (Packet.Tip { pc = 0x12345 });
+  let whole = Buffer.to_bytes buf in
+  let cut = Bytes.sub whole 0 (Bytes.length whole - 1) in
+  let decoded = Packet.decode_stream cut ~pos:0 in
+  Alcotest.(check int) "only the PSB survives" 1 (List.length decoded)
+
+(* --- tracer + decoder fidelity ------------------------------------------ *)
+
+(* A program with branches, calls, loops and several threads. *)
+let fixture_module () =
+  let m = Lir.Irmod.create "fixture" in
+  ignore (Lir.Irmod.declare_struct m "Mutex" [ T.I64 ]);
+  Lir.Irmod.declare_global m "lock" (T.Struct "Mutex");
+  Lir.Irmod.declare_global m "shared" T.I64;
+  B.define m "bump" ~params:[ ("by", T.I64) ] ~ret:T.I64 (fun b ->
+      B.mutex_lock b (V.Global "lock");
+      let v = B.load b (V.Global "shared") in
+      let v' = B.add b v (B.param b 0) in
+      B.store b ~value:v' ~ptr:(V.Global "shared");
+      B.mutex_unlock b (V.Global "lock");
+      B.ret b v');
+  B.define m "worker" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 12) (fun i ->
+          B.work b ~ns:2_000;
+          let odd = B.icmp b Lir.Instr.Eq (B.binop b Lir.Instr.And i (V.i64 1)) (V.i64 1) in
+          B.if_ b odd
+            ~then_:(fun () -> ignore (B.call b ~ret:T.I64 "bump" [ V.i64 2 ]))
+            ~else_:(fun () -> ignore (B.call b ~ret:T.I64 "bump" [ V.i64 1 ])));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global "lock" ];
+      let t1 = B.spawn b "worker" (V.i64 0) in
+      let t2 = B.spawn b "worker" (V.i64 1) in
+      B.join b t1;
+      B.join b t2;
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  Lir.Irmod.layout m;
+  m
+
+(* Run with tracing AND an oracle hook recording what really executed. *)
+let run_with_oracle ?(config = Pt.Config.default) ?(seed = 1) m =
+  let driver = Pt.Driver.create ~config () in
+  let actual : (int, (int * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let oracle ~tid ~time (i : Lir.Instr.t) =
+    let l =
+      match Hashtbl.find_opt actual tid with
+      | Some l -> l
+      | None ->
+        let l = ref [] in
+        Hashtbl.add actual tid l;
+        l
+    in
+    l := (i.Lir.Instr.iid, time) :: !l;
+    0.0
+  in
+  let hooks =
+    Sim.Hooks.combine (Pt.Driver.hooks driver)
+      { Sim.Hooks.on_control = None; on_instr = Some oracle; gate = None }
+  in
+  let cfg = { Sim.Interp.default_config with seed; hooks } in
+  let result = Sim.Interp.run ~config:cfg m ~entry:"main" in
+  let actual =
+    Hashtbl.fold (fun tid l acc -> (tid, List.rev !l) :: acc) actual []
+  in
+  (result, driver, List.sort compare actual)
+
+let test_decoder_matches_execution () =
+  let m = fixture_module () in
+  let result, driver, actual = run_with_oracle m in
+  Alcotest.(check bool) "completed" true
+    (result.Sim.Interp.outcome = Sim.Interp.Completed);
+  let snap =
+    Pt.Driver.snapshot_now driver ~at_time_ns:result.Sim.Interp.final_time_ns
+  in
+  List.iter
+    (fun (tid, bytes) ->
+      let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
+      Alcotest.(check bool)
+        (Printf.sprintf "tid %d decodes clean" tid)
+        false d.Pt.Decoder.desynced;
+      let decoded_iids = List.map (fun s -> s.Pt.Decoder.iid) d.Pt.Decoder.steps in
+      let actual_list = List.assoc tid actual in
+      (* The trace ends at the last control event, so the decoded sequence
+         must be a prefix of the actual instruction sequence. *)
+      let actual_iids = List.map fst actual_list in
+      let rec is_prefix a b =
+        match a, b with
+        | [], _ -> true
+        | x :: a', y :: b' -> x = y && is_prefix a' b'
+        | _ :: _, [] -> false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "tid %d decoded sequence is an execution prefix" tid)
+        true
+        (is_prefix decoded_iids actual_iids);
+      (* Coverage: everything up to the final straight-line tail decodes. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "tid %d decodes most of the execution" tid)
+        true
+        (List.length decoded_iids >= List.length actual_iids - 30))
+    snap.Pt.Driver.traces
+
+let test_decoder_time_bounds_contain_truth () =
+  let m = fixture_module () in
+  let result, driver, actual = run_with_oracle m in
+  let snap =
+    Pt.Driver.snapshot_now driver ~at_time_ns:result.Sim.Interp.final_time_ns
+  in
+  List.iter
+    (fun (tid, bytes) ->
+      let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
+      let actual_list = List.assoc tid actual in
+      List.iteri
+        (fun k (s : Pt.Decoder.step) ->
+          let _, t_actual = List.nth actual_list k in
+          Alcotest.(check bool)
+            (Printf.sprintf "tid %d step %d lower bound" tid k)
+            true
+            (float_of_int s.Pt.Decoder.t_lo <= t_actual +. 1.0);
+          Alcotest.(check bool)
+            (Printf.sprintf "tid %d step %d upper bound" tid k)
+            true
+            (t_actual <= float_of_int s.Pt.Decoder.t_hi +. 1.0))
+        d.Pt.Decoder.steps)
+    snap.Pt.Driver.traces
+
+let test_ring_wrap_resync () =
+  (* A tiny buffer forces wrap-around; the decoder must resync at a PSB
+     and still produce a valid suffix of the execution. *)
+  let m = fixture_module () in
+  let config =
+    { Pt.Config.default with Pt.Config.buffer_size = 256; psb_period_bytes = 64 }
+  in
+  let result, driver, actual = run_with_oracle ~config m in
+  let snap =
+    Pt.Driver.snapshot_now driver ~at_time_ns:result.Sim.Interp.final_time_ns
+  in
+  let checked = ref 0 in
+  List.iter
+    (fun (tid, bytes) ->
+      let d = Pt.Decoder.decode m ~config bytes in
+      (* A full buffer whose first packet is not a PSB has wrapped. *)
+      if Bytes.length bytes = 256 then begin
+        incr checked;
+        Alcotest.(check bool) "no desync" false d.Pt.Decoder.desynced;
+        (* The decoded iids must appear as a contiguous subsequence at the
+           END of the actual execution (minus the untraced tail). *)
+        let decoded = List.map (fun s -> s.Pt.Decoder.iid) d.Pt.Decoder.steps in
+        let actual_iids = List.map fst (List.assoc tid actual) in
+        let is_sub a b =
+          (* a appears contiguously in b *)
+          let la = List.length a and lb = List.length b in
+          if la > lb then false
+          else
+            let rec take n = function
+              | [] -> []
+              | x :: r -> if n = 0 then [] else x :: take (n - 1) r
+            in
+            let rec drop n l =
+              if n = 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r
+            in
+            let rec go i =
+              i + la <= lb && (take la (drop i b) = a || go (i + 1))
+            in
+            go 0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "tid %d decoded suffix is contiguous subsequence" tid)
+          true (is_sub decoded actual_iids)
+      end)
+    snap.Pt.Driver.traces;
+  Alcotest.(check bool) "at least one buffer wrapped" true (!checked > 0)
+
+let test_tail_stop_reaches_failing_pc () =
+  (* Crash mid-block: the tail walk must reach the failing instruction. *)
+  let m = Lir.Irmod.create "t" in
+  ignore (Lir.Irmod.declare_struct m "Box" [ T.I64 ]);
+  Lir.Irmod.declare_global m "box" (T.Ptr (T.Struct "Box"));
+  let crash_iid = ref (-1) in
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.work b ~ns:1000;
+      let p = B.load b (V.Global "box") in
+      let f = B.gep b p 0 in
+      let v = B.load b f in
+      crash_iid := B.last_iid b;
+      B.call_void b Lir.Intrinsics.print_i64 [ v ];
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  Lir.Irmod.layout m;
+  let driver = Pt.Driver.create () in
+  let config =
+    { Sim.Interp.default_config with hooks = Pt.Driver.hooks driver }
+  in
+  let result = Sim.Interp.run ~config m ~entry:"main" in
+  (match result.Sim.Interp.outcome with
+  | Sim.Interp.Failed { failure; time_ns } ->
+    let snap = Pt.Driver.snapshot_now driver ~at_time_ns:time_ns in
+    let bytes = List.assoc 0 snap.Pt.Driver.traces in
+    let pc = (Lir.Irmod.instr_by_iid m !crash_iid).Lir.Instr.pc in
+    let d =
+      Pt.Decoder.decode m ~config:Pt.Config.default
+        ~tail_stop:(pc, int_of_float time_ns)
+        bytes
+    in
+    let iids = List.map (fun s -> s.Pt.Decoder.iid) d.Pt.Decoder.steps in
+    Alcotest.(check bool) "failing instr decoded" true (List.mem !crash_iid iids);
+    Alcotest.(check int) "it is the crash" (Sim.Failure.failing_iid failure)
+      !crash_iid
+  | _ -> Alcotest.fail "expected crash")
+
+let test_timing_modes_degrade_gracefully () =
+  let m = fixture_module () in
+  let run_mode timing =
+    let config = { Pt.Config.default with Pt.Config.timing } in
+    let result, driver, _ = run_with_oracle ~config m in
+    let snap =
+      Pt.Driver.snapshot_now driver ~at_time_ns:result.Sim.Interp.final_time_ns
+    in
+    let bytes = List.assoc 1 snap.Pt.Driver.traces in
+    Pt.Decoder.decode m ~config bytes
+  in
+  let fine = run_mode (Pt.Config.Cyc_and_mtc { mtc_period_ns = 1024 }) in
+  let coarse = run_mode (Pt.Config.Mtc_only { mtc_period_ns = 4096 }) in
+  let width d =
+    List.fold_left
+      (fun acc (s : Pt.Decoder.step) ->
+        acc + (min s.Pt.Decoder.t_hi 1_000_000_000 - s.Pt.Decoder.t_lo))
+      0 d.Pt.Decoder.steps
+    / max 1 (List.length d.Pt.Decoder.steps)
+  in
+  Alcotest.(check bool) "coarse timing widens intervals" true
+    (width coarse >= width fine);
+  Alcotest.(check bool) "both decode the same instructions" true
+    (List.map (fun s -> s.Pt.Decoder.iid) fine.Pt.Decoder.steps
+    = List.map (fun s -> s.Pt.Decoder.iid) coarse.Pt.Decoder.steps)
+
+let test_tracer_stats () =
+  let m = fixture_module () in
+  let result, driver, _ = run_with_oracle m in
+  ignore result;
+  let tr = Pt.Driver.tracer driver in
+  Alcotest.(check bool) "events seen" true (Pt.Tracer.events_seen tr > 50);
+  Alcotest.(check bool) "bytes written" true (Pt.Tracer.bytes_written tr > 100);
+  Alcotest.(check int) "three buffers" 3 (Pt.Tracer.thread_count tr);
+  Alcotest.(check bool) "timing packets flow" true
+    (Pt.Tracer.timing_packets tr > 10)
+
+let test_watchpoint_fires () =
+  let m = fixture_module () in
+  Lir.Irmod.layout m;
+  (* Watch the first instruction of bump. *)
+  let pc = Lir.Irmod.block_start_pc m ~fname:"bump" ~label:"entry" in
+  let driver = Pt.Driver.create () in
+  Pt.Driver.set_watchpoints driver ~pcs:[ pc ];
+  let config =
+    { Sim.Interp.default_config with hooks = Pt.Driver.hooks driver }
+  in
+  ignore (Sim.Interp.run ~config m ~entry:"main");
+  match Pt.Driver.watch_snapshot driver with
+  | Some snap ->
+    Alcotest.(check (option int)) "trigger pc" (Some pc) snap.Pt.Driver.trigger_pc;
+    Alcotest.(check bool) "has traces" true (snap.Pt.Driver.traces <> [])
+  | None -> Alcotest.fail "watchpoint did not fire"
+
+let test_decoder_empty_and_garbage () =
+  let m = fixture_module () in
+  let d = Pt.Decoder.decode m ~config:Pt.Config.default Bytes.empty in
+  Alcotest.(check int) "empty snapshot, no steps" 0 (List.length d.Pt.Decoder.steps);
+  (* Garbage without a PSB: everything counted as lost, nothing decoded. *)
+  let garbage = Bytes.make 64 '\x07' in
+  let d = Pt.Decoder.decode m ~config:Pt.Config.default garbage in
+  Alcotest.(check int) "garbage, no steps" 0 (List.length d.Pt.Decoder.steps);
+  Alcotest.(check int) "all bytes lost" 64 d.Pt.Decoder.lost_bytes
+
+let test_decoder_mismatched_stream_desyncs () =
+  let m = fixture_module () in
+  Lir.Irmod.layout m;
+  (* A syntactically valid stream whose control packets cannot match the
+     program: sync at main's entry then claim a conditional branch. *)
+  let buf = Buffer.create 32 in
+  Packet.encode buf (Packet.Psb { tsc = 0 });
+  Packet.encode buf
+    (Packet.Fup { pc = Lir.Irmod.block_start_pc m ~fname:"main" ~label:"entry" });
+  Packet.encode buf (Packet.Tnt true);
+  let d = Pt.Decoder.decode m ~config:Pt.Config.default (Buffer.to_bytes buf) in
+  Alcotest.(check bool) "flagged as desync" true d.Pt.Decoder.desynced
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    ( "pt.packets",
+      [
+        qtest prop_packet_roundtrip;
+        qtest prop_psb_unique;
+        Alcotest.test_case "psb after garbage" `Quick test_psb_found_after_garbage;
+        Alcotest.test_case "truncated dropped" `Quick test_truncated_packet_dropped;
+      ] );
+    ( "pt.decoder",
+      [
+        Alcotest.test_case "matches execution" `Quick test_decoder_matches_execution;
+        Alcotest.test_case "time bounds contain truth" `Quick
+          test_decoder_time_bounds_contain_truth;
+        Alcotest.test_case "ring wrap resync" `Quick test_ring_wrap_resync;
+        Alcotest.test_case "tail reaches crash" `Quick test_tail_stop_reaches_failing_pc;
+        Alcotest.test_case "timing modes" `Quick test_timing_modes_degrade_gracefully;
+        Alcotest.test_case "empty and garbage input" `Quick
+          test_decoder_empty_and_garbage;
+        Alcotest.test_case "mismatched stream desyncs" `Quick
+          test_decoder_mismatched_stream_desyncs;
+      ] );
+    ( "pt.driver",
+      [
+        Alcotest.test_case "tracer stats" `Quick test_tracer_stats;
+        Alcotest.test_case "watchpoint fires" `Quick test_watchpoint_fires;
+      ] );
+  ]

@@ -1,0 +1,314 @@
+(* Unit and property tests for the utility layer: PRNG, ring buffer,
+   varint codec, statistics, table renderer. *)
+
+module Prng = Snorlax_util.Prng
+module Ringbuf = Snorlax_util.Ringbuf
+module Varint = Snorlax_util.Varint
+module Stats = Snorlax_util.Stats
+module Tablefmt = Snorlax_util.Tablefmt
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* --- prng --------------------------------------------------------------- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next64 a) (Prng.next64 b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  Alcotest.(check bool) "different streams" false
+    (Prng.next64 a = Prng.next64 b)
+
+let test_prng_copy_independent () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.copy a in
+  ignore (Prng.next64 a);
+  ignore (Prng.next64 a);
+  let third_of_a = Prng.next64 a in
+  ignore (Prng.next64 b);
+  ignore (Prng.next64 b);
+  Alcotest.(check int64) "copy replays" third_of_a (Prng.next64 b)
+
+let test_prng_split () =
+  let a = Prng.create ~seed:7 in
+  let b = Prng.split a in
+  Alcotest.(check bool) "split stream differs" false
+    (Prng.next64 a = Prng.next64 b)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Prng.int stays within [0, bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let t = Prng.create ~seed in
+      let v = Prng.int t ~bound in
+      v >= 0 && v < bound)
+
+let prop_in_range =
+  QCheck.Test.make ~name:"Prng.in_range inclusive bounds" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let hi = lo + span in
+      let t = Prng.create ~seed in
+      let v = Prng.in_range t ~lo ~hi in
+      v >= lo && v <= hi)
+
+let prop_float_in_bounds =
+  QCheck.Test.make ~name:"Prng.float stays within [0, bound)" ~count:500
+    QCheck.(pair small_int (float_range 0.001 1e6))
+    (fun (seed, bound) ->
+      let t = Prng.create ~seed in
+      let v = Prng.float t ~bound in
+      v >= 0.0 && v < bound)
+
+let test_prng_chance_extremes () =
+  let t = Prng.create ~seed:3 in
+  Alcotest.(check bool) "p=0 never" false (Prng.chance t ~p:0.0);
+  Alcotest.(check bool) "p=1 always" true (Prng.chance t ~p:1.0)
+
+let test_prng_uniformity () =
+  (* Rough chi-square-free sanity: all buckets populated. *)
+  let t = Prng.create ~seed:11 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int t ~bound:10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bucket %d near uniform" i)
+        true
+        (n > 800 && n < 1200))
+    buckets
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create ~seed:5 in
+  let arr = Array.init 20 (fun i -> i) in
+  Prng.shuffle t arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 20 (fun i -> i)) sorted
+
+let test_prng_pick_member () =
+  let t = Prng.create ~seed:5 in
+  let arr = [| 2; 4; 8 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "picked element" true (Array.mem (Prng.pick t arr) arr)
+  done
+
+(* --- ringbuf ------------------------------------------------------------ *)
+
+let test_ringbuf_basic () =
+  let rb = Ringbuf.create ~capacity:8 in
+  Ringbuf.write_bytes rb (Bytes.of_string "abc");
+  Alcotest.(check int) "length" 3 (Ringbuf.length rb);
+  Alcotest.(check string) "snapshot" "abc" (Bytes.to_string (Ringbuf.snapshot rb));
+  Alcotest.(check bool) "not wrapped" false (Ringbuf.wrapped rb)
+
+let test_ringbuf_wrap () =
+  let rb = Ringbuf.create ~capacity:4 in
+  Ringbuf.write_bytes rb (Bytes.of_string "abcdefg");
+  Alcotest.(check int) "length capped" 4 (Ringbuf.length rb);
+  Alcotest.(check string) "keeps newest" "defg"
+    (Bytes.to_string (Ringbuf.snapshot rb));
+  Alcotest.(check bool) "wrapped" true (Ringbuf.wrapped rb);
+  Alcotest.(check int) "total written" 7 (Ringbuf.total_written rb)
+
+let test_ringbuf_clear () =
+  let rb = Ringbuf.create ~capacity:4 in
+  Ringbuf.write_bytes rb (Bytes.of_string "xyz");
+  Ringbuf.clear rb;
+  Alcotest.(check int) "empty after clear" 0 (Ringbuf.length rb);
+  Alcotest.(check int) "counter reset" 0 (Ringbuf.total_written rb)
+
+let prop_ringbuf_suffix =
+  QCheck.Test.make
+    ~name:"Ringbuf.snapshot equals the suffix of everything written"
+    ~count:200
+    QCheck.(pair (int_range 1 64) (string_of_size Gen.(int_range 0 300)))
+    (fun (cap, data) ->
+      let rb = Ringbuf.create ~capacity:cap in
+      Ringbuf.write_bytes rb (Bytes.of_string data);
+      let keep = min cap (String.length data) in
+      let expected = String.sub data (String.length data - keep) keep in
+      String.equal expected (Bytes.to_string (Ringbuf.snapshot rb)))
+
+(* --- varint ------------------------------------------------------------- *)
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"Varint unsigned round-trip" ~count:1000
+    QCheck.(int_range 0 max_int)
+    (fun v ->
+      let buf = Buffer.create 10 in
+      Varint.write_unsigned buf v;
+      let v', next = Varint.read_unsigned (Buffer.to_bytes buf) ~pos:0 in
+      v = v' && next = Buffer.length buf)
+
+let prop_varint_signed_roundtrip =
+  QCheck.Test.make ~name:"Varint signed round-trip" ~count:1000 QCheck.int
+    (fun v ->
+      let buf = Buffer.create 10 in
+      Varint.write_signed buf v;
+      let v', _ = Varint.read_signed (Buffer.to_bytes buf) ~pos:0 in
+      v = v')
+
+let prop_varint_size =
+  QCheck.Test.make ~name:"Varint.encoded_size matches encoding" ~count:500
+    QCheck.(int_range 0 max_int)
+    (fun v ->
+      let buf = Buffer.create 10 in
+      Varint.write_unsigned buf v;
+      Buffer.length buf = Varint.encoded_size v)
+
+let test_varint_negative_rejected () =
+  let buf = Buffer.create 4 in
+  Alcotest.check_raises "negative rejected"
+    (Invalid_argument "Varint.write_unsigned: negative") (fun () ->
+      Varint.write_unsigned buf (-1))
+
+let test_varint_truncated () =
+  let buf = Buffer.create 4 in
+  Varint.write_unsigned buf 300;
+  let b = Bytes.sub (Buffer.to_bytes buf) 0 1 in
+  Alcotest.check_raises "truncated input"
+    (Invalid_argument "Varint.read_unsigned: truncated") (fun () ->
+      ignore (Varint.read_unsigned b ~pos:0))
+
+(* --- stats -------------------------------------------------------------- *)
+
+let test_stats_mean_stddev () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "empty mean" 0.0 (Stats.mean []);
+  check_float "stddev of constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "population stddev" (sqrt 2.0)
+    (Stats.stddev [ 1.0; 2.0; 3.0; 4.0; 5.0 ])
+
+let test_stats_geomean () =
+  check_float "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  check_float "empty geomean" 0.0 (Stats.geomean [])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0 ] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_float "median" 3.0 (Stats.percentile xs ~p:50.0);
+  check_float "p100" 5.0 (Stats.percentile xs ~p:100.0)
+
+let test_stats_f1 () =
+  check_float "perfect" 1.0 (Stats.f1 ~precision:1.0 ~recall:1.0);
+  check_float "zero" 0.0 (Stats.f1 ~precision:0.0 ~recall:0.0);
+  check_float "harmonic" (2.0 *. 0.5 *. 1.0 /. 1.5)
+    (Stats.f1 ~precision:0.5 ~recall:1.0)
+
+let test_stats_precision_recall () =
+  let p, r = Stats.precision_recall ~true_pos:8 ~false_pos:2 ~false_neg:0 in
+  check_float "precision" 0.8 p;
+  check_float "recall" 1.0 r;
+  let p0, r0 = Stats.precision_recall ~true_pos:0 ~false_pos:0 ~false_neg:0 in
+  check_float "degenerate precision" 0.0 p0;
+  check_float "degenerate recall" 0.0 r0
+
+let test_kendall () =
+  Alcotest.(check int) "identical" 0
+    (Stats.kendall_tau_distance [ 1; 2; 3 ] [ 1; 2; 3 ]);
+  Alcotest.(check int) "one swap" 1
+    (Stats.kendall_tau_distance [ 1; 2; 3 ] [ 1; 3; 2 ]);
+  Alcotest.(check int) "full reversal" 3
+    (Stats.kendall_tau_distance [ 1; 2; 3 ] [ 3; 2; 1 ])
+
+let test_ordering_accuracy () =
+  check_float "identical" 100.0 (Stats.ordering_accuracy [ 1; 2; 3 ] [ 1; 2; 3 ]);
+  check_float "paper example" (100.0 *. (1.0 -. (1.0 /. 3.0)))
+    (Stats.ordering_accuracy [ 1; 2; 3 ] [ 1; 3; 2 ]);
+  check_float "no common pairs" 100.0 (Stats.ordering_accuracy [ 1 ] [ 2 ])
+
+let prop_ordering_accuracy_bounds =
+  QCheck.Test.make ~name:"ordering accuracy within [0,100]" ~count:300
+    QCheck.(pair (list small_int) (list small_int))
+    (fun (a, b) ->
+      let v = Stats.ordering_accuracy a b in
+      v >= 0.0 && v <= 100.0)
+
+(* --- tablefmt ----------------------------------------------------------- *)
+
+let test_tablefmt_renders () =
+  let t = Tablefmt.create ~headers:[ "a"; "bb" ] in
+  Tablefmt.add_row t [ "1"; "2" ];
+  Tablefmt.add_separator t;
+  Tablefmt.add_row t [ "333"; "4" ];
+  let out = Tablefmt.render t in
+  Alcotest.(check bool) "contains header" true
+    (String.length out > 0
+    && String.length (List.hd (String.split_on_char '\n' out)) > 0);
+  Alcotest.(check bool) "right-aligns" true
+    (String.length out > 10)
+
+let test_tablefmt_arity_checked () =
+  let t = Tablefmt.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "row arity"
+    (Invalid_argument "Tablefmt.add_row: arity mismatch") (fun () ->
+      Tablefmt.add_row t [ "only-one" ])
+
+let test_tablefmt_formats () =
+  Alcotest.(check string) "us" "154.3" (Tablefmt.fmt_us 154.31);
+  Alcotest.(check string) "pct" "0.97" (Tablefmt.fmt_pct 0.9701);
+  Alcotest.(check string) "factor" "4.6x" (Tablefmt.fmt_x 4.6)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    ( "util.prng",
+      [
+        Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_prng_seed_sensitivity;
+        Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+        Alcotest.test_case "split" `Quick test_prng_split;
+        Alcotest.test_case "chance extremes" `Quick test_prng_chance_extremes;
+        Alcotest.test_case "uniform buckets" `Quick test_prng_uniformity;
+        Alcotest.test_case "shuffle permutes" `Quick test_prng_shuffle_permutes;
+        Alcotest.test_case "pick member" `Quick test_prng_pick_member;
+        qtest prop_int_in_bounds;
+        qtest prop_in_range;
+        qtest prop_float_in_bounds;
+      ] );
+    ( "util.ringbuf",
+      [
+        Alcotest.test_case "basic" `Quick test_ringbuf_basic;
+        Alcotest.test_case "wrap keeps newest" `Quick test_ringbuf_wrap;
+        Alcotest.test_case "clear" `Quick test_ringbuf_clear;
+        qtest prop_ringbuf_suffix;
+      ] );
+    ( "util.varint",
+      [
+        Alcotest.test_case "negative rejected" `Quick test_varint_negative_rejected;
+        Alcotest.test_case "truncated input" `Quick test_varint_truncated;
+        qtest prop_varint_roundtrip;
+        qtest prop_varint_signed_roundtrip;
+        qtest prop_varint_size;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
+        Alcotest.test_case "geomean" `Quick test_stats_geomean;
+        Alcotest.test_case "min/max" `Quick test_stats_min_max;
+        Alcotest.test_case "percentile" `Quick test_stats_percentile;
+        Alcotest.test_case "f1" `Quick test_stats_f1;
+        Alcotest.test_case "precision/recall" `Quick test_stats_precision_recall;
+        Alcotest.test_case "kendall tau" `Quick test_kendall;
+        Alcotest.test_case "ordering accuracy" `Quick test_ordering_accuracy;
+        qtest prop_ordering_accuracy_bounds;
+      ] );
+    ( "util.tablefmt",
+      [
+        Alcotest.test_case "renders" `Quick test_tablefmt_renders;
+        Alcotest.test_case "arity checked" `Quick test_tablefmt_arity_checked;
+        Alcotest.test_case "formats" `Quick test_tablefmt_formats;
+      ] );
+  ]
