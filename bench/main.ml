@@ -170,7 +170,36 @@ let run_reproduction ~samples =
   ignore (Experiments.Report.print_latency ());
   Experiments.Ablations.print_all ()
 
+(* --- part 3: pipeline telemetry artifact --------------------------------- *)
+
+(* One instrumented diagnosis run, exported as a Chrome trace so a
+   benchmark run leaves a profile artifact behind.  Runs before the timed
+   sections and disables the scope afterwards, keeping the micro-benchmark
+   loops on the telemetry-off fast path. *)
+let emit_pipeline_trace () =
+  (* Force the fixture first: its own reproduction runs (and any diagnosis
+     they do) must not pollute the exported pipeline trace. *)
+  let m, c, _ = Lazy.force failing_fixture in
+  ignore (Obs.Scope.enable ());
+  ignore
+    (Snorlax_core.Diagnosis.diagnose m ~config:Pt.Config.default
+       ~failing:c.Corpus.Runner.failing
+       ~successful:c.Corpus.Runner.successful);
+  let json = Option.get (Obs.Scope.export_chrome ()) in
+  Obs.Scope.disable ();
+  let path = "BENCH_pipeline.json" in
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Obs.Json.to_string json);
+        Out_channel.output_char oc '\n')
+  with
+  | () -> Printf.printf "Pipeline trace written to %s\n%!" path
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" path msg;
+    exit 1
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
+  emit_pipeline_trace ();
   run_benchmarks ();
   run_reproduction ~samples:(if quick then 3 else 10)

@@ -31,7 +31,47 @@ let list_bugs () =
     (List.length Corpus.Registry.all)
     (List.length Corpus.Registry.systems)
 
-let diagnose_bug id verbose =
+(* Serialize [json] to [path]; a diagnosis whose telemetry cannot be
+   written is a failed diagnosis, hence the non-zero exit. *)
+let write_json path json =
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Obs.Json.to_string json);
+        Out_channel.output_char oc '\n')
+  with
+  | () -> true
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" path msg;
+    false
+
+let emit_obs ~trace_out ~metrics_out ~obs_summary =
+  let ok = ref true in
+  (match (trace_out, Obs.Scope.export_chrome ()) with
+  | Some path, Some j ->
+    if write_json path j then
+      Printf.printf "Chrome trace written to %s (open in ui.perfetto.dev)\n" path
+    else ok := false
+  | Some path, None ->
+    Printf.eprintf "cannot write %s: no telemetry scope\n" path;
+    ok := false
+  | None, _ -> ());
+  (match (metrics_out, Obs.Scope.export_metrics ()) with
+  | Some path, Some j ->
+    if write_json path j then Printf.printf "Metrics written to %s\n" path
+    else ok := false
+  | Some path, None ->
+    Printf.eprintf "cannot write %s: no telemetry scope\n" path;
+    ok := false
+  | None, _ -> ());
+  if obs_summary then begin
+    let s = Obs.Scope.summary () in
+    if s <> "" then Printf.printf "\n%s%!" s
+  end;
+  !ok
+
+let diagnose_bug id verbose trace_out metrics_out obs_summary =
+  let obs_wanted = trace_out <> None || metrics_out <> None || obs_summary in
+  if obs_wanted then ignore (Obs.Scope.enable ());
   match Corpus.Registry.find id with
   | exception Not_found ->
     Printf.eprintf "unknown bug id %s (try `snorlax list`)\n" id;
@@ -91,7 +131,7 @@ let diagnose_bug id verbose =
           sc.Core.Diagnosis.after_points_to sc.Core.Diagnosis.after_type_ranking
           sc.Core.Diagnosis.after_patterns sc.Core.Diagnosis.after_statistics
       end;
-      0)
+      if emit_obs ~trace_out ~metrics_out ~obs_summary then 0 else 1)
 
 let validate () =
   let ok = ref 0 and bad = ref 0 in
@@ -250,10 +290,36 @@ let diagnose_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show all patterns")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE.json"
+          ~doc:
+            "Write a Chrome trace-event JSON of the pipeline (spans for \
+             every diagnosis stage plus simulator/decoder counters); view \
+             it at ui.perfetto.dev or chrome://tracing.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE.json"
+          ~doc:"Write the telemetry metrics registry (counters, gauges, \
+                histograms) as JSON.")
+  in
+  let obs_summary =
+    Arg.(
+      value & flag
+      & info [ "obs-summary" ]
+          ~doc:"Print the span tree and metric tables after diagnosing.")
+  in
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:"Reproduce a corpus bug and run Lazy Diagnosis on it")
-    Term.(const diagnose_bug $ bug_arg $ verbose)
+    Term.(
+      const diagnose_bug $ bug_arg $ verbose $ trace_out $ metrics_out
+      $ obs_summary)
 
 let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print a corpus program's LIR")

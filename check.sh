@@ -1,0 +1,20 @@
+#!/bin/sh
+# The local CI gate: build everything, run the full test suite, and check
+# formatting when ocamlformat is available.  Fails fast on the first error.
+set -eu
+cd "$(dirname "$0")"
+
+echo "== build =="
+dune build @all
+
+echo "== test =="
+dune runtest
+
+if command -v ocamlformat >/dev/null 2>&1; then
+  echo "== fmt =="
+  dune build @fmt
+else
+  echo "== fmt == (skipped: ocamlformat not installed)"
+fi
+
+echo "check.sh: all green"

@@ -50,6 +50,9 @@ let run_traced m ~seed ~watch_pcs =
   (Sim.Interp.run ~config m ~entry:"main", driver)
 
 let () =
+  (* Telemetry on for the whole session: every pipeline stage below lands
+     in the span tree printed at the end. *)
+  ignore (Obs.Scope.enable ());
   let m = build_program () in
   Lir.Irmod.layout m;
   (* 1. Run until the bug bites, with always-on tracing. *)
@@ -88,8 +91,12 @@ let () =
     Core.Diagnosis.diagnose m ~config:Pt.Config.default ~failing:[ failing ]
       ~successful
   in
-  match result.Core.Diagnosis.top with
+  (match result.Core.Diagnosis.top with
   | Some top ->
     Printf.printf "\nRoot cause (F1 = %.2f):\n%s\n" top.Core.Statistics.f1
       (Core.Patterns.describe m top.Core.Statistics.pattern)
-  | None -> print_endline "no pattern found"
+  | None -> print_endline "no pattern found");
+  (* 4. The same diagnosis, as the telemetry subsystem saw it — the table
+     `snorlax diagnose --obs-summary` prints. *)
+  print_string "\nPipeline telemetry (what --obs-summary shows):\n";
+  print_string (Obs.Scope.summary ())

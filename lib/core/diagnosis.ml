@@ -20,7 +20,19 @@ type result = {
   anchor_iid : int;
   executed_count : int;
   desynced : bool;
+  spans : Obs.Span.span list;
 }
+
+let stage_names =
+  [
+    "diagnosis/layout";
+    "diagnosis/trace_processing";
+    "diagnosis/points_to";
+    "diagnosis/anchor";
+    "diagnosis/type_ranking";
+    "diagnosis/patterns";
+    "diagnosis/statistics";
+  ]
 
 let build_def_table m =
   let tbl = Hashtbl.create 256 in
@@ -111,51 +123,93 @@ let diagnose m ~config ~failing ~successful =
     | [] -> invalid_arg "Diagnosis.diagnose: no failing report"
     | r :: _ -> r
   in
-  Lir.Irmod.layout m;
-  let t0 = Sys.time () in
-  (* Steps 2-3: trace processing for every execution. *)
-  let failing_tps = List.map (process_failing m ~config) failing in
-  let success_tps = List.map (process_successful m ~config) successful in
+  (* Spans land in the ambient telemetry scope when one is enabled; a
+     private collector otherwise, so the stage timings and the [spans]
+     field of the result exist either way. *)
+  let trace =
+    match Obs.Scope.current () with
+    | Some ctx -> ctx.Obs.Scope.trace
+    | None -> Obs.Span.create ()
+  in
+  let recorded = ref [] in
+  let stage name f =
+    Obs.Span.with_span trace name (fun sp ->
+        recorded := sp :: !recorded;
+        f sp)
+  in
+  let set_count sp n = Obs.Span.set_arg sp "candidates" (Obs.Span.Int n) in
+  stage "diagnosis" @@ fun root ->
+  (* Stage 1: code layout (pc assignment; a no-op when already laid out). *)
+  stage "diagnosis/layout" (fun sp ->
+      Lir.Irmod.layout m;
+      set_count sp (Lir.Irmod.instr_count m));
+  (* Stage 2: trace processing (decode + replay) for every execution. *)
+  let failing_tps, success_tps, executed =
+    stage "diagnosis/trace_processing" (fun sp ->
+        let failing_tps = List.map (process_failing m ~config) failing in
+        let success_tps = List.map (process_successful m ~config) successful in
+        let executed =
+          List.fold_left
+            (fun acc (tp : Tp.t) -> Tp.Iset.union acc tp.Tp.executed)
+            Tp.Iset.empty (failing_tps @ success_tps)
+        in
+        set_count sp (Tp.Iset.cardinal executed);
+        Obs.Span.set_arg sp "failing_runs"
+          (Obs.Span.Int (List.length failing_tps));
+        Obs.Span.set_arg sp "successful_runs"
+          (Obs.Span.Int (List.length success_tps));
+        (failing_tps, success_tps, executed))
+  in
   let first_tp = List.hd failing_tps in
-  let executed =
-    List.fold_left
-      (fun acc (tp : Tp.t) -> Tp.Iset.union acc tp.Tp.executed)
-      Tp.Iset.empty (failing_tps @ success_tps)
+  (* Stage 3: hybrid points-to restricted to executed code. *)
+  let points_to, pta_span =
+    stage "diagnosis/points_to" (fun sp ->
+        ( Analysis.Pointsto.analyze m ~scope:(fun iid ->
+              Tp.Iset.mem iid executed),
+          sp ))
   in
-  (* Step 4: hybrid points-to restricted to executed code. *)
-  let t_pta0 = Sys.time () in
-  let points_to =
-    Analysis.Pointsto.analyze m ~scope:(fun iid -> Tp.Iset.mem iid executed)
+  (* Stage 4: resolve the memory-access anchor. *)
+  let anchor_iid =
+    stage "diagnosis/anchor" (fun sp ->
+        let anchor_iid = resolve_anchor m first_tp first in
+        set_count sp 1;
+        Obs.Span.set_arg sp "anchor_iid" (Obs.Span.Int anchor_iid);
+        anchor_iid)
   in
-  let hybrid_analysis_s = Sys.time () -. t_pta0 in
-  (* Step 5: candidates ranked by type. *)
-  let anchor_iid = resolve_anchor m first_tp first in
-  let prefer_free =
-    match first.Report.info with
-    | Report.Crash_info { crash_kind = Report.Use_after_free; _ } -> true
-    | Report.Crash_info _ | Report.Deadlock_info _ -> false
+  (* Stage 5: candidates ranked by type. *)
+  let candidates, type_ranking_span =
+    stage "diagnosis/type_ranking" (fun sp ->
+        let prefer_free =
+          match first.Report.info with
+          | Report.Crash_info { crash_kind = Report.Use_after_free; _ } -> true
+          | Report.Crash_info _ | Report.Deadlock_info _ -> false
+        in
+        ( Type_ranking.candidates m ~points_to ~executed ~anchor_iid
+            ~prefer_free (),
+          sp ))
   in
-  let candidates =
-    Type_ranking.candidates m ~points_to ~executed ~anchor_iid ~prefer_free ()
+  (* Stage 6: bug patterns from the first failing trace. *)
+  let patterns, patterns_span =
+    stage "diagnosis/patterns" (fun sp ->
+        let info =
+          match first.Report.info with
+          | Report.Crash_info { crash_kind; _ } ->
+            Report.Crash_info { failing_iid = anchor_iid; crash_kind }
+          | Report.Deadlock_info _ as d -> d
+        in
+        ( Patterns.generate m ~points_to ~tp:first_tp ~info
+            ~failing_tid:first.Report.failing_tid ~candidates,
+          sp ))
   in
-  (* Step 6: bug patterns from the first failing trace. *)
-  let info =
-    match first.Report.info with
-    | Report.Crash_info { crash_kind; _ } ->
-      Report.Crash_info { failing_iid = anchor_iid; crash_kind }
-    | Report.Deadlock_info _ as d -> d
+  (* Stage 7: statistical diagnosis over all runs. *)
+  let scored, top, statistics_span =
+    stage "diagnosis/statistics" (fun sp ->
+        let scored =
+          Statistics.score m ~points_to ~patterns ~failing:failing_tps
+            ~successful:success_tps
+        in
+        (scored, Statistics.top scored, sp))
   in
-  let patterns =
-    Patterns.generate m ~points_to ~tp:first_tp ~info
-      ~failing_tid:first.Report.failing_tid ~candidates
-  in
-  (* Step 7: statistical diagnosis over all runs. *)
-  let scored =
-    Statistics.score m ~points_to ~patterns ~failing:failing_tps
-      ~successful:success_tps
-  in
-  let top = Statistics.top scored in
-  let pipeline_s = Sys.time () -. t0 in
   let distinct_iids ps =
     List.sort_uniq compare (List.concat_map Patterns.ordered_iids ps)
   in
@@ -173,14 +227,27 @@ let diagnose m ~config ~failing ~successful =
         | None -> 0);
     }
   in
+  (* Funnel counts only known now; span args stay writable after finish. *)
+  set_count pta_span stage_counts.after_points_to;
+  set_count type_ranking_span stage_counts.after_type_ranking;
+  set_count patterns_span stage_counts.after_patterns;
+  set_count statistics_span stage_counts.after_statistics;
+  (* The legacy timing shim, derived from the spans (wall-clock seconds). *)
+  let timings =
+    {
+      hybrid_analysis_s = Obs.Span.duration_ns pta_span /. 1e9;
+      pipeline_s = Obs.Span.elapsed_ns trace root /. 1e9;
+    }
+  in
   {
     scored;
     top;
     unique_top = Statistics.is_unique_top scored;
     stage_counts;
-    timings = { hybrid_analysis_s; pipeline_s };
+    timings;
     anchor_iid;
     executed_count = Tp.Iset.cardinal executed;
     desynced =
       List.exists (fun (tp : Tp.t) -> tp.Tp.desynced_tids <> []) failing_tps;
+    spans = List.rev !recorded;
   }

@@ -18,6 +18,15 @@ type timings = {
   hybrid_analysis_s : float;  (** points-to over the executed scope *)
   pipeline_s : float;  (** full steps 2–7 *)
 }
+(** Compatibility shim: both fields are now derived from the telemetry
+    spans (wall-clock), not [Sys.time] CPU sampling. *)
+
+val stage_names : string list
+(** The seven pipeline stage span names, in execution order:
+    [diagnosis/layout], [diagnosis/trace_processing],
+    [diagnosis/points_to], [diagnosis/anchor], [diagnosis/type_ranking],
+    [diagnosis/patterns], [diagnosis/statistics].  Each carries a
+    [candidates] arg with that stage's funnel count. *)
 
 type result = {
   scored : Statistics.scored list;
@@ -28,6 +37,11 @@ type result = {
   anchor_iid : int;  (** the resolved memory-access anchor *)
   executed_count : int;
   desynced : bool;
+  spans : Obs.Span.span list;
+      (** this run's telemetry: the [diagnosis] root span followed by the
+          seven {!stage_names} stage spans, in start order.  Recorded into
+          the ambient {!Obs.Scope} when one is enabled, a private
+          collector otherwise. *)
 }
 
 val diagnose :

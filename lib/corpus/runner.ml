@@ -13,6 +13,12 @@ let run_traced ~built ~entry ~seed ?(pt_config = Pt.Config.default)
     | None -> Pt.Driver.hooks driver
     | Some h -> Sim.Hooks.combine (Pt.Driver.hooks driver) h
   in
+  let hooks =
+    (* Scheduler telemetry rides along whenever a scope is live; its
+       callbacks cost zero virtual time, so seeds reproduce identically. *)
+    if Obs.Scope.enabled () then Sim.Hooks.combine hooks (Sim.Telemetry.hooks ())
+    else hooks
+  in
   let config = { Sim.Interp.default_config with seed; hooks } in
   let result = Sim.Interp.run ~config m ~entry in
   { result; driver }
@@ -46,6 +52,9 @@ let watch_pcs_for m (r : Report.failing_report) =
 
 let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
     ?(success_per_failing = 10) ?(max_tries = 5000) ?(seed_base = 1) () =
+  Obs.Scope.with_span ("corpus/" ^ bug.Bug.id)
+    ~args:[ ("system", Obs.Span.Str bug.Bug.system) ]
+  @@ fun () ->
   let built = bug.Bug.build () in
   let entry = bug.Bug.entry in
   let failing = ref [] in
@@ -62,6 +71,7 @@ let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
     && !seed - seed_base < max_tries
   do
     if List.length !failing < failing_count then incr runs_needed;
+    Obs.Scope.count "corpus/runs" 1;
     let r =
       run_traced ~built ~entry ~seed:!seed ~pt_config ~watch_pcs:!watch ()
     in
@@ -75,6 +85,7 @@ let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
         in
         failing := !failing @ [ report ];
         failing_seeds := !failing_seeds @ [ !seed ];
+        Obs.Scope.count "corpus/failing_reports" 1;
         if !watch = [] then watch := watch_pcs_for built.Bug.m report
       end
     | Sim.Interp.Completed ->
@@ -98,7 +109,8 @@ let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
                   trigger_pc;
                 };
               ];
-          success_seeds := !success_seeds @ [ !seed ]
+          success_seeds := !success_seeds @ [ !seed ];
+          Obs.Scope.count "corpus/successful_reports" 1
         | None -> ())
     | Sim.Interp.Stuck | Sim.Interp.Fuel_exhausted -> ());
     incr seed

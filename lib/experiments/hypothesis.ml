@@ -42,6 +42,7 @@ let measure ?(samples = 10) ?(max_tries = 4000) bug =
                 Hashtbl.replace last_time i.Lir.Instr.iid time;
               0.0);
         gate = None;
+        on_sched = None;
       }
     in
     let config = { Sim.Interp.default_config with seed = !seed; hooks } in

@@ -102,6 +102,7 @@ let run_overhead spec ~threads ~seed ~tracer_config ~gist_costs =
           Some (fun ~time e -> Pt.Tracer.on_control tracer ~time e);
         on_instr = None;
         gate = None;
+        on_sched = None;
       }
     | None, Some costs ->
       Gist.instrument_hooks ~monitored ~threads ~costs

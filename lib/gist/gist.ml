@@ -48,7 +48,7 @@ let instrument_hooks ~monitored ~threads ~costs =
       +. (costs.contention_ns *. float_of_int (max 0 (threads - 1)))
     else 0.0
   in
-  { Sim.Hooks.on_control = None; on_instr = Some cost; gate = None }
+  { Sim.Hooks.none with on_instr = Some cost }
 
 let latency_factor_vs_snorlax ~recurrences ~tracked_bugs =
   float_of_int recurrences *. float_of_int tracked_bugs

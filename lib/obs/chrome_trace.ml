@@ -1,0 +1,95 @@
+(* Chrome trace-event ("about://tracing" / Perfetto) JSON export.
+
+   Spans become complete ("ph":"X") duration events with microsecond
+   timestamps; still-open spans become begin ("B") events so crashes keep
+   their partial timeline; counters and gauges become counter ("C")
+   samples stamped at the end of the trace.  The format reference is the
+   Trace Event Format document; Perfetto's legacy JSON importer accepts
+   exactly this shape. *)
+
+let pid = 1
+
+let category name =
+  match String.index_opt name '/' with
+  | Some i -> String.sub name 0 i
+  | None -> "app"
+
+let arg_json = function
+  | Span.Str s -> Json.String s
+  | Span.Int i -> Json.Int i
+  | Span.Float f -> Json.Float f
+
+let us ns = ns /. 1e3
+
+let span_event (sp : Span.span) =
+  let base =
+    [
+      ("name", Json.String sp.name);
+      ("cat", Json.String (category sp.name));
+      ("ts", Json.Float (us sp.start_ns));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int sp.track);
+      ("args", Json.Obj (List.rev_map (fun (k, v) -> (k, arg_json v)) sp.args));
+    ]
+  in
+  if Span.is_open sp then Json.Obj (("ph", Json.String "B") :: base)
+  else
+    Json.Obj
+      (("ph", Json.String "X")
+      :: ("dur", Json.Float (us (Span.duration_ns sp)))
+      :: base)
+
+let counter_event ~ts name value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("cat", Json.String (category name));
+      ("ph", Json.String "C");
+      ("ts", Json.Float (us ts));
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj [ ("value", value) ]);
+    ]
+
+let metadata_event name args =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int 0);
+      ("args", Json.Obj args);
+    ]
+
+let export ?metrics trace =
+  let spans = Span.spans trace in
+  let end_ts =
+    List.fold_left
+      (fun acc (sp : Span.span) ->
+        Float.max acc
+          (if Span.is_open sp then sp.start_ns else sp.end_ns))
+      0.0 spans
+  in
+  let metric_events =
+    match metrics with
+    | None -> []
+    | Some m ->
+      List.filter_map
+        (fun name ->
+          match Metrics.find_counter m name with
+          | Some v -> Some (counter_event ~ts:end_ts name (Json.Int v))
+          | None -> (
+            match Metrics.find_gauge m name with
+            | Some v -> Some (counter_event ~ts:end_ts name (Json.Float v))
+            | None -> None))
+        (Metrics.names m)
+  in
+  let events =
+    metadata_event "process_name" [ ("name", Json.String "snorlax") ]
+    :: List.map span_event spans
+    @ metric_events
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List events); ("displayTimeUnit", Json.String "ns");
+    ]

@@ -1,0 +1,11 @@
+(** Export a span collector (and optionally a metrics registry) as a
+    Chrome trace-event JSON document loadable in [about://tracing] and
+    {{:https://ui.perfetto.dev}Perfetto}.
+
+    Finished spans export as complete ("X") events with microsecond
+    timestamps and durations; open spans export as begin ("B") events;
+    counters and gauges export as counter ("C") samples stamped at the
+    last span boundary. *)
+
+val export : ?metrics:Metrics.t -> Span.t -> Json.t
+(** The whole document: [{"traceEvents": [...], "displayTimeUnit": "ns"}]. *)

@@ -1,0 +1,33 @@
+(** A minimal self-contained JSON value type with a compact printer and a
+    strict parser — just enough for the telemetry exporters (Chrome
+    trace-event files, metrics dumps) and for round-trip tests, without
+    pulling an external dependency into the build. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering.  Floats print in the shortest form
+    that parses back to the identical double, so [parse (to_string v)]
+    reconstructs [v] exactly.  Raises [Invalid_argument] on NaN or
+    infinite floats, which JSON cannot represent. *)
+
+val parse : string -> (t, string) result
+(** Strict parse of a complete JSON document (trailing garbage is an
+    error).  Integer literals that fit in [int] parse as [Int]; numbers
+    with a fraction or exponent parse as [Float]. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val to_list : t -> t list option
+(** The items of a [List]; [None] on other constructors. *)
+
+val number : t -> float option
+(** [Int] or [Float] as a float; [None] on other constructors. *)

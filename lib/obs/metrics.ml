@@ -1,0 +1,277 @@
+module Tablefmt = Snorlax_util.Tablefmt
+
+type counter = { c_name : string; mutable count : int }
+
+type gauge = { g_name : string; mutable g_value : float; mutable g_set : bool }
+
+let bucket_count = 64
+
+type histogram = {
+  h_name : string;
+  buckets : int array;  (* bucket [i>0] counts values in [2^(i-1), 2^i); bucket 0 is [0,1) *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type entry = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = {
+  entries : (string, entry) Hashtbl.t;
+  mutable order_rev : string list;  (* registration order, reversed *)
+}
+
+let create () = { entries = Hashtbl.create 32; order_rev = [] }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register t name make match_entry =
+  match Hashtbl.find_opt t.entries name with
+  | Some e -> (
+    match match_entry e with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %s already registered as a %s" name
+           (kind_name e)))
+  | None ->
+    let e, v = make () in
+    Hashtbl.add t.entries name e;
+    t.order_rev <- name :: t.order_rev;
+    v
+
+let counter t name =
+  register t name
+    (fun () ->
+      let c = { c_name = name; count = 0 } in
+      (Counter c, c))
+    (function Counter c -> Some c | _ -> None)
+
+let gauge t name =
+  register t name
+    (fun () ->
+      let g = { g_name = name; g_value = 0.0; g_set = false } in
+      (Gauge g, g))
+    (function Gauge g -> Some g | _ -> None)
+
+let histogram t name =
+  register t name
+    (fun () ->
+      let h =
+        {
+          h_name = name;
+          buckets = Array.make bucket_count 0;
+          h_count = 0;
+          h_sum = 0.0;
+          h_min = Float.infinity;
+          h_max = Float.neg_infinity;
+        }
+      in
+      (Histogram h, h))
+    (function Histogram h -> Some h | _ -> None)
+
+let add c n = c.count <- c.count + n
+
+let incr c = add c 1
+
+let counter_name c = c.c_name
+
+let value c = c.count
+
+let set g v =
+  g.g_value <- v;
+  g.g_set <- true
+
+let gauge_name g = g.g_name
+
+let gauge_value g = if g.g_set then Some g.g_value else None
+
+(* Log-scale bucketing: values land in power-of-two buckets, so a
+   nanosecond histogram spans ten orders of magnitude in 64 ints.
+   [Float.frexp] gives the exponent e with v in [2^(e-1), 2^e). *)
+let bucket_of v =
+  if v < 1.0 then 0
+  else
+    let _, e = Float.frexp v in
+    min (bucket_count - 1) (max 0 e)
+
+let bucket_upper i = if i = 0 then 1.0 else Float.ldexp 1.0 i
+
+let observe h v =
+  let v = Float.max v 0.0 in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  h.h_min <- Float.min h.h_min v;
+  h.h_max <- Float.max h.h_max v
+
+let histogram_name h = h.h_name
+
+type hstats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(* Nearest-rank percentile over the buckets; the answer is the bucket's
+   upper bound clamped to the observed max, so it is an upper estimate
+   within one power of two of the true value. *)
+let bucket_percentile h ~p =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int h.h_count)))
+    in
+    let seen = ref 0 in
+    let result = ref h.h_max in
+    (try
+       Array.iteri
+         (fun i n ->
+           seen := !seen + n;
+           if !seen >= rank then begin
+             result := Float.min (bucket_upper i) h.h_max;
+             raise Exit
+           end)
+         h.buckets
+     with Exit -> ());
+    !result
+  end
+
+let stats h =
+  {
+    count = h.h_count;
+    sum = h.h_sum;
+    min = (if h.h_count = 0 then 0.0 else h.h_min);
+    max = (if h.h_count = 0 then 0.0 else h.h_max);
+    p50 = bucket_percentile h ~p:50.0;
+    p90 = bucket_percentile h ~p:90.0;
+    p99 = bucket_percentile h ~p:99.0;
+  }
+
+(* --- whole-registry operations ------------------------------------------ *)
+
+let names t = List.rev t.order_rev
+
+let find_counter t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Counter c) -> Some c.count
+  | _ -> None
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Gauge g) when g.g_set -> Some g.g_value
+  | _ -> None
+
+let find_histogram t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Histogram h) -> Some (stats h)
+  | _ -> None
+
+(* Merging supports the future one-registry-per-domain layout: counters
+   and histogram buckets add, gauges keep the source's latest value. *)
+let merge ~into src =
+  List.iter
+    (fun name ->
+      match Hashtbl.find src.entries name with
+      | Counter c -> add (counter into name) c.count
+      | Gauge g -> if g.g_set then set (gauge into name) g.g_value
+      | Histogram h ->
+        let dst = histogram into name in
+        Array.iteri
+          (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n)
+          h.buckets;
+        dst.h_count <- dst.h_count + h.h_count;
+        dst.h_sum <- dst.h_sum +. h.h_sum;
+        dst.h_min <- Float.min dst.h_min h.h_min;
+        dst.h_max <- Float.max dst.h_max h.h_max)
+    (names src)
+
+let to_json t =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun name ->
+      match Hashtbl.find t.entries name with
+      | Counter c -> counters := (name, Json.Int c.count) :: !counters
+      | Gauge g ->
+        if g.g_set then gauges := (name, Json.Float g.g_value) :: !gauges
+      | Histogram h ->
+        let s = stats h in
+        hists :=
+          ( name,
+            Json.Obj
+              [
+                ("count", Json.Int s.count);
+                ("sum", Json.Float s.sum);
+                ("min", Json.Float s.min);
+                ("max", Json.Float s.max);
+                ("p50", Json.Float s.p50);
+                ("p90", Json.Float s.p90);
+                ("p99", Json.Float s.p99);
+              ] )
+          :: !hists)
+    (names t);
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !hists));
+    ]
+
+let render t =
+  let buf = Buffer.create 256 in
+  let scalars =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find t.entries name with
+        | Counter c -> Some (name, "counter", string_of_int c.count)
+        | Gauge g when g.g_set -> Some (name, "gauge", Printf.sprintf "%g" g.g_value)
+        | Gauge _ | Histogram _ -> None)
+      (names t)
+  in
+  if scalars <> [] then begin
+    let tbl = Tablefmt.create ~headers:[ "metric"; "kind"; "value" ] in
+    Tablefmt.set_align tbl Tablefmt.[ Left; Left; Right ];
+    List.iter (fun (n, k, v) -> Tablefmt.add_row tbl [ n; k; v ]) scalars;
+    Buffer.add_string buf (Tablefmt.render tbl)
+  end;
+  let hists =
+    List.filter_map
+      (fun name ->
+        match Hashtbl.find t.entries name with
+        | Histogram h -> Some (name, stats h)
+        | Counter _ | Gauge _ -> None)
+      (names t)
+  in
+  if hists <> [] then begin
+    if scalars <> [] then Buffer.add_char buf '\n';
+    let tbl =
+      Tablefmt.create
+        ~headers:[ "histogram"; "count"; "mean"; "p50"; "p90"; "p99"; "max" ]
+    in
+    Tablefmt.set_align tbl
+      Tablefmt.[ Left; Right; Right; Right; Right; Right; Right ];
+    List.iter
+      (fun (n, s) ->
+        let mean = if s.count = 0 then 0.0 else s.sum /. float_of_int s.count in
+        Tablefmt.add_row tbl
+          [
+            n;
+            string_of_int s.count;
+            Printf.sprintf "%.0f" mean;
+            Printf.sprintf "%.0f" s.p50;
+            Printf.sprintf "%.0f" s.p90;
+            Printf.sprintf "%.0f" s.p99;
+            Printf.sprintf "%.0f" s.max;
+          ])
+      hists;
+    Buffer.add_string buf (Tablefmt.render tbl)
+  end;
+  Buffer.contents buf

@@ -1,0 +1,87 @@
+(** The telemetry metrics registry: named counters, gauges and log-scale
+    histograms behind stable handles.
+
+    The registry is plain mutable state confined to one domain — updates
+    through a handle are a single unsynchronized int/float write, which is
+    what keeps the always-on cost near zero.  For a future multicore
+    split, each domain owns a private registry and [merge] folds them into
+    one after the fact, the same way per-thread PT ring buffers are only
+    reconciled at snapshot time. *)
+
+type t
+
+val create : unit -> t
+
+(** {2 Counters} — monotonically increasing integer totals. *)
+
+type counter
+
+val counter : t -> string -> counter
+(** The counter registered under this name, creating it on first use.
+    Raises [Invalid_argument] if the name is already registered as a
+    different metric kind. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val counter_name : counter -> string
+
+(** {2 Gauges} — a latest-value float sample. *)
+
+type gauge
+
+val gauge : t -> string -> gauge
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float option
+(** [None] until the first [set]. *)
+
+val gauge_name : gauge -> string
+
+(** {2 Histograms} — power-of-two log-scale buckets, built for wide-range
+    nanosecond durations.  Negative observations clamp to 0. *)
+
+type histogram
+
+val histogram : t -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+val histogram_name : histogram -> string
+
+type hstats = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;  (** bucket upper bound — within 2x of the true percentile *)
+  p90 : float;
+  p99 : float;
+}
+
+val stats : histogram -> hstats
+
+(** {2 Registry-wide operations} *)
+
+val names : t -> string list
+(** All registered metric names, in registration order. *)
+
+val find_counter : t -> string -> int option
+
+val find_gauge : t -> string -> float option
+
+val find_histogram : t -> string -> hstats option
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]: counters and histogram buckets add; a gauge
+    takes the source value when the source has one. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {...}}]. *)
+
+val render : t -> string
+(** Aligned ASCII tables (scalars, then histograms) via [Util.Tablefmt]. *)

@@ -1,0 +1,59 @@
+type ctx = { metrics : Metrics.t; trace : Span.t }
+
+let state : ctx option ref = ref None
+
+let enable () =
+  let c = { metrics = Metrics.create (); trace = Span.create () } in
+  state := Some c;
+  c
+
+let disable () = state := None
+
+let current () = !state
+
+let enabled () = Option.is_some !state
+
+let with_span ?args name f =
+  match !state with
+  | None -> f ()
+  | Some c -> Span.with_span c.trace ?args name (fun _ -> f ())
+
+let count name n =
+  match !state with
+  | None -> ()
+  | Some c -> Metrics.add (Metrics.counter c.metrics name) n
+
+let set_gauge name v =
+  match !state with
+  | None -> ()
+  | Some c -> Metrics.set (Metrics.gauge c.metrics name) v
+
+let observe name v =
+  match !state with
+  | None -> ()
+  | Some c -> Metrics.observe (Metrics.histogram c.metrics name) v
+
+let export_chrome () =
+  match !state with
+  | None -> None
+  | Some c -> Some (Chrome_trace.export ~metrics:c.metrics c.trace)
+
+let export_metrics () =
+  match !state with None -> None | Some c -> Some (Metrics.to_json c.metrics)
+
+let summary () =
+  match !state with
+  | None -> ""
+  | Some c ->
+    let buf = Buffer.create 512 in
+    if Span.spans c.trace <> [] then begin
+      Buffer.add_string buf "Spans:\n";
+      Buffer.add_string buf (Span.render_tree c.trace)
+    end;
+    let m = Metrics.render c.metrics in
+    if m <> "" then begin
+      if Buffer.length buf > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf "Metrics:\n";
+      Buffer.add_string buf m
+    end;
+    Buffer.contents buf

@@ -1,0 +1,41 @@
+(** The ambient telemetry context.
+
+    Instrumentation points all over the stack (the PT decoder, the
+    simulator's scheduler hook, the corpus runner) record through this
+    module rather than threading a registry through every signature.
+    When no scope is enabled — the default — every recording call is a
+    single [None] match, which is what keeps telemetry-off runs at the
+    seed's speed. *)
+
+type ctx = { metrics : Metrics.t; trace : Span.t }
+
+val enable : unit -> ctx
+(** Install (and return) a fresh context, replacing any previous one. *)
+
+val disable : unit -> unit
+
+val current : unit -> ctx option
+
+val enabled : unit -> bool
+
+val with_span :
+  ?args:(string * Span.arg_value) list -> string -> (unit -> 'a) -> 'a
+(** Run under a span of the current trace; just runs [f] when disabled. *)
+
+val count : string -> int -> unit
+(** Add to a counter by name; no-op when disabled. *)
+
+val set_gauge : string -> float -> unit
+
+val observe : string -> float -> unit
+(** Record into a histogram by name; no-op when disabled. *)
+
+val export_chrome : unit -> Json.t option
+(** The current context as a Chrome trace-event document. *)
+
+val export_metrics : unit -> Json.t option
+(** The current context's metrics registry as JSON. *)
+
+val summary : unit -> string
+(** Span tree plus metrics tables, for [--obs-summary]; empty when
+    disabled. *)

@@ -169,11 +169,23 @@ let walk_tail w ~stop_pc ~t_hi =
   in
   go ()
 
+let record_metrics r ~snapshot_bytes =
+  if Obs.Scope.enabled () then begin
+    Obs.Scope.count "pt/decode_calls" 1;
+    Obs.Scope.count "pt/decoded_steps" (List.length r.steps);
+    Obs.Scope.count "pt/lost_bytes" r.lost_bytes;
+    Obs.Scope.count "pt/desyncs" (if r.desynced then 1 else 0);
+    Obs.Scope.observe "pt/snapshot_bytes" (float_of_int snapshot_bytes)
+  end;
+  r
+
 let decode m ~config ?tail_stop snapshot =
   Lir.Irmod.layout m;
   match Packet.scan_psb snapshot ~pos:0 with
   | None ->
-    { steps = []; lost_bytes = Bytes.length snapshot; desynced = false }
+    record_metrics
+      { steps = []; lost_bytes = Bytes.length snapshot; desynced = false }
+      ~snapshot_bytes:(Bytes.length snapshot)
   | Some sync_pos ->
     let packets =
       timestamp_packets config (Packet.decode_stream snapshot ~pos:sync_pos)
@@ -202,4 +214,6 @@ let decode m ~config ?tail_stop snapshot =
     | Desync _ -> desynced := true
     | Thread_end -> ended := true);
     ignore !ended;
-    { steps = List.rev w.steps_rev; lost_bytes = sync_pos; desynced = !desynced }
+    record_metrics
+      { steps = List.rev w.steps_rev; lost_bytes = sync_pos; desynced = !desynced }
+      ~snapshot_bytes:(Bytes.length snapshot)

@@ -57,9 +57,9 @@ let on_instr t ~tid ~time (i : Lir.Instr.t) =
 
 let hooks t =
   {
-    Sim.Hooks.on_control = Some (fun ~time e -> Tracer.on_control t.tracer ~time e);
+    Sim.Hooks.none with
+    on_control = Some (fun ~time e -> Tracer.on_control t.tracer ~time e);
     on_instr = Some (fun ~tid ~time i -> on_instr t ~tid ~time i);
-    gate = None;
   }
 
 let watch_snapshot t = t.watch_hit

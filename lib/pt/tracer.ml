@@ -137,6 +137,15 @@ let on_control t ~time event =
   +. (c.Config.per_thread_ns *. float_of_int (Hashtbl.length t.threads))
 
 let snapshot t =
+  (* Snapshot is the reconciliation point, so the hot per-event path never
+     touches the ambient scope: cumulative totals are published here. *)
+  if Obs.Scope.enabled () then begin
+    Obs.Scope.set_gauge "pt/bytes_written" (float_of_int t.bytes_written);
+    Obs.Scope.set_gauge "pt/events_seen" (float_of_int t.events_seen);
+    Obs.Scope.set_gauge "pt/timing_packets" (float_of_int t.timing_packets);
+    Obs.Scope.set_gauge "pt/threads" (float_of_int (Hashtbl.length t.threads));
+    Obs.Scope.count "pt/snapshots" 1
+  end;
   Hashtbl.fold (fun tid ts acc -> (tid, Ringbuf.snapshot ts.ring) :: acc) t.threads []
   |> List.sort compare
 

@@ -17,6 +17,7 @@ let record ?(seed = 1) m ~entry ~racy_iids =
               log := (tid, i.Lir.Instr.iid) :: !log;
             0.0);
       gate = None;
+      on_sched = None;
     }
   in
   let config = { Sim.Interp.default_config with seed; hooks } in
@@ -65,7 +66,7 @@ let replay ?(seed = 1) ?(max_stalls = 2000) m ~entry ~racy_iids schedule =
     0.0
   in
   let hooks =
-    { Sim.Hooks.on_control = None; on_instr = Some on_instr; gate = Some gate }
+    { Sim.Hooks.none with on_instr = Some on_instr; gate = Some gate }
   in
   let config = { Sim.Interp.default_config with seed; hooks } in
   let result = Sim.Interp.run ~config m ~entry in

@@ -4,13 +4,19 @@ type control_event =
   | Ret_branch of { tid : int; target_pc : int option }
   | Thread_exit of { tid : int }
 
+type sched_event =
+  | Switch of { prev_tid : int option; next_tid : int; time : float }
+  | Contended of { tid : int; addr : int; time : float }
+  | Unblocked of { tid : int; parked_ns : float; time : float }
+
 type t = {
   on_control : (time:float -> control_event -> float) option;
   on_instr : (tid:int -> time:float -> Lir.Instr.t -> float) option;
   gate : (tid:int -> time:float -> Lir.Instr.t -> float) option;
+  on_sched : (sched_event -> unit) option;
 }
 
-let none = { on_control = None; on_instr = None; gate = None }
+let none = { on_control = None; on_instr = None; gate = None; on_sched = None }
 
 let combine a b =
   let on_control =
@@ -30,7 +36,12 @@ let combine a b =
       (* Both gates must agree to proceed; the longer stall wins. *)
       Some (fun ~tid ~time i -> Float.max (f ~tid ~time i) (g ~tid ~time i))
   in
-  { on_control; on_instr; gate }
+  let on_sched =
+    match a.on_sched, b.on_sched with
+    | None, f | f, None -> f
+    | Some f, Some g -> Some (fun e -> f e; g e)
+  in
+  { on_control; on_instr; gate; on_sched }
 
 let control_event_tid = function
   | Thread_start { tid; _ } -> tid

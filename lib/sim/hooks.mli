@@ -20,6 +20,15 @@ type control_event =
       (** [None] when the thread's entry function returns *)
   | Thread_exit of { tid : int }
 
+type sched_event =
+  | Switch of { prev_tid : int option; next_tid : int; time : float }
+      (** the engine picked a different thread than it last stepped *)
+  | Contended of { tid : int; addr : int; time : float }
+      (** a mutex_lock found the lock held and parked the thread *)
+  | Unblocked of { tid : int; parked_ns : float; time : float }
+      (** a blocked thread (mutex, condvar or join) became runnable again
+          after [parked_ns] of virtual time *)
+
 type t = {
   on_control : (time:float -> control_event -> float) option;
   on_instr : (tid:int -> time:float -> Lir.Instr.t -> float) option;
@@ -29,6 +38,11 @@ type t = {
           retries (the instruction does not execute yet).  This is the
           schedule-enforcement primitive behind the coarse record/replay
           of §3.3; debug-register stalls would be modelled the same way. *)
+  on_sched : (sched_event -> unit) option;
+      (** Pure observation of scheduler activity — context switches, lock
+          contention, parked-thread time.  Unlike the other hooks it
+          returns no cost: telemetry must never perturb the virtual
+          timeline it measures. *)
 }
 
 val none : t

@@ -40,8 +40,8 @@ end
 type status =
   | Runnable
   | Blocked_mutex of { addr : int; call_iid : int; since : float }
-  | Blocked_cond of { addr : int }
-  | Blocked_join of { target : int }
+  | Blocked_cond of { addr : int; since : float }
+  | Blocked_join of { target : int; since : float }
   | Finished
 
 type frame = {
@@ -146,6 +146,24 @@ let fire_instr st th (i : Lir.Instr.t) =
   | None -> ()
   | Some f -> th.clock <- th.clock +. f ~tid:th.tid ~time:th.clock i
 
+let fire_sched st event =
+  match st.cfg.hooks.Hooks.on_sched with None -> () | Some f -> f event
+
+(* A blocked thread just became runnable: report how long it was parked.
+   [since] is when it blocked; its clock was already advanced to the wake
+   time by the caller. *)
+let fire_unblocked st (th : thread) ~since =
+  fire_sched st
+    (Hooks.Unblocked
+       { tid = th.tid; parked_ns = th.clock -. since; time = th.clock })
+
+let blocked_since (th : thread) =
+  match th.status with
+  | Blocked_mutex { since; _ } | Blocked_cond { since; _ }
+  | Blocked_join { since; _ } ->
+    Some since
+  | Runnable | Finished -> None
+
 let set_failure st th failure =
   st.failure <- Some (failure, th.clock);
   raise Sim_failure
@@ -207,8 +225,12 @@ let do_return st th value =
         List.iter
           (fun wtid ->
             let w = Hashtbl.find st.threads wtid in
+            let since = blocked_since w in
             w.status <- Runnable;
             w.clock <- Float.max w.clock th.clock +. Cost.join;
+            (match since with
+            | Some s -> fire_unblocked st w ~since:s
+            | None -> ());
             match w.pending_ret_pc with
             | Some pc ->
               w.pending_ret_pc <- None;
@@ -277,7 +299,8 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
     | Mutexes.Acquired -> ()
     | Mutexes.Blocked ->
       th.status <-
-        Blocked_mutex { addr; call_iid = i.Lir.Instr.iid; since = th.clock }
+        Blocked_mutex { addr; call_iid = i.Lir.Instr.iid; since = th.clock };
+      fire_sched st (Hooks.Contended { tid = th.tid; addr; time = th.clock })
     | Mutexes.Deadlocked cycle ->
       let waiter_of tid =
         if tid = th.tid then (tid, i.Lir.Instr.iid, addr)
@@ -301,8 +324,10 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
     | Ok None -> ()
     | Ok (Some next) ->
       let w = Hashtbl.find st.threads next in
+      let since = blocked_since w in
       w.status <- Runnable;
       w.clock <- Float.max w.clock th.clock +. jitter st Cost.wake;
+      (match since with Some s -> fire_unblocked st w ~since:s | None -> ());
       (match w.pending_ret_pc with
       | Some pc ->
         w.pending_ret_pc <- None;
@@ -319,15 +344,17 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
     | Ok None -> ()
     | Ok (Some next) ->
       let w = Hashtbl.find st.threads next in
+      let since = blocked_since w in
       w.status <- Runnable;
       w.clock <- Float.max w.clock th.clock +. jitter st Cost.wake;
+      (match since with Some s -> fire_unblocked st w ~since:s | None -> ());
       (match w.pending_ret_pc with
       | Some pc ->
         w.pending_ret_pc <- None;
         fire_control st w (Hooks.Ret_branch { tid = w.tid; target_pc = Some pc })
       | None -> ()));
     Condvars.wait st.condvars ~addr:cond_addr ~tid:th.tid ~mutex_addr;
-    th.status <- Blocked_cond { addr = cond_addr }
+    th.status <- Blocked_cond { addr = cond_addr; since = th.clock }
   end
   else if String.equal callee Lir.Intrinsics.cond_signal
           || String.equal callee Lir.Intrinsics.cond_broadcast then begin
@@ -342,7 +369,9 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
     List.iter
       (fun (wtid, mutex_addr) ->
         let w = Hashtbl.find st.threads wtid in
+        let since = blocked_since w in
         w.clock <- Float.max w.clock th.clock +. jitter st Cost.wake;
+        (match since with Some s -> fire_unblocked st w ~since:s | None -> ());
         (* The woken thread re-acquires its mutex before cond_wait
            returns; it may block again right here. *)
         match Mutexes.lock st.mutexes ~addr:mutex_addr ~tid:wtid with
@@ -357,7 +386,9 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
         | Mutexes.Blocked ->
           w.status <-
             Blocked_mutex
-              { addr = mutex_addr; call_iid = i.Lir.Instr.iid; since = w.clock }
+              { addr = mutex_addr; call_iid = i.Lir.Instr.iid; since = w.clock };
+          fire_sched st
+            (Hooks.Contended { tid = wtid; addr = mutex_addr; time = w.clock })
         | Mutexes.Deadlocked _ ->
           (* The waiter holds no other resources at this point in any
              well-formed program; re-acquisition cannot close a cycle
@@ -385,7 +416,7 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
     | None -> failwith "Interp: join of unknown thread"
     | Some tgt ->
       if tgt.status <> Finished then begin
-        th.status <- Blocked_join { target };
+        th.status <- Blocked_join { target; since = th.clock };
         let waiting =
           match Hashtbl.find_opt st.joiners target with
           | Some l -> l
@@ -586,12 +617,26 @@ let run ?(config = default_config) m ~entry =
   fire_control st main
     (Hooks.Thread_start { tid = main.tid; entry_pc = entry_pc st main_fn });
   let outcome = ref None in
+  (* -1 = no thread has run yet; a plain int keeps the per-step check an
+     unboxed compare on the no-switch fast path. *)
+  let last_tid = ref (-1) in
   (try
      while !outcome = None do
        if st.steps >= config.max_steps then outcome := Some Fuel_exhausted
        else
          match pick_runnable st with
-         | Some th -> ( try step st th with Gated -> ())
+         | Some th ->
+           if !last_tid <> th.tid then begin
+             fire_sched st
+               (Hooks.Switch
+                  {
+                    prev_tid = (if !last_tid < 0 then None else Some !last_tid);
+                    next_tid = th.tid;
+                    time = th.clock;
+                  });
+             last_tid := th.tid
+           end;
+           ( try step st th with Gated -> ())
          | None ->
            if any_blocked st then outcome := Some Stuck
            else outcome := Some Completed

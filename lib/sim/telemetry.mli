@@ -1,0 +1,12 @@
+(** The simulator's telemetry hook: records scheduler activity —
+    [sim/context_switches], [sim/lock_contention], the [sim/parked_ns]
+    histogram — plus [sim/instructions] and [sim/control_events] counters
+    into the ambient {!Obs.Scope}.
+
+    Stack it onto other hooks with {!Hooks.combine}; every callback
+    returns zero cost so the observed schedule is unchanged. *)
+
+val hooks : unit -> Hooks.t
+(** Resolved against the scope current at call time; {!Hooks.none} when
+    telemetry is disabled, so the interpreter's hot path stays free of
+    option checks beyond the seed's. *)

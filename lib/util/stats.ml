@@ -22,13 +22,18 @@ let min_max = function
     List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
 
 let percentile xs ~p =
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg "Stats.percentile: p outside [0,100]";
   match List.sort compare xs with
   | [] -> invalid_arg "Stats.percentile: empty"
   | sorted ->
     let n = List.length sorted in
-    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
-    let idx = max 0 (min (n - 1) (rank - 1)) in
-    List.nth sorted idx
+    (* Nearest rank, clamped to [1, n]: ceil maps p = 0 to rank 0, which
+       by convention means the minimum (rank 1), not an index underflow. *)
+    let rank =
+      max 1 (min n (int_of_float (ceil (p /. 100.0 *. float_of_int n))))
+    in
+    List.nth sorted (rank - 1)
 
 let f1 ~precision ~recall =
   if precision +. recall = 0.0 then 0.0

@@ -15,7 +15,10 @@ val min_max : float list -> float * float
 (** Smallest and largest element.  Raises [Invalid_argument] on []. *)
 
 val percentile : float list -> p:float -> float
-(** Nearest-rank percentile, [p] in [\[0,100\]].  Raises on []. *)
+(** Nearest-rank percentile: the smallest element with at least [p]% of
+    the sample at or below it.  [p = 0.] yields the minimum, [p = 100.]
+    the maximum, and the result is monotone in [p].  Raises
+    [Invalid_argument] on [] or when [p] falls outside [\[0,100\]]. *)
 
 val f1 : precision:float -> recall:float -> float
 (** Harmonic mean of precision and recall; 0 when both are 0. *)

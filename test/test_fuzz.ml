@@ -143,7 +143,7 @@ let decode_matches_oracle mseed rseed =
   in
   let hooks =
     Sim.Hooks.combine (Pt.Driver.hooks driver)
-      { Sim.Hooks.on_control = None; on_instr = Some oracle; gate = None }
+      { Sim.Hooks.none with on_instr = Some oracle }
   in
   let config = { Sim.Interp.default_config with seed = rseed; hooks } in
   let r = Sim.Interp.run ~config m ~entry:"main" in
@@ -194,7 +194,7 @@ let prop_decode_time_bounds =
       in
       let hooks =
         Sim.Hooks.combine (Pt.Driver.hooks driver)
-          { Sim.Hooks.on_control = None; on_instr = Some oracle; gate = None }
+          { Sim.Hooks.none with on_instr = Some oracle }
       in
       let config = { Sim.Interp.default_config with seed = 5; hooks } in
       let r = Sim.Interp.run ~config m ~entry:"main" in

@@ -2,8 +2,8 @@
 
 let () =
   Alcotest.run "snorlax"
-    (Test_util.tests @ Test_ir.tests @ Test_sim.tests @ Test_memory.tests
-   @ Test_pt.tests
+    (Test_util.tests @ Test_obs.tests @ Test_ir.tests @ Test_sim.tests
+   @ Test_memory.tests @ Test_pt.tests
    @ Test_analysis.tests @ Test_core.tests @ Test_gist.tests
    @ Test_corpus.tests @ Test_replay.tests @ Test_experiments.tests @ Test_fuzz.tests
    @ Test_integration.tests)

@@ -1,0 +1,467 @@
+(* Tests for the telemetry subsystem: metrics registry semantics, span
+   nesting, JSON round-trips, Chrome trace export, and the pipeline /
+   simulator instrumentation built on top of them. *)
+
+module Obs = Obs
+module B = Lir.Builder
+module V = Lir.Value
+module T = Lir.Ty
+module Core = Snorlax_core
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let test_counter_semantics () =
+  let m = Obs.Metrics.create () in
+  let c = Obs.Metrics.counter m "a/hits" in
+  Alcotest.(check int) "starts at zero" 0 (Obs.Metrics.value c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 4;
+  Alcotest.(check int) "accumulates" 5 (Obs.Metrics.value c);
+  let c' = Obs.Metrics.counter m "a/hits" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "same name, same cell" 6 (Obs.Metrics.value c);
+  Alcotest.(check (option int)) "find_counter" (Some 6)
+    (Obs.Metrics.find_counter m "a/hits");
+  Alcotest.(check (option int)) "unknown name" None
+    (Obs.Metrics.find_counter m "nope")
+
+let test_gauge_semantics () =
+  let m = Obs.Metrics.create () in
+  let g = Obs.Metrics.gauge m "a/level" in
+  Alcotest.(check (option (float 0.0))) "unset" None (Obs.Metrics.gauge_value g);
+  Obs.Metrics.set g 2.0;
+  Obs.Metrics.set g 7.5;
+  Alcotest.(check (option (float 0.0))) "latest wins" (Some 7.5)
+    (Obs.Metrics.gauge_value g)
+
+let test_kind_mismatch_rejected () =
+  let m = Obs.Metrics.create () in
+  ignore (Obs.Metrics.counter m "x");
+  Alcotest.(check bool) "gauge under a counter name" true
+    (match Obs.Metrics.gauge m "x" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_histogram_stats () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  List.iter (Obs.Metrics.observe h) [ 1.0; 2.0; 3.0; 100.0 ];
+  let s = Obs.Metrics.stats h in
+  Alcotest.(check int) "count" 4 s.Obs.Metrics.count;
+  Alcotest.(check (float 1e-9)) "sum" 106.0 s.Obs.Metrics.sum;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.Obs.Metrics.min;
+  Alcotest.(check (float 1e-9)) "max" 100.0 s.Obs.Metrics.max;
+  (* Bucketed percentiles: upper bound of the bucket, within 2x above. *)
+  Alcotest.(check bool) "p50 bracket" true
+    (s.Obs.Metrics.p50 >= 2.0 && s.Obs.Metrics.p50 <= 4.0);
+  Alcotest.(check bool) "p99 bracket" true
+    (s.Obs.Metrics.p99 >= 100.0 && s.Obs.Metrics.p99 <= 200.0)
+
+let prop_histogram_percentile_bracket =
+  QCheck.Test.make
+    ~name:"histogram percentile upper-bounds the true value within 2x"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range 0.0 1e9))
+    (fun xs ->
+      let m = Obs.Metrics.create () in
+      let h = Obs.Metrics.histogram m "h" in
+      List.iter (Obs.Metrics.observe h) xs;
+      let s = Obs.Metrics.stats h in
+      let true_p50 = Snorlax_util.Stats.percentile xs ~p:50.0 in
+      s.Obs.Metrics.p50 >= true_p50
+      && s.Obs.Metrics.p50 <= Float.max 1.0 (2.0 *. true_p50))
+
+let test_metrics_merge () =
+  let a = Obs.Metrics.create () and b = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter a "c") 2;
+  Obs.Metrics.add (Obs.Metrics.counter b "c") 3;
+  Obs.Metrics.add (Obs.Metrics.counter b "only_b") 7;
+  Obs.Metrics.set (Obs.Metrics.gauge a "g") 1.0;
+  Obs.Metrics.set (Obs.Metrics.gauge b "g") 9.0;
+  Obs.Metrics.observe (Obs.Metrics.histogram a "h") 4.0;
+  Obs.Metrics.observe (Obs.Metrics.histogram b "h") 40.0;
+  Obs.Metrics.merge ~into:a b;
+  Alcotest.(check (option int)) "counters add" (Some 5)
+    (Obs.Metrics.find_counter a "c");
+  Alcotest.(check (option int)) "missing counters appear" (Some 7)
+    (Obs.Metrics.find_counter a "only_b");
+  Alcotest.(check (option (float 0.0))) "gauge takes source" (Some 9.0)
+    (Obs.Metrics.find_gauge a "g");
+  match Obs.Metrics.find_histogram a "h" with
+  | Some s ->
+    Alcotest.(check int) "histogram counts add" 2 s.Obs.Metrics.count;
+    Alcotest.(check (float 1e-9)) "histogram sums add" 44.0 s.Obs.Metrics.sum
+  | None -> Alcotest.fail "merged histogram missing"
+
+(* --- spans -------------------------------------------------------------- *)
+
+(* A deterministic clock: each read advances time by 10 units. *)
+let ticking_clock () =
+  let t = ref 0.0 in
+  fun () ->
+    t := !t +. 10.0;
+    !t
+
+let test_span_nesting () =
+  let tr = Obs.Span.create ~clock:(ticking_clock ()) () in
+  Obs.Span.with_span tr "outer" (fun outer ->
+      Obs.Span.with_span tr "inner" (fun inner ->
+          Alcotest.(check (option int)) "inner nests under outer"
+            (Some outer.Obs.Span.id) inner.Obs.Span.parent);
+      ());
+  Obs.Span.with_span tr "sibling" (fun s ->
+      Alcotest.(check (option int)) "root level after outer closed" None
+        s.Obs.Span.parent);
+  Alcotest.(check (list string)) "start order"
+    [ "outer"; "inner"; "sibling" ]
+    (List.map (fun s -> s.Obs.Span.name) (Obs.Span.spans tr));
+  Alcotest.(check int) "no orphans" 0 (List.length (Obs.Span.orphans tr))
+
+let test_span_tracks_isolated () =
+  let tr = Obs.Span.create ~clock:(ticking_clock ()) () in
+  let a = Obs.Span.start tr ~track:1 "a" in
+  let b = Obs.Span.start tr ~track:2 "b" in
+  Alcotest.(check (option int)) "different tracks do not nest" None
+    b.Obs.Span.parent;
+  Obs.Span.finish tr b;
+  Obs.Span.finish tr a
+
+let test_span_timing_and_finish () =
+  let tr = Obs.Span.create ~clock:(ticking_clock ()) () in
+  let sp = Obs.Span.start tr "s" in
+  Alcotest.(check bool) "open" true (Obs.Span.is_open sp);
+  Alcotest.(check bool) "duration NaN while open" true
+    (Float.is_nan (Obs.Span.duration_ns sp));
+  Obs.Span.finish tr sp;
+  Alcotest.(check (float 1e-9)) "one tick long" 10.0 (Obs.Span.duration_ns sp);
+  Alcotest.(check bool) "double finish rejected" true
+    (match Obs.Span.finish tr sp with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_span_orphans_reported () =
+  let tr = Obs.Span.create ~clock:(ticking_clock ()) () in
+  let sp = Obs.Span.start tr "leaked" in
+  ignore (Obs.Span.start tr "leaked/child");
+  Alcotest.(check int) "both orphaned" 2 (List.length (Obs.Span.orphans tr));
+  ignore sp
+
+let test_span_args_mutable_after_finish () =
+  let tr = Obs.Span.create ~clock:(ticking_clock ()) () in
+  let sp = Obs.Span.with_span tr "s" (fun sp -> sp) in
+  Obs.Span.set_arg sp "candidates" (Obs.Span.Int 42);
+  Alcotest.(check bool) "arg recorded late" true
+    (Obs.Span.find_arg sp "candidates" = Some (Obs.Span.Int 42))
+
+let test_wall_clock_monotone () =
+  let prev = ref (Obs.Span.wall_clock_ns ()) in
+  for _ = 1 to 1000 do
+    let t = Obs.Span.wall_clock_ns () in
+    Alcotest.(check bool) "strictly increasing" true (t > !prev);
+    prev := t
+  done
+
+(* --- json --------------------------------------------------------------- *)
+
+let json_gen =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          let scalar =
+            oneof
+              [
+                return Obs.Json.Null;
+                map (fun b -> Obs.Json.Bool b) bool;
+                map (fun i -> Obs.Json.Int i) int;
+                map (fun f -> Obs.Json.Float f) (float_range (-1e12) 1e12);
+                map (fun s -> Obs.Json.String s) (string_size (int_range 0 10));
+              ]
+          in
+          if n <= 0 then scalar
+          else
+            oneof
+              [
+                scalar;
+                map
+                  (fun l -> Obs.Json.List l)
+                  (list_size (int_range 0 4) (self (n / 2)));
+                map
+                  (fun kvs -> Obs.Json.Obj kvs)
+                  (list_size (int_range 0 4)
+                     (pair (string_size (int_range 0 8)) (self (n / 2))));
+              ])
+        (min n 4))
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"Json.parse inverts Json.to_string" ~count:500
+    (QCheck.make ~print:Obs.Json.to_string json_gen)
+    (fun j -> Obs.Json.parse (Obs.Json.to_string j) = Ok j)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Json.parse s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ s))
+    [ ""; "{"; "[1,]"; "{\"a\":1} trailing"; "nul"; "\"unterminated" ]
+
+(* --- chrome trace export ------------------------------------------------ *)
+
+let events_of json =
+  match Obs.Json.member "traceEvents" json with
+  | Some evs -> Option.get (Obs.Json.to_list evs)
+  | None -> Alcotest.fail "no traceEvents"
+
+let event_field name ev =
+  match Obs.Json.member name ev with
+  | Some (Obs.Json.String s) -> s
+  | _ -> Alcotest.fail ("missing field " ^ name)
+
+let test_chrome_export_shape () =
+  let tr = Obs.Span.create ~clock:(ticking_clock ()) () in
+  Obs.Span.with_span tr "diagnosis/stage" (fun sp ->
+      Obs.Span.set_arg sp "candidates" (Obs.Span.Int 3));
+  let leaked = Obs.Span.start tr "leak" in
+  ignore leaked;
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter m "hits") 9;
+  let doc = Obs.Chrome_trace.export ~metrics:m tr in
+  (* The export must be self-consistent JSON: print and re-parse. *)
+  (match Obs.Json.parse (Obs.Json.to_string doc) with
+  | Ok j -> Alcotest.(check bool) "round-trips" true (j = doc)
+  | Error e -> Alcotest.fail e);
+  let evs = events_of doc in
+  let phases = List.map (event_field "ph") evs in
+  Alcotest.(check bool) "has a complete event" true (List.mem "X" phases);
+  Alcotest.(check bool) "open span exports as B" true (List.mem "B" phases);
+  Alcotest.(check bool) "counter exports as C" true (List.mem "C" phases);
+  let stage =
+    List.find (fun e -> event_field "name" e = "diagnosis/stage") evs
+  in
+  Alcotest.(check string) "category from the name prefix" "diagnosis"
+    (event_field "cat" stage);
+  match Obs.Json.member "args" stage with
+  | Some args ->
+    Alcotest.(check bool) "span args exported" true
+      (Obs.Json.member "candidates" args = Some (Obs.Json.Int 3))
+  | None -> Alcotest.fail "stage event has no args"
+
+(* --- scope -------------------------------------------------------------- *)
+
+let with_scope f =
+  ignore (Obs.Scope.enable ());
+  Fun.protect ~finally:Obs.Scope.disable f
+
+let test_scope_noop_when_disabled () =
+  Obs.Scope.disable ();
+  Obs.Scope.count "ghost" 1;
+  Obs.Scope.with_span "ghost" (fun () -> ());
+  Alcotest.(check bool) "disabled" false (Obs.Scope.enabled ());
+  Alcotest.(check string) "empty summary" "" (Obs.Scope.summary ());
+  Alcotest.(check bool) "no export" true (Obs.Scope.export_chrome () = None)
+
+let test_scope_records () =
+  with_scope (fun () ->
+      Obs.Scope.with_span "work" (fun () -> Obs.Scope.count "things" 2);
+      let ctx = Option.get (Obs.Scope.current ()) in
+      Alcotest.(check (option int)) "counter visible" (Some 2)
+        (Obs.Metrics.find_counter ctx.Obs.Scope.metrics "things");
+      Alcotest.(check (list string)) "span visible" [ "work" ]
+        (List.map
+           (fun s -> s.Obs.Span.name)
+           (Obs.Span.spans ctx.Obs.Scope.trace)))
+
+(* --- pipeline instrumentation ------------------------------------------- *)
+
+let diagnose_quick () =
+  let bug = Corpus.Registry.find "pbzip2-1" in
+  match Corpus.Runner.collect bug () with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    let res =
+      Core.Diagnosis.diagnose c.Corpus.Runner.built.Corpus.Bug.m
+        ~config:Pt.Config.default ~failing:c.Corpus.Runner.failing
+        ~successful:c.Corpus.Runner.successful
+    in
+    (c, res)
+
+let stage_count res name =
+  let sp =
+    List.find (fun s -> s.Obs.Span.name = name) res.Core.Diagnosis.spans
+  in
+  match Obs.Span.find_arg sp "candidates" with
+  | Some (Obs.Span.Int n) -> n
+  | _ -> Alcotest.fail (name ^ ": no candidates arg")
+
+let check_diagnosis_spans res =
+  Alcotest.(check (list string)) "root plus the seven stages, in order"
+    ("diagnosis" :: Core.Diagnosis.stage_names)
+    (List.map (fun s -> s.Obs.Span.name) res.Core.Diagnosis.spans);
+  List.iter
+    (fun (sp : Obs.Span.span) ->
+      Alcotest.(check bool) (sp.Obs.Span.name ^ " finished") false
+        (Obs.Span.is_open sp);
+      Alcotest.(check bool) (sp.Obs.Span.name ^ " timed") true
+        (Obs.Span.duration_ns sp >= 0.0))
+    res.Core.Diagnosis.spans;
+  (* The span args must tell the same funnel story as the legacy record. *)
+  let sc = res.Core.Diagnosis.stage_counts in
+  Alcotest.(check int) "layout count" sc.Core.Diagnosis.total_instrs
+    (stage_count res "diagnosis/layout");
+  Alcotest.(check int) "trace processing count"
+    sc.Core.Diagnosis.after_trace_processing
+    (stage_count res "diagnosis/trace_processing");
+  Alcotest.(check int) "points-to count" sc.Core.Diagnosis.after_points_to
+    (stage_count res "diagnosis/points_to");
+  Alcotest.(check int) "anchor count" 1 (stage_count res "diagnosis/anchor");
+  Alcotest.(check int) "type ranking count"
+    sc.Core.Diagnosis.after_type_ranking
+    (stage_count res "diagnosis/type_ranking");
+  Alcotest.(check int) "patterns count" sc.Core.Diagnosis.after_patterns
+    (stage_count res "diagnosis/patterns");
+  Alcotest.(check int) "statistics count" sc.Core.Diagnosis.after_statistics
+    (stage_count res "diagnosis/statistics")
+
+let test_diagnosis_spans_without_scope () =
+  Obs.Scope.disable ();
+  let _, res = diagnose_quick () in
+  check_diagnosis_spans res;
+  Alcotest.(check bool) "timings derived from spans" true
+    (res.Core.Diagnosis.timings.Core.Diagnosis.hybrid_analysis_s >= 0.0
+    && res.Core.Diagnosis.timings.Core.Diagnosis.pipeline_s > 0.0)
+
+let test_diagnosis_spans_in_scope () =
+  with_scope (fun () ->
+      let _, res = diagnose_quick () in
+      check_diagnosis_spans res;
+      let ctx = Option.get (Obs.Scope.current ()) in
+      let names =
+        List.map (fun s -> s.Obs.Span.name) (Obs.Span.spans ctx.Obs.Scope.trace)
+      in
+      Alcotest.(check bool) "stages land in the ambient trace" true
+        (List.for_all (fun n -> List.mem n names) Core.Diagnosis.stage_names);
+      Alcotest.(check bool) "corpus root span present" true
+        (List.mem "corpus/pbzip2-1" names);
+      (* The runner and decoder publish through the same scope. *)
+      let counter n =
+        Option.value ~default:0 (Obs.Metrics.find_counter ctx.Obs.Scope.metrics n)
+      in
+      Alcotest.(check bool) "runs counted" true (counter "corpus/runs" > 0);
+      Alcotest.(check bool) "decodes counted" true (counter "pt/decode_calls" > 0);
+      Alcotest.(check bool) "sim instrs counted" true
+        (counter "sim/instructions" > 0))
+
+(* --- simulator scheduler telemetry -------------------------------------- *)
+
+(* Four threads hammering one mutex with a delay inside the critical
+   section: contention, parking and context switches are all certain. *)
+let contended_module () =
+  let m = Lir.Irmod.create "contended" in
+  ignore (Lir.Irmod.declare_struct m "Mutex" [ T.I64 ]);
+  Lir.Irmod.declare_global m "lock" (T.Struct "Mutex");
+  Lir.Irmod.declare_global m "counter" T.I64;
+  B.define m "worker" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.for_ b ~from:0 ~below:(V.i64 20) (fun _ ->
+          B.mutex_lock b (V.Global "lock");
+          let v = B.load b (V.Global "counter") in
+          B.io_delay b ~ns:5_000;
+          B.store b ~value:(B.add b v (V.i64 1)) ~ptr:(V.Global "counter");
+          B.mutex_unlock b (V.Global "lock"));
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global "lock" ];
+      let tids = List.init 4 (fun i -> B.spawn b "worker" (V.i64 i)) in
+      List.iter (fun t -> B.join b t) tids;
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  m
+
+let test_sim_scheduler_telemetry () =
+  with_scope (fun () ->
+      let m = contended_module () in
+      Lir.Irmod.layout m;
+      let config =
+        { Sim.Interp.default_config with seed = 5; hooks = Sim.Telemetry.hooks () }
+      in
+      let r = Sim.Interp.run ~config m ~entry:"main" in
+      Alcotest.(check bool) "run completed" true
+        (r.Sim.Interp.outcome = Sim.Interp.Completed);
+      let ctx = Option.get (Obs.Scope.current ()) in
+      let counter n =
+        Option.value ~default:0 (Obs.Metrics.find_counter ctx.Obs.Scope.metrics n)
+      in
+      Alcotest.(check bool) "instructions counted" true
+        (counter "sim/instructions" > 0);
+      Alcotest.(check bool) "context switches counted" true
+        (counter "sim/context_switches" > 0);
+      Alcotest.(check bool) "contention counted" true
+        (counter "sim/lock_contention" > 0);
+      match Obs.Metrics.find_histogram ctx.Obs.Scope.metrics "sim/parked_ns" with
+      | Some s ->
+        Alcotest.(check bool) "parked time observed" true
+          (s.Obs.Metrics.count > 0 && s.Obs.Metrics.max > 0.0)
+      | None -> Alcotest.fail "no parked_ns histogram")
+
+(* The determinism contract: telemetry hooks must not perturb a run. *)
+let test_sim_telemetry_preserves_determinism () =
+  let outcome_of hooks =
+    let m = contended_module () in
+    Lir.Irmod.layout m;
+    let config = { Sim.Interp.default_config with seed = 9; hooks } in
+    let r = Sim.Interp.run ~config m ~entry:"main" in
+    (r.Sim.Interp.outcome, r.Sim.Interp.final_time_ns)
+  in
+  let bare = outcome_of Sim.Hooks.none in
+  let instrumented =
+    with_scope (fun () -> outcome_of (Sim.Telemetry.hooks ()))
+  in
+  Alcotest.(check bool) "identical outcome and virtual time" true
+    (bare = instrumented)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+        Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+        Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch_rejected;
+        Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
+        Alcotest.test_case "merge" `Quick test_metrics_merge;
+        qtest prop_histogram_percentile_bracket;
+      ] );
+    ( "obs.span",
+      [
+        Alcotest.test_case "nesting" `Quick test_span_nesting;
+        Alcotest.test_case "tracks isolated" `Quick test_span_tracks_isolated;
+        Alcotest.test_case "timing and finish" `Quick test_span_timing_and_finish;
+        Alcotest.test_case "orphans" `Quick test_span_orphans_reported;
+        Alcotest.test_case "late args" `Quick test_span_args_mutable_after_finish;
+        Alcotest.test_case "wall clock monotone" `Quick test_wall_clock_monotone;
+      ] );
+    ( "obs.json",
+      [
+        Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        qtest prop_json_roundtrip;
+      ] );
+    ( "obs.chrome",
+      [ Alcotest.test_case "export shape" `Quick test_chrome_export_shape ] );
+    ( "obs.scope",
+      [
+        Alcotest.test_case "noop when disabled" `Quick test_scope_noop_when_disabled;
+        Alcotest.test_case "records" `Quick test_scope_records;
+      ] );
+    ( "obs.pipeline",
+      [
+        Alcotest.test_case "diagnosis spans (no scope)" `Quick
+          test_diagnosis_spans_without_scope;
+        Alcotest.test_case "diagnosis spans (ambient scope)" `Quick
+          test_diagnosis_spans_in_scope;
+        Alcotest.test_case "scheduler telemetry" `Quick
+          test_sim_scheduler_telemetry;
+        Alcotest.test_case "telemetry preserves determinism" `Quick
+          test_sim_telemetry_preserves_determinism;
+      ] );
+  ]

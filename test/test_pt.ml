@@ -119,7 +119,7 @@ let run_with_oracle ?(config = Pt.Config.default) ?(seed = 1) m =
   in
   let hooks =
     Sim.Hooks.combine (Pt.Driver.hooks driver)
-      { Sim.Hooks.on_control = None; on_instr = Some oracle; gate = None }
+      { Sim.Hooks.none with on_instr = Some oracle }
   in
   let cfg = { Sim.Interp.default_config with seed; hooks } in
   let result = Sim.Interp.run ~config:cfg m ~entry:"main" in

@@ -68,6 +68,7 @@ let test_gate_delays_execution () =
               500.0
             end
             else 0.0);
+      on_sched = None;
     }
   in
   let r =
@@ -86,8 +87,7 @@ let test_gate_zero_is_noop () =
   let build () = build_race () in
   let plain = run ~seed:3 (build ()) in
   let hooks =
-    { Sim.Hooks.on_control = None; on_instr = None;
-      gate = Some (fun ~tid:_ ~time:_ _ -> 0.0) }
+    { Sim.Hooks.none with gate = Some (fun ~tid:_ ~time:_ _ -> 0.0) }
   in
   let gated =
     Sim.Interp.run

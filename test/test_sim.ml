@@ -405,6 +405,7 @@ let test_control_events_fire () =
             0.0);
       on_instr = None;
       gate = None;
+      on_sched = None;
     }
   in
   ignore (run ~hooks m);
@@ -416,9 +417,8 @@ let test_instr_hook_cost_charged () =
   let build () = expr_module (fun _ -> V.i64 0) in
   let base = (run (build ())).Sim.Interp.final_time_ns in
   let hooks =
-    { Sim.Hooks.on_control = None;
-      on_instr = Some (fun ~tid:_ ~time:_ _ -> 100.0);
-      gate = None }
+    { Sim.Hooks.none with
+      on_instr = Some (fun ~tid:_ ~time:_ _ -> 100.0) }
   in
   let taxed = (run ~hooks (build ())).Sim.Interp.final_time_ns in
   Alcotest.(check bool) "cost added" true (taxed > base +. 150.0)
@@ -426,9 +426,8 @@ let test_instr_hook_cost_charged () =
 let test_hooks_combine () =
   let calls = ref 0 in
   let h () =
-    { Sim.Hooks.on_control = Some (fun ~time:_ _ -> incr calls; 1.0);
-      on_instr = None;
-      gate = None }
+    { Sim.Hooks.none with
+      on_control = Some (fun ~time:_ _ -> incr calls; 1.0) }
   in
   let combined = Sim.Hooks.combine (h ()) (h ()) in
   (match combined.Sim.Hooks.on_control with

@@ -198,7 +198,31 @@ let test_stats_min_max () =
 let test_stats_percentile () =
   let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
   check_float "median" 3.0 (Stats.percentile xs ~p:50.0);
-  check_float "p100" 5.0 (Stats.percentile xs ~p:100.0)
+  check_float "p100" 5.0 (Stats.percentile xs ~p:100.0);
+  check_float "p0 is the minimum" 1.0 (Stats.percentile xs ~p:0.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p outside [0,100]") (fun () ->
+      ignore (Stats.percentile xs ~p:100.5))
+
+let nonempty_floats =
+  QCheck.(list_of_size Gen.(int_range 1 40) (float_range (-1e6) 1e6))
+
+let prop_percentile_p0_min =
+  QCheck.Test.make ~name:"percentile p=0 is the minimum" ~count:300
+    nonempty_floats
+    (fun xs -> Stats.percentile xs ~p:0.0 = fst (Stats.min_max xs))
+
+let prop_percentile_p100_max =
+  QCheck.Test.make ~name:"percentile p=100 is the maximum" ~count:300
+    nonempty_floats
+    (fun xs -> Stats.percentile xs ~p:100.0 = snd (Stats.min_max xs))
+
+let prop_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:300
+    QCheck.(triple nonempty_floats (float_range 0.0 100.0) (float_range 0.0 100.0))
+    (fun (xs, p1, p2) ->
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile xs ~p:lo <= Stats.percentile xs ~p:hi)
 
 let test_stats_f1 () =
   check_float "perfect" 1.0 (Stats.f1 ~precision:1.0 ~recall:1.0);
@@ -304,6 +328,9 @@ let tests =
         Alcotest.test_case "kendall tau" `Quick test_kendall;
         Alcotest.test_case "ordering accuracy" `Quick test_ordering_accuracy;
         qtest prop_ordering_accuracy_bounds;
+        qtest prop_percentile_p0_min;
+        qtest prop_percentile_p100_max;
+        qtest prop_percentile_monotone;
       ] );
     ( "util.tablefmt",
       [
