@@ -15,11 +15,11 @@ open Toolkit
 
 (* --- shared fixtures (prepared once, outside the timed sections) -------- *)
 
-let pbzip_entry = lazy (Experiments.Eval_runs.get (Corpus.Registry.find "pbzip2-1"))
+let pbzip_entry = lazy (Experiments.Eval_runs.get (Corpus.Registry.find_exn "pbzip2-1"))
 
 let mysql_module =
   lazy
-    (let built = (Corpus.Registry.find "mysql-1").Corpus.Bug.build () in
+    (let built = (Corpus.Registry.find_exn "mysql-1").Corpus.Bug.build () in
      Lir.Irmod.layout built.Corpus.Bug.m;
      built.Corpus.Bug.m)
 
@@ -198,8 +198,51 @@ let emit_pipeline_trace () =
     Printf.eprintf "cannot write %s: %s\n" path msg;
     exit 1
 
+(* --- part 4: fleet deployment artifact ----------------------------------- *)
+
+(* A small simulated deployment, summarized as JSON: how many bytes the
+   wire format needs, how well signature dedup collapses the fleet's
+   reports, and how long the cross-endpoint diagnosis takes. *)
+let emit_fleet_bench () =
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
+  let s = Fleet.Deploy.run ~endpoints:6 [ bug ] in
+  let top_f1, rc_match =
+    match s.Fleet.Deploy.rows with
+    | r :: _ -> (r.Fleet.Deploy.f1, r.Fleet.Deploy.root_cause_match)
+    | [] -> (0.0, false)
+  in
+  let json =
+    Obs.Json.Obj
+      [
+        ("endpoints", Obs.Json.Int s.Fleet.Deploy.endpoints);
+        ("scenarios", Obs.Json.Int s.Fleet.Deploy.scenarios);
+        ("reports_shipped", Obs.Json.Int s.Fleet.Deploy.shipped);
+        ("wire_bytes", Obs.Json.Int s.Fleet.Deploy.wire_bytes);
+        ("buckets", Obs.Json.Int s.Fleet.Deploy.bucket_count);
+        ("dedup_ratio", Obs.Json.Float s.Fleet.Deploy.dedup_ratio);
+        ("decode_errors", Obs.Json.Int s.Fleet.Deploy.decode_errors);
+        ("unrouted", Obs.Json.Int s.Fleet.Deploy.unrouted);
+        ("collect_ns", Obs.Json.Float s.Fleet.Deploy.collect_ns);
+        ("diagnosis_ns", Obs.Json.Float s.Fleet.Deploy.diagnosis_ns);
+        ("total_ns", Obs.Json.Float s.Fleet.Deploy.total_ns);
+        ("top_f1", Obs.Json.Float top_f1);
+        ("root_cause_match", Obs.Json.Bool rc_match);
+      ]
+  in
+  let path = "BENCH_fleet.json" in
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Obs.Json.to_string json);
+        Out_channel.output_char oc '\n')
+  with
+  | () -> Printf.printf "Fleet summary written to %s\n%!" path
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" path msg;
+    exit 1
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   emit_pipeline_trace ();
+  emit_fleet_bench ();
   run_benchmarks ();
   run_reproduction ~samples:(if quick then 3 else 10)

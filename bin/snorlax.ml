@@ -73,10 +73,10 @@ let diagnose_bug id verbose trace_out metrics_out obs_summary =
   let obs_wanted = trace_out <> None || metrics_out <> None || obs_summary in
   if obs_wanted then ignore (Obs.Scope.enable ());
   match Corpus.Registry.find id with
-  | exception Not_found ->
+  | None ->
     Printf.eprintf "unknown bug id %s (try `snorlax list`)\n" id;
     1
-  | bug -> (
+  | Some bug -> (
     Printf.printf "Reproducing %s (%s): %s\n%!" bug.Corpus.Bug.id
       (Corpus.Bug.kind_name bug.Corpus.Bug.kind)
       bug.Corpus.Bug.description;
@@ -133,6 +133,87 @@ let diagnose_bug id verbose trace_out metrics_out obs_summary =
       end;
       if emit_obs ~trace_out ~metrics_out ~obs_summary then 0 else 1)
 
+let fleet_run n_endpoints bug_id all trace_out metrics_out obs_summary =
+  let obs_wanted = trace_out <> None || metrics_out <> None || obs_summary in
+  if obs_wanted then ignore (Obs.Scope.enable ());
+  let bugs =
+    match (bug_id, all) with
+    | _, true -> Ok Corpus.Registry.eval_set
+    | Some id, false -> (
+      match Corpus.Registry.find id with
+      | Some bug -> Ok [ bug ]
+      | None -> Error (Printf.sprintf "unknown bug id %s (try `snorlax list`)" id))
+    | None, false -> Error "pass --bug ID or --all"
+  in
+  match bugs with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | Ok bugs ->
+    Printf.printf
+      "Deploying %d endpoints x %d scenario%s; collecting wire reports...\n%!"
+      n_endpoints (List.length bugs)
+      (if List.length bugs = 1 then "" else "s");
+    let s = Fleet.Deploy.run ~endpoints:n_endpoints bugs in
+    let t =
+      Snorlax_util.Tablefmt.create
+        ~headers:
+          [
+            "bug"; "signature"; "eps"; "fail k/d"; "succ k/d"; "bytes";
+            "top pattern"; "F1"; "ground truth";
+          ]
+    in
+    List.iter
+      (fun (r : Fleet.Deploy.bucket_row) ->
+        Snorlax_util.Tablefmt.add_row t
+          [
+            r.Fleet.Deploy.bug_id;
+            r.Fleet.Deploy.signature;
+            string_of_int r.Fleet.Deploy.endpoints_hit;
+            Printf.sprintf "%d/%d" r.Fleet.Deploy.failing_kept
+              r.Fleet.Deploy.failing_dropped;
+            Printf.sprintf "%d/%d" r.Fleet.Deploy.success_kept
+              r.Fleet.Deploy.success_dropped;
+            string_of_int r.Fleet.Deploy.wire_bytes;
+            Option.value ~default:"-" r.Fleet.Deploy.top_pattern;
+            Printf.sprintf "%.2f" r.Fleet.Deploy.f1;
+            (if r.Fleet.Deploy.top_pattern = None then "-"
+             else if r.Fleet.Deploy.root_cause_match then
+               Printf.sprintf "match (A_O %.0f%%)" r.Fleet.Deploy.ordering_accuracy
+             else "MISMATCH");
+          ])
+      s.Fleet.Deploy.rows;
+    Snorlax_util.Tablefmt.print t;
+    List.iter
+      (fun (r : Fleet.Deploy.bucket_row) ->
+        match r.Fleet.Deploy.top_describe with
+        | Some d ->
+          Printf.printf "\n%s (%s):\n%s\n" r.Fleet.Deploy.bug_id
+            r.Fleet.Deploy.signature d
+        | None ->
+          Printf.printf "\n%s (%s): no pattern diagnosed\n"
+            r.Fleet.Deploy.bug_id r.Fleet.Deploy.signature)
+      s.Fleet.Deploy.rows;
+    Printf.printf
+      "\n%d packets (%d wire bytes) from %d endpoint(s); %d bucket(s), dedup \
+       %.1f:1, %d decode error(s), %d unrouted; diagnosis %.1f ms of %.1f ms \
+       total.\n"
+      s.Fleet.Deploy.shipped s.Fleet.Deploy.wire_bytes s.Fleet.Deploy.endpoints
+      s.Fleet.Deploy.bucket_count s.Fleet.Deploy.dedup_ratio
+      s.Fleet.Deploy.decode_errors s.Fleet.Deploy.unrouted
+      (s.Fleet.Deploy.diagnosis_ns /. 1e6)
+      (s.Fleet.Deploy.total_ns /. 1e6);
+    let obs_ok = emit_obs ~trace_out ~metrics_out ~obs_summary in
+    let diagnosed =
+      s.Fleet.Deploy.rows <> []
+      && List.for_all
+           (fun (r : Fleet.Deploy.bucket_row) ->
+             r.Fleet.Deploy.top_pattern <> None)
+           s.Fleet.Deploy.rows
+    in
+    if not diagnosed then Printf.eprintf "fleet: some bucket had no diagnosis\n";
+    if diagnosed && obs_ok then 0 else 1
+
 let validate () =
   let ok = ref 0 and bad = ref 0 in
   List.iter
@@ -171,10 +252,10 @@ let validate () =
 
 let replay_bug id =
   match Corpus.Registry.find id with
-  | exception Not_found ->
+  | None ->
     Printf.eprintf "unknown bug id %s\n" id;
     1
-  | bug -> (
+  | Some bug -> (
     match Corpus.Runner.collect bug ~success_per_failing:10 () with
     | Error msg ->
       Printf.eprintf "reproduction failed: %s\n" msg;
@@ -220,10 +301,10 @@ let replay_bug id =
 
 let dump_bug id =
   match Corpus.Registry.find id with
-  | exception Not_found ->
+  | None ->
     Printf.eprintf "unknown bug id %s\n" id;
     1
-  | bug ->
+  | Some bug ->
     let built = bug.Corpus.Bug.build () in
     print_string (Lir.Printer.module_to_string built.Corpus.Bug.m);
     0
@@ -282,6 +363,30 @@ let experiment name samples =
 let bug_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"BUG_ID")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE.json"
+        ~doc:
+          "Write a Chrome trace-event JSON of the run (spans for every \
+           diagnosis stage plus simulator/decoder counters); view it at \
+           ui.perfetto.dev or chrome://tracing.")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE.json"
+        ~doc:"Write the telemetry metrics registry (counters, gauges, \
+              histograms) as JSON.")
+
+let obs_summary_arg =
+  Arg.(
+    value & flag
+    & info [ "obs-summary" ]
+        ~doc:"Print the span tree and metric tables at the end.")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the 54-bug corpus")
     Term.(const (fun () -> list_bugs (); 0) $ const ())
@@ -290,36 +395,42 @@ let diagnose_cmd =
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show all patterns")
   in
-  let trace_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "trace-out" ] ~docv:"FILE.json"
-          ~doc:
-            "Write a Chrome trace-event JSON of the pipeline (spans for \
-             every diagnosis stage plus simulator/decoder counters); view \
-             it at ui.perfetto.dev or chrome://tracing.")
-  in
-  let metrics_out =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "metrics-out" ] ~docv:"FILE.json"
-          ~doc:"Write the telemetry metrics registry (counters, gauges, \
-                histograms) as JSON.")
-  in
-  let obs_summary =
-    Arg.(
-      value & flag
-      & info [ "obs-summary" ]
-          ~doc:"Print the span tree and metric tables after diagnosing.")
-  in
   Cmd.v
     (Cmd.info "diagnose"
        ~doc:"Reproduce a corpus bug and run Lazy Diagnosis on it")
     Term.(
-      const diagnose_bug $ bug_arg $ verbose $ trace_out $ metrics_out
-      $ obs_summary)
+      const diagnose_bug $ bug_arg $ verbose $ trace_out_arg $ metrics_out_arg
+      $ obs_summary_arg)
+
+let fleet_cmd =
+  let endpoints =
+    Arg.(
+      value & opt int 8
+      & info [ "endpoints" ] ~docv:"N"
+          ~doc:"Simulated endpoints per scenario, each with its own seed \
+                range.")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"BUG_ID" ~doc:"Deploy one corpus scenario.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Deploy every evaluation-set scenario.")
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Simulate an in-production deployment: N endpoints run a corpus \
+          scenario under the PT driver, ship wire-format failure/success \
+          reports to the collector, which dedups them by crash signature \
+          and runs the statistical diagnosis per bucket across endpoints")
+    Term.(
+      const fleet_run $ endpoints $ bug $ all $ trace_out_arg
+      $ metrics_out_arg $ obs_summary_arg)
 
 let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print a corpus program's LIR")
@@ -366,6 +477,9 @@ let main_cmd =
        ~doc:
          "Lazy Diagnosis of in-production concurrency bugs (SOSP'17 \
           reproduction)")
-    [ list_cmd; diagnose_cmd; dump_cmd; replay_cmd; validate_cmd; experiment_cmd ]
+    [
+      list_cmd; diagnose_cmd; fleet_cmd; dump_cmd; replay_cmd; validate_cmd;
+      experiment_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -17,4 +17,15 @@ else
   echo "== fmt == (skipped: ocamlformat not installed)"
 fi
 
+
+echo "== fleet smoke =="
+fleet_out=$(dune exec bin/snorlax.exe -- fleet --endpoints 4 --bug pbzip2-1)
+echo "$fleet_out"
+# The exit status already guards "every bucket diagnosed"; also assert the
+# output names a concrete root-cause pattern.
+echo "$fleet_out" | grep -Eq "violation|deadlock" || {
+  echo "fleet smoke: no diagnosis output"
+  exit 1
+}
+
 echo "check.sh: all green"

@@ -9,7 +9,7 @@ module Core = Snorlax_core
 module Tp = Core.Trace_processing
 
 let () =
-  let bug = Corpus.Registry.find "mysql-7" in
+  let bug = Corpus.Registry.find_exn "mysql-7" in
   Printf.printf "Bug: %s — %s\n\n%!" bug.Corpus.Bug.id bug.Corpus.Bug.description;
   match Corpus.Runner.collect bug () with
   | Error msg -> prerr_endline msg

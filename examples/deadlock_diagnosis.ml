@@ -7,7 +7,7 @@
 module Core = Snorlax_core
 
 let () =
-  let bug = Corpus.Registry.find "sqlite-1" in
+  let bug = Corpus.Registry.find_exn "sqlite-1" in
   Printf.printf "Bug: %s — %s\n\n%!" bug.Corpus.Bug.id bug.Corpus.Bug.description;
   match Corpus.Runner.collect bug () with
   | Error msg -> prerr_endline msg

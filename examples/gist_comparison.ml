@@ -8,7 +8,7 @@ module Core = Snorlax_core
 module Tp = Core.Trace_processing
 
 let () =
-  let bug = Corpus.Registry.find "pbzip2-1" in
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
   Printf.printf "Bug: %s — %s\n\n%!" bug.Corpus.Bug.id bug.Corpus.Bug.description;
   match Corpus.Runner.collect bug () with
   | Error msg -> prerr_endline msg

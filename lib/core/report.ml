@@ -49,6 +49,13 @@ let of_sim_failure failure ~time_ns ~traces =
     in
     { info = Deadlock_info { blocked }; failing_tid; failure_time_ns = time; traces }
 
+let kind_label r =
+  match r.info with
+  | Crash_info { crash_kind = Bad_pointer; _ } -> "bad-pointer"
+  | Crash_info { crash_kind = Use_after_free; _ } -> "use-after-free"
+  | Crash_info { crash_kind = Assertion; _ } -> "assert"
+  | Deadlock_info _ -> "deadlock"
+
 let failing_anchor_iid r =
   match r.info with
   | Crash_info { failing_iid; _ } -> failing_iid

@@ -38,6 +38,11 @@ val of_sim_failure :
   failing_report
 (** Package a simulated failure the way the client driver would. *)
 
+val kind_label : failing_report -> string
+(** The failure class as a stable string (["bad-pointer"],
+    ["use-after-free"], ["assert"], ["deadlock"]) — one of the three crash
+    signature components the fleet collector buckets by. *)
+
 val failing_anchor_iid : failing_report -> int
 (** The instruction the diagnosis anchors on (the crash pc, or the
     cycle-closing lock call for deadlocks). *)

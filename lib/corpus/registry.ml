@@ -19,9 +19,14 @@ let eval_ids =
     "aget-1";
   ]
 
-let find id = List.find (fun b -> String.equal b.Bug.id id) all
+let find id = List.find_opt (fun b -> String.equal b.Bug.id id) all
 
-let eval_set = List.map find eval_ids
+let find_exn id =
+  match find id with
+  | Some b -> b
+  | None -> raise Not_found
+
+let eval_set = List.map find_exn eval_ids
 
 let by_system system =
   List.filter (fun b -> String.equal b.Bug.system system) all

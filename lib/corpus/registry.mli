@@ -9,8 +9,12 @@ val eval_set : Bug.t list
 (** The 11 bugs in the C/C++ systems that the evaluation sections (§6.1,
     Table 4, Figure 7) run end-to-end. *)
 
-val find : string -> Bug.t
-(** Lookup by id, e.g. ["mysql-7"].  Raises [Not_found]. *)
+val find : string -> Bug.t option
+(** Lookup by id, e.g. ["mysql-7"]. *)
+
+val find_exn : string -> Bug.t
+(** Like {!find} but raises [Not_found]; for fixtures whose ids are
+    known-good by construction. *)
 
 val by_system : string -> Bug.t list
 val systems : string list

@@ -31,7 +31,7 @@ type timing_row = {
 }
 
 let timing_sweep ?(bug_id = "mysql-7") () =
-  let bug = Corpus.Registry.find bug_id in
+  let bug = Corpus.Registry.find_exn bug_id in
   let modes =
     [
       ("cyc+mtc (default)", Pt.Config.Cyc_and_mtc { mtc_period_ns = 1024 });
@@ -68,7 +68,7 @@ type ring_row = {
 }
 
 let ring_sweep ?(bug_id = "pbzip2-1") () =
-  let bug = Corpus.Registry.find bug_id in
+  let bug = Corpus.Registry.find_exn bug_id in
   List.map
     (fun ring_bytes ->
       (* The PSB cadence is a fixed driver setting (4 KB, as deployed);
@@ -104,7 +104,7 @@ type budget_row = {
 }
 
 let success_budget_sweep ?(bug_id = "pbzip2-1") () =
-  let bug = Corpus.Registry.find bug_id in
+  let bug = Corpus.Registry.find_exn bug_id in
   match Corpus.Runner.collect bug () with
   | Error msg -> failwith ("Ablations.success_budget_sweep: " ^ msg)
   | Ok c ->

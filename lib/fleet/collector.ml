@@ -1,0 +1,232 @@
+module Report = Snorlax_core.Report
+
+type policy = { max_failing : int; max_success : int }
+
+let default_policy = { max_failing = 4; max_success = 40 }
+
+type bucket = {
+  signature : Signature.t;
+  config : Pt.Config.t;
+  watch_pcs : int list;
+  mutable endpoints : int list;
+  mutable failing : Report.failing_report list;
+  mutable successful : Report.success_report list;
+  mutable failing_seen : int;
+  mutable success_seen : int;
+  mutable wire_bytes : int;
+}
+
+let failing_kept b = List.length b.failing
+let success_kept b = List.length b.successful
+let failing_dropped b = b.failing_seen - failing_kept b
+let success_dropped b = b.success_seen - success_kept b
+
+type totals = {
+  received : int;
+  wire_bytes : int;
+  decode_errors : int;
+  failing_received : int;
+  success_received : int;
+  unrouted : int;
+}
+
+type pending_success = {
+  p_endpoint : int;
+  p_report : Report.success_report;
+  p_bytes : int;
+}
+
+type t = {
+  policy : policy;
+  modules : (string, Corpus.Bug.built) Hashtbl.t;  (* bug id -> server build *)
+  mutable bucket_list : bucket list;  (* newest first *)
+  by_key : (string, bucket) Hashtbl.t;
+  pending : (string, pending_success list) Hashtbl.t;  (* bug id -> held *)
+  mutable received : int;
+  mutable total_wire_bytes : int;
+  mutable decode_errors : int;
+  mutable failing_received : int;
+  mutable success_received : int;
+}
+
+let create ?(policy = default_policy) () =
+  {
+    policy;
+    modules = Hashtbl.create 8;
+    bucket_list = [];
+    by_key = Hashtbl.create 16;
+    pending = Hashtbl.create 8;
+    received = 0;
+    total_wire_bytes = 0;
+    decode_errors = 0;
+    failing_received = 0;
+    success_received = 0;
+  }
+
+let built_for t bug_id =
+  match Hashtbl.find_opt t.modules bug_id with
+  | Some b -> Ok b
+  | None -> (
+    match Corpus.Registry.find bug_id with
+    | None -> Error (Printf.sprintf "unknown bug id %s" bug_id)
+    | Some bug ->
+      let b = bug.Corpus.Bug.build () in
+      Lir.Irmod.layout b.Corpus.Bug.m;
+      Hashtbl.add t.modules bug_id b;
+      Ok b)
+
+let note_endpoint b endpoint =
+  if not (List.mem endpoint b.endpoints) then
+    b.endpoints <- endpoint :: b.endpoints
+
+let keep_success t b endpoint (r : Report.success_report) nbytes =
+  b.success_seen <- b.success_seen + 1;
+  b.wire_bytes <- b.wire_bytes + nbytes;
+  note_endpoint b endpoint;
+  if success_kept b < t.policy.max_success then begin
+    b.successful <- b.successful @ [ r ];
+    Obs.Scope.count "fleet/success_kept" 1
+  end
+  else Obs.Scope.count "fleet/success_dropped" 1
+
+(* A success report belongs to the bucket whose watchpoint set its
+   trigger pc came from.  When several signatures of one bug share a
+   watch pc, first (oldest) bucket wins — matching the driver, which
+   arms one watchpoint set per failure location. *)
+let route_success t bug_id endpoint (r : Report.success_report) nbytes =
+  let candidates =
+    List.filter
+      (fun b ->
+        String.equal b.signature.Signature.bug_id bug_id
+        && List.mem r.Report.trigger_pc b.watch_pcs)
+      (List.rev t.bucket_list)
+  in
+  match candidates with
+  | b :: _ ->
+    keep_success t b endpoint r nbytes;
+    true
+  | [] -> false
+
+let hold_success t bug_id endpoint r nbytes =
+  let held = Option.value ~default:[] (Hashtbl.find_opt t.pending bug_id) in
+  Hashtbl.replace t.pending bug_id
+    (held @ [ { p_endpoint = endpoint; p_report = r; p_bytes = nbytes } ])
+
+(* A new bucket may claim successes that arrived before its first
+   failing report. *)
+let drain_pending t bug_id =
+  match Hashtbl.find_opt t.pending bug_id with
+  | None -> ()
+  | Some held ->
+    let leftover =
+      List.filter
+        (fun p ->
+          not (route_success t bug_id p.p_endpoint p.p_report p.p_bytes))
+        held
+    in
+    if leftover = [] then Hashtbl.remove t.pending bug_id
+    else Hashtbl.replace t.pending bug_id leftover
+
+let ingest_failing t ~bug_id ~endpoint ~config ~nbytes
+    (r : Report.failing_report) =
+  match built_for t bug_id with
+  | Error _ as e -> e
+  | Ok built -> (
+    let m = built.Corpus.Bug.m in
+    match Signature.of_failing m ~config ~bug_id r with
+    | Error _ as e -> e
+    | Ok signature ->
+      let key = Signature.key signature in
+      let b =
+        match Hashtbl.find_opt t.by_key key with
+        | Some b -> b
+        | None ->
+          let b =
+            {
+              signature;
+              config;
+              watch_pcs = Corpus.Runner.watch_pcs_for m r;
+              endpoints = [];
+              failing = [];
+              successful = [];
+              failing_seen = 0;
+              success_seen = 0;
+              wire_bytes = 0;
+            }
+          in
+          Hashtbl.add t.by_key key b;
+          t.bucket_list <- b :: t.bucket_list;
+          Obs.Scope.count "fleet/buckets" 1;
+          drain_pending t bug_id;
+          b
+      in
+      b.failing_seen <- b.failing_seen + 1;
+      b.wire_bytes <- b.wire_bytes + nbytes;
+      note_endpoint b endpoint;
+      if failing_kept b < t.policy.max_failing then begin
+        b.failing <- b.failing @ [ r ];
+        Obs.Scope.count "fleet/failing_kept" 1
+      end
+      else Obs.Scope.count "fleet/failing_dropped" 1;
+      Ok ())
+
+let ingest t packet =
+  Obs.Scope.timed "fleet/ingest_ns" @@ fun () ->
+  t.received <- t.received + 1;
+  let nbytes = Bytes.length packet in
+  t.total_wire_bytes <- t.total_wire_bytes + nbytes;
+  Obs.Scope.count "fleet/reports_received" 1;
+  Obs.Scope.count "fleet/wire_bytes" nbytes;
+  let reject msg =
+    t.decode_errors <- t.decode_errors + 1;
+    Obs.Scope.count "fleet/decode_errors" 1;
+    Error msg
+  in
+  match Wire.decode packet with
+  | Error msg -> reject msg
+  | Ok env -> (
+    match env.Wire.payload with
+    | Wire.Failing r -> (
+      t.failing_received <- t.failing_received + 1;
+      match
+        ingest_failing t ~bug_id:env.Wire.bug_id ~endpoint:env.Wire.endpoint
+          ~config:env.Wire.config ~nbytes r
+      with
+      | Ok () -> Ok ()
+      | Error msg -> reject msg)
+    | Wire.Success r -> (
+      t.success_received <- t.success_received + 1;
+      match built_for t env.Wire.bug_id with
+      | Error msg -> reject msg
+      | Ok _ ->
+        if not (route_success t env.Wire.bug_id env.Wire.endpoint r nbytes)
+        then hold_success t env.Wire.bug_id env.Wire.endpoint r nbytes;
+        Ok ()))
+
+let buckets t = List.rev t.bucket_list
+
+let totals t =
+  let unrouted =
+    Hashtbl.fold (fun _ held acc -> acc + List.length held) t.pending 0
+  in
+  {
+    received = t.received;
+    wire_bytes = t.total_wire_bytes;
+    decode_errors = t.decode_errors;
+    failing_received = t.failing_received;
+    success_received = t.success_received;
+    unrouted;
+  }
+
+let built t b =
+  match built_for t b.signature.Signature.bug_id with
+  | Ok built -> built
+  | Error msg ->
+    (* A bucket only exists because [built_for] succeeded for it. *)
+    invalid_arg ("Collector.built: " ^ msg)
+
+let diagnose t b =
+  Obs.Scope.timed "fleet/diagnosis_ns" @@ fun () ->
+  let m = (built t b).Corpus.Bug.m in
+  Snorlax_core.Diagnosis.diagnose m ~config:b.config ~failing:b.failing
+    ~successful:b.successful

@@ -1,0 +1,77 @@
+(** The in-process diagnosis server's front door (Figure 2, steps 7–8 at
+    fleet scale): receives wire packets from every endpoint, buckets
+    failing reports by crash {!Signature}, applies a per-bucket sampling
+    policy so a bug hit by the whole fleet cannot flood the server, and
+    routes watchpoint-triggered success reports to the bucket whose
+    failure location they were collected at.
+
+    All counters (received, kept, dropped, decode errors) flow through
+    {!Obs.Scope} when a telemetry scope is enabled. *)
+
+type policy = {
+  max_failing : int;  (** failing reports kept per bucket (first come) *)
+  max_success : int;  (** successful reports kept per bucket *)
+}
+
+val default_policy : policy
+(** 4 failing + 40 successful — the paper's 10x successful-trace cap,
+    applied per bucket instead of per client. *)
+
+type bucket = {
+  signature : Signature.t;
+  config : Pt.Config.t;
+      (** tracer parameters of the bucket's first failing report; the
+          bucket's diagnosis decodes every trace under these *)
+  watch_pcs : int list;
+      (** failing pc + predecessor-block entries — the watchpoint set
+          endpoints collect successes at, used to route them here *)
+  mutable endpoints : int list;  (** distinct endpoints, newest first *)
+  mutable failing : Snorlax_core.Report.failing_report list;
+      (** kept reports, arrival order *)
+  mutable successful : Snorlax_core.Report.success_report list;
+  mutable failing_seen : int;  (** including dropped *)
+  mutable success_seen : int;
+  mutable wire_bytes : int;  (** encoded size of every packet routed here *)
+}
+
+val failing_kept : bucket -> int
+val success_kept : bucket -> int
+val failing_dropped : bucket -> int
+val success_dropped : bucket -> int
+
+type totals = {
+  received : int;  (** packets ingested, well-formed or not *)
+  wire_bytes : int;
+  decode_errors : int;  (** malformed packets (bad bytes, unknown bug id) *)
+  failing_received : int;
+  success_received : int;
+  unrouted : int;
+      (** success reports no bucket claimed — their failure was never
+          reported, or their trigger pc matches no bucket's watch set *)
+}
+
+type t
+
+val create : ?policy:policy -> unit -> t
+
+val ingest : t -> bytes -> (unit, string) result
+(** Decode one wire packet and route it.  [Error] on malformed input or
+    an unknown bug id (both also counted in {!totals}); never raises.
+    A success report arriving before any failing report of its bug is
+    held back and routed when a matching bucket appears. *)
+
+val buckets : t -> bucket list
+(** In creation order. *)
+
+val totals : t -> totals
+(** [unrouted] counts the still-pending successes, so call it after the
+    fleet has drained. *)
+
+val built : t -> bucket -> Corpus.Bug.built
+(** The server's own build of the bucket's scenario binary (laid out);
+    deterministic construction is what lets iids in endpoint reports
+    resolve against it. *)
+
+val diagnose : t -> bucket -> Snorlax_core.Diagnosis.result
+(** Run the full server pipeline over the bucket's kept reports — the
+    cross-endpoint statistical diagnosis. *)

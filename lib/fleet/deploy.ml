@@ -1,0 +1,116 @@
+module Core = Snorlax_core
+
+type bucket_row = {
+  bug_id : string;
+  signature : string;
+  endpoints_hit : int;
+  failing_kept : int;
+  failing_dropped : int;
+  success_kept : int;
+  success_dropped : int;
+  wire_bytes : int;
+  top_pattern : string option;
+  top_describe : string option;
+  f1 : float;
+  root_cause_match : bool;
+  ordering_accuracy : float;
+  diagnosis_ns : float;
+}
+
+type summary = {
+  endpoints : int;
+  scenarios : int;
+  shipped : int;
+  wire_bytes : int;
+  decode_errors : int;
+  unrouted : int;
+  bucket_count : int;
+  dedup_ratio : float;
+  rows : bucket_row list;
+  collect_ns : float;
+  diagnosis_ns : float;
+  total_ns : float;
+}
+
+let now = Obs.Span.wall_clock_ns
+
+let diagnose_bucket collector (b : Collector.bucket) =
+  let t0 = now () in
+  let res = Collector.diagnose collector b in
+  let dt = now () -. t0 in
+  let built = Collector.built collector b in
+  let gt = built.Corpus.Bug.ground_truth in
+  let top_pattern, top_describe, f1, rc_match, a_o =
+    match res.Core.Diagnosis.top with
+    | None -> (None, None, 0.0, false, 0.0)
+    | Some top ->
+      let p = top.Core.Statistics.pattern in
+      ( Some (Core.Patterns.id p),
+        Some (Core.Patterns.describe built.Corpus.Bug.m p),
+        top.Core.Statistics.f1,
+        Core.Accuracy.root_cause_match ~diagnosed:p ~ground_truth:gt,
+        Core.Accuracy.ordering_accuracy ~diagnosed:p ~ground_truth:gt )
+  in
+  {
+    bug_id = b.Collector.signature.Signature.bug_id;
+    signature = Signature.to_string b.Collector.signature;
+    endpoints_hit = List.length b.Collector.endpoints;
+    failing_kept = Collector.failing_kept b;
+    failing_dropped = Collector.failing_dropped b;
+    success_kept = Collector.success_kept b;
+    success_dropped = Collector.success_dropped b;
+    wire_bytes = b.Collector.wire_bytes;
+    top_pattern;
+    top_describe;
+    f1;
+    root_cause_match = rc_match;
+    ordering_accuracy = a_o;
+    diagnosis_ns = dt;
+  }
+
+let run ?policy ?config ~endpoints bugs =
+  if endpoints < 1 then invalid_arg "Deploy.run: endpoints < 1";
+  Obs.Scope.with_span "fleet"
+    ~args:[ ("endpoints", Obs.Span.Int endpoints) ]
+  @@ fun () ->
+  let t0 = now () in
+  let collector = Collector.create ?policy () in
+  let shipped = ref 0 in
+  List.iter
+    (fun bug ->
+      for e = 0 to endpoints - 1 do
+        let s = Endpoint.run ~bug ~endpoint:e ?config () in
+        List.iter
+          (fun packet ->
+            incr shipped;
+            (* Malformed packets are counted by the collector; a fleet
+               run keeps going when one endpoint ships garbage. *)
+            ignore (Collector.ingest collector packet))
+          s.Endpoint.packets
+      done)
+    bugs;
+  let t_collected = now () in
+  let rows = List.map (diagnose_bucket collector) (Collector.buckets collector) in
+  let t_done = now () in
+  let totals = Collector.totals collector in
+  let bucket_count = List.length rows in
+  let dedup_ratio =
+    if bucket_count = 0 then 0.0
+    else float_of_int totals.Collector.failing_received /. float_of_int bucket_count
+  in
+  Obs.Scope.set_gauge "fleet/dedup_ratio" dedup_ratio;
+  {
+    endpoints;
+    scenarios = List.length bugs;
+    shipped = !shipped;
+    wire_bytes = totals.Collector.wire_bytes;
+    decode_errors = totals.Collector.decode_errors;
+    unrouted = totals.Collector.unrouted;
+    bucket_count;
+    dedup_ratio;
+    rows;
+    collect_ns = t_collected -. t0;
+    diagnosis_ns =
+      List.fold_left (fun a (r : bucket_row) -> a +. r.diagnosis_ns) 0.0 rows;
+    total_ns = t_done -. t0;
+  }

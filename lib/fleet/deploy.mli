@@ -1,0 +1,47 @@
+(** Fleet orchestration: spin up N endpoints per scenario, ship every
+    wire packet through the {!Collector}, then run the cross-endpoint
+    statistical diagnosis per bucket.  This is the in-production loop of
+    Figure 2 at deployment scale — the statistics of §4.5 finally score
+    patterns over executions gathered from *different* endpoints. *)
+
+type bucket_row = {
+  bug_id : string;
+  signature : string;  (** {!Signature.to_string} form *)
+  endpoints_hit : int;
+  failing_kept : int;
+  failing_dropped : int;
+  success_kept : int;
+  success_dropped : int;
+  wire_bytes : int;
+  top_pattern : string option;  (** {!Snorlax_core.Patterns.id} of the top scorer *)
+  top_describe : string option;  (** its human description *)
+  f1 : float;  (** 0 when no pattern scored *)
+  root_cause_match : bool;
+  ordering_accuracy : float;
+  diagnosis_ns : float;
+}
+
+type summary = {
+  endpoints : int;  (** per scenario *)
+  scenarios : int;
+  shipped : int;  (** wire packets produced fleet-wide *)
+  wire_bytes : int;
+  decode_errors : int;
+  unrouted : int;
+  bucket_count : int;
+  dedup_ratio : float;
+      (** failing reports received per distinct signature; 1.0 means no
+          dedup happened, N means N endpoints collapsed into one bucket *)
+  rows : bucket_row list;
+  collect_ns : float;  (** endpoint simulation + ingest wall time *)
+  diagnosis_ns : float;  (** summed per-bucket diagnosis wall time *)
+  total_ns : float;
+}
+
+val run :
+  ?policy:Collector.policy ->
+  ?config:Pt.Config.t ->
+  endpoints:int ->
+  Corpus.Bug.t list ->
+  summary
+(** Raises [Invalid_argument] when [endpoints < 1]. *)

@@ -1,0 +1,56 @@
+type shipment = {
+  endpoint : int;
+  packets : bytes list;
+  runs : int;
+  reproduced : bool;
+}
+
+(* Runner.collect's default retry budget is 5000 seeds; keep endpoint
+   seed ranges disjoint with room to spare. *)
+let seed_stride = 10_000
+
+let run ~bug ~endpoint ?(config = Pt.Config.default) ?failing_count
+    ?success_per_failing () =
+  Obs.Scope.with_span
+    ("fleet/endpoint-" ^ string_of_int endpoint)
+    ~args:[ ("bug", Obs.Span.Str bug.Corpus.Bug.id) ]
+  @@ fun () ->
+  let seed_base = 1 + (endpoint * seed_stride) in
+  Obs.Scope.count "fleet/endpoints" 1;
+  match
+    Corpus.Runner.collect bug ~pt_config:config ?failing_count
+      ?success_per_failing ~seed_base ()
+  with
+  | Error _ ->
+    Obs.Scope.count "fleet/endpoints_quiet" 1;
+    { endpoint; packets = []; runs = 0; reproduced = false }
+  | Ok c ->
+    let envelope seed payload =
+      {
+        Wire.endpoint;
+        seed;
+        bug_id = bug.Corpus.Bug.id;
+        config;
+        payload;
+      }
+    in
+    let failing =
+      List.map2
+        (fun r seed -> Wire.encode (envelope seed (Wire.Failing r)))
+        c.Corpus.Runner.failing c.Corpus.Runner.failing_seeds
+    in
+    let successful =
+      List.map2
+        (fun r seed -> Wire.encode (envelope seed (Wire.Success r)))
+        c.Corpus.Runner.successful c.Corpus.Runner.success_seeds
+    in
+    let packets = failing @ successful in
+    List.iter
+      (fun p -> Obs.Scope.count "fleet/endpoint_wire_bytes" (Bytes.length p))
+      packets;
+    {
+      endpoint;
+      packets;
+      runs = c.Corpus.Runner.runs_needed;
+      reproduced = true;
+    }

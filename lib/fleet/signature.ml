@@ -1,0 +1,71 @@
+module Report = Snorlax_core.Report
+
+type t = {
+  bug_id : string;
+  kind : string;
+  failing_pc : int;
+  block_stack : int list;
+}
+
+let stack_depth = 8
+
+(* The last [stack_depth] block entries of one thread's decoded steps.
+   A step enters a block when its pc is its block's start pc. *)
+let block_stack_of_steps m steps =
+  let entries =
+    List.filter_map
+      (fun (s : Pt.Decoder.step) ->
+        match Lir.Irmod.block_at_pc m s.Pt.Decoder.pc with
+        | f, b ->
+          let start =
+            Lir.Irmod.block_start_pc m ~fname:f.Lir.Func.fname
+              ~label:b.Lir.Block.label
+          in
+          if start = s.Pt.Decoder.pc then Some s.Pt.Decoder.pc else None
+        | exception _ -> None)
+      steps
+  in
+  let n = List.length entries in
+  if n <= stack_depth then entries
+  else List.filteri (fun i _ -> i >= n - stack_depth) entries
+
+let of_failing m ~config ~bug_id (r : Report.failing_report) =
+  match Lir.Irmod.instr_by_iid m (Report.failing_anchor_iid r) with
+  | exception _ ->
+    Error
+      (Printf.sprintf "report for %s references an unknown instruction"
+         bug_id)
+  | i ->
+    let block_stack =
+      match List.assoc_opt r.Report.failing_tid r.Report.traces with
+      | None -> []
+      | Some ring -> (
+        match Pt.Decoder.decode m ~config ring with
+        | decoded -> block_stack_of_steps m decoded.Pt.Decoder.steps
+        | exception _ -> [])
+    in
+    Ok
+      {
+        bug_id;
+        kind = Report.kind_label r;
+        failing_pc = i.Lir.Instr.pc;
+        block_stack;
+      }
+
+let key s =
+  Printf.sprintf "%s|%s|%d|%s" s.bug_id s.kind s.failing_pc
+    (String.concat ">" (List.map string_of_int s.block_stack))
+
+(* Tables only show the newest three stack entries; [key] keeps them all. *)
+let to_string s =
+  let via =
+    match s.block_stack with
+    | [] -> ""
+    | pcs ->
+      let n = List.length pcs in
+      let shown = List.filteri (fun i _ -> i >= n - 3) pcs in
+      Printf.sprintf " via %s%s"
+        (if n > 3 then "..>" else "")
+        (String.concat ">" (List.map (Printf.sprintf "0x%x") shown))
+  in
+  Printf.sprintf "%s@0x%x%s" s.kind s.failing_pc via

@@ -1,0 +1,39 @@
+(** The fleet wire format: what an endpoint actually puts on the network
+    when it ships a failure (or watchpoint-triggered success) report to
+    the diagnosis server.
+
+    One encoded packet is a version byte followed by a varint-packed
+    envelope: endpoint id, reproduction seed, bug id, the tracer
+    configuration the rings were produced under (so the server decodes
+    each endpoint's traces with the right timing parameters), and the
+    report payload itself — including every per-thread ring snapshot as
+    raw bytes.  Everything length-delimited, no padding: a pbzip2 failing
+    report is a few hundred bytes on the wire.
+
+    [decode] is total: truncated buffers, bad version bytes, unknown
+    tags and trailing garbage all return [Error], never raise — corrupt
+    network input must not take the collector down. *)
+
+type payload =
+  | Failing of Snorlax_core.Report.failing_report
+  | Success of Snorlax_core.Report.success_report
+
+type envelope = {
+  endpoint : int;  (** which simulated client produced this *)
+  seed : int;  (** the scheduler seed of the reported execution *)
+  bug_id : string;  (** which corpus scenario the endpoint was running *)
+  config : Pt.Config.t;
+      (** ring/timing parameters of the endpoint's tracer; the decode side
+          reconstructs the cost model as {!Pt.Config.default_costs} (costs
+          only matter client-side and are not shipped) *)
+  payload : payload;
+}
+
+val version : int
+(** Current format version; the first byte of every packet. *)
+
+val encode : envelope -> bytes
+
+val decode : bytes -> (envelope, string) result
+(** Round-trips [encode]; [Error] (with a reason) on any malformed
+    input.  A packet with bytes beyond the envelope is malformed. *)

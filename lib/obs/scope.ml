@@ -33,6 +33,18 @@ let observe name v =
   | None -> ()
   | Some c -> Metrics.observe (Metrics.histogram c.metrics name) v
 
+let timed name f =
+  match !state with
+  | None -> f ()
+  | Some c ->
+    let t0 = Span.wall_clock_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        Metrics.observe
+          (Metrics.histogram c.metrics name)
+          (Span.wall_clock_ns () -. t0))
+      f
+
 let export_chrome () =
   match !state with
   | None -> None

@@ -30,6 +30,10 @@ val set_gauge : string -> float -> unit
 val observe : string -> float -> unit
 (** Record into a histogram by name; no-op when disabled. *)
 
+val timed : string -> (unit -> 'a) -> 'a
+(** Run [f] and record its wall-clock duration (ns) into the named
+    histogram — even when [f] raises.  Just runs [f] when disabled. *)
+
 val export_chrome : unit -> Json.t option
 (** The current context as a Chrome trace-event document. *)
 

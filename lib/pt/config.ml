@@ -25,3 +25,15 @@ let default =
     psb_period_bytes = 4 * 1024;
     costs = default_costs;
   }
+
+let timing_code = function
+  | Cyc_and_mtc { mtc_period_ns } -> (0, mtc_period_ns)
+  | Mtc_only { mtc_period_ns } -> (1, mtc_period_ns)
+  | No_timing -> (2, 0)
+
+let timing_of_code ~tag ~period =
+  match tag with
+  | 0 when period > 0 -> Some (Cyc_and_mtc { mtc_period_ns = period })
+  | 1 when period > 0 -> Some (Mtc_only { mtc_period_ns = period })
+  | 2 -> Some No_timing
+  | _ -> None

@@ -31,3 +31,12 @@ val default : t
     calibrated cost model. *)
 
 val default_costs : cost_model
+
+val timing_code : timing_mode -> int * int
+(** [(tag, period)] pair for wire serialization of the timing mode; the
+    fleet report envelope carries it so the server decodes each endpoint's
+    traces under the parameters they were produced with. *)
+
+val timing_of_code : tag:int -> period:int -> timing_mode option
+(** Inverse of {!timing_code}; [None] on an unknown tag or a non-positive
+    period for the periodic modes. *)

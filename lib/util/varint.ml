@@ -33,6 +33,23 @@ let read_signed b ~pos =
   let v, next = read_unsigned b ~pos in
   (unzigzag v, next)
 
+let try_read_unsigned b ~pos =
+  let len = Bytes.length b in
+  let rec go pos shift acc =
+    if pos >= len then None
+    else
+      let c = Char.code (Bytes.get b pos) in
+      let acc = acc lor ((c land 0x7f) lsl shift) in
+      if c land 0x80 = 0 then Some (acc, pos + 1)
+      else go (pos + 1) (shift + 7) acc
+  in
+  if pos < 0 then None else go pos 0 0
+
+let try_read_signed b ~pos =
+  match try_read_unsigned b ~pos with
+  | None -> None
+  | Some (v, next) -> Some (unzigzag v, next)
+
 let encoded_size v =
   let rec go v n = if v < 0x80 then n else go (v lsr 7) (n + 1) in
   if v < 0 then invalid_arg "Varint.encoded_size: negative" else go v 1

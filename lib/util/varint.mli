@@ -18,5 +18,13 @@ val read_unsigned : bytes -> pos:int -> int * int
 val read_signed : bytes -> pos:int -> int * int
 (** Zig-zag decode; same contract as {!read_unsigned}. *)
 
+val try_read_unsigned : bytes -> pos:int -> (int * int) option
+(** Total variant of {!read_unsigned}: [None] on truncated input or an
+    out-of-range [pos] instead of raising.  Wire-format decoders that must
+    never raise on corrupt network bytes build on this. *)
+
+val try_read_signed : bytes -> pos:int -> (int * int) option
+(** Total variant of {!read_signed}. *)
+
 val encoded_size : int -> int
 (** Bytes {!write_unsigned} would use for this value. *)

@@ -36,13 +36,19 @@ let test_eval_set_is_native () =
     Corpus.Registry.eval_set
 
 let test_find_and_by_system () =
-  let b = Corpus.Registry.find "mysql-7" in
+  let b = Corpus.Registry.find_exn "mysql-7" in
   Alcotest.(check string) "found" "mysql-7" b.Corpus.Bug.id;
   Alcotest.(check int) "mysql has 9" 9
     (List.length (Corpus.Registry.by_system "mysql"));
+  Alcotest.(check bool) "find returns Some" true
+    (match Corpus.Registry.find "mysql-7" with
+    | Some b -> String.equal b.Corpus.Bug.id "mysql-7"
+    | None -> false);
+  Alcotest.(check bool) "unknown is None" true
+    (Corpus.Registry.find "nope-1" = None);
   Alcotest.(check bool) "unknown raises" true
     (try
-       ignore (Corpus.Registry.find "nope-1");
+       ignore (Corpus.Registry.find_exn "nope-1");
        false
      with Not_found -> true)
 
@@ -81,7 +87,7 @@ let test_every_bug_builds_and_verifies () =
     all
 
 let test_builds_are_deterministic () =
-  let bug = Corpus.Registry.find "pbzip2-1" in
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
   let b1 = bug.Corpus.Bug.build () in
   let b2 = bug.Corpus.Bug.build () in
   Alcotest.(check (list int)) "same ground truth iids"
@@ -158,7 +164,7 @@ let test_failure_kind_matches_bug_kind () =
     Corpus.Registry.eval_set
 
 let test_runner_collect_shape () =
-  let bug = Corpus.Registry.find "pbzip2-1" in
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
   match Corpus.Runner.collect bug ~success_per_failing:4 () with
   | Error msg -> Alcotest.fail msg
   | Ok c ->
@@ -174,7 +180,7 @@ let test_runner_collect_shape () =
       c.Corpus.Runner.successful
 
 let test_watch_pcs_start_with_failure_pc () =
-  let bug = Corpus.Registry.find "sqlite-3" in
+  let bug = Corpus.Registry.find_exn "sqlite-3" in
   match Corpus.Runner.collect bug ~success_per_failing:1 () with
   | Error msg -> Alcotest.fail msg
   | Ok c ->

@@ -31,11 +31,11 @@ let test_overhead_is_monitoring_cost () =
   Alcotest.(check (float 1e-9)) "no monitor, no overhead" 0.0 none
 
 let test_hypothesis_rows_have_expected_arity () =
-  let bug = Corpus.Registry.find "mysql-7" in
+  let bug = Corpus.Registry.find_exn "mysql-7" in
   let m = Experiments.Hypothesis.measure ~samples:2 bug in
   Alcotest.(check int) "atomicity has two delta pairs" 2
     (List.length m.Experiments.Hypothesis.deltas_us);
-  let bug = Corpus.Registry.find "sqlite-1" in
+  let bug = Corpus.Registry.find_exn "sqlite-1" in
   let m = Experiments.Hypothesis.measure ~samples:2 bug in
   Alcotest.(check int) "deadlock has one delta pair" 1
     (List.length m.Experiments.Hypothesis.deltas_us)
@@ -43,7 +43,7 @@ let test_hypothesis_rows_have_expected_arity () =
 let test_hypothesis_summary_math () =
   let mk avg mn =
     {
-      Experiments.Hypothesis.r_bug = Corpus.Registry.find "pbzip2-1";
+      Experiments.Hypothesis.r_bug = Corpus.Registry.find_exn "pbzip2-1";
       avg_us = [ avg ];
       std_us = [ 1.0 ];
       min_us = mn;
@@ -57,7 +57,7 @@ let test_hypothesis_summary_math () =
   Alcotest.(check (float 1e-9)) "global min" 80.0 global_min
 
 let test_eval_runs_cached () =
-  let bug = Corpus.Registry.find "pbzip2-1" in
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
   let a = Experiments.Eval_runs.get bug in
   let b = Experiments.Eval_runs.get bug in
   Alcotest.(check bool) "memoized" true (a == b);
@@ -66,7 +66,7 @@ let test_eval_runs_cached () =
   Alcotest.(check (float 1e-6)) "cached entry A_O" 100.0 ao
 
 let test_stage_shares_sum () =
-  let entry = Experiments.Eval_runs.get (Corpus.Registry.find "pbzip2-1") in
+  let entry = Experiments.Eval_runs.get (Corpus.Registry.find_exn "pbzip2-1") in
   let s = Experiments.Stages.of_entry entry in
   Alcotest.(check int) "five shares" 5 (List.length s.Experiments.Stages.shares);
   let total = List.fold_left ( +. ) 0.0 s.Experiments.Stages.shares in
@@ -76,7 +76,7 @@ let test_stage_shares_sum () =
     (List.hd s.Experiments.Stages.shares > 50.0)
 
 let test_analysis_time_row () =
-  let entry = Experiments.Eval_runs.get (Corpus.Registry.find "pbzip2-1") in
+  let entry = Experiments.Eval_runs.get (Corpus.Registry.find_exn "pbzip2-1") in
   let row = Experiments.Analysis_time.of_entry entry in
   Alcotest.(check bool) "hybrid faster than static" true
     (row.Experiments.Analysis_time.speedup > 1.0);

@@ -1,0 +1,370 @@
+(* The fleet subsystem: wire-format round-trips (including on corrupt
+   input, which must return Error and never raise), signature dedup,
+   the collector's sampling and success-routing policies, and a small
+   end-to-end deployment whose cross-endpoint diagnosis must land on the
+   known root cause. *)
+
+module Report = Snorlax_core.Report
+module Wire = Fleet.Wire
+module Collector = Fleet.Collector
+
+(* --- fixtures ------------------------------------------------------------ *)
+
+let sample_traces =
+  [ (0, Bytes.of_string "\x01\x02\x03ring"); (2, Bytes.of_string "") ]
+
+let crash_report =
+  {
+    Report.info =
+      Report.Crash_info { failing_iid = 51; crash_kind = Report.Bad_pointer };
+    failing_tid = 1;
+    failure_time_ns = 123_456;
+    traces = sample_traces;
+  }
+
+let deadlock_report =
+  {
+    Report.info = Report.Deadlock_info { blocked = [ (0, 7); (1, 9) ] };
+    failing_tid = 1;
+    failure_time_ns = 42;
+    traces = [ (1, Bytes.of_string "x") ];
+  }
+
+let success_report =
+  {
+    Report.s_traces = sample_traces;
+    trigger_time_ns = 99;
+    trigger_tid = 0;
+    trigger_pc = 0x10d4;
+  }
+
+let envelope payload =
+  {
+    Wire.endpoint = 3;
+    seed = 1717;
+    bug_id = "pbzip2-1";
+    config = Pt.Config.default;
+    payload;
+  }
+
+let check_roundtrip name env =
+  match Wire.decode (Wire.encode env) with
+  | Error msg -> Alcotest.failf "%s: decode error: %s" name msg
+  | Ok got ->
+    Alcotest.(check int) (name ^ " endpoint") env.Wire.endpoint got.Wire.endpoint;
+    Alcotest.(check int) (name ^ " seed") env.Wire.seed got.Wire.seed;
+    Alcotest.(check string) (name ^ " bug id") env.Wire.bug_id got.Wire.bug_id;
+    Alcotest.(check bool)
+      (name ^ " config") true
+      (got.Wire.config.Pt.Config.buffer_size
+       = env.Wire.config.Pt.Config.buffer_size
+      && got.Wire.config.Pt.Config.timing = env.Wire.config.Pt.Config.timing
+      && got.Wire.config.Pt.Config.psb_period_bytes
+         = env.Wire.config.Pt.Config.psb_period_bytes);
+    Alcotest.(check bool)
+      (name ^ " payload") true
+      (match (env.Wire.payload, got.Wire.payload) with
+      | Wire.Failing a, Wire.Failing b -> a = b
+      | Wire.Success a, Wire.Success b -> a = b
+      | _ -> false)
+
+(* --- wire round-trips ---------------------------------------------------- *)
+
+let test_wire_roundtrip_crash () =
+  check_roundtrip "crash" (envelope (Wire.Failing crash_report))
+
+let test_wire_roundtrip_deadlock () =
+  check_roundtrip "deadlock" (envelope (Wire.Failing deadlock_report))
+
+let test_wire_roundtrip_success () =
+  check_roundtrip "success" (envelope (Wire.Success success_report))
+
+let test_wire_roundtrip_timing_modes () =
+  List.iter
+    (fun timing ->
+      check_roundtrip "timing mode"
+        (envelope (Wire.Failing crash_report)
+        |> fun e ->
+        { e with Wire.config = { e.Wire.config with Pt.Config.timing } }))
+    [
+      Pt.Config.Cyc_and_mtc { mtc_period_ns = 64 };
+      Pt.Config.Mtc_only { mtc_period_ns = 2048 };
+      Pt.Config.No_timing;
+    ]
+
+let gen_envelope =
+  QCheck.Gen.(
+    let* endpoint = int_bound 1000 in
+    let* seed = int in
+    let* bug_id = string_size ~gen:printable (int_bound 20) in
+    let* n_traces = int_bound 3 in
+    let* traces =
+      list_size (return n_traces)
+        (pair (int_bound 8) (map Bytes.of_string (string_size (int_bound 50))))
+    in
+    let* failing = bool in
+    let* payload =
+      if failing then
+        let* iid = int_bound 10_000 in
+        let* tid = int_bound 16 in
+        let* time = int_bound 1_000_000_000 in
+        return
+          (Wire.Failing
+             {
+               Report.info =
+                 Report.Crash_info
+                   { failing_iid = iid; crash_kind = Report.Use_after_free };
+               failing_tid = tid;
+               failure_time_ns = time;
+               traces;
+             })
+      else
+        let* tid = int_bound 16 in
+        let* pc = int_bound 1_000_000 in
+        let* time = int_bound 1_000_000_000 in
+        return
+          (Wire.Success
+             {
+               Report.s_traces = traces;
+               trigger_time_ns = time;
+               trigger_tid = tid;
+               trigger_pc = pc;
+             })
+    in
+    return
+      {
+        Wire.endpoint;
+        seed;
+        bug_id;
+        config = Pt.Config.default;
+        payload;
+      })
+
+let prop_wire_roundtrip =
+  QCheck.Test.make ~name:"Wire round-trips arbitrary envelopes" ~count:300
+    (QCheck.make gen_envelope)
+    (fun env ->
+      match Wire.decode (Wire.encode env) with
+      | Ok got -> got = env
+      | Error _ -> false)
+
+(* --- corrupt input: Error, never an exception ---------------------------- *)
+
+let decode_total b =
+  match Wire.decode b with
+  | Ok _ -> `Ok
+  | Error _ -> `Error
+  | exception _ -> `Raised
+
+let test_wire_truncations () =
+  (* Every proper prefix of a valid packet must decode to Error. *)
+  let full = Wire.encode (envelope (Wire.Failing crash_report)) in
+  for len = 0 to Bytes.length full - 1 do
+    match decode_total (Bytes.sub full 0 len) with
+    | `Error -> ()
+    | `Ok -> Alcotest.failf "prefix of %d bytes decoded Ok" len
+    | `Raised -> Alcotest.failf "prefix of %d bytes raised" len
+  done
+
+let test_wire_bad_version () =
+  let full = Wire.encode (envelope (Wire.Success success_report)) in
+  Bytes.set full 0 '\x7f';
+  Alcotest.(check bool) "bad version is Error" true (decode_total full = `Error)
+
+let test_wire_trailing_garbage () =
+  let full = Wire.encode (envelope (Wire.Success success_report)) in
+  let padded = Bytes.cat full (Bytes.of_string "\x00") in
+  Alcotest.(check bool) "trailing garbage is Error" true
+    (decode_total padded = `Error)
+
+let test_wire_empty () =
+  Alcotest.(check bool) "empty is Error" true
+    (decode_total Bytes.empty = `Error)
+
+let prop_wire_corrupt_never_raises =
+  QCheck.Test.make ~name:"Wire.decode is total on random bytes" ~count:500
+    QCheck.(string_of_size Gen.(int_range 0 200))
+    (fun s -> decode_total (Bytes.of_string s) <> `Raised)
+
+let prop_wire_flip_never_raises =
+  (* Single-byte corruption of a real packet: decode may succeed or fail,
+     but must not raise. *)
+  QCheck.Test.make ~name:"Wire.decode survives single-byte corruption"
+    ~count:300
+    QCheck.(pair small_nat (int_bound 255))
+    (fun (pos, byte) ->
+      let b = Wire.encode (envelope (Wire.Failing crash_report)) in
+      let pos = pos mod Bytes.length b in
+      Bytes.set b pos (Char.chr byte);
+      decode_total b <> `Raised)
+
+(* --- collector ----------------------------------------------------------- *)
+
+(* A real failing report (with decodable rings) for collector tests:
+   reproduce pbzip2-1 once per "endpoint" seed range. *)
+let collected_fixture =
+  lazy
+    (let bug = Corpus.Registry.find_exn "pbzip2-1" in
+     match
+       Corpus.Runner.collect bug ~success_per_failing:2 ~seed_base:1 ()
+     with
+     | Ok c -> (bug, c)
+     | Error msg -> Alcotest.failf "fixture: %s" msg)
+
+let ship collector env =
+  match Collector.ingest collector (Wire.encode env) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "ingest: %s" msg
+
+let real_envelope ?(endpoint = 0) payload =
+  let bug, _ = Lazy.force collected_fixture in
+  {
+    Wire.endpoint;
+    seed = 1;
+    bug_id = bug.Corpus.Bug.id;
+    config = Pt.Config.default;
+    payload;
+  }
+
+let test_collector_dedup () =
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let t = Collector.create () in
+  ship t (real_envelope ~endpoint:0 (Wire.Failing failing));
+  ship t (real_envelope ~endpoint:5 (Wire.Failing failing));
+  match Collector.buckets t with
+  | [ b ] ->
+    Alcotest.(check int) "one bucket, two endpoints" 2
+      (List.length b.Collector.endpoints);
+    Alcotest.(check int) "both kept" 2 (Collector.failing_kept b);
+    Alcotest.(check int) "failing received" 2
+      (Collector.totals t).Collector.failing_received
+  | bs -> Alcotest.failf "expected 1 bucket, got %d" (List.length bs)
+
+let test_collector_sampling () =
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let t =
+    Collector.create
+      ~policy:{ Collector.max_failing = 1; max_success = 1 }
+      ()
+  in
+  for e = 0 to 3 do
+    ship t (real_envelope ~endpoint:e (Wire.Failing failing))
+  done;
+  List.iter
+    (fun s -> ship t (real_envelope ~endpoint:9 (Wire.Success s)))
+    c.Corpus.Runner.successful;
+  let b = List.hd (Collector.buckets t) in
+  Alcotest.(check int) "kept first failing" 1 (Collector.failing_kept b);
+  Alcotest.(check int) "dropped the rest" 3 (Collector.failing_dropped b);
+  Alcotest.(check int) "kept first success" 1 (Collector.success_kept b);
+  Alcotest.(check int) "dropped second success" 1 (Collector.success_dropped b);
+  Alcotest.(check int) "all 4 endpoints counted" 5
+    (List.length b.Collector.endpoints)
+
+let test_collector_routes_early_success () =
+  (* A success shipped before any failing report is held, then claimed
+     when the failure's bucket appears. *)
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let success = List.hd c.Corpus.Runner.successful in
+  let t = Collector.create () in
+  ship t (real_envelope ~endpoint:1 (Wire.Success success));
+  Alcotest.(check int) "held while unrouted" 1
+    (Collector.totals t).Collector.unrouted;
+  ship t (real_envelope ~endpoint:0 (Wire.Failing failing));
+  let b = List.hd (Collector.buckets t) in
+  Alcotest.(check int) "claimed on bucket creation" 1
+    (Collector.success_kept b);
+  Alcotest.(check int) "nothing pending" 0
+    (Collector.totals t).Collector.unrouted
+
+let test_collector_rejects_unknown_bug () =
+  let t = Collector.create () in
+  let env =
+    { (envelope (Wire.Failing crash_report)) with Wire.bug_id = "nope-1" }
+  in
+  (match Collector.ingest t (Wire.encode env) with
+  | Ok () -> Alcotest.fail "unknown bug id accepted"
+  | Error _ -> ());
+  Alcotest.(check int) "counted as decode error" 1
+    (Collector.totals t).Collector.decode_errors
+
+let test_collector_rejects_garbage () =
+  let t = Collector.create () in
+  (match Collector.ingest t (Bytes.of_string "not a packet") with
+  | Ok () -> Alcotest.fail "garbage accepted"
+  | Error _ -> ());
+  Alcotest.(check int) "received counted" 1 (Collector.totals t).Collector.received;
+  Alcotest.(check int) "decode error counted" 1
+    (Collector.totals t).Collector.decode_errors
+
+(* --- end to end ---------------------------------------------------------- *)
+
+let test_fleet_end_to_end () =
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
+  let s = Fleet.Deploy.run ~endpoints:3 [ bug ] in
+  Alcotest.(check int) "no decode errors" 0 s.Fleet.Deploy.decode_errors;
+  Alcotest.(check int) "no unrouted successes" 0 s.Fleet.Deploy.unrouted;
+  Alcotest.(check bool) "some bytes crossed the wire" true
+    (s.Fleet.Deploy.wire_bytes > 0);
+  match s.Fleet.Deploy.rows with
+  | [ r ] ->
+    Alcotest.(check int) "all endpoints in one bucket" 3
+      r.Fleet.Deploy.endpoints_hit;
+    Alcotest.(check bool) "dedup collapsed the fleet" true
+      (s.Fleet.Deploy.dedup_ratio >= 3.0);
+    Alcotest.(check bool) "diagnosed" true (r.Fleet.Deploy.top_pattern <> None);
+    Alcotest.(check bool) "root cause matches ground truth" true
+      r.Fleet.Deploy.root_cause_match
+  | rows -> Alcotest.failf "expected 1 bucket, got %d" (List.length rows)
+
+let test_deploy_rejects_zero_endpoints () =
+  Alcotest.check_raises "endpoints < 1"
+    (Invalid_argument "Deploy.run: endpoints < 1") (fun () ->
+      ignore (Fleet.Deploy.run ~endpoints:0 []))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let tests =
+  [
+    ( "fleet.wire",
+      [
+        Alcotest.test_case "crash round-trip" `Quick test_wire_roundtrip_crash;
+        Alcotest.test_case "deadlock round-trip" `Quick
+          test_wire_roundtrip_deadlock;
+        Alcotest.test_case "success round-trip" `Quick
+          test_wire_roundtrip_success;
+        Alcotest.test_case "timing modes round-trip" `Quick
+          test_wire_roundtrip_timing_modes;
+        Alcotest.test_case "every truncation is Error" `Quick
+          test_wire_truncations;
+        Alcotest.test_case "bad version" `Quick test_wire_bad_version;
+        Alcotest.test_case "trailing garbage" `Quick test_wire_trailing_garbage;
+        Alcotest.test_case "empty input" `Quick test_wire_empty;
+        qtest prop_wire_roundtrip;
+        qtest prop_wire_corrupt_never_raises;
+        qtest prop_wire_flip_never_raises;
+      ] );
+    ( "fleet.collector",
+      [
+        Alcotest.test_case "signature dedup across endpoints" `Quick
+          test_collector_dedup;
+        Alcotest.test_case "sampling keeps first K" `Quick
+          test_collector_sampling;
+        Alcotest.test_case "early success held then routed" `Quick
+          test_collector_routes_early_success;
+        Alcotest.test_case "unknown bug id rejected" `Quick
+          test_collector_rejects_unknown_bug;
+        Alcotest.test_case "garbage packet rejected" `Quick
+          test_collector_rejects_garbage;
+      ] );
+    ( "fleet.deploy",
+      [
+        Alcotest.test_case "end-to-end cross-endpoint diagnosis" `Quick
+          test_fleet_end_to_end;
+        Alcotest.test_case "zero endpoints rejected" `Quick
+          test_deploy_rejects_zero_endpoints;
+      ] );
+  ]

@@ -5,7 +5,7 @@
 module Core = Snorlax_core
 
 let diagnose id =
-  let bug = Corpus.Registry.find id in
+  let bug = Corpus.Registry.find_exn id in
   match Corpus.Runner.collect bug () with
   | Error msg -> Alcotest.fail msg
   | Ok c ->
@@ -67,7 +67,7 @@ let test_true_pattern_beats_decoys () =
   | [] -> Alcotest.fail "no patterns"
 
 let test_more_failing_runs_still_accurate () =
-  let bug = Corpus.Registry.find "pbzip2-2" in
+  let bug = Corpus.Registry.find_exn "pbzip2-2" in
   match Corpus.Runner.collect bug ~failing_count:2 () with
   | Error msg -> Alcotest.fail msg
   | Ok c ->
@@ -84,7 +84,7 @@ let test_more_failing_runs_still_accurate () =
     | None -> Alcotest.fail "no pattern")
 
 let test_hypothesis_measurement () =
-  let bug = Corpus.Registry.find "pbzip2-1" in
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
   let m = Experiments.Hypothesis.measure ~samples:3 bug in
   Alcotest.(check int) "one delta pair" 1 (List.length m.Experiments.Hypothesis.deltas_us);
   let samples = List.hd m.Experiments.Hypothesis.deltas_us in
@@ -144,7 +144,7 @@ let test_full_eval_set_accuracy () =
     (Experiments.Eval_runs.eval_entries ())
 
 let test_gist_needs_more_failures () =
-  let entry = Experiments.Eval_runs.get (Corpus.Registry.find "pbzip2-1") in
+  let entry = Experiments.Eval_runs.get (Corpus.Registry.find_exn "pbzip2-1") in
   let row = Experiments.Latency.of_entry entry in
   Alcotest.(check int) "snorlax needs one" 1 row.Experiments.Latency.snorlax_failures;
   Alcotest.(check bool) "gist needs more" true

@@ -275,7 +275,7 @@ let test_scope_records () =
 (* --- pipeline instrumentation ------------------------------------------- *)
 
 let diagnose_quick () =
-  let bug = Corpus.Registry.find "pbzip2-1" in
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
   match Corpus.Runner.collect bug () with
   | Error msg -> Alcotest.fail msg
   | Ok c ->

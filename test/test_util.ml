@@ -138,30 +138,93 @@ let prop_ringbuf_suffix =
 
 (* --- varint ------------------------------------------------------------- *)
 
+(* Generators that always exercise the boundary values (7-bit group edges
+   and the int extremes) alongside uniform draws. *)
+let unsigned_boundaries = [ 0; 1; 127; 128; 16383; 16384; max_int - 1; max_int ]
+
+let signed_boundaries =
+  [ 0; 1; -1; 63; 64; -64; -65; max_int; min_int + 1; min_int ]
+
+let gen_unsigned_with_boundaries =
+  QCheck.(
+    oneof [ oneofl unsigned_boundaries; int_range 0 max_int ])
+
+let gen_signed_with_boundaries =
+  QCheck.(oneof [ oneofl signed_boundaries; int ])
+
+let unsigned_roundtrips v =
+  let buf = Buffer.create 10 in
+  Varint.write_unsigned buf v;
+  let v', next = Varint.read_unsigned (Buffer.to_bytes buf) ~pos:0 in
+  v = v' && next = Buffer.length buf
+
+let signed_roundtrips v =
+  let buf = Buffer.create 10 in
+  Varint.write_signed buf v;
+  let v', next = Varint.read_signed (Buffer.to_bytes buf) ~pos:0 in
+  v = v' && next = Buffer.length buf
+
 let prop_varint_roundtrip =
   QCheck.Test.make ~name:"Varint unsigned round-trip" ~count:1000
-    QCheck.(int_range 0 max_int)
-    (fun v ->
-      let buf = Buffer.create 10 in
-      Varint.write_unsigned buf v;
-      let v', next = Varint.read_unsigned (Buffer.to_bytes buf) ~pos:0 in
-      v = v' && next = Buffer.length buf)
+    gen_unsigned_with_boundaries unsigned_roundtrips
 
 let prop_varint_signed_roundtrip =
-  QCheck.Test.make ~name:"Varint signed round-trip" ~count:1000 QCheck.int
+  QCheck.Test.make ~name:"Varint signed round-trip" ~count:1000
+    gen_signed_with_boundaries signed_roundtrips
+
+let test_varint_boundary_values () =
+  List.iter
     (fun v ->
-      let buf = Buffer.create 10 in
-      Varint.write_signed buf v;
-      let v', _ = Varint.read_signed (Buffer.to_bytes buf) ~pos:0 in
-      v = v')
+      Alcotest.(check bool)
+        (Printf.sprintf "unsigned %d round-trips" v)
+        true (unsigned_roundtrips v))
+    unsigned_boundaries;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "signed %d round-trips" v)
+        true (signed_roundtrips v))
+    signed_boundaries
+
+let encoded_size_agrees v =
+  let buf = Buffer.create 10 in
+  Varint.write_unsigned buf v;
+  Buffer.length buf = Varint.encoded_size v
 
 let prop_varint_size =
   QCheck.Test.make ~name:"Varint.encoded_size matches encoding" ~count:500
-    QCheck.(int_range 0 max_int)
+    gen_unsigned_with_boundaries encoded_size_agrees
+
+let test_varint_size_boundaries () =
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "encoded_size %d agrees" v)
+        true (encoded_size_agrees v))
+    unsigned_boundaries
+
+let prop_varint_try_read_matches =
+  QCheck.Test.make
+    ~name:"Varint.try_read_unsigned agrees with read_unsigned" ~count:500
+    gen_unsigned_with_boundaries
     (fun v ->
       let buf = Buffer.create 10 in
       Varint.write_unsigned buf v;
-      Buffer.length buf = Varint.encoded_size v)
+      let b = Buffer.to_bytes buf in
+      Varint.try_read_unsigned b ~pos:0 = Some (Varint.read_unsigned b ~pos:0))
+
+let test_varint_try_read_truncated () =
+  let buf = Buffer.create 4 in
+  Varint.write_unsigned buf 300;
+  let b = Bytes.sub (Buffer.to_bytes buf) 0 1 in
+  Alcotest.(check bool) "truncated is None" true
+    (Varint.try_read_unsigned b ~pos:0 = None);
+  Alcotest.(check bool) "signed truncated is None" true
+    (Varint.try_read_signed b ~pos:0 = None);
+  Alcotest.(check bool) "negative pos is None" true
+    (Varint.try_read_unsigned b ~pos:(-1) = None);
+  Alcotest.(check bool) "pos past end is None" true
+    (Varint.try_read_unsigned b ~pos:99 = None)
 
 let test_varint_negative_rejected () =
   let buf = Buffer.create 4 in
@@ -313,9 +376,16 @@ let tests =
       [
         Alcotest.test_case "negative rejected" `Quick test_varint_negative_rejected;
         Alcotest.test_case "truncated input" `Quick test_varint_truncated;
+        Alcotest.test_case "boundary round-trips" `Quick
+          test_varint_boundary_values;
+        Alcotest.test_case "encoded_size at boundaries" `Quick
+          test_varint_size_boundaries;
+        Alcotest.test_case "try_read on truncated input" `Quick
+          test_varint_try_read_truncated;
         qtest prop_varint_roundtrip;
         qtest prop_varint_signed_roundtrip;
         qtest prop_varint_size;
+        qtest prop_varint_try_read_matches;
       ] );
     ( "util.stats",
       [
