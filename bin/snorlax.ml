@@ -214,6 +214,86 @@ let fleet_run n_endpoints bug_id all trace_out metrics_out obs_summary =
     if not diagnosed then Printf.eprintf "fleet: some bucket had no diagnosis\n";
     if diagnosed && obs_ok then 0 else 1
 
+let chaos_run seeds n_endpoints bug_id all fault_name out =
+  let bugs =
+    match (bug_id, all) with
+    | _, true -> Ok Corpus.Registry.eval_set
+    | Some id, false -> (
+      match Corpus.Registry.find id with
+      | Some bug -> Ok [ bug ]
+      | None -> Error (Printf.sprintf "unknown bug id %s (try `snorlax list`)" id))
+    | None, false -> Error "pass --bug ID or --all"
+  in
+  let classes =
+    match fault_name with
+    | None -> Ok Chaos.Fault.all
+    | Some n -> (
+      match Chaos.Fault.of_name n with
+      | Some c -> Ok [ c ]
+      | None ->
+        Error
+          (Printf.sprintf "unknown fault class %s (one of: %s)" n
+             (String.concat ", " (List.map Chaos.Fault.name Chaos.Fault.all))))
+  in
+  match (bugs, classes) with
+  | Error msg, _ | _, Error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | Ok bugs, Ok classes -> (
+    Printf.printf
+      "Chaos: %d seed(s) x %d fault class(es) x %d bug(s), %d endpoints \
+       each...\n%!"
+      seeds (List.length classes) (List.length bugs) n_endpoints;
+    match
+      Chaos.Harness.run ~endpoints:n_endpoints ~classes
+        ~progress:(fun line -> Printf.printf "  %s\n%!" line)
+        ~seeds bugs
+    with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+    | Ok r ->
+      let t =
+        Snorlax_util.Tablefmt.create
+          ~headers:
+            [
+              "fault class"; "trials"; "faults"; "packets"; "violations";
+              "uncaught"; "nondet"; "diagnosed"; "rc match"; "surv F1";
+            ]
+      in
+      Snorlax_util.Tablefmt.set_align t
+        Snorlax_util.Tablefmt.
+          [ Left; Right; Right; Right; Right; Right; Right; Right; Right;
+            Right ];
+      List.iter
+        (fun (s : Chaos.Harness.class_summary) ->
+          Snorlax_util.Tablefmt.add_row t
+            [
+              Chaos.Fault.name s.Chaos.Harness.summary_cls;
+              string_of_int s.Chaos.Harness.trials;
+              string_of_int s.Chaos.Harness.faults_injected;
+              string_of_int s.Chaos.Harness.packets_sent;
+              string_of_int s.Chaos.Harness.violation_count;
+              string_of_int s.Chaos.Harness.uncaught_count;
+              string_of_int s.Chaos.Harness.nondeterministic;
+              string_of_int s.Chaos.Harness.diagnosed_trials;
+              string_of_int s.Chaos.Harness.rc_matched_trials;
+              Printf.sprintf "%.2f" s.Chaos.Harness.survival_f1;
+            ])
+        r.Chaos.Harness.classes;
+      Snorlax_util.Tablefmt.print t;
+      Printf.printf
+        "\n%d faults injected; %d invariant violation(s), %d uncaught \
+         exception(s)/nondeterminism.\n"
+        r.Chaos.Harness.total_faults r.Chaos.Harness.total_violations
+        r.Chaos.Harness.total_uncaught;
+      List.iter
+        (fun v -> Printf.eprintf "violation: %s\n" v)
+        r.Chaos.Harness.violation_examples;
+      let json_ok = write_json out (Chaos.Harness.to_json r) in
+      if json_ok then Printf.printf "Chaos bench written to %s\n" out;
+      if Chaos.Harness.ok r && json_ok then 0 else 1)
+
 let validate () =
   let ok = ref 0 and bad = ref 0 in
   List.iter
@@ -432,6 +512,53 @@ let fleet_cmd =
       const fleet_run $ endpoints $ bug $ all $ trace_out_arg
       $ metrics_out_arg $ obs_summary_arg)
 
+let chaos_cmd =
+  let seeds =
+    Arg.(
+      value & opt int 25
+      & info [ "seeds" ] ~docv:"N" ~doc:"Trials per (bug, fault class).")
+  in
+  let endpoints =
+    Arg.(
+      value & opt int 3
+      & info [ "endpoints" ] ~docv:"E"
+          ~doc:"Simulated endpoints replaying each bug.")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"BUG_ID" ~doc:"Chaos-test one corpus scenario.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Chaos-test every evaluation-set scenario.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"CLASS"
+          ~doc:"Only inject one fault class (e.g. wire-drop).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_chaos.json"
+      & info [ "out" ] ~docv:"FILE.json" ~doc:"Where to write the bench JSON.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Replay corpus bugs through the tracer -> wire -> collector -> \
+          diagnosis pipeline under seeded fault injection (ring corruption, \
+          packet loss/duplication/reordering/bitflips, out-of-order \
+          arrival, endpoint death, clock skew) and check the ingest path's \
+          invariants after every trial; exits non-zero on any invariant \
+          violation or escaped exception")
+    Term.(const chaos_run $ seeds $ endpoints $ bug $ all $ fault $ out)
+
 let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print a corpus program's LIR")
     Term.(const dump_bug $ bug_arg)
@@ -478,8 +605,8 @@ let main_cmd =
          "Lazy Diagnosis of in-production concurrency bugs (SOSP'17 \
           reproduction)")
     [
-      list_cmd; diagnose_cmd; fleet_cmd; dump_cmd; replay_cmd; validate_cmd;
-      experiment_cmd;
+      list_cmd; diagnose_cmd; fleet_cmd; chaos_cmd; dump_cmd; replay_cmd;
+      validate_cmd; experiment_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -28,4 +28,9 @@ echo "$fleet_out" | grep -Eq "violation|deadlock" || {
   exit 1
 }
 
+echo "== chaos gate =="
+# Exit status is the gate: any invariant violation, uncaught exception or
+# nondeterministic replay in the fault-injection sweep fails the build.
+dune exec bin/snorlax.exe -- chaos --seeds 25 --all --out BENCH_chaos.json
+
 echo "check.sh: all green"

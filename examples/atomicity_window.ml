@@ -30,8 +30,11 @@ let () =
         in
         List.iter
           (fun (e : Tp.event) ->
-            Printf.printf "    thread %d executed in [%d, %d] ns\n" e.Tp.tid
-              e.Tp.t_lo e.Tp.t_hi)
+            Printf.printf "    thread %d executed in [%d, %s] ns\n" e.Tp.tid
+              e.Tp.t_lo
+              (match e.Tp.t_hi with
+              | Some hi -> string_of_int hi
+              | None -> "open"))
           last3)
       gt;
     (* Let the full pipeline confirm. *)

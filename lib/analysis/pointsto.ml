@@ -3,8 +3,6 @@
    with load/store/gep constraints re-expanded as pointer points-to sets
    grow (rules (1)-(4) of Figure 3 in the paper). *)
 
-module ISet = Set.Make (Int)
-
 type node = Var of int (* register rid *) | Cell of Memobj.t
 
 module Node = struct
@@ -14,13 +12,25 @@ module Node = struct
 end
 
 module Nmap = Map.Make (Node)
+module Nset = Set.Make (Node)
 
+module Gep_edge = struct
+  type t = int * node (* field, dst *)
+
+  let compare = Stdlib.compare
+end
+
+module Gset = Set.Make (Gep_edge)
+
+(* Edge targets are sets, not lists: membership is checked on every
+   (re-)expansion during solving, and large programs put thousands of
+   targets behind one hub node. *)
 type graph = {
   mutable pts : Memobj.Set.t Nmap.t;
-  mutable copy : node list Nmap.t; (* src -> dsts *)
-  mutable loads : node list Nmap.t; (* ptr -> load dsts *)
-  mutable stores : node list Nmap.t; (* ptr -> stored value nodes *)
-  mutable geps : (int * node) list Nmap.t; (* base -> (field, dst) *)
+  mutable copy : Nset.t Nmap.t; (* src -> dsts *)
+  mutable loads : Nset.t Nmap.t; (* ptr -> load dsts *)
+  mutable stores : Nset.t Nmap.t; (* ptr -> stored value nodes *)
+  mutable geps : Gset.t Nmap.t; (* base -> (field, dst) *)
   mutable iterations : int;
 }
 
@@ -60,10 +70,18 @@ let add_pts g node objs =
   else false
 
 let add_edge map src dst =
-  let cur = find_default !map src ~default:[] in
-  if List.mem dst cur then false
+  let cur = find_default !map src ~default:Nset.empty in
+  if Nset.mem dst cur then false
   else begin
-    map := Nmap.add src (dst :: cur) !map;
+    map := Nmap.add src (Nset.add dst cur) !map;
+    true
+  end
+
+let add_gep_edge map src dst =
+  let cur = find_default !map src ~default:Gset.empty in
+  if Gset.mem dst cur then false
+  else begin
+    map := Nmap.add src (Gset.add dst cur) !map;
     true
   end
 
@@ -113,7 +131,7 @@ let generate_constraints m ~scope g =
                 (fun o -> Memobj.Field (o, field))
                 (Memobj.Set.elements (operand_consts base))));
         match operand_node base with
-        | Some bn -> ignore (add_edge geps bn (field, Var dst.Lir.Value.rid))
+        | Some bn -> ignore (add_gep_edge geps bn (field, Var dst.Lir.Value.rid))
         | None -> ())
       | Lir.Instr.Index { dst; base; _ } ->
         (* Array elements collapse onto the array object. *)
@@ -198,9 +216,9 @@ let solve g pending =
   in
   (* Materializing a copy edge also propagates the source's current set. *)
   let add_copy_edge src dst =
-    let cur = find_default g.copy src ~default:[] in
-    if not (List.mem dst cur) then begin
-      g.copy <- Nmap.add src (dst :: cur) g.copy;
+    let cur = find_default g.copy src ~default:Nset.empty in
+    if not (Nset.mem dst cur) then begin
+      g.copy <- Nmap.add src (Nset.add dst cur) g.copy;
       if add_pts g dst (pts g src) then touch dst
     end
   in
@@ -213,25 +231,25 @@ let solve g pending =
     g.iterations <- g.iterations + 1;
     let objs = pts g n in
     (* Copy edges propagate the whole set. *)
-    List.iter
+    Nset.iter
       (fun dst -> if add_pts g dst objs then touch dst)
-      (find_default g.copy n ~default:[]);
+      (find_default g.copy n ~default:Nset.empty);
     (* Loads: dst includes the contents of every pointee of n. *)
-    List.iter
+    Nset.iter
       (fun dst -> Memobj.Set.iter (fun o -> add_copy_edge (Cell o) dst) objs)
-      (find_default g.loads n ~default:[]);
+      (find_default g.loads n ~default:Nset.empty);
     (* Stores: every pointee's cells include the stored node's set. *)
-    List.iter
+    Nset.iter
       (fun vn -> Memobj.Set.iter (fun o -> add_copy_edge vn (Cell o)) objs)
-      (find_default g.stores n ~default:[]);
+      (find_default g.stores n ~default:Nset.empty);
     (* Geps: field projection of each pointee. *)
-    List.iter
+    Gset.iter
       (fun (field, dst) ->
         let projected =
           Memobj.Set.map (fun o -> Memobj.Field (o, field)) objs
         in
         if add_pts g dst projected then touch dst)
-      (find_default g.geps n ~default:[])
+      (find_default g.geps n ~default:Gset.empty)
   done
 
 let analyze m ~scope =

@@ -1,0 +1,53 @@
+type cls =
+  | Ring_truncate
+  | Ring_overwrite
+  | Wire_drop
+  | Wire_duplicate
+  | Wire_reorder
+  | Wire_bitflip
+  | Success_first
+  | Endpoint_death
+  | Clock_skew
+
+let all =
+  [
+    Ring_truncate;
+    Ring_overwrite;
+    Wire_drop;
+    Wire_duplicate;
+    Wire_reorder;
+    Wire_bitflip;
+    Success_first;
+    Endpoint_death;
+    Clock_skew;
+  ]
+
+let name = function
+  | Ring_truncate -> "ring-truncate"
+  | Ring_overwrite -> "ring-overwrite"
+  | Wire_drop -> "wire-drop"
+  | Wire_duplicate -> "wire-duplicate"
+  | Wire_reorder -> "wire-reorder"
+  | Wire_bitflip -> "wire-bitflip"
+  | Success_first -> "success-first"
+  | Endpoint_death -> "endpoint-death"
+  | Clock_skew -> "clock-skew"
+
+let of_name s = List.find_opt (fun c -> String.equal (name c) s) all
+
+let payload_preserving = function
+  | Wire_drop | Wire_duplicate | Wire_reorder | Success_first | Endpoint_death
+    ->
+    true
+  | Ring_truncate | Ring_overwrite | Wire_bitflip | Clock_skew -> false
+
+let describe = function
+  | Ring_truncate -> "ring snapshot cut short at a random offset"
+  | Ring_overwrite -> "span of ring bytes overwritten with garbage"
+  | Wire_drop -> "packets lost in transit"
+  | Wire_duplicate -> "packets delivered twice"
+  | Wire_reorder -> "packets arrive in arbitrary order"
+  | Wire_bitflip -> "random bits flipped in delivered packets"
+  | Success_first -> "all successes arrive before any failure"
+  | Endpoint_death -> "one endpoint dies mid-stream"
+  | Clock_skew -> "per-endpoint constant clock offset"

@@ -1,0 +1,51 @@
+(** The fault classes the chaos harness injects into the ingest path.
+
+    Each class models one thing that goes wrong between an in-production
+    endpoint and the diagnosis server (ring-buffer hardware limits, a
+    lossy network, dying machines, unsynchronized clocks).  The harness
+    replays corpus bugs through the full tracer -> wire -> collector ->
+    diagnosis pipeline under one class at a time and checks the pipeline's
+    total-ness and accounting invariants after every run. *)
+
+type cls =
+  | Ring_truncate
+      (** a thread's PT ring snapshot is cut short at an arbitrary byte
+          offset — the failure happened before the driver could copy the
+          whole ring *)
+  | Ring_overwrite
+      (** a span of ring bytes is overwritten with garbage — the hardware
+          wrapped mid-copy *)
+  | Wire_drop  (** report packets are lost in transit *)
+  | Wire_duplicate  (** report packets are delivered twice *)
+  | Wire_reorder  (** report packets arrive in arbitrary order *)
+  | Wire_bitflip  (** a delivered packet has random bits flipped *)
+  | Success_first
+      (** every watchpoint success report arrives before any failing
+          report — the order §4.5 never sees in the lab *)
+  | Endpoint_death
+      (** one endpoint dies mid-stream: a suffix of its packets is never
+          sent *)
+  | Clock_skew
+      (** each endpoint's report timestamps carry a constant clock offset
+          — fleets do not share a clock *)
+
+val all : cls list
+(** Every class, in a stable order. *)
+
+val name : cls -> string
+(** Stable kebab-case identifier, e.g. ["wire-drop"] (used in the summary
+    table, BENCH JSON and [--fault] filters). *)
+
+val of_name : string -> cls option
+
+val payload_preserving : cls -> bool
+(** True when the class only loses, repeats or reorders packets without
+    corrupting the content of any packet that does arrive.  For these
+    classes a surviving failing report is byte-identical to the lab run,
+    so the harness additionally requires the diagnosis to rank the true
+    root cause whenever at least one failing report survives.  Content
+    corrupting classes ([Ring_truncate], [Ring_overwrite], [Wire_bitflip],
+    [Clock_skew]) are only required to degrade without crashing. *)
+
+val describe : cls -> string
+(** One-line human description for the summary table. *)

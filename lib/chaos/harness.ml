@@ -1,0 +1,296 @@
+module Core = Snorlax_core
+module Collector = Fleet.Collector
+module Prng = Snorlax_util.Prng
+
+type trial = {
+  cls : Fault.cls;
+  seed : int;
+  bug_id : string;
+  faults : int;
+  packets_sent : int;
+  failing_sent : int;
+  buckets : int;
+  diagnosed : int;
+  rc_matched : int;
+  top_f1 : float;
+  violations : string list;
+  uncaught : string option;
+}
+
+type class_summary = {
+  summary_cls : Fault.cls;
+  trials : int;
+  faults_injected : int;
+  packets_sent : int;
+  violation_count : int;
+  uncaught_count : int;
+  nondeterministic : int;
+  diagnosed_trials : int;
+  rc_matched_trials : int;
+  survival_f1 : float;
+}
+
+type report = {
+  seeds : int;
+  endpoints : int;
+  bug_ids : string list;
+  classes : class_summary list;
+  total_faults : int;
+  total_violations : int;
+  total_uncaught : int;
+  violation_examples : string list;
+}
+
+type baseline = {
+  bug : Corpus.Bug.t;
+  failing : Core.Report.failing_report list;
+  successful : Core.Report.success_report list;
+}
+
+(* One generator per (user seed, class, bug): trials are independent and
+   each is reproducible in isolation. *)
+let trial_prng ~seed ~cls ~bug_id =
+  Prng.create
+    ~seed:((seed * 0x9e3779b1) lxor Hashtbl.hash (Fault.name cls, bug_id))
+
+(* Run the collector + per-bucket diagnosis over one faulty stream.  Any
+   exception escaping this function is a totality violation, caught and
+   recorded by the caller. *)
+let ingest_and_diagnose ~modules ~policy ~cls ~(stream : Inject.stream) =
+  let collector = Collector.create ~policy ~modules () in
+  List.iter
+    (fun p -> ignore (Collector.ingest collector p : (unit, string) result))
+    stream.Inject.packets;
+  let outcomes =
+    List.map
+      (fun b ->
+        let res = Collector.diagnose collector b in
+        let gt = (Collector.built collector b).Corpus.Bug.ground_truth in
+        match res.Core.Diagnosis.top with
+        | None ->
+          { Invariant.diagnosed = false; rc_match = false; f1 = 0.0 }
+        | Some top ->
+          {
+            Invariant.diagnosed = true;
+            rc_match =
+              Core.Accuracy.root_cause_match
+                ~diagnosed:top.Core.Statistics.pattern ~ground_truth:gt;
+            f1 = top.Core.Statistics.f1;
+          })
+      (Collector.buckets collector)
+  in
+  let violations =
+    Invariant.check ~collector ~policy ~cls
+      ~failing_sent:stream.Inject.failing_sent ~outcomes
+  in
+  (outcomes, violations)
+
+let run_trial ~modules ~policy ~endpoints bl cls seed =
+  let prng = trial_prng ~seed ~cls ~bug_id:bl.bug.Corpus.Bug.id in
+  let stream =
+    Inject.build ~prng ~cls ~bug_id:bl.bug.Corpus.Bug.id
+      ~config:Pt.Config.default ~endpoints ~failing:bl.failing
+      ~successful:bl.successful
+  in
+  Obs.Scope.count "chaos/trials" 1;
+  Obs.Scope.count "chaos/faults" stream.Inject.faults;
+  let outcomes, violations, uncaught =
+    match ingest_and_diagnose ~modules ~policy ~cls ~stream with
+    | outcomes, violations -> (outcomes, violations, None)
+    | exception e -> ([], [], Some (Printexc.to_string e))
+  in
+  if violations <> [] then
+    Obs.Scope.count "chaos/violations" (List.length violations);
+  if uncaught <> None then Obs.Scope.count "chaos/uncaught" 1;
+  {
+    cls;
+    seed;
+    bug_id = bl.bug.Corpus.Bug.id;
+    faults = stream.Inject.faults;
+    packets_sent = stream.Inject.packets_sent;
+    failing_sent = stream.Inject.failing_sent;
+    buckets = List.length outcomes;
+    diagnosed =
+      List.length (List.filter (fun o -> o.Invariant.diagnosed) outcomes);
+    rc_matched =
+      List.length (List.filter (fun o -> o.Invariant.rc_match) outcomes);
+    top_f1 =
+      List.fold_left (fun acc o -> Float.max acc o.Invariant.f1) 0.0 outcomes;
+    violations;
+    uncaught;
+  }
+
+(* Everything the fixed-seed determinism invariant compares: the faulty
+   stream, the collector's routing and every bucket's diagnosis must be
+   pure functions of (bug, class, seed). *)
+let observable t =
+  ( t.faults,
+    t.packets_sent,
+    t.failing_sent,
+    t.buckets,
+    t.diagnosed,
+    t.rc_matched,
+    t.top_f1,
+    t.violations,
+    t.uncaught )
+
+let summarize cls trials ~nondeterministic =
+  let with_buckets = List.filter (fun t -> t.buckets > 0) trials in
+  let sum f = List.fold_left (fun acc t -> acc + f t) 0 trials in
+  {
+    summary_cls = cls;
+    trials = List.length trials;
+    faults_injected = sum (fun t -> t.faults);
+    packets_sent = sum (fun t -> t.packets_sent);
+    violation_count = sum (fun t -> List.length t.violations);
+    uncaught_count = sum (fun t -> if t.uncaught = None then 0 else 1);
+    nondeterministic;
+    diagnosed_trials = sum (fun t -> if t.diagnosed > 0 then 1 else 0);
+    rc_matched_trials = sum (fun t -> if t.rc_matched > 0 then 1 else 0);
+    survival_f1 =
+      (match with_buckets with
+      | [] -> 0.0
+      | ts ->
+        List.fold_left (fun acc t -> acc +. t.top_f1) 0.0 ts
+        /. float_of_int (List.length ts));
+  }
+
+let run ?(policy = Collector.default_policy) ?(endpoints = 3)
+    ?(classes = Fault.all) ?(progress = fun _ -> ()) ~seeds bugs =
+  if seeds < 1 then Error "chaos: seeds < 1"
+  else if bugs = [] then Error "chaos: no bugs selected"
+  else if endpoints < 1 then Error "chaos: endpoints < 1"
+  else
+    Obs.Scope.with_span "chaos"
+      ~args:
+        [
+          ("seeds", Obs.Span.Int seeds);
+          ("bugs", Obs.Span.Int (List.length bugs));
+        ]
+    @@ fun () ->
+    let modules = Hashtbl.create 16 in
+    let baselines =
+      List.fold_left
+        (fun acc bug ->
+          match acc with
+          | Error _ as e -> e
+          | Ok bls -> (
+            match Corpus.Runner.collect bug () with
+            | Error msg ->
+              Error
+                (Printf.sprintf "chaos: baseline for %s failed: %s"
+                   bug.Corpus.Bug.id msg)
+            | Ok c ->
+              Ok
+                ({
+                   bug;
+                   failing = c.Corpus.Runner.failing;
+                   successful = c.Corpus.Runner.successful;
+                 }
+                :: bls)))
+        (Ok []) bugs
+    in
+    match baselines with
+    | Error _ as e -> e
+    | Ok baselines_rev ->
+      let baselines = List.rev baselines_rev in
+      let nondet = Hashtbl.create 8 in
+      let trials_by_class = Hashtbl.create 8 in
+      List.iter
+        (fun bl ->
+          List.iter
+            (fun cls ->
+              let trials =
+                List.init seeds (fun seed ->
+                    run_trial ~modules ~policy ~endpoints bl cls seed)
+              in
+              (* Fixed-seed determinism: the first seed, replayed. *)
+              let again = run_trial ~modules ~policy ~endpoints bl cls 0 in
+              if observable again <> observable (List.hd trials) then
+                Hashtbl.replace nondet cls
+                  (1
+                  + Option.value ~default:0 (Hashtbl.find_opt nondet cls));
+              Hashtbl.replace trials_by_class cls
+                (Option.value ~default:[]
+                   (Hashtbl.find_opt trials_by_class cls)
+                @ trials))
+            classes;
+          progress
+            (Printf.sprintf "%s: %d trials across %d fault classes"
+               bl.bug.Corpus.Bug.id
+               (seeds * List.length classes)
+               (List.length classes)))
+        baselines;
+      let summaries =
+        List.map
+          (fun cls ->
+            summarize cls
+              (Option.value ~default:[] (Hashtbl.find_opt trials_by_class cls))
+              ~nondeterministic:
+                (Option.value ~default:0 (Hashtbl.find_opt nondet cls)))
+          classes
+      in
+      let all_trials =
+        List.concat_map
+          (fun cls ->
+            Option.value ~default:[] (Hashtbl.find_opt trials_by_class cls))
+          classes
+      in
+      let examples =
+        List.filteri
+          (fun i _ -> i < 5)
+          (List.concat_map (fun t -> t.violations) all_trials
+          @ List.filter_map (fun t -> t.uncaught) all_trials)
+      in
+      Ok
+        {
+          seeds;
+          endpoints;
+          bug_ids = List.map (fun bl -> bl.bug.Corpus.Bug.id) baselines;
+          classes = summaries;
+          total_faults =
+            List.fold_left (fun a s -> a + s.faults_injected) 0 summaries;
+          total_violations =
+            List.fold_left (fun a s -> a + s.violation_count) 0 summaries;
+          total_uncaught =
+            List.fold_left
+              (fun a s -> a + s.uncaught_count + s.nondeterministic)
+              0 summaries;
+          violation_examples = examples;
+        }
+
+let ok r = r.total_violations = 0 && r.total_uncaught = 0
+
+let to_json r =
+  let open Obs.Json in
+  Obj
+    [
+      ("bench", String "chaos");
+      ("seeds", Int r.seeds);
+      ("endpoints", Int r.endpoints);
+      ("bugs", List (List.map (fun id -> String id) r.bug_ids));
+      ( "classes",
+        List
+          (List.map
+             (fun s ->
+               Obj
+                 [
+                   ("class", String (Fault.name s.summary_cls));
+                   ( "payload_preserving",
+                     Bool (Fault.payload_preserving s.summary_cls) );
+                   ("trials", Int s.trials);
+                   ("faults_injected", Int s.faults_injected);
+                   ("packets_sent", Int s.packets_sent);
+                   ("invariant_violations", Int s.violation_count);
+                   ("uncaught_exceptions", Int s.uncaught_count);
+                   ("nondeterministic", Int s.nondeterministic);
+                   ("diagnosed_trials", Int s.diagnosed_trials);
+                   ("root_cause_matched_trials", Int s.rc_matched_trials);
+                   ("survival_f1", Float s.survival_f1);
+                 ])
+             r.classes) );
+      ("total_faults_injected", Int r.total_faults);
+      ("total_invariant_violations", Int r.total_violations);
+      ("total_uncaught_exceptions", Int r.total_uncaught);
+      ("ok", Bool (ok r));
+    ]

@@ -1,0 +1,203 @@
+module Report = Snorlax_core.Report
+module Prng = Snorlax_util.Prng
+module Wire = Fleet.Wire
+
+type stream = {
+  packets : bytes list;
+  faults : int;
+  packets_sent : int;
+  failing_sent : int;
+}
+
+type kind = F | S
+
+(* --- report-content mutations -------------------------------------- *)
+
+(* Each ring snapshot is hit with probability 1/2, so most reports are
+   damaged somewhere but rarely everywhere — the interesting regime for
+   graceful degradation. *)
+let hit_p = 0.5
+
+(* Per-packet probability for the lossy-wire classes. *)
+let wire_p = 0.3
+
+let truncate_ring prng faults (tid, ring) =
+  let len = Bytes.length ring in
+  if len = 0 || not (Prng.chance prng ~p:hit_p) then (tid, ring)
+  else begin
+    incr faults;
+    (tid, Bytes.sub ring 0 (Prng.int prng ~bound:len))
+  end
+
+let overwrite_ring prng faults (tid, ring) =
+  let len = Bytes.length ring in
+  if len = 0 || not (Prng.chance prng ~p:hit_p) then (tid, ring)
+  else begin
+    incr faults;
+    let ring = Bytes.copy ring in
+    let start = Prng.int prng ~bound:len in
+    let span = 1 + Prng.int prng ~bound:(min 16 (len - start)) in
+    for i = start to start + span - 1 do
+      Bytes.set ring i (Char.chr (Prng.int prng ~bound:256))
+    done;
+    (tid, ring)
+  end
+
+let mutate_rings cls prng faults traces =
+  match (cls : Fault.cls) with
+  | Fault.Ring_truncate -> List.map (truncate_ring prng faults) traces
+  | Fault.Ring_overwrite -> List.map (overwrite_ring prng faults) traces
+  | _ -> traces
+
+(* The wire format carries unsigned times; a skewed clock cannot make a
+   timestamp negative, only early. *)
+let skew_time off t = max 0 (t + off)
+
+(* --- stream assembly ------------------------------------------------ *)
+
+let build ~prng ~cls ~bug_id ~config ~endpoints ~failing ~successful =
+  if endpoints < 1 then invalid_arg "Inject.build: endpoints < 1";
+  let faults = ref 0 in
+  let streams =
+    Array.init endpoints (fun e ->
+        let skew =
+          match cls with
+          | Fault.Clock_skew ->
+            let off = Prng.in_range prng ~lo:(-1_000_000) ~hi:1_000_000 in
+            if off <> 0 then incr faults;
+            off
+          | _ -> 0
+        in
+        let envelope payload =
+          { Wire.endpoint = e; seed = e + 1; bug_id; config; payload }
+        in
+        let failing_pkts =
+          List.map
+            (fun (r : Report.failing_report) ->
+              let r =
+                { r with Report.traces = mutate_rings cls prng faults r.traces }
+              in
+              let r =
+                if skew = 0 then r
+                else
+                  {
+                    r with
+                    Report.failure_time_ns =
+                      skew_time skew r.Report.failure_time_ns;
+                  }
+              in
+              (F, Wire.encode (envelope (Wire.Failing r))))
+            failing
+        in
+        let success_pkts =
+          List.map
+            (fun (r : Report.success_report) ->
+              let r =
+                {
+                  r with
+                  Report.s_traces = mutate_rings cls prng faults r.s_traces;
+                }
+              in
+              let r =
+                if skew = 0 then r
+                else
+                  {
+                    r with
+                    Report.trigger_time_ns =
+                      skew_time skew r.Report.trigger_time_ns;
+                  }
+              in
+              (S, Wire.encode (envelope (Wire.Success r))))
+            successful
+        in
+        failing_pkts @ success_pkts)
+  in
+  (* Endpoint death: a suffix of one endpoint's stream never leaves the
+     machine (the prefix length is uniform in [0, n-1], so at least one
+     packet is always lost). *)
+  (match cls with
+  | Fault.Endpoint_death ->
+    let e = Prng.int prng ~bound:endpoints in
+    let s = streams.(e) in
+    let n = List.length s in
+    if n > 0 then begin
+      let keep = Prng.int prng ~bound:n in
+      faults := !faults + (n - keep);
+      streams.(e) <- List.filteri (fun i _ -> i < keep) s
+    end
+  | _ -> ());
+  (* Round-robin interleave simulates concurrent endpoint arrival. *)
+  let arrival =
+    let q = Array.map (fun l -> ref l) streams in
+    let out = ref [] in
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      Array.iter
+        (fun r ->
+          match !r with
+          | [] -> ()
+          | p :: rest ->
+            out := p :: !out;
+            r := rest;
+            progressed := true)
+        q
+    done;
+    List.rev !out
+  in
+  (* Wire-level faults act on the interleaved arrival stream. *)
+  let arrival =
+    match cls with
+    | Fault.Wire_drop ->
+      List.filter
+        (fun _ ->
+          if Prng.chance prng ~p:wire_p then begin
+            incr faults;
+            false
+          end
+          else true)
+        arrival
+    | Fault.Wire_duplicate ->
+      List.concat_map
+        (fun p ->
+          if Prng.chance prng ~p:wire_p then begin
+            incr faults;
+            [ p; p ]
+          end
+          else [ p ])
+        arrival
+    | Fault.Wire_reorder ->
+      let a = Array.of_list arrival in
+      let before = Array.copy a in
+      Prng.shuffle prng a;
+      Array.iteri (fun i x -> if not (x == before.(i)) then incr faults) a;
+      Array.to_list a
+    | Fault.Wire_bitflip ->
+      List.map
+        (fun ((k, b) as p) ->
+          if Bytes.length b > 0 && Prng.chance prng ~p:wire_p then begin
+            incr faults;
+            let b = Bytes.copy b in
+            let pos = Prng.int prng ~bound:(Bytes.length b) in
+            let bit = Prng.int prng ~bound:8 in
+            Bytes.set b pos
+              (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+            (k, b)
+          end
+          else p)
+        arrival
+    | Fault.Success_first ->
+      let succ, fail = List.partition (fun (k, _) -> k = S) arrival in
+      faults := !faults + List.length succ;
+      succ @ fail
+    | Fault.Ring_truncate | Fault.Ring_overwrite | Fault.Endpoint_death
+    | Fault.Clock_skew ->
+      arrival
+  in
+  {
+    packets = List.map snd arrival;
+    faults = !faults;
+    packets_sent = List.length arrival;
+    failing_sent =
+      List.length (List.filter (fun (k, _) -> k = F) arrival);
+  }

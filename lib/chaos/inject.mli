@@ -1,0 +1,34 @@
+(** Turn one reproduced bug into a faulty fleet packet stream.
+
+    The harness reproduces each corpus bug once (in the lab, no faults),
+    then replays the same failing/success reports as if [endpoints]
+    identical machines had hit the bug, injecting exactly one
+    {!Fault.cls} into the replay.  Ring and clock faults mutate report
+    content before encoding; wire faults mutate the encoded packet
+    stream; ordering faults permute arrival.  Everything is a pure
+    function of the given generator, so one seed reproduces one trial. *)
+
+type stream = {
+  packets : bytes list;  (** arrival order at the collector *)
+  faults : int;  (** mutation events performed (0 when nothing fired) *)
+  packets_sent : int;  (** [List.length packets] *)
+  failing_sent : int;
+      (** failing-report packets present in [packets], duplicates
+          included — the graceful-degradation invariant keys off whether
+          any failing report survived the faults *)
+}
+
+val build :
+  prng:Snorlax_util.Prng.t ->
+  cls:Fault.cls ->
+  bug_id:string ->
+  config:Pt.Config.t ->
+  endpoints:int ->
+  failing:Snorlax_core.Report.failing_report list ->
+  successful:Snorlax_core.Report.success_report list ->
+  stream
+(** Requires [endpoints >= 1].  Every endpoint ships the same baseline
+    reports (failing first, like {!Fleet.Endpoint.run}); streams are
+    interleaved round-robin to simulate concurrent arrival, then the
+    fault class is applied.  Clock skew clamps shifted timestamps at 0
+    (the wire format carries unsigned times). *)

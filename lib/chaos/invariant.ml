@@ -1,0 +1,65 @@
+module Collector = Fleet.Collector
+
+type outcome = { diagnosed : bool; rc_match : bool; f1 : float }
+
+let check ~collector ~(policy : Collector.policy) ~cls ~failing_sent ~outcomes
+    =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
+  let totals = Collector.totals collector in
+  let buckets = Collector.buckets collector in
+  (* 1. Counters reconcile. *)
+  let seen =
+    List.fold_left
+      (fun acc (b : Collector.bucket) ->
+        acc + b.Collector.failing_seen + b.Collector.success_seen)
+      0 buckets
+  in
+  let accounted =
+    totals.Collector.decode_errors + seen + totals.Collector.unrouted
+    + totals.Collector.pending_dropped
+  in
+  if totals.Collector.received <> accounted then
+    add
+      "counters do not reconcile: received %d <> %d (= %d rejected + %d seen \
+       + %d pending + %d evicted)"
+      totals.Collector.received accounted totals.Collector.decode_errors seen
+      totals.Collector.unrouted totals.Collector.pending_dropped;
+  (* 2. Memory bounded. *)
+  List.iter
+    (fun (b : Collector.bucket) ->
+      if Collector.failing_kept b > policy.Collector.max_failing then
+        add "bucket %s keeps %d failing reports (cap %d)"
+          (Fleet.Signature.to_string b.Collector.signature)
+          (Collector.failing_kept b) policy.Collector.max_failing;
+      if Collector.success_kept b > policy.Collector.max_success then
+        add "bucket %s keeps %d success reports (cap %d)"
+          (Fleet.Signature.to_string b.Collector.signature)
+          (Collector.success_kept b) policy.Collector.max_success)
+    buckets;
+  List.iter
+    (fun (bug_id, held) ->
+      if held > policy.Collector.max_pending then
+        add "pending pool for %s holds %d reports (cap %d)" bug_id held
+          policy.Collector.max_pending)
+    (Collector.pending_pools collector);
+  (* 3. Graceful degradation. *)
+  if failing_sent = 0 then begin
+    if buckets <> [] then
+      add "%d bucket(s) exist although no failing report was delivered"
+        (List.length buckets)
+  end
+  else if Fault.payload_preserving cls then begin
+    (* Surviving failing reports are byte-identical to the lab run: they
+       must bucket, and their diagnosis must rank the true root cause. *)
+    if buckets = [] then
+      add "no bucket although %d intact failing report(s) arrived"
+        failing_sent
+    else if not (List.exists (fun o -> o.diagnosed && o.rc_match) outcomes)
+    then
+      add
+        "true root cause not ranked although %d intact failing report(s) \
+         arrived"
+        failing_sent
+  end;
+  List.rev !violations

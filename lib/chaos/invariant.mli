@@ -1,0 +1,33 @@
+(** Machine-checkable invariants of the ingest path, evaluated after one
+    chaos trial.  A violation is a human-readable sentence; an empty list
+    means the pipeline held up under the injected faults.
+
+    The checks, mirroring ISSUE/DESIGN:
+    - counters reconcile: every packet the collector received is
+      accounted for exactly once (rejected, seen by a bucket, still
+      pending, or evicted from the pending pool);
+    - memory bounded: per-bucket kept reports respect the sampling
+      policy, every pending pool respects [max_pending];
+    - graceful degradation: under a payload-preserving fault class, at
+      least one surviving failing report must produce a bucket whose
+      diagnosis ranks the true root cause, and zero surviving failing
+      reports must leave zero buckets (never a crash).
+
+    Exception totality and fixed-seed determinism are enforced by the
+    {!Harness}, which owns the trial loop. *)
+
+type outcome = {
+  diagnosed : bool;  (** the bucket's diagnosis produced a top pattern *)
+  rc_match : bool;  (** ... and it matches the bug's ground truth *)
+  f1 : float;  (** top pattern's F1, 0 when none *)
+}
+(** Per-bucket diagnosis outcome, computed by the harness. *)
+
+val check :
+  collector:Fleet.Collector.t ->
+  policy:Fleet.Collector.policy ->
+  cls:Fault.cls ->
+  failing_sent:int ->
+  outcomes:outcome list ->
+  string list
+(** [outcomes] has one entry per bucket, in bucket creation order. *)

@@ -1,10 +1,13 @@
+(* [t_hi = None] mirrors the decoder's open upper bound: the trace ended
+   before a later clock reading, so the event is unordered against any
+   later event on another thread. *)
 type event = {
   tid : int;
   seq : int;
   iid : int;
   pc : int;
   t_lo : int;
-  t_hi : int;
+  t_hi : int option;
 }
 
 module Iset = Set.Make (Int)
@@ -65,7 +68,8 @@ let process m ~config ?(fail_tails = []) traces =
   }
 
 let executes_before a b =
-  if a.tid = b.tid then a.seq < b.seq else a.t_hi < b.t_lo
+  if a.tid = b.tid then a.seq < b.seq
+  else match a.t_hi with Some hi -> hi < b.t_lo | None -> false
 
 let instances t ~iid =
   Option.value ~default:[] (Hashtbl.find_opt t.events_by_iid iid)

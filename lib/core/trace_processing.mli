@@ -9,7 +9,10 @@ type event = {
   iid : int;
   pc : int;
   t_lo : int;
-  t_hi : int;
+  t_hi : int option;
+      (** [None] is the decoder's open upper bound: the trace ended before
+          a later clock reading, so the event is unordered against later
+          events on other threads *)
 }
 
 module Iset : Set.S with type elt = int

@@ -1,23 +1,27 @@
 module Report = Snorlax_core.Report
 
-type policy = { max_failing : int; max_success : int }
+type policy = { max_failing : int; max_success : int; max_pending : int }
 
-let default_policy = { max_failing = 4; max_success = 40 }
+let default_policy = { max_failing = 4; max_success = 40; max_pending = 64 }
 
 type bucket = {
   signature : Signature.t;
   config : Pt.Config.t;
   watch_pcs : int list;
   mutable endpoints : int list;
-  mutable failing : Report.failing_report list;
-  mutable successful : Report.success_report list;
+  (* Kept reports are consed on (newest first) so ingest stays O(1) per
+     packet; [failing]/[successful] reverse them back to arrival order. *)
+  mutable failing_rev : Report.failing_report list;
+  mutable successful_rev : Report.success_report list;
   mutable failing_seen : int;
   mutable success_seen : int;
   mutable wire_bytes : int;
 }
 
-let failing_kept b = List.length b.failing
-let success_kept b = List.length b.successful
+let failing b = List.rev b.failing_rev
+let successful b = List.rev b.successful_rev
+let failing_kept b = List.length b.failing_rev
+let success_kept b = List.length b.successful_rev
 let failing_dropped b = b.failing_seen - failing_kept b
 let success_dropped b = b.success_seen - success_kept b
 
@@ -28,6 +32,7 @@ type totals = {
   failing_received : int;
   success_received : int;
   unrouted : int;
+  pending_dropped : int;
 }
 
 type pending_success = {
@@ -41,18 +46,21 @@ type t = {
   modules : (string, Corpus.Bug.built) Hashtbl.t;  (* bug id -> server build *)
   mutable bucket_list : bucket list;  (* newest first *)
   by_key : (string, bucket) Hashtbl.t;
-  pending : (string, pending_success list) Hashtbl.t;  (* bug id -> held *)
+  pending : (string, pending_success list) Hashtbl.t;
+      (* bug id -> held, newest first *)
   mutable received : int;
   mutable total_wire_bytes : int;
   mutable decode_errors : int;
   mutable failing_received : int;
   mutable success_received : int;
+  mutable pending_dropped : int;
 }
 
-let create ?(policy = default_policy) () =
+let create ?(policy = default_policy) ?(modules = Hashtbl.create 8) () =
+  if policy.max_pending < 0 then invalid_arg "Collector.create: max_pending < 0";
   {
     policy;
-    modules = Hashtbl.create 8;
+    modules;
     bucket_list = [];
     by_key = Hashtbl.create 16;
     pending = Hashtbl.create 8;
@@ -61,6 +69,7 @@ let create ?(policy = default_policy) () =
     decode_errors = 0;
     failing_received = 0;
     success_received = 0;
+    pending_dropped = 0;
   }
 
 let built_for t bug_id =
@@ -84,7 +93,7 @@ let keep_success t b endpoint (r : Report.success_report) nbytes =
   b.wire_bytes <- b.wire_bytes + nbytes;
   note_endpoint b endpoint;
   if success_kept b < t.policy.max_success then begin
-    b.successful <- b.successful @ [ r ];
+    b.successful_rev <- r :: b.successful_rev;
     Obs.Scope.count "fleet/success_kept" 1
   end
   else Obs.Scope.count "fleet/success_dropped" 1
@@ -107,13 +116,30 @@ let route_success t bug_id endpoint (r : Report.success_report) nbytes =
     true
   | [] -> false
 
+(* Held successes are capped per bug: a fleet that only ever reports
+   successes for some bug id (its failure never arrives, or the trigger
+   pc matches no bucket) must not grow the pending pool without bound.
+   Newest reports win — on overflow the oldest held entry is evicted,
+   mirroring a ring buffer at the endpoint. *)
 let hold_success t bug_id endpoint r nbytes =
   let held = Option.value ~default:[] (Hashtbl.find_opt t.pending bug_id) in
-  Hashtbl.replace t.pending bug_id
-    (held @ [ { p_endpoint = endpoint; p_report = r; p_bytes = nbytes } ])
+  let held = { p_endpoint = endpoint; p_report = r; p_bytes = nbytes } :: held in
+  let held =
+    let n = List.length held in
+    if n <= t.policy.max_pending then held
+    else begin
+      let evicted = n - t.policy.max_pending in
+      t.pending_dropped <- t.pending_dropped + evicted;
+      Obs.Scope.count "fleet/pending_dropped" evicted;
+      List.filteri (fun i _ -> i < t.policy.max_pending) held
+    end
+  in
+  if held = [] then Hashtbl.remove t.pending bug_id
+  else Hashtbl.replace t.pending bug_id held
 
 (* A new bucket may claim successes that arrived before its first
-   failing report. *)
+   failing report.  Held lists are newest first; route in arrival
+   order so kept-first-K sampling sees the fleet's true order. *)
 let drain_pending t bug_id =
   match Hashtbl.find_opt t.pending bug_id with
   | None -> ()
@@ -122,10 +148,10 @@ let drain_pending t bug_id =
       List.filter
         (fun p ->
           not (route_success t bug_id p.p_endpoint p.p_report p.p_bytes))
-        held
+        (List.rev held)
     in
     if leftover = [] then Hashtbl.remove t.pending bug_id
-    else Hashtbl.replace t.pending bug_id leftover
+    else Hashtbl.replace t.pending bug_id (List.rev leftover)
 
 let ingest_failing t ~bug_id ~endpoint ~config ~nbytes
     (r : Report.failing_report) =
@@ -147,8 +173,8 @@ let ingest_failing t ~bug_id ~endpoint ~config ~nbytes
               config;
               watch_pcs = Corpus.Runner.watch_pcs_for m r;
               endpoints = [];
-              failing = [];
-              successful = [];
+              failing_rev = [];
+              successful_rev = [];
               failing_seen = 0;
               success_seen = 0;
               wire_bytes = 0;
@@ -164,7 +190,7 @@ let ingest_failing t ~bug_id ~endpoint ~config ~nbytes
       b.wire_bytes <- b.wire_bytes + nbytes;
       note_endpoint b endpoint;
       if failing_kept b < t.policy.max_failing then begin
-        b.failing <- b.failing @ [ r ];
+        b.failing_rev <- r :: b.failing_rev;
         Obs.Scope.count "fleet/failing_kept" 1
       end
       else Obs.Scope.count "fleet/failing_dropped" 1;
@@ -205,6 +231,11 @@ let ingest t packet =
 
 let buckets t = List.rev t.bucket_list
 
+let pending_pools t =
+  Hashtbl.fold
+    (fun bug_id held acc -> (bug_id, List.length held) :: acc)
+    t.pending []
+
 let totals t =
   let unrouted =
     Hashtbl.fold (fun _ held acc -> acc + List.length held) t.pending 0
@@ -216,6 +247,7 @@ let totals t =
     failing_received = t.failing_received;
     success_received = t.success_received;
     unrouted;
+    pending_dropped = t.pending_dropped;
   }
 
 let built t b =
@@ -228,5 +260,5 @@ let built t b =
 let diagnose t b =
   Obs.Scope.timed "fleet/diagnosis_ns" @@ fun () ->
   let m = (built t b).Corpus.Bug.m in
-  Snorlax_core.Diagnosis.diagnose m ~config:b.config ~failing:b.failing
-    ~successful:b.successful
+  Snorlax_core.Diagnosis.diagnose m ~config:b.config ~failing:(failing b)
+    ~successful:(successful b)

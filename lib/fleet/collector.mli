@@ -11,11 +11,15 @@
 type policy = {
   max_failing : int;  (** failing reports kept per bucket (first come) *)
   max_success : int;  (** successful reports kept per bucket *)
+  max_pending : int;
+      (** success reports held per bug while no bucket claims them; on
+          overflow the oldest held entry is evicted (counted in
+          {!totals.pending_dropped}) *)
 }
 
 val default_policy : policy
 (** 4 failing + 40 successful — the paper's 10x successful-trace cap,
-    applied per bucket instead of per client. *)
+    applied per bucket instead of per client — and 64 pending. *)
 
 type bucket = {
   signature : Signature.t;
@@ -26,13 +30,20 @@ type bucket = {
       (** failing pc + predecessor-block entries — the watchpoint set
           endpoints collect successes at, used to route them here *)
   mutable endpoints : int list;  (** distinct endpoints, newest first *)
-  mutable failing : Snorlax_core.Report.failing_report list;
-      (** kept reports, arrival order *)
-  mutable successful : Snorlax_core.Report.success_report list;
+  mutable failing_rev : Snorlax_core.Report.failing_report list;
+      (** kept reports, newest first (ingest conses); read through
+          {!failing} for arrival order *)
+  mutable successful_rev : Snorlax_core.Report.success_report list;
   mutable failing_seen : int;  (** including dropped *)
   mutable success_seen : int;
   mutable wire_bytes : int;  (** encoded size of every packet routed here *)
 }
+
+val failing : bucket -> Snorlax_core.Report.failing_report list
+(** Kept failing reports in arrival order. *)
+
+val successful : bucket -> Snorlax_core.Report.success_report list
+(** Kept success reports in arrival order. *)
 
 val failing_kept : bucket -> int
 val success_kept : bucket -> int
@@ -48,11 +59,19 @@ type totals = {
   unrouted : int;
       (** success reports no bucket claimed — their failure was never
           reported, or their trigger pc matches no bucket's watch set *)
+  pending_dropped : int;
+      (** held successes evicted when a bug's pending pool overflowed
+          [policy.max_pending] *)
 }
 
 type t
 
-val create : ?policy:policy -> unit -> t
+val create :
+  ?policy:policy -> ?modules:(string, Corpus.Bug.built) Hashtbl.t -> unit -> t
+(** Raises [Invalid_argument] when [policy.max_pending < 0].  [modules]
+    shares one server-build cache across collectors — harnesses that
+    create many short-lived collectors for the same bugs (e.g. chaos
+    trials) would otherwise rebuild every scenario binary per trial. *)
 
 val ingest : t -> bytes -> (unit, string) result
 (** Decode one wire packet and route it.  [Error] on malformed input or
@@ -62,6 +81,10 @@ val ingest : t -> bytes -> (unit, string) result
 
 val buckets : t -> bucket list
 (** In creation order. *)
+
+val pending_pools : t -> (string * int) list
+(** (bug id, held count) for every non-empty pending pool, in no
+    particular order — each count is at most [policy.max_pending]. *)
 
 val totals : t -> totals
 (** [unrouted] counts the still-pending successes, so call it after the

@@ -1,4 +1,9 @@
-type step = { pc : int; iid : int; t_lo : int; t_hi : int }
+(* [t_hi = None] is an open upper bound: the ring ended before any later
+   timing packet, so the event is only known to happen at or after
+   [t_lo].  Keeping the open end explicit (rather than a max_int
+   sentinel) makes window arithmetic such as [t_hi - t_lo] total for
+   consumers. *)
+type step = { pc : int; iid : int; t_lo : int; t_hi : int option }
 
 type result = { steps : step list; lost_bytes : int; desynced : bool }
 
@@ -52,13 +57,13 @@ let timestamp_packets config packets =
     | Packet.Psb _ | Packet.Tma _ | Packet.Mtc _ | Packet.Cyc _ -> true
     | Packet.Fup _ | Packet.Tip _ | Packet.Tip_end | Packet.Tnt _ -> false
   in
-  let hi = Array.make n max_int in
-  let next_known = ref max_int in
+  let hi = Array.make n None in
+  let next_known = ref None in
   for i = n - 1 downto 0 do
     hi.(i) <-
-      (if i > 0 && is_timing (i - 1) && exact.(i - 1) then lo.(i)
+      (if i > 0 && is_timing (i - 1) && exact.(i - 1) then Some lo.(i)
        else !next_known);
-    if is_timing i then next_known := lo.(i)
+    if is_timing i then next_known := Some lo.(i)
   done;
   List.init n (fun i -> (fst arr.(i), lo.(i), hi.(i)))
 
@@ -208,11 +213,16 @@ let decode m ~config ?tail_stop snapshot =
        List.iter feed packets;
        match tail_stop with
        | Some (stop_pc, t_hi) when w.cur_pc <> -1 ->
-         walk_tail w ~stop_pc ~t_hi
+         (* The tail ends at the failure, whose time is known. *)
+         walk_tail w ~stop_pc ~t_hi:(Some t_hi)
        | Some _ | None -> ()
      with
     | Desync _ -> desynced := true
-    | Thread_end -> ended := true);
+    | Thread_end -> ended := true
+    (* A corrupted TIP/FUP packet can carry a pc that maps to no
+       instruction; Irmod lookups raise Not_found.  Untrusted ring
+       bytes must degrade to a desync, not an escape. *)
+    | Not_found -> desynced := true);
     ignore !ended;
     record_metrics
       { steps = List.rev w.steps_rev; lost_bytes = sync_pos; desynced = !desynced }

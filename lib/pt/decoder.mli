@@ -12,7 +12,10 @@ type step = {
   pc : int;
   iid : int;
   t_lo : int;  (** ns; the instruction executed no earlier than this *)
-  t_hi : int;  (** ns; and no later than this ([max_int] when unbounded) *)
+  t_hi : int option;
+      (** ns; and no later than this.  [None] is an open upper bound: the
+          ring ended before any later timing packet, so window arithmetic
+          like [t_hi - t_lo] never has to touch a sentinel value. *)
 }
 
 type result = {

@@ -91,15 +91,7 @@ let decode_one b pos =
       | Some (delta, next) -> Some (Cyc { delta }, next)
     else invalid_arg (Printf.sprintf "Packet.decode: bad header 0x%x" hdr)
 
-let decode_stream b ~pos =
-  let rec go pos acc =
-    match decode_one b pos with
-    | None -> List.rev acc
-    | Some (p, next) -> go next ((p, pos) :: acc)
-  in
-  go pos []
-
-let scan_psb b ~pos =
+let scan_psb_from b pos =
   let len = Bytes.length b in
   let rec go p =
     if p + 1 >= len then None
@@ -110,6 +102,23 @@ let scan_psb b ~pos =
     else go (p + 1)
   in
   go pos
+
+let scan_psb b ~pos = scan_psb_from b pos
+
+let decode_stream b ~pos =
+  let rec go pos acc =
+    match decode_one b pos with
+    | None -> List.rev acc
+    | Some (p, next) -> go next ((p, pos) :: acc)
+    | exception Invalid_argument _ -> (
+      (* Corrupted byte where a header should be.  Ring bytes are
+         untrusted in-production input, so skip forward to the next PSB
+         and resume there rather than raising. *)
+      match scan_psb_from b (pos + 1) with
+      | Some next -> go next acc
+      | None -> List.rev acc)
+  in
+  go pos []
 
 let to_string = function
   | Psb { tsc } -> Printf.sprintf "PSB tsc=%d" tsc

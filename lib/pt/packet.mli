@@ -25,8 +25,9 @@ val encode : Buffer.t -> t -> unit
 val decode_stream : bytes -> pos:int -> (t * int) list
 (** Parse consecutive packets starting at [pos] (which must be a packet
     boundary) until the end of the buffer; each packet is paired with its
-    start offset.  A truncated final packet is dropped.  Raises
-    [Invalid_argument] on a malformed header at a supposed boundary. *)
+    start offset.  A truncated final packet is dropped.  A malformed
+    header at a supposed boundary resynchronizes at the next PSB (the
+    bytes in between are lost); decoding never raises. *)
 
 val scan_psb : bytes -> pos:int -> int option
 (** Offset of the first PSB at or after [pos], or [None]. *)

@@ -10,11 +10,14 @@ let stddev xs =
     let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
     sqrt var
 
-let geomean = function
+(* Geometric mean of the positive samples.  Non-positive inputs (a
+   zero-duration measurement, a clock that stepped backwards) have no
+   logarithm; they are skipped rather than crashing the caller, and a
+   list with no positive sample yields 0.0 like the empty list. *)
+let geomean xs =
+  match List.filter (fun x -> x > 0.0) xs with
   | [] -> 0.0
-  | xs ->
-    let logs = List.map (fun x -> assert (x > 0.0); log x) xs in
-    exp (mean logs)
+  | positives -> exp (mean (List.map log positives))
 
 let min_max = function
   | [] -> invalid_arg "Stats.min_max: empty"

@@ -9,7 +9,9 @@ val stddev : float list -> float
 (** Population standard deviation; 0 on lists shorter than 2. *)
 
 val geomean : float list -> float
-(** Geometric mean of positive values; 0 on the empty list. *)
+(** Geometric mean of the positive samples; non-positive inputs (e.g. a
+    zero-duration measurement) are skipped, and a list with no positive
+    sample — including [] — yields 0. *)
 
 val min_max : float list -> float * float
 (** Smallest and largest element.  Raises [Invalid_argument] on []. *)

@@ -15,7 +15,7 @@ let tp_of_events events =
   let by_iid = Hashtbl.create 16 in
   List.iter
     (fun (tid, seq, iid, t_lo, t_hi) ->
-      let e = { Tp.tid; seq; iid; pc = iid * 4; t_lo; t_hi } in
+      let e = { Tp.tid; seq; iid; pc = iid * 4; t_lo; t_hi = Some t_hi } in
       let cur = Option.value ~default:[] (Hashtbl.find_opt by_iid iid) in
       Hashtbl.replace by_iid iid (cur @ [ e ]))
     events;
@@ -30,7 +30,7 @@ let tp_of_events events =
       Array.of_list
         (List.map
            (fun (tid, seq, iid, t_lo, t_hi) ->
-             { Tp.tid; seq; iid; pc = iid * 4; t_lo; t_hi })
+             { Tp.tid; seq; iid; pc = iid * 4; t_lo; t_hi = Some t_hi })
            events);
     events_by_iid = by_iid;
     lost_bytes = 0;

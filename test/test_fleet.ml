@@ -246,7 +246,7 @@ let test_collector_sampling () =
   let failing = List.hd c.Corpus.Runner.failing in
   let t =
     Collector.create
-      ~policy:{ Collector.max_failing = 1; max_success = 1 }
+      ~policy:{ Collector.max_failing = 1; max_success = 1; max_pending = 64 }
       ()
   in
   for e = 0 to 3 do
@@ -299,6 +299,131 @@ let test_collector_rejects_garbage () =
   Alcotest.(check int) "received counted" 1 (Collector.totals t).Collector.received;
   Alcotest.(check int) "decode error counted" 1
     (Collector.totals t).Collector.decode_errors
+
+let test_collector_pending_pool_bounded () =
+  (* Successes that never route (no bucket ever matches their trigger pc)
+     must not accumulate forever: the pending pool is capped per bug. *)
+  let t = Collector.create () in
+  for i = 1 to 200 do
+    ship t
+      (real_envelope ~endpoint:(i mod 7)
+         (Wire.Success { success_report with Report.trigger_time_ns = i }))
+  done;
+  let totals = Collector.totals t in
+  let cap = Collector.default_policy.Collector.max_pending in
+  Alcotest.(check int)
+    (Printf.sprintf "pending pool bounded (%d held)" totals.Collector.unrouted)
+    cap totals.Collector.unrouted;
+  Alcotest.(check int) "evictions counted" (200 - cap)
+    totals.Collector.pending_dropped;
+  Alcotest.(check int) "all 200 still counted as received" 200
+    totals.Collector.success_received
+
+(* Every packet the collector ever received is accounted for exactly once:
+   rejected, kept-or-dropped in a bucket, still pending, or evicted. *)
+let sum_seen t =
+  List.fold_left
+    (fun acc (b : Collector.bucket) ->
+      acc + b.Collector.failing_seen + b.Collector.success_seen)
+    0 (Collector.buckets t)
+
+let check_reconciled name t =
+  let totals = Collector.totals t in
+  Alcotest.(check int) name totals.Collector.received
+    (totals.Collector.decode_errors + sum_seen t + totals.Collector.unrouted
+   + totals.Collector.pending_dropped)
+
+let test_collector_arrival_order () =
+  (* The collector keeps reports in fleet arrival order even though the
+     internal lists are consed newest-first. *)
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let success = List.hd c.Corpus.Runner.successful in
+  let t = Collector.create () in
+  List.iter
+    (fun i ->
+      ship t
+        (real_envelope ~endpoint:i
+           (Wire.Failing { failing with Report.failure_time_ns = i })))
+    [ 1; 2; 3 ];
+  List.iter
+    (fun i ->
+      ship t
+        (real_envelope ~endpoint:i
+           (Wire.Success { success with Report.trigger_time_ns = i })))
+    [ 7; 8; 9 ];
+  let b = List.hd (Collector.buckets t) in
+  Alcotest.(check (list int))
+    "failing kept in arrival order" [ 1; 2; 3 ]
+    (List.map
+       (fun (r : Report.failing_report) -> r.Report.failure_time_ns)
+       (Collector.failing b));
+  Alcotest.(check (list int))
+    "successes kept in arrival order" [ 7; 8; 9 ]
+    (List.map
+       (fun (r : Report.success_report) -> r.Report.trigger_time_ns)
+       (Collector.successful b))
+
+let test_collector_out_of_order_duplicates () =
+  (* Wire-level mischief: a success arrives before its failure, the same
+     failing packet is delivered twice, a success is duplicated, and a
+     garbage packet lands in between.  Everything must end up in one
+     bucket with counters that reconcile. *)
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let success = List.hd c.Corpus.Runner.successful in
+  let t = Collector.create () in
+  ship t (real_envelope ~endpoint:1 (Wire.Success success));
+  ship t (real_envelope ~endpoint:0 (Wire.Failing failing));
+  ship t (real_envelope ~endpoint:0 (Wire.Failing failing));
+  ship t (real_envelope ~endpoint:1 (Wire.Success success));
+  ignore (Collector.ingest t (Bytes.of_string "garbage"));
+  match Collector.buckets t with
+  | [ b ] ->
+    Alcotest.(check int) "both failing deliveries kept" 2
+      (Collector.failing_kept b);
+    Alcotest.(check int) "both success deliveries kept" 2
+      (Collector.success_kept b);
+    Alcotest.(check int) "garbage counted" 1
+      (Collector.totals t).Collector.decode_errors;
+    Alcotest.(check int) "nothing left pending" 0
+      (Collector.totals t).Collector.unrouted;
+    check_reconciled "counters reconcile" t
+  | bs -> Alcotest.failf "expected 1 bucket, got %d" (List.length bs)
+
+let test_collector_counters_reconcile () =
+  (* A mixed stream — unroutable successes overflowing a tiny pending
+     pool, garbage, repeated failures, routable successes — reconciles:
+     received = decode_errors + seen-in-buckets + pending + evicted. *)
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let success = List.hd c.Corpus.Runner.successful in
+  let t =
+    Collector.create
+      ~policy:{ Collector.default_policy with Collector.max_pending = 3 }
+      ()
+  in
+  for i = 1 to 10 do
+    (* trigger pc matching no watchpoint set: held forever, then evicted *)
+    ship t
+      (real_envelope ~endpoint:(i mod 4)
+         (Wire.Success
+            { success with Report.trigger_pc = 0xdead; trigger_time_ns = i }))
+  done;
+  ignore (Collector.ingest t (Bytes.of_string "junk"));
+  ignore (Collector.ingest t (Bytes.of_string ""));
+  for e = 0 to 2 do
+    ship t (real_envelope ~endpoint:e (Wire.Failing failing))
+  done;
+  ship t (real_envelope ~endpoint:0 (Wire.Success success));
+  ship t (real_envelope ~endpoint:1 (Wire.Success success));
+  let totals = Collector.totals t in
+  Alcotest.(check int) "received" 17 totals.Collector.received;
+  Alcotest.(check int) "decode errors" 2 totals.Collector.decode_errors;
+  Alcotest.(check int) "pending now" 3 totals.Collector.unrouted;
+  Alcotest.(check int) "evicted" 7 totals.Collector.pending_dropped;
+  Alcotest.(check int) "seen in buckets" 5 (sum_seen t);
+  check_reconciled "counters reconcile" t
 
 (* --- end to end ---------------------------------------------------------- *)
 
@@ -359,6 +484,14 @@ let tests =
           test_collector_rejects_unknown_bug;
         Alcotest.test_case "garbage packet rejected" `Quick
           test_collector_rejects_garbage;
+        Alcotest.test_case "pending pool bounded" `Quick
+          test_collector_pending_pool_bounded;
+        Alcotest.test_case "kept reports preserve arrival order" `Quick
+          test_collector_arrival_order;
+        Alcotest.test_case "out-of-order and duplicate delivery" `Quick
+          test_collector_out_of_order_duplicates;
+        Alcotest.test_case "counters reconcile on a mixed stream" `Quick
+          test_collector_counters_reconcile;
       ] );
     ( "fleet.deploy",
       [

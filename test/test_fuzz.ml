@@ -211,7 +211,9 @@ let prop_decode_time_bounds =
                (fun (k, (s : Pt.Decoder.step)) ->
                  k < Array.length times
                  && float_of_int s.Pt.Decoder.t_lo <= times.(k) +. 1.0
-                 && times.(k) <= float_of_int s.Pt.Decoder.t_hi +. 1.0)
+                 && (match s.Pt.Decoder.t_hi with
+                    | None -> true
+                    | Some hi -> times.(k) <= float_of_int hi +. 1.0))
                (List.mapi (fun k s -> (k, s)) d.Pt.Decoder.steps))
            (Pt.Driver.snapshot_now driver ~at_time_ns:r.Sim.Interp.final_time_ns)
              .Pt.Driver.traces)

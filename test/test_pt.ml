@@ -184,7 +184,9 @@ let test_decoder_time_bounds_contain_truth () =
           Alcotest.(check bool)
             (Printf.sprintf "tid %d step %d upper bound" tid k)
             true
-            (t_actual <= float_of_int s.Pt.Decoder.t_hi +. 1.0))
+            (match s.Pt.Decoder.t_hi with
+            | None -> true
+            | Some hi -> t_actual <= float_of_int hi +. 1.0))
         d.Pt.Decoder.steps)
     snap.Pt.Driver.traces
 
@@ -288,7 +290,12 @@ let test_timing_modes_degrade_gracefully () =
   let width d =
     List.fold_left
       (fun acc (s : Pt.Decoder.step) ->
-        acc + (min s.Pt.Decoder.t_hi 1_000_000_000 - s.Pt.Decoder.t_lo))
+        let hi =
+          match s.Pt.Decoder.t_hi with
+          | Some hi -> min hi 1_000_000_000
+          | None -> 1_000_000_000
+        in
+        acc + (hi - s.Pt.Decoder.t_lo))
       0 d.Pt.Decoder.steps
     / max 1 (List.length d.Pt.Decoder.steps)
   in
@@ -297,6 +304,43 @@ let test_timing_modes_degrade_gracefully () =
   Alcotest.(check bool) "both decode the same instructions" true
     (List.map (fun s -> s.Pt.Decoder.iid) fine.Pt.Decoder.steps
     = List.map (fun s -> s.Pt.Decoder.iid) coarse.Pt.Decoder.steps)
+
+let test_open_window_is_explicit () =
+  (* A trace whose last packets carry no timing (coarse Mtc_only mode, so
+     events after the final MTC have no later clock reading): the decoder
+     must represent the open upper bound explicitly instead of leaking a
+     max_int sentinel into window arithmetic downstream. *)
+  let m = fixture_module () in
+  let config =
+    {
+      Pt.Config.default with
+      Pt.Config.timing = Pt.Config.Mtc_only { mtc_period_ns = 4096 };
+    }
+  in
+  let result, driver, _ = run_with_oracle ~config m in
+  let snap =
+    Pt.Driver.snapshot_now driver ~at_time_ns:result.Sim.Interp.final_time_ns
+  in
+  let open_seen = ref false in
+  let steps = ref 0 in
+  List.iter
+    (fun (_tid, bytes) ->
+      let d = Pt.Decoder.decode m ~config bytes in
+      List.iter
+        (fun (s : Pt.Decoder.step) ->
+          incr steps;
+          match s.Pt.Decoder.t_hi with
+          | None -> open_seen := true
+          | Some hi ->
+            (* Closed windows are well-formed: hi - lo never overflows
+               and is non-negative. *)
+            Alcotest.(check bool) "window non-negative" true
+              (hi - s.Pt.Decoder.t_lo >= 0 && hi < max_int / 2))
+        d.Pt.Decoder.steps)
+    snap.Pt.Driver.traces;
+  Alcotest.(check bool) "decoded something" true (!steps > 0);
+  Alcotest.(check bool) "the untimed tail has an explicitly open bound" true
+    !open_seen
 
 let test_tracer_stats () =
   let m = fixture_module () in
@@ -336,6 +380,53 @@ let test_decoder_empty_and_garbage () =
   Alcotest.(check int) "garbage, no steps" 0 (List.length d.Pt.Decoder.steps);
   Alcotest.(check int) "all bytes lost" 64 d.Pt.Decoder.lost_bytes
 
+let prop_decoder_total_on_corrupt_rings =
+  (* Found by the chaos harness: a corrupted ring snapshot used to escape
+     the decoder as Invalid_argument ("Packet.decode: bad header ...") or
+     as Not_found when a damaged TIP packet carried a pc that maps to no
+     instruction.  Ring bytes are untrusted in-production input: the
+     decoder must decode what it can, resync or flag desync — never
+     raise. *)
+  let m = fixture_module () in
+  let result, driver, _ = run_with_oracle m in
+  let traces =
+    (Pt.Driver.snapshot_now driver ~at_time_ns:result.Sim.Interp.final_time_ns)
+      .Pt.Driver.traces
+  in
+  QCheck.Test.make ~name:"decoder is total on corrupted ring bytes" ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let prng = Snorlax_util.Prng.create ~seed in
+      List.for_all
+        (fun (_tid, ring) ->
+          let ring = Bytes.copy ring in
+          let len = Bytes.length ring in
+          let ring =
+            if len = 0 then ring
+            else begin
+              (* Overwrite a span with garbage, flip a bit, maybe cut. *)
+              let start = Snorlax_util.Prng.int prng ~bound:len in
+              let span =
+                1 + Snorlax_util.Prng.int prng ~bound:(min 24 (len - start))
+              in
+              for i = start to start + span - 1 do
+                Bytes.set ring i
+                  (Char.chr (Snorlax_util.Prng.int prng ~bound:256))
+              done;
+              let p = Snorlax_util.Prng.int prng ~bound:len in
+              let bit = Snorlax_util.Prng.int prng ~bound:8 in
+              Bytes.set ring p
+                (Char.chr (Char.code (Bytes.get ring p) lxor (1 lsl bit)));
+              if Snorlax_util.Prng.bool prng then
+                Bytes.sub ring 0 (Snorlax_util.Prng.int prng ~bound:len)
+              else ring
+            end
+          in
+          match Pt.Decoder.decode m ~config:Pt.Config.default ring with
+          | (_ : Pt.Decoder.result) -> true
+          | exception _ -> false)
+        traces)
+
 let test_decoder_mismatched_stream_desyncs () =
   let m = fixture_module () in
   Lir.Irmod.layout m;
@@ -368,10 +459,13 @@ let tests =
         Alcotest.test_case "ring wrap resync" `Quick test_ring_wrap_resync;
         Alcotest.test_case "tail reaches crash" `Quick test_tail_stop_reaches_failing_pc;
         Alcotest.test_case "timing modes" `Quick test_timing_modes_degrade_gracefully;
+        Alcotest.test_case "open time window is explicit" `Quick
+          test_open_window_is_explicit;
         Alcotest.test_case "empty and garbage input" `Quick
           test_decoder_empty_and_garbage;
         Alcotest.test_case "mismatched stream desyncs" `Quick
           test_decoder_mismatched_stream_desyncs;
+        qtest prop_decoder_total_on_corrupt_rings;
       ] );
     ( "pt.driver",
       [

@@ -253,6 +253,29 @@ let test_stats_geomean () =
   check_float "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
   check_float "empty geomean" 0.0 (Stats.geomean [])
 
+let test_stats_geomean_nonpositive () =
+  (* A zero-duration sample must not crash the process: non-positive
+     inputs are skipped and the geomean is taken over the positive rest. *)
+  check_float "zero sample skipped" 4.0 (Stats.geomean [ 0.0; 2.0; 8.0 ]);
+  check_float "negative sample skipped" 4.0 (Stats.geomean [ -3.0; 2.0; 8.0 ]);
+  check_float "all non-positive" 0.0 (Stats.geomean [ 0.0; -1.0 ])
+
+let prop_geomean_total =
+  QCheck.Test.make
+    ~name:"geomean is total and equals the geomean of the positive subset"
+    ~count:500
+    QCheck.(list (float_range (-1e6) 1e6))
+    (fun xs ->
+      let v = Stats.geomean xs in
+      let positives = List.filter (fun x -> x > 0.0) xs in
+      match positives with
+      | [] -> v = 0.0
+      | _ ->
+        let expected =
+          exp (Stats.mean (List.map log positives))
+        in
+        Float.abs (v -. expected) <= 1e-9 *. Float.max 1.0 (Float.abs expected))
+
 let test_stats_min_max () =
   let lo, hi = Stats.min_max [ 3.0; -1.0; 7.0 ] in
   check_float "min" (-1.0) lo;
@@ -391,12 +414,15 @@ let tests =
       [
         Alcotest.test_case "mean/stddev" `Quick test_stats_mean_stddev;
         Alcotest.test_case "geomean" `Quick test_stats_geomean;
+        Alcotest.test_case "geomean skips non-positive samples" `Quick
+          test_stats_geomean_nonpositive;
         Alcotest.test_case "min/max" `Quick test_stats_min_max;
         Alcotest.test_case "percentile" `Quick test_stats_percentile;
         Alcotest.test_case "f1" `Quick test_stats_f1;
         Alcotest.test_case "precision/recall" `Quick test_stats_precision_recall;
         Alcotest.test_case "kendall tau" `Quick test_kendall;
         Alcotest.test_case "ordering accuracy" `Quick test_ordering_accuracy;
+        qtest prop_geomean_total;
         qtest prop_ordering_accuracy_bounds;
         qtest prop_percentile_p0_min;
         qtest prop_percentile_p100_max;
