@@ -69,7 +69,17 @@ let emit_obs ~trace_out ~metrics_out ~obs_summary =
   end;
   !ok
 
-let diagnose_bug id verbose trace_out metrics_out obs_summary =
+(* [--decode-jobs]/[--decode-cache] act on the process-wide defaults so
+   every decode downstream of the command — including the fleet
+   collector's per-bucket re-diagnoses — sees them without threading
+   arguments through each layer. *)
+let apply_decode_opts jobs cache =
+  Option.iter Snorlax_util.Pool.set_default_jobs jobs;
+  Option.iter (Pt.Decode_cache.set_capacity Pt.Decode_cache.shared) cache
+
+let diagnose_bug id verbose decode_jobs decode_cache trace_out metrics_out
+    obs_summary =
+  apply_decode_opts decode_jobs decode_cache;
   let obs_wanted = trace_out <> None || metrics_out <> None || obs_summary in
   if obs_wanted then ignore (Obs.Scope.enable ());
   match Corpus.Registry.find id with
@@ -133,7 +143,9 @@ let diagnose_bug id verbose trace_out metrics_out obs_summary =
       end;
       if emit_obs ~trace_out ~metrics_out ~obs_summary then 0 else 1)
 
-let fleet_run n_endpoints bug_id all trace_out metrics_out obs_summary =
+let fleet_run n_endpoints bug_id all decode_jobs decode_cache trace_out
+    metrics_out obs_summary =
+  apply_decode_opts decode_jobs decode_cache;
   let obs_wanted = trace_out <> None || metrics_out <> None || obs_summary in
   if obs_wanted then ignore (Obs.Scope.enable ());
   let bugs =
@@ -438,6 +450,71 @@ let experiment name samples =
       other;
     1
 
+let bench_compare old_path new_path max_regress verbose =
+  let read path =
+    match In_channel.with_open_text path In_channel.input_all with
+    | s -> (
+      match Obs.Json.parse s with
+      | Ok j -> Ok j
+      | Error msg -> Error (Printf.sprintf "%s: parse error: %s" path msg))
+    | exception Sys_error msg -> Error msg
+  in
+  match (read old_path, read new_path) with
+  | Error msg, _ | _, Error msg ->
+    Printf.eprintf "bench-compare: %s\n" msg;
+    2
+  | Ok old_, Ok new_ ->
+    let r = Obs.Bench_diff.compare ~old_ ~new_ ~max_regress in
+    let num = function
+      | Some v -> Printf.sprintf "%.6g" v
+      | None -> "-"
+    in
+    let t =
+      Snorlax_util.Tablefmt.create
+        ~headers:[ "metric"; "old"; "new"; "delta"; "" ]
+    in
+    Snorlax_util.Tablefmt.set_align t
+      Snorlax_util.Tablefmt.[ Left; Right; Right; Right; Left ];
+    let shown = ref 0 in
+    List.iter
+      (fun (row : Obs.Bench_diff.row) ->
+        if verbose || row.Obs.Bench_diff.regressed then begin
+          incr shown;
+          Snorlax_util.Tablefmt.add_row t
+            [
+              row.Obs.Bench_diff.key;
+              num row.Obs.Bench_diff.old_v;
+              num row.Obs.Bench_diff.new_v;
+              (match row.Obs.Bench_diff.delta_pct with
+              | Some d -> Printf.sprintf "%+.1f%%" d
+              | None -> "-");
+              (if row.Obs.Bench_diff.regressed then "REGRESSED"
+               else if not row.Obs.Bench_diff.gated then "info"
+               else "ok");
+            ]
+        end)
+      r.Obs.Bench_diff.rows;
+    if !shown > 0 then Snorlax_util.Tablefmt.print t;
+    let gated =
+      List.length
+        (List.filter
+           (fun (row : Obs.Bench_diff.row) -> row.Obs.Bench_diff.gated)
+           r.Obs.Bench_diff.rows)
+    in
+    if r.Obs.Bench_diff.regressions = 0 then begin
+      Printf.printf
+        "bench-compare: %d metric(s), %d gated, none regressed beyond %.0f%%.\n"
+        (List.length r.Obs.Bench_diff.rows)
+        gated max_regress;
+      0
+    end
+    else begin
+      Printf.eprintf
+        "bench-compare: %d of %d gated metric(s) regressed beyond %.0f%%.\n"
+        r.Obs.Bench_diff.regressions gated max_regress;
+      1
+    end
+
 (* --- cmdliner plumbing ------------------------------------------------- *)
 
 let bug_arg =
@@ -467,6 +544,25 @@ let obs_summary_arg =
     & info [ "obs-summary" ]
         ~doc:"Print the span tree and metric tables at the end.")
 
+let decode_jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "decode-jobs" ] ~docv:"N"
+        ~doc:
+          "Domains used to decode trace snapshots in parallel (default: the \
+           runtime's recommended domain count). 1 forces the sequential \
+           path; results are identical either way.")
+
+let decode_cache_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "decode-cache" ] ~docv:"N"
+        ~doc:
+          "Capacity of the decode memo cache shared by all diagnoses \
+           (default 256 entries). 0 disables caching.")
+
 let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the 54-bug corpus")
     Term.(const (fun () -> list_bugs (); 0) $ const ())
@@ -479,8 +575,8 @@ let diagnose_cmd =
     (Cmd.info "diagnose"
        ~doc:"Reproduce a corpus bug and run Lazy Diagnosis on it")
     Term.(
-      const diagnose_bug $ bug_arg $ verbose $ trace_out_arg $ metrics_out_arg
-      $ obs_summary_arg)
+      const diagnose_bug $ bug_arg $ verbose $ decode_jobs_arg
+      $ decode_cache_arg $ trace_out_arg $ metrics_out_arg $ obs_summary_arg)
 
 let fleet_cmd =
   let endpoints =
@@ -509,8 +605,8 @@ let fleet_cmd =
           reports to the collector, which dedups them by crash signature \
           and runs the statistical diagnosis per bucket across endpoints")
     Term.(
-      const fleet_run $ endpoints $ bug $ all $ trace_out_arg
-      $ metrics_out_arg $ obs_summary_arg)
+      const fleet_run $ endpoints $ bug $ all $ decode_jobs_arg
+      $ decode_cache_arg $ trace_out_arg $ metrics_out_arg $ obs_summary_arg)
 
 let chaos_cmd =
   let seeds =
@@ -580,6 +676,36 @@ let replay_cmd =
           3.3's record/replay implication)")
     Term.(const replay_bug $ bug_arg)
 
+let bench_compare_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD.json")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW.json")
+  in
+  let max_regress =
+    Arg.(
+      value & opt float 10.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Allowed relative increase for lower-is-better metrics \
+             (durations, byte counts, miss/error counters) before the \
+             comparison fails.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "v"; "verbose" ]
+          ~doc:"Show every metric, not just regressions.")
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:
+         "Diff two BENCH_*.json artifacts and exit non-zero when a \
+          lower-is-better metric regressed beyond the tolerance; other \
+          metrics are informational")
+    Term.(const bench_compare $ old_arg $ new_arg $ max_regress $ verbose)
+
 let experiment_cmd =
   let exp_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
@@ -606,7 +732,7 @@ let main_cmd =
           reproduction)")
     [
       list_cmd; diagnose_cmd; fleet_cmd; chaos_cmd; dump_cmd; replay_cmd;
-      validate_cmd; experiment_cmd;
+      validate_cmd; experiment_cmd; bench_compare_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

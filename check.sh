@@ -28,6 +28,22 @@ echo "$fleet_out" | grep -Eq "violation|deadlock" || {
   exit 1
 }
 
+echo "== decode bench + compare smoke =="
+# Produce the decode-throughput artifact, then run it through
+# bench-compare against itself: the self-diff must report zero
+# regressions, and a doctored copy must fail — both exit paths of the
+# regression gate get exercised on every check run.
+dune exec bench/main.exe -- --decode-only
+dune exec bin/snorlax.exe -- bench-compare BENCH_decode.json BENCH_decode.json
+sed 's/"seq_cold_ns":[0-9.e+-]*/"seq_cold_ns":9e12/' BENCH_decode.json \
+  > /tmp/snorlax_bench_regressed.json
+if dune exec bin/snorlax.exe -- bench-compare BENCH_decode.json \
+    /tmp/snorlax_bench_regressed.json >/dev/null 2>&1; then
+  echo "bench-compare smoke: doctored regression should fail"
+  exit 1
+fi
+rm -f /tmp/snorlax_bench_regressed.json
+
 echo "== chaos gate =="
 # Exit status is the gate: any invariant violation, uncaught exception or
 # nondeterministic replay in the fault-injection sweep fails the build.

@@ -42,6 +42,22 @@ let build_def_table m =
       | None -> ());
   tbl
 
+(* One-entry cache keyed by physical module identity: the fleet collector
+   re-diagnoses the same bucket module repeatedly, and the def table is a
+   pure function of the module, so rebuilding it per resolve_anchor call
+   was wasted work.  Physical equality keeps a rebuilt (isomorphic but
+   fresh) module from ever seeing another build's instruction objects. *)
+let def_table_cache : (Lir.Irmod.t * (int, Lir.Instr.t) Hashtbl.t) option ref =
+  ref None
+
+let def_table m =
+  match !def_table_cache with
+  | Some (m', tbl) when m' == m -> tbl
+  | Some _ | None ->
+    let tbl = build_def_table m in
+    def_table_cache := Some (m, tbl);
+    tbl
+
 (* RETracer-style provenance: follow the faulting pointer value back
    through geps/casts/arithmetic to the load that produced it — that load
    read the racing memory location. *)
@@ -88,7 +104,7 @@ let resolve_anchor m tp (r : Report.failing_report) =
     | Lir.Instr.Load { ptr; _ } | Lir.Instr.Store { ptr; _ } -> (
       match crash_kind with
       | Report.Bad_pointer -> (
-        match provenance (build_def_table m) ptr with
+        match provenance (def_table m) ptr with
         | Some iid -> iid
         | None -> reported)
       | Report.Use_after_free | Report.Assertion -> reported)
@@ -104,10 +120,10 @@ let tails_of m (r : Report.failing_report) =
       (fun (tid, iid) -> (tid, pc_of iid, r.Report.failure_time_ns))
       blocked
 
-let process_failing m ~config (r : Report.failing_report) =
-  Tp.process m ~config ~fail_tails:(tails_of m r) r.Report.traces
+let process_failing m ~config ?jobs ?cache (r : Report.failing_report) =
+  Tp.process m ~config ~fail_tails:(tails_of m r) ?jobs ?cache r.Report.traces
 
-let process_successful m ~config (s : Report.success_report) =
+let process_successful m ~config ?jobs ?cache (s : Report.success_report) =
   (* The successful trace was snapped at the watchpoint; replay the
      triggering thread up to the watched pc so the events right before it
      (branch-free code) participate in the statistics, exactly as the
@@ -115,9 +131,9 @@ let process_successful m ~config (s : Report.success_report) =
   Tp.process m ~config
     ~fail_tails:
       [ (s.Report.trigger_tid, s.Report.trigger_pc, s.Report.trigger_time_ns) ]
-    s.Report.s_traces
+    ?jobs ?cache s.Report.s_traces
 
-let diagnose m ~config ~failing ~successful =
+let diagnose ?jobs ?cache m ~config ~failing ~successful =
   let first =
     match failing with
     | [] -> invalid_arg "Diagnosis.diagnose: no failing report"
@@ -146,8 +162,12 @@ let diagnose m ~config ~failing ~successful =
   (* Stage 2: trace processing (decode + replay) for every execution. *)
   let failing_tps, success_tps, executed =
     stage "diagnosis/trace_processing" (fun sp ->
-        let failing_tps = List.map (process_failing m ~config) failing in
-        let success_tps = List.map (process_successful m ~config) successful in
+        let failing_tps =
+          List.map (process_failing m ~config ?jobs ?cache) failing
+        in
+        let success_tps =
+          List.map (process_successful m ~config ?jobs ?cache) successful
+        in
         let executed =
           List.fold_left
             (fun acc (tp : Tp.t) -> Tp.Iset.union acc tp.Tp.executed)

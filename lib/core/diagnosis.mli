@@ -45,6 +45,8 @@ type result = {
 }
 
 val diagnose :
+  ?jobs:int ->
+  ?cache:Pt.Decode_cache.t ->
   Lir.Irmod.t ->
   config:Pt.Config.t ->
   failing:Report.failing_report list ->
@@ -52,11 +54,18 @@ val diagnose :
   result
 (** Diagnose from one or more failing reports (Snorlax needs exactly one;
     more only sharpen statistics) plus successful-execution reports.
-    Raises [Invalid_argument] when [failing] is empty. *)
+    Raises [Invalid_argument] when [failing] is empty.
+
+    [?jobs] and [?cache] govern the trace-processing stage (see
+    {!Trace_processing.process}): decode parallelism defaults to
+    {!Snorlax_util.Pool.default_jobs} and decode memoization to
+    {!Pt.Decode_cache.shared}. *)
 
 val process_failing :
   Lir.Irmod.t ->
   config:Pt.Config.t ->
+  ?jobs:int ->
+  ?cache:Pt.Decode_cache.t ->
   Report.failing_report ->
   Trace_processing.t
 (** Decode a failing report's traces, replaying each blocked/failing
@@ -65,6 +74,8 @@ val process_failing :
 val process_successful :
   Lir.Irmod.t ->
   config:Pt.Config.t ->
+  ?jobs:int ->
+  ?cache:Pt.Decode_cache.t ->
   Report.success_report ->
   Trace_processing.t
 (** Decode a successful report, replaying the triggering thread to the

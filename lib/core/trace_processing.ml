@@ -1,3 +1,6 @@
+module Dynbuf = Snorlax_util.Dynbuf
+module Pool = Snorlax_util.Pool
+
 (* [t_hi = None] mirrors the decoder's open upper bound: the trace ended
    before a later clock reading, so the event is unordered against any
    later event on another thread. *)
@@ -15,53 +18,126 @@ module Iset = Set.Make (Int)
 type t = {
   executed : Iset.t;
   events : event array;
-  events_by_iid : (int, event list) Hashtbl.t;
+  events_by_iid : (int, event array) Hashtbl.t;
   lost_bytes : int;
   desynced_tids : int list;
 }
 
-let process m ~config ?(fail_tails = []) traces =
+(* Decode every trace, through the memo cache when enabled and across the
+   domain pool when it pays.  Returns per-trace results in input order
+   plus the subset that were actual decoder invocations (for telemetry
+   and cache insertion). *)
+let decode_all m ~config ~tail_for ~jobs ~cache traces_a =
+  let n = Array.length traces_a in
+  let use_cache = Pt.Decode_cache.enabled cache in
+  let keys = Array.make n "" in
+  let results : Pt.Decoder.result option array = Array.make n None in
+  let miss_idx = Dynbuf.create () in
+  Array.iteri
+    (fun i (tid, snapshot) ->
+      if use_cache then begin
+        let k =
+          Pt.Decode_cache.key m ~config ?tail_stop:(tail_for tid) snapshot
+        in
+        keys.(i) <- k;
+        match Pt.Decode_cache.find cache k with
+        | Some r -> results.(i) <- Some r
+        | None -> Dynbuf.push miss_idx i
+      end
+      else Dynbuf.push miss_idx i)
+    traces_a;
+  let misses = Dynbuf.to_array miss_idx in
+  let decode_one i =
+    let tid, snapshot = traces_a.(i) in
+    results.(i) <-
+      Some (Pt.Decoder.decode_raw m ~config ?tail_stop:(tail_for tid) snapshot)
+  in
+  let eff_jobs = min jobs (Array.length misses) in
+  if eff_jobs > 1 then
+    Pool.run (Pool.get ~jobs:eff_jobs) (Array.length misses) (fun k ->
+        decode_one misses.(k))
+  else Array.iter decode_one misses;
+  (* Telemetry and cache insertion happen here, on the submitting domain:
+     the ambient scope is not domain-safe, and recording per actual
+     invocation keeps pt/decode_calls a true decoder-work counter that
+     cache hits do not inflate. *)
+  if Obs.Scope.enabled () then
+    Obs.Scope.set_gauge "decode/pool_size" (float_of_int (max 1 eff_jobs));
+  Array.iter
+    (fun i ->
+      let _, snapshot = traces_a.(i) in
+      let r = Option.get results.(i) in
+      Pt.Decoder.record_metrics r ~snapshot_bytes:(Bytes.length snapshot);
+      if use_cache then Pt.Decode_cache.add cache keys.(i) r)
+    misses;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let process m ~config ?(fail_tails = []) ?jobs ?cache traces =
+  (* Lay out before any fan-out so worker domains only ever read the
+     module's (idempotent) layout tables. *)
+  Lir.Irmod.layout m;
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  let cache = match cache with Some c -> c | None -> Pt.Decode_cache.shared in
+  (* Tails indexed by tid; first entry per tid wins, matching the old
+     List.find_opt scan without the O(traces * tails) cost. *)
+  let tails = Hashtbl.create 8 in
+  List.iter
+    (fun (tid, stop_pc, t_hi) ->
+      if not (Hashtbl.mem tails tid) then Hashtbl.add tails tid (stop_pc, t_hi))
+    fail_tails;
+  let tail_for tid = Hashtbl.find_opt tails tid in
+  let traces_a = Array.of_list traces in
+  let results = decode_all m ~config ~tail_for ~jobs ~cache traces_a in
+  (* Merge in input order: output is identical whatever the pool size. *)
+  let total_steps =
+    Array.fold_left
+      (fun acc (r : Pt.Decoder.result) -> acc + Array.length r.Pt.Decoder.steps)
+      0 results
+  in
   let executed = ref Iset.empty in
-  let all_events = ref [] in
-  let by_iid = Hashtbl.create 256 in
+  let events = Dynbuf.create () in
+  let by_iid_idx : (int, int Dynbuf.t) Hashtbl.t =
+    Hashtbl.create (max 16 (total_steps / 8))
+  in
   let lost = ref 0 in
   let desynced = ref [] in
-  let decode_one (tid, snapshot) =
-    let tail_stop =
-      match List.find_opt (fun (ftid, _, _) -> ftid = tid) fail_tails with
-      | Some (_, stop_pc, t_hi) -> Some (stop_pc, t_hi)
-      | None -> None
-    in
-    let d = Pt.Decoder.decode m ~config ?tail_stop snapshot in
-    lost := !lost + d.Pt.Decoder.lost_bytes;
-    if d.Pt.Decoder.desynced then desynced := tid :: !desynced;
-    List.iteri
-      (fun seq (s : Pt.Decoder.step) ->
-        let e =
-          {
-            tid;
-            seq;
-            iid = s.Pt.Decoder.iid;
-            pc = s.Pt.Decoder.pc;
-            t_lo = s.Pt.Decoder.t_lo;
-            t_hi = s.Pt.Decoder.t_hi;
-          }
-        in
-        executed := Iset.add e.iid !executed;
-        all_events := e :: !all_events;
-        let cur = Option.value ~default:[] (Hashtbl.find_opt by_iid e.iid) in
-        Hashtbl.replace by_iid e.iid (e :: cur))
-      d.Pt.Decoder.steps
-  in
-  List.iter decode_one traces;
-  (* Per-iid instance lists were built newest-first; restore order. *)
-  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) by_iid [] in
-  List.iter
-    (fun k -> Hashtbl.replace by_iid k (List.rev (Hashtbl.find by_iid k)))
-    keys;
+  Array.iteri
+    (fun i (r : Pt.Decoder.result) ->
+      let tid, _ = traces_a.(i) in
+      lost := !lost + r.Pt.Decoder.lost_bytes;
+      if r.Pt.Decoder.desynced then desynced := tid :: !desynced;
+      Array.iteri
+        (fun seq (s : Pt.Decoder.step) ->
+          let e =
+            {
+              tid;
+              seq;
+              iid = s.Pt.Decoder.iid;
+              pc = s.Pt.Decoder.pc;
+              t_lo = s.Pt.Decoder.t_lo;
+              t_hi = s.Pt.Decoder.t_hi;
+            }
+          in
+          executed := Iset.add e.iid !executed;
+          let idx = Dynbuf.length events in
+          Dynbuf.push events e;
+          match Hashtbl.find_opt by_iid_idx e.iid with
+          | Some b -> Dynbuf.push b idx
+          | None ->
+            let b = Dynbuf.create () in
+            Dynbuf.push b idx;
+            Hashtbl.add by_iid_idx e.iid b)
+        r.Pt.Decoder.steps)
+    results;
+  let events = Dynbuf.to_array events in
+  let by_iid = Hashtbl.create (Hashtbl.length by_iid_idx) in
+  Hashtbl.iter
+    (fun iid idxs ->
+      Hashtbl.add by_iid iid (Array.map (Array.get events) (Dynbuf.to_array idxs)))
+    by_iid_idx;
   {
     executed = !executed;
-    events = Array.of_list (List.rev !all_events);
+    events;
     events_by_iid = by_iid;
     lost_bytes = !lost;
     desynced_tids = !desynced;
@@ -71,5 +147,7 @@ let executes_before a b =
   if a.tid = b.tid then a.seq < b.seq
   else match a.t_hi with Some hi -> hi < b.t_lo | None -> false
 
-let instances t ~iid =
-  Option.value ~default:[] (Hashtbl.find_opt t.events_by_iid iid)
+let instances_arr t ~iid =
+  Option.value ~default:[||] (Hashtbl.find_opt t.events_by_iid iid)
+
+let instances t ~iid = Array.to_list (instances_arr t ~iid)

@@ -20,8 +20,9 @@ module Iset : Set.S with type elt = int
 type t = {
   executed : Iset.t;  (** step 2: executed static instructions *)
   events : event array;  (** step 3: all decoded events, grouped by thread *)
-  events_by_iid : (int, event list) Hashtbl.t;
-      (** dynamic instances per static instruction, in per-thread order *)
+  events_by_iid : (int, event array) Hashtbl.t;
+      (** dynamic instances per static instruction, in per-thread order —
+          flat slices into the same decode, built once, never rebuilt *)
   lost_bytes : int;
   desynced_tids : int list;
 }
@@ -30,12 +31,23 @@ val process :
   Lir.Irmod.t ->
   config:Pt.Config.t ->
   ?fail_tails:(int * int * int) list ->
+  ?jobs:int ->
+  ?cache:Pt.Decode_cache.t ->
   (int * bytes) list ->
   t
 (** [?fail_tails] is a list of [(tid, stop_pc, t_hi)]: each named thread's
     replay is extended past its last packet to [stop_pc] (the failing or
     blocked instruction, whose time is known from the failure report).
-    Deadlocks pass one entry per blocked thread. *)
+    Deadlocks pass one entry per blocked thread.
+
+    Each [(tid, snapshot)] decode is independent (per-thread PT rings),
+    so decodes fan out across a {!Snorlax_util.Pool} of
+    [min jobs (number of traces)] domains — [?jobs] defaults to
+    {!Snorlax_util.Pool.default_jobs}; [~jobs:1] forces the sequential
+    path.  Per-trace results merge in input order, so the output is
+    identical for every pool size.  Decodes are memoized through
+    [?cache] (default {!Pt.Decode_cache.shared}; a zero-capacity cache
+    disables memoization). *)
 
 val executes_before : event -> event -> bool
 (** The partial order of §4.1: true when the coarse intervals are disjoint
@@ -43,4 +55,9 @@ val executes_before : event -> event -> bool
     and follow its (total) program order. *)
 
 val instances : t -> iid:int -> event list
-(** Dynamic instances of one static instruction (possibly empty). *)
+(** Dynamic instances of one static instruction (possibly empty).
+    Allocates a fresh list per call; prefer {!instances_arr} on hot
+    paths. *)
+
+val instances_arr : t -> iid:int -> event array
+(** Zero-copy view of the same instances; treat as read-only. *)

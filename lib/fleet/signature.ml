@@ -23,7 +23,7 @@ let block_stack_of_steps m steps =
           in
           if start = s.Pt.Decoder.pc then Some s.Pt.Decoder.pc else None
         | exception _ -> None)
-      steps
+      (Array.to_list steps)
   in
   let n = List.length entries in
   if n <= stack_depth then entries

@@ -1,0 +1,108 @@
+type row = {
+  key : string;
+  old_v : float option;
+  new_v : float option;
+  delta_pct : float option;
+  gated : bool;
+  regressed : bool;
+}
+
+type report = { rows : row list; regressions : int }
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* Decided on the metric's own name, not the full path: a duration nested
+   under an arbitrary parent key must still gate. *)
+let lower_is_better key =
+  let leaf =
+    match String.rindex_opt key '/' with
+    | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+    | None -> key
+  in
+  let ends_with suf =
+    let n = String.length suf and m = String.length leaf in
+    m >= n && String.sub leaf (m - n) n = suf
+  in
+  ends_with "_ns" || ends_with "_us" || ends_with "_ms" || leaf = "dur"
+  || contains ~sub:"bytes" leaf
+  || contains ~sub:"miss" leaf
+  || contains ~sub:"evict" leaf
+  || contains ~sub:"error" leaf
+  || contains ~sub:"lost" leaf
+  || contains ~sub:"drop" leaf
+  || contains ~sub:"desync" leaf
+  || contains ~sub:"calls" leaf
+
+(* Flatten to (path, number) pairs, document order.  List elements with a
+   "name" string field key by it (Chrome trace events); others by index.
+   First writer wins on a duplicated path, so repeated event names (span
+   re-entries, counter samples) diff against their first occurrence. *)
+let flatten json =
+  let out = ref [] in
+  let seen = Hashtbl.create 64 in
+  let join prefix k = if prefix = "" then k else prefix ^ "/" ^ k in
+  let add path v =
+    if not (Hashtbl.mem seen path) then begin
+      Hashtbl.add seen path ();
+      out := (path, v) :: !out
+    end
+  in
+  let rec go prefix = function
+    | Json.Int i -> add prefix (float_of_int i)
+    | Json.Float f -> add prefix f
+    | Json.Obj fields -> List.iter (fun (k, v) -> go (join prefix k) v) fields
+    | Json.List items ->
+      List.iteri
+        (fun i item ->
+          let k =
+            match Json.member "name" item with
+            | Some (Json.String name) -> name
+            | _ -> string_of_int i
+          in
+          go (join prefix k) item)
+        items
+    | Json.Null | Json.Bool _ | Json.String _ -> ()
+  in
+  go "" json;
+  List.rev !out
+
+let compare ~old_ ~new_ ~max_regress =
+  let olds = flatten old_ and news = flatten new_ in
+  let new_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace new_tbl k v) news;
+  let old_keys = Hashtbl.create 64 in
+  List.iter (fun (k, _) -> Hashtbl.replace old_keys k ()) olds;
+  let row key old_v new_v =
+    let delta_pct =
+      match old_v, new_v with
+      | Some o, Some n when o <> 0.0 -> Some ((n -. o) /. Float.abs o *. 100.0)
+      | _ -> None
+    in
+    let gated = lower_is_better key in
+    let regressed =
+      gated
+      &&
+      match old_v, new_v with
+      | Some o, Some n ->
+        if o = 0.0 then n > 0.0 else n > o *. (1.0 +. (max_regress /. 100.0))
+      | _ -> false
+    in
+    { key; old_v; new_v; delta_pct; gated; regressed }
+  in
+  let shared =
+    List.map (fun (k, o) -> row k (Some o) (Hashtbl.find_opt new_tbl k)) olds
+  in
+  let added =
+    List.filter_map
+      (fun (k, n) ->
+        if Hashtbl.mem old_keys k then None else Some (row k None (Some n)))
+      news
+  in
+  let rows = shared @ added in
+  let regressions =
+    List.fold_left (fun n r -> if r.regressed then n + 1 else n) 0 rows
+  in
+  { rows; regressions }

@@ -1,0 +1,33 @@
+(** Structural diff of two BENCH_*.json artifacts, for CI regression
+    gating (`snorlax bench-compare A.json B.json --max-regress PCT`).
+
+    Both documents are flattened to [path -> number] maps: object fields
+    join with ["/"], and list elements key by their ["name"] field when
+    they have one (Chrome trace events) or by index otherwise.  Keys
+    present in only one document are reported but never gate.
+
+    Only metrics whose name says "lower is better" (durations like
+    [*_ns]/[dur], byte counts, miss/eviction/error/drop counters, decoder
+    invocation counts) can regress; other numbers — ratios, speedups,
+    totals without a direction — are informational. *)
+
+type row = {
+  key : string;
+  old_v : float option;  (** None: metric only in the new artifact *)
+  new_v : float option;  (** None: metric disappeared *)
+  delta_pct : float option;  (** (new - old) / old * 100, when both exist and old <> 0 *)
+  gated : bool;  (** name says lower-is-better, so it can regress *)
+  regressed : bool;
+}
+
+type report = { rows : row list; regressions : int }
+
+val lower_is_better : string -> bool
+(** The name heuristic, exposed for tests: decided on the last
+    ["/"]-separated segment of the key. *)
+
+val compare : old_:Json.t -> new_:Json.t -> max_regress:float -> report
+(** [max_regress] is the allowed relative increase in percent: a gated
+    metric regresses when [new > old * (1 + max_regress / 100)] (with
+    [old = 0] treated as regressed whenever [new > 0]).  Rows come back
+    in the old document's key order, new-only keys last. *)

@@ -1,0 +1,130 @@
+type entry = { result : Decoder.result; mutable last_used : int }
+
+type t = {
+  mutable cap : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;  (* logical clock for LRU recency *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  m : Mutex.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+let create ?(capacity = 256) () =
+  if capacity < 0 then invalid_arg "Decode_cache.create: negative capacity";
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (min 64 (max 1 capacity));
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    m = Mutex.create ();
+  }
+
+let shared = create ()
+
+let capacity t = t.cap
+
+let enabled t = t.cap > 0
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+(* Linear scan for the LRU entry; capacities are small (hundreds), and the
+   scan only runs on eviction, never on a hit. *)
+let evict_one t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, age) when age <= e.last_used -> ()
+      | _ -> victim := Some (k, e.last_used))
+    t.tbl;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove t.tbl k;
+    t.evictions <- t.evictions + 1;
+    Obs.Scope.count "decode_cache/evictions" 1
+  | None -> ()
+
+let set_capacity t n =
+  if n < 0 then invalid_arg "Decode_cache.set_capacity: negative capacity";
+  locked t @@ fun () ->
+  t.cap <- n;
+  while Hashtbl.length t.tbl > n do
+    evict_one t
+  done
+
+let key m ~config ?tail_stop snapshot =
+  let buf = Buffer.create (Bytes.length snapshot + 64) in
+  Buffer.add_string buf (Lir.Irmod.name m);
+  Buffer.add_char buf '\x00';
+  let add_int i = Buffer.add_string buf (string_of_int i); Buffer.add_char buf ';' in
+  add_int (Lir.Irmod.instr_count m);
+  add_int config.Config.buffer_size;
+  add_int config.Config.psb_period_bytes;
+  let tag, period = Config.timing_code config.Config.timing in
+  add_int tag;
+  add_int period;
+  (match tail_stop with
+  | None -> Buffer.add_char buf 'n'
+  | Some (pc, t_hi) ->
+    Buffer.add_char buf 's';
+    add_int pc;
+    add_int t_hi);
+  Buffer.add_bytes buf snapshot;
+  Digest.string (Buffer.contents buf)
+
+let find t k =
+  locked t @@ fun () ->
+  if t.cap = 0 then begin
+    t.misses <- t.misses + 1;
+    Obs.Scope.count "decode_cache/misses" 1;
+    None
+  end
+  else
+    match Hashtbl.find_opt t.tbl k with
+    | Some e ->
+      t.tick <- t.tick + 1;
+      e.last_used <- t.tick;
+      t.hits <- t.hits + 1;
+      Obs.Scope.count "decode_cache/hits" 1;
+      Some e.result
+    | None ->
+      t.misses <- t.misses + 1;
+      Obs.Scope.count "decode_cache/misses" 1;
+      None
+
+let add t k result =
+  locked t @@ fun () ->
+  if t.cap > 0 then begin
+    t.tick <- t.tick + 1;
+    (match Hashtbl.find_opt t.tbl k with
+    | Some e -> e.last_used <- t.tick
+    | None ->
+      while Hashtbl.length t.tbl >= t.cap do
+        evict_one t
+      done;
+      Hashtbl.add t.tbl k { result; last_used = t.tick })
+  end
+
+let stats t =
+  locked t @@ fun () ->
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    entries = Hashtbl.length t.tbl;
+  }
+
+let clear t =
+  locked t @@ fun () ->
+  Hashtbl.reset t.tbl;
+  t.tick <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

@@ -1,0 +1,58 @@
+(** A bounded memo cache in front of {!Decoder}.
+
+    The fleet collector re-runs a bucket's diagnosis as reports trickle
+    in, and every re-run used to re-decode byte-identical ring snapshots
+    — the hot path scaled with reports² instead of reports.  Decoding is
+    a pure function of (module, tracer config, tail_stop, snapshot
+    bytes), so the server memoizes it: the key digests all four.
+    [tail_stop] MUST be part of the key — the same ring replayed to a
+    failing pc and replayed with no tail yields different step suffixes
+    (see DESIGN.md).
+
+    Hits, misses and evictions are counted on the cache and mirrored to
+    the ambient {!Obs.Scope} as [decode_cache/{hits,misses,evictions}].
+    Operations take the cache's mutex, so probing from several domains is
+    safe, but the usual pattern keeps probes on the submitting domain and
+    fans only raw decodes out. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Holds at most [capacity] decode results (default 256), evicting the
+    least recently used.  Capacity 0 disables the cache: {!find} always
+    misses and {!add} is a no-op. *)
+
+val shared : t
+(** The process-wide cache (capacity 256) that trace processing uses by
+    default; [--decode-cache N] resizes it, [--decode-cache 0] turns it
+    off. *)
+
+val capacity : t -> int
+
+val set_capacity : t -> int -> unit
+(** Shrinking evicts LRU entries down to the new capacity (counted as
+    evictions); 0 clears and disables.  Raises [Invalid_argument] on
+    negative capacity. *)
+
+val enabled : t -> bool
+(** [capacity t > 0] — callers skip key digesting entirely when off. *)
+
+val key :
+  Lir.Irmod.t -> config:Config.t -> ?tail_stop:int * int -> bytes -> string
+(** Digest of module identity (name + instruction count), the decode
+    parameters, the tail replay target, and the snapshot bytes. *)
+
+val find : t -> string -> Decoder.result option
+(** Counts a hit or miss (also into the ambient scope). *)
+
+val add : t -> string -> Decoder.result -> unit
+(** Insert (or refresh) a decode result, evicting the LRU entry when
+    full.  The result's [steps] array is shared, never copied: consumers
+    must not mutate it. *)
+
+type stats = { hits : int; misses : int; evictions : int; entries : int }
+
+val stats : t -> stats
+
+val clear : t -> unit
+(** Drop all entries and reset the hit/miss/eviction counters. *)

@@ -3,9 +3,11 @@
    [t_lo].  Keeping the open end explicit (rather than a max_int
    sentinel) makes window arithmetic such as [t_hi - t_lo] total for
    consumers. *)
+module Dynbuf = Snorlax_util.Dynbuf
+
 type step = { pc : int; iid : int; t_lo : int; t_hi : int option }
 
-type result = { steps : step list; lost_bytes : int; desynced : bool }
+type result = { steps : step array; lost_bytes : int; desynced : bool }
 
 let mtc_period config =
   match config.Config.timing with
@@ -71,8 +73,7 @@ type walker = {
   m : Lir.Irmod.t;
   mutable cur_pc : int;
   mutable t_lo : int;
-  mutable steps_rev : step list;
-  mutable count : int;
+  acc : step Dynbuf.t;
 }
 
 exception Desync of string
@@ -82,9 +83,9 @@ let max_replay_steps = 5_000_000
 
 let emit w ~t_hi =
   let i = Lir.Irmod.instr_at_pc w.m w.cur_pc in
-  w.steps_rev <- { pc = w.cur_pc; iid = i.Lir.Instr.iid; t_lo = w.t_lo; t_hi } :: w.steps_rev;
-  w.count <- w.count + 1;
-  if w.count > max_replay_steps then raise (Desync "replay step limit")
+  Dynbuf.push w.acc { pc = w.cur_pc; iid = i.Lir.Instr.iid; t_lo = w.t_lo; t_hi };
+  if Dynbuf.length w.acc > max_replay_steps then
+    raise (Desync "replay step limit")
 
 let block_entry_pc w (f : Lir.Func.t) label =
   Lir.Irmod.block_start_pc w.m ~fname:f.Lir.Func.fname ~label
@@ -177,25 +178,25 @@ let walk_tail w ~stop_pc ~t_hi =
 let record_metrics r ~snapshot_bytes =
   if Obs.Scope.enabled () then begin
     Obs.Scope.count "pt/decode_calls" 1;
-    Obs.Scope.count "pt/decoded_steps" (List.length r.steps);
+    Obs.Scope.count "pt/decoded_steps" (Array.length r.steps);
     Obs.Scope.count "pt/lost_bytes" r.lost_bytes;
     Obs.Scope.count "pt/desyncs" (if r.desynced then 1 else 0);
     Obs.Scope.observe "pt/snapshot_bytes" (float_of_int snapshot_bytes)
-  end;
-  r
+  end
 
-let decode m ~config ?tail_stop snapshot =
+(* The telemetry-free decode.  Safe to call off the main domain (the
+   ambient Obs scope is not domain-safe): parallel callers decode with
+   this and record metrics from the submitting domain afterwards. *)
+let decode_raw m ~config ?tail_stop snapshot =
   Lir.Irmod.layout m;
   match Packet.scan_psb snapshot ~pos:0 with
   | None ->
-    record_metrics
-      { steps = []; lost_bytes = Bytes.length snapshot; desynced = false }
-      ~snapshot_bytes:(Bytes.length snapshot)
+    { steps = [||]; lost_bytes = Bytes.length snapshot; desynced = false }
   | Some sync_pos ->
     let packets =
       timestamp_packets config (Packet.decode_stream snapshot ~pos:sync_pos)
     in
-    let w = { m; cur_pc = -1; t_lo = 0; steps_rev = []; count = 0 } in
+    let w = { m; cur_pc = -1; t_lo = 0; acc = Dynbuf.create () } in
     let desynced = ref false in
     let ended = ref false in
     (try
@@ -224,6 +225,9 @@ let decode m ~config ?tail_stop snapshot =
        bytes must degrade to a desync, not an escape. *)
     | Not_found -> desynced := true);
     ignore !ended;
-    record_metrics
-      { steps = List.rev w.steps_rev; lost_bytes = sync_pos; desynced = !desynced }
-      ~snapshot_bytes:(Bytes.length snapshot)
+    { steps = Dynbuf.to_array w.acc; lost_bytes = sync_pos; desynced = !desynced }
+
+let decode m ~config ?tail_stop snapshot =
+  let r = decode_raw m ~config ?tail_stop snapshot in
+  record_metrics r ~snapshot_bytes:(Bytes.length snapshot);
+  r

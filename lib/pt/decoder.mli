@@ -19,7 +19,8 @@ type step = {
 }
 
 type result = {
-  steps : step list;  (** oldest first *)
+  steps : step array;  (** oldest first; treat as immutable — cached
+                           results are shared between decode consumers *)
   lost_bytes : int;  (** bytes before the first PSB (overwritten history) *)
   desynced : bool;
       (** true when replay hit control flow the packet stream cannot
@@ -31,4 +32,16 @@ val decode :
 (** [decode m ~config snapshot] replays one thread's snapshot.
     [?tail_stop:(pc, t_hi)] continues replay past the last packet along
     branch-free code until [pc] (the failing instruction, whose time is
-    known from the failure report) — the paper's crash pc binding. *)
+    known from the failure report) — the paper's crash pc binding.
+    Records pt/* telemetry into the ambient {!Obs.Scope}. *)
+
+val decode_raw :
+  Lir.Irmod.t -> config:Config.t -> ?tail_stop:int * int -> bytes -> result
+(** Exactly {!decode} minus the telemetry.  The ambient scope is not
+    domain-safe, so parallel decode fans this across a
+    {!Snorlax_util.Pool} and the submitting domain records metrics per
+    result afterwards with {!record_metrics}. *)
+
+val record_metrics : result -> snapshot_bytes:int -> unit
+(** Record one decode's pt/* counters (calls, steps, lost bytes, desyncs,
+    snapshot size) into the ambient scope; no-op when disabled. *)

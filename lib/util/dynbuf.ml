@@ -1,0 +1,40 @@
+(* The backing array is created by the first push (OCaml arrays need an
+   element to exist), then doubled as needed.  Slots past [len] may hold
+   stale elements until overwritten; [clear] keeps them on purpose so a
+   reused buffer does not reallocate.  That retains references — fine for
+   the short-lived decode accumulators this serves. *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length b = b.len
+
+let grow b x =
+  let cap = max 16 (2 * Array.length b.data) in
+  let d = Array.make cap x in
+  Array.blit b.data 0 d 0 b.len;
+  b.data <- d
+
+let push b x =
+  if b.len = Array.length b.data then grow b x;
+  b.data.(b.len) <- x;
+  b.len <- b.len + 1
+
+let get b i =
+  if i < 0 || i >= b.len then invalid_arg "Dynbuf.get";
+  b.data.(i)
+
+let iter f b =
+  for i = 0 to b.len - 1 do
+    f b.data.(i)
+  done
+
+let iteri f b =
+  for i = 0 to b.len - 1 do
+    f i b.data.(i)
+  done
+
+let clear b = b.len <- 0
+
+let to_array b = Array.sub b.data 0 b.len

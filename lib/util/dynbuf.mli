@@ -1,0 +1,30 @@
+(** A growable flat array: the allocation-lean accumulator the decoder and
+    trace processing use instead of [list cons + List.rev + Array.of_list].
+
+    Push is amortized O(1) with doubling growth; the backing store is a
+    plain ['a array], so a fully built buffer converts to an array with one
+    [Array.sub] and no per-element boxing beyond the elements themselves. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** An empty buffer.  No storage is allocated until the first {!push}, so
+    creating one costs two words regardless of element type. *)
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] outside [0, length - 1]. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** In push order. *)
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val clear : 'a t -> unit
+(** Forgets the elements but keeps the backing store for reuse. *)
+
+val to_array : 'a t -> 'a array
+(** A fresh array of exactly [length] elements, in push order. *)

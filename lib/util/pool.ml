@@ -1,0 +1,141 @@
+(* One mutex guards everything; [work] wakes workers when a batch (or
+   shutdown) arrives, [finished] wakes the submitter when the last item
+   completes.  Workers pull indices from the batch cursor, so uneven item
+   costs balance automatically. *)
+
+type batch = {
+  f : int -> unit;
+  n : int;
+  mutable next : int;  (* first unclaimed index *)
+  mutable completed : int;
+  mutable failure : exn option;  (* first exception, re-raised by [run] *)
+}
+
+type t = {
+  size : int;
+  m : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable current : batch option;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let jobs t = t.size
+
+(* Claim and run items of [b] until its cursor is exhausted.  Called with
+   [t.m] held; holds it again on return. *)
+let work_on t b =
+  while b.next < b.n do
+    let i = b.next in
+    b.next <- i + 1;
+    Mutex.unlock t.m;
+    (match b.f i with
+    | () -> Mutex.lock t.m
+    | exception e ->
+      Mutex.lock t.m;
+      if b.failure = None then b.failure <- Some e);
+    b.completed <- b.completed + 1;
+    if b.completed = b.n then Condition.broadcast t.finished
+  done
+
+let worker t =
+  Mutex.lock t.m;
+  let rec loop () =
+    if t.stop then Mutex.unlock t.m
+    else
+      match t.current with
+      | Some b when b.next < b.n ->
+        work_on t b;
+        loop ()
+      | Some _ | None ->
+        Condition.wait t.work t.m;
+        loop ()
+  in
+  loop ()
+
+let create ~jobs =
+  let size = max 1 jobs in
+  let t =
+    {
+      size;
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      current = None;
+      stop = false;
+      domains = [];
+    }
+  in
+  if size > 1 then
+    t.domains <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let run_inline n f =
+  let failure = ref None in
+  for i = 0 to n - 1 do
+    match f i with
+    | () -> ()
+    | exception e -> if !failure = None then failure := Some e
+  done;
+  match !failure with Some e -> raise e | None -> ()
+
+let run t n f =
+  if n > 0 then
+    if t.domains = [] then run_inline n f
+    else begin
+      Mutex.lock t.m;
+      let b = { f; n; next = 0; completed = 0; failure = None } in
+      t.current <- Some b;
+      Condition.broadcast t.work;
+      work_on t b;
+      while b.completed < b.n do
+        Condition.wait t.finished t.m
+      done;
+      t.current <- None;
+      Mutex.unlock t.m;
+      match b.failure with Some e -> raise e | None -> ()
+    end
+
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    run t n (fun i -> results.(i) <- Some (f i arr.(i)));
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* --- process-wide default and shared pool -------------------------------- *)
+
+let default = ref (Domain.recommended_domain_count ())
+
+let default_jobs () = !default
+
+let set_default_jobs n = default := max 1 n
+
+let shared : t option ref = ref None
+
+let at_exit_registered = ref false
+
+let get ~jobs =
+  let jobs = max 1 jobs in
+  match !shared with
+  | Some p when p.size >= jobs && p.stop = false -> p
+  | prev ->
+    Option.iter shutdown prev;
+    let p = create ~jobs in
+    shared := Some p;
+    if not !at_exit_registered then begin
+      at_exit_registered := true;
+      at_exit (fun () -> Option.iter shutdown !shared)
+    end;
+    p

@@ -1,0 +1,53 @@
+(** A small reusable domain pool (OCaml 5 [Domain]/[Mutex]/[Condition])
+    for embarrassingly parallel batches — per-thread trace decodes being
+    the motivating case: every [(tid, snapshot)] pair decodes
+    independently, so the server can fan them across cores and merge in
+    input order.
+
+    A pool of size [n] runs batches on [n] domains: [n - 1] spawned
+    workers plus the submitting domain, which participates instead of
+    blocking.  Size [<= 1] spawns nothing and every batch runs inline —
+    the sequential fallback.  Batches hand out indices from a shared
+    cursor under a mutex; items may complete in any order, but callers
+    that write result [i] into slot [i] (as {!map} does) get output
+    identical to a sequential run.
+
+    Batch functions must not touch domain-unsafe global state (the
+    ambient {!Obs} scope included) — record telemetry on the submitting
+    domain after the batch returns. *)
+
+type t
+
+val create : jobs:int -> t
+(** A pool running batches on [max 1 jobs] domains. *)
+
+val jobs : t -> int
+
+val run : t -> int -> (int -> unit) -> unit
+(** [run t n f] evaluates [f i] for every [i] in [0, n - 1], spread over
+    the pool's domains; returns when all are done.  If any [f i] raised,
+    one such exception is re-raised after the batch completes (remaining
+    items still run).  Batches do not nest: [f] must not call {!run} on
+    any pool. *)
+
+val map : t -> (int -> 'a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.mapi]: output order matches input order regardless of
+    pool size or scheduling. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains.  Idempotent; the pool then runs
+    batches inline. *)
+
+val default_jobs : unit -> int
+(** The process-wide default parallelism: initially
+    [Domain.recommended_domain_count ()], overridable with
+    {!set_default_jobs} (e.g. from a [--decode-jobs] flag). *)
+
+val set_default_jobs : int -> unit
+(** Clamped below at 1. *)
+
+val get : jobs:int -> t
+(** The shared process-wide pool, (re)created on demand.  It only ever
+    grows: asking for fewer jobs than the current pool has reuses the
+    bigger pool (idle workers are harmless), asking for more replaces it.
+    The shared pool is shut down automatically at exit. *)

@@ -12,13 +12,15 @@ module T = Lir.Ty
 
 (* Build a Tp.t directly from an event list (tid, seq, iid, t_lo, t_hi). *)
 let tp_of_events events =
-  let by_iid = Hashtbl.create 16 in
+  let by_iid_l = Hashtbl.create 16 in
   List.iter
     (fun (tid, seq, iid, t_lo, t_hi) ->
       let e = { Tp.tid; seq; iid; pc = iid * 4; t_lo; t_hi = Some t_hi } in
-      let cur = Option.value ~default:[] (Hashtbl.find_opt by_iid iid) in
-      Hashtbl.replace by_iid iid (cur @ [ e ]))
+      let cur = Option.value ~default:[] (Hashtbl.find_opt by_iid_l iid) in
+      Hashtbl.replace by_iid_l iid (cur @ [ e ]))
     events;
+  let by_iid = Hashtbl.create 16 in
+  Hashtbl.iter (fun iid l -> Hashtbl.add by_iid iid (Array.of_list l)) by_iid_l;
   let executed =
     List.fold_left
       (fun acc (_, _, iid, _, _) -> Tp.Iset.add iid acc)
@@ -397,6 +399,174 @@ let test_report_kinds () =
   Alcotest.(check int) "deadlock anchor is cycle closer" 9
     (Core.Report.failing_anchor_iid dl)
 
+(* --- parallel decode determinism & cache correctness --------------------- *)
+
+(* The perf paths (domain pool, memo cache) must be invisible in the
+   output: any pool size and any cache state has to produce the exact
+   Tp.t the sequential, uncached code produces. *)
+
+let tp_equal (a : Tp.t) (b : Tp.t) =
+  Tp.Iset.equal a.Tp.executed b.Tp.executed
+  && a.Tp.events = b.Tp.events
+  && a.Tp.lost_bytes = b.Tp.lost_bytes
+  && a.Tp.desynced_tids = b.Tp.desynced_tids
+  && Hashtbl.length a.Tp.events_by_iid = Hashtbl.length b.Tp.events_by_iid
+  && Hashtbl.fold
+       (fun iid evs acc ->
+         acc && Hashtbl.find_opt b.Tp.events_by_iid iid = Some evs)
+       a.Tp.events_by_iid true
+
+let corpus_reports =
+  lazy
+    (List.concat_map
+       (fun bug ->
+         let e = Experiments.Eval_runs.get bug in
+         let c = e.Experiments.Eval_runs.collected in
+         let m = c.Corpus.Runner.built.Corpus.Bug.m in
+         let keep n l = List.filteri (fun i _ -> i < n) l in
+         List.map
+           (fun r -> (bug.Corpus.Bug.id, m, `Failing r))
+           (keep 2 c.Corpus.Runner.failing)
+         @ List.map
+             (fun s -> (bug.Corpus.Bug.id, m, `Success s))
+             (keep 2 c.Corpus.Runner.successful))
+       (List.filteri (fun i _ -> i < 3) Corpus.Registry.eval_set))
+
+let process_report ~jobs ~cache m report =
+  match report with
+  | `Failing r ->
+    Core.Diagnosis.process_failing ~jobs ~cache m ~config:Pt.Config.default r
+  | `Success s ->
+    Core.Diagnosis.process_successful ~jobs ~cache m ~config:Pt.Config.default
+      s
+
+let test_parallel_decode_deterministic () =
+  List.iter
+    (fun (id, m, report) ->
+      let no_cache = Pt.Decode_cache.create ~capacity:0 () in
+      let base = process_report ~jobs:1 ~cache:no_cache m report in
+      List.iter
+        (fun jobs ->
+          let tp = process_report ~jobs ~cache:no_cache m report in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: jobs=%d equals sequential" id jobs)
+            true (tp_equal base tp))
+        [ 2; 4 ])
+    (Lazy.force corpus_reports)
+
+let test_cached_decode_deterministic () =
+  List.iter
+    (fun (id, m, report) ->
+      let no_cache = Pt.Decode_cache.create ~capacity:0 () in
+      let base = process_report ~jobs:1 ~cache:no_cache m report in
+      let cache = Pt.Decode_cache.create ~capacity:64 () in
+      let cold = process_report ~jobs:1 ~cache m report in
+      let warm = process_report ~jobs:1 ~cache m report in
+      (* A warm parallel run exercises both perf paths at once. *)
+      let warm_par = process_report ~jobs:4 ~cache m report in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: cold cached equals uncached" id)
+        true (tp_equal base cold);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: warm equals cold" id)
+        true (tp_equal cold warm);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: warm parallel equals cold" id)
+        true (tp_equal cold warm_par);
+      let s = Pt.Decode_cache.stats cache in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: warm runs actually hit" id)
+        true
+        (s.Pt.Decode_cache.hits >= s.Pt.Decode_cache.misses))
+    (Lazy.force corpus_reports)
+
+(* Warm must equal cold on hostile inputs too, not just clean rings: the
+   chaos harness's ring fault classes (truncation, bitflips) produce
+   snapshots whose decodes desync or lose sync, and a cache that mixed
+   those up would turn one corrupted report into many. *)
+let test_cache_correct_on_corrupt_rings () =
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
+  let e = Experiments.Eval_runs.get bug in
+  let c = e.Experiments.Eval_runs.collected in
+  let m = c.Corpus.Runner.built.Corpus.Bug.m in
+  let traces =
+    (List.hd c.Corpus.Runner.failing).Core.Report.traces
+  in
+  let truncate frac (tid, b) =
+    let n = Bytes.length b in
+    (tid, Bytes.sub b 0 (max 1 (n * frac / 100)))
+  in
+  let bitflip seed (tid, b) =
+    let prng = Snorlax_util.Prng.create ~seed in
+    let b = Bytes.copy b in
+    for _ = 1 to 5 do
+      let i = Snorlax_util.Prng.int prng ~bound:(Bytes.length b) in
+      Bytes.set b i
+        (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Snorlax_util.Prng.int prng ~bound:8)))
+    done;
+    (tid, b)
+  in
+  let variants =
+    [
+      ("clean", traces);
+      ("truncated-30", List.map (truncate 30) traces);
+      ("truncated-75", List.map (truncate 75) traces);
+      ("bitflipped-1", List.map (bitflip 1) traces);
+      ("bitflipped-2", List.map (bitflip 2) traces);
+    ]
+  in
+  List.iter
+    (fun (name, traces) ->
+      let no_cache = Pt.Decode_cache.create ~capacity:0 () in
+      let cache = Pt.Decode_cache.create ~capacity:64 () in
+      let base =
+        Tp.process m ~config:Pt.Config.default ~jobs:1 ~cache:no_cache traces
+      in
+      let cold =
+        Tp.process m ~config:Pt.Config.default ~jobs:1 ~cache traces
+      in
+      let warm =
+        Tp.process m ~config:Pt.Config.default ~jobs:1 ~cache traces
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: cached equals uncached" name)
+        true (tp_equal base cold);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: warm equals cold" name)
+        true (tp_equal cold warm))
+    variants
+
+(* End-to-end: a whole diagnosis repeated against the same warm cache must
+   rank the same root cause — the fleet collector's per-bucket re-runs
+   depend on exactly this. *)
+let test_diagnosis_stable_under_warm_cache () =
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
+  let e = Experiments.Eval_runs.get bug in
+  let c = e.Experiments.Eval_runs.collected in
+  let m = c.Corpus.Runner.built.Corpus.Bug.m in
+  let cache = Pt.Decode_cache.create ~capacity:256 () in
+  let diagnose () =
+    Core.Diagnosis.diagnose ~jobs:1 ~cache m ~config:Pt.Config.default
+      ~failing:c.Corpus.Runner.failing
+      ~successful:c.Corpus.Runner.successful
+  in
+  let top r =
+    match r.Core.Diagnosis.top with
+    | Some t -> Core.Patterns.id t.Core.Statistics.pattern
+    | None -> "<none>"
+  in
+  let cold = diagnose () in
+  let warm = diagnose () in
+  Alcotest.(check string) "same top pattern" (top cold) (top warm);
+  Alcotest.(check (list string)) "same scored ranking"
+    (List.map (fun s -> Core.Patterns.id s.Core.Statistics.pattern)
+       cold.Core.Diagnosis.scored)
+    (List.map (fun s -> Core.Patterns.id s.Core.Statistics.pattern)
+       warm.Core.Diagnosis.scored);
+  let s = Pt.Decode_cache.stats cache in
+  Alcotest.(check bool) "warm diagnosis reused decodes" true
+    (s.Pt.Decode_cache.hits > 0)
+
 let tests =
   [
     ( "core.trace_processing",
@@ -436,5 +606,16 @@ let tests =
         Alcotest.test_case "metrics" `Quick test_accuracy_metrics;
         Alcotest.test_case "anchor provenance" `Quick test_anchor_provenance;
         Alcotest.test_case "report kinds" `Quick test_report_kinds;
+      ] );
+    ( "core.decode_perf_paths",
+      [
+        Alcotest.test_case "pool sizes 1/2/4 identical" `Quick
+          test_parallel_decode_deterministic;
+        Alcotest.test_case "cache on/off/warm identical" `Quick
+          test_cached_decode_deterministic;
+        Alcotest.test_case "cache correct on corrupt rings" `Quick
+          test_cache_correct_on_corrupt_rings;
+        Alcotest.test_case "diagnosis stable under warm cache" `Quick
+          test_diagnosis_stable_under_warm_cache;
       ] );
   ]

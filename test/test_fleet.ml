@@ -425,6 +425,38 @@ let test_collector_counters_reconcile () =
   Alcotest.(check int) "seen in buckets" 5 (sum_seen t);
   check_reconciled "counters reconcile" t
 
+(* The reason the decode cache exists: the collector re-diagnoses a bucket
+   as reports trickle in, and every re-run decodes the same rings.  A warm
+   re-diagnosis must invoke the decoder at most half as often as the cold
+   one (here: not at all — every snapshot is byte-identical). *)
+let test_rediagnosis_reuses_decodes () =
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let t = Collector.create () in
+  for e = 0 to 2 do
+    ship t (real_envelope ~endpoint:e (Wire.Failing failing))
+  done;
+  List.iter
+    (fun s -> ship t (real_envelope (Wire.Success s)))
+    c.Corpus.Runner.successful;
+  let b = List.hd (Collector.buckets t) in
+  let shared = Pt.Decode_cache.shared in
+  Pt.Decode_cache.clear shared;
+  ignore (Collector.diagnose t b);
+  let s1 = Pt.Decode_cache.stats shared in
+  ignore (Collector.diagnose t b);
+  let s2 = Pt.Decode_cache.stats shared in
+  let cold = s1.Pt.Decode_cache.misses in
+  let warm = s2.Pt.Decode_cache.misses - cold in
+  Alcotest.(check bool) "cold run decoded something" true (cold > 0);
+  Alcotest.(check bool)
+    (Printf.sprintf "re-diagnosis decodes at most half (cold %d, warm %d)"
+       cold warm)
+    true
+    (2 * warm <= cold);
+  Alcotest.(check bool) "cache hits prove the reuse" true
+    (s2.Pt.Decode_cache.hits - s1.Pt.Decode_cache.hits > 0)
+
 (* --- end to end ---------------------------------------------------------- *)
 
 let test_fleet_end_to_end () =
@@ -490,6 +522,8 @@ let tests =
           test_collector_arrival_order;
         Alcotest.test_case "out-of-order and duplicate delivery" `Quick
           test_collector_out_of_order_duplicates;
+        Alcotest.test_case "re-diagnosis reuses decodes" `Quick
+          test_rediagnosis_reuses_decodes;
         Alcotest.test_case "counters reconcile on a mixed stream" `Quick
           test_collector_counters_reconcile;
       ] );

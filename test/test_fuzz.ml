@@ -153,7 +153,7 @@ let decode_matches_oracle mseed rseed =
          let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
          if d.Pt.Decoder.desynced then false
          else
-           let decoded = List.map (fun s -> s.Pt.Decoder.iid) d.Pt.Decoder.steps in
+           let decoded = List.map (fun s -> s.Pt.Decoder.iid) (Array.to_list d.Pt.Decoder.steps) in
            let actual_iids =
              match Hashtbl.find_opt actual tid with
              | Some l -> List.rev !l
@@ -214,7 +214,7 @@ let prop_decode_time_bounds =
                  && (match s.Pt.Decoder.t_hi with
                     | None -> true
                     | Some hi -> times.(k) <= float_of_int hi +. 1.0))
-               (List.mapi (fun k s -> (k, s)) d.Pt.Decoder.steps))
+               (List.mapi (fun k s -> (k, s)) (Array.to_list d.Pt.Decoder.steps)))
            (Pt.Driver.snapshot_now driver ~at_time_ns:r.Sim.Interp.final_time_ns)
              .Pt.Driver.traces)
 

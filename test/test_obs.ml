@@ -348,7 +348,11 @@ let test_diagnosis_spans_in_scope () =
         Option.value ~default:0 (Obs.Metrics.find_counter ctx.Obs.Scope.metrics n)
       in
       Alcotest.(check bool) "runs counted" true (counter "corpus/runs" > 0);
-      Alcotest.(check bool) "decodes counted" true (counter "pt/decode_calls" > 0);
+      (* The shared decode cache may already hold these snapshots (earlier
+         tests decode the same fixture); decode work then shows up as
+         cache hits instead of decoder invocations. *)
+      Alcotest.(check bool) "decodes counted" true
+        (counter "pt/decode_calls" + counter "decode_cache/hits" > 0);
       Alcotest.(check bool) "sim instrs counted" true
         (counter "sim/instructions" > 0))
 
@@ -419,6 +423,94 @@ let test_sim_telemetry_preserves_determinism () =
   Alcotest.(check bool) "identical outcome and virtual time" true
     (bare = instrumented)
 
+(* --- bench_diff ---------------------------------------------------------- *)
+
+let parse_exn s =
+  match Obs.Json.parse s with
+  | Ok j -> j
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let diff ?(max_regress = 10.0) a b =
+  Obs.Bench_diff.compare ~old_:(parse_exn a) ~new_:(parse_exn b) ~max_regress
+
+let find_row (r : Obs.Bench_diff.report) key =
+  match
+    List.find_opt
+      (fun (row : Obs.Bench_diff.row) -> row.Obs.Bench_diff.key = key)
+      r.Obs.Bench_diff.rows
+  with
+  | Some row -> row
+  | None -> Alcotest.failf "no row for %s" key
+
+let test_bench_diff_lower_is_better () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) (k ^ " gates") true (Obs.Bench_diff.lower_is_better k))
+    [
+      "seq_cold_ns"; "total_us"; "collect_ms"; "traceEvents/decode/dur";
+      "wire_bytes"; "cache_misses"; "cache_evictions"; "decode_errors";
+      "lost_bytes"; "pt/decode_calls"; "dropped";
+    ];
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (k ^ " informational") false
+        (Obs.Bench_diff.lower_is_better k))
+    [ "endpoints"; "warm_speedup"; "cache_hits"; "top_f1"; "buckets"; "runs" ]
+
+let test_bench_diff_self_clean () =
+  let doc = {|{"a_ns": 12.5, "nested": {"wire_bytes": 100}, "speedup": 2.0}|} in
+  let r = diff doc doc in
+  Alcotest.(check int) "no regressions against self" 0
+    r.Obs.Bench_diff.regressions;
+  Alcotest.(check int) "all leaves flattened" 3
+    (List.length r.Obs.Bench_diff.rows)
+
+let test_bench_diff_detects_regression () =
+  let old_ = {|{"a_ns": 100, "b_ns": 100, "speedup": 3.0}|} in
+  let new_ = {|{"a_ns": 150, "b_ns": 105, "speedup": 1.0}|} in
+  let r = diff old_ new_ in
+  (* a_ns +50% regresses; b_ns +5% is inside the 10% tolerance; speedup
+     collapsing is informational — wall-time keys are the gate. *)
+  Alcotest.(check int) "one regression" 1 r.Obs.Bench_diff.regressions;
+  Alcotest.(check bool) "a_ns flagged" true
+    (find_row r "a_ns").Obs.Bench_diff.regressed;
+  Alcotest.(check bool) "b_ns within tolerance" false
+    (find_row r "b_ns").Obs.Bench_diff.regressed;
+  Alcotest.(check bool) "speedup not gated" false
+    (find_row r "speedup").Obs.Bench_diff.gated;
+  let strict = diff ~max_regress:1.0 old_ new_ in
+  Alcotest.(check int) "tighter tolerance catches b_ns" 2
+    strict.Obs.Bench_diff.regressions
+
+let test_bench_diff_zero_baseline () =
+  (* 0 -> 0 is clean; 0 -> anything positive regresses (no percentage
+     exists, so any growth from a clean baseline must flag). *)
+  let r = diff {|{"errors": 0}|} {|{"errors": 0}|} in
+  Alcotest.(check int) "0 -> 0 clean" 0 r.Obs.Bench_diff.regressions;
+  let r = diff {|{"errors": 0}|} {|{"errors": 3}|} in
+  Alcotest.(check int) "0 -> 3 regresses" 1 r.Obs.Bench_diff.regressions
+
+let test_bench_diff_asymmetric_keys () =
+  let r = diff {|{"gone_ns": 5, "kept_ns": 5}|} {|{"kept_ns": 5, "new_ns": 9}|} in
+  Alcotest.(check int) "missing keys never gate" 0 r.Obs.Bench_diff.regressions;
+  let gone = find_row r "gone_ns" in
+  Alcotest.(check bool) "disappeared metric reported" true
+    (gone.Obs.Bench_diff.new_v = None);
+  let added = find_row r "new_ns" in
+  Alcotest.(check bool) "added metric reported" true
+    (added.Obs.Bench_diff.old_v = None)
+
+let test_bench_diff_named_list_elements () =
+  (* Chrome trace events: list elements key by their "name" field, so
+     span durations diff across runs even though lists are positional. *)
+  let old_ = {|{"traceEvents": [{"name": "decode", "dur": 100}]}|} in
+  let new_ = {|{"traceEvents": [{"name": "other", "dur": 1}, {"name": "decode", "dur": 200}]}|} in
+  let r = diff old_ new_ in
+  let row = find_row r "traceEvents/decode/dur" in
+  Alcotest.(check bool) "matched by name across positions" true
+    row.Obs.Bench_diff.regressed
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -463,5 +555,17 @@ let tests =
           test_sim_scheduler_telemetry;
         Alcotest.test_case "telemetry preserves determinism" `Quick
           test_sim_telemetry_preserves_determinism;
+      ] );
+    ( "obs.bench_diff",
+      [
+        Alcotest.test_case "lower-is-better heuristic" `Quick
+          test_bench_diff_lower_is_better;
+        Alcotest.test_case "self-diff is clean" `Quick test_bench_diff_self_clean;
+        Alcotest.test_case "detects regressions" `Quick
+          test_bench_diff_detects_regression;
+        Alcotest.test_case "zero baseline" `Quick test_bench_diff_zero_baseline;
+        Alcotest.test_case "asymmetric keys" `Quick test_bench_diff_asymmetric_keys;
+        Alcotest.test_case "named list elements" `Quick
+          test_bench_diff_named_list_elements;
       ] );
   ]

@@ -10,6 +10,10 @@ module Packet = Pt.Packet
 
 (* --- packet codec ------------------------------------------------------- *)
 
+(* Decoder steps are a flat array since the perf overhaul; tests keep
+   list-shaped assertions through this view. *)
+let steps_list (d : Pt.Decoder.result) = Array.to_list d.Pt.Decoder.steps
+
 let arbitrary_packet =
   QCheck.Gen.(
     oneof
@@ -142,7 +146,7 @@ let test_decoder_matches_execution () =
       Alcotest.(check bool)
         (Printf.sprintf "tid %d decodes clean" tid)
         false d.Pt.Decoder.desynced;
-      let decoded_iids = List.map (fun s -> s.Pt.Decoder.iid) d.Pt.Decoder.steps in
+      let decoded_iids = List.map (fun s -> s.Pt.Decoder.iid) (steps_list d) in
       let actual_list = List.assoc tid actual in
       (* The trace ends at the last control event, so the decoded sequence
          must be a prefix of the actual instruction sequence. *)
@@ -187,7 +191,7 @@ let test_decoder_time_bounds_contain_truth () =
             (match s.Pt.Decoder.t_hi with
             | None -> true
             | Some hi -> t_actual <= float_of_int hi +. 1.0))
-        d.Pt.Decoder.steps)
+        (steps_list d))
     snap.Pt.Driver.traces
 
 let test_ring_wrap_resync () =
@@ -211,7 +215,7 @@ let test_ring_wrap_resync () =
         Alcotest.(check bool) "no desync" false d.Pt.Decoder.desynced;
         (* The decoded iids must appear as a contiguous subsequence at the
            END of the actual execution (minus the untraced tail). *)
-        let decoded = List.map (fun s -> s.Pt.Decoder.iid) d.Pt.Decoder.steps in
+        let decoded = List.map (fun s -> s.Pt.Decoder.iid) (steps_list d) in
         let actual_iids = List.map fst (List.assoc tid actual) in
         let is_sub a b =
           (* a appears contiguously in b *)
@@ -268,7 +272,7 @@ let test_tail_stop_reaches_failing_pc () =
         ~tail_stop:(pc, int_of_float time_ns)
         bytes
     in
-    let iids = List.map (fun s -> s.Pt.Decoder.iid) d.Pt.Decoder.steps in
+    let iids = List.map (fun s -> s.Pt.Decoder.iid) (steps_list d) in
     Alcotest.(check bool) "failing instr decoded" true (List.mem !crash_iid iids);
     Alcotest.(check int) "it is the crash" (Sim.Failure.failing_iid failure)
       !crash_iid
@@ -296,14 +300,14 @@ let test_timing_modes_degrade_gracefully () =
           | None -> 1_000_000_000
         in
         acc + (hi - s.Pt.Decoder.t_lo))
-      0 d.Pt.Decoder.steps
-    / max 1 (List.length d.Pt.Decoder.steps)
+      0 (steps_list d)
+    / max 1 (List.length (steps_list d))
   in
   Alcotest.(check bool) "coarse timing widens intervals" true
     (width coarse >= width fine);
   Alcotest.(check bool) "both decode the same instructions" true
-    (List.map (fun s -> s.Pt.Decoder.iid) fine.Pt.Decoder.steps
-    = List.map (fun s -> s.Pt.Decoder.iid) coarse.Pt.Decoder.steps)
+    (List.map (fun s -> s.Pt.Decoder.iid) (steps_list fine)
+    = List.map (fun s -> s.Pt.Decoder.iid) (steps_list coarse))
 
 let test_open_window_is_explicit () =
   (* A trace whose last packets carry no timing (coarse Mtc_only mode, so
@@ -336,7 +340,7 @@ let test_open_window_is_explicit () =
                and is non-negative. *)
             Alcotest.(check bool) "window non-negative" true
               (hi - s.Pt.Decoder.t_lo >= 0 && hi < max_int / 2))
-        d.Pt.Decoder.steps)
+        (steps_list d))
     snap.Pt.Driver.traces;
   Alcotest.(check bool) "decoded something" true (!steps > 0);
   Alcotest.(check bool) "the untimed tail has an explicitly open bound" true
@@ -373,11 +377,11 @@ let test_watchpoint_fires () =
 let test_decoder_empty_and_garbage () =
   let m = fixture_module () in
   let d = Pt.Decoder.decode m ~config:Pt.Config.default Bytes.empty in
-  Alcotest.(check int) "empty snapshot, no steps" 0 (List.length d.Pt.Decoder.steps);
+  Alcotest.(check int) "empty snapshot, no steps" 0 (List.length (steps_list d));
   (* Garbage without a PSB: everything counted as lost, nothing decoded. *)
   let garbage = Bytes.make 64 '\x07' in
   let d = Pt.Decoder.decode m ~config:Pt.Config.default garbage in
-  Alcotest.(check int) "garbage, no steps" 0 (List.length d.Pt.Decoder.steps);
+  Alcotest.(check int) "garbage, no steps" 0 (List.length (steps_list d));
   Alcotest.(check int) "all bytes lost" 64 d.Pt.Decoder.lost_bytes
 
 let prop_decoder_total_on_corrupt_rings =
@@ -440,6 +444,118 @@ let test_decoder_mismatched_stream_desyncs () =
   let d = Pt.Decoder.decode m ~config:Pt.Config.default (Buffer.to_bytes buf) in
   Alcotest.(check bool) "flagged as desync" true d.Pt.Decoder.desynced
 
+(* --- decode cache -------------------------------------------------------- *)
+
+module Cache = Pt.Decode_cache
+
+let cache_fixture () =
+  let m = fixture_module () in
+  let result, driver, _ = run_with_oracle m in
+  let snap =
+    Pt.Driver.snapshot_now driver ~at_time_ns:result.Sim.Interp.final_time_ns
+  in
+  let _, bytes = List.hd snap.Pt.Driver.traces in
+  (m, bytes)
+
+let test_cache_find_add_stats () =
+  let m, bytes = cache_fixture () in
+  let c = Cache.create ~capacity:4 () in
+  let k = Cache.key m ~config:Pt.Config.default bytes in
+  Alcotest.(check bool) "cold probe misses" true (Cache.find c k = None);
+  let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
+  Cache.add c k d;
+  (match Cache.find c k with
+  | Some d' ->
+    (* The cached result is shared, not copied: steps arrays are the
+       contract's "treat as immutable" values. *)
+    Alcotest.(check bool) "hit shares the result" true (d' == d)
+  | None -> Alcotest.fail "expected a hit after add");
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses;
+  Alcotest.(check int) "evictions" 0 s.Cache.evictions;
+  Alcotest.(check int) "entries" 1 s.Cache.entries
+
+let test_cache_key_sensitivity () =
+  let m, bytes = cache_fixture () in
+  let config = Pt.Config.default in
+  let k = Cache.key m ~config bytes in
+  Alcotest.(check string) "same inputs, same key" k (Cache.key m ~config bytes);
+  (* The tail replay target changes the decoded step suffix, so it MUST
+     change the key: a no-tail decode cached for a tailed request would
+     silently truncate the failing thread's steps. *)
+  let k_tail = Cache.key m ~config ~tail_stop:(0x40, 900) bytes in
+  Alcotest.(check bool) "tail_stop in key" false (k = k_tail);
+  Alcotest.(check bool) "different tail pc differs" false
+    (k_tail = Cache.key m ~config ~tail_stop:(0x44, 900) bytes);
+  Alcotest.(check bool) "different tail time differs" false
+    (k_tail = Cache.key m ~config ~tail_stop:(0x40, 901) bytes);
+  let other_cfg = { config with Pt.Config.timing = Pt.Config.No_timing } in
+  Alcotest.(check bool) "config in key" false
+    (k = Cache.key m ~config:other_cfg bytes);
+  let flipped = Bytes.copy bytes in
+  Bytes.set flipped 0 (Char.chr (Char.code (Bytes.get flipped 0) lxor 1));
+  Alcotest.(check bool) "snapshot bytes in key" false
+    (k = Cache.key m ~config flipped)
+
+let test_cache_lru_eviction () =
+  let m, bytes = cache_fixture () in
+  let c = Cache.create ~capacity:2 () in
+  let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
+  let key_n n = Cache.key m ~config:Pt.Config.default ~tail_stop:(n, 0) bytes in
+  Cache.add c (key_n 1) d;
+  Cache.add c (key_n 2) d;
+  (* Touch 1 so 2 becomes the LRU victim when 3 arrives. *)
+  Alcotest.(check bool) "1 hits" true (Cache.find c (key_n 1) <> None);
+  Cache.add c (key_n 3) d;
+  Alcotest.(check bool) "1 survives" true (Cache.find c (key_n 1) <> None);
+  Alcotest.(check bool) "2 evicted" true (Cache.find c (key_n 2) = None);
+  Alcotest.(check bool) "3 present" true (Cache.find c (key_n 3) <> None);
+  let s = Cache.stats c in
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check int) "entries at capacity" 2 s.Cache.entries
+
+let test_cache_capacity_zero_disabled () =
+  let m, bytes = cache_fixture () in
+  let c = Cache.create ~capacity:0 () in
+  Alcotest.(check bool) "disabled" false (Cache.enabled c);
+  let k = Cache.key m ~config:Pt.Config.default bytes in
+  let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
+  Cache.add c k d;
+  Alcotest.(check bool) "add is a no-op" true (Cache.find c k = None);
+  Alcotest.(check int) "nothing stored" 0 (Cache.stats c).Cache.entries
+
+let test_cache_set_capacity_shrinks () =
+  let m, bytes = cache_fixture () in
+  let c = Cache.create ~capacity:8 () in
+  let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
+  for n = 1 to 6 do
+    Cache.add c (Cache.key m ~config:Pt.Config.default ~tail_stop:(n, 0) bytes) d
+  done;
+  Cache.set_capacity c 2;
+  let s = Cache.stats c in
+  Alcotest.(check int) "shrunk to capacity" 2 s.Cache.entries;
+  Alcotest.(check int) "shrink counted as evictions" 4 s.Cache.evictions;
+  Cache.clear c;
+  let s = Cache.stats c in
+  Alcotest.(check int) "clear empties" 0 s.Cache.entries;
+  Alcotest.(check int) "clear resets counters" 0 s.Cache.evictions
+
+let test_cache_hit_equals_fresh_decode () =
+  let m, bytes = cache_fixture () in
+  let c = Cache.create ~capacity:4 () in
+  let config = Pt.Config.default in
+  let k = Cache.key m ~config bytes in
+  Cache.add c k (Pt.Decoder.decode m ~config bytes);
+  let cached = Option.get (Cache.find c k) in
+  let fresh = Pt.Decoder.decode m ~config bytes in
+  Alcotest.(check bool) "steps equal" true
+    (cached.Pt.Decoder.steps = fresh.Pt.Decoder.steps);
+  Alcotest.(check int) "lost_bytes equal" fresh.Pt.Decoder.lost_bytes
+    cached.Pt.Decoder.lost_bytes;
+  Alcotest.(check bool) "desynced equal" fresh.Pt.Decoder.desynced
+    cached.Pt.Decoder.desynced
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -471,5 +587,17 @@ let tests =
       [
         Alcotest.test_case "tracer stats" `Quick test_tracer_stats;
         Alcotest.test_case "watchpoint fires" `Quick test_watchpoint_fires;
+      ] );
+    ( "pt.decode_cache",
+      [
+        Alcotest.test_case "find/add/stats" `Quick test_cache_find_add_stats;
+        Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
+        Alcotest.test_case "LRU eviction" `Quick test_cache_lru_eviction;
+        Alcotest.test_case "capacity 0 disables" `Quick
+          test_cache_capacity_zero_disabled;
+        Alcotest.test_case "set_capacity shrinks, clear resets" `Quick
+          test_cache_set_capacity_shrinks;
+        Alcotest.test_case "hit equals fresh decode" `Quick
+          test_cache_hit_equals_fresh_decode;
       ] );
   ]

@@ -370,6 +370,151 @@ let test_tablefmt_formats () =
   Alcotest.(check string) "pct" "0.97" (Tablefmt.fmt_pct 0.9701);
   Alcotest.(check string) "factor" "4.6x" (Tablefmt.fmt_x 4.6)
 
+(* --- dynbuf ------------------------------------------------------------- *)
+
+module Dynbuf = Snorlax_util.Dynbuf
+module Pool = Snorlax_util.Pool
+
+let test_dynbuf_basic () =
+  let b = Dynbuf.create () in
+  Alcotest.(check int) "empty" 0 (Dynbuf.length b);
+  Alcotest.(check (array int)) "empty to_array" [||] (Dynbuf.to_array b);
+  for i = 0 to 99 do
+    Dynbuf.push b (i * i)
+  done;
+  Alcotest.(check int) "length" 100 (Dynbuf.length b);
+  Alcotest.(check int) "get" (42 * 42) (Dynbuf.get b 42);
+  Alcotest.(check (array int)) "to_array in push order"
+    (Array.init 100 (fun i -> i * i))
+    (Dynbuf.to_array b);
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Dynbuf.get")
+    (fun () -> ignore (Dynbuf.get b 100));
+  Alcotest.check_raises "get negative" (Invalid_argument "Dynbuf.get")
+    (fun () -> ignore (Dynbuf.get b (-1)))
+
+let test_dynbuf_iter () =
+  let b = Dynbuf.create () in
+  List.iter (Dynbuf.push b) [ 3; 1; 4; 1; 5 ];
+  let seen = ref [] in
+  Dynbuf.iter (fun x -> seen := x :: !seen) b;
+  Alcotest.(check (list int)) "iter order" [ 3; 1; 4; 1; 5 ] (List.rev !seen);
+  let indexed = ref [] in
+  Dynbuf.iteri (fun i x -> indexed := (i, x) :: !indexed) b;
+  Alcotest.(check (list (pair int int)))
+    "iteri order"
+    [ (0, 3); (1, 1); (2, 4); (3, 1); (4, 5) ]
+    (List.rev !indexed)
+
+let test_dynbuf_clear_reuses () =
+  let b = Dynbuf.create () in
+  for i = 0 to 40 do
+    Dynbuf.push b i
+  done;
+  Dynbuf.clear b;
+  Alcotest.(check int) "empty after clear" 0 (Dynbuf.length b);
+  Dynbuf.push b 7;
+  Alcotest.(check (array int)) "refilled" [| 7 |] (Dynbuf.to_array b)
+
+let prop_dynbuf_matches_list =
+  QCheck.Test.make ~name:"Dynbuf.to_array equals the pushed list" ~count:300
+    QCheck.(list int)
+    (fun xs ->
+      let b = Dynbuf.create () in
+      List.iter (Dynbuf.push b) xs;
+      Dynbuf.to_array b = Array.of_list xs
+      && Dynbuf.length b = List.length xs)
+
+(* --- pool --------------------------------------------------------------- *)
+
+(* The determinism contract: map output must be identical to a sequential
+   run for every pool size, including sizes above the item count. *)
+let test_pool_map_matches_sequential () =
+  let input = Array.init 57 (fun i -> i) in
+  let f _ x = (x * 2) + 1 in
+  let expected = Array.mapi f input in
+  List.iter
+    (fun jobs ->
+      let p = Pool.create ~jobs in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expected (Pool.map p f input);
+      Pool.shutdown p)
+    [ 1; 2; 4; 64 ]
+
+let test_pool_run_covers_all_indices () =
+  let p = Pool.create ~jobs:4 in
+  let hits = Array.make 100 0 in
+  (* Slots are disjoint per index, so unsynchronized writes are safe. *)
+  Pool.run p 100 (fun i -> hits.(i) <- hits.(i) + 1);
+  Pool.shutdown p;
+  Alcotest.(check (array int)) "each index exactly once" (Array.make 100 1) hits
+
+let test_pool_empty_batch () =
+  let p = Pool.create ~jobs:2 in
+  Pool.run p 0 (fun _ -> Alcotest.fail "batch of 0 must not call f");
+  Alcotest.(check (array int)) "empty map" [||] (Pool.map p (fun _ x -> x) [||]);
+  Pool.shutdown p
+
+let test_pool_propagates_exception () =
+  List.iter
+    (fun jobs ->
+      let p = Pool.create ~jobs in
+      let completed = Atomic.make 0 in
+      let raised =
+        match
+          Pool.run p 10 (fun i ->
+              if i = 3 then failwith "boom" else Atomic.incr completed)
+        with
+        | () -> false
+        | exception Failure msg -> msg = "boom"
+      in
+      Pool.shutdown p;
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d re-raises" jobs)
+        true raised;
+      (* Remaining items still ran: the batch drains before re-raising. *)
+      Alcotest.(check int)
+        (Printf.sprintf "jobs=%d drains batch" jobs)
+        9 (Atomic.get completed))
+    [ 1; 3 ]
+
+let test_pool_reusable_after_batch () =
+  let p = Pool.create ~jobs:3 in
+  let a = Pool.map p (fun _ x -> x + 1) (Array.init 20 (fun i -> i)) in
+  let b = Pool.map p (fun _ x -> x * 3) (Array.init 31 (fun i -> i)) in
+  Pool.shutdown p;
+  Alcotest.(check (array int)) "first batch" (Array.init 20 (fun i -> i + 1)) a;
+  Alcotest.(check (array int)) "second batch" (Array.init 31 (fun i -> i * 3)) b
+
+let test_pool_shutdown_idempotent () =
+  let p = Pool.create ~jobs:2 in
+  Pool.shutdown p;
+  Pool.shutdown p;
+  (* A stopped pool still runs batches, inline. *)
+  Alcotest.(check (array int))
+    "inline after shutdown"
+    [| 0; 2; 4 |]
+    (Pool.map p (fun _ x -> 2 * x) [| 0; 1; 2 |])
+
+let test_pool_default_jobs_clamped () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 0;
+  Alcotest.(check int) "clamped to 1" 1 (Pool.default_jobs ());
+  Pool.set_default_jobs 6;
+  Alcotest.(check int) "set" 6 (Pool.default_jobs ());
+  Pool.set_default_jobs saved
+
+let prop_pool_map_deterministic =
+  QCheck.Test.make ~name:"Pool.map equals Array.mapi for any size" ~count:25
+    QCheck.(pair (int_range 1 5) (list small_int))
+    (fun (jobs, xs) ->
+      let input = Array.of_list xs in
+      let f i x = (i * 31) + x in
+      let p = Pool.create ~jobs in
+      let out = Pool.map p f input in
+      Pool.shutdown p;
+      out = Array.mapi f input)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -433,5 +578,29 @@ let tests =
         Alcotest.test_case "renders" `Quick test_tablefmt_renders;
         Alcotest.test_case "arity checked" `Quick test_tablefmt_arity_checked;
         Alcotest.test_case "formats" `Quick test_tablefmt_formats;
+      ] );
+    ( "util.dynbuf",
+      [
+        Alcotest.test_case "push/get/to_array" `Quick test_dynbuf_basic;
+        Alcotest.test_case "iter/iteri order" `Quick test_dynbuf_iter;
+        Alcotest.test_case "clear reuses storage" `Quick test_dynbuf_clear_reuses;
+        qtest prop_dynbuf_matches_list;
+      ] );
+    ( "util.pool",
+      [
+        Alcotest.test_case "map matches sequential" `Quick
+          test_pool_map_matches_sequential;
+        Alcotest.test_case "run covers all indices" `Quick
+          test_pool_run_covers_all_indices;
+        Alcotest.test_case "empty batch" `Quick test_pool_empty_batch;
+        Alcotest.test_case "exception propagates after drain" `Quick
+          test_pool_propagates_exception;
+        Alcotest.test_case "reusable across batches" `Quick
+          test_pool_reusable_after_batch;
+        Alcotest.test_case "shutdown idempotent, then inline" `Quick
+          test_pool_shutdown_idempotent;
+        Alcotest.test_case "default jobs clamped" `Quick
+          test_pool_default_jobs_clamped;
+        qtest prop_pool_map_deterministic;
       ] );
   ]
