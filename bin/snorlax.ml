@@ -515,6 +515,101 @@ let bench_compare old_path new_path max_regress verbose =
       1
     end
 
+let oracle_run bug_id all out decode_jobs decode_cache trace_out metrics_out
+    obs_summary =
+  apply_decode_opts decode_jobs decode_cache;
+  let obs_wanted = trace_out <> None || metrics_out <> None || obs_summary in
+  if obs_wanted then ignore (Obs.Scope.enable ());
+  let bugs =
+    match (bug_id, all) with
+    | _, true -> Ok Corpus.Registry.all
+    | Some id, false -> (
+      match Corpus.Registry.find id with
+      | Some bug -> Ok [ bug ]
+      | None -> Error (Printf.sprintf "unknown bug id %s (try `snorlax list`)" id))
+    | None, false -> Error "pass --bug ID or --all"
+  in
+  match bugs with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | Ok bugs ->
+    Printf.printf
+      "Cross-checking %d bug(s): diagnosis pipeline vs happens-before \
+       oracle...\n%!"
+      (List.length bugs);
+    let results = Oracle.Diffcheck.check_all bugs in
+    let t =
+      Snorlax_util.Tablefmt.create
+        ~headers:
+          [
+            "bug"; "kind"; "verdict"; "races"; "events"; "pairs ok";
+            "top pattern";
+          ]
+    in
+    let errors = ref 0 and diverging = ref [] in
+    List.iter
+      (fun (id, r) ->
+        match r with
+        | Error msg ->
+          incr errors;
+          Snorlax_util.Tablefmt.add_row t
+            [ id; "-"; "ERROR: " ^ msg; "-"; "-"; "-"; "-" ]
+        | Ok (r : Oracle.Diffcheck.bug_result) ->
+          if Oracle.Diffcheck.diverged r then diverging := (id, r) :: !diverging;
+          Snorlax_util.Tablefmt.add_row t
+            [
+              id;
+              r.Oracle.Diffcheck.bug_kind;
+              Oracle.Diffcheck.classification_name
+                r.Oracle.Diffcheck.classification;
+              string_of_int r.Oracle.Diffcheck.oracle_races;
+              string_of_int r.Oracle.Diffcheck.oracle_events;
+              Printf.sprintf "%d/%d"
+                (List.length r.Oracle.Diffcheck.checked
+                - List.length r.Oracle.Diffcheck.spurious)
+                (List.length r.Oracle.Diffcheck.checked);
+              Option.value ~default:"-" r.Oracle.Diffcheck.top_pattern;
+            ])
+      results;
+    Snorlax_util.Tablefmt.print t;
+    List.iter
+      (fun (id, (r : Oracle.Diffcheck.bug_result)) ->
+        Printf.printf "\n%s DIVERGES (%s):\n" id
+          (Oracle.Diffcheck.classification_name r.Oracle.Diffcheck.classification);
+        List.iter
+          (fun (c : Oracle.Diffcheck.pair_check) ->
+            match c.Oracle.Diffcheck.verdict with
+            | Analysis.Hb.No_conflict ->
+              Printf.printf "  pair (%d, %d): no conflict observed\n"
+                c.Oracle.Diffcheck.a_iid c.Oracle.Diffcheck.b_iid
+            | Analysis.Hb.Conflict { ordering; path } ->
+              Printf.printf "  pair (%d, %d): %s\n" c.Oracle.Diffcheck.a_iid
+                c.Oracle.Diffcheck.b_iid
+                (match ordering with
+                | Analysis.Hb.Racy -> "racy"
+                | Analysis.Hb.Lock_ordered -> "lock-ordered"
+                | Analysis.Hb.Enforced ->
+                  "ENFORCED: " ^ String.concat " -> " path))
+          r.Oracle.Diffcheck.checked;
+        List.iter
+          (fun (m : Analysis.Hb.race) ->
+            Printf.printf "  uncovered anchor race (%d, %d)\n"
+              m.Analysis.Hb.a_iid m.Analysis.Hb.b_iid)
+          r.Oracle.Diffcheck.missed;
+        List.iter (fun n -> Printf.printf "  note: %s\n" n)
+          r.Oracle.Diffcheck.notes)
+      (List.rev !diverging);
+    let agree = List.length results - List.length !diverging - !errors in
+    Printf.printf "\n%d/%d agree, %d diverge, %d reproduction error(s).\n"
+      agree (List.length results)
+      (List.length !diverging)
+      !errors;
+    let json_ok = write_json out (Oracle.Diffcheck.to_json results) in
+    if json_ok then Printf.printf "Oracle bench written to %s\n" out;
+    let obs_ok = emit_obs ~trace_out ~metrics_out ~obs_summary in
+    if !diverging = [] && !errors = 0 && json_ok && obs_ok then 0 else 1
+
 (* --- cmdliner plumbing ------------------------------------------------- *)
 
 let bug_arg =
@@ -706,6 +801,36 @@ let bench_compare_cmd =
           metrics are informational")
     Term.(const bench_compare $ old_arg $ new_arg $ max_regress $ verbose)
 
+let oracle_cmd =
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"BUG_ID" ~doc:"Cross-check one corpus bug.")
+  in
+  let all =
+    Arg.(
+      value & flag & info [ "all" ] ~doc:"Cross-check the full 54-bug corpus.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_oracle.json"
+      & info [ "out" ] ~docv:"FILE.json"
+          ~doc:"Where to write the differential-check artifact.")
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:
+         "Differential cross-check: replay each bug's failing interleaving \
+          under a vector-clock happens-before oracle and verify every pair \
+          the diagnosis pipeline blames (agree / diagnosis-miss / \
+          diagnosis-spurious / oracle-only); exits non-zero on any \
+          divergence")
+    Term.(
+      const oracle_run $ bug $ all $ out $ decode_jobs_arg $ decode_cache_arg
+      $ trace_out_arg $ metrics_out_arg $ obs_summary_arg)
+
 let experiment_cmd =
   let exp_name =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
@@ -731,8 +856,8 @@ let main_cmd =
          "Lazy Diagnosis of in-production concurrency bugs (SOSP'17 \
           reproduction)")
     [
-      list_cmd; diagnose_cmd; fleet_cmd; chaos_cmd; dump_cmd; replay_cmd;
-      validate_cmd; experiment_cmd; bench_compare_cmd;
+      list_cmd; diagnose_cmd; fleet_cmd; chaos_cmd; oracle_cmd; dump_cmd;
+      replay_cmd; validate_cmd; experiment_cmd; bench_compare_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -44,6 +44,12 @@ if dune exec bin/snorlax.exe -- bench-compare BENCH_decode.json \
 fi
 rm -f /tmp/snorlax_bench_regressed.json
 
+echo "== oracle gate =="
+# Differential cross-check of the whole corpus against the
+# happens-before oracle: nonzero exit on any diagnosis-miss,
+# diagnosis-spurious or oracle-only divergence.
+dune exec bin/snorlax.exe -- oracle --all --out BENCH_oracle.json
+
 echo "== chaos gate =="
 # Exit status is the gate: any invariant violation, uncaught exception or
 # nondeterministic replay in the fault-injection sweep fails the build.

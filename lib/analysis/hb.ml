@@ -1,0 +1,389 @@
+module Imap = Map.Make (Int)
+module Dynbuf = Snorlax_util.Dynbuf
+
+module Vc = struct
+  type t = int Imap.t
+
+  let empty = Imap.empty
+  let get t k = match Imap.find_opt k t with Some v -> v | None -> 0
+  let tick k t = Imap.add k (get t k + 1) t
+  let join a b = Imap.union (fun _ x y -> Some (max x y)) a b
+  let leq a b = Imap.for_all (fun k v -> v <= get b k) a
+end
+
+type access_kind = Read | Write
+
+type event =
+  | Access of
+      { tid : int; iid : int; addr : int; size : int; kind : access_kind }
+  | Free of { tid : int; iid : int; addr : int; size : int }
+  | Lock_attempt of { tid : int; iid : int; lock : int }
+  | Acquire of { tid : int; iid : int; lock : int }
+  | Release of { tid : int; iid : int; lock : int }
+  | Fork of { parent : int; child : int; iid : int }
+  | Join of { tid : int; target : int; iid : int }
+  | Cond_wake of { waker : int; woken : int; cond : int }
+
+type ordering = Racy | Lock_ordered | Enforced
+
+type race = {
+  a_iid : int;
+  b_iid : int;
+  a_kind : access_kind;
+  b_kind : access_kind;
+}
+
+type verdict =
+  | No_conflict
+  | Conflict of { ordering : ordering; path : string list }
+
+(* Sync nodes: one per synchronization action, threaded in program order
+   within each thread ([n_pos] is the index in the thread's own node
+   list) plus labelled cross-thread edges.  Accesses are not nodes — each
+   access record remembers how many sync nodes its thread had emitted, so
+   a path query starts at the thread's next sync node after the access
+   and ends at any sync node preceding the other access. *)
+type edge_kind = E_fork | E_join | E_cond | E_lock
+
+type node = {
+  n_tid : int;
+  n_pos : int;
+  n_label : string;
+  mutable n_out : (edge_kind * int) list;
+}
+
+type tstate = {
+  (* Own component starts at 1 so an access epoch is never ≤ the 0 a
+     foreign clock reports for threads it has no edge from. *)
+  mutable full : Vc.t;
+  mutable enf : Vc.t;
+  tnodes : int Dynbuf.t; (* node ids, program order *)
+  mutable held : (int * int) list; (* lock addr -> acquiring iid *)
+}
+
+type arec = {
+  r_tid : int;
+  r_iid : int;
+  r_kind : access_kind;
+  r_ep_full : int;
+  r_ep_enf : int;
+  r_pos : int;
+}
+
+(* Weakest ordering observed for a static pair: 0 racy, 1 lock-mediated,
+   2 enforced; [pa]/[pb] witness that weakest dynamic instance pair in
+   stream order. *)
+type pinfo = { mutable cls : int; mutable pa : arec; mutable pb : arec }
+
+type t = {
+  threads : (int, tstate) Hashtbl.t;
+  lock_clocks : (int, Vc.t) Hashtbl.t;
+  last_release : (int, int) Hashtbl.t; (* lock -> release node id *)
+  cells : (int, arec list ref) Hashtbl.t; (* addr -> last record per key *)
+  mutable franges : (arec * int * int) list; (* free records, [lo, hi) *)
+  pairs : (int * int, pinfo) Hashtbl.t;
+  kinds : (int, access_kind) Hashtbl.t;
+  nodes : node Dynbuf.t;
+  ledges : (int * int * int * int * int, unit) Hashtbl.t;
+  ledges_order : (int * int * int * int * int) Dynbuf.t;
+  mutable events : int;
+}
+
+let create () =
+  {
+    threads = Hashtbl.create 16;
+    lock_clocks = Hashtbl.create 16;
+    last_release = Hashtbl.create 16;
+    cells = Hashtbl.create 1024;
+    franges = [];
+    pairs = Hashtbl.create 256;
+    kinds = Hashtbl.create 256;
+    nodes = Dynbuf.create ();
+    ledges = Hashtbl.create 64;
+    ledges_order = Dynbuf.create ();
+    events = 0;
+  }
+
+let tstate t tid =
+  match Hashtbl.find_opt t.threads tid with
+  | Some ts -> ts
+  | None ->
+    let ts =
+      {
+        full = Vc.tick tid Vc.empty;
+        enf = Vc.tick tid Vc.empty;
+        tnodes = Dynbuf.create ();
+        held = [];
+      }
+    in
+    Hashtbl.add t.threads tid ts;
+    ts
+
+let new_node t ts ~tid ~label =
+  let id = Dynbuf.length t.nodes in
+  let n = { n_tid = tid; n_pos = Dynbuf.length ts.tnodes; n_label = label; n_out = [] } in
+  Dynbuf.push t.nodes n;
+  Dynbuf.push ts.tnodes id;
+  id
+
+let add_edge t kind ~src ~dst =
+  let n = Dynbuf.get t.nodes src in
+  n.n_out <- (kind, dst) :: n.n_out
+
+(* 0 racy / 1 lock / 2 enforced for prior record [r] vs the current state
+   of the accessing thread. *)
+let classify ts (r : arec) =
+  if r.r_ep_full <= Vc.get ts.full r.r_tid then
+    if r.r_ep_enf <= Vc.get ts.enf r.r_tid then 2 else 1
+  else 0
+
+let note_pair t ~(first : arec) ~(second : arec) cls =
+  let key =
+    if first.r_iid <= second.r_iid then (first.r_iid, second.r_iid)
+    else (second.r_iid, first.r_iid)
+  in
+  match Hashtbl.find_opt t.pairs key with
+  | None -> Hashtbl.add t.pairs key { cls; pa = first; pb = second }
+  | Some p ->
+    if cls < p.cls then begin
+      p.cls <- cls;
+      p.pa <- first;
+      p.pb <- second
+    end
+
+let process_access t ~tid ~iid ~addr ~size ~kind ~is_free =
+  let ts = tstate t tid in
+  Hashtbl.replace t.kinds iid kind;
+  let cur =
+    {
+      r_tid = tid;
+      r_iid = iid;
+      r_kind = kind;
+      r_ep_full = Vc.get ts.full tid;
+      r_ep_enf = Vc.get ts.enf tid;
+      r_pos = Dynbuf.length ts.tnodes;
+    }
+  in
+  let hi = addr + max 1 size in
+  let consider (r : arec) =
+    let conflicting =
+      (r.r_kind = Write || kind = Write)
+      && not (r.r_tid = tid && r.r_iid = iid)
+    in
+    if conflicting then
+      let cls = if r.r_tid = tid then 2 else classify ts r in
+      note_pair t ~first:r ~second:cur cls
+  in
+  (* Prior frees overlapping this byte range always apply. *)
+  List.iter
+    (fun (r, lo, fhi) -> if lo < hi && addr < fhi then consider r)
+    t.franges;
+  if is_free then begin
+    (* A free conflicts with every recorded cell inside the block; frees
+       are rare, so the full-table scan is cheap in practice. *)
+    Hashtbl.iter
+      (fun a recs -> if a >= addr && a < hi then List.iter consider !recs)
+      t.cells;
+    t.franges <- (cur, addr, hi) :: t.franges
+  end
+  else begin
+    (match Hashtbl.find_opt t.cells addr with
+    | Some recs -> List.iter consider !recs
+    | None -> ());
+    (* Keep only the newest record per (tid, iid, kind): ordering against
+       future accesses through a superseded instance is implied by
+       program order to the newer one, so nothing is lost. *)
+    let recs =
+      match Hashtbl.find_opt t.cells addr with
+      | Some r -> r
+      | None ->
+        let r = ref [] in
+        Hashtbl.add t.cells addr r;
+        r
+    in
+    recs :=
+      cur
+      :: List.filter
+           (fun r ->
+             not (r.r_tid = tid && r.r_iid = iid && r.r_kind = kind))
+           !recs
+  end
+
+let feed t event =
+  t.events <- t.events + 1;
+  match event with
+  | Access { tid; iid; addr; size; kind } ->
+    process_access t ~tid ~iid ~addr ~size ~kind ~is_free:false
+  | Free { tid; iid; addr; size } ->
+    process_access t ~tid ~iid ~addr ~size ~kind:Write ~is_free:true
+  | Lock_attempt { tid; iid; lock } ->
+    let ts = tstate t tid in
+    List.iter
+      (fun (held, hiid) ->
+        if held <> lock then begin
+          let e = (tid, held, hiid, lock, iid) in
+          if not (Hashtbl.mem t.ledges e) then begin
+            Hashtbl.add t.ledges e ();
+            Dynbuf.push t.ledges_order e
+          end
+        end)
+      ts.held
+  | Acquire { tid; iid; lock } ->
+    let ts = tstate t tid in
+    (match Hashtbl.find_opt t.lock_clocks lock with
+    | Some lc -> ts.full <- Vc.join ts.full lc
+    | None -> ());
+    let n =
+      new_node t ts ~tid
+        ~label:(Printf.sprintf "t%d acquires lock 0x%x (iid %d)" tid lock iid)
+    in
+    (match Hashtbl.find_opt t.last_release lock with
+    | Some rel -> add_edge t E_lock ~src:rel ~dst:n
+    | None -> ());
+    ts.held <- (lock, iid) :: List.remove_assoc lock ts.held
+  | Release { tid; iid; lock } ->
+    let ts = tstate t tid in
+    Hashtbl.replace t.lock_clocks lock ts.full;
+    ts.full <- Vc.tick tid ts.full;
+    let n =
+      new_node t ts ~tid
+        ~label:(Printf.sprintf "t%d releases lock 0x%x (iid %d)" tid lock iid)
+    in
+    Hashtbl.replace t.last_release lock n;
+    ts.held <- List.remove_assoc lock ts.held
+  | Fork { parent; child; iid } ->
+    let ps = tstate t parent in
+    let pn =
+      new_node t ps ~tid:parent
+        ~label:(Printf.sprintf "t%d forks t%d (iid %d)" parent child iid)
+    in
+    let cs = tstate t child in
+    cs.full <- Vc.join cs.full ps.full;
+    cs.enf <- Vc.join cs.enf ps.enf;
+    ps.full <- Vc.tick parent ps.full;
+    ps.enf <- Vc.tick parent ps.enf;
+    let cn =
+      new_node t cs ~tid:child ~label:(Printf.sprintf "t%d begins" child)
+    in
+    add_edge t E_fork ~src:pn ~dst:cn
+  | Join { tid; target; iid } ->
+    let ts = tstate t tid in
+    let gs = tstate t target in
+    ts.full <- Vc.join ts.full gs.full;
+    ts.enf <- Vc.join ts.enf gs.enf;
+    let en =
+      new_node t gs ~tid:target ~label:(Printf.sprintf "t%d ends" target)
+    in
+    let jn =
+      new_node t ts ~tid
+        ~label:(Printf.sprintf "t%d joins t%d (iid %d)" tid target iid)
+    in
+    add_edge t E_join ~src:en ~dst:jn
+  | Cond_wake { waker; woken; cond } ->
+    let ws = tstate t waker in
+    let vs = tstate t woken in
+    vs.full <- Vc.join vs.full ws.full;
+    vs.enf <- Vc.join vs.enf ws.enf;
+    ws.full <- Vc.tick waker ws.full;
+    ws.enf <- Vc.tick waker ws.enf;
+    let sn =
+      new_node t ws ~tid:waker
+        ~label:(Printf.sprintf "t%d signals cond 0x%x" waker cond)
+    in
+    let wn =
+      new_node t vs ~tid:woken
+        ~label:(Printf.sprintf "t%d wakes on cond 0x%x" woken cond)
+    in
+    add_edge t E_cond ~src:sn ~dst:wn
+
+(* Breadth-first search over the sync-node graph from just after access
+   [a] to just before access [b]; [allow_lock] selects the full relation
+   or the enforced subgraph. *)
+let find_path t ~allow_lock (a : arec) (b : arec) =
+  let endpoints mid =
+    (Printf.sprintf "t%d iid %d" a.r_tid a.r_iid :: mid)
+    @ [ Printf.sprintf "t%d iid %d" b.r_tid b.r_iid ]
+  in
+  if a.r_tid = b.r_tid then
+    [
+      Printf.sprintf "t%d program order: iid %d precedes iid %d" a.r_tid
+        a.r_iid b.r_iid;
+    ]
+  else
+    match Hashtbl.find_opt t.threads a.r_tid with
+    | None -> []
+    | Some ats ->
+      if Dynbuf.length ats.tnodes <= a.r_pos then []
+      else begin
+        let start = Dynbuf.get ats.tnodes a.r_pos in
+        let prev = Hashtbl.create 64 in
+        let q = Queue.create () in
+        Hashtbl.add prev start (-1);
+        Queue.add start q;
+        let goal = ref None in
+        while !goal = None && not (Queue.is_empty q) do
+          let id = Queue.pop q in
+          let n = Dynbuf.get t.nodes id in
+          if n.n_tid = b.r_tid && n.n_pos < b.r_pos then goal := Some id
+          else begin
+            let push dst =
+              if not (Hashtbl.mem prev dst) then begin
+                Hashtbl.add prev dst id;
+                Queue.add dst q
+              end
+            in
+            (match Hashtbl.find_opt t.threads n.n_tid with
+            | Some nts when n.n_pos + 1 < Dynbuf.length nts.tnodes ->
+              push (Dynbuf.get nts.tnodes (n.n_pos + 1))
+            | Some _ | None -> ());
+            List.iter
+              (fun (k, dst) -> if allow_lock || k <> E_lock then push dst)
+              n.n_out
+          end
+        done;
+        match !goal with
+        | None -> []
+        | Some g ->
+          let rec walk id acc =
+            if id = -1 then acc
+            else
+              walk (Hashtbl.find prev id)
+                ((Dynbuf.get t.nodes id).n_label :: acc)
+          in
+          endpoints (walk g [])
+      end
+
+let pair_verdict t a b =
+  let key = (min a b, max a b) in
+  match Hashtbl.find_opt t.pairs key with
+  | None -> No_conflict
+  | Some p ->
+    let ordering =
+      match p.cls with 0 -> Racy | 1 -> Lock_ordered | _ -> Enforced
+    in
+    let path =
+      match ordering with
+      | Racy -> []
+      | Lock_ordered -> find_path t ~allow_lock:true p.pa p.pb
+      | Enforced -> find_path t ~allow_lock:false p.pa p.pb
+    in
+    Conflict { ordering; path }
+
+let races t =
+  Hashtbl.fold
+    (fun (a_iid, b_iid) (p : pinfo) acc ->
+      if p.cls = 0 then
+        {
+          a_iid;
+          b_iid;
+          a_kind = Hashtbl.find t.kinds a_iid;
+          b_kind = Hashtbl.find t.kinds b_iid;
+        }
+        :: acc
+      else acc)
+    t.pairs []
+  |> List.sort (fun x y -> compare (x.a_iid, x.b_iid) (y.a_iid, y.b_iid))
+
+let lock_edges t = List.of_seq (Dynbuf.to_array t.ledges_order |> Array.to_seq)
+let event_count t = t.events
+let race_count t = List.length (races t)

@@ -319,12 +319,32 @@ let generate_deadlock m ~points_to ~tp ~blocked =
         (fun sides -> Deadlock_cycle { sides = canonicalize sides })
         (take 16 combos)
 
+(* Canonical output order: simpler explanations first (order violations,
+   then deadlocks, then atomicity), then by target iids, then by the full
+   identity.  Generation itself walks candidate lists whose order leaks
+   the type-ranking traversal; sorting here pins the output — and the
+   statistics tie-breaks downstream — to the patterns themselves, and
+   drops duplicates the two generation paths may both produce. *)
+let kind_rank = function
+  | Order _ -> 0
+  | Deadlock_cycle _ -> 1
+  | Atomicity _ -> 2
+
+let canonical ps =
+  List.sort_uniq
+    (fun a b ->
+      compare
+        (kind_rank a, ordered_iids a, id a)
+        (kind_rank b, ordered_iids b, id b))
+    ps
+
 let generate m ~points_to ~tp ~info ~failing_tid ~candidates =
-  match (info : Report.failure_info) with
-  | Report.Crash_info { failing_iid; _ } ->
-    generate_crash m ~tp ~anchor_iid:failing_iid ~failing_tid ~candidates
-  | Report.Deadlock_info { blocked } ->
-    generate_deadlock m ~points_to ~tp ~blocked
+  canonical
+    (match (info : Report.failure_info) with
+    | Report.Crash_info { failing_iid; _ } ->
+      generate_crash m ~tp ~anchor_iid:failing_iid ~failing_tid ~candidates
+    | Report.Deadlock_info { blocked } ->
+      generate_deadlock m ~points_to ~tp ~blocked)
 
 (* --- Presence checks --------------------------------------------------- *)
 

@@ -40,6 +40,15 @@ let of_sim_failure failure ~time_ns ~traces =
       failure_time_ns = time;
       traces;
     }
+  | Sim.Failure.Lock_misuse { tid; iid; _ } ->
+    (* The runtime aborts at the faulting lock call, like an assertion
+       firing inside the lock implementation; diagnosis anchors there. *)
+    {
+      info = Crash_info { failing_iid = iid; crash_kind = Assertion };
+      failing_tid = tid;
+      failure_time_ns = time;
+      traces;
+    }
   | Sim.Failure.Deadlock { waiters } ->
     let blocked = List.map (fun (tid, iid, _) -> (tid, iid)) waiters in
     let failing_tid =

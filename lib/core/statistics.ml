@@ -40,9 +40,32 @@ let score m ~points_to ~patterns ~failing ~successful =
     | Patterns.Order _ | Patterns.Deadlock_cycle _ -> 0
     | Patterns.Atomicity _ -> 1
   in
+  (* Same-class ties are broken by proximate cause: among remote accesses
+     that all perfectly separate failing from successful runs, the one
+     that executed *last* before the failure is the one the failing read
+     actually observed (e.g. the free racing a reader outranks the store
+     that preceded that free). *)
+  let proximity =
+    match failing with
+    | [] -> fun _ -> 0
+    | tp :: _ -> (
+      fun pattern ->
+        match pattern with
+        | Patterns.Order { remote_iid; _ }
+        | Patterns.Atomicity { remote_iid; _ } ->
+          List.fold_left
+            (fun acc (e : Trace_processing.event) ->
+              max acc e.Trace_processing.seq)
+            (-1)
+            (Trace_processing.instances tp ~iid:remote_iid)
+        | Patterns.Deadlock_cycle _ -> 0)
+  in
   let cmp a b =
     match compare b.f1 a.f1 with
-    | 0 -> compare (class_rank a.pattern) (class_rank b.pattern)
+    | 0 -> (
+      match compare (class_rank a.pattern) (class_rank b.pattern) with
+      | 0 -> compare (proximity b.pattern) (proximity a.pattern)
+      | c -> c)
     | c -> c
   in
   List.stable_sort cmp scored

@@ -43,6 +43,7 @@ let measure ?(samples = 10) ?(max_tries = 4000) bug =
               0.0);
         gate = None;
         on_sched = None;
+        on_obs = None;
       }
     in
     let config = { Sim.Interp.default_config with seed = !seed; hooks } in

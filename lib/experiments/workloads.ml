@@ -103,6 +103,7 @@ let run_overhead spec ~threads ~seed ~tracer_config ~gist_costs =
         on_instr = None;
         gate = None;
         on_sched = None;
+        on_obs = None;
       }
     | None, Some costs ->
       Gist.instrument_hooks ~monitored ~threads ~costs

@@ -1,0 +1,18 @@
+(** Bridge from the simulator's observation hook to the happens-before
+    oracle: each {!Sim.Hooks.obs_event} becomes one {!Analysis.Hb.event}
+    fed to an engine.
+
+    Observation has zero virtual-time cost (the hook neither advances the
+    clock nor consumes scheduler randomness), so re-running a recorded
+    failing seed with these hooks attached reproduces the exact
+    interleaving the failure originally took. *)
+
+val feed : Analysis.Hb.t -> Sim.Hooks.obs_event -> unit
+(** Translate one event.  [Obs_cond_park] is dropped: parking releases
+    the mutex, which the interpreter already reports as a separate
+    [Obs_lock_released], and the wake edge arrives with [Obs_cond_wake]. *)
+
+val hooks : Analysis.Hb.t -> Sim.Hooks.t
+(** A hook set whose only effect is feeding the engine; pass it as
+    [~extra_hooks] to {!Corpus.Runner.run_traced} or merge it with
+    {!Sim.Hooks.combine}. *)

@@ -18,6 +18,7 @@ let record ?(seed = 1) m ~entry ~racy_iids =
             0.0);
       gate = None;
       on_sched = None;
+      on_obs = None;
     }
   in
   let config = { Sim.Interp.default_config with seed; hooks } in

@@ -1,4 +1,4 @@
-type t = { queues : (int, (int * int) Queue.t) Hashtbl.t }
+type t = { queues : (int, (int * int * int) Queue.t) Hashtbl.t }
 
 let create () = { queues = Hashtbl.create 8 }
 
@@ -10,7 +10,8 @@ let queue t addr =
     Hashtbl.add t.queues addr q;
     q
 
-let wait t ~addr ~tid ~mutex_addr = Queue.add (tid, mutex_addr) (queue t addr)
+let wait t ~addr ~tid ~mutex_addr ~call_iid =
+  Queue.add (tid, mutex_addr, call_iid) (queue t addr)
 
 let signal t ~addr =
   let q = queue t addr in

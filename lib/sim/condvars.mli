@@ -8,15 +8,17 @@ type t
 
 val create : unit -> t
 
-val wait : t -> addr:int -> tid:int -> mutex_addr:int -> unit
+val wait : t -> addr:int -> tid:int -> mutex_addr:int -> call_iid:int -> unit
 (** Park [tid] on the condition variable, remembering which mutex it must
-    re-acquire on wakeup. *)
+    re-acquire on wakeup and which cond_wait call parked it ([call_iid]) —
+    a re-acquisition that blocks must be attributed to the waiter's own
+    cond_wait call, not to whatever instruction the signaller ran. *)
 
-val signal : t -> addr:int -> (int * int) option
-(** Oldest waiter as [(tid, mutex_addr)], removed from the queue; [None]
-    when nobody waits (the wakeup is lost). *)
+val signal : t -> addr:int -> (int * int * int) option
+(** Oldest waiter as [(tid, mutex_addr, call_iid)], removed from the
+    queue; [None] when nobody waits (the wakeup is lost). *)
 
-val broadcast : t -> addr:int -> (int * int) list
+val broadcast : t -> addr:int -> (int * int * int) list
 (** All waiters, oldest first. *)
 
 val waiters : t -> addr:int -> int

@@ -1,12 +1,15 @@
 type crash_reason = Null_deref | Use_after_free | Unmapped
+type lock_misuse = Relock | Unlock_unowned | Unlock_free | Wait_unlocked
 
 type t =
   | Crash of { tid : int; iid : int; pc : int; reason : crash_reason; addr : int }
   | Assert_fail of { tid : int; iid : int; pc : int }
   | Deadlock of { waiters : (int * int * int) list }
+  | Lock_misuse of
+      { tid : int; iid : int; pc : int; addr : int; misuse : lock_misuse }
 
 let failing_iid = function
-  | Crash { iid; _ } | Assert_fail { iid; _ } -> iid
+  | Crash { iid; _ } | Assert_fail { iid; _ } | Lock_misuse { iid; _ } -> iid
   | Deadlock { waiters } -> (
     match List.rev waiters with
     | (_, iid, _) :: _ -> iid
@@ -16,11 +19,18 @@ let kind_name = function
   | Crash _ -> "crash"
   | Assert_fail _ -> "assert"
   | Deadlock _ -> "deadlock"
+  | Lock_misuse _ -> "lock-misuse"
 
 let reason_to_string = function
   | Null_deref -> "null dereference"
   | Use_after_free -> "use after free"
   | Unmapped -> "unmapped access"
+
+let misuse_to_string = function
+  | Relock -> "relock of an already-held mutex"
+  | Unlock_unowned -> "unlock of a mutex held by another thread"
+  | Unlock_free -> "unlock of a mutex nobody holds"
+  | Wait_unlocked -> "cond_wait without holding the mutex"
 
 let to_string = function
   | Crash { tid; iid; pc; reason; addr } ->
@@ -33,3 +43,6 @@ let to_string = function
       Printf.sprintf "thread %d blocked at iid %d on lock 0x%x" tid iid lock
     in
     "deadlock: " ^ String.concat "; " (List.map part waiters)
+  | Lock_misuse { tid; iid; pc; addr; misuse } ->
+    Printf.sprintf "lock misuse: thread %d, iid %d, pc 0x%x, %s (mutex 0x%x)"
+      tid iid pc (misuse_to_string misuse) addr

@@ -8,6 +8,12 @@ type crash_reason =
   | Use_after_free
   | Unmapped  (** access outside every live region *)
 
+type lock_misuse =
+  | Relock  (** locking a mutex the thread already holds *)
+  | Unlock_unowned  (** unlocking a mutex another thread holds *)
+  | Unlock_free  (** unlocking a mutex nobody holds *)
+  | Wait_unlocked  (** cond_wait on a mutex the thread does not hold *)
+
 type t =
   | Crash of { tid : int; iid : int; pc : int; reason : crash_reason; addr : int }
   | Assert_fail of { tid : int; iid : int; pc : int }
@@ -16,13 +22,18 @@ type t =
           (** (tid, iid of the blocked lock call, lock address) for each
               thread in the cycle *)
     }
+  | Lock_misuse of
+      { tid : int; iid : int; pc : int; addr : int; misuse : lock_misuse }
+      (** a lock-API error the runtime detects at the faulting call —
+          previously these corrupted owner state or escaped as host
+          exceptions; now they are fail-stop events like any other *)
 
 val failing_iid : t -> int
 (** The instruction the failure is attributed to; for a deadlock, the lock
     call that closed the cycle (the last element of [waiters]). *)
 
 val kind_name : t -> string
-(** ["crash"], ["assert"] or ["deadlock"] — what Ubuntu's ErrorTracker-style
-    client reports to the server. *)
+(** ["crash"], ["assert"], ["deadlock"] or ["lock-misuse"] — what Ubuntu's
+    ErrorTracker-style client reports to the server. *)
 
 val to_string : t -> string

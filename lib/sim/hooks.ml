@@ -9,14 +9,33 @@ type sched_event =
   | Contended of { tid : int; addr : int; time : float }
   | Unblocked of { tid : int; parked_ns : float; time : float }
 
+type access_kind = Read | Write | Free
+
+type obs_event =
+  | Obs_access of
+      { tid : int; iid : int; addr : int; size : int; kind : access_kind;
+        time : float }
+  | Obs_lock_attempt of { tid : int; iid : int; addr : int; time : float }
+  | Obs_lock_acquired of { tid : int; iid : int; addr : int; time : float }
+  | Obs_lock_released of { tid : int; iid : int; addr : int; time : float }
+  | Obs_cond_park of
+      { tid : int; iid : int; cond : int; mutex : int; time : float }
+  | Obs_cond_wake of
+      { waker_tid : int; woken_tid : int; cond : int; time : float }
+  | Obs_spawn of { parent_tid : int; child_tid : int; iid : int; time : float }
+  | Obs_join of { tid : int; target_tid : int; iid : int; time : float }
+
 type t = {
   on_control : (time:float -> control_event -> float) option;
   on_instr : (tid:int -> time:float -> Lir.Instr.t -> float) option;
   gate : (tid:int -> time:float -> Lir.Instr.t -> float) option;
   on_sched : (sched_event -> unit) option;
+  on_obs : (obs_event -> unit) option;
 }
 
-let none = { on_control = None; on_instr = None; gate = None; on_sched = None }
+let none =
+  { on_control = None; on_instr = None; gate = None; on_sched = None;
+    on_obs = None }
 
 let combine a b =
   let on_control =
@@ -41,7 +60,12 @@ let combine a b =
     | None, f | f, None -> f
     | Some f, Some g -> Some (fun e -> f e; g e)
   in
-  { on_control; on_instr; gate; on_sched }
+  let on_obs =
+    match a.on_obs, b.on_obs with
+    | None, f | f, None -> f
+    | Some f, Some g -> Some (fun e -> f e; g e)
+  in
+  { on_control; on_instr; gate; on_sched; on_obs }
 
 let control_event_tid = function
   | Thread_start { tid; _ } -> tid

@@ -29,6 +29,36 @@ type sched_event =
       (** a blocked thread (mutex, condvar or join) became runnable again
           after [parked_ns] of virtual time *)
 
+type access_kind = Read | Write | Free
+
+(** Ground-truth observation stream for happens-before analysis.  Every
+    event names the dynamic instruction ([iid]) it stems from, so a
+    consumer can relate the stream back to static code.  Lock/condvar
+    events carry the synchronization object's address; accesses carry the
+    byte range they touch ([size] is the pointee size for loads/stores and
+    the whole block extent for [free], which acts as a write to the
+    entire allocation). *)
+type obs_event =
+  | Obs_access of
+      { tid : int; iid : int; addr : int; size : int; kind : access_kind;
+        time : float }
+  | Obs_lock_attempt of { tid : int; iid : int; addr : int; time : float }
+      (** fires before the outcome is known, including for attempts that
+          block or close a deadlock cycle — this is what exposes
+          hold-while-acquiring lock-order edges *)
+  | Obs_lock_acquired of { tid : int; iid : int; addr : int; time : float }
+  | Obs_lock_released of { tid : int; iid : int; addr : int; time : float }
+      (** also fired by the release half of [cond_wait] *)
+  | Obs_cond_park of
+      { tid : int; iid : int; cond : int; mutex : int; time : float }
+  | Obs_cond_wake of
+      { waker_tid : int; woken_tid : int; cond : int; time : float }
+      (** a signal/broadcast dequeued a waiter; the waiter's mutex
+          re-acquisition follows as its own attempt/acquire pair *)
+  | Obs_spawn of { parent_tid : int; child_tid : int; iid : int; time : float }
+  | Obs_join of { tid : int; target_tid : int; iid : int; time : float }
+      (** the join call returned: [target_tid] had finished *)
+
 type t = {
   on_control : (time:float -> control_event -> float) option;
   on_instr : (tid:int -> time:float -> Lir.Instr.t -> float) option;
@@ -43,6 +73,12 @@ type t = {
           contention, parked-thread time.  Unlike the other hooks it
           returns no cost: telemetry must never perturb the virtual
           timeline it measures. *)
+  on_obs : (obs_event -> unit) option;
+      (** Pure observation of memory accesses and synchronization, the
+          feed for the {!Analysis.Hb} happens-before oracle.  Like
+          [on_sched] it returns no cost, so attaching an observer cannot
+          change the interleaving being observed — replaying a failing
+          seed with an observer reproduces the identical execution. *)
 }
 
 val none : t

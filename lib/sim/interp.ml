@@ -41,7 +41,7 @@ type status =
   | Runnable
   | Blocked_mutex of { addr : int; call_iid : int; since : float }
   | Blocked_cond of { addr : int; since : float }
-  | Blocked_join of { target : int; since : float }
+  | Blocked_join of { target : int; call_iid : int; since : float }
   | Finished
 
 type frame = {
@@ -149,6 +149,18 @@ let fire_instr st th (i : Lir.Instr.t) =
 let fire_sched st event =
   match st.cfg.hooks.Hooks.on_sched with None -> () | Some f -> f event
 
+let fire_obs st event =
+  match st.cfg.hooks.Hooks.on_obs with None -> () | Some f -> f event
+
+(* Byte extent of a load/store through [ptr]: the pointee size.  Memory
+   cells live at distinct offsets computed from these same sizes, so two
+   accesses conflict exactly when their byte ranges overlap. *)
+let access_size st ptr =
+  match Lir.Value.ty_of ~globals:(Lir.Irmod.global_ty st.m) ptr with
+  | Lir.Ty.Ptr t -> ( try Lir.Irmod.size_of st.m t with _ -> 8)
+  | _ -> 8
+  | exception _ -> 8
+
 (* A blocked thread just became runnable: report how long it was parked.
    [since] is when it blocked; its clock was already advanced to the wake
    time by the caller. *)
@@ -178,6 +190,48 @@ let crash st th (i : Lir.Instr.t) err addr =
   set_failure st th
     (Failure.Crash
        { tid = th.tid; iid = i.Lir.Instr.iid; pc = i.Lir.Instr.pc; reason; addr })
+
+(* A release handed the mutex at [addr] to [next]: wake it at the
+   releaser's time plus the wake cost, emit its acquire observation
+   (attributed to the lock call that parked it), and trace the pending
+   return of that call. *)
+let grant_mutex st th ~addr next =
+  let w = Hashtbl.find st.threads next in
+  let since = blocked_since w in
+  let call_iid =
+    match w.status with
+    | Blocked_mutex { call_iid; _ } -> Some call_iid
+    | Runnable | Blocked_cond _ | Blocked_join _ | Finished -> None
+  in
+  w.status <- Runnable;
+  w.clock <- Float.max w.clock th.clock +. jitter st Cost.wake;
+  (match since with Some s -> fire_unblocked st w ~since:s | None -> ());
+  (match call_iid with
+  | Some iid ->
+    fire_obs st
+      (Hooks.Obs_lock_acquired { tid = w.tid; iid; addr; time = w.clock })
+  | None -> ());
+  match w.pending_ret_pc with
+  | Some pc ->
+    w.pending_ret_pc <- None;
+    fire_control st w (Hooks.Ret_branch { tid = w.tid; target_pc = Some pc })
+  | None -> ()
+
+(* (tid, blocked call iid, lock addr) for each cycle member; [closer] is
+   the thread whose lock attempt closed the cycle and goes last. *)
+let deadlock_waiters st ~closer cycle =
+  let closer_tid, closer_iid, closer_addr = closer in
+  let waiter_of tid =
+    if tid = closer_tid then closer
+    else
+      let other = Hashtbl.find st.threads tid in
+      match other.status with
+      | Blocked_mutex { addr; call_iid; _ } -> (tid, call_iid, addr)
+      | Runnable | Blocked_cond _ | Blocked_join _ | Finished ->
+        (tid, closer_iid, closer_addr)
+  in
+  let others = List.filter (fun t -> t <> closer_tid) cycle in
+  List.map waiter_of others @ [ closer ]
 
 let eval st frame v =
   match (v : Lir.Value.t) with
@@ -226,10 +280,21 @@ let do_return st th value =
           (fun wtid ->
             let w = Hashtbl.find st.threads wtid in
             let since = blocked_since w in
+            let join_iid =
+              match w.status with
+              | Blocked_join { call_iid; _ } -> Some call_iid
+              | Runnable | Blocked_mutex _ | Blocked_cond _ | Finished -> None
+            in
             w.status <- Runnable;
             w.clock <- Float.max w.clock th.clock +. Cost.join;
             (match since with
             | Some s -> fire_unblocked st w ~since:s
+            | None -> ());
+            (match join_iid with
+            | Some iid ->
+              fire_obs st
+                (Hooks.Obs_join
+                   { tid = w.tid; target_tid = th.tid; iid; time = w.clock })
             | None -> ());
             match w.pending_ret_pc with
             | Some pc ->
@@ -287,52 +352,72 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
   end
   else if String.equal callee Lir.Intrinsics.free then begin
     advance Cost.malloc;
-    match Memory.free_heap st.mem (arg 0) with
+    let addr = arg 0 in
+    (* Observed before the free so the block extent is still known: a free
+       invalidates every byte of the allocation, i.e. writes the range. *)
+    (match st.cfg.hooks.Hooks.on_obs with
+    | None -> ()
+    | Some f ->
+      let size =
+        match Memory.heap_block_size st.mem addr with
+        | Some s -> max 1 s
+        | None -> 1
+      in
+      f
+        (Hooks.Obs_access
+           { tid = th.tid; iid = i.Lir.Instr.iid; addr; size;
+             kind = Hooks.Free; time = th.clock }));
+    match Memory.free_heap st.mem addr with
     | Ok () -> ()
-    | Error err -> crash st th i err (arg 0)
+    | Error err -> crash st th i err addr
   end
   else if String.equal callee Lir.Intrinsics.mutex_init then advance Cost.intrinsic
   else if String.equal callee Lir.Intrinsics.mutex_lock then begin
     advance Cost.mutex;
     let addr = arg 0 in
+    fire_obs st
+      (Hooks.Obs_lock_attempt
+         { tid = th.tid; iid = i.Lir.Instr.iid; addr; time = th.clock });
     match Mutexes.lock st.mutexes ~addr ~tid:th.tid with
-    | Mutexes.Acquired -> ()
+    | Mutexes.Acquired ->
+      fire_obs st
+        (Hooks.Obs_lock_acquired
+           { tid = th.tid; iid = i.Lir.Instr.iid; addr; time = th.clock })
+    | Mutexes.Relocked ->
+      set_failure st th
+        (Failure.Lock_misuse
+           { tid = th.tid; iid = i.Lir.Instr.iid; pc = i.Lir.Instr.pc; addr;
+             misuse = Failure.Relock })
     | Mutexes.Blocked ->
       th.status <-
         Blocked_mutex { addr; call_iid = i.Lir.Instr.iid; since = th.clock };
       fire_sched st (Hooks.Contended { tid = th.tid; addr; time = th.clock })
     | Mutexes.Deadlocked cycle ->
-      let waiter_of tid =
-        if tid = th.tid then (tid, i.Lir.Instr.iid, addr)
-        else
-          let other = Hashtbl.find st.threads tid in
-          match other.status with
-          | Blocked_mutex { addr; call_iid; _ } -> (tid, call_iid, addr)
-          | Runnable | Blocked_cond _ | Blocked_join _ | Finished ->
-            (tid, i.Lir.Instr.iid, addr)
-      in
-      (* Put the requesting thread last: it closed the cycle. *)
-      let others = List.filter (fun t -> t <> th.tid) cycle in
+      let closer = (th.tid, i.Lir.Instr.iid, addr) in
       set_failure st th
-        (Failure.Deadlock
-           { waiters = List.map waiter_of others @ [ waiter_of th.tid ] })
+        (Failure.Deadlock { waiters = deadlock_waiters st ~closer cycle })
   end
   else if String.equal callee Lir.Intrinsics.mutex_unlock then begin
     advance Cost.mutex;
-    match Mutexes.unlock st.mutexes ~addr:(arg 0) ~tid:th.tid with
-    | Error msg -> failwith ("Interp: " ^ msg)
-    | Ok None -> ()
-    | Ok (Some next) ->
-      let w = Hashtbl.find st.threads next in
-      let since = blocked_since w in
-      w.status <- Runnable;
-      w.clock <- Float.max w.clock th.clock +. jitter st Cost.wake;
-      (match since with Some s -> fire_unblocked st w ~since:s | None -> ());
-      (match w.pending_ret_pc with
-      | Some pc ->
-        w.pending_ret_pc <- None;
-        fire_control st w (Hooks.Ret_branch { tid = w.tid; target_pc = Some pc })
-      | None -> ())
+    let addr = arg 0 in
+    match Mutexes.unlock st.mutexes ~addr ~tid:th.tid with
+    | Error err ->
+      let misuse =
+        match err with
+        | Mutexes.Not_owner _ -> Failure.Unlock_unowned
+        | Mutexes.Not_locked -> Failure.Unlock_free
+      in
+      set_failure st th
+        (Failure.Lock_misuse
+           { tid = th.tid; iid = i.Lir.Instr.iid; pc = i.Lir.Instr.pc; addr;
+             misuse })
+    | Ok next ->
+      fire_obs st
+        (Hooks.Obs_lock_released
+           { tid = th.tid; iid = i.Lir.Instr.iid; addr; time = th.clock });
+      (match next with
+      | None -> ()
+      | Some next -> grant_mutex st th ~addr next)
   end
   else if String.equal callee Lir.Intrinsics.cond_init then advance Cost.intrinsic
   else if String.equal callee Lir.Intrinsics.cond_wait then begin
@@ -340,60 +425,86 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
     let cond_addr = arg 0 and mutex_addr = arg 1 in
     (* Atomically release the mutex and park on the condition. *)
     (match Mutexes.unlock st.mutexes ~addr:mutex_addr ~tid:th.tid with
-    | Error msg -> failwith ("Interp: cond_wait without the mutex: " ^ msg)
-    | Ok None -> ()
-    | Ok (Some next) ->
-      let w = Hashtbl.find st.threads next in
-      let since = blocked_since w in
-      w.status <- Runnable;
-      w.clock <- Float.max w.clock th.clock +. jitter st Cost.wake;
-      (match since with Some s -> fire_unblocked st w ~since:s | None -> ());
-      (match w.pending_ret_pc with
-      | Some pc ->
-        w.pending_ret_pc <- None;
-        fire_control st w (Hooks.Ret_branch { tid = w.tid; target_pc = Some pc })
-      | None -> ()));
-    Condvars.wait st.condvars ~addr:cond_addr ~tid:th.tid ~mutex_addr;
+    | Error _ ->
+      set_failure st th
+        (Failure.Lock_misuse
+           { tid = th.tid; iid = i.Lir.Instr.iid; pc = i.Lir.Instr.pc;
+             addr = mutex_addr; misuse = Failure.Wait_unlocked })
+    | Ok next ->
+      fire_obs st
+        (Hooks.Obs_lock_released
+           { tid = th.tid; iid = i.Lir.Instr.iid; addr = mutex_addr;
+             time = th.clock });
+      (match next with
+      | None -> ()
+      | Some next -> grant_mutex st th ~addr:mutex_addr next));
+    Condvars.wait st.condvars ~addr:cond_addr ~tid:th.tid ~mutex_addr
+      ~call_iid:i.Lir.Instr.iid;
+    fire_obs st
+      (Hooks.Obs_cond_park
+         { tid = th.tid; iid = i.Lir.Instr.iid; cond = cond_addr;
+           mutex = mutex_addr; time = th.clock });
     th.status <- Blocked_cond { addr = cond_addr; since = th.clock }
   end
   else if String.equal callee Lir.Intrinsics.cond_signal
           || String.equal callee Lir.Intrinsics.cond_broadcast then begin
     advance Cost.mutex;
+    let cond_addr = arg 0 in
     let woken =
       if String.equal callee Lir.Intrinsics.cond_signal then
-        match Condvars.signal st.condvars ~addr:(arg 0) with
+        match Condvars.signal st.condvars ~addr:cond_addr with
         | Some w -> [ w ]
         | None -> []
-      else Condvars.broadcast st.condvars ~addr:(arg 0)
+      else Condvars.broadcast st.condvars ~addr:cond_addr
     in
     List.iter
-      (fun (wtid, mutex_addr) ->
+      (fun (wtid, mutex_addr, wait_iid) ->
         let w = Hashtbl.find st.threads wtid in
         let since = blocked_since w in
         w.clock <- Float.max w.clock th.clock +. jitter st Cost.wake;
         (match since with Some s -> fire_unblocked st w ~since:s | None -> ());
+        fire_obs st
+          (Hooks.Obs_cond_wake
+             { waker_tid = th.tid; woken_tid = wtid; cond = cond_addr;
+               time = w.clock });
         (* The woken thread re-acquires its mutex before cond_wait
-           returns; it may block again right here. *)
+           returns; it may block again right here.  Everything below is
+           the waiter's own work, attributed to its cond_wait call. *)
+        fire_obs st
+          (Hooks.Obs_lock_attempt
+             { tid = wtid; iid = wait_iid; addr = mutex_addr; time = w.clock });
         match Mutexes.lock st.mutexes ~addr:mutex_addr ~tid:wtid with
         | Mutexes.Acquired ->
           w.status <- Runnable;
+          fire_obs st
+            (Hooks.Obs_lock_acquired
+               { tid = wtid; iid = wait_iid; addr = mutex_addr;
+                 time = w.clock });
           (match w.pending_ret_pc with
           | Some pc ->
             w.pending_ret_pc <- None;
             fire_control st w
               (Hooks.Ret_branch { tid = w.tid; target_pc = Some pc })
           | None -> ())
+        | Mutexes.Relocked ->
+          (* Unreachable: the waiter released this mutex when it parked. *)
+          set_failure st th
+            (Failure.Lock_misuse
+               { tid = wtid; iid = wait_iid;
+                 pc = (Lir.Irmod.instr_by_iid st.m wait_iid).Lir.Instr.pc;
+                 addr = mutex_addr; misuse = Failure.Relock })
         | Mutexes.Blocked ->
           w.status <-
             Blocked_mutex
-              { addr = mutex_addr; call_iid = i.Lir.Instr.iid; since = w.clock };
+              { addr = mutex_addr; call_iid = wait_iid; since = w.clock };
           fire_sched st
             (Hooks.Contended { tid = wtid; addr = mutex_addr; time = w.clock })
-        | Mutexes.Deadlocked _ ->
-          (* The waiter holds no other resources at this point in any
-             well-formed program; re-acquisition cannot close a cycle
-             it did not already own. *)
-          failwith "Interp: deadlock while re-acquiring after cond_wait")
+        | Mutexes.Deadlocked cycle ->
+          (* A waiter woken while holding other locks can close a real
+             wait-for cycle here (it parked with those locks held). *)
+          let closer = (wtid, wait_iid, mutex_addr) in
+          set_failure st w
+            (Failure.Deadlock { waiters = deadlock_waiters st ~closer cycle }))
       woken
   end
   else if String.equal callee Lir.Intrinsics.thread_create then begin
@@ -407,6 +518,10 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
     let child = spawn_thread st f ~arg:a ~start_clock:th.clock in
     fire_control st child
       (Hooks.Thread_start { tid = child.tid; entry_pc = fn_pc });
+    fire_obs st
+      (Hooks.Obs_spawn
+         { parent_tid = th.tid; child_tid = child.tid; iid = i.Lir.Instr.iid;
+           time = th.clock });
     return child.tid
   end
   else if String.equal callee Lir.Intrinsics.thread_join then begin
@@ -415,8 +530,14 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
     match Hashtbl.find_opt st.threads target with
     | None -> failwith "Interp: join of unknown thread"
     | Some tgt ->
-      if tgt.status <> Finished then begin
-        th.status <- Blocked_join { target; since = th.clock };
+      if tgt.status = Finished then
+        fire_obs st
+          (Hooks.Obs_join
+             { tid = th.tid; target_tid = target; iid = i.Lir.Instr.iid;
+               time = th.clock })
+      else begin
+        th.status <-
+          Blocked_join { target; call_iid = i.Lir.Instr.iid; since = th.clock };
         let waiting =
           match Hashtbl.find_opt st.joiners target with
           | Some l -> l
@@ -486,6 +607,15 @@ let step st th =
   | Lir.Instr.Load { dst; ptr } -> (
     advance Cost.load;
     let addr = eval st frame ptr in
+    (* Observed before the memory check so crashing accesses appear in the
+       stream too — the oracle wants the access that faulted. *)
+    (match st.cfg.hooks.Hooks.on_obs with
+    | None -> ()
+    | Some f ->
+      f
+        (Hooks.Obs_access
+           { tid = th.tid; iid = i.Lir.Instr.iid; addr;
+             size = access_size st ptr; kind = Hooks.Read; time = th.clock }));
     match Memory.read st.mem ~addr with
     | Ok v -> set_reg frame dst v
     | Error err -> crash st th i err addr)
@@ -493,6 +623,13 @@ let step st th =
     advance Cost.store;
     let addr = eval st frame ptr in
     let v = eval st frame value in
+    (match st.cfg.hooks.Hooks.on_obs with
+    | None -> ()
+    | Some f ->
+      f
+        (Hooks.Obs_access
+           { tid = th.tid; iid = i.Lir.Instr.iid; addr;
+             size = access_size st ptr; kind = Hooks.Write; time = th.clock }));
     match Memory.write st.mem ~addr ~value:v with
     | Ok () -> ()
     | Error err -> crash st th i err addr)

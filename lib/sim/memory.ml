@@ -53,6 +53,8 @@ let alloc_heap t ~size =
      so stale freed records never shadow live memory. *)
   base
 
+let heap_block_size t base = Hashtbl.find_opt t.live_heap base
+
 let free_heap t base =
   match Hashtbl.find_opt t.live_heap base with
   | None -> Error Unmapped

@@ -20,6 +20,11 @@ val global_addr : t -> string -> int
 (** Raises [Not_found] for unknown globals. *)
 
 val alloc_heap : t -> size:int -> int
+
+val heap_block_size : t -> int -> int option
+(** Size of the live allocation starting exactly at the address, if any —
+    the byte range a [free] of that address invalidates. *)
+
 val free_heap : t -> int -> (unit, access_error) result
 (** [Error Unmapped] when the address is not a live allocation base. *)
 

@@ -5,7 +5,8 @@ type t = {
   waits : (int, int) Hashtbl.t; (* tid -> lock addr it is queued on *)
 }
 
-type lock_result = Acquired | Blocked | Deadlocked of int list
+type lock_result = Acquired | Relocked | Blocked | Deadlocked of int list
+type unlock_error = Not_owner of int | Not_locked
 
 let create () = { locks = Hashtbl.create 16; waits = Hashtbl.create 16 }
 
@@ -38,6 +39,10 @@ let lock t ~addr ~tid =
   | None ->
     m.owner <- Some tid;
     Acquired
+  | Some owner when owner = tid ->
+    (* A self-relock is an API misuse, not a wait-for cycle: queueing the
+       owner behind itself would have reported a one-thread "deadlock". *)
+    Relocked
   | Some owner -> (
     match find_cycle t ~tid ~start:owner with
     | Some cycle -> Deadlocked (cycle @ [ tid ])
@@ -60,11 +65,8 @@ let unlock t ~addr ~tid =
       m.owner <- Some next;
       Ok (Some next)
     end
-  | Some owner ->
-    Error
-      (Printf.sprintf "thread %d unlocking mutex 0x%x held by thread %d" tid
-         addr owner)
-  | None -> Error (Printf.sprintf "thread %d unlocking free mutex 0x%x" tid addr)
+  | Some owner -> Error (Not_owner owner)
+  | None -> Error Not_locked
 
 let holder t ~addr =
   match Hashtbl.find_opt t.locks addr with

@@ -7,20 +7,25 @@ type t
 
 type lock_result =
   | Acquired
+  | Relocked  (** [tid] already owns the mutex: a self-relock misuse *)
   | Blocked
   | Deadlocked of int list
       (** tids forming the cycle; the requesting thread is included *)
+
+type unlock_error =
+  | Not_owner of int  (** the mutex is held by this other thread *)
+  | Not_locked  (** the mutex is free: a double unlock *)
 
 val create : unit -> t
 
 val lock : t -> addr:int -> tid:int -> lock_result
 (** On [Blocked], the caller must park the thread; {!unlock} will name it as
-    the new owner later.  Re-locking a held mutex deadlocks ([tid] alone in
-    the cycle). *)
+    the new owner later. *)
 
-val unlock : t -> addr:int -> tid:int -> (int option, string) result
+val unlock : t -> addr:int -> tid:int -> (int option, unlock_error) result
 (** Releases and hands off to the eldest waiter, returning the new owner.
-    [Error _] when [tid] does not hold the mutex. *)
+    [Error _] when [tid] does not hold the mutex; owner state is untouched
+    so the caller can report a structured failure. *)
 
 val holder : t -> addr:int -> int option
 val waiting_on : t -> tid:int -> int option

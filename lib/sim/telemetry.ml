@@ -30,4 +30,5 @@ let hooks () =
             | Hooks.Contended _ -> Obs.Metrics.incr contentions
             | Hooks.Unblocked { parked_ns; _ } ->
               Obs.Metrics.observe parked parked_ns);
+      on_obs = None;
     }

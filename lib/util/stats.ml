@@ -5,6 +5,10 @@ let mean = function
 let stddev xs =
   match xs with
   | [] | [ _ ] -> 0.0
+  (* An all-identical population has zero spread by definition, but the
+     mean of n copies of x can land a ulp away from x, making the naive
+     formula return a tiny nonzero value.  Answer exactly. *)
+  | x :: rest when List.for_all (fun y -> y = x) rest -> 0.0
   | _ ->
     let m = mean xs in
     let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in

@@ -317,6 +317,63 @@ let test_f1_tie_break_prefers_order () =
   | None -> Alcotest.fail "no top");
   Alcotest.(check bool) "reported as tie" false (Core.Statistics.is_unique_top scored)
 
+(* Degenerate populations: no failing runs, no patterns, no traces at
+   all.  Scoring must stay total — 0s and [] — never raise or emit NaN. *)
+let test_scoring_degenerate_inputs () =
+  let m, pta = dummy_pta in
+  let no_failing =
+    Core.Statistics.score m ~points_to:pta ~patterns:[ order_pattern ]
+      ~failing:[]
+      ~successful:[ tp_of_events [ ev 1 0 1 100 110 ] ]
+  in
+  (match no_failing with
+  | [ s ] ->
+    Alcotest.(check (float 1e-9)) "zero failing -> f1 0" 0.0
+      s.Core.Statistics.f1;
+    Alcotest.(check bool) "f1 is a number" false
+      (Float.is_nan s.Core.Statistics.f1)
+  | _ -> Alcotest.fail "expected one scored pattern");
+  Alcotest.(check bool) "no patterns -> empty" true
+    (Core.Statistics.score m ~points_to:pta ~patterns:[] ~failing:[]
+       ~successful:[]
+    = []);
+  Alcotest.(check bool) "top of empty" true
+    (Core.Statistics.top [] = None);
+  Alcotest.(check bool) "empty list is trivially unique" true
+    (Core.Statistics.is_unique_top [])
+
+(* All-identical F1 scores: the winner must be the proximate cause (the
+   remote access that executed last before the failure), not whichever
+   pattern the generator happened to emit first. *)
+let test_tie_break_prefers_proximate_remote () =
+  let m, pta = dummy_pta in
+  let failing =
+    [
+      tp_of_events
+        [ ev 2 0 2 100 110; ev 2 1 4 150 160; ev 1 0 3 300 310 ];
+    ]
+  in
+  let early =
+    Core.Patterns.Order { remote_iid = 2; anchor_iid = 3; shape = Core.Patterns.WR }
+  and late =
+    Core.Patterns.Order { remote_iid = 4; anchor_iid = 3; shape = Core.Patterns.WR }
+  in
+  List.iter
+    (fun patterns ->
+      let scored =
+        Core.Statistics.score m ~points_to:pta ~patterns ~failing
+          ~successful:[]
+      in
+      Alcotest.(check bool) "scores tie" false
+        (Core.Statistics.is_unique_top scored);
+      match Core.Statistics.top scored with
+      | Some t ->
+        Alcotest.(check string) "latest remote wins regardless of order"
+          (Core.Patterns.id late)
+          (Core.Patterns.id t.Core.Statistics.pattern)
+      | None -> Alcotest.fail "no top")
+    [ [ early; late ]; [ late; early ] ]
+
 (* --- pattern metadata ---------------------------------------------------- *)
 
 let test_pattern_ids_stable () =
@@ -600,6 +657,10 @@ let tests =
       [
         Alcotest.test_case "f1 scoring" `Quick test_f1_scoring;
         Alcotest.test_case "tie-break" `Quick test_f1_tie_break_prefers_order;
+        Alcotest.test_case "degenerate inputs" `Quick
+          test_scoring_degenerate_inputs;
+        Alcotest.test_case "proximate-cause tie-break" `Quick
+          test_tie_break_prefers_proximate_remote;
       ] );
     ( "core.accuracy",
       [

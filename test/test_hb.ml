@@ -1,0 +1,273 @@
+(* Tests for the happens-before oracle: vector-clock lattice laws
+   (qcheck), conflict classification (racy vs lock-ordered vs enforced),
+   free-range conflicts, path reporting and lock-order facts. *)
+
+module Hb = Analysis.Hb
+
+(* --- vector-clock laws --------------------------------------------------- *)
+
+(* A clock built from a random tick script: each (tid, n) applies n ticks
+   to component tid. *)
+let clock_of_script s =
+  List.fold_left
+    (fun vc (tid, n) ->
+      let rec go vc n = if n = 0 then vc else go (Hb.Vc.tick tid vc) (n - 1) in
+      go vc n)
+    Hb.Vc.empty s
+
+let script_arb =
+  QCheck.(small_list (pair (int_range 0 4) (int_range 1 3)))
+
+let qcheck_leq_reflexive =
+  QCheck.Test.make ~name:"Vc.leq is reflexive" ~count:300 script_arb (fun s ->
+      let a = clock_of_script s in
+      Hb.Vc.leq a a)
+
+let qcheck_leq_transitive =
+  QCheck.Test.make ~name:"Vc.leq is transitive" ~count:300
+    QCheck.(triple script_arb script_arb script_arb)
+    (fun (s1, s2, s3) ->
+      let a = clock_of_script s1 in
+      let b = Hb.Vc.join a (clock_of_script s2) in
+      let c = Hb.Vc.join b (clock_of_script s3) in
+      (* a <= b and b <= c by construction; transitivity demands a <= c *)
+      Hb.Vc.leq a b && Hb.Vc.leq b c && Hb.Vc.leq a c)
+
+let qcheck_join_upper_bound =
+  QCheck.Test.make ~name:"Vc.join is an upper bound" ~count:300
+    QCheck.(pair script_arb script_arb)
+    (fun (s1, s2) ->
+      let a = clock_of_script s1 and b = clock_of_script s2 in
+      let j = Hb.Vc.join a b in
+      Hb.Vc.leq a j && Hb.Vc.leq b j)
+
+let qcheck_join_least =
+  QCheck.Test.make ~name:"Vc.join is the least upper bound" ~count:300
+    QCheck.(triple script_arb script_arb script_arb)
+    (fun (s1, s2, s3) ->
+      let a = clock_of_script s1 and b = clock_of_script s2 in
+      (* any c above both a and b must be above their join *)
+      let c = Hb.Vc.join (Hb.Vc.join a b) (clock_of_script s3) in
+      QCheck.assume (Hb.Vc.leq a c && Hb.Vc.leq b c);
+      Hb.Vc.leq (Hb.Vc.join a b) c)
+
+let qcheck_join_commutative =
+  QCheck.Test.make ~name:"Vc.join is commutative (order-equal)" ~count:300
+    QCheck.(pair script_arb script_arb)
+    (fun (s1, s2) ->
+      let a = clock_of_script s1 and b = clock_of_script s2 in
+      Hb.Vc.leq (Hb.Vc.join a b) (Hb.Vc.join b a)
+      && Hb.Vc.leq (Hb.Vc.join b a) (Hb.Vc.join a b))
+
+let qcheck_tick_strict =
+  QCheck.Test.make ~name:"Vc.tick strictly increases" ~count:300
+    QCheck.(pair script_arb (int_range 0 4))
+    (fun (s, tid) ->
+      let a = clock_of_script s in
+      let t = Hb.Vc.tick tid a in
+      Hb.Vc.leq a t && (not (Hb.Vc.leq t a))
+      && Hb.Vc.get t tid = Hb.Vc.get a tid + 1)
+
+let test_vc_empty () =
+  Alcotest.(check int) "empty component" 0 (Hb.Vc.get Hb.Vc.empty 3);
+  Alcotest.(check bool) "empty leq anything" true
+    (Hb.Vc.leq Hb.Vc.empty (clock_of_script [ (1, 2) ]))
+
+(* --- engine scenarios ---------------------------------------------------- *)
+
+let acc tid iid addr kind =
+  Hb.Access { tid; iid; addr; size = 8; kind }
+
+let feed_all es =
+  let t = Hb.create () in
+  List.iter (Hb.feed t) es;
+  t
+
+let check_ordering msg expected t a b =
+  match Hb.pair_verdict t a b with
+  | Hb.Conflict { ordering; _ } when ordering = expected -> ()
+  | Hb.Conflict { ordering; _ } ->
+    Alcotest.failf "%s: got %s" msg
+      (match ordering with
+      | Hb.Racy -> "racy"
+      | Hb.Lock_ordered -> "lock-ordered"
+      | Hb.Enforced -> "enforced")
+  | Hb.No_conflict -> Alcotest.failf "%s: got no-conflict" msg
+
+let test_racy_pair () =
+  let t =
+    feed_all
+      [
+        Hb.Fork { parent = 0; child = 1; iid = 1 };
+        acc 0 10 100 Hb.Write;
+        acc 1 20 100 Hb.Write;
+      ]
+  in
+  check_ordering "unsynchronized writes" Hb.Racy t 10 20;
+  match Hb.races t with
+  | [ r ] ->
+    Alcotest.(check (pair int int)) "race pair" (10, 20) (r.Hb.a_iid, r.Hb.b_iid)
+  | rs -> Alcotest.failf "expected one race, got %d" (List.length rs)
+
+let test_fork_enforces () =
+  let t =
+    feed_all
+      [
+        acc 0 10 100 Hb.Write;
+        Hb.Fork { parent = 0; child = 1; iid = 1 };
+        acc 1 20 100 Hb.Read;
+      ]
+  in
+  check_ordering "write before fork" Hb.Enforced t 10 20;
+  Alcotest.(check int) "no races" 0 (Hb.race_count t);
+  match Hb.pair_verdict t 10 20 with
+  | Hb.Conflict { path; _ } ->
+    Alcotest.(check bool) "path is reported" true (path <> [])
+  | Hb.No_conflict -> Alcotest.fail "conflict expected"
+
+let test_join_enforces () =
+  let t =
+    feed_all
+      [
+        Hb.Fork { parent = 0; child = 1; iid = 1 };
+        acc 1 20 100 Hb.Write;
+        Hb.Join { tid = 0; target = 1; iid = 2 };
+        acc 0 10 100 Hb.Read;
+      ]
+  in
+  check_ordering "join orders child work" Hb.Enforced t 10 20
+
+let test_cond_enforces () =
+  let t =
+    feed_all
+      [
+        Hb.Fork { parent = 0; child = 1; iid = 1 };
+        acc 0 10 100 Hb.Write;
+        Hb.Cond_wake { waker = 0; woken = 1; cond = 900 };
+        acc 1 20 100 Hb.Read;
+      ]
+  in
+  check_ordering "signal orders the write" Hb.Enforced t 10 20
+
+let test_lock_ordered_is_not_enforced () =
+  let t =
+    feed_all
+      [
+        Hb.Fork { parent = 0; child = 1; iid = 1 };
+        Hb.Acquire { tid = 0; iid = 2; lock = 500 };
+        acc 0 10 100 Hb.Write;
+        Hb.Release { tid = 0; iid = 3; lock = 500 };
+        Hb.Acquire { tid = 1; iid = 12; lock = 500 };
+        acc 1 20 100 Hb.Write;
+        Hb.Release { tid = 1; iid = 13; lock = 500 };
+      ]
+  in
+  (* The lock serialized this run, but nothing stops the opposite grant
+     order: the pair is a bug-pattern candidate, not enforced. *)
+  check_ordering "critical sections" Hb.Lock_ordered t 10 20;
+  Alcotest.(check int) "lock-ordered is not racy" 0 (Hb.race_count t)
+
+let test_reads_do_not_conflict () =
+  let t =
+    feed_all
+      [
+        Hb.Fork { parent = 0; child = 1; iid = 1 };
+        acc 0 10 100 Hb.Read;
+        acc 1 20 100 Hb.Read;
+      ]
+  in
+  (match Hb.pair_verdict t 10 20 with
+  | Hb.No_conflict -> ()
+  | Hb.Conflict _ -> Alcotest.fail "two reads cannot conflict");
+  Alcotest.(check int) "no races" 0 (Hb.race_count t)
+
+let test_free_conflicts_with_inner_access () =
+  let t =
+    feed_all
+      [
+        Hb.Fork { parent = 0; child = 1; iid = 1 };
+        Hb.Free { tid = 0; iid = 10; addr = 100; size = 16 };
+        acc 1 20 108 Hb.Read;
+      ]
+  in
+  check_ordering "read inside freed block" Hb.Racy t 10 20
+
+let test_disjoint_addresses_no_conflict () =
+  let t =
+    feed_all
+      [
+        Hb.Fork { parent = 0; child = 1; iid = 1 };
+        acc 0 10 100 Hb.Write;
+        acc 1 20 200 Hb.Write;
+      ]
+  in
+  match Hb.pair_verdict t 10 20 with
+  | Hb.No_conflict -> ()
+  | Hb.Conflict _ -> Alcotest.fail "disjoint addresses cannot conflict"
+
+let test_races_sorted_and_deduped () =
+  (* Two dynamic instances of the same static pair: one race entry. *)
+  let t =
+    feed_all
+      [
+        Hb.Fork { parent = 0; child = 1; iid = 1 };
+        acc 0 30 100 Hb.Write;
+        acc 1 20 100 Hb.Write;
+        acc 0 30 100 Hb.Write;
+        acc 1 20 100 Hb.Write;
+        acc 0 10 200 Hb.Write;
+        acc 1 40 200 Hb.Write;
+      ]
+  in
+  let rs = Hb.races t in
+  Alcotest.(check (list (pair int int)))
+    "sorted, duplicate-free"
+    [ (10, 40); (20, 30) ]
+    (List.map (fun (r : Hb.race) -> (r.Hb.a_iid, r.Hb.b_iid)) rs)
+
+let test_lock_edges () =
+  let t =
+    feed_all
+      [
+        Hb.Acquire { tid = 0; iid = 2; lock = 500 };
+        Hb.Lock_attempt { tid = 0; iid = 5; lock = 600 };
+      ]
+  in
+  Alcotest.(check bool) "hold-while-acquiring fact recorded" true
+    (List.exists
+       (fun (tid, held, held_iid, wanted, wanted_iid) ->
+         tid = 0 && held = 500 && held_iid = 2 && wanted = 600
+         && wanted_iid = 5)
+       (Hb.lock_edges t))
+
+let tests =
+  [
+    ( "hb.vc",
+      [
+        Alcotest.test_case "empty clock" `Quick test_vc_empty;
+        QCheck_alcotest.to_alcotest qcheck_leq_reflexive;
+        QCheck_alcotest.to_alcotest qcheck_leq_transitive;
+        QCheck_alcotest.to_alcotest qcheck_join_upper_bound;
+        QCheck_alcotest.to_alcotest qcheck_join_least;
+        QCheck_alcotest.to_alcotest qcheck_join_commutative;
+        QCheck_alcotest.to_alcotest qcheck_tick_strict;
+      ] );
+    ( "hb.engine",
+      [
+        Alcotest.test_case "racy pair" `Quick test_racy_pair;
+        Alcotest.test_case "fork enforces" `Quick test_fork_enforces;
+        Alcotest.test_case "join enforces" `Quick test_join_enforces;
+        Alcotest.test_case "cond enforces" `Quick test_cond_enforces;
+        Alcotest.test_case "lock-ordered is weaker" `Quick
+          test_lock_ordered_is_not_enforced;
+        Alcotest.test_case "reads do not conflict" `Quick
+          test_reads_do_not_conflict;
+        Alcotest.test_case "free is a range write" `Quick
+          test_free_conflicts_with_inner_access;
+        Alcotest.test_case "disjoint addresses" `Quick
+          test_disjoint_addresses_no_conflict;
+        Alcotest.test_case "races sorted and deduped" `Quick
+          test_races_sorted_and_deduped;
+        Alcotest.test_case "lock edges" `Quick test_lock_edges;
+      ] );
+  ]

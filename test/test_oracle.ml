@@ -1,0 +1,60 @@
+(* End-to-end differential checks: the happens-before oracle must agree
+   with the diagnosis pipeline on every corpus bug, and the diagnosis
+   must be bit-identical across decode parallelism levels. *)
+
+module Core = Snorlax_core
+
+let test_full_registry_agreement () =
+  List.iter
+    (fun (bug : Corpus.Bug.t) ->
+      match Oracle.Diffcheck.check_bug bug with
+      | Error e ->
+        Alcotest.failf "%s failed to reproduce: %s" bug.Corpus.Bug.id e
+      | Ok r ->
+        Alcotest.(check string)
+          (bug.Corpus.Bug.id ^ " classification")
+          "agree"
+          (Oracle.Diffcheck.classification_name
+             r.Oracle.Diffcheck.classification);
+        Alcotest.(check bool)
+          (bug.Corpus.Bug.id ^ " spurious pairs")
+          true
+          (r.Oracle.Diffcheck.spurious = []))
+    Corpus.Registry.all
+
+(* The scored pattern list — order included, since statistics tie-breaks
+   depend on it — must not vary with how many domains decoded the
+   traces. *)
+let test_decode_jobs_determinism () =
+  List.iter
+    (fun id ->
+      let bug = Corpus.Registry.find_exn id in
+      match Corpus.Runner.collect bug () with
+      | Error e -> Alcotest.failf "%s failed to reproduce: %s" id e
+      | Ok c ->
+        let ids jobs =
+          let res =
+            Core.Diagnosis.diagnose ~jobs c.Corpus.Runner.built.Corpus.Bug.m
+              ~config:Pt.Config.default ~failing:c.Corpus.Runner.failing
+              ~successful:c.Corpus.Runner.successful
+          in
+          List.map
+            (fun (s : Core.Statistics.scored) ->
+              Core.Patterns.id s.Core.Statistics.pattern)
+            res.Core.Diagnosis.scored
+        in
+        let sequential = ids 1 in
+        Alcotest.(check (list string)) (id ^ " jobs=2") sequential (ids 2);
+        Alcotest.(check (list string)) (id ^ " jobs=4") sequential (ids 4))
+    [ "mysql-5"; "mysql-7"; "httpd-1" ]
+
+let tests =
+  [
+    ( "oracle.diffcheck",
+      [
+        Alcotest.test_case "all 54 corpus bugs agree" `Quick
+          test_full_registry_agreement;
+        Alcotest.test_case "decode-jobs 1/2/4 determinism" `Quick
+          test_decode_jobs_determinism;
+      ] );
+  ]

@@ -69,6 +69,7 @@ let test_gate_delays_execution () =
             end
             else 0.0);
       on_sched = None;
+      on_obs = None;
     }
   in
   let r =

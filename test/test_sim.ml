@@ -315,9 +315,12 @@ let test_self_deadlock () =
       B.mutex_lock b (V.Global "l");
       B.ret_void b);
   Lir.Verify.check_exn m;
+  (* A self-relock is an API misuse reported at the faulting call, not a
+     one-thread "deadlock cycle". *)
   match failure_of (run m) with
-  | Some (Sim.Failure.Deadlock _) -> ()
-  | _ -> Alcotest.fail "expected self deadlock"
+  | Some (Sim.Failure.Lock_misuse { misuse = Sim.Failure.Relock; tid; _ }) ->
+    Alcotest.(check int) "faulting thread" 0 tid
+  | _ -> Alcotest.fail "expected relock misuse"
 
 let test_unlock_unheld_is_program_error () =
   let m = Lir.Irmod.create "t" in
@@ -327,11 +330,50 @@ let test_unlock_unheld_is_program_error () =
       B.mutex_unlock b (V.Global "l");
       B.ret_void b);
   Lir.Verify.check_exn m;
-  Alcotest.(check bool) "host failure" true
-    (try
-       ignore (run m);
-       false
-     with Failure _ -> true)
+  (* Structured failure, not a host exception escaping the simulator. *)
+  match failure_of (run m) with
+  | Some (Sim.Failure.Lock_misuse { misuse = Sim.Failure.Unlock_free; _ }) -> ()
+  | _ -> Alcotest.fail "expected unlock-free misuse"
+
+let test_double_unlock_is_program_error () =
+  let m = Lir.Irmod.create "t" in
+  ignore (Lir.Irmod.declare_struct m "Mutex" [ T.I64 ]);
+  Lir.Irmod.declare_global m "l" (T.Struct "Mutex");
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global "l" ];
+      B.mutex_lock b (V.Global "l");
+      B.mutex_unlock b (V.Global "l");
+      B.mutex_unlock b (V.Global "l");
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  match failure_of (run m) with
+  | Some (Sim.Failure.Lock_misuse { misuse = Sim.Failure.Unlock_free; _ }) -> ()
+  | _ -> Alcotest.fail "expected double-unlock misuse"
+
+let test_unlock_by_non_owner_is_program_error () =
+  (* The child unlocks a mutex main holds: the failure names the child and
+     main's ownership survives (owner state is not corrupted). *)
+  let m = Lir.Irmod.create "t" in
+  ignore (Lir.Irmod.declare_struct m "Mutex" [ T.I64 ]);
+  Lir.Irmod.declare_global m "l" (T.Struct "Mutex");
+  B.define m "thief" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.mutex_unlock b (V.Global "l");
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global "l" ];
+      B.mutex_lock b (V.Global "l");
+      let t = B.spawn b "thief" (V.i64 0) in
+      B.work b ~ns:200_000;
+      B.mutex_unlock b (V.Global "l");
+      B.join b t;
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  match failure_of (run m) with
+  | Some
+      (Sim.Failure.Lock_misuse { misuse = Sim.Failure.Unlock_unowned; tid; _ })
+    ->
+    Alcotest.(check int) "thief thread blamed" 1 tid
+  | _ -> Alcotest.fail "expected unlock-unowned misuse"
 
 (* --- mutex unit behaviour ----------------------------------------------- *)
 
@@ -406,6 +448,7 @@ let test_control_events_fire () =
       on_instr = None;
       gate = None;
       on_sched = None;
+      on_obs = None;
     }
   in
   ignore (run ~hooks m);
@@ -504,11 +547,67 @@ let test_cond_wait_requires_mutex () =
       B.cond_wait b ~cond:(V.Global "cv") ~mutex:(V.Global "lock");
       B.ret_void b);
   Lir.Verify.check_exn m;
-  Alcotest.(check bool) "host failure" true
-    (try
-       ignore (run m);
-       false
-     with Failure _ -> true)
+  match failure_of (run m) with
+  | Some (Sim.Failure.Lock_misuse { misuse = Sim.Failure.Wait_unlocked; _ }) ->
+    ()
+  | _ -> Alcotest.fail "expected wait-unlocked misuse"
+
+(* The bug this regression pins: a signalled waiter that blocks on the
+   mutex re-acquisition used to be recorded as blocked at the SIGNALLER's
+   instruction; a deadlock closing while it re-acquires then blamed the
+   wrong call site.  The waiter must be attributed to its own cond_wait.
+
+   Layout: t1 takes l2, then lock/cond_wait(cv, lock) — parking releases
+   [lock] but keeps l2.  Main wakes it while holding [lock] (so the
+   re-acquisition blocks), then tries l2: a real two-thread cycle closed
+   by main, with t1 blocked at its cond_wait call. *)
+let test_cond_reacquire_blames_wait_site () =
+  let m = Lir.Irmod.create "cv" in
+  ignore (Lir.Irmod.declare_struct m "Mutex" [ T.I64 ]);
+  ignore (Lir.Irmod.declare_struct m "Cond" [ T.I64 ]);
+  Lir.Irmod.declare_global m "lock" (T.Struct "Mutex");
+  Lir.Irmod.declare_global m "l2" (T.Struct "Mutex");
+  Lir.Irmod.declare_global m "cv" (T.Struct "Cond");
+  B.define m "t1" ~params:[ ("arg", T.I64) ] ~ret:T.Void (fun b ->
+      B.mutex_lock b (V.Global "l2");
+      B.mutex_lock b (V.Global "lock");
+      B.cond_wait b ~cond:(V.Global "cv") ~mutex:(V.Global "lock");
+      B.mutex_unlock b (V.Global "lock");
+      B.mutex_unlock b (V.Global "l2");
+      B.ret_void b);
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global "lock" ];
+      B.call_void b Lir.Intrinsics.mutex_init [ V.Global "l2" ];
+      B.call_void b Lir.Intrinsics.cond_init [ V.Global "cv" ];
+      let t = B.spawn b "t1" (V.i64 0) in
+      B.io_delay b ~ns:200_000;
+      B.mutex_lock b (V.Global "lock");
+      B.cond_signal b (V.Global "cv");
+      B.mutex_lock b (V.Global "l2");
+      B.mutex_unlock b (V.Global "l2");
+      B.mutex_unlock b (V.Global "lock");
+      B.join b t;
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  (* t1's cond_wait call iid, straight from the built module. *)
+  let wait_iid = ref (-1) in
+  Lir.Irmod.iter_instrs m (fun f _ i ->
+      match i.Lir.Instr.kind with
+      | Lir.Instr.Call { callee; _ }
+        when String.equal callee Lir.Intrinsics.cond_wait
+             && String.equal f.Lir.Func.fname "t1" ->
+        wait_iid := i.Lir.Instr.iid
+      | _ -> ());
+  match failure_of (run m) with
+  | Some (Sim.Failure.Deadlock { waiters }) ->
+    let t1_entry =
+      List.find_opt (fun (tid, _, _) -> tid = 1) waiters
+    in
+    (match t1_entry with
+    | Some (_, iid, _) ->
+      Alcotest.(check int) "t1 blamed at its cond_wait" !wait_iid iid
+    | None -> Alcotest.fail "t1 missing from deadlock waiters")
+  | _ -> Alcotest.fail "expected a deadlock closed during re-acquisition"
 
 let test_condvar_broadcast_wakes_all () =
   let m = Lir.Irmod.create "cv" in
@@ -631,6 +730,10 @@ let tests =
         Alcotest.test_case "three-way deadlock" `Quick test_three_way_deadlock;
         Alcotest.test_case "self deadlock" `Quick test_self_deadlock;
         Alcotest.test_case "unlock unheld" `Quick test_unlock_unheld_is_program_error;
+        Alcotest.test_case "double unlock" `Quick
+          test_double_unlock_is_program_error;
+        Alcotest.test_case "unlock by non-owner" `Quick
+          test_unlock_by_non_owner_is_program_error;
       ] );
     ( "sim.mutexes",
       [
@@ -644,6 +747,8 @@ let tests =
         Alcotest.test_case "missed signal hangs" `Quick
           test_condvar_missed_signal_hangs;
         Alcotest.test_case "wait requires mutex" `Quick test_cond_wait_requires_mutex;
+        Alcotest.test_case "re-acquire blames wait site" `Quick
+          test_cond_reacquire_blames_wait_site;
         Alcotest.test_case "broadcast wakes all" `Quick
           test_condvar_broadcast_wakes_all;
       ] );

@@ -324,6 +324,37 @@ let test_stats_precision_recall () =
   check_float "degenerate precision" 0.0 p0;
   check_float "degenerate recall" 0.0 r0
 
+(* For any confusion counts — including all-zero and single-sample
+   populations — precision, recall and F1 stay finite and inside [0,1],
+   and F1 collapses to 0 exactly when there are no true positives. *)
+let prop_confusion_counts_bounded =
+  QCheck.Test.make ~name:"precision/recall/f1 bounded on any counts"
+    ~count:500
+    QCheck.(triple (int_range 0 50) (int_range 0 50) (int_range 0 50))
+    (fun (tp, fp, fn) ->
+      let p, r = Stats.precision_recall ~true_pos:tp ~false_pos:fp ~false_neg:fn in
+      let f = Stats.f1 ~precision:p ~recall:r in
+      let in_unit x = (not (Float.is_nan x)) && x >= 0.0 && x <= 1.0 in
+      in_unit p && in_unit r && in_unit f
+      && (tp > 0 || f = 0.0)
+      && (not (tp > 0 && fp = 0 && fn = 0) || f = 1.0))
+
+(* stddev is total: 0 on empty and single-sample populations, 0 on
+   constant lists, and never NaN. *)
+let prop_stddev_total =
+  QCheck.Test.make ~name:"stddev total and non-negative" ~count:500
+    QCheck.(list (float_range (-1e6) 1e6))
+    (fun xs ->
+      let s = Stats.stddev xs in
+      (not (Float.is_nan s))
+      && s >= 0.0
+      && (List.length xs >= 2 || s = 0.0))
+
+let prop_stddev_constant =
+  QCheck.Test.make ~name:"stddev of a constant population is 0" ~count:200
+    QCheck.(pair (float_range (-1e6) 1e6) (int_range 1 20))
+    (fun (x, n) -> Stats.stddev (List.init n (fun _ -> x)) = 0.0)
+
 let test_kendall () =
   Alcotest.(check int) "identical" 0
     (Stats.kendall_tau_distance [ 1; 2; 3 ] [ 1; 2; 3 ]);
@@ -572,6 +603,9 @@ let tests =
         qtest prop_percentile_p0_min;
         qtest prop_percentile_p100_max;
         qtest prop_percentile_monotone;
+        qtest prop_confusion_counts_bounded;
+        qtest prop_stddev_total;
+        qtest prop_stddev_constant;
       ] );
     ( "util.tablefmt",
       [
