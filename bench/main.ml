@@ -225,6 +225,10 @@ let emit_fleet_bench () =
         ("collect_ns", Obs.Json.Float s.Fleet.Deploy.collect_ns);
         ("diagnosis_ns", Obs.Json.Float s.Fleet.Deploy.diagnosis_ns);
         ("total_ns", Obs.Json.Float s.Fleet.Deploy.total_ns);
+        ( "report_to_diagnosis_p50_ns",
+          Obs.Json.Float s.Fleet.Deploy.latency_p50_ns );
+        ( "report_to_diagnosis_p99_ns",
+          Obs.Json.Float s.Fleet.Deploy.latency_p99_ns );
         ("top_f1", Obs.Json.Float top_f1);
         ("root_cause_match", Obs.Json.Bool rc_match);
       ]

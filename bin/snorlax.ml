@@ -44,9 +44,50 @@ let write_json path json =
     Printf.eprintf "cannot write %s: %s\n" path msg;
     false
 
-let emit_obs ~trace_out ~metrics_out ~obs_summary =
+(* Observability options shared by every long-running subcommand. *)
+type obs_opts = {
+  trace_out : string option;
+  metrics_out : string option;
+  metrics_text : string option;  (** OpenMetrics exposition file *)
+  obs_summary : bool;
+  log_level : string option;  (** attach a stderr text sink at this level *)
+  log_json : string option;  (** JSON-lines event log file *)
+}
+
+let obs_wanted o =
+  o.trace_out <> None || o.metrics_out <> None || o.metrics_text <> None
+  || o.obs_summary
+
+(* Attach log sinks and enable the telemetry scope before the run; false
+   on a bad level name or an unwritable --log-json path. *)
+let setup_obs o =
   let ok = ref true in
-  (match (trace_out, Obs.Scope.export_chrome ()) with
+  (match o.log_level with
+  | None -> ()
+  | Some name -> (
+    match Obs.Log.level_of_string name with
+    | Some lvl ->
+      Obs.Log.set_level lvl;
+      Obs.Log.add_sink (Obs.Log.text_sink stderr)
+    | None ->
+      Printf.eprintf "unknown log level %s (debug|info|warn|error)\n" name;
+      ok := false));
+  (match o.log_json with
+  | None -> ()
+  | Some path -> (
+    match open_out path with
+    | oc ->
+      at_exit (fun () -> close_out_noerr oc);
+      Obs.Log.add_sink (Obs.Log.json_sink oc)
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot open %s: %s\n" path msg;
+      ok := false));
+  if obs_wanted o then ignore (Obs.Scope.enable ());
+  !ok
+
+let emit_obs o =
+  let ok = ref true in
+  (match (o.trace_out, Obs.Scope.export_chrome ()) with
   | Some path, Some j ->
     if write_json path j then
       Printf.printf "Chrome trace written to %s (open in ui.perfetto.dev)\n" path
@@ -55,7 +96,7 @@ let emit_obs ~trace_out ~metrics_out ~obs_summary =
     Printf.eprintf "cannot write %s: no telemetry scope\n" path;
     ok := false
   | None, _ -> ());
-  (match (metrics_out, Obs.Scope.export_metrics ()) with
+  (match (o.metrics_out, Obs.Scope.export_metrics ()) with
   | Some path, Some j ->
     if write_json path j then Printf.printf "Metrics written to %s\n" path
     else ok := false
@@ -63,7 +104,21 @@ let emit_obs ~trace_out ~metrics_out ~obs_summary =
     Printf.eprintf "cannot write %s: no telemetry scope\n" path;
     ok := false
   | None, _ -> ());
-  if obs_summary then begin
+  (match (o.metrics_text, Obs.Scope.export_openmetrics ()) with
+  | Some path, Some text -> (
+    match
+      Out_channel.with_open_text path (fun oc ->
+          Out_channel.output_string oc text)
+    with
+    | () -> Printf.printf "OpenMetrics exposition written to %s\n" path
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot write %s: %s\n" path msg;
+      ok := false)
+  | Some path, None ->
+    Printf.eprintf "cannot write %s: no telemetry scope\n" path;
+    ok := false
+  | None, _ -> ());
+  if o.obs_summary then begin
     let s = Obs.Scope.summary () in
     if s <> "" then Printf.printf "\n%s%!" s
   end;
@@ -77,11 +132,10 @@ let apply_decode_opts jobs cache =
   Option.iter Snorlax_util.Pool.set_default_jobs jobs;
   Option.iter (Pt.Decode_cache.set_capacity Pt.Decode_cache.shared) cache
 
-let diagnose_bug id verbose decode_jobs decode_cache trace_out metrics_out
-    obs_summary =
+let diagnose_bug id verbose decode_jobs decode_cache obs =
   apply_decode_opts decode_jobs decode_cache;
-  let obs_wanted = trace_out <> None || metrics_out <> None || obs_summary in
-  if obs_wanted then ignore (Obs.Scope.enable ());
+  if not (setup_obs obs) then 1
+  else
   match Corpus.Registry.find id with
   | None ->
     Printf.eprintf "unknown bug id %s (try `snorlax list`)\n" id;
@@ -141,13 +195,51 @@ let diagnose_bug id verbose decode_jobs decode_cache trace_out metrics_out
           sc.Core.Diagnosis.after_points_to sc.Core.Diagnosis.after_type_ranking
           sc.Core.Diagnosis.after_patterns sc.Core.Diagnosis.after_statistics
       end;
-      if emit_obs ~trace_out ~metrics_out ~obs_summary then 0 else 1)
+      if emit_obs obs then 0 else 1)
 
-let fleet_run n_endpoints bug_id all decode_jobs decode_cache trace_out
-    metrics_out obs_summary =
+(* The [--watch] snapshot line: fleet throughput plus the ingest/decode
+   stage percentiles read back from the ambient registry mid-run. *)
+let watch_tick (p : Fleet.Deploy.progress) =
+  let secs = p.Fleet.Deploy.tick_elapsed_ns /. 1e9 in
+  let rate =
+    if secs > 0.0 then float_of_int p.Fleet.Deploy.tick_shipped /. secs else 0.0
+  in
+  let counter name =
+    match Obs.Scope.current () with
+    | Some c -> Option.value ~default:0 (Obs.Metrics.find_counter c.Obs.Scope.metrics name)
+    | None -> 0
+  in
+  let stage name =
+    match Obs.Scope.current () with
+    | None -> "-"
+    | Some c -> (
+      match Obs.Metrics.find_histogram c.Obs.Scope.metrics name with
+      | Some (h : Obs.Metrics.hstats) when h.Obs.Metrics.count > 0 ->
+        Printf.sprintf "%.0f/%.0fus"
+          (h.Obs.Metrics.p50 /. 1e3)
+          (h.Obs.Metrics.p99 /. 1e3)
+      | _ -> "-")
+  in
+  let failing = counter "fleet/failing_kept" + counter "fleet/failing_dropped" in
+  let buckets = counter "fleet/buckets" in
+  let dedup =
+    if buckets = 0 then 0.0 else float_of_int failing /. float_of_int buckets
+  in
+  Printf.printf
+    "[watch] %s ep%d: %d packets (%.0f/s), dedup %.1f:1, ingest p50/p99 %s, \
+     decode p50/p99 %s\n%!"
+    p.Fleet.Deploy.tick_bug p.Fleet.Deploy.tick_endpoint
+    p.Fleet.Deploy.tick_shipped rate dedup
+    (stage "fleet/ingest_ns")
+    (stage "pt/decode_ns")
+
+let fleet_run n_endpoints bug_id all watch decode_jobs decode_cache obs =
   apply_decode_opts decode_jobs decode_cache;
-  let obs_wanted = trace_out <> None || metrics_out <> None || obs_summary in
-  if obs_wanted then ignore (Obs.Scope.enable ());
+  if not (setup_obs obs) then 1
+  else begin
+  (* --watch reads stage percentiles out of the ambient registry, so it
+     needs the scope even when no export flag asked for one. *)
+  if watch && not (Obs.Scope.enabled ()) then ignore (Obs.Scope.enable ());
   let bugs =
     match (bug_id, all) with
     | _, true -> Ok Corpus.Registry.eval_set
@@ -166,7 +258,8 @@ let fleet_run n_endpoints bug_id all decode_jobs decode_cache trace_out
       "Deploying %d endpoints x %d scenario%s; collecting wire reports...\n%!"
       n_endpoints (List.length bugs)
       (if List.length bugs = 1 then "" else "s");
-    let s = Fleet.Deploy.run ~endpoints:n_endpoints bugs in
+    let tick = if watch then Some watch_tick else None in
+    let s = Fleet.Deploy.run ?tick ~endpoints:n_endpoints bugs in
     let t =
       Snorlax_util.Tablefmt.create
         ~headers:
@@ -198,13 +291,16 @@ let fleet_run n_endpoints bug_id all decode_jobs decode_cache trace_out
     Snorlax_util.Tablefmt.print t;
     List.iter
       (fun (r : Fleet.Deploy.bucket_row) ->
-        match r.Fleet.Deploy.top_describe with
+        (match r.Fleet.Deploy.top_describe with
         | Some d ->
           Printf.printf "\n%s (%s):\n%s\n" r.Fleet.Deploy.bug_id
             r.Fleet.Deploy.signature d
         | None ->
           Printf.printf "\n%s (%s): no pattern diagnosed\n"
-            r.Fleet.Deploy.bug_id r.Fleet.Deploy.signature)
+            r.Fleet.Deploy.bug_id r.Fleet.Deploy.signature);
+        List.iter
+          (fun q -> Printf.printf "  qualifier: %s\n" q)
+          r.Fleet.Deploy.qualifiers)
       s.Fleet.Deploy.rows;
     Printf.printf
       "\n%d packets (%d wire bytes) from %d endpoint(s); %d bucket(s), dedup \
@@ -215,7 +311,10 @@ let fleet_run n_endpoints bug_id all decode_jobs decode_cache trace_out
       s.Fleet.Deploy.decode_errors s.Fleet.Deploy.unrouted
       (s.Fleet.Deploy.diagnosis_ns /. 1e6)
       (s.Fleet.Deploy.total_ns /. 1e6);
-    let obs_ok = emit_obs ~trace_out ~metrics_out ~obs_summary in
+    Printf.printf "Report->diagnosis latency p50 %.1f ms, p99 %.1f ms.\n"
+      (s.Fleet.Deploy.latency_p50_ns /. 1e6)
+      (s.Fleet.Deploy.latency_p99_ns /. 1e6);
+    let obs_ok = emit_obs obs in
     let diagnosed =
       s.Fleet.Deploy.rows <> []
       && List.for_all
@@ -225,8 +324,11 @@ let fleet_run n_endpoints bug_id all decode_jobs decode_cache trace_out
     in
     if not diagnosed then Printf.eprintf "fleet: some bucket had no diagnosis\n";
     if diagnosed && obs_ok then 0 else 1
+  end
 
-let chaos_run seeds n_endpoints bug_id all fault_name out =
+let chaos_run seeds n_endpoints bug_id all fault_name out obs =
+  if not (setup_obs obs) then 1
+  else
   let bugs =
     match (bug_id, all) with
     | _, true -> Ok Corpus.Registry.eval_set
@@ -304,7 +406,8 @@ let chaos_run seeds n_endpoints bug_id all fault_name out =
         r.Chaos.Harness.violation_examples;
       let json_ok = write_json out (Chaos.Harness.to_json r) in
       if json_ok then Printf.printf "Chaos bench written to %s\n" out;
-      if Chaos.Harness.ok r && json_ok then 0 else 1)
+      let obs_ok = emit_obs obs in
+      if Chaos.Harness.ok r && json_ok && obs_ok then 0 else 1)
 
 let validate () =
   let ok = ref 0 and bad = ref 0 in
@@ -515,11 +618,10 @@ let bench_compare old_path new_path max_regress verbose =
       1
     end
 
-let oracle_run bug_id all out decode_jobs decode_cache trace_out metrics_out
-    obs_summary =
+let oracle_run bug_id all out decode_jobs decode_cache obs =
   apply_decode_opts decode_jobs decode_cache;
-  let obs_wanted = trace_out <> None || metrics_out <> None || obs_summary in
-  if obs_wanted then ignore (Obs.Scope.enable ());
+  if not (setup_obs obs) then 1
+  else
   let bugs =
     match (bug_id, all) with
     | _, true -> Ok Corpus.Registry.all
@@ -607,8 +709,22 @@ let oracle_run bug_id all out decode_jobs decode_cache trace_out metrics_out
       !errors;
     let json_ok = write_json out (Oracle.Diffcheck.to_json results) in
     if json_ok then Printf.printf "Oracle bench written to %s\n" out;
-    let obs_ok = emit_obs ~trace_out ~metrics_out ~obs_summary in
+    let obs_ok = emit_obs obs in
     if !diverging = [] && !errors = 0 && json_ok && obs_ok then 0 else 1
+
+let metrics_lint path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg ->
+    Printf.eprintf "metrics-lint: %s\n" msg;
+    2
+  | text -> (
+    match Obs.Openmetrics.lint text with
+    | Ok () ->
+      Printf.printf "%s: OpenMetrics exposition OK\n" path;
+      0
+    | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      1)
 
 (* --- cmdliner plumbing ------------------------------------------------- *)
 
@@ -638,6 +754,44 @@ let obs_summary_arg =
     value & flag
     & info [ "obs-summary" ]
         ~doc:"Print the span tree and metric tables at the end.")
+
+let metrics_text_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-text" ] ~docv:"FILE.txt"
+        ~doc:
+          "Write the telemetry metrics registry as OpenMetrics/Prometheus \
+           text exposition (counters as _total, histograms with cumulative \
+           le buckets, terminated by # EOF); lint it with `snorlax \
+           metrics-lint`.")
+
+let log_level_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Attach a stderr sink for the structured event log and forward \
+           events at this level or above (debug|info|warn|error). Without \
+           this flag events only feed the flight recorders.")
+
+let log_json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log-json" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Write every event at or above the log level as one JSON object \
+           per line.")
+
+let obs_term =
+  let mk trace_out metrics_out metrics_text obs_summary log_level log_json =
+    { trace_out; metrics_out; metrics_text; obs_summary; log_level; log_json }
+  in
+  Term.(
+    const mk $ trace_out_arg $ metrics_out_arg $ metrics_text_arg
+    $ obs_summary_arg $ log_level_arg $ log_json_arg)
 
 let decode_jobs_arg =
   Arg.(
@@ -671,7 +825,7 @@ let diagnose_cmd =
        ~doc:"Reproduce a corpus bug and run Lazy Diagnosis on it")
     Term.(
       const diagnose_bug $ bug_arg $ verbose $ decode_jobs_arg
-      $ decode_cache_arg $ trace_out_arg $ metrics_out_arg $ obs_summary_arg)
+      $ decode_cache_arg $ obs_term)
 
 let fleet_cmd =
   let endpoints =
@@ -692,6 +846,15 @@ let fleet_cmd =
       value & flag
       & info [ "all" ] ~doc:"Deploy every evaluation-set scenario.")
   in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Print a snapshot line after every endpoint finishes: packets \
+             shipped, throughput, dedup ratio and the ingest/decode stage \
+             p50/p99 so far.")
+  in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:
@@ -700,8 +863,8 @@ let fleet_cmd =
           reports to the collector, which dedups them by crash signature \
           and runs the statistical diagnosis per bucket across endpoints")
     Term.(
-      const fleet_run $ endpoints $ bug $ all $ decode_jobs_arg
-      $ decode_cache_arg $ trace_out_arg $ metrics_out_arg $ obs_summary_arg)
+      const fleet_run $ endpoints $ bug $ all $ watch $ decode_jobs_arg
+      $ decode_cache_arg $ obs_term)
 
 let chaos_cmd =
   let seeds =
@@ -748,7 +911,8 @@ let chaos_cmd =
           arrival, endpoint death, clock skew) and check the ingest path's \
           invariants after every trial; exits non-zero on any invariant \
           violation or escaped exception")
-    Term.(const chaos_run $ seeds $ endpoints $ bug $ all $ fault $ out)
+    Term.(
+      const chaos_run $ seeds $ endpoints $ bug $ all $ fault $ out $ obs_term)
 
 let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print a corpus program's LIR")
@@ -829,7 +993,20 @@ let oracle_cmd =
           divergence")
     Term.(
       const oracle_run $ bug $ all $ out $ decode_jobs_arg $ decode_cache_arg
-      $ trace_out_arg $ metrics_out_arg $ obs_summary_arg)
+      $ obs_term)
+
+let metrics_lint_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.txt")
+  in
+  Cmd.v
+    (Cmd.info "metrics-lint"
+       ~doc:
+         "Check a file written by --metrics-text against the OpenMetrics \
+          text-exposition rules (counter _total naming, cumulative \
+          monotone le buckets, +Inf/_count agreement, # EOF terminator); \
+          exits non-zero on the first violation")
+    Term.(const metrics_lint $ file_arg)
 
 let experiment_cmd =
   let exp_name =
@@ -858,6 +1035,7 @@ let main_cmd =
     [
       list_cmd; diagnose_cmd; fleet_cmd; chaos_cmd; oracle_cmd; dump_cmd;
       replay_cmd; validate_cmd; experiment_cmd; bench_compare_cmd;
+      metrics_lint_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

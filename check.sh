@@ -19,7 +19,8 @@ fi
 
 
 echo "== fleet smoke =="
-fleet_out=$(dune exec bin/snorlax.exe -- fleet --endpoints 4 --bug pbzip2-1)
+fleet_out=$(dune exec bin/snorlax.exe -- fleet --endpoints 4 --bug pbzip2-1 \
+  --metrics-text /tmp/snorlax_metrics.txt)
 echo "$fleet_out"
 # The exit status already guards "every bucket diagnosed"; also assert the
 # output names a concrete root-cause pattern.
@@ -27,6 +28,19 @@ echo "$fleet_out" | grep -Eq "violation|deadlock" || {
   echo "fleet smoke: no diagnosis output"
   exit 1
 }
+
+echo "== openmetrics lint =="
+# The exposition the fleet run just wrote must satisfy the format linter
+# (counter _total naming, cumulative monotone le buckets, # EOF), and a
+# doctored copy must fail — both exit paths get exercised.
+dune exec bin/snorlax.exe -- metrics-lint /tmp/snorlax_metrics.txt
+head -n -1 /tmp/snorlax_metrics.txt > /tmp/snorlax_metrics_bad.txt  # drop # EOF
+if dune exec bin/snorlax.exe -- metrics-lint /tmp/snorlax_metrics_bad.txt \
+    >/dev/null 2>&1; then
+  echo "metrics-lint smoke: truncated exposition should fail"
+  exit 1
+fi
+rm -f /tmp/snorlax_metrics.txt /tmp/snorlax_metrics_bad.txt
 
 echo "== decode bench + compare smoke =="
 # Produce the decode-throughput artifact, then run it through
@@ -54,5 +68,14 @@ echo "== chaos gate =="
 # Exit status is the gate: any invariant violation, uncaught exception or
 # nondeterministic replay in the fault-injection sweep fails the build.
 dune exec bin/snorlax.exe -- chaos --seeds 25 --all --out BENCH_chaos.json
+
+echo "== bench archive =="
+# Snapshot this run's BENCH_*.json artifacts under bench_history/<rev>/
+# so the perf trajectory accumulates across commits (bench-compare any
+# two snapshots to see where a regression landed).
+rev=$(git rev-parse --short HEAD 2>/dev/null || echo workdir)
+mkdir -p "bench_history/$rev"
+cp BENCH_*.json "bench_history/$rev/" 2>/dev/null || true
+ls "bench_history/$rev"
 
 echo "check.sh: all green"

@@ -15,6 +15,10 @@ type trial = {
   top_f1 : float;
   violations : string list;
   uncaught : string option;
+  flight_tail : string option;
+      (* the trial's flight-recorder dump, materialized only when an
+         invariant fired; carries wall-clock stamps, so it decorates the
+         reported examples but stays out of [observable] *)
 }
 
 type class_summary = {
@@ -94,14 +98,28 @@ let run_trial ~modules ~policy ~endpoints bl cls seed =
   in
   Obs.Scope.count "chaos/trials" 1;
   Obs.Scope.count "chaos/faults" stream.Inject.faults;
+  (* The trial's black box: collector log events (rejects, new buckets,
+     pending evictions) land in this ring while the faulty stream is
+     ingested; its tail is only materialized when an invariant fires. *)
+  let recorder = Obs.Log.Recorder.create ~capacity:32 () in
   let outcomes, violations, uncaught =
-    match ingest_and_diagnose ~modules ~policy ~cls ~stream with
+    match
+      Obs.Log.with_recorder recorder (fun () ->
+          ingest_and_diagnose ~modules ~policy ~cls ~stream)
+    with
     | outcomes, violations -> (outcomes, violations, None)
     | exception e -> ([], [], Some (Printexc.to_string e))
   in
   if violations <> [] then
     Obs.Scope.count "chaos/violations" (List.length violations);
   if uncaught <> None then Obs.Scope.count "chaos/uncaught" 1;
+  let flight_tail =
+    if violations = [] && uncaught = None then None
+    else
+      match Obs.Log.Recorder.dump recorder with
+      | "" -> None
+      | tail -> Some tail
+  in
   {
     cls;
     seed;
@@ -118,6 +136,7 @@ let run_trial ~modules ~policy ~endpoints bl cls seed =
       List.fold_left (fun acc o -> Float.max acc o.Invariant.f1) 0.0 outcomes;
     violations;
     uncaught;
+    flight_tail;
   }
 
 (* Everything the fixed-seed determinism invariant compares: the faulty
@@ -236,11 +255,27 @@ let run ?(policy = Collector.default_policy) ?(endpoints = 3)
             Option.value ~default:[] (Hashtbl.find_opt trials_by_class cls))
           classes
       in
+      (* A reported example is the violation plus the trial's flight-
+         recorder tail — the events leading up to the failure, not just
+         the bare reconciliation diff.  Tails carry wall-clock stamps,
+         which is why they decorate examples here instead of living in
+         [trial.violations] (compared by the determinism invariant). *)
+      let with_tail t msg =
+        match t.flight_tail with
+        | None -> msg
+        | Some tail ->
+          msg ^ "\n  "
+          ^ String.concat "\n  " (String.split_on_char '\n' tail)
+      in
       let examples =
         List.filteri
           (fun i _ -> i < 5)
-          (List.concat_map (fun t -> t.violations) all_trials
-          @ List.filter_map (fun t -> t.uncaught) all_trials)
+          (List.concat_map
+             (fun t -> List.map (with_tail t) t.violations)
+             all_trials
+          @ List.filter_map
+              (fun t -> Option.map (with_tail t) t.uncaught)
+              all_trials)
       in
       Ok
         {

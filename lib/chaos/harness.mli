@@ -24,6 +24,11 @@ type trial = {
   top_f1 : float;  (** best bucket F1; 0 when no bucket diagnosed *)
   violations : string list;
   uncaught : string option;  (** exception that escaped, if any *)
+  flight_tail : string option;
+      (** flight-recorder dump of the collector events leading up to the
+          failure; [None] on clean trials.  Carries wall-clock stamps,
+          so it decorates {!report.violation_examples} but is excluded
+          from the fixed-seed determinism comparison. *)
 }
 
 type class_summary = {

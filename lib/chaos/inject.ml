@@ -68,8 +68,18 @@ let build ~prng ~cls ~bug_id ~config ~endpoints ~failing ~successful =
             off
           | _ -> 0
         in
+        (* Deterministic per-endpoint provenance, so the chaos stream
+           also exercises the v2 prov block through every fault class. *)
+        let prov =
+          Some
+            {
+              Wire.runs = e + 1;
+              sync_ops = 64 + (e * 7);
+              sync_digest = e * 0x9e3779b9 land max_int;
+            }
+        in
         let envelope payload =
-          { Wire.endpoint = e; seed = e + 1; bug_id; config; payload }
+          { Wire.endpoint = e; seed = e + 1; bug_id; config; prov; payload }
         in
         let failing_pkts =
           List.map

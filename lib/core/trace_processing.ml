@@ -47,27 +47,59 @@ let decode_all m ~config ~tail_for ~jobs ~cache traces_a =
       else Dynbuf.push miss_idx i)
     traces_a;
   let misses = Dynbuf.to_array miss_idx in
+  let telemetry = Obs.Scope.enabled () in
+  let eff_jobs = min jobs (Array.length misses) in
+  let parallel = eff_jobs > 1 in
+  (* In the parallel branch each work item records its pt/* metrics —
+     including its own decode wall time — into a private registry: the
+     ambient scope is not domain-safe, and the decode time of a worker
+     can only be measured on that worker.  The registries are folded
+     back into the ambient one after the pool barrier, so pool-domain
+     metrics are no longer dropped. *)
+  let worker_regs : Obs.Metrics.t option array =
+    Array.make (if telemetry && parallel then Array.length misses else 0) None
+  in
   let decode_one i =
     let tid, snapshot = traces_a.(i) in
     results.(i) <-
       Some (Pt.Decoder.decode_raw m ~config ?tail_stop:(tail_for tid) snapshot)
   in
-  let eff_jobs = min jobs (Array.length misses) in
-  if eff_jobs > 1 then
-    Pool.run (Pool.get ~jobs:eff_jobs) (Array.length misses) (fun k ->
-        decode_one misses.(k))
+  let decode_one_recording k =
+    let i = misses.(k) in
+    let _, snapshot = traces_a.(i) in
+    let reg = Obs.Metrics.create () in
+    worker_regs.(k) <- Some reg;
+    let t0 = Obs.Span.raw_clock_ns () in
+    decode_one i;
+    Obs.Metrics.observe
+      (Obs.Metrics.histogram reg "pt/decode_ns")
+      (Obs.Span.raw_clock_ns () -. t0);
+    Pt.Decoder.record_metrics ~into:reg
+      (Option.get results.(i))
+      ~snapshot_bytes:(Bytes.length snapshot)
+  in
+  if parallel then
+    Pool.run (Pool.get ~jobs:eff_jobs) (Array.length misses)
+      (if telemetry then decode_one_recording else fun k -> decode_one misses.(k))
+  else if telemetry then
+    Array.iter
+      (fun i -> Obs.Scope.timed "pt/decode_ns" (fun () -> decode_one i))
+      misses
   else Array.iter decode_one misses;
-  (* Telemetry and cache insertion happen here, on the submitting domain:
-     the ambient scope is not domain-safe, and recording per actual
-     invocation keeps pt/decode_calls a true decoder-work counter that
-     cache hits do not inflate. *)
-  if Obs.Scope.enabled () then
+  if telemetry then begin
     Obs.Scope.set_gauge "decode/pool_size" (float_of_int (max 1 eff_jobs));
+    Array.iter (Option.iter Obs.Scope.merge_worker) worker_regs
+  end;
+  (* Cache insertion (and, in the sequential path, telemetry) happens
+     here on the submitting domain.  Recording per actual invocation
+     keeps pt/decode_calls a true decoder-work counter that cache hits
+     do not inflate. *)
   Array.iter
     (fun i ->
       let _, snapshot = traces_a.(i) in
       let r = Option.get results.(i) in
-      Pt.Decoder.record_metrics r ~snapshot_bytes:(Bytes.length snapshot);
+      if not parallel then
+        Pt.Decoder.record_metrics r ~snapshot_bytes:(Bytes.length snapshot);
       if use_cache then Pt.Decode_cache.add cache keys.(i) r)
     misses;
   Array.map (function Some r -> r | None -> assert false) results

@@ -28,12 +28,58 @@ let run_untraced ~built ~entry ~seed () =
   let config = { Sim.Interp.default_config with seed } in
   Sim.Interp.run ~config built.Bug.m ~entry
 
+type sync_profile = { sync_ops : int; sync_digest : int }
+
+(* The provenance observer: an [on_obs] hook is pure observation with
+   zero virtual-time cost, so attaching it cannot perturb the schedule
+   being recorded (the happens-before oracle relies on the same
+   property).  It keeps a count of synchronization operations and a ring
+   of the last [sync_window] ops' static identities, digested FNV-1a
+   style at report time.  Memory accesses are excluded — they would
+   swamp the window and the interesting tail is the lock/condvar/thread
+   traffic right before the failure. *)
+let sync_window = 16
+
+let sync_observer () =
+  let ops = ref 0 in
+  let ring = Array.make sync_window 0 in
+  let note tag tid iid =
+    ring.(!ops mod sync_window) <- (tag * 0x1000003) lxor (tid * 8191) lxor iid;
+    incr ops
+  in
+  let feed ev =
+    match ev with
+    | Sim.Hooks.Obs_access _ -> ()
+    | Sim.Hooks.Obs_lock_attempt { tid; iid; _ } -> note 1 tid iid
+    | Sim.Hooks.Obs_lock_acquired { tid; iid; _ } -> note 2 tid iid
+    | Sim.Hooks.Obs_lock_released { tid; iid; _ } -> note 3 tid iid
+    | Sim.Hooks.Obs_cond_park { tid; iid; _ } -> note 4 tid iid
+    | Sim.Hooks.Obs_cond_wake { waker_tid; woken_tid; _ } ->
+      note 5 waker_tid woken_tid
+    | Sim.Hooks.Obs_spawn { parent_tid; child_tid; iid; _ } ->
+      note 6 parent_tid (iid lxor (child_tid * 31))
+    | Sim.Hooks.Obs_join { tid; iid; _ } -> note 7 tid iid
+  in
+  let hooks = { Sim.Hooks.none with Sim.Hooks.on_obs = Some feed } in
+  let profile () =
+    let n = min !ops sync_window in
+    let start = if !ops <= sync_window then 0 else !ops mod sync_window in
+    let h = ref 0x5bd1e995 in
+    for i = 0 to n - 1 do
+      h := (!h lxor ring.((start + i) mod sync_window)) * 0x100000001b3
+    done;
+    { sync_ops = !ops; sync_digest = !h land max_int }
+  in
+  (hooks, profile)
+
 type collected = {
   built : Bug.built;
   failing : Report.failing_report list;
   failing_seeds : int list;
+  failing_sync : sync_profile list;
   successful : Report.success_report list;
   success_seeds : int list;
+  success_sync : sync_profile list;
   runs_needed : int;
 }
 
@@ -59,8 +105,10 @@ let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
   let entry = bug.Bug.entry in
   let failing = ref [] in
   let failing_seeds = ref [] in
+  let failing_sync = ref [] in
   let successful = ref [] in
   let success_seeds = ref [] in
+  let success_sync = ref [] in
   let watch = ref [] in
   let runs_needed = ref 0 in
   let want_success () = success_per_failing * List.length !failing in
@@ -72,8 +120,12 @@ let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
   do
     if List.length !failing < failing_count then incr runs_needed;
     Obs.Scope.count "corpus/runs" 1;
+    Obs.Log.debug "corpus/run"
+      ~fields:[ ("bug", Obs.Log.Str bug.Bug.id); ("seed", Obs.Log.Int !seed) ];
+    let obs_hooks, sync_profile = sync_observer () in
     let r =
-      run_traced ~built ~entry ~seed:!seed ~pt_config ~watch_pcs:!watch ()
+      run_traced ~built ~entry ~seed:!seed ~pt_config ~watch_pcs:!watch
+        ~extra_hooks:obs_hooks ()
     in
     (match r.result.Sim.Interp.outcome with
     | Sim.Interp.Failed { failure; time_ns } ->
@@ -83,8 +135,17 @@ let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
           Report.of_sim_failure failure ~time_ns
             ~traces:snap.Pt.Driver.traces
         in
+        Obs.Log.warn "corpus/sim_failure"
+          ~fields:
+            [
+              ("bug", Obs.Log.Str bug.Bug.id);
+              ("seed", Obs.Log.Int !seed);
+              ("kind", Obs.Log.Str (Report.kind_label report));
+              ("time_ns", Obs.Log.Int (int_of_float time_ns));
+            ];
         failing := !failing @ [ report ];
         failing_seeds := !failing_seeds @ [ !seed ];
+        failing_sync := !failing_sync @ [ sync_profile () ];
         Obs.Scope.count "corpus/failing_reports" 1;
         if !watch = [] then watch := watch_pcs_for built.Bug.m report
       end
@@ -110,6 +171,7 @@ let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
                 };
               ];
           success_seeds := !success_seeds @ [ !seed ];
+          success_sync := !success_sync @ [ sync_profile () ];
           Obs.Scope.count "corpus/successful_reports" 1
         | None -> ())
     | Sim.Interp.Stuck | Sim.Interp.Fuel_exhausted -> ());
@@ -128,7 +190,9 @@ let collect bug ?(pt_config = Pt.Config.default) ?(failing_count = 1)
         built;
         failing = !failing;
         failing_seeds = !failing_seeds;
+        failing_sync = !failing_sync;
         successful = !successful;
         success_seeds = !success_seeds;
+        success_sync = !success_sync;
         runs_needed = !runs_needed;
       }

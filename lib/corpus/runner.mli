@@ -23,12 +23,26 @@ val run_untraced :
   built:Bug.built -> entry:string -> seed:int -> unit -> Sim.Interp.run_result
 (** Baseline execution without any tracing cost (for overhead numbers). *)
 
+type sync_profile = {
+  sync_ops : int;  (** synchronization operations the run performed *)
+  sync_digest : int;
+      (** non-negative digest of the last {!sync_window} ops' static
+          identities (kind, tid, iid) — the report's recent sync history,
+          shipped as wire provenance for Lumos-style feature mining *)
+}
+(** Captured per kept report by a pure [on_obs] observer, so attaching it
+    never changes the schedule being recorded. *)
+
+val sync_window : int
+
 type collected = {
   built : Bug.built;
   failing : Snorlax_core.Report.failing_report list;
   failing_seeds : int list;
+  failing_sync : sync_profile list;  (** parallel to [failing] *)
   successful : Snorlax_core.Report.success_report list;
   success_seeds : int list;
+  success_sync : sync_profile list;  (** parallel to [successful] *)
   runs_needed : int;  (** executions performed to reproduce the bug *)
 }
 

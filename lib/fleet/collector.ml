@@ -4,6 +4,23 @@ type policy = { max_failing : int; max_success : int; max_pending : int }
 
 let default_policy = { max_failing = 4; max_success = 40; max_pending = 64 }
 
+(* Per-report provenance material for Lumos-style mining: categorical
+   features (exact-match) and numeric features (threshold-split).  Kept
+   for every *seen* report up to [prov_cap] per class, not just the
+   sampled ones — feature statistics improve with fleet volume even when
+   the trace payloads are dropped. *)
+type prov_sample = {
+  s_feats : (string * string) list;
+  s_nums : (string * int) list;
+}
+
+let prov_cap = 512
+
+(* Arrival stamps (wall-clock ns) of every report routed to the bucket,
+   capped; the report->diagnosis latency histogram reads these when the
+   bucket is finally diagnosed. *)
+let arrival_cap = 1024
+
 type bucket = {
   signature : Signature.t;
   config : Pt.Config.t;
@@ -16,6 +33,9 @@ type bucket = {
   mutable failing_seen : int;
   mutable success_seen : int;
   mutable wire_bytes : int;
+  mutable failing_prov_rev : prov_sample list;
+  mutable success_prov_rev : prov_sample list;
+  mutable arrivals_rev : float list;
 }
 
 let failing b = List.rev b.failing_rev
@@ -24,6 +44,7 @@ let failing_kept b = List.length b.failing_rev
 let success_kept b = List.length b.successful_rev
 let failing_dropped b = b.failing_seen - failing_kept b
 let success_dropped b = b.success_seen - success_kept b
+let arrivals b = List.rev b.arrivals_rev
 
 type totals = {
   received : int;
@@ -39,7 +60,42 @@ type pending_success = {
   p_endpoint : int;
   p_report : Report.success_report;
   p_bytes : int;
+  p_prov : prov_sample;
+  p_arrival : float;
 }
+
+(* --- provenance features ------------------------------------------------ *)
+
+let log2_bucket v =
+  if v <= 0 then 0 else snd (Float.frexp (float_of_int v))
+
+(* The feature vector of one report: envelope-level knobs (endpoint id,
+   ring size, timing mode) are always present; prov-block features only
+   exist on v2 packets.  [sync_tail] is categorical (exact digest match
+   = "the same recent sync history"); [sync_ops]/[runs] are numeric and
+   mined by threshold split. *)
+let prov_sample_of (env : Wire.envelope) =
+  let tag, period = Pt.Config.timing_code env.Wire.config.Pt.Config.timing in
+  let base =
+    [
+      ("endpoint", string_of_int env.Wire.endpoint);
+      ( "ring_kb",
+        string_of_int (env.Wire.config.Pt.Config.buffer_size / 1024) );
+      ("timing", Printf.sprintf "%d/%d" tag period);
+    ]
+  in
+  match env.Wire.prov with
+  | None -> { s_feats = base; s_nums = [] }
+  | Some p ->
+    {
+      s_feats =
+        base
+        @ [
+            ("sync_tail", Printf.sprintf "%08x" (p.Wire.sync_digest land 0xffffffff));
+            ("sync_ops_log2", string_of_int (log2_bucket p.Wire.sync_ops));
+          ];
+      s_nums = [ ("sync_ops", p.Wire.sync_ops); ("runs", p.Wire.runs) ];
+    }
 
 type t = {
   policy : policy;
@@ -88,10 +144,17 @@ let note_endpoint b endpoint =
   if not (List.mem endpoint b.endpoints) then
     b.endpoints <- endpoint :: b.endpoints
 
-let keep_success t b endpoint (r : Report.success_report) nbytes =
+let note_arrival b arrival =
+  if b.failing_seen + b.success_seen <= arrival_cap then
+    b.arrivals_rev <- arrival :: b.arrivals_rev
+
+let keep_success t b endpoint (r : Report.success_report) nbytes prov arrival =
   b.success_seen <- b.success_seen + 1;
   b.wire_bytes <- b.wire_bytes + nbytes;
   note_endpoint b endpoint;
+  note_arrival b arrival;
+  if b.success_seen <= prov_cap then
+    b.success_prov_rev <- prov :: b.success_prov_rev;
   if success_kept b < t.policy.max_success then begin
     b.successful_rev <- r :: b.successful_rev;
     Obs.Scope.count "fleet/success_kept" 1
@@ -102,7 +165,8 @@ let keep_success t b endpoint (r : Report.success_report) nbytes =
    trigger pc came from.  When several signatures of one bug share a
    watch pc, first (oldest) bucket wins — matching the driver, which
    arms one watchpoint set per failure location. *)
-let route_success t bug_id endpoint (r : Report.success_report) nbytes =
+let route_success t bug_id endpoint (r : Report.success_report) nbytes prov
+    arrival =
   let candidates =
     List.filter
       (fun b ->
@@ -112,7 +176,7 @@ let route_success t bug_id endpoint (r : Report.success_report) nbytes =
   in
   match candidates with
   | b :: _ ->
-    keep_success t b endpoint r nbytes;
+    keep_success t b endpoint r nbytes prov arrival;
     true
   | [] -> false
 
@@ -121,9 +185,18 @@ let route_success t bug_id endpoint (r : Report.success_report) nbytes =
    pc matches no bucket) must not grow the pending pool without bound.
    Newest reports win — on overflow the oldest held entry is evicted,
    mirroring a ring buffer at the endpoint. *)
-let hold_success t bug_id endpoint r nbytes =
+let hold_success t bug_id endpoint r nbytes prov arrival =
   let held = Option.value ~default:[] (Hashtbl.find_opt t.pending bug_id) in
-  let held = { p_endpoint = endpoint; p_report = r; p_bytes = nbytes } :: held in
+  let held =
+    {
+      p_endpoint = endpoint;
+      p_report = r;
+      p_bytes = nbytes;
+      p_prov = prov;
+      p_arrival = arrival;
+    }
+    :: held
+  in
   let held =
     let n = List.length held in
     if n <= t.policy.max_pending then held
@@ -131,6 +204,9 @@ let hold_success t bug_id endpoint r nbytes =
       let evicted = n - t.policy.max_pending in
       t.pending_dropped <- t.pending_dropped + evicted;
       Obs.Scope.count "fleet/pending_dropped" evicted;
+      Obs.Log.info "fleet/pending_evict"
+        ~fields:
+          [ ("bug", Obs.Log.Str bug_id); ("evicted", Obs.Log.Int evicted) ];
       List.filteri (fun i _ -> i < t.policy.max_pending) held
     end
   in
@@ -147,13 +223,15 @@ let drain_pending t bug_id =
     let leftover =
       List.filter
         (fun p ->
-          not (route_success t bug_id p.p_endpoint p.p_report p.p_bytes))
+          not
+            (route_success t bug_id p.p_endpoint p.p_report p.p_bytes p.p_prov
+               p.p_arrival))
         (List.rev held)
     in
     if leftover = [] then Hashtbl.remove t.pending bug_id
     else Hashtbl.replace t.pending bug_id (List.rev leftover)
 
-let ingest_failing t ~bug_id ~endpoint ~config ~nbytes
+let ingest_failing t ~bug_id ~endpoint ~config ~nbytes ~prov ~arrival
     (r : Report.failing_report) =
   match built_for t bug_id with
   | Error _ as e -> e
@@ -178,17 +256,29 @@ let ingest_failing t ~bug_id ~endpoint ~config ~nbytes
               failing_seen = 0;
               success_seen = 0;
               wire_bytes = 0;
+              failing_prov_rev = [];
+              success_prov_rev = [];
+              arrivals_rev = [];
             }
           in
           Hashtbl.add t.by_key key b;
           t.bucket_list <- b :: t.bucket_list;
           Obs.Scope.count "fleet/buckets" 1;
+          Obs.Log.info "fleet/bucket_new"
+            ~fields:
+              [
+                ("bug", Obs.Log.Str bug_id);
+                ("signature", Obs.Log.Str (Signature.to_string signature));
+              ];
           drain_pending t bug_id;
           b
       in
       b.failing_seen <- b.failing_seen + 1;
       b.wire_bytes <- b.wire_bytes + nbytes;
       note_endpoint b endpoint;
+      note_arrival b arrival;
+      if b.failing_seen <= prov_cap then
+        b.failing_prov_rev <- prov :: b.failing_prov_rev;
       if failing_kept b < t.policy.max_failing then begin
         b.failing_rev <- r :: b.failing_rev;
         Obs.Scope.count "fleet/failing_kept" 1
@@ -206,17 +296,22 @@ let ingest t packet =
   let reject msg =
     t.decode_errors <- t.decode_errors + 1;
     Obs.Scope.count "fleet/decode_errors" 1;
+    Obs.Log.warn "fleet/ingest_reject"
+      ~fields:
+        [ ("reason", Obs.Log.Str msg); ("bytes", Obs.Log.Int nbytes) ];
     Error msg
   in
+  let arrival = Obs.Span.wall_clock_ns () in
   match Wire.decode packet with
   | Error msg -> reject msg
   | Ok env -> (
+    let prov = prov_sample_of env in
     match env.Wire.payload with
     | Wire.Failing r -> (
       t.failing_received <- t.failing_received + 1;
       match
         ingest_failing t ~bug_id:env.Wire.bug_id ~endpoint:env.Wire.endpoint
-          ~config:env.Wire.config ~nbytes r
+          ~config:env.Wire.config ~nbytes ~prov ~arrival r
       with
       | Ok () -> Ok ()
       | Error msg -> reject msg)
@@ -225,11 +320,120 @@ let ingest t packet =
       match built_for t env.Wire.bug_id with
       | Error msg -> reject msg
       | Ok _ ->
-        if not (route_success t env.Wire.bug_id env.Wire.endpoint r nbytes)
-        then hold_success t env.Wire.bug_id env.Wire.endpoint r nbytes;
+        if
+          not
+            (route_success t env.Wire.bug_id env.Wire.endpoint r nbytes prov
+               arrival)
+        then
+          hold_success t env.Wire.bug_id env.Wire.endpoint r nbytes prov
+            arrival;
         Ok ()))
 
 let buckets t = List.rev t.bucket_list
+
+(* --- Lumos-style provenance mining -------------------------------------- *)
+
+type qualifier = { q_desc : string; q_fail_frac : float; q_succ_frac : float }
+
+let qualifier_to_string q =
+  Printf.sprintf "%s (%.0f%% of failing vs %.0f%% of successful)" q.q_desc
+    (100.0 *. q.q_fail_frac)
+    (100.0 *. q.q_succ_frac)
+
+(* A feature discriminates when it covers most failing reports and few
+   successful ones.  Both sides need at least [min_side] samples — with a
+   single failing report every feature trivially covers 100% of the
+   failing class and every qualifier would be noise. *)
+let min_side = 2
+
+let strong = 0.75
+
+let weak = 0.25
+
+let qualifiers b =
+  let fp = List.rev b.failing_prov_rev in
+  let sp = List.rev b.success_prov_rev in
+  let nf = List.length fp and ns = List.length sp in
+  if nf < min_side || ns < min_side then []
+  else begin
+    let fnf = float_of_int nf and fns = float_of_int ns in
+    let out = ref [] in
+    (* Categorical features: exact-value coverage. *)
+    let candidates =
+      List.sort_uniq compare (List.concat_map (fun p -> p.s_feats) fp)
+    in
+    List.iter
+      (fun (k, v) ->
+        let covers p = List.mem (k, v) p.s_feats in
+        let ff =
+          float_of_int (List.length (List.filter covers fp)) /. fnf
+        in
+        let sf =
+          float_of_int (List.length (List.filter covers sp)) /. fns
+        in
+        if ff >= strong && sf <= weak then
+          out :=
+            { q_desc = k ^ "=" ^ v; q_fail_frac = ff; q_succ_frac = sf }
+            :: !out)
+      candidates;
+    (* Numeric features: best threshold split per key.  The failing class
+       of a bucket systematically differs from the successful one on
+       e.g. sync_ops (a crashed run stopped synchronizing early), which
+       exact matching cannot see. *)
+    let num_keys =
+      List.sort_uniq compare
+        (List.concat_map (fun p -> List.map fst p.s_nums) fp)
+    in
+    List.iter
+      (fun k ->
+        let vals ps =
+          List.filter_map (fun p -> List.assoc_opt k p.s_nums) ps
+        in
+        let fv = vals fp and sv = vals sp in
+        if List.length fv >= min_side && List.length sv >= min_side then begin
+          let ffv = float_of_int (List.length fv) in
+          let fsv = float_of_int (List.length sv) in
+          let thresholds = List.sort_uniq compare (fv @ sv) in
+          let best = ref None in
+          let consider q =
+            let gap = q.q_fail_frac -. q.q_succ_frac in
+            if q.q_fail_frac >= strong && q.q_succ_frac <= weak then
+              match !best with
+              | Some b when b.q_fail_frac -. b.q_succ_frac >= gap -> ()
+              | _ -> best := Some q
+          in
+          List.iter
+            (fun t ->
+              let below l =
+                float_of_int (List.length (List.filter (fun v -> v < t) l))
+              in
+              let ff = below fv /. ffv and sf = below sv /. fsv in
+              consider
+                {
+                  q_desc = Printf.sprintf "%s<%d" k t;
+                  q_fail_frac = ff;
+                  q_succ_frac = sf;
+                };
+              consider
+                {
+                  q_desc = Printf.sprintf "%s>=%d" k t;
+                  q_fail_frac = 1.0 -. ff;
+                  q_succ_frac = 1.0 -. sf;
+                })
+            thresholds;
+          match !best with Some q -> out := q :: !out | None -> ()
+        end)
+      num_keys;
+    let ranked =
+      List.sort
+        (fun a b ->
+          compare
+            (b.q_fail_frac -. b.q_succ_frac, a.q_desc)
+            (a.q_fail_frac -. a.q_succ_frac, b.q_desc))
+        !out
+    in
+    List.filteri (fun i _ -> i < 3) ranked
+  end
 
 let pending_pools t =
   Hashtbl.fold

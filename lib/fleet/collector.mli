@@ -21,6 +21,18 @@ val default_policy : policy
 (** 4 failing + 40 successful — the paper's 10x successful-trace cap,
     applied per bucket instead of per client — and 64 pending. *)
 
+type prov_sample = {
+  s_feats : (string * string) list;
+      (** categorical features: endpoint, ring_kb, timing, sync_tail,
+          sync_ops_log2 — mined by exact-value coverage *)
+  s_nums : (string * int) list;
+      (** numeric features: sync_ops, runs — mined by threshold split;
+          empty for v1 packets, which carry no provenance *)
+}
+(** One report's provenance feature vector, kept per *seen* report (up
+    to a cap) even when the report's payload is sampled away — feature
+    statistics improve with fleet volume, the Lumos observation. *)
+
 type bucket = {
   signature : Signature.t;
   config : Pt.Config.t;
@@ -37,6 +49,13 @@ type bucket = {
   mutable failing_seen : int;  (** including dropped *)
   mutable success_seen : int;
   mutable wire_bytes : int;  (** encoded size of every packet routed here *)
+  mutable failing_prov_rev : prov_sample list;  (** newest first, capped *)
+  mutable success_prov_rev : prov_sample list;
+  mutable arrivals_rev : float list;
+      (** wall-clock arrival stamp (ns) of every report routed here,
+          newest first, capped — read through {!arrivals}; the
+          report->diagnosis latency histogram subtracts these from the
+          diagnosis completion time *)
 }
 
 val failing : bucket -> Snorlax_core.Report.failing_report list
@@ -49,6 +68,30 @@ val failing_kept : bucket -> int
 val success_kept : bucket -> int
 val failing_dropped : bucket -> int
 val success_dropped : bucket -> int
+
+val arrivals : bucket -> float list
+(** Arrival stamps in arrival order (capped). *)
+
+(** {2 Provenance mining}
+
+    Which provenance features discriminate the bucket's failing reports
+    from its successful ones — the Lumos-style qualifier ("fails only on
+    endpoints where X") printed next to the bucket table. *)
+
+type qualifier = {
+  q_desc : string;  (** e.g. ["sync_ops<47"] or ["sync_tail=1a2b3c4d"] *)
+  q_fail_frac : float;  (** fraction of failing reports the feature covers *)
+  q_succ_frac : float;  (** fraction of successful reports it covers *)
+}
+
+val qualifiers : bucket -> qualifier list
+(** At most 3, strongest discrimination first.  A qualifier needs
+    >= 75% failing coverage, <= 25% successful coverage and at least 2
+    provenance samples on each side — a single failing report would make
+    every feature a trivial (and meaningless) discriminator. *)
+
+val qualifier_to_string : qualifier -> string
+(** ["sync_ops<47 (100% of failing vs 9% of successful)"]. *)
 
 type totals = {
   received : int;  (** packets ingested, well-formed or not *)

@@ -9,6 +9,7 @@ type bucket_row = {
   success_kept : int;
   success_dropped : int;
   wire_bytes : int;
+  qualifiers : string list;
   top_pattern : string option;
   top_describe : string option;
   f1 : float;
@@ -30,14 +31,32 @@ type summary = {
   collect_ns : float;
   diagnosis_ns : float;
   total_ns : float;
+  latency_p50_ns : float;
+  latency_p99_ns : float;
+}
+
+type progress = {
+  tick_endpoint : int;
+  tick_bug : string;
+  tick_shipped : int;
+  tick_elapsed_ns : float;
 }
 
 let now = Obs.Span.wall_clock_ns
 
-let diagnose_bucket collector (b : Collector.bucket) =
+let diagnose_bucket collector latency_hist (b : Collector.bucket) =
   let t0 = now () in
   let res = Collector.diagnose collector b in
-  let dt = now () -. t0 in
+  let t_done = now () in
+  let dt = t_done -. t0 in
+  (* Every report that waited in this bucket is only now actionable:
+     its report->diagnosis latency closes at this instant. *)
+  List.iter
+    (fun arrival ->
+      let l = t_done -. arrival in
+      Obs.Metrics.observe latency_hist l;
+      Obs.Scope.observe "fleet/report_to_diagnosis_ns" l)
+    (Collector.arrivals b);
   let built = Collector.built collector b in
   let gt = built.Corpus.Bug.ground_truth in
   let top_pattern, top_describe, f1, rc_match, a_o =
@@ -60,6 +79,8 @@ let diagnose_bucket collector (b : Collector.bucket) =
     success_kept = Collector.success_kept b;
     success_dropped = Collector.success_dropped b;
     wire_bytes = b.Collector.wire_bytes;
+    qualifiers =
+      List.map Collector.qualifier_to_string (Collector.qualifiers b);
     top_pattern;
     top_describe;
     f1;
@@ -68,13 +89,18 @@ let diagnose_bucket collector (b : Collector.bucket) =
     diagnosis_ns = dt;
   }
 
-let run ?policy ?config ~endpoints bugs =
+let run ?policy ?config ?tick ~endpoints bugs =
   if endpoints < 1 then invalid_arg "Deploy.run: endpoints < 1";
   Obs.Scope.with_span "fleet"
     ~args:[ ("endpoints", Obs.Span.Int endpoints) ]
   @@ fun () ->
   let t0 = now () in
   let collector = Collector.create ?policy () in
+  (* Latency accounting lives in a private histogram so the summary's
+     p50/p99 exist even when no ambient scope is enabled (the bench path
+     reads them from BENCH_fleet.json). *)
+  let latency_reg = Obs.Metrics.create () in
+  let latency_hist = Obs.Metrics.histogram latency_reg "latency_ns" in
   let shipped = ref 0 in
   List.iter
     (fun bug ->
@@ -86,11 +112,25 @@ let run ?policy ?config ~endpoints bugs =
             (* Malformed packets are counted by the collector; a fleet
                run keeps going when one endpoint ships garbage. *)
             ignore (Collector.ingest collector packet))
-          s.Endpoint.packets
+          s.Endpoint.packets;
+        match tick with
+        | Some f ->
+          f
+            {
+              tick_endpoint = e;
+              tick_bug = bug.Corpus.Bug.id;
+              tick_shipped = !shipped;
+              tick_elapsed_ns = now () -. t0;
+            }
+        | None -> ()
       done)
     bugs;
   let t_collected = now () in
-  let rows = List.map (diagnose_bucket collector) (Collector.buckets collector) in
+  let rows =
+    List.map
+      (diagnose_bucket collector latency_hist)
+      (Collector.buckets collector)
+  in
   let t_done = now () in
   let totals = Collector.totals collector in
   let bucket_count = List.length rows in
@@ -113,4 +153,6 @@ let run ?policy ?config ~endpoints bugs =
     diagnosis_ns =
       List.fold_left (fun a (r : bucket_row) -> a +. r.diagnosis_ns) 0.0 rows;
     total_ns = t_done -. t0;
+    latency_p50_ns = Obs.Metrics.percentile latency_hist ~p:50.0;
+    latency_p99_ns = Obs.Metrics.percentile latency_hist ~p:99.0;
   }

@@ -13,6 +13,9 @@ type bucket_row = {
   success_kept : int;
   success_dropped : int;
   wire_bytes : int;
+  qualifiers : string list;
+      (** rendered {!Collector.qualifier}s — provenance features that
+          discriminate this bucket's failing reports from its successes *)
   top_pattern : string option;  (** {!Snorlax_core.Patterns.id} of the top scorer *)
   top_describe : string option;  (** its human description *)
   f1 : float;  (** 0 when no pattern scored *)
@@ -36,11 +39,26 @@ type summary = {
   collect_ns : float;  (** endpoint simulation + ingest wall time *)
   diagnosis_ns : float;  (** summed per-bucket diagnosis wall time *)
   total_ns : float;
+  latency_p50_ns : float;
+      (** median report->diagnosis latency: wall time from a report's
+          arrival at the collector to completion of its bucket's
+          diagnosis (log-scale-bucket estimate, within 2x) *)
+  latency_p99_ns : float;
 }
+
+type progress = {
+  tick_endpoint : int;
+  tick_bug : string;
+  tick_shipped : int;  (** packets shipped fleet-wide so far *)
+  tick_elapsed_ns : float;
+}
+(** What [?tick] sees after each endpoint finishes — the hook behind
+    [snorlax fleet --watch]. *)
 
 val run :
   ?policy:Collector.policy ->
   ?config:Pt.Config.t ->
+  ?tick:(progress -> unit) ->
   endpoints:int ->
   Corpus.Bug.t list ->
   summary

@@ -17,32 +17,61 @@ let run ~bug ~endpoint ?(config = Pt.Config.default) ?failing_count
   @@ fun () ->
   let seed_base = 1 + (endpoint * seed_stride) in
   Obs.Scope.count "fleet/endpoints" 1;
+  (* The endpoint's flight recorder: every log event during its runs
+     lands in this ring too.  It is only materialized — replayed to the
+     attached sinks — when a sim failure actually fired here. *)
+  let recorder = Obs.Log.Recorder.create ~capacity:64 () in
   match
-    Corpus.Runner.collect bug ~pt_config:config ?failing_count
-      ?success_per_failing ~seed_base ()
+    Obs.Log.with_recorder recorder (fun () ->
+        Corpus.Runner.collect bug ~pt_config:config ?failing_count
+          ?success_per_failing ~seed_base ())
   with
   | Error _ ->
     Obs.Scope.count "fleet/endpoints_quiet" 1;
     { endpoint; packets = []; runs = 0; reproduced = false }
   | Ok c ->
-    let envelope seed payload =
+    Obs.Log.error "fleet/endpoint_failure"
+      ~fields:
+        [
+          ("endpoint", Obs.Log.Int endpoint);
+          ("bug", Obs.Log.Str bug.Corpus.Bug.id);
+          ("failing", Obs.Log.Int (List.length c.Corpus.Runner.failing));
+          ("runs", Obs.Log.Int c.Corpus.Runner.runs_needed);
+        ];
+    Obs.Log.replay recorder;
+    let envelope seed (sync : Corpus.Runner.sync_profile) payload =
       {
         Wire.endpoint;
         seed;
         bug_id = bug.Corpus.Bug.id;
         config;
+        prov =
+          Some
+            {
+              Wire.runs = c.Corpus.Runner.runs_needed;
+              sync_ops = sync.Corpus.Runner.sync_ops;
+              sync_digest = sync.Corpus.Runner.sync_digest;
+            };
         payload;
       }
     in
-    let failing =
+    let encode2 f reports seeds syncs =
       List.map2
-        (fun r seed -> Wire.encode (envelope seed (Wire.Failing r)))
+        (fun r (seed, sync) -> Wire.encode (envelope seed sync (f r)))
+        reports
+        (List.combine seeds syncs)
+    in
+    let failing =
+      encode2
+        (fun r -> Wire.Failing r)
         c.Corpus.Runner.failing c.Corpus.Runner.failing_seeds
+        c.Corpus.Runner.failing_sync
     in
     let successful =
-      List.map2
-        (fun r seed -> Wire.encode (envelope seed (Wire.Success r)))
+      encode2
+        (fun r -> Wire.Success r)
         c.Corpus.Runner.successful c.Corpus.Runner.success_seeds
+        c.Corpus.Runner.success_sync
     in
     let packets = failing @ successful in
     List.iter

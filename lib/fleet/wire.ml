@@ -5,15 +5,22 @@ type payload =
   | Failing of Report.failing_report
   | Success of Report.success_report
 
+type provenance = {
+  runs : int;
+  sync_ops : int;
+  sync_digest : int;
+}
+
 type envelope = {
   endpoint : int;
   seed : int;
   bug_id : string;
   config : Pt.Config.t;
+  prov : provenance option;
   payload : payload;
 }
 
-let version = 1
+let version = 2
 
 (* --- encoding ----------------------------------------------------------- *)
 
@@ -43,9 +50,9 @@ let crash_kind_tag = function
   | Report.Use_after_free -> 1
   | Report.Assertion -> 2
 
-let encode e =
+let encode_with ~version:v e =
   let buf = Buffer.create 256 in
-  u8 buf version;
+  u8 buf v;
   uw buf e.endpoint;
   sw buf e.seed;
   strw buf e.bug_id;
@@ -54,6 +61,17 @@ let encode e =
   uw buf tag;
   uw buf period;
   uw buf e.config.Pt.Config.psb_period_bytes;
+  (* The provenance block is what version 2 added; a v1 packet simply
+     does not carry one.  Values are zig-zag signed like every other
+     report field, so encoding stays total. *)
+  if v >= 2 then (
+    match e.prov with
+    | None -> u8 buf 0
+    | Some p ->
+      u8 buf 1;
+      sw buf p.runs;
+      sw buf p.sync_ops;
+      sw buf p.sync_digest);
   (match e.payload with
   | Failing r ->
     u8 buf 0;
@@ -80,6 +98,10 @@ let encode e =
     sw buf r.Report.trigger_pc;
     tracesw buf r.Report.s_traces);
   Buffer.to_bytes buf
+
+let encode e = encode_with ~version e
+
+let encode_v1 e = encode_with ~version:1 e
 
 (* --- decoding ----------------------------------------------------------- *)
 
@@ -184,19 +206,31 @@ let read_payload c =
     Success { Report.s_traces; trigger_time_ns; trigger_tid; trigger_pc }
   | n -> corrupt (Printf.sprintf "unknown payload tag %d" n)
 
+let read_prov c =
+  match read_u8 c with
+  | 0 -> None
+  | 1 ->
+    let runs = read_sint c in
+    let sync_ops = read_sint c in
+    let sync_digest = read_sint c in
+    Some { runs; sync_ops; sync_digest }
+  | n -> corrupt (Printf.sprintf "unknown provenance tag %d" n)
+
 let decode b =
   let c = { buf = b; pos = 0 } in
   match
     let v = read_u8 c in
-    if v <> version then
-      corrupt (Printf.sprintf "version %d (expected %d)" v version);
+    if v <> 1 && v <> version then
+      corrupt (Printf.sprintf "version %d (expected 1..%d)" v version);
     let endpoint = read_uint c in
     let seed = read_sint c in
     let bug_id = read_str c in
     let config = read_config c in
+    (* v1 predates provenance: such packets decode with [prov = None]. *)
+    let prov = if v >= 2 then read_prov c else None in
     let payload = read_payload c in
     if c.pos <> Bytes.length b then corrupt "trailing garbage";
-    { endpoint; seed; bug_id; config; payload }
+    { endpoint; seed; bug_id; config; prov; payload }
   with
   | e -> Ok e
   | exception Corrupt msg -> Error msg

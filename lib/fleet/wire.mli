@@ -18,6 +18,21 @@ type payload =
   | Failing of Snorlax_core.Report.failing_report
   | Success of Snorlax_core.Report.success_report
 
+type provenance = {
+  runs : int;
+      (** executions the endpoint performed before shipping this report *)
+  sync_ops : int;
+      (** synchronization operations observed in the reported run *)
+  sync_digest : int;
+      (** Lumos-style qualifier material: a digest of the run's recent
+          sync-op history (kind, tid, static iid of the last operations
+          before the report fired), non-negative *)
+}
+(** Version-2 provenance tags: causal metadata about the reported run
+    that the collector mines for features discriminating failing from
+    successful reports.  Endpoint id and tracer config knobs already
+    travel in the envelope proper. *)
+
 type envelope = {
   endpoint : int;  (** which simulated client produced this *)
   seed : int;  (** the scheduler seed of the reported execution *)
@@ -26,14 +41,22 @@ type envelope = {
       (** ring/timing parameters of the endpoint's tracer; the decode side
           reconstructs the cost model as {!Pt.Config.default_costs} (costs
           only matter client-side and are not shipped) *)
+  prov : provenance option;
+      (** [None] for packets from v1 endpoints, which predate provenance *)
   payload : payload;
 }
 
 val version : int
-(** Current format version; the first byte of every packet. *)
+(** Current format version (2); the first byte of every packet. *)
 
 val encode : envelope -> bytes
 
+val encode_v1 : envelope -> bytes
+(** The previous (version-1) format, which has no provenance block —
+    what a not-yet-upgraded endpoint puts on the wire.  Kept so the
+    back-compat decode path stays exercised. *)
+
 val decode : bytes -> (envelope, string) result
-(** Round-trips [encode]; [Error] (with a reason) on any malformed
+(** Round-trips [encode]; also accepts version-1 packets, which decode
+    with [prov = None].  [Error] (with a reason) on any malformed
     input.  A packet with bytes beyond the envelope is malformed. *)

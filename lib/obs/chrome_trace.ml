@@ -3,7 +3,9 @@
    Spans become complete ("ph":"X") duration events with microsecond
    timestamps; still-open spans become begin ("B") events so crashes keep
    their partial timeline; counters and gauges become counter ("C")
-   samples stamped at the end of the trace.  The format reference is the
+   samples — a time series from the scope's span-boundary snapshots plus
+   a final stamp at the end of the trace, so Perfetto shows each metric's
+   evolution, not just its final value.  The format reference is the
    Trace Event Format document; Perfetto's legacy JSON importer accepts
    exactly this shape. *)
 
@@ -61,7 +63,11 @@ let metadata_event name args =
       ("args", Json.Obj args);
     ]
 
-let export ?metrics trace =
+let sample_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Json.Int (int_of_float v)
+  else Json.Float v
+
+let export ?metrics ?(samples = []) trace =
   let spans = Span.spans trace in
   let end_ts =
     List.fold_left
@@ -69,6 +75,12 @@ let export ?metrics trace =
         Float.max acc
           (if Span.is_open sp then sp.start_ns else sp.end_ns))
       0.0 spans
+  in
+  let series_events =
+    List.concat_map
+      (fun (ts, kvs) ->
+        List.map (fun (name, v) -> counter_event ~ts name (sample_value v)) kvs)
+      samples
   in
   let metric_events =
     match metrics with
@@ -87,7 +99,7 @@ let export ?metrics trace =
   let events =
     metadata_event "process_name" [ ("name", Json.String "snorlax") ]
     :: List.map span_event spans
-    @ metric_events
+    @ series_events @ metric_events
   in
   Json.Obj
     [

@@ -4,8 +4,17 @@
 
     Finished spans export as complete ("X") events with microsecond
     timestamps and durations; open spans export as begin ("B") events;
-    counters and gauges export as counter ("C") samples stamped at the
-    last span boundary. *)
+    counters and gauges export as counter ("C") samples — the
+    span-boundary time series handed in via [samples] plus a final stamp
+    at the last span boundary, so Perfetto plots each metric's evolution
+    over the run. *)
 
-val export : ?metrics:Metrics.t -> Span.t -> Json.t
-(** The whole document: [{"traceEvents": [...], "displayTimeUnit": "ns"}]. *)
+val export :
+  ?metrics:Metrics.t ->
+  ?samples:(float * (string * float) list) list ->
+  Span.t ->
+  Json.t
+(** The whole document: [{"traceEvents": [...], "displayTimeUnit": "ns"}].
+    [samples] are [(ts_ns, scalar values)] snapshots in time order —
+    {!Scope} collects them at span boundaries.  Integral sample values
+    export as JSON ints, everything else as floats. *)

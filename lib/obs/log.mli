@@ -1,0 +1,116 @@
+(** Structured, leveled event log with an always-on flight recorder.
+
+    Call sites emit named events with typed key/value fields instead of
+    formatted strings, so the same event can render as a terse text line,
+    a JSON-lines record, or a flight-recorder entry.  Events correlate to
+    the innermost open span of the ambient {!Scope} when one is enabled.
+
+    Two consumers see each event:
+
+    - {b Sinks} — pluggable (stderr text, JSON-lines file), attached
+      explicitly and filtered by the global level.  With no sinks
+      attached (the default) nothing is formatted or written.
+    - {b Flight recorders} — bounded rings that capture {e every} event
+      regardless of level or sinks.  The ring is cheap to feed (one
+      array store) and is only materialized — formatted, last-N — when a
+      failure fires, the iReplayer-style "pay at diagnosis time" trade.
+
+    Like the metrics registry, the log is single-domain mutable state:
+    pool workers must not log (their telemetry travels through private
+    {!Metrics} registries instead). *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+val level_of_string : string -> level option
+(** Inverse of {!level_name}; [None] on unknown names. *)
+
+type field = Str of string | Int of int | Float of float | Bool of bool
+
+type event = {
+  ts_ns : float;  (** wall-clock ns since process start ({!Span.wall_clock_ns}) *)
+  level : level;
+  name : string;  (** slash-scoped event name, e.g. ["fleet/ingest_reject"] *)
+  span : string option;
+      (** innermost open ambient-scope span when the event fired *)
+  fields : (string * field) list;
+}
+
+(** {2 Emitting} *)
+
+val log : level -> ?fields:(string * field) list -> string -> unit
+(** Emit an event: always recorded into every active flight recorder,
+    and forwarded to sinks when [level] passes the global threshold. *)
+
+val debug : ?fields:(string * field) list -> string -> unit
+
+val info : ?fields:(string * field) list -> string -> unit
+
+val warn : ?fields:(string * field) list -> string -> unit
+
+val error : ?fields:(string * field) list -> string -> unit
+
+(** {2 Sinks and level} *)
+
+val set_level : level -> unit
+(** Minimum level forwarded to sinks (default [Info]).  Does not affect
+    flight recorders, which always capture everything. *)
+
+val level : unit -> level
+
+val add_sink : (event -> unit) -> unit
+
+val clear_sinks : unit -> unit
+
+val text_sink : out_channel -> event -> unit
+(** One aligned line per event:
+    [\[  12.345ms\] WARN  fleet/ingest_reject (in fleet/collect) reason=...]. *)
+
+val json_sink : out_channel -> event -> unit
+(** One JSON object per line:
+    [{"ts_ns":..,"level":"warn","event":..,"span":..,"fields":{..}}]. *)
+
+val format_event : event -> string
+(** The text-sink line (no trailing newline); also the flight-recorder
+    dump format. *)
+
+(** {2 Flight recorder} *)
+
+module Recorder : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** A bounded ring keeping the last [capacity] (default 64) events. *)
+
+  val record : t -> event -> unit
+
+  val events : t -> event list
+  (** Retained events, oldest first. *)
+
+  val seen : t -> int
+  (** Total events ever recorded, including overwritten ones. *)
+
+  val clear : t -> unit
+
+  val dump : t -> string
+  (** The retained tail formatted one event per line, prefixed with a
+      [flight recorder (last N of M events)] header; [""] when empty. *)
+end
+
+val default_recorder : Recorder.t
+(** The always-on process-wide ring (capacity 128).  Every event lands
+    here even when no sinks are attached. *)
+
+val with_recorder : Recorder.t -> (unit -> 'a) -> 'a
+(** Additionally capture events emitted during [f] into this ring — the
+    per-endpoint flight recorder.  Nests; always pops, even on raise. *)
+
+val dump_tail : unit -> string
+(** {!Recorder.dump} of the default recorder. *)
+
+val replay : Recorder.t -> unit
+(** Re-emit the retained events to the attached sinks, bypassing the
+    level threshold — the "dump the black box" action after a failure.
+    No-op when no sinks are attached. *)

@@ -145,6 +145,24 @@ let bucket_percentile h ~p =
     !result
   end
 
+let percentile h ~p = bucket_percentile h ~p
+
+(* Cumulative (le, count) pairs up to the highest occupied bucket — the
+   shape OpenMetrics histogram exposition wants.  The final +Inf bucket is
+   the caller's to add (its count is [h.h_count]). *)
+let cumulative_buckets h =
+  let last =
+    let i = ref (-1) in
+    Array.iteri (fun j n -> if n > 0 then i := j) h.buckets;
+    !i
+  in
+  let acc = ref 0 and out = ref [] in
+  for i = 0 to last do
+    acc := !acc + h.buckets.(i);
+    out := (bucket_upper i, !acc) :: !out
+  done;
+  List.rev !out
+
 let stats h =
   {
     count = h.h_count;
@@ -173,6 +191,11 @@ let find_gauge t name =
 let find_histogram t name =
   match Hashtbl.find_opt t.entries name with
   | Some (Histogram h) -> Some (stats h)
+  | _ -> None
+
+let find_histogram_raw t name =
+  match Hashtbl.find_opt t.entries name with
+  | Some (Histogram h) -> Some (cumulative_buckets h, stats h)
   | _ -> None
 
 (* Merging supports the future one-registry-per-domain layout: counters

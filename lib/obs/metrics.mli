@@ -65,6 +65,17 @@ type hstats = {
 
 val stats : histogram -> hstats
 
+val percentile : histogram -> p:float -> float
+(** Nearest-rank percentile ([p] in 0..100) over the log-scale buckets:
+    the answer is the hit bucket's upper bound clamped to the observed
+    max, so it brackets the true percentile within one power of two.
+    0 for an empty histogram. *)
+
+val cumulative_buckets : histogram -> (float * int) list
+(** [(le, cumulative_count)] per bucket up to the highest occupied one —
+    the cumulative series OpenMetrics exposition needs.  Empty for an
+    empty histogram; the implicit +Inf bucket equals the total count. *)
+
 (** {2 Registry-wide operations} *)
 
 val names : t -> string list
@@ -75,6 +86,10 @@ val find_counter : t -> string -> int option
 val find_gauge : t -> string -> float option
 
 val find_histogram : t -> string -> hstats option
+
+val find_histogram_raw : t -> string -> ((float * int) list * hstats) option
+(** {!cumulative_buckets} plus {!stats} by name — what the OpenMetrics
+    exporter reads. *)
 
 val merge : into:t -> t -> unit
 (** Fold [src] into [into]: counters and histogram buckets add; a gauge

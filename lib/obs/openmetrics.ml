@@ -1,0 +1,245 @@
+(* --- exposition --------------------------------------------------------- *)
+
+let name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let metric_name s =
+  let s = String.map (fun c -> if name_char c then c else '_') s in
+  if s = "" then "_"
+  else if s.[0] >= '0' && s.[0] <= '9' then "_" ^ s
+  else s
+
+(* Exposition floats: integral values print as integers (bucket counts
+   and most ns sums are), everything else via %g. *)
+let num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let render m =
+  let buf = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  List.iter
+    (fun raw ->
+      let name = metric_name raw in
+      if not (Hashtbl.mem seen name) then begin
+        match Metrics.find_counter m raw with
+        | Some v ->
+          Hashtbl.add seen name ();
+          line "# TYPE %s counter" name;
+          line "%s_total %d" name v
+        | None -> (
+          match Metrics.find_gauge m raw with
+          | Some v ->
+            Hashtbl.add seen name ();
+            line "# TYPE %s gauge" name;
+            line "%s %s" name (num v)
+          | None -> (
+            match Metrics.find_histogram_raw m raw with
+            | Some (bkts, s) ->
+              Hashtbl.add seen name ();
+              line "# TYPE %s histogram" name;
+              List.iter
+                (fun (le, c) -> line "%s_bucket{le=\"%s\"} %d" name (num le) c)
+                bkts;
+              line "%s_bucket{le=\"+Inf\"} %d" name s.Metrics.count;
+              line "%s_sum %s" name (num s.Metrics.sum);
+              line "%s_count %d" name s.Metrics.count
+            | None -> ()))
+      end)
+    (Metrics.names m);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* --- lint --------------------------------------------------------------- *)
+
+exception Bad of string
+
+let valid_name s =
+  s <> ""
+  && (match s.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all name_char s
+
+type family = {
+  f_name : string;
+  f_kind : string;  (* counter | gauge | histogram *)
+  mutable samples : int;
+  (* histogram accounting *)
+  mutable last_bucket : float option;  (* last cumulative bucket value *)
+  mutable inf_bucket : float option;
+  mutable h_count : float option;
+  mutable h_sum : bool;
+}
+
+(* One sample line: [name value] or [name{k="v",...} value].  Returns the
+   sample name, its labels and its value. *)
+let parse_sample ln =
+  let name_end =
+    match (String.index_opt ln '{', String.index_opt ln ' ') with
+    | Some b, Some sp -> min b sp
+    | Some b, None -> b
+    | None, Some sp -> sp
+    | None, None -> raise (Bad "sample has no value")
+  in
+  let name = String.sub ln 0 name_end in
+  if not (valid_name name) then raise (Bad ("bad metric name " ^ name));
+  let labels, rest =
+    if name_end < String.length ln && ln.[name_end] = '{' then begin
+      match String.index_from_opt ln name_end '}' with
+      | None -> raise (Bad "unterminated label set")
+      | Some close ->
+        let body = String.sub ln (name_end + 1) (close - name_end - 1) in
+        let labels =
+          if body = "" then []
+          else
+            List.map
+              (fun kv ->
+                match String.index_opt kv '=' with
+                | None -> raise (Bad ("bad label " ^ kv))
+                | Some eq ->
+                  let k = String.sub kv 0 eq in
+                  let v = String.sub kv (eq + 1) (String.length kv - eq - 1) in
+                  if not (valid_name k) then raise (Bad ("bad label name " ^ k));
+                  let vl = String.length v in
+                  if vl < 2 || v.[0] <> '"' || v.[vl - 1] <> '"' then
+                    raise (Bad ("label value not quoted in " ^ kv));
+                  let v = String.sub v 1 (vl - 2) in
+                  if String.contains v '"' || String.contains v '\\' then
+                    raise (Bad ("unsupported escape in label " ^ kv));
+                  (k, v))
+              (String.split_on_char ',' body)
+        in
+        (labels, String.sub ln (close + 1) (String.length ln - close - 1))
+    end
+    else (([] : (string * string) list), String.sub ln name_end (String.length ln - name_end))
+  in
+  let rl = String.length rest in
+  if rl < 2 || rest.[0] <> ' ' then raise (Bad "expected single space before value");
+  let value = String.sub rest 1 (rl - 1) in
+  if String.contains value ' ' then raise (Bad "trailing garbage after value");
+  match float_of_string_opt value with
+  | None -> raise (Bad ("bad sample value " ^ value))
+  | Some v -> (name, labels, v)
+
+let close_family = function
+  | None -> ()
+  | Some f ->
+    if f.samples = 0 then raise (Bad ("family " ^ f.f_name ^ " has no samples"));
+    if f.f_kind = "histogram" then begin
+      if f.inf_bucket = None then
+        raise (Bad ("histogram " ^ f.f_name ^ " missing +Inf bucket"));
+      if not f.h_sum then raise (Bad ("histogram " ^ f.f_name ^ " missing _sum"));
+      match (f.h_count, f.inf_bucket) with
+      | None, _ -> raise (Bad ("histogram " ^ f.f_name ^ " missing _count"))
+      | Some c, Some inf when c <> inf ->
+        raise
+          (Bad
+             (Printf.sprintf "histogram %s _count %s disagrees with +Inf bucket %s"
+                f.f_name (num c) (num inf)))
+      | _ -> ()
+    end
+
+let check_sample fam ln =
+  let name, labels, v = parse_sample ln in
+  match fam with
+  | None -> raise (Bad ("sample " ^ name ^ " outside any # TYPE family"))
+  | Some f -> (
+    f.samples <- f.samples + 1;
+    match f.f_kind with
+    | "counter" ->
+      if name <> f.f_name ^ "_total" then
+        raise (Bad ("counter sample must be " ^ f.f_name ^ "_total, got " ^ name));
+      if v < 0.0 then raise (Bad "negative counter value")
+    | "gauge" ->
+      if name <> f.f_name then
+        raise (Bad ("gauge sample must be " ^ f.f_name ^ ", got " ^ name))
+    | _ (* histogram *) ->
+      if name = f.f_name ^ "_bucket" then begin
+        let le =
+          match List.assoc_opt "le" labels with
+          | Some le -> le
+          | None -> raise (Bad "histogram bucket missing le label")
+        in
+        if f.inf_bucket <> None then
+          raise (Bad "bucket after the +Inf bucket");
+        if le = "+Inf" then f.inf_bucket <- Some v
+        else begin
+          (match float_of_string_opt le with
+          | None -> raise (Bad ("bad le bound " ^ le))
+          | Some _ -> ());
+          match f.last_bucket with
+          | Some prev when v < prev ->
+            raise
+              (Bad
+                 (Printf.sprintf "bucket counts not cumulative: %s after %s"
+                    (num v) (num prev)))
+          | _ -> f.last_bucket <- Some v
+        end;
+        (match f.last_bucket with
+        | Some prev when f.inf_bucket <> None && Option.get f.inf_bucket < prev ->
+          raise (Bad "+Inf bucket below a finite bucket")
+        | _ -> ())
+      end
+      else if name = f.f_name ^ "_sum" then f.h_sum <- true
+      else if name = f.f_name ^ "_count" then f.h_count <- Some v
+      else
+        raise (Bad ("unexpected histogram sample " ^ name)))
+
+let lint text =
+  let lines = String.split_on_char '\n' text in
+  let fam : family option ref = ref None in
+  let declared = Hashtbl.create 16 in
+  let saw_eof = ref false in
+  try
+    List.iteri
+      (fun i ln ->
+        let lineno = i + 1 in
+        try
+          if !saw_eof && ln <> "" then raise (Bad "content after # EOF");
+          if ln = "" then begin
+            (* only the trailing newline's empty remainder is allowed *)
+            if i <> List.length lines - 1 then raise (Bad "blank line")
+          end
+          else if ln = "# EOF" then begin
+            close_family !fam;
+            fam := None;
+            saw_eof := true
+          end
+          else if String.length ln > 0 && ln.[0] = '#' then begin
+            match String.split_on_char ' ' ln with
+            | [ "#"; "TYPE"; name; kind ] ->
+              if not (valid_name name) then
+                raise (Bad ("bad family name " ^ name));
+              if not (List.mem kind [ "counter"; "gauge"; "histogram" ]) then
+                raise (Bad ("unknown metric type " ^ kind));
+              if Hashtbl.mem declared name then
+                raise (Bad ("family " ^ name ^ " declared twice"));
+              Hashtbl.add declared name ();
+              close_family !fam;
+              fam :=
+                Some
+                  {
+                    f_name = name;
+                    f_kind = kind;
+                    samples = 0;
+                    last_bucket = None;
+                    inf_bucket = None;
+                    h_count = None;
+                    h_sum = false;
+                  }
+            | "#" :: "HELP" :: name :: _ ->
+              if not (valid_name name) then
+                raise (Bad ("bad family name " ^ name))
+            | _ -> raise (Bad "malformed comment line")
+          end
+          else check_sample !fam ln
+        with Bad msg -> raise (Bad (Printf.sprintf "line %d: %s" lineno msg)))
+      lines;
+    if not !saw_eof then Error "missing terminating # EOF" else Ok ()
+  with Bad msg -> Error msg

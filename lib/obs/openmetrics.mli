@@ -1,0 +1,28 @@
+(** Prometheus/OpenMetrics text exposition of a {!Metrics} registry.
+
+    [render] emits one [# TYPE] block per metric: counters as
+    [name_total], gauges as bare samples, histograms as cumulative
+    [name_bucket{le="..."}] series (one bucket per occupied power-of-two
+    bucket plus the mandatory [+Inf]) followed by [name_sum] and
+    [name_count], terminated by [# EOF].  Slash-scoped registry names are
+    sanitized ([pt/decode_ns] → [pt_decode_ns]).
+
+    [lint] is the inverse gate: it re-parses exposition text and rejects
+    malformed output — bad metric names, samples outside a [# TYPE]
+    family, non-cumulative bucket series, missing [+Inf] or [# EOF] —
+    so check.sh can verify every emitted snapshot is scrape-able. *)
+
+val metric_name : string -> string
+(** Sanitize a registry name into the OpenMetrics charset
+    [[a-zA-Z0-9_:]], mapping every other byte to [_] and prefixing [_]
+    when the first byte is a digit. *)
+
+val render : Metrics.t -> string
+(** The registry as exposition text, in registration order.  Unset
+    gauges are skipped.  If two registry names sanitize to the same
+    exposition name, later ones are dropped (exposition names must be
+    unique). *)
+
+val lint : string -> (unit, string) result
+(** Check exposition text for well-formedness; [Error] carries a
+    ["line N: ..."] description of the first problem. *)

@@ -1,9 +1,23 @@
-type ctx = { metrics : Metrics.t; trace : Span.t }
+type ctx = {
+  metrics : Metrics.t;
+  trace : Span.t;
+  mutable samples_rev : (float * (string * float) list) list;
+  mutable n_samples : int;
+  last_values : (string, float) Hashtbl.t;
+}
 
 let state : ctx option ref = ref None
 
 let enable () =
-  let c = { metrics = Metrics.create (); trace = Span.create () } in
+  let c =
+    {
+      metrics = Metrics.create ();
+      trace = Span.create ();
+      samples_rev = [];
+      n_samples = 0;
+      last_values = Hashtbl.create 32;
+    }
+  in
   state := Some c;
   c
 
@@ -13,10 +27,45 @@ let current () = !state
 
 let enabled () = Option.is_some !state
 
+(* Counter/gauge time series for the Chrome exporter: at every span or
+   timed-section boundary, record the scalars that changed since the last
+   sample.  Capped so a hot timed section cannot grow the trace without
+   bound — after the cap only the end-of-trace stamp remains. *)
+let max_samples = 8192
+
+let sample c =
+  if c.n_samples < max_samples then begin
+    let changed =
+      List.filter_map
+        (fun name ->
+          let v =
+            match Metrics.find_counter c.metrics name with
+            | Some n -> Some (float_of_int n)
+            | None -> Metrics.find_gauge c.metrics name
+          in
+          match v with
+          | None -> None
+          | Some v -> (
+            match Hashtbl.find_opt c.last_values name with
+            | Some prev when prev = v -> None
+            | _ ->
+              Hashtbl.replace c.last_values name v;
+              Some (name, v)))
+        (Metrics.names c.metrics)
+    in
+    if changed <> [] then begin
+      c.samples_rev <- (Span.wall_clock_ns (), changed) :: c.samples_rev;
+      c.n_samples <- c.n_samples + 1
+    end
+  end
+
 let with_span ?args name f =
   match !state with
   | None -> f ()
-  | Some c -> Span.with_span c.trace ?args name (fun _ -> f ())
+  | Some c ->
+    Fun.protect
+      ~finally:(fun () -> sample c)
+      (fun () -> Span.with_span c.trace ?args name (fun _ -> f ()))
 
 let count name n =
   match !state with
@@ -42,16 +91,26 @@ let timed name f =
       ~finally:(fun () ->
         Metrics.observe
           (Metrics.histogram c.metrics name)
-          (Span.wall_clock_ns () -. t0))
+          (Span.wall_clock_ns () -. t0);
+        sample c)
       f
+
+let merge_worker m =
+  match !state with None -> () | Some c -> Metrics.merge ~into:c.metrics m
 
 let export_chrome () =
   match !state with
   | None -> None
-  | Some c -> Some (Chrome_trace.export ~metrics:c.metrics c.trace)
+  | Some c ->
+    Some
+      (Chrome_trace.export ~metrics:c.metrics
+         ~samples:(List.rev c.samples_rev) c.trace)
 
 let export_metrics () =
   match !state with None -> None | Some c -> Some (Metrics.to_json c.metrics)
+
+let export_openmetrics () =
+  match !state with None -> None | Some c -> Some (Openmetrics.render c.metrics)
 
 let summary () =
   match !state with

@@ -7,7 +7,15 @@
     single [None] match, which is what keeps telemetry-off runs at the
     seed's speed. *)
 
-type ctx = { metrics : Metrics.t; trace : Span.t }
+type ctx = {
+  metrics : Metrics.t;
+  trace : Span.t;
+  mutable samples_rev : (float * (string * float) list) list;
+      (** counter/gauge time series for the Chrome exporter: [(ts_ns,
+          changed scalars)] recorded at span boundaries, newest first *)
+  mutable n_samples : int;
+  last_values : (string, float) Hashtbl.t;  (** exporter internals *)
+}
 
 val enable : unit -> ctx
 (** Install (and return) a fresh context, replacing any previous one. *)
@@ -32,13 +40,25 @@ val observe : string -> float -> unit
 
 val timed : string -> (unit -> 'a) -> 'a
 (** Run [f] and record its wall-clock duration (ns) into the named
-    histogram — even when [f] raises.  Just runs [f] when disabled. *)
+    histogram — even when [f] raises.  Just runs [f] when disabled.
+    Like {!with_span}, completing a timed section samples changed
+    counters/gauges into the Chrome-trace time series. *)
+
+val merge_worker : Metrics.t -> unit
+(** Fold a pool-worker's private registry into the ambient one
+    ({!Metrics.merge}); no-op when disabled.  This is how domain-local
+    telemetry rejoins the main registry — workers must never touch the
+    ambient context directly. *)
 
 val export_chrome : unit -> Json.t option
-(** The current context as a Chrome trace-event document. *)
+(** The current context as a Chrome trace-event document, including the
+    counter/gauge time series sampled at span boundaries. *)
 
 val export_metrics : unit -> Json.t option
 (** The current context's metrics registry as JSON. *)
+
+val export_openmetrics : unit -> string option
+(** The current context's registry as OpenMetrics exposition text. *)
 
 val summary : unit -> string
 (** Span tree plus metrics tables, for [--obs-summary]; empty when

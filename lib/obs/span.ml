@@ -25,11 +25,16 @@ type t = {
    process start: at epoch magnitude (~1.8e18 ns) a double's ULP is 256 ns
    and the nudge would round away, while relative stamps keep sub-ns
    resolution for months. *)
+let epoch = Unix.gettimeofday ()
+
+(* No monotone guard, no shared state: safe to call from pool worker
+   domains, where [wall_clock_ns]'s [last] ref would race. *)
+let raw_clock_ns () = (Unix.gettimeofday () -. epoch) *. 1e9
+
 let wall_clock_ns =
-  let epoch = Unix.gettimeofday () in
   let last = ref 0.0 in
   fun () ->
-    let t = (Unix.gettimeofday () -. epoch) *. 1e9 in
+    let t = raw_clock_ns () in
     let t = if t > !last then t else !last +. 1.0 in
     last := t;
     t
@@ -84,6 +89,11 @@ let duration_ns sp = sp.end_ns -. sp.start_ns
 
 let elapsed_ns t sp =
   if is_open sp then t.clock () -. sp.start_ns else duration_ns sp
+
+let open_span t ?(track = 0) () =
+  match Hashtbl.find_opt t.open_stacks track with
+  | Some { contents = sp :: _ } -> Some sp
+  | Some { contents = [] } | None -> None
 
 let spans t = List.rev t.spans_rev
 

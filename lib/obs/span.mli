@@ -31,6 +31,10 @@ val wall_clock_ns : unit -> float
     strictly increasing (an absolute epoch would round the 1 ns nudge away
     at double precision). *)
 
+val raw_clock_ns : unit -> float
+(** Same epoch, no monotone nudge and no shared state — the clock pool
+    worker domains may use ([wall_clock_ns] races off the main domain). *)
+
 val start : t -> ?track:int -> ?args:(string * arg_value) list -> string -> span
 
 val finish : t -> span -> unit
@@ -55,6 +59,10 @@ val duration_ns : span -> float
 
 val elapsed_ns : t -> span -> float
 (** Like [duration_ns] but reads the clock for a still-open span. *)
+
+val open_span : t -> ?track:int -> unit -> span option
+(** The innermost still-open span on [track] (default 0) — what a log
+    event emitted "now" correlates to. *)
 
 val spans : t -> span list
 (** Every span ever started, in start order. *)

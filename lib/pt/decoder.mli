@@ -42,6 +42,9 @@ val decode_raw :
     {!Snorlax_util.Pool} and the submitting domain records metrics per
     result afterwards with {!record_metrics}. *)
 
-val record_metrics : result -> snapshot_bytes:int -> unit
+val record_metrics : ?into:Obs.Metrics.t -> result -> snapshot_bytes:int -> unit
 (** Record one decode's pt/* counters (calls, steps, lost bytes, desyncs,
-    snapshot size) into the ambient scope; no-op when disabled. *)
+    snapshot size).  Without [into], records into the ambient scope
+    (no-op when disabled).  With [into], records into that registry
+    directly — a pool worker's private registry, later folded back with
+    {!Obs.Scope.merge_worker}. *)

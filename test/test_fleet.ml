@@ -38,14 +38,17 @@ let success_report =
     trigger_pc = 0x10d4;
   }
 
-let envelope payload =
+let envelope ?prov payload =
   {
     Wire.endpoint = 3;
     seed = 1717;
     bug_id = "pbzip2-1";
     config = Pt.Config.default;
+    prov;
     payload;
   }
+
+let sample_prov = { Wire.runs = 37; sync_ops = 412; sync_digest = 0x5eed1a2b }
 
 let check_roundtrip name env =
   match Wire.decode (Wire.encode env) with
@@ -61,6 +64,8 @@ let check_roundtrip name env =
       && got.Wire.config.Pt.Config.timing = env.Wire.config.Pt.Config.timing
       && got.Wire.config.Pt.Config.psb_period_bytes
          = env.Wire.config.Pt.Config.psb_period_bytes);
+    Alcotest.(check bool)
+      (name ^ " provenance") true (got.Wire.prov = env.Wire.prov);
     Alcotest.(check bool)
       (name ^ " payload") true
       (match (env.Wire.payload, got.Wire.payload) with
@@ -78,6 +83,25 @@ let test_wire_roundtrip_deadlock () =
 
 let test_wire_roundtrip_success () =
   check_roundtrip "success" (envelope (Wire.Success success_report))
+
+let test_wire_roundtrip_provenance () =
+  check_roundtrip "provenance"
+    (envelope ~prov:sample_prov (Wire.Failing crash_report))
+
+let test_wire_v1_back_compat () =
+  (* A not-yet-upgraded endpoint ships the version-1 layout (no
+     provenance block); the v2 decoder must accept it with prov=None. *)
+  let env = envelope ~prov:sample_prov (Wire.Success success_report) in
+  match Wire.decode (Wire.encode_v1 env) with
+  | Error msg -> Alcotest.failf "v1 decode error: %s" msg
+  | Ok got ->
+    Alcotest.(check bool) "v1 has no provenance" true (got.Wire.prov = None);
+    Alcotest.(check string) "v1 bug id survives" env.Wire.bug_id got.Wire.bug_id;
+    Alcotest.(check bool)
+      "v1 payload survives" true
+      (match got.Wire.payload with
+      | Wire.Success s -> s = success_report
+      | Wire.Failing _ -> false)
 
 let test_wire_roundtrip_timing_modes () =
   List.iter
@@ -131,12 +155,22 @@ let gen_envelope =
                trigger_pc = pc;
              })
     in
+    let* prov =
+      let* has_prov = bool in
+      if not has_prov then return None
+      else
+        let* runs = int_bound 100_000 in
+        let* sync_ops = int_bound 1_000_000 in
+        let* sync_digest = int_bound max_int in
+        return (Some { Wire.runs; sync_ops; sync_digest })
+    in
     return
       {
         Wire.endpoint;
         seed;
         bug_id;
         config = Pt.Config.default;
+        prov;
         payload;
       })
 
@@ -157,8 +191,9 @@ let decode_total b =
   | exception _ -> `Raised
 
 let test_wire_truncations () =
-  (* Every proper prefix of a valid packet must decode to Error. *)
-  let full = Wire.encode (envelope (Wire.Failing crash_report)) in
+  (* Every proper prefix of a valid packet must decode to Error — with a
+     provenance block present so its truncations are covered too. *)
+  let full = Wire.encode (envelope ~prov:sample_prov (Wire.Failing crash_report)) in
   for len = 0 to Bytes.length full - 1 do
     match decode_total (Bytes.sub full 0 len) with
     | `Error -> ()
@@ -216,13 +251,14 @@ let ship collector env =
   | Ok () -> ()
   | Error msg -> Alcotest.failf "ingest: %s" msg
 
-let real_envelope ?(endpoint = 0) payload =
+let real_envelope ?(endpoint = 0) ?prov payload =
   let bug, _ = Lazy.force collected_fixture in
   {
     Wire.endpoint;
     seed = 1;
     bug_id = bug.Corpus.Bug.id;
     config = Pt.Config.default;
+    prov;
     payload;
   }
 
@@ -425,6 +461,71 @@ let test_collector_counters_reconcile () =
   Alcotest.(check int) "seen in buckets" 5 (sum_seen t);
   check_reconciled "counters reconcile" t
 
+(* --- provenance mining --------------------------------------------------- *)
+
+let test_collector_qualifiers () =
+  (* Failing runs stop syncing early (low sync_ops, one digest); healthy
+     runs sync hundreds of times.  The miner must find a discriminating
+     feature with full failing coverage and no successful coverage. *)
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let success = List.hd c.Corpus.Runner.successful in
+  let t = Collector.create () in
+  List.iter
+    (fun e ->
+      ship t
+        (real_envelope ~endpoint:e
+           ~prov:{ Wire.runs = 40; sync_ops = 10 + e; sync_digest = 1 }
+           (Wire.Failing failing)))
+    [ 0; 1; 2 ];
+  List.iter
+    (fun e ->
+      ship t
+        (real_envelope ~endpoint:e
+           ~prov:{ Wire.runs = 40; sync_ops = 500 + e; sync_digest = 2 }
+           (Wire.Success success)))
+    [ 3; 4; 5 ];
+  let b = List.hd (Collector.buckets t) in
+  match Collector.qualifiers b with
+  | [] -> Alcotest.fail "no qualifier mined from a clean split"
+  | q :: _ as qs ->
+    Alcotest.(check bool) "at most 3 qualifiers" true (List.length qs <= 3);
+    Alcotest.(check bool)
+      (Printf.sprintf "strong discrimination (%s)"
+         (Collector.qualifier_to_string q))
+      true
+      (q.Collector.q_fail_frac >= 0.75 && q.Collector.q_succ_frac <= 0.25)
+
+let test_collector_qualifiers_need_both_sides () =
+  (* With a single failing report every feature discriminates trivially;
+     the miner must stay silent below 2 samples per side. *)
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let t = Collector.create () in
+  ship t
+    (real_envelope ~endpoint:0
+       ~prov:{ Wire.runs = 1; sync_ops = 3; sync_digest = 9 }
+       (Wire.Failing failing));
+  let b = List.hd (Collector.buckets t) in
+  Alcotest.(check int) "no qualifiers from one report" 0
+    (List.length (Collector.qualifiers b))
+
+let test_collector_accepts_v1_packets () =
+  (* Mixed-version fleet: v1 packets (no provenance) route normally and
+     simply contribute no provenance samples. *)
+  let _, c = Lazy.force collected_fixture in
+  let failing = List.hd c.Corpus.Runner.failing in
+  let t = Collector.create () in
+  (match
+     Collector.ingest t
+       (Wire.encode_v1 (real_envelope ~endpoint:0 (Wire.Failing failing)))
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "v1 ingest: %s" msg);
+  let b = List.hd (Collector.buckets t) in
+  Alcotest.(check int) "v1 failing kept" 1 (Collector.failing_kept b);
+  Alcotest.(check int) "no qualifiers" 0 (List.length (Collector.qualifiers b))
+
 (* The reason the decode cache exists: the collector re-diagnoses a bucket
    as reports trickle in, and every re-run decodes the same rings.  A warm
    re-diagnosis must invoke the decoder at most half as often as the cold
@@ -474,7 +575,11 @@ let test_fleet_end_to_end () =
       (s.Fleet.Deploy.dedup_ratio >= 3.0);
     Alcotest.(check bool) "diagnosed" true (r.Fleet.Deploy.top_pattern <> None);
     Alcotest.(check bool) "root cause matches ground truth" true
-      r.Fleet.Deploy.root_cause_match
+      r.Fleet.Deploy.root_cause_match;
+    Alcotest.(check bool) "report->diagnosis p50 measured" true
+      (s.Fleet.Deploy.latency_p50_ns > 0.0);
+    Alcotest.(check bool) "p99 >= p50" true
+      (s.Fleet.Deploy.latency_p99_ns >= s.Fleet.Deploy.latency_p50_ns)
   | rows -> Alcotest.failf "expected 1 bucket, got %d" (List.length rows)
 
 let test_deploy_rejects_zero_endpoints () =
@@ -495,6 +600,10 @@ let tests =
           test_wire_roundtrip_success;
         Alcotest.test_case "timing modes round-trip" `Quick
           test_wire_roundtrip_timing_modes;
+        Alcotest.test_case "provenance round-trip" `Quick
+          test_wire_roundtrip_provenance;
+        Alcotest.test_case "v1 packets decode with prov=None" `Quick
+          test_wire_v1_back_compat;
         Alcotest.test_case "every truncation is Error" `Quick
           test_wire_truncations;
         Alcotest.test_case "bad version" `Quick test_wire_bad_version;
@@ -522,6 +631,12 @@ let tests =
           test_collector_arrival_order;
         Alcotest.test_case "out-of-order and duplicate delivery" `Quick
           test_collector_out_of_order_duplicates;
+        Alcotest.test_case "qualifier mined from a provenance split" `Quick
+          test_collector_qualifiers;
+        Alcotest.test_case "no qualifiers below 2 samples a side" `Quick
+          test_collector_qualifiers_need_both_sides;
+        Alcotest.test_case "mixed-version fleet (v1 packets)" `Quick
+          test_collector_accepts_v1_packets;
         Alcotest.test_case "re-diagnosis reuses decodes" `Quick
           test_rediagnosis_reuses_decodes;
         Alcotest.test_case "counters reconcile on a mixed stream" `Quick

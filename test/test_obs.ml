@@ -511,6 +511,354 @@ let test_bench_diff_named_list_elements () =
   Alcotest.(check bool) "matched by name across positions" true
     row.Obs.Bench_diff.regressed
 
+(* --- histogram edge cases ------------------------------------------------ *)
+
+let test_histogram_empty () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "h" in
+  let s = Obs.Metrics.stats h in
+  Alcotest.(check int) "count" 0 s.Obs.Metrics.count;
+  Alcotest.(check (float 0.0)) "sum" 0.0 s.Obs.Metrics.sum;
+  Alcotest.(check (float 0.0)) "min" 0.0 s.Obs.Metrics.min;
+  Alcotest.(check (float 0.0)) "max" 0.0 s.Obs.Metrics.max;
+  Alcotest.(check (float 0.0)) "p50" 0.0 s.Obs.Metrics.p50;
+  Alcotest.(check (float 0.0)) "p99" 0.0 (Obs.Metrics.percentile h ~p:99.0);
+  Alcotest.(check bool) "no cumulative buckets" true
+    (Obs.Metrics.cumulative_buckets h = [])
+
+let test_histogram_single_sample () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "h" in
+  Obs.Metrics.observe h 7.0;
+  (* One sample: every percentile is that sample (the bucket's upper
+     bound clamps to the observed max). *)
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "p%.0f" p)
+        7.0
+        (Obs.Metrics.percentile h ~p))
+    [ 0.0; 50.0; 100.0 ]
+
+let test_histogram_negative_clamps () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "h" in
+  Obs.Metrics.observe h (-5.0);
+  let s = Obs.Metrics.stats h in
+  Alcotest.(check int) "counted" 1 s.Obs.Metrics.count;
+  Alcotest.(check (float 0.0)) "clamped to zero" 0.0 s.Obs.Metrics.min;
+  Alcotest.(check (float 0.0)) "max also zero" 0.0 s.Obs.Metrics.max;
+  Alcotest.(check (float 0.0)) "sum unaffected by the negative" 0.0
+    s.Obs.Metrics.sum
+
+let prop_cumulative_buckets_monotone =
+  QCheck.Test.make
+    ~name:"cumulative buckets are monotone and end at the total count"
+    ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 60) (float_range (-10.0) 1e15))
+    (fun xs ->
+      let m = Obs.Metrics.create () in
+      let h = Obs.Metrics.histogram m "h" in
+      List.iter (Obs.Metrics.observe h) xs;
+      let bkts = Obs.Metrics.cumulative_buckets h in
+      let rec monotone = function
+        | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+          le1 < le2 && c1 <= c2 && monotone rest
+        | _ -> true
+      in
+      monotone bkts
+      &&
+      match List.rev bkts with
+      | [] -> xs = []
+      | (_, last) :: _ -> last = (Obs.Metrics.stats h).Obs.Metrics.count)
+
+(* --- structured log + flight recorder ------------------------------------ *)
+
+(* Capture sink plus state restore: the log's level and sink list are
+   process-wide, so every test puts them back. *)
+let with_log_capture ?(level = Obs.Log.Debug) f =
+  let seen = ref [] in
+  Obs.Log.clear_sinks ();
+  Obs.Log.add_sink (fun e -> seen := e :: !seen);
+  Obs.Log.set_level level;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Log.clear_sinks ();
+      Obs.Log.set_level Obs.Log.Info)
+    (fun () -> f seen)
+
+let names_of seen = List.rev_map (fun e -> e.Obs.Log.name) !seen
+
+let test_log_level_filtering () =
+  with_log_capture ~level:Obs.Log.Warn (fun seen ->
+      Obs.Log.debug "a";
+      Obs.Log.info "b";
+      Obs.Log.warn "c";
+      Obs.Log.error "d";
+      Alcotest.(check (list string)) "only warn and above forwarded"
+        [ "c"; "d" ] (names_of seen))
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_log_format_event () =
+  let e =
+    {
+      Obs.Log.ts_ns = 1_234_567.0;
+      level = Obs.Log.Warn;
+      name = "fleet/ingest_reject";
+      span = Some "fleet/ingest";
+      fields =
+        [
+          ("reason", Obs.Log.Str "bad byte");
+          ("bytes", Obs.Log.Int 17);
+          ("ok", Obs.Log.Bool false);
+          ("ratio", Obs.Log.Float 0.5);
+        ];
+    }
+  in
+  let line = Obs.Log.format_event e in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in " ^ line) true (contains line needle))
+    [
+      "WARN";
+      "fleet/ingest_reject";
+      "(in fleet/ingest)";
+      "reason=\"bad byte\"";  (* space forces quoting *)
+      "bytes=17";
+      "ok=false";
+      "ratio=0.5";
+    ]
+
+let test_log_json_sink_parses () =
+  let path = Filename.temp_file "snorlax_log" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      Obs.Log.clear_sinks ();
+      Obs.Log.add_sink (Obs.Log.json_sink oc);
+      Fun.protect
+        ~finally:(fun () ->
+          Obs.Log.clear_sinks ();
+          close_out_noerr oc)
+        (fun () ->
+          Obs.Log.warn
+            ~fields:[ ("k", Obs.Log.Str "v"); ("n", Obs.Log.Int 3) ]
+            "json/event");
+      let lines =
+        In_channel.with_open_text path In_channel.input_lines
+      in
+      match lines with
+      | [ line ] -> (
+        match Obs.Json.parse line with
+        | Error msg -> Alcotest.failf "sink line is not JSON: %s" msg
+        | Ok j ->
+          Alcotest.(check bool) "event name" true
+            (Obs.Json.member "event" j = Some (Obs.Json.String "json/event"));
+          Alcotest.(check bool) "level" true
+            (Obs.Json.member "level" j = Some (Obs.Json.String "warn"));
+          let fields = Option.get (Obs.Json.member "fields" j) in
+          Alcotest.(check bool) "fields preserved" true
+            (Obs.Json.member "n" fields = Some (Obs.Json.Int 3)))
+      | l -> Alcotest.failf "expected 1 line, got %d" (List.length l))
+
+let mk_event i =
+  {
+    Obs.Log.ts_ns = float_of_int i;
+    level = Obs.Log.Info;
+    name = Printf.sprintf "e%d" i;
+    span = None;
+    fields = [];
+  }
+
+let test_recorder_ring () =
+  let r = Obs.Log.Recorder.create ~capacity:4 () in
+  Alcotest.(check string) "empty dump" "" (Obs.Log.Recorder.dump r);
+  for i = 1 to 10 do
+    Obs.Log.Recorder.record r (mk_event i)
+  done;
+  Alcotest.(check (list string)) "keeps the last capacity, oldest first"
+    [ "e7"; "e8"; "e9"; "e10" ]
+    (List.map (fun e -> e.Obs.Log.name) (Obs.Log.Recorder.events r));
+  Alcotest.(check int) "seen counts every record" 10
+    (Obs.Log.Recorder.seen r);
+  let dump = Obs.Log.Recorder.dump r in
+  Alcotest.(check bool) "dump header" true
+    (contains dump "flight recorder (last 4 of 10 events):");
+  Obs.Log.Recorder.clear r;
+  Alcotest.(check int) "clear resets" 0 (Obs.Log.Recorder.seen r);
+  Alcotest.(check string) "dump empty again" "" (Obs.Log.Recorder.dump r)
+
+let test_recorder_captures_below_level_and_replays () =
+  let r = Obs.Log.Recorder.create ~capacity:8 () in
+  with_log_capture ~level:Obs.Log.Error (fun seen ->
+      Obs.Log.with_recorder r (fun () ->
+          Obs.Log.info "inside";
+          Obs.Log.debug "below-threshold");
+      Obs.Log.info "outside";
+      Alcotest.(check int) "nothing forwarded below Error" 0
+        (List.length !seen);
+      Alcotest.(check (list string)) "ring captured regardless of level"
+        [ "inside"; "below-threshold" ]
+        (List.map (fun e -> e.Obs.Log.name) (Obs.Log.Recorder.events r));
+      (* The black-box dump action: replay pushes the retained events to
+         the sinks even though their level never passed the filter. *)
+      Obs.Log.replay r;
+      Alcotest.(check (list string)) "replay bypasses the threshold"
+        [ "inside"; "below-threshold" ] (names_of seen))
+
+let test_log_span_correlation () =
+  with_log_capture (fun seen ->
+      with_scope (fun () ->
+          Obs.Scope.with_span "corr/span" (fun () -> Obs.Log.info "in");
+          Obs.Log.info "out");
+      match List.rev !seen with
+      | [ a; b ] ->
+        Alcotest.(check (option string)) "inside the span"
+          (Some "corr/span") a.Obs.Log.span;
+        Alcotest.(check (option string)) "outside" None b.Obs.Log.span
+      | l -> Alcotest.failf "expected 2 events, got %d" (List.length l))
+
+(* --- openmetrics exposition ---------------------------------------------- *)
+
+let test_openmetrics_name_sanitize () =
+  Alcotest.(check string) "slash" "pt_decode_ns"
+    (Obs.Openmetrics.metric_name "pt/decode_ns");
+  Alcotest.(check string) "leading digit" "_9lives"
+    (Obs.Openmetrics.metric_name "9lives");
+  Alcotest.(check string) "empty" "_" (Obs.Openmetrics.metric_name "")
+
+let test_openmetrics_render_shape () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.add (Obs.Metrics.counter m "pt/decode_calls") 3;
+  Obs.Metrics.set (Obs.Metrics.gauge m "fleet/dedup_ratio") 2.5;
+  let h = Obs.Metrics.histogram m "fleet/ingest_ns" in
+  List.iter (Obs.Metrics.observe h) [ 1.0; 3.0; 1000.0 ];
+  let text = Obs.Openmetrics.render m in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains text needle))
+    [
+      "# TYPE pt_decode_calls counter";
+      "pt_decode_calls_total 3";
+      "# TYPE fleet_dedup_ratio gauge";
+      "fleet_dedup_ratio 2.5";
+      "# TYPE fleet_ingest_ns histogram";
+      "fleet_ingest_ns_bucket{le=\"+Inf\"} 3";
+      "fleet_ingest_ns_count 3";
+    ];
+  Alcotest.(check bool) "terminated by # EOF" true
+    (String.length text >= 6
+    && String.sub text (String.length text - 6) 6 = "# EOF\n");
+  match Obs.Openmetrics.lint text with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "own render fails lint: %s" msg
+
+let test_openmetrics_lint_rejects () =
+  List.iter
+    (fun (what, text) ->
+      match Obs.Openmetrics.lint text with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "lint accepted %s" what)
+    [
+      ("missing # EOF", "# TYPE a counter\na_total 3\n");
+      ("content after # EOF", "# EOF\n# TYPE a counter\na_total 3\n");
+      ("counter without _total", "# TYPE a counter\na 3\n# EOF\n");
+      ("negative counter", "# TYPE a counter\na_total -1\n# EOF\n");
+      ("sample outside a family", "a_total 3\n# EOF\n");
+      ( "non-cumulative buckets",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"2\"} 1\n\
+         h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n# EOF\n" );
+      ( "missing +Inf bucket",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_sum 3\nh_count 2\n# EOF\n"
+      );
+      ( "count disagrees with +Inf",
+        "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 5\n\
+         # EOF\n" );
+      ("duplicate family", "# TYPE a gauge\na 1\n# TYPE a gauge\na 2\n# EOF\n");
+      ("bad name", "# TYPE 1a counter\n1a_total 3\n# EOF\n");
+    ]
+
+let prop_openmetrics_render_lints_clean =
+  QCheck.Test.make ~name:"render output always lints clean" ~count:100
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 20)
+        (pair (int_bound 2) (float_range 0.0 1e12)))
+    (fun specs ->
+      let m = Obs.Metrics.create () in
+      List.iteri
+        (fun i (kind, v) ->
+          let name = Printf.sprintf "m%d/k-%d" i kind in
+          match kind with
+          | 0 -> Obs.Metrics.add (Obs.Metrics.counter m name) (int_of_float v)
+          | 1 -> Obs.Metrics.set (Obs.Metrics.gauge m name) v
+          | _ -> Obs.Metrics.observe (Obs.Metrics.histogram m name) v)
+        specs;
+      Obs.Openmetrics.lint (Obs.Openmetrics.render m) = Ok ())
+
+(* --- chrome counter time series ------------------------------------------ *)
+
+let test_chrome_counter_time_series () =
+  with_scope (fun () ->
+      Obs.Scope.with_span "phase/one" (fun () -> Obs.Scope.count "work" 1);
+      Obs.Scope.with_span "phase/two" (fun () -> Obs.Scope.count "work" 2);
+      (* [count] accumulates, so the boundary samples see 1 then 3. *)
+      let doc = Option.get (Obs.Scope.export_chrome ()) in
+      let values =
+        List.filter_map
+          (fun e ->
+            if event_field "ph" e = "C" && event_field "name" e = "work" then
+              match Obs.Json.member "args" e with
+              | Some args -> Obs.Json.member "value" args
+              | None -> None
+            else None)
+          (events_of doc)
+      in
+      (* Span-boundary samples carry the counter's value *at that time* —
+         a real series, not just the final stamp. *)
+      Alcotest.(check bool) "intermediate value sampled" true
+        (List.mem (Obs.Json.Int 1) values);
+      Alcotest.(check bool) "final value sampled" true
+        (List.mem (Obs.Json.Int 3) values);
+      Alcotest.(check bool) "at least boundary samples plus end stamp" true
+        (List.length values >= 3))
+
+(* --- worker-registry merge wiring ----------------------------------------- *)
+
+let test_parallel_decode_merges_worker_metrics () =
+  (* Pool workers decode with private registries (the ambient scope is
+     not domain-safe); after the barrier they must be folded back, so
+     the ambient registry sees one decode_ns sample per actual decoder
+     invocation — the counters used to be silently dropped. *)
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
+  match Corpus.Runner.collect bug () with
+  | Error msg -> Alcotest.fail msg
+  | Ok c ->
+    let m = c.Corpus.Runner.built.Corpus.Bug.m in
+    let traces = (List.hd c.Corpus.Runner.failing).Core.Report.traces in
+    with_scope (fun () ->
+        let cache = Pt.Decode_cache.create ~capacity:0 () in
+        ignore
+          (Core.Trace_processing.process m ~config:Pt.Config.default ~jobs:4
+             ~cache traces);
+        let ctx = Option.get (Obs.Scope.current ()) in
+        let metrics = ctx.Obs.Scope.metrics in
+        let calls =
+          Option.value ~default:0
+            (Obs.Metrics.find_counter metrics "pt/decode_calls")
+        in
+        Alcotest.(check bool) "decoder invoked" true (calls > 0);
+        match Obs.Metrics.find_histogram metrics "pt/decode_ns" with
+        | None -> Alcotest.fail "worker decode_ns histogram not merged"
+        | Some s ->
+          Alcotest.(check int) "one decode_ns sample per invocation" calls
+            s.Obs.Metrics.count)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -522,7 +870,31 @@ let tests =
         Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch_rejected;
         Alcotest.test_case "histogram stats" `Quick test_histogram_stats;
         Alcotest.test_case "merge" `Quick test_metrics_merge;
+        Alcotest.test_case "empty histogram" `Quick test_histogram_empty;
+        Alcotest.test_case "single sample percentiles" `Quick
+          test_histogram_single_sample;
+        Alcotest.test_case "negative observe clamps" `Quick
+          test_histogram_negative_clamps;
         qtest prop_histogram_percentile_bracket;
+        qtest prop_cumulative_buckets_monotone;
+      ] );
+    ( "obs.log",
+      [
+        Alcotest.test_case "level filtering" `Quick test_log_level_filtering;
+        Alcotest.test_case "text formatting" `Quick test_log_format_event;
+        Alcotest.test_case "json sink parses" `Quick test_log_json_sink_parses;
+        Alcotest.test_case "recorder ring" `Quick test_recorder_ring;
+        Alcotest.test_case "recorder replay bypasses level" `Quick
+          test_recorder_captures_below_level_and_replays;
+        Alcotest.test_case "span correlation" `Quick test_log_span_correlation;
+      ] );
+    ( "obs.openmetrics",
+      [
+        Alcotest.test_case "name sanitize" `Quick test_openmetrics_name_sanitize;
+        Alcotest.test_case "render shape" `Quick test_openmetrics_render_shape;
+        Alcotest.test_case "lint rejects malformed" `Quick
+          test_openmetrics_lint_rejects;
+        qtest prop_openmetrics_render_lints_clean;
       ] );
     ( "obs.span",
       [
@@ -539,7 +911,11 @@ let tests =
         qtest prop_json_roundtrip;
       ] );
     ( "obs.chrome",
-      [ Alcotest.test_case "export shape" `Quick test_chrome_export_shape ] );
+      [
+        Alcotest.test_case "export shape" `Quick test_chrome_export_shape;
+        Alcotest.test_case "counter time series" `Quick
+          test_chrome_counter_time_series;
+      ] );
     ( "obs.scope",
       [
         Alcotest.test_case "noop when disabled" `Quick test_scope_noop_when_disabled;
@@ -555,6 +931,8 @@ let tests =
           test_sim_scheduler_telemetry;
         Alcotest.test_case "telemetry preserves determinism" `Quick
           test_sim_telemetry_preserves_determinism;
+        Alcotest.test_case "parallel decode merges worker metrics" `Quick
+          test_parallel_decode_merges_worker_metrics;
       ] );
     ( "obs.bench_diff",
       [
