@@ -8,7 +8,8 @@
    Part 2 — the full reproduction: prints every table and figure the
    paper's evaluation contains, with the paper's own numbers quoted for
    comparison.  `dune exec bench/main.exe` runs both; pass `--quick` to
-   reduce the hypothesis sample count. *)
+   reduce the hypothesis sample count, `--decode-only` or `--fleet-only`
+   to emit just that one BENCH artifact. *)
 
 open Bechamel
 open Toolkit
@@ -348,7 +349,9 @@ let emit_decode_bench () =
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let decode_only = Array.exists (String.equal "--decode-only") Sys.argv in
+  let fleet_only = Array.exists (String.equal "--fleet-only") Sys.argv in
   if decode_only then emit_decode_bench ()
+  else if fleet_only then emit_fleet_bench ()
   else begin
     emit_pipeline_trace ();
     emit_fleet_bench ();

@@ -197,41 +197,8 @@ let diagnose_bug id verbose decode_jobs decode_cache obs =
       end;
       if emit_obs obs then 0 else 1)
 
-(* The [--watch] snapshot line: fleet throughput plus the ingest/decode
-   stage percentiles read back from the ambient registry mid-run. *)
 let watch_tick (p : Fleet.Deploy.progress) =
-  let secs = p.Fleet.Deploy.tick_elapsed_ns /. 1e9 in
-  let rate =
-    if secs > 0.0 then float_of_int p.Fleet.Deploy.tick_shipped /. secs else 0.0
-  in
-  let counter name =
-    match Obs.Scope.current () with
-    | Some c -> Option.value ~default:0 (Obs.Metrics.find_counter c.Obs.Scope.metrics name)
-    | None -> 0
-  in
-  let stage name =
-    match Obs.Scope.current () with
-    | None -> "-"
-    | Some c -> (
-      match Obs.Metrics.find_histogram c.Obs.Scope.metrics name with
-      | Some (h : Obs.Metrics.hstats) when h.Obs.Metrics.count > 0 ->
-        Printf.sprintf "%.0f/%.0fus"
-          (h.Obs.Metrics.p50 /. 1e3)
-          (h.Obs.Metrics.p99 /. 1e3)
-      | _ -> "-")
-  in
-  let failing = counter "fleet/failing_kept" + counter "fleet/failing_dropped" in
-  let buckets = counter "fleet/buckets" in
-  let dedup =
-    if buckets = 0 then 0.0 else float_of_int failing /. float_of_int buckets
-  in
-  Printf.printf
-    "[watch] %s ep%d: %d packets (%.0f/s), dedup %.1f:1, ingest p50/p99 %s, \
-     decode p50/p99 %s\n%!"
-    p.Fleet.Deploy.tick_bug p.Fleet.Deploy.tick_endpoint
-    p.Fleet.Deploy.tick_shipped rate dedup
-    (stage "fleet/ingest_ns")
-    (stage "pt/decode_ns")
+  Printf.printf "%s\n%!" (Fleet.Deploy.watch_line p)
 
 let fleet_run n_endpoints bug_id all watch decode_jobs decode_cache obs =
   apply_decode_opts decode_jobs decode_cache;
@@ -408,6 +375,178 @@ let chaos_run seeds n_endpoints bug_id all fault_name out obs =
       if json_ok then Printf.printf "Chaos bench written to %s\n" out;
       let obs_ok = emit_obs obs in
       if Chaos.Harness.ok r && json_ok && obs_ok then 0 else 1)
+
+let stream_json (s : Stream.Deploy.summary) =
+  Obs.Json.Obj
+    [
+      ("endpoints", Obs.Json.Int s.Stream.Deploy.cfg.Stream.Deploy.endpoints);
+      ("duration_ticks", Obs.Json.Int s.Stream.Deploy.ticks);
+      ("shards", Obs.Json.Int s.Stream.Deploy.cfg.Stream.Deploy.shards);
+      ("churn", Obs.Json.Bool s.Stream.Deploy.cfg.Stream.Deploy.churn);
+      ( "fault",
+        Obs.Json.String
+          (match s.Stream.Deploy.cfg.Stream.Deploy.fault with
+          | Some c -> Chaos.Fault.name c
+          | None -> "none") );
+      ( "shed_policy",
+        Obs.Json.String (Stream.Shard.shed_name s.Stream.Deploy.cfg.Stream.Deploy.shed) );
+      ("offered", Obs.Json.Int s.Stream.Deploy.offered);
+      ("shed", Obs.Json.Int s.Stream.Deploy.shed);
+      ("drained", Obs.Json.Int s.Stream.Deploy.drained);
+      ("ingested_ok", Obs.Json.Int s.Stream.Deploy.ingested_ok);
+      ("ingest_errors", Obs.Json.Int s.Stream.Deploy.ingest_errors);
+      ("tracker_malformed", Obs.Json.Int s.Stream.Deploy.tracker_malformed);
+      ("tracker_held", Obs.Json.Int s.Stream.Deploy.tracker_held);
+      ("tracker_dropped", Obs.Json.Int s.Stream.Deploy.tracker_dropped);
+      ("buckets", Obs.Json.Int s.Stream.Deploy.bucket_count);
+      ("incidents", Obs.Json.Int s.Stream.Deploy.incidents);
+      ("joins", Obs.Json.Int s.Stream.Deploy.joins);
+      ("leaves", Obs.Json.Int s.Stream.Deploy.leaves);
+      ("crashes", Obs.Json.Int s.Stream.Deploy.crashes);
+      ("final_endpoints", Obs.Json.Int s.Stream.Deploy.final_endpoints);
+      ("inject_faults", Obs.Json.Int s.Stream.Deploy.inject_faults);
+      ("peak_queue_depth", Obs.Json.Int s.Stream.Deploy.peak_queue_depth);
+      ("watermark_highs", Obs.Json.Int s.Stream.Deploy.watermark_highs);
+      ("rederives", Obs.Json.Int s.Stream.Deploy.rederives);
+      ("fast_updates", Obs.Json.Int s.Stream.Deploy.fast_updates);
+      ("reports_per_sec", Obs.Json.Float s.Stream.Deploy.reports_per_sec);
+      ("shed_ratio", Obs.Json.Float s.Stream.Deploy.shed_ratio);
+      ( "report_to_diagnosis_p50_ns",
+        Obs.Json.Float s.Stream.Deploy.latency_p50_ns );
+      ( "report_to_diagnosis_p99_ns",
+        Obs.Json.Float s.Stream.Deploy.latency_p99_ns );
+      ("incremental_agrees_batch", Obs.Json.Bool s.Stream.Deploy.agree);
+      ("accounted", Obs.Json.Bool s.Stream.Deploy.accounted);
+      ("stream_ns", Obs.Json.Float s.Stream.Deploy.stream_ns);
+      ("total_ns", Obs.Json.Float s.Stream.Deploy.total_ns);
+    ]
+
+let stream_run n_endpoints ticks n_shards churn fault_name shed_str watch
+    bug_id all seed out decode_jobs decode_cache obs =
+  apply_decode_opts decode_jobs decode_cache;
+  if not (setup_obs obs) then 1
+  else begin
+    if watch && not (Obs.Scope.enabled ()) then ignore (Obs.Scope.enable ());
+    let bugs =
+      match (bug_id, all) with
+      | _, true -> Ok Corpus.Registry.eval_set
+      | Some id, false -> (
+        match Corpus.Registry.find id with
+        | Some bug -> Ok [ bug ]
+        | None ->
+          Error (Printf.sprintf "unknown bug id %s (try `snorlax list`)" id))
+      | None, false -> Error "pass --bug ID or --all"
+    in
+    let fault =
+      match fault_name with
+      | None -> Ok None
+      | Some n -> (
+        match Chaos.Fault.of_name n with
+        | Some c -> Ok (Some c)
+        | None ->
+          Error
+            (Printf.sprintf "unknown fault class %s (one of: %s)" n
+               (String.concat ", " (List.map Chaos.Fault.name Chaos.Fault.all))))
+    in
+    let shed =
+      match Stream.Shard.shed_of_name shed_str with
+      | Some s -> Ok s
+      | None ->
+        Error
+          (Printf.sprintf "unknown shed policy %s (drop-oldest|drop-newest)"
+             shed_str)
+    in
+    match (bugs, fault, shed) with
+    | Error msg, _, _ | _, Error msg, _ | _, _, Error msg ->
+      Printf.eprintf "%s\n" msg;
+      1
+    | Ok bugs, Ok fault, Ok shed ->
+      let cfg =
+        {
+          Stream.Deploy.default_config with
+          Stream.Deploy.endpoints = n_endpoints;
+          duration_ticks = ticks;
+          shards = n_shards;
+          churn;
+          fault;
+          seed;
+          shed;
+        }
+      in
+      Printf.printf
+        "Streaming %d endpoints x %d scenario%s for %d ticks across %d \
+         shard%s...\n%!"
+        n_endpoints (List.length bugs)
+        (if List.length bugs = 1 then "" else "s")
+        ticks n_shards
+        (if n_shards = 1 then "" else "s");
+      let tick =
+        if watch then
+          Some
+            (fun p -> Printf.printf "%s\n%!" (Stream.Deploy.watch_line p))
+        else None
+      in
+      let s = Stream.Deploy.run ?tick cfg bugs in
+      let t =
+        Snorlax_util.Tablefmt.create
+          ~headers:
+            [
+              "shard"; "bug"; "signature"; "fail"; "succ"; "top pattern";
+              "F1"; "gt"; "rederive"; "fast"; "batch=";
+            ]
+      in
+      List.iter
+        (fun (r : Stream.Deploy.bucket_row) ->
+          Snorlax_util.Tablefmt.add_row t
+            [
+              string_of_int r.Stream.Deploy.shard;
+              r.Stream.Deploy.bug_id;
+              r.Stream.Deploy.signature;
+              string_of_int r.Stream.Deploy.failing_kept;
+              string_of_int r.Stream.Deploy.success_kept;
+              Option.value ~default:"-" r.Stream.Deploy.top_pattern;
+              Printf.sprintf "%.2f" r.Stream.Deploy.f1;
+              (if r.Stream.Deploy.root_cause_match then "match" else "MISS");
+              string_of_int r.Stream.Deploy.rederives;
+              string_of_int r.Stream.Deploy.fast_updates;
+              (if r.Stream.Deploy.batch_agrees then "yes" else "NO");
+            ])
+        s.Stream.Deploy.rows;
+      Snorlax_util.Tablefmt.print t;
+      Printf.printf
+        "\n%d packets offered, %d shed (%.1f%%), %d drained; peak queue %d, \
+         %d high-watermark crossing(s).\n"
+        s.Stream.Deploy.offered s.Stream.Deploy.shed
+        (100.0 *. s.Stream.Deploy.shed_ratio)
+        s.Stream.Deploy.drained s.Stream.Deploy.peak_queue_depth
+        s.Stream.Deploy.watermark_highs;
+      Printf.printf
+        "%d incidents from %d->%d endpoints (+%d joins, -%d leaves, -%d \
+         crashes); %d buckets, %d re-derives / %d fast updates.\n"
+        s.Stream.Deploy.incidents n_endpoints s.Stream.Deploy.final_endpoints
+        s.Stream.Deploy.joins s.Stream.Deploy.leaves s.Stream.Deploy.crashes
+        s.Stream.Deploy.bucket_count s.Stream.Deploy.rederives
+        s.Stream.Deploy.fast_updates;
+      Printf.printf
+        "Sustained %.0f reports/s; report->diagnosis latency p50 %.1f ms, \
+         p99 %.1f ms.\n"
+        s.Stream.Deploy.reports_per_sec
+        (s.Stream.Deploy.latency_p50_ns /. 1e6)
+        (s.Stream.Deploy.latency_p99_ns /. 1e6);
+      let json_ok = write_json out (stream_json s) in
+      if json_ok then Printf.printf "Stream bench written to %s\n" out;
+      let obs_ok = emit_obs obs in
+      (* The gate: incremental == batch on every bucket, backpressure
+         accounting reconciles, nothing left in the queues, and — absent
+         injected faults — the fleet's failures were actually diagnosed. *)
+      let gate =
+        s.Stream.Deploy.agree && s.Stream.Deploy.accounted
+        && s.Stream.Deploy.leftover_queue = 0
+        && (fault <> None || s.Stream.Deploy.bucket_count > 0)
+      in
+      if not gate then Printf.eprintf "stream: gate failed\n";
+      if gate && json_ok && obs_ok then 0 else 1
+  end
 
 let validate () =
   let ok = ref 0 and bad = ref 0 in
@@ -914,6 +1053,93 @@ let chaos_cmd =
     Term.(
       const chaos_run $ seeds $ endpoints $ bug $ all $ fault $ out $ obs_term)
 
+let stream_cmd =
+  let endpoints =
+    Arg.(
+      value & opt int 32
+      & info [ "endpoints" ] ~docv:"N" ~doc:"Initial fleet size.")
+  in
+  let ticks =
+    Arg.(
+      value & opt int 48
+      & info [ "duration-ticks" ] ~docv:"T"
+          ~doc:
+            "Streaming duration in ticks; the diurnal load curve has a \
+             24-tick period.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~docv:"S"
+          ~doc:"Collector shards behind the signature-hashing tracker.")
+  in
+  let churn =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:"Enable per-tick endpoint join/leave/crash churn.")
+  in
+  let fault =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault" ] ~docv:"CLASS"
+          ~doc:"Inject one chaos fault class over the whole stream.")
+  in
+  let shed =
+    Arg.(
+      value & opt string "drop-oldest"
+      & info [ "shed" ] ~docv:"POLICY"
+          ~doc:
+            "Overload shedding policy when a shard queue is full: \
+             drop-oldest or drop-newest.")
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Print a snapshot line after every tick: load, live endpoints, \
+             offered/shed/drained counts, queue depth and bucket count.")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"BUG_ID" ~doc:"Stream one corpus scenario.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Stream every evaluation-set scenario.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Traffic generator seed.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_stream.json"
+      & info [ "out" ] ~docv:"FILE.json" ~doc:"Where to write the bench JSON.")
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:
+         "Run a continuous streaming fleet: a seeded traffic generator \
+          drives endpoints with diurnal/bursty load (optionally with churn \
+          and fault injection), a tracker hashes crash signatures across \
+          collector shards with bounded ingest queues and drop-oldest/\
+          drop-newest shedding, and each bucket's diagnosis updates \
+          incrementally as reports arrive; exits non-zero if the \
+          incremental diagnosis diverges from a from-scratch batch or the \
+          backpressure accounting fails to reconcile")
+    Term.(
+      const stream_run $ endpoints $ ticks $ shards $ churn $ fault $ shed
+      $ watch $ bug $ all $ seed $ out $ decode_jobs_arg $ decode_cache_arg
+      $ obs_term)
+
 let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print a corpus program's LIR")
     Term.(const dump_bug $ bug_arg)
@@ -1033,8 +1259,8 @@ let main_cmd =
          "Lazy Diagnosis of in-production concurrency bugs (SOSP'17 \
           reproduction)")
     [
-      list_cmd; diagnose_cmd; fleet_cmd; chaos_cmd; oracle_cmd; dump_cmd;
-      replay_cmd; validate_cmd; experiment_cmd; bench_compare_cmd;
+      list_cmd; diagnose_cmd; fleet_cmd; stream_cmd; chaos_cmd; oracle_cmd;
+      dump_cmd; replay_cmd; validate_cmd; experiment_cmd; bench_compare_cmd;
       metrics_lint_cmd;
     ]
 

@@ -58,6 +58,28 @@ if dune exec bin/snorlax.exe -- bench-compare BENCH_decode.json \
 fi
 rm -f /tmp/snorlax_bench_regressed.json
 
+echo "== stream smoke =="
+# Continuous streaming path: the exit status gates "incremental diagnosis
+# equals a from-scratch batch on every bucket", "backpressure accounting
+# reconciles (offered = shed + drained + leftover, per shard)" and "the
+# final drain left nothing queued".
+dune exec bin/snorlax.exe -- stream --bug pbzip2-1 --endpoints 6 \
+  --duration-ticks 8 --shards 2 --churn --out BENCH_stream.json
+
+echo "== fleet bench gate =="
+# Re-emit the batch-fleet benchmark and gate it against the newest
+# archived snapshot.  The threshold is generous: these are wall-clock
+# numbers from a shared CI box, so only order-of-magnitude regressions
+# (e.g. an accidentally quadratic ingest path) should trip it.
+dune exec bench/main.exe -- --fleet-only
+baseline=$(ls -t bench_history/*/BENCH_fleet.json 2>/dev/null | head -1 || true)
+if [ -n "$baseline" ]; then
+  dune exec bin/snorlax.exe -- bench-compare --max-regress 200 \
+    "$baseline" BENCH_fleet.json
+else
+  echo "fleet bench gate: no archived baseline yet (skipped)"
+fi
+
 echo "== oracle gate =="
 # Differential cross-check of the whole corpus against the
 # happens-before oracle: nonzero exit on any diagnosis-miss,

@@ -53,6 +53,75 @@ let mutate_rings cls prng faults traces =
    timestamp negative, only early. *)
 let skew_time off t = max 0 (t + off)
 
+let skew_offset prng ~faults (cls : Fault.cls) =
+  match cls with
+  | Fault.Clock_skew ->
+    let off = Prng.in_range prng ~lo:(-1_000_000) ~hi:1_000_000 in
+    if off <> 0 then incr faults;
+    off
+  | _ -> 0
+
+let damage_failing cls prng ~faults ~skew (r : Report.failing_report) =
+  let r = { r with Report.traces = mutate_rings cls prng faults r.traces } in
+  if skew = 0 then r
+  else { r with Report.failure_time_ns = skew_time skew r.Report.failure_time_ns }
+
+let damage_success cls prng ~faults ~skew (r : Report.success_report) =
+  let r =
+    { r with Report.s_traces = mutate_rings cls prng faults r.s_traces }
+  in
+  if skew = 0 then r
+  else { r with Report.trigger_time_ns = skew_time skew r.Report.trigger_time_ns }
+
+(* Wire-level faults act on an (already interleaved) arrival stream. *)
+let wire_faults cls prng ~faults arrival =
+  match (cls : Fault.cls) with
+  | Fault.Wire_drop ->
+    List.filter
+      (fun _ ->
+        if Prng.chance prng ~p:wire_p then begin
+          incr faults;
+          false
+        end
+        else true)
+      arrival
+  | Fault.Wire_duplicate ->
+    List.concat_map
+      (fun p ->
+        if Prng.chance prng ~p:wire_p then begin
+          incr faults;
+          [ p; p ]
+        end
+        else [ p ])
+      arrival
+  | Fault.Wire_reorder ->
+    let a = Array.of_list arrival in
+    let before = Array.copy a in
+    Prng.shuffle prng a;
+    Array.iteri (fun i x -> if not (x == before.(i)) then incr faults) a;
+    Array.to_list a
+  | Fault.Wire_bitflip ->
+    List.map
+      (fun ((k, b) as p) ->
+        if Bytes.length b > 0 && Prng.chance prng ~p:wire_p then begin
+          incr faults;
+          let b = Bytes.copy b in
+          let pos = Prng.int prng ~bound:(Bytes.length b) in
+          let bit = Prng.int prng ~bound:8 in
+          Bytes.set b pos
+            (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
+          (k, b)
+        end
+        else p)
+      arrival
+  | Fault.Success_first ->
+    let succ, fail = List.partition (fun (k, _) -> k = S) arrival in
+    faults := !faults + List.length succ;
+    succ @ fail
+  | Fault.Ring_truncate | Fault.Ring_overwrite | Fault.Endpoint_death
+  | Fault.Clock_skew ->
+    arrival
+
 (* --- stream assembly ------------------------------------------------ *)
 
 let build ~prng ~cls ~bug_id ~config ~endpoints ~failing ~successful =
@@ -60,14 +129,7 @@ let build ~prng ~cls ~bug_id ~config ~endpoints ~failing ~successful =
   let faults = ref 0 in
   let streams =
     Array.init endpoints (fun e ->
-        let skew =
-          match cls with
-          | Fault.Clock_skew ->
-            let off = Prng.in_range prng ~lo:(-1_000_000) ~hi:1_000_000 in
-            if off <> 0 then incr faults;
-            off
-          | _ -> 0
-        in
+        let skew = skew_offset prng ~faults cls in
         (* Deterministic per-endpoint provenance, so the chaos stream
            also exercises the v2 prov block through every fault class. *)
         let prov =
@@ -84,39 +146,14 @@ let build ~prng ~cls ~bug_id ~config ~endpoints ~failing ~successful =
         let failing_pkts =
           List.map
             (fun (r : Report.failing_report) ->
-              let r =
-                { r with Report.traces = mutate_rings cls prng faults r.traces }
-              in
-              let r =
-                if skew = 0 then r
-                else
-                  {
-                    r with
-                    Report.failure_time_ns =
-                      skew_time skew r.Report.failure_time_ns;
-                  }
-              in
+              let r = damage_failing cls prng ~faults ~skew r in
               (F, Wire.encode (envelope (Wire.Failing r))))
             failing
         in
         let success_pkts =
           List.map
             (fun (r : Report.success_report) ->
-              let r =
-                {
-                  r with
-                  Report.s_traces = mutate_rings cls prng faults r.s_traces;
-                }
-              in
-              let r =
-                if skew = 0 then r
-                else
-                  {
-                    r with
-                    Report.trigger_time_ns =
-                      skew_time skew r.Report.trigger_time_ns;
-                  }
-              in
+              let r = damage_success cls prng ~faults ~skew r in
               (S, Wire.encode (envelope (Wire.Success r))))
             successful
         in
@@ -155,55 +192,7 @@ let build ~prng ~cls ~bug_id ~config ~endpoints ~failing ~successful =
     done;
     List.rev !out
   in
-  (* Wire-level faults act on the interleaved arrival stream. *)
-  let arrival =
-    match cls with
-    | Fault.Wire_drop ->
-      List.filter
-        (fun _ ->
-          if Prng.chance prng ~p:wire_p then begin
-            incr faults;
-            false
-          end
-          else true)
-        arrival
-    | Fault.Wire_duplicate ->
-      List.concat_map
-        (fun p ->
-          if Prng.chance prng ~p:wire_p then begin
-            incr faults;
-            [ p; p ]
-          end
-          else [ p ])
-        arrival
-    | Fault.Wire_reorder ->
-      let a = Array.of_list arrival in
-      let before = Array.copy a in
-      Prng.shuffle prng a;
-      Array.iteri (fun i x -> if not (x == before.(i)) then incr faults) a;
-      Array.to_list a
-    | Fault.Wire_bitflip ->
-      List.map
-        (fun ((k, b) as p) ->
-          if Bytes.length b > 0 && Prng.chance prng ~p:wire_p then begin
-            incr faults;
-            let b = Bytes.copy b in
-            let pos = Prng.int prng ~bound:(Bytes.length b) in
-            let bit = Prng.int prng ~bound:8 in
-            Bytes.set b pos
-              (Char.chr (Char.code (Bytes.get b pos) lxor (1 lsl bit)));
-            (k, b)
-          end
-          else p)
-        arrival
-    | Fault.Success_first ->
-      let succ, fail = List.partition (fun (k, _) -> k = S) arrival in
-      faults := !faults + List.length succ;
-      succ @ fail
-    | Fault.Ring_truncate | Fault.Ring_overwrite | Fault.Endpoint_death
-    | Fault.Clock_skew ->
-      arrival
-  in
+  let arrival = wire_faults cls prng ~faults arrival in
   {
     packets = List.map snd arrival;
     faults = !faults;

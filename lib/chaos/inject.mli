@@ -8,6 +8,11 @@
     stream; ordering faults permute arrival.  Everything is a pure
     function of the given generator, so one seed reproduces one trial. *)
 
+type kind = F | S
+(** What a packet carries — tracked alongside the encoded bytes so
+    ordering faults ([Success_first]) and accounting can tell report
+    kinds apart without re-decoding. *)
+
 type stream = {
   packets : bytes list;  (** arrival order at the collector *)
   faults : int;  (** mutation events performed (0 when nothing fired) *)
@@ -17,6 +22,45 @@ type stream = {
           included — the graceful-degradation invariant keys off whether
           any failing report survived the faults *)
 }
+
+(** The three fault layers, exposed separately so other packet sources
+    (the streaming fleet's traffic generator) can inject the same fault
+    classes without re-deriving the probabilities.  All of them count
+    each mutation event into [faults] and are pure functions of the
+    given generator. *)
+
+val skew_offset : Snorlax_util.Prng.t -> faults:int ref -> Fault.cls -> int
+(** A per-endpoint clock offset in ns, nonzero only for [Clock_skew]
+    (uniform in ±1ms). *)
+
+val damage_failing :
+  Fault.cls ->
+  Snorlax_util.Prng.t ->
+  faults:int ref ->
+  skew:int ->
+  Snorlax_core.Report.failing_report ->
+  Snorlax_core.Report.failing_report
+(** Apply ring faults (truncate/overwrite, each ring hit with p=1/2) and
+    the clock skew to one failing report's content. *)
+
+val damage_success :
+  Fault.cls ->
+  Snorlax_util.Prng.t ->
+  faults:int ref ->
+  skew:int ->
+  Snorlax_core.Report.success_report ->
+  Snorlax_core.Report.success_report
+(** Same for a success report ([s_traces] / [trigger_time_ns]). *)
+
+val wire_faults :
+  Fault.cls ->
+  Snorlax_util.Prng.t ->
+  faults:int ref ->
+  (kind * bytes) list ->
+  (kind * bytes) list
+(** Apply wire-level faults (drop/duplicate/bitflip each packet with
+    p=0.3, full-stream reorder, success-before-failure partition) to an
+    arrival stream.  Ring, death and skew classes pass through. *)
 
 val build :
   prng:Snorlax_util.Prng.t ->

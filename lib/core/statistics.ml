@@ -9,46 +9,39 @@ type scored = {
   present_in_successful : int;
 }
 
-let score m ~points_to ~patterns ~failing ~successful =
-  let score_one pattern =
-    let count tps =
-      List.length
-        (List.filter (fun tp -> Patterns.present_in m ~points_to pattern tp) tps)
-    in
-    let tp_count = count failing in
-    let fp_count = count successful in
-    let fn_count = List.length failing - tp_count in
-    let precision, recall =
-      Stats.precision_recall ~true_pos:tp_count ~false_pos:fp_count
-        ~false_neg:fn_count
-    in
-    {
-      pattern;
-      f1 = Stats.f1 ~precision ~recall;
-      precision;
-      recall;
-      present_in_failing = tp_count;
-      present_in_successful = fp_count;
-    }
+let of_counts pattern ~present_in_failing ~present_in_successful ~n_failing =
+  let fn_count = n_failing - present_in_failing in
+  let precision, recall =
+    Stats.precision_recall ~true_pos:present_in_failing
+      ~false_pos:present_in_successful ~false_neg:fn_count
   in
-  let scored = List.map score_one patterns in
-  (* Equal F1 scores are broken toward the structurally simpler pattern
-     (order/deadlock before atomicity): an order violation whose failing
-     thread also read the variable earlier always induces a tying
-     atomicity candidate, and the fix developers apply targets the order. *)
-  let class_rank = function
-    | Patterns.Order _ | Patterns.Deadlock_cycle _ -> 0
-    | Patterns.Atomicity _ -> 1
-  in
+  {
+    pattern;
+    f1 = Stats.f1 ~precision ~recall;
+    precision;
+    recall;
+    present_in_failing;
+    present_in_successful;
+  }
+
+(* Equal F1 scores are broken toward the structurally simpler pattern
+   (order/deadlock before atomicity): an order violation whose failing
+   thread also read the variable earlier always induces a tying
+   atomicity candidate, and the fix developers apply targets the order. *)
+let class_rank = function
+  | Patterns.Order _ | Patterns.Deadlock_cycle _ -> 0
+  | Patterns.Atomicity _ -> 1
+
+let rank ?proximity_tp scored =
   (* Same-class ties are broken by proximate cause: among remote accesses
      that all perfectly separate failing from successful runs, the one
      that executed *last* before the failure is the one the failing read
      actually observed (e.g. the free racing a reader outranks the store
      that preceded that free). *)
   let proximity =
-    match failing with
-    | [] -> fun _ -> 0
-    | tp :: _ -> (
+    match proximity_tp with
+    | None -> fun _ -> 0
+    | Some tp -> (
       fun pattern ->
         match pattern with
         | Patterns.Order { remote_iid; _ }
@@ -69,6 +62,19 @@ let score m ~points_to ~patterns ~failing ~successful =
     | c -> c
   in
   List.stable_sort cmp scored
+
+let score m ~points_to ~patterns ~failing ~successful =
+  let n_failing = List.length failing in
+  let score_one pattern =
+    let count tps =
+      List.length
+        (List.filter (fun tp -> Patterns.present_in m ~points_to pattern tp) tps)
+    in
+    of_counts pattern ~present_in_failing:(count failing)
+      ~present_in_successful:(count successful) ~n_failing
+  in
+  let proximity_tp = match failing with [] -> None | tp :: _ -> Some tp in
+  rank ?proximity_tp (List.map score_one patterns)
 
 let top = function [] -> None | s :: _ -> Some s
 

@@ -13,6 +13,22 @@ type scored = {
   present_in_successful : int;
 }
 
+val of_counts :
+  Patterns.t ->
+  present_in_failing:int ->
+  present_in_successful:int ->
+  n_failing:int ->
+  scored
+(** Build one scored entry from presence counts alone — the form an
+    incremental collector maintains per pattern without re-walking old
+    traces.  [score] is [of_counts] over freshly counted presences. *)
+
+val rank : ?proximity_tp:Trace_processing.t -> scored list -> scored list
+(** The exact ordering [score] applies: descending F1, ties prefer
+    order/deadlock over atomicity, same-class ties prefer the remote
+    access whose last instance in [proximity_tp] (the first failing
+    trace) executed latest; stable beyond that. *)
+
 val score :
   Lir.Irmod.t ->
   points_to:Analysis.Pointsto.t ->

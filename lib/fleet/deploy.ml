@@ -44,6 +44,43 @@ type progress = {
 
 let now = Obs.Span.wall_clock_ns
 
+(* The [--watch] snapshot line: fleet throughput plus the ingest/decode
+   stage percentiles read back from the ambient registry mid-run.  Lives
+   here (not in bin/) so the formatting is unit-testable. *)
+let watch_line (p : progress) =
+  let secs = p.tick_elapsed_ns /. 1e9 in
+  let rate =
+    if secs > 0.0 then float_of_int p.tick_shipped /. secs else 0.0
+  in
+  let counter name =
+    match Obs.Scope.current () with
+    | Some c ->
+      Option.value ~default:0 (Obs.Metrics.find_counter c.Obs.Scope.metrics name)
+    | None -> 0
+  in
+  let stage name =
+    match Obs.Scope.current () with
+    | None -> "-"
+    | Some c -> (
+      match Obs.Metrics.find_histogram c.Obs.Scope.metrics name with
+      | Some (h : Obs.Metrics.hstats) when h.Obs.Metrics.count > 0 ->
+        Printf.sprintf "%.0f/%.0fus"
+          (h.Obs.Metrics.p50 /. 1e3)
+          (h.Obs.Metrics.p99 /. 1e3)
+      | _ -> "-")
+  in
+  let failing = counter "fleet/failing_kept" + counter "fleet/failing_dropped" in
+  let buckets = counter "fleet/buckets" in
+  let dedup =
+    if buckets = 0 then 0.0 else float_of_int failing /. float_of_int buckets
+  in
+  Printf.sprintf
+    "[watch] %s ep%d: %d packets (%.0f/s), dedup %.1f:1, ingest p50/p99 %s, \
+     decode p50/p99 %s"
+    p.tick_bug p.tick_endpoint p.tick_shipped rate dedup
+    (stage "fleet/ingest_ns")
+    (stage "pt/decode_ns")
+
 let diagnose_bucket collector latency_hist (b : Collector.bucket) =
   let t0 = now () in
   let res = Collector.diagnose collector b in

@@ -55,6 +55,12 @@ type progress = {
 (** What [?tick] sees after each endpoint finishes — the hook behind
     [snorlax fleet --watch]. *)
 
+val watch_line : progress -> string
+(** The [--watch] snapshot line (no trailing newline): packets shipped,
+    throughput, dedup ratio, and the ingest/decode stage p50/p99 read
+    from the ambient {!Obs.Scope} registry when one is enabled ("-"
+    otherwise). *)
+
 val run :
   ?policy:Collector.policy ->
   ?config:Pt.Config.t ->

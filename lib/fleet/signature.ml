@@ -29,6 +29,21 @@ let block_stack_of_steps m steps =
   if n <= stack_depth then entries
   else List.filteri (fun i _ -> i >= n - stack_depth) entries
 
+(* Both the stream router (tracker-side sharding) and the shard's own
+   collector compute the signature of the same packet; memoizing the ring
+   decode through the shared cache makes the second computation free. *)
+let decode_memo m ~config ring =
+  let cache = Pt.Decode_cache.shared in
+  if not (Pt.Decode_cache.enabled cache) then Pt.Decoder.decode m ~config ring
+  else
+    let k = Pt.Decode_cache.key m ~config ring in
+    match Pt.Decode_cache.find cache k with
+    | Some decoded -> decoded
+    | None ->
+      let decoded = Pt.Decoder.decode m ~config ring in
+      Pt.Decode_cache.add cache k decoded;
+      decoded
+
 let of_failing m ~config ~bug_id (r : Report.failing_report) =
   match Lir.Irmod.instr_by_iid m (Report.failing_anchor_iid r) with
   | exception _ ->
@@ -40,7 +55,7 @@ let of_failing m ~config ~bug_id (r : Report.failing_report) =
       match List.assoc_opt r.Report.failing_tid r.Report.traces with
       | None -> []
       | Some ring -> (
-        match Pt.Decoder.decode m ~config ring with
+        match decode_memo m ~config ring with
         | decoded -> block_stack_of_steps m decoded.Pt.Decoder.steps
         | exception _ -> [])
     in

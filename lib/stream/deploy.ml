@@ -1,0 +1,312 @@
+module Core = Snorlax_core
+module Collector = Fleet.Collector
+module Signature = Fleet.Signature
+
+type config = {
+  endpoints : int;
+  duration_ticks : int;
+  shards : int;
+  churn : bool;
+  fault : Chaos.Fault.cls option;
+  seed : int;
+  shed : Shard.shed;
+  queue_capacity : int;
+  drain_per_tick : int;
+}
+
+let default_config =
+  {
+    endpoints = 32;
+    duration_ticks = 48;
+    shards = 4;
+    churn = false;
+    fault = None;
+    seed = 42;
+    shed = Shard.Drop_oldest;
+    queue_capacity = 256;
+    drain_per_tick = 64;
+  }
+
+type progress = {
+  p_tick : int;
+  p_load : float;
+  p_alive : int;
+  p_offered : int;  (** cumulative packets the generator emitted *)
+  p_shed : int;
+  p_drained : int;
+  p_depth : int;  (** total queue depth across shards right now *)
+  p_buckets : int;
+  p_elapsed_ns : float;
+}
+
+let watch_line (p : progress) =
+  let secs = p.p_elapsed_ns /. 1e9 in
+  let rate = if secs > 0.0 then float_of_int p.p_drained /. secs else 0.0 in
+  Printf.sprintf
+    "[stream] tick %d: load %.2f, %d eps, %d offered / %d shed / %d drained \
+     (%.0f/s), depth %d, %d buckets"
+    p.p_tick p.p_load p.p_alive p.p_offered p.p_shed p.p_drained rate p.p_depth
+    p.p_buckets
+
+type bucket_row = {
+  shard : int;
+  bug_id : string;
+  signature : string;
+  endpoints_hit : int;
+  failing_kept : int;
+  success_kept : int;
+  top_pattern : string option;
+  top_describe : string option;
+  f1 : float;
+  root_cause_match : bool;
+  batch_agrees : bool;
+      (** incremental top pattern == from-scratch batch top pattern *)
+  rederives : int;
+  fast_updates : int;
+}
+
+type summary = {
+  cfg : config;
+  ticks : int;
+  offered : int;  (** packets the traffic generator emitted *)
+  tracker_malformed : int;
+  shed : int;
+  drained : int;
+  ingested_ok : int;
+  ingest_errors : int;
+  tracker_held : int;
+  tracker_dropped : int;
+  leftover_queue : int;  (** should be 0 after the final drain *)
+  bucket_count : int;
+  rows : bucket_row list;
+  incidents : int;
+  joins : int;
+  leaves : int;
+  crashes : int;
+  final_endpoints : int;
+  inject_faults : int;
+  peak_queue_depth : int;
+  watermark_highs : int;
+  rederives : int;
+  fast_updates : int;
+  reports_per_sec : float;  (** sustained: drained / streaming wall seconds *)
+  shed_ratio : float;  (** shed / shard-offered *)
+  latency_p50_ns : float;
+  latency_p99_ns : float;
+  agree : bool;  (** every bucket's [batch_agrees] *)
+  accounted : bool;  (** offered = shed + drained + leftover, per shard *)
+  stream_ns : float;  (** the streaming phase (generator setup excluded) *)
+  total_ns : float;
+}
+
+let now = Obs.Span.wall_clock_ns
+
+let diagnose_bucket shards shard_idx shard (b : Collector.bucket) =
+  let collector = Shard.collector shard in
+  let built = Collector.built collector b in
+  let gt = built.Corpus.Bug.ground_truth in
+  let snap =
+    match Shard.engine shard b with
+    | Some eng -> Incremental.results eng
+    | None -> None
+  in
+  let top_pattern, top_describe, f1, rc_match =
+    match snap with
+    | Some { Incremental.top = Some top; _ } ->
+      let p = top.Core.Statistics.pattern in
+      ( Some (Core.Patterns.id p),
+        Some (Core.Patterns.describe built.Corpus.Bug.m p),
+        top.Core.Statistics.f1,
+        Core.Accuracy.root_cause_match ~diagnosed:p ~ground_truth:gt )
+    | _ -> (None, None, 0.0, false)
+  in
+  (* The lazy cross-check: a from-scratch batch diagnosis over the same
+     kept reports must land on the same top pattern.  Cheap here — the
+     traces are warm in the shared decode cache. *)
+  let batch = Collector.diagnose collector b in
+  let batch_top =
+    Option.map
+      (fun (s : Core.Statistics.scored) -> Core.Patterns.id s.Core.Statistics.pattern)
+      batch.Core.Diagnosis.top
+  in
+  let batch_agrees =
+    match (top_pattern, batch_top) with
+    | None, None -> true
+    | Some a, Some b -> String.equal a b
+    | _ -> false
+  in
+  if not batch_agrees then
+    Obs.Log.error "stream/incremental_diverged"
+      ~fields:
+        [
+          ("shard", Obs.Log.Int shard_idx);
+          ("bug", Obs.Log.Str b.Collector.signature.Signature.bug_id);
+          ( "incremental",
+            Obs.Log.Str (Option.value ~default:"-" top_pattern) );
+          ("batch", Obs.Log.Str (Option.value ~default:"-" batch_top));
+          ("recorder", Obs.Log.Str (Obs.Log.Recorder.dump (Shard.recorder shards.(shard_idx))));
+        ];
+  {
+    shard = shard_idx;
+    bug_id = b.Collector.signature.Signature.bug_id;
+    signature = Signature.to_string b.Collector.signature;
+    endpoints_hit = List.length b.Collector.endpoints;
+    failing_kept = Collector.failing_kept b;
+    success_kept = Collector.success_kept b;
+    top_pattern;
+    top_describe;
+    f1;
+    root_cause_match = rc_match;
+    batch_agrees;
+    rederives = (match snap with Some s -> s.Incremental.rederives | None -> 0);
+    fast_updates =
+      (match snap with Some s -> s.Incremental.fast_updates | None -> 0);
+  }
+
+let run ?tick cfg bugs =
+  if cfg.shards < 1 then invalid_arg "Stream.Deploy.run: shards < 1";
+  if cfg.duration_ticks < 1 then
+    invalid_arg "Stream.Deploy.run: duration_ticks < 1";
+  Obs.Scope.with_span "stream"
+    ~args:
+      [
+        ("endpoints", Obs.Span.Int cfg.endpoints);
+        ("shards", Obs.Span.Int cfg.shards);
+        ("ticks", Obs.Span.Int cfg.duration_ticks);
+      ]
+  @@ fun () ->
+  let t0 = now () in
+  let traffic =
+    Traffic.create ~seed:cfg.seed ~endpoints:cfg.endpoints ~churn:cfg.churn
+      ?fault:cfg.fault bugs
+  in
+  let modules = Hashtbl.create 8 in
+  let shards =
+    Array.init cfg.shards (fun id ->
+        Shard.create ~id ~capacity:cfg.queue_capacity ~shed:cfg.shed ~modules
+          ())
+  in
+  let router = Router.create shards modules in
+  (* Same private-registry trick as the batch fleet: the summary's
+     latency percentiles exist with telemetry off. *)
+  let latency_reg = Obs.Metrics.create () in
+  let latency_hist = Obs.Metrics.histogram latency_reg "latency_ns" in
+  let offered = ref 0 in
+  let incidents = ref 0 in
+  let joins = ref 0 and leaves = ref 0 and crashes = ref 0 in
+  let depth_total () =
+    Array.fold_left (fun acc s -> acc + Shard.depth s) 0 shards
+  in
+  let bucket_total () =
+    Array.fold_left
+      (fun acc s -> acc + List.length (Collector.buckets (Shard.collector s)))
+      0 shards
+  in
+  (* The streaming phase proper: generate, route, service — per tick. *)
+  let t_stream0 = now () in
+  for _ = 1 to cfg.duration_ticks do
+    let batch = Traffic.tick traffic in
+    offered := !offered + batch.Traffic.offered;
+    incidents := !incidents + batch.Traffic.incidents;
+    joins := !joins + batch.Traffic.joins;
+    leaves := !leaves + batch.Traffic.leaves;
+    crashes := !crashes + batch.Traffic.crashes;
+    List.iter (Router.route router) batch.Traffic.packets;
+    Array.iter
+      (fun s -> ignore (Shard.service s ~budget:cfg.drain_per_tick latency_hist))
+      shards;
+    match tick with
+    | Some f ->
+      f
+        {
+          p_tick = batch.Traffic.tick;
+          p_load = batch.Traffic.load;
+          p_alive = Traffic.alive traffic;
+          p_offered = !offered;
+          p_shed = Array.fold_left (fun a s -> a + Shard.shed_count s) 0 shards;
+          p_drained = Array.fold_left (fun a s -> a + Shard.drained s) 0 shards;
+          p_depth = depth_total ();
+          p_buckets = bucket_total ();
+          p_elapsed_ns = now () -. t_stream0;
+        }
+    | None -> ()
+  done;
+  (* Fleet gone quiet: drain the backlog (bounded — every pass shrinks
+     the queues, but guard against a zero-budget misconfiguration). *)
+  let guard = ref (cfg.queue_capacity * cfg.shards + 1) in
+  while depth_total () > 0 && !guard > 0 do
+    Array.iter
+      (fun s ->
+        ignore
+          (Shard.service s ~budget:(max 1 cfg.drain_per_tick) latency_hist))
+      shards;
+    decr guard
+  done;
+  let t_streamed = now () in
+  let rows =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun idx s ->
+              List.map
+                (diagnose_bucket shards idx s)
+                (Collector.buckets (Shard.collector s)))
+            shards))
+  in
+  let t_done = now () in
+  let sum f = Array.fold_left (fun a s -> a + f s) 0 shards in
+  let shard_offered = sum Shard.offered in
+  let shed = sum Shard.shed_count in
+  let drained = sum Shard.drained in
+  let leftover = depth_total () in
+  let accounted =
+    Array.for_all
+      (fun s ->
+        Shard.offered s
+        = Shard.shed_count s + Shard.drained s + Shard.depth s)
+      shards
+  in
+  let stream_ns = t_streamed -. t_stream0 in
+  let secs = stream_ns /. 1e9 in
+  let shed_ratio =
+    if shard_offered = 0 then 0.0
+    else float_of_int shed /. float_of_int shard_offered
+  in
+  Obs.Scope.set_gauge "stream/shed_ratio" shed_ratio;
+  {
+    cfg;
+    ticks = cfg.duration_ticks;
+    offered = !offered;
+    tracker_malformed = Router.malformed router;
+    shed;
+    drained;
+    ingested_ok = sum Shard.ingest_ok;
+    ingest_errors = sum Shard.ingest_err;
+    tracker_held = Router.pending_held router;
+    tracker_dropped = Router.pending_dropped router;
+    leftover_queue = leftover;
+    bucket_count = List.length rows;
+    rows;
+    incidents = !incidents;
+    joins = !joins;
+    leaves = !leaves;
+    crashes = !crashes;
+    final_endpoints = Traffic.alive traffic;
+    inject_faults = Traffic.faults traffic;
+    peak_queue_depth =
+      Array.fold_left (fun a s -> max a (Shard.peak_depth s)) 0 shards;
+    watermark_highs = sum Shard.high_crossings;
+    rederives =
+      List.fold_left (fun a (r : bucket_row) -> a + r.rederives) 0 rows;
+    fast_updates =
+      List.fold_left (fun a (r : bucket_row) -> a + r.fast_updates) 0 rows;
+    reports_per_sec =
+      (if secs > 0.0 then float_of_int drained /. secs else 0.0);
+    shed_ratio;
+    latency_p50_ns = Obs.Metrics.percentile latency_hist ~p:50.0;
+    latency_p99_ns = Obs.Metrics.percentile latency_hist ~p:99.0;
+    agree = List.for_all (fun r -> r.batch_agrees) rows;
+    accounted;
+    stream_ns;
+    total_ns = t_done -. t0;
+  }

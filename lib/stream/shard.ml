@@ -1,0 +1,185 @@
+module Collector = Fleet.Collector
+module Signature = Fleet.Signature
+
+type shed = Drop_oldest | Drop_newest
+
+let shed_name = function
+  | Drop_oldest -> "drop-oldest"
+  | Drop_newest -> "drop-newest"
+
+let shed_of_name = function
+  | "drop-oldest" -> Some Drop_oldest
+  | "drop-newest" -> Some Drop_newest
+  | _ -> None
+
+type queued = { q_arrival : float; q_packet : bytes }
+
+type t = {
+  id : int;
+  collector : Collector.t;
+  queue : queued Queue.t;
+  capacity : int;
+  shed : shed;
+  high_mark : int;
+  low_mark : int;
+  mutable above_high : bool;
+  mutable peak_depth : int;
+  mutable offered : int;
+  mutable shed_count : int;
+  mutable drained : int;
+  mutable ingest_ok : int;
+  mutable ingest_err : int;
+  mutable high_crossings : int;
+  engines : (string, Incremental.t) Hashtbl.t;
+  recorder : Obs.Log.Recorder.t;  (* per-shard flight recorder *)
+}
+
+let create ~id ?policy ~capacity ~shed ~modules () =
+  if capacity < 1 then invalid_arg "Shard.create: capacity < 1";
+  {
+    id;
+    collector = Collector.create ?policy ~modules ();
+    queue = Queue.create ();
+    capacity;
+    shed;
+    (* High/low watermarks at 80%/50% of capacity: warn once when ingest
+       outruns service, clear once the backlog has genuinely receded. *)
+    high_mark = max 1 (capacity * 8 / 10);
+    low_mark = capacity / 2;
+    above_high = false;
+    peak_depth = 0;
+    offered = 0;
+    shed_count = 0;
+    drained = 0;
+    ingest_ok = 0;
+    ingest_err = 0;
+    high_crossings = 0;
+    engines = Hashtbl.create 8;
+    recorder = Obs.Log.Recorder.create ~capacity:64 ();
+  }
+
+let depth t = Queue.length t.queue
+let peak_depth t = t.peak_depth
+let offered t = t.offered
+let shed_count t = t.shed_count
+let drained t = t.drained
+let ingest_ok t = t.ingest_ok
+let ingest_err t = t.ingest_err
+let high_crossings t = t.high_crossings
+let collector t = t.collector
+let recorder t = t.recorder
+
+let check_watermarks t =
+  let d = depth t in
+  if d > t.peak_depth then t.peak_depth <- d;
+  if (not t.above_high) && d >= t.high_mark then begin
+    t.above_high <- true;
+    t.high_crossings <- t.high_crossings + 1;
+    Obs.Scope.count "stream/watermark_high" 1;
+    Obs.Log.warn "stream/backpressure_high"
+      ~fields:
+        [
+          ("shard", Obs.Log.Int t.id);
+          ("depth", Obs.Log.Int d);
+          ("capacity", Obs.Log.Int t.capacity);
+        ]
+  end
+  else if t.above_high && d <= t.low_mark then begin
+    t.above_high <- false;
+    Obs.Scope.count "stream/watermark_low" 1;
+    Obs.Log.info "stream/backpressure_cleared"
+      ~fields:[ ("shard", Obs.Log.Int t.id); ("depth", Obs.Log.Int d) ]
+  end
+
+let offer t ~arrival packet =
+  t.offered <- t.offered + 1;
+  Obs.Scope.count "stream/shard_offered" 1;
+  let shed_one () =
+    t.shed_count <- t.shed_count + 1;
+    Obs.Scope.count "stream/shed" 1
+  in
+  (if Queue.length t.queue >= t.capacity then
+     match t.shed with
+     | Drop_newest -> shed_one ()  (* reject the arriving packet *)
+     | Drop_oldest ->
+       (* Evict the head: under overload the freshest reports are the
+          ones worth diagnosing. *)
+       ignore (Queue.pop t.queue);
+       shed_one ();
+       Queue.push { q_arrival = arrival; q_packet = packet } t.queue
+   else Queue.push { q_arrival = arrival; q_packet = packet } t.queue);
+  check_watermarks t
+
+(* Feed the engine the bucket's new report suffix.  Kept lists are
+   stable-prefix+append (first-K sampling never replaces an entry), so
+   "what the engine has not seen" is exactly the tail past its counts. *)
+let sync_engine t (b : Collector.bucket) =
+  let key = Signature.key b.Collector.signature in
+  let eng =
+    match Hashtbl.find_opt t.engines key with
+    | Some e -> e
+    | None ->
+      let built = Collector.built t.collector b in
+      let e =
+        Incremental.create built.Corpus.Bug.m ~config:b.Collector.config
+      in
+      Hashtbl.add t.engines key e;
+      e
+  in
+  let feed seen add reports =
+    List.iteri (fun i r -> if i >= seen then add eng r) reports
+  in
+  let new_f = Collector.failing_kept b - Incremental.n_failing eng in
+  let new_s = Collector.success_kept b - Incremental.n_successful eng in
+  if new_f > 0 then
+    feed (Incremental.n_failing eng)
+      (fun e r -> Incremental.add_failing e r)
+      (Collector.failing b);
+  if new_s > 0 then
+    feed (Incremental.n_successful eng)
+      (fun e r -> Incremental.add_successful e r)
+      (Collector.successful b);
+  if new_f > 0 || new_s > 0 then
+    (* Force the (possibly deferred) re-derivation now, so the latency
+       stamps closed after this refresh include the diagnosis work. *)
+    ignore (Incremental.results eng);
+  eng
+
+let engine t (b : Collector.bucket) =
+  Hashtbl.find_opt t.engines (Signature.key b.Collector.signature)
+
+let refresh t = List.iter (fun b -> ignore (sync_engine t b)) (Collector.buckets t.collector)
+
+type serviced = { s_drained : int; s_ok : int; s_err : int }
+
+let service t ~budget latency_hist =
+  Obs.Log.with_recorder t.recorder @@ fun () ->
+  let drained_arrivals = ref [] in
+  let ok = ref 0 and err = ref 0 and n = ref 0 in
+  while !n < budget && not (Queue.is_empty t.queue) do
+    let q = Queue.pop t.queue in
+    t.drained <- t.drained + 1;
+    Obs.Scope.count "stream/drained" 1;
+    (match Collector.ingest t.collector q.q_packet with
+    | Ok () ->
+      incr ok;
+      t.ingest_ok <- t.ingest_ok + 1;
+      drained_arrivals := q.q_arrival :: !drained_arrivals
+    | Error _ ->
+      incr err;
+      t.ingest_err <- t.ingest_err + 1);
+    incr n
+  done;
+  check_watermarks t;
+  if !n > 0 then refresh t;
+  (* A report is actionable once its bucket's diagnosis reflects it:
+     close every successfully ingested packet's latency here, queue wait
+     included. *)
+  let t_done = Obs.Span.wall_clock_ns () in
+  List.iter
+    (fun a ->
+      let l = t_done -. a in
+      Obs.Metrics.observe latency_hist l;
+      Obs.Scope.observe "stream/report_to_diagnosis_ns" l)
+    !drained_arrivals;
+  { s_drained = !n; s_ok = !ok; s_err = !err }

@@ -1,0 +1,296 @@
+module Report = Snorlax_core.Report
+module Prng = Snorlax_util.Prng
+module Wire = Fleet.Wire
+module Inject = Chaos.Inject
+module Fault = Chaos.Fault
+
+(* One reproduction of a bug, made once at stream start; endpoints
+   re-envelope these reports per incident (the chaos-harness trick), so
+   a fleet of hundreds costs one simulator run per scenario, not one per
+   endpoint per tick. *)
+type baseline = {
+  bug : Corpus.Bug.t;
+  b_failing : (Report.failing_report * int * Corpus.Runner.sync_profile) list;
+  b_success : (Report.success_report * int * Corpus.Runner.sync_profile) list;
+  runs_needed : int;
+}
+
+type endpoint = {
+  ep_id : int;
+  ep_bug : int;  (* index into baselines *)
+  ep_skew : int;  (* clock offset, nonzero only under Clock_skew *)
+  mutable ep_incidents : int;
+}
+
+type t = {
+  prng : Prng.t;
+  config : Pt.Config.t;
+  fault : Fault.cls option;
+  churn : bool;
+  baselines : baseline array;
+  mutable eps : endpoint list;  (* alive, oldest first *)
+  mutable next_id : int;
+  mutable tick_no : int;
+  faults : int ref;
+}
+
+type batch = {
+  tick : int;
+  packets : bytes list;
+  offered : int;
+  incidents : int;
+  load : float;
+  burst : bool;
+  joins : int;
+  leaves : int;
+  crashes : int;
+}
+
+(* Diurnal curve: a 24-tick "day" whose per-endpoint incident probability
+   swings between the night floor and the daytime peak, plus occasional
+   whole-fleet bursts (a bad deploy, a thundering herd). *)
+let diurnal_period = 24
+let load_floor = 0.08
+let load_peak = 0.45
+let burst_p = 0.08
+let burst_mult = 3.0
+
+(* Churn event probabilities per tick (only with [churn = true]); a
+   crashing endpoint ships a truncated incident and disappears. *)
+let join_p = 0.06
+let leave_p = 0.04
+let crash_p = 0.04
+
+(* Under the Endpoint_death fault class, crashes are the fault itself:
+   frequent, counted, and each dead machine is replaced so the fleet
+   does not bleed dry over a long run. *)
+let death_fault_p = 0.2
+
+let alive t = List.length t.eps
+let faults t = !(t.faults)
+
+let add_endpoint t =
+  let id = t.next_id in
+  t.next_id <- t.next_id + 1;
+  let skew =
+    match t.fault with
+    | Some cls -> Inject.skew_offset t.prng ~faults:t.faults cls
+    | None -> 0
+  in
+  let ep =
+    {
+      ep_id = id;
+      ep_bug = id mod Array.length t.baselines;
+      ep_skew = skew;
+      ep_incidents = 0;
+    }
+  in
+  t.eps <- t.eps @ [ ep ];
+  ep
+
+let create ~seed ~endpoints ?(churn = false) ?fault
+    ?(config = Pt.Config.default) bugs =
+  if endpoints < 1 then invalid_arg "Traffic.create: endpoints < 1";
+  let baselines =
+    List.filter_map
+      (fun bug ->
+        match
+          Corpus.Runner.collect bug ~pt_config:config ~seed_base:1 ()
+        with
+        | Ok c ->
+          Some
+            {
+              bug;
+              b_failing =
+                List.map2
+                  (fun r (seed, sync) -> (r, seed, sync))
+                  c.Corpus.Runner.failing
+                  (List.combine c.Corpus.Runner.failing_seeds
+                     c.Corpus.Runner.failing_sync);
+              b_success =
+                List.map2
+                  (fun r (seed, sync) -> (r, seed, sync))
+                  c.Corpus.Runner.successful
+                  (List.combine c.Corpus.Runner.success_seeds
+                     c.Corpus.Runner.success_sync);
+              runs_needed = c.Corpus.Runner.runs_needed;
+            }
+        | Error msg ->
+          Obs.Log.warn "stream/baseline_failed"
+            ~fields:
+              [
+                ("bug", Obs.Log.Str bug.Corpus.Bug.id);
+                ("reason", Obs.Log.Str msg);
+              ];
+          None)
+      bugs
+  in
+  if baselines = [] then invalid_arg "Traffic.create: no bug reproduced";
+  let t =
+    {
+      prng = Prng.create ~seed;
+      config;
+      fault;
+      churn;
+      baselines = Array.of_list baselines;
+      eps = [];
+      next_id = 0;
+      tick_no = 0;
+      faults = ref 0;
+    }
+  in
+  for _ = 1 to endpoints do
+    ignore (add_endpoint t)
+  done;
+  t
+
+(* One incident: the endpoint's baseline reports re-enveloped with its
+   identity and fresh provenance, content faults applied per report.  A
+   crashing endpoint ships only a prefix (Endpoint_death semantics). *)
+let incident t ep ~truncate =
+  ep.ep_incidents <- ep.ep_incidents + 1;
+  let b = t.baselines.(ep.ep_bug) in
+  let seed_off = (ep.ep_id * Fleet.Endpoint.seed_stride) + ep.ep_incidents in
+  let envelope seed (sync : Corpus.Runner.sync_profile) payload =
+    {
+      Wire.endpoint = ep.ep_id;
+      seed = seed + seed_off;
+      bug_id = b.bug.Corpus.Bug.id;
+      config = t.config;
+      prov =
+        Some
+          {
+            Wire.runs = b.runs_needed;
+            sync_ops = sync.Corpus.Runner.sync_ops;
+            sync_digest = sync.Corpus.Runner.sync_digest;
+          };
+      payload;
+    }
+  in
+  let damage_f r =
+    match t.fault with
+    | None -> r
+    | Some cls ->
+      Inject.damage_failing cls t.prng ~faults:t.faults ~skew:ep.ep_skew r
+  in
+  let damage_s s =
+    match t.fault with
+    | None -> s
+    | Some cls ->
+      Inject.damage_success cls t.prng ~faults:t.faults ~skew:ep.ep_skew s
+  in
+  let pkts =
+    List.map
+      (fun (r, seed, sync) ->
+        (Inject.F, Wire.encode (envelope seed sync (Wire.Failing (damage_f r)))))
+      b.b_failing
+    @ List.map
+        (fun (s, seed, sync) ->
+          (Inject.S, Wire.encode (envelope seed sync (Wire.Success (damage_s s)))))
+        b.b_success
+  in
+  if not truncate then pkts
+  else begin
+    let n = List.length pkts in
+    let keep = if n = 0 then 0 else Prng.int t.prng ~bound:n in
+    if t.fault = Some Fault.Endpoint_death then
+      t.faults := !(t.faults) + (n - keep);
+    List.filteri (fun i _ -> i < keep) pkts
+  end
+
+(* Round-robin interleave across this tick's shipments — concurrent
+   endpoints do not arrive one after another. *)
+let interleave shipments =
+  let q = List.map ref shipments in
+  let out = ref [] in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    List.iter
+      (fun r ->
+        match !r with
+        | [] -> ()
+        | p :: rest ->
+          out := p :: !out;
+          r := rest;
+          progressed := true)
+      q
+  done;
+  List.rev !out
+
+let load_of t tick =
+  let phase =
+    2.0 *. Float.pi
+    *. float_of_int (tick mod diurnal_period)
+    /. float_of_int diurnal_period
+  in
+  let d = load_floor +. ((load_peak -. load_floor) *. 0.5 *. (1.0 +. sin phase)) in
+  if Prng.chance t.prng ~p:burst_p then (Float.min 1.0 (d *. burst_mult), true)
+  else (d, false)
+
+let tick t =
+  let tickno = t.tick_no in
+  t.tick_no <- tickno + 1;
+  let load, burst = load_of t tickno in
+  let joins = ref 0 and leaves = ref 0 and crashes = ref 0 in
+  if t.churn then begin
+    if Prng.chance t.prng ~p:join_p then begin
+      ignore (add_endpoint t);
+      incr joins
+    end;
+    if Prng.chance t.prng ~p:leave_p && List.length t.eps > 1 then begin
+      let arr = Array.of_list t.eps in
+      let victim = Prng.pick t.prng arr in
+      t.eps <- List.filter (fun e -> not (e == victim)) t.eps;
+      incr leaves
+    end
+  end;
+  let crash_victim =
+    let want =
+      (t.churn && Prng.chance t.prng ~p:crash_p)
+      || t.fault = Some Fault.Endpoint_death
+         && Prng.chance t.prng ~p:death_fault_p
+    in
+    if want && t.eps <> [] then Some (Prng.pick t.prng (Array.of_list t.eps))
+    else None
+  in
+  let shipments =
+    List.filter_map
+      (fun ep ->
+        let is_victim =
+          match crash_victim with Some v -> v == ep | None -> false
+        in
+        if is_victim then Some (incident t ep ~truncate:true)
+        else if Prng.chance t.prng ~p:load then
+          Some (incident t ep ~truncate:false)
+        else None)
+      t.eps
+  in
+  (match crash_victim with
+  | Some v ->
+    incr crashes;
+    t.eps <- List.filter (fun e -> not (e == v)) t.eps;
+    Obs.Log.warn "stream/endpoint_crash"
+      ~fields:
+        [ ("endpoint", Obs.Log.Int v.ep_id); ("tick", Obs.Log.Int tickno) ];
+    (* Under the death fault class the machine is replaced; churn
+       crashes shrink the fleet until a join refills it. *)
+    if t.fault = Some Fault.Endpoint_death then ignore (add_endpoint t)
+  | None -> ());
+  let arrival = interleave shipments in
+  let arrival =
+    match t.fault with
+    | None -> arrival
+    | Some cls -> Inject.wire_faults cls t.prng ~faults:t.faults arrival
+  in
+  {
+    tick = tickno;
+    packets = List.map snd arrival;
+    offered = List.length arrival;
+    incidents = List.length shipments;
+    load;
+    burst;
+    joins = !joins;
+    leaves = !leaves;
+    crashes = !crashes;
+  }

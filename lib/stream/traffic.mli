@@ -1,0 +1,56 @@
+(** The seeded traffic generator: a simulated production fleet whose
+    endpoints hit corpus bugs on diurnal/bursty load curves, with
+    optional endpoint churn (join/leave/crash) and an optional
+    {!Chaos.Fault} class injected into every shipment.
+
+    Each scenario is reproduced {e once} at stream start (the expensive
+    simulator runs); endpoints then re-envelope the baseline reports per
+    incident with their own identity, seeds and provenance — the same
+    replay trick the chaos harness uses, which is what makes hundreds of
+    endpoints over thousands of ticks affordable.  Everything is a pure
+    function of [seed]. *)
+
+type t
+
+type batch = {
+  tick : int;
+  packets : bytes list;  (** encoded wire packets, in arrival order *)
+  offered : int;  (** [List.length packets] *)
+  incidents : int;  (** endpoints that shipped this tick *)
+  load : float;  (** per-endpoint incident probability used this tick *)
+  burst : bool;  (** whether a burst multiplier fired *)
+  joins : int;
+  leaves : int;
+  crashes : int;
+}
+
+val diurnal_period : int
+(** Ticks per simulated "day" (24). *)
+
+val create :
+  seed:int ->
+  endpoints:int ->
+  ?churn:bool ->
+  ?fault:Chaos.Fault.cls ->
+  ?config:Pt.Config.t ->
+  Corpus.Bug.t list ->
+  t
+(** Reproduce each bug once and spin up [endpoints] endpoints, assigned
+    to scenarios round-robin.  Raises [Invalid_argument] when
+    [endpoints < 1] or no bug reproduces.  [churn] enables per-tick
+    join/leave/crash events; [fault] applies one chaos class to every
+    report (content faults) and every tick's arrival stream (wire
+    faults).  A crashing endpoint ships a truncated prefix of its
+    incident — the [Endpoint_death] semantics — whether the crash came
+    from churn or from the fault class. *)
+
+val tick : t -> batch
+(** Advance one tick: decide churn, let each alive endpoint ship an
+    incident with the current load probability, interleave shipments
+    round-robin, apply wire faults. *)
+
+val alive : t -> int
+(** Currently alive endpoints. *)
+
+val faults : t -> int
+(** Cumulative fault-injection events (0 when [fault] is [None]). *)

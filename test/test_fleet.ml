@@ -587,6 +587,105 @@ let test_deploy_rejects_zero_endpoints () =
     (Invalid_argument "Deploy.run: endpoints < 1") (fun () ->
       ignore (Fleet.Deploy.run ~endpoints:0 []))
 
+let test_deploy_zero_buckets () =
+  (* An empty scenario list is a legal (if pointless) deployment: every
+     per-bucket average must come back 0.0, not a 0/0 NaN. *)
+  let s = Fleet.Deploy.run ~endpoints:2 [] in
+  Alcotest.(check int) "no buckets" 0 s.Fleet.Deploy.bucket_count;
+  Alcotest.(check (float 0.0)) "dedup ratio guarded" 0.0
+    s.Fleet.Deploy.dedup_ratio;
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " is a number") false (Float.is_nan v))
+    [
+      ("dedup_ratio", s.Fleet.Deploy.dedup_ratio);
+      ("latency_p50_ns", s.Fleet.Deploy.latency_p50_ns);
+      ("latency_p99_ns", s.Fleet.Deploy.latency_p99_ns);
+      ("diagnosis_ns", s.Fleet.Deploy.diagnosis_ns);
+    ]
+
+let test_deploy_tick_hook () =
+  (* The ?tick hook behind --watch: once per endpoint, cumulative
+     shipped count monotone, and the rendered line well-formed. *)
+  let bug = Corpus.Registry.find_exn "pbzip2-1" in
+  let seen = ref [] in
+  let s =
+    Fleet.Deploy.run ~endpoints:3 ~tick:(fun p -> seen := p :: !seen) [ bug ]
+  in
+  let ticks = List.rev !seen in
+  Alcotest.(check int) "fired once per endpoint" 3 (List.length ticks);
+  Alcotest.(check (list int))
+    "endpoints reported in order" [ 0; 1; 2 ]
+    (List.map (fun p -> p.Fleet.Deploy.tick_endpoint) ticks);
+  let shipped = List.map (fun p -> p.Fleet.Deploy.tick_shipped) ticks in
+  Alcotest.(check bool) "shipped counts monotone" true
+    (List.sort compare shipped = shipped);
+  Alcotest.(check int) "last tick saw the whole fleet's packets"
+    s.Fleet.Deploy.shipped
+    (List.nth shipped (List.length shipped - 1));
+  List.iter
+    (fun p ->
+      let line = Fleet.Deploy.watch_line p in
+      Alcotest.(check bool)
+        (Printf.sprintf "watch line renders (%s)" line)
+        true
+        (String.length line > 0 && String.sub line 0 7 = "[watch]"))
+    ticks
+
+(* The satellite property for the v2 wire format: provenance survives
+   the packet stream treatment a real fleet gives it — packets get
+   duplicated and reordered in flight, and each copy must still decode
+   to exactly the provenance it was encoded with. *)
+let prop_wire_stream_preserves_provenance =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let* provs =
+        list_size (return n)
+          (triple (int_bound 100_000) (int_bound 1_000_000) (int_bound max_int))
+      in
+      let* shuffle_seed = int_bound 10_000 in
+      return (provs, shuffle_seed))
+  in
+  QCheck.Test.make
+    ~name:"Wire v2 provenance survives duplication and reordering" ~count:100
+    (QCheck.make gen)
+    (fun (provs, shuffle_seed) ->
+      let packets =
+        List.mapi
+          (fun i (runs, sync_ops, sync_digest) ->
+            let env =
+              {
+                (envelope ~prov:{ Wire.runs; sync_ops; sync_digest }
+                   (Wire.Failing crash_report))
+                with
+                Wire.endpoint = i;
+              }
+            in
+            Wire.encode env)
+          provs
+      in
+      (* duplicate every packet, then shuffle the doubled stream *)
+      let stream = Array.of_list (packets @ packets) in
+      let prng = Snorlax_util.Prng.create ~seed:shuffle_seed in
+      Snorlax_util.Prng.shuffle prng stream;
+      let decoded =
+        Array.to_list stream
+        |> List.map (fun b ->
+               match Wire.decode b with
+               | Ok e -> (e.Wire.endpoint, e.Wire.prov)
+               | Error msg -> QCheck.Test.fail_reportf "decode: %s" msg)
+      in
+      let expect =
+        List.concat_map
+          (fun l -> [ l; l ])
+          (List.mapi
+             (fun i (runs, sync_ops, sync_digest) ->
+               (i, Some { Wire.runs; sync_ops; sync_digest }))
+             provs)
+      in
+      List.sort compare decoded = List.sort compare expect)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -648,5 +747,10 @@ let tests =
           test_fleet_end_to_end;
         Alcotest.test_case "zero endpoints rejected" `Quick
           test_deploy_rejects_zero_endpoints;
+        Alcotest.test_case "zero buckets: averages guarded, no NaN" `Quick
+          test_deploy_zero_buckets;
+        Alcotest.test_case "?tick hook: once per endpoint, monotone" `Quick
+          test_deploy_tick_hook;
+        qtest prop_wire_stream_preserves_provenance;
       ] );
   ]
