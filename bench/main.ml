@@ -270,17 +270,17 @@ let emit_decode_bench () =
           n + List.length s.Snorlax_core.Report.s_traces)
         0 successful
   in
-  let run ~jobs ~cache () =
+  let run ~jobs ~engine ~cache () =
     List.iter
       (fun r ->
         ignore
-          (Snorlax_core.Diagnosis.process_failing ~jobs ~cache m
+          (Snorlax_core.Diagnosis.process_failing ~jobs ~engine ~cache m
              ~config:Pt.Config.default r))
       failing;
     List.iter
       (fun s ->
         ignore
-          (Snorlax_core.Diagnosis.process_successful ~jobs ~cache m
+          (Snorlax_core.Diagnosis.process_successful ~jobs ~engine ~cache m
              ~config:Pt.Config.default s))
       successful
   in
@@ -296,16 +296,22 @@ let emit_decode_bench () =
     !best
   in
   let no_cache = Pt.Decode_cache.create ~capacity:0 () in
-  let jobs = Snorlax_util.Pool.default_jobs () in
-  let seq_cold_ns = time (run ~jobs:1 ~cache:no_cache) in
-  let par_cold_ns = time (run ~jobs ~cache:no_cache) in
+  (* The baseline is the v1 reference pipeline decoded one trace at a
+     time — exactly what shipped before the overhaul.  The contender is
+     the cursor walker under the batched pool at 4 jobs.  [seq_new_ns]
+     isolates how much of the win is raw decoder speed (visible even on
+     a single-core box, where extra domains cannot help). *)
+  let jobs = 4 in
+  let seq_cold_ns = time (run ~jobs:1 ~engine:`Reference ~cache:no_cache) in
+  let seq_new_ns = time (run ~jobs:1 ~engine:`Cursor ~cache:no_cache) in
+  let par_cold_ns = time (run ~jobs ~engine:`Cursor ~cache:no_cache) in
   (* Cold/warm split on a private cache: misses after the first pass are
      exactly the decoder invocations a cold server performs; misses added
      by a second identical pass are the warm-path invocations. *)
   let cache = Pt.Decode_cache.create ~capacity:1024 () in
-  run ~jobs:1 ~cache ();
+  run ~jobs:1 ~engine:`Cursor ~cache ();
   let cold = Pt.Decode_cache.stats cache in
-  let warm_ns = time (run ~jobs:1 ~cache) in
+  let warm_ns = time (run ~jobs:1 ~engine:`Cursor ~cache) in
   let warm = Pt.Decode_cache.stats cache in
   let decode_calls_cold = cold.Pt.Decode_cache.misses in
   let decode_calls_warm =
@@ -320,9 +326,11 @@ let emit_decode_bench () =
         ("traces", Obs.Json.Int traces);
         ("jobs", Obs.Json.Int jobs);
         ("seq_cold_ns", Obs.Json.Float seq_cold_ns);
+        ("seq_new_ns", Obs.Json.Float seq_new_ns);
         ("par_cold_ns", Obs.Json.Float par_cold_ns);
         ("warm_ns", Obs.Json.Float warm_ns);
         ("parallel_speedup", Obs.Json.Float (ratio seq_cold_ns par_cold_ns));
+        ("raw_speedup", Obs.Json.Float (ratio seq_cold_ns seq_new_ns));
         ("warm_speedup", Obs.Json.Float (ratio seq_cold_ns warm_ns));
         ("decode_calls_cold", Obs.Json.Int decode_calls_cold);
         ("decode_calls_warm", Obs.Json.Int decode_calls_warm);

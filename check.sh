@@ -58,6 +58,26 @@ if dune exec bin/snorlax.exe -- bench-compare BENCH_decode.json \
 fi
 rm -f /tmp/snorlax_bench_regressed.json
 
+echo "== decode bench gate =="
+# Gate the fresh artifact against the newest archived snapshot (same
+# generous wall-clock threshold as the fleet gate), and hold the decode
+# overhaul to its headline number: the batched pool + cursor walker must
+# beat the v1 sequential pipeline at least 2x on a cold corpus.
+baseline=$(ls -t bench_history/*/BENCH_decode.json 2>/dev/null | head -1 || true)
+if [ -n "$baseline" ]; then
+  dune exec bin/snorlax.exe -- bench-compare --max-regress 200 \
+    "$baseline" BENCH_decode.json
+else
+  echo "decode bench gate: no archived baseline yet (skipped)"
+fi
+awk 'BEGIN { RS="," } /"parallel_speedup"/ {
+       split($0, kv, ":"); s = kv[2] + 0
+       if (s >= 2.0) { print "decode bench gate: parallel_speedup " s " >= 2.0"; ok = 1 }
+       else { print "decode bench gate: parallel_speedup " s " < 2.0"; exit 1 }
+     }
+     END { if (!ok) { print "decode bench gate: parallel_speedup missing"; exit 1 } }' \
+  BENCH_decode.json
+
 echo "== stream smoke =="
 # Continuous streaming path: the exit status gates "incremental diagnosis
 # equals a from-scratch batch on every bucket", "backpressure accounting

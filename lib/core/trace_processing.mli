@@ -33,6 +33,7 @@ val process :
   ?fail_tails:(int * int * int) list ->
   ?jobs:int ->
   ?cache:Pt.Decode_cache.t ->
+  ?engine:[ `Cursor | `Reference ] ->
   (int * bytes) list ->
   t
 (** [?fail_tails] is a list of [(tid, stop_pc, t_hi)]: each named thread's
@@ -40,14 +41,24 @@ val process :
     blocked instruction, whose time is known from the failure report).
     Deadlocks pass one entry per blocked thread.
 
-    Each [(tid, snapshot)] decode is independent (per-thread PT rings),
-    so decodes fan out across a {!Snorlax_util.Pool} of
-    [min jobs (number of traces)] domains — [?jobs] defaults to
+    Each [(tid, snapshot)] decode is independent (per-thread PT rings).
+    Cache misses are grouped into at most [jobs * 2] cost-balanced chunks
+    (weighted by snapshot size, {!Snorlax_util.Pool.balanced_chunks}) and
+    submitted to a {!Snorlax_util.Pool} batch; the submitting domain
+    merges results in input order concurrently with the in-flight
+    decodes, waiting only when the next trace's chunk has not finished
+    (and helping the pool while it waits).  [?jobs] defaults to
     {!Snorlax_util.Pool.default_jobs}; [~jobs:1] forces the sequential
-    path.  Per-trace results merge in input order, so the output is
-    identical for every pool size.  Decodes are memoized through
-    [?cache] (default {!Pt.Decode_cache.shared}; a zero-capacity cache
-    disables memoization). *)
+    path.  The output is identical for every pool size.  Decodes are
+    memoized through [?cache] (default {!Pt.Decode_cache.shared}; a
+    zero-capacity cache disables memoization); cache and telemetry
+    writes stay on the submitting domain (workers fill private
+    registries, folded back after the batch).
+
+    [?engine] picks the decoder implementation: [`Cursor] (default) is
+    the production {!Pt.Decoder.decode_raw}; [`Reference] routes every
+    decode through the frozen v1 {!Pt.Decoder.decode_reference} — the
+    benchmark's sequential baseline and the differential-test oracle. *)
 
 val executes_before : event -> event -> bool
 (** The partial order of §4.1: true when the coarse intervals are disjoint

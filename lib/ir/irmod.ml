@@ -6,6 +6,7 @@ type t = {
   mutable next_iid : int;
   mutable next_reg : int;
   mutable laid_out : bool;
+  mutable generation : int;  (* bumped by every layout rebuild *)
   by_iid : (int, Instr.t) Hashtbl.t;
   by_pc : (int, Instr.t) Hashtbl.t;
   block_pcs : (string * string, int) Hashtbl.t;
@@ -22,6 +23,7 @@ let create mname =
     next_iid = 0;
     next_reg = 0;
     laid_out = false;
+    generation = 0;
     by_iid = Hashtbl.create 256;
     by_pc = Hashtbl.create 256;
     block_pcs = Hashtbl.create 64;
@@ -98,8 +100,11 @@ let layout t =
       List.iter visit_block f.Func.blocks
     in
     List.iter visit_func (funcs t);
+    t.generation <- t.generation + 1;
     t.laid_out <- true
   end
+
+let generation t = t.generation
 
 let ensure_layout t = if not t.laid_out then layout t
 

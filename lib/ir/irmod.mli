@@ -47,6 +47,12 @@ val layout : t -> unit
 (** Assigns pcs to all instructions and builds the lookup tables.  Must be
     called after the last function is added; idempotent. *)
 
+val generation : t -> int
+(** Incremented by every actual layout rebuild (not by idempotent
+    re-calls).  Derived structures keyed on a module — e.g. the decoder's
+    pc-indexed walk table — pair the module's physical identity with this
+    counter to detect stale caches after [add_func] + re-layout. *)
+
 val instr_by_iid : t -> int -> Instr.t
 val instr_at_pc : t -> int -> Instr.t
 val block_start_pc : t -> fname:string -> label:string -> int

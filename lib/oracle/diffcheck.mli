@@ -59,6 +59,10 @@ type bug_result = {
   spurious : (int * int) list;  (** claimed pairs the oracle rejects *)
   missed : Analysis.Hb.race list;  (** uncovered anchor races *)
   extra_races : int;  (** racy pairs unrelated to the diagnosis *)
+  decoder_mismatches : int;
+      (** reports whose trace processing differed between the production
+          cursor decoder and the frozen v1 reference — must be 0: the two
+          engines are bit-identical by contract *)
   notes : string list;
 }
 

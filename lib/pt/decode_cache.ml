@@ -59,8 +59,11 @@ let set_capacity t n =
     evict_one t
   done
 
+(* The snapshot dominates the key material; hashing it in place and
+   folding the digest into a small metadata header avoids copying every
+   ring snapshot through a fresh Buffer on each probe. *)
 let key m ~config ?tail_stop snapshot =
-  let buf = Buffer.create (Bytes.length snapshot + 64) in
+  let buf = Buffer.create 96 in
   Buffer.add_string buf (Lir.Irmod.name m);
   Buffer.add_char buf '\x00';
   let add_int i = Buffer.add_string buf (string_of_int i); Buffer.add_char buf ';' in
@@ -76,7 +79,7 @@ let key m ~config ?tail_stop snapshot =
     Buffer.add_char buf 's';
     add_int pc;
     add_int t_hi);
-  Buffer.add_bytes buf snapshot;
+  Buffer.add_string buf (Digest.bytes snapshot);
   Digest.string (Buffer.contents buf)
 
 let find t k =

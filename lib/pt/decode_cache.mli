@@ -40,7 +40,8 @@ val enabled : t -> bool
 val key :
   Lir.Irmod.t -> config:Config.t -> ?tail_stop:int * int -> bytes -> string
 (** Digest of module identity (name + instruction count), the decode
-    parameters, the tail replay target, and the snapshot bytes. *)
+    parameters, the tail replay target, and the snapshot bytes.  The
+    snapshot is hashed in place (digest-of-digest), never copied. *)
 
 val find : t -> string -> Decoder.result option
 (** Counts a hit or miss (also into the ambient scope). *)

@@ -2,18 +2,421 @@
    timing packet, so the event is only known to happen at or after
    [t_lo].  Keeping the open end explicit (rather than a max_int
    sentinel) makes window arithmetic such as [t_hi - t_lo] total for
-   consumers. *)
+   consumers.
+
+   Two implementations live here.  [decode_raw] is the production path:
+   a zero-allocation byte cursor feeds a CFG walker that resolves every
+   branch target through a pc-indexed table (built once per module
+   layout) and accumulates steps in a per-domain integer arena reused
+   across decodes.  [decode_reference] is the frozen v1 pipeline —
+   packet list, two-pass timestamping, hashtable lookups — kept as the
+   differential baseline: the two must produce bit-identical results on
+   any input, corrupt rings included, and the benchmark's sequential
+   baseline times the reference. *)
 module Dynbuf = Snorlax_util.Dynbuf
 
 type step = { pc : int; iid : int; t_lo : int; t_hi : int option }
 
-type result = { steps : step array; lost_bytes : int; desynced : bool }
+type result = {
+  steps : step array;
+  lost_bytes : int;
+  desynced : bool;
+  thread_ended : bool;
+}
 
 let mtc_period config =
   match config.Config.timing with
   | Config.Cyc_and_mtc { mtc_period_ns } | Config.Mtc_only { mtc_period_ns } ->
     mtc_period_ns
   | Config.No_timing -> 0
+
+exception Desync of string
+exception Thread_end
+
+let max_replay_steps = 5_000_000
+
+(* --- walk table ----------------------------------------------------------
+
+   The v1 walker resolved control flow through [Irmod] hashtables on
+   every step: [instr_at_pc] per instruction, plus [location_of_iid] +
+   [block_start_pc] (a string-pair key allocation) per direct branch and
+   a linear [find_func] scan per call.  All of that is a pure function
+   of the module layout, so it is precomputed here into flat arrays
+   indexed by [pc / 4]: one load per step, no hashing, no allocation. *)
+
+let op_straight = 0 (* fallthrough to pc + 4 *)
+let op_br = 1 (* unconditional; [a] = target pc *)
+let op_call = 2 (* direct call; [a] = callee entry pc *)
+let op_cond = 3 (* conditional; [a] = then pc, [b] = else pc *)
+let op_ret = 4
+let op_intrinsic = 5 (* library call returning via a traced TIP *)
+let op_unreachable = 6
+let op_hole = 7 (* no instruction at this pc *)
+
+type walk_table = {
+  ops : Bytes.t;  (* op_* per pc slot *)
+  iid_of : int array;
+  a : int array;
+  b : int array;
+}
+
+let build_walk_table m =
+  Lir.Irmod.layout m;
+  let max_pc = ref 0 in
+  Lir.Irmod.iter_instrs m (fun _ _ i ->
+      if i.Lir.Instr.pc > !max_pc then max_pc := i.Lir.Instr.pc);
+  let slots = (!max_pc lsr 2) + 1 in
+  let t =
+    {
+      ops = Bytes.make slots (Char.chr op_hole);
+      iid_of = Array.make slots (-1);
+      a = Array.make slots 0;
+      b = Array.make slots 0;
+    }
+  in
+  let entry_pc fname label = Lir.Irmod.block_start_pc m ~fname ~label in
+  Lir.Irmod.iter_instrs m (fun f _ i ->
+      let idx = i.Lir.Instr.pc lsr 2 in
+      t.iid_of.(idx) <- i.Lir.Instr.iid;
+      let set op = Bytes.set t.ops idx (Char.chr op) in
+      match i.Lir.Instr.kind with
+      | Lir.Instr.Br label ->
+        set op_br;
+        t.a.(idx) <- entry_pc f.Lir.Func.fname label
+      | Lir.Instr.Cond_br { then_; else_; _ } ->
+        set op_cond;
+        t.a.(idx) <- entry_pc f.Lir.Func.fname then_;
+        t.b.(idx) <- entry_pc f.Lir.Func.fname else_
+      | Lir.Instr.Call { callee; _ } ->
+        if Lir.Intrinsics.is_intrinsic callee then set op_intrinsic
+        else begin
+          set op_call;
+          let target = Lir.Irmod.find_func m callee in
+          t.a.(idx) <-
+            entry_pc callee (Lir.Func.entry target).Lir.Block.label
+        end
+      | Lir.Instr.Ret _ -> set op_ret
+      | Lir.Instr.Unreachable -> set op_unreachable
+      | Lir.Instr.Alloca _ | Lir.Instr.Load _ | Lir.Instr.Store _
+      | Lir.Instr.Binop _ | Lir.Instr.Icmp _ | Lir.Instr.Gep _
+      | Lir.Instr.Index _ | Lir.Instr.Cast _ ->
+        set op_straight);
+  t
+
+(* One-entry cache keyed on module identity + layout generation.  Decodes
+   of one batch all target the same module; the mutex makes concurrent
+   worker lookups safe, and [prepare] warms it from the submitting domain
+   before a fan-out so workers only ever read. *)
+let table_cache : (Lir.Irmod.t * int * walk_table) option ref = ref None
+let table_mutex = Mutex.create ()
+
+let walk_table m =
+  Mutex.lock table_mutex;
+  let table =
+    match !table_cache with
+    | Some (m', gen, t)
+      when m' == m && gen = Lir.Irmod.generation m ->
+      t
+    | _ ->
+      let t = build_walk_table m in
+      table_cache := Some (m, Lir.Irmod.generation m, t);
+      t
+  in
+  Mutex.unlock table_mutex;
+  table
+
+let prepare m =
+  Lir.Irmod.layout m;
+  ignore (walk_table m : walk_table)
+
+(* --- cursor walker --------------------------------------------------------
+
+   Steps accumulate into a stride-4 integer arena (pc, iid, t_lo, t_hi
+   slot) held in domain-local storage, so a batch of decodes on one
+   domain reuses the same backing array instead of reallocating per
+   trace.  The t_hi slot is an int: >= 0 a concrete bound, [hi_pending]
+   waiting for the next timing packet to backfill; any slot still
+   negative at materialization is the open upper bound [None]. *)
+
+let hi_pending = -2
+
+let arena_key : int Dynbuf.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Dynbuf.create ())
+
+type cwalker = {
+  tab : walk_table;
+  mutable cur_pc : int;
+  mutable t_lo : int;
+  acc : int Dynbuf.t;
+}
+
+let[@inline] slot_of w pc =
+  if pc land 3 <> 0 then raise (Desync "pc not instruction-aligned");
+  let idx = pc lsr 2 in
+  if idx < 0 || idx >= Array.length w.tab.iid_of then
+    raise (Desync "pc outside module");
+  idx
+
+let[@inline] emit_c w idx ~hi =
+  (* [idx] was validated by [slot_of]. *)
+  Dynbuf.push4 w.acc w.cur_pc (Array.unsafe_get w.tab.iid_of idx) w.t_lo hi;
+  if Dynbuf.length w.acc > max_replay_steps * 4 then
+    raise (Desync "replay step limit")
+
+(* Advance through branch-free instructions, emitting each with the
+   current interval, until an instruction that needs a control packet to
+   resolve.  Returns that instruction's slot. *)
+let rec walk_until_control_c w ~hi =
+  let idx = slot_of w w.cur_pc in
+  let op = Char.code (Bytes.unsafe_get w.tab.ops idx) in
+  if op = op_straight then begin
+    emit_c w idx ~hi;
+    w.cur_pc <- w.cur_pc + 4;
+    walk_until_control_c w ~hi
+  end
+  else if op = op_br || op = op_call then begin
+    emit_c w idx ~hi;
+    w.cur_pc <- Array.unsafe_get w.tab.a idx;
+    walk_until_control_c w ~hi
+  end
+  else if op = op_cond || op = op_ret || op = op_intrinsic then idx
+  else if op = op_hole then raise (Desync "pc maps to no instruction")
+  else raise (Desync "walked into unreachable")
+
+(* Consume one TNT bit: walk to the pending control point, which must be
+   a conditional branch. *)
+let consume_tnt_c w ~taken ~t_lo_ev ~hi =
+  let idx = walk_until_control_c w ~hi in
+  if Char.code (Bytes.unsafe_get w.tab.ops idx) <> op_cond then
+    raise (Desync "control mismatch: TNT at a non-conditional");
+  emit_c w idx ~hi;
+  w.cur_pc <-
+    (if taken then Array.unsafe_get w.tab.a idx
+     else Array.unsafe_get w.tab.b idx);
+  w.t_lo <- t_lo_ev
+
+(* Consume a TIP (target pc) or TIP.END ([is_end]): the control point
+   must be a return or an intrinsic call.  [is_end] is the packet kind,
+   not the sign of [target] — a corrupt TIP can carry a varint that
+   overflowed negative, and that garbage target must be stored as-is
+   (desyncing only if dereferenced), exactly like the reference. *)
+let consume_tip_c w ~target ~is_end ~t_lo_ev ~hi =
+  let idx = walk_until_control_c w ~hi in
+  let op = Char.code (Bytes.unsafe_get w.tab.ops idx) in
+  if op = op_intrinsic then
+    if not is_end then begin
+      emit_c w idx ~hi;
+      w.cur_pc <- target;
+      w.t_lo <- t_lo_ev
+    end
+    else raise (Desync "control mismatch: TIP.END at a call")
+  else if op = op_ret then begin
+    emit_c w idx ~hi;
+    w.t_lo <- t_lo_ev;
+    if is_end then raise Thread_end else w.cur_pc <- target
+  end
+  else raise (Desync "control mismatch: TIP at a non-return")
+
+(* After the last packet, replay branch-free code up to the failing pc. *)
+let walk_tail_c w ~stop_pc ~hi =
+  let rec go () =
+    if w.cur_pc = stop_pc then emit_c w (slot_of w w.cur_pc) ~hi
+    else begin
+      let idx = slot_of w w.cur_pc in
+      let op = Char.code (Bytes.unsafe_get w.tab.ops idx) in
+      if op = op_cond || op = op_ret || op = op_unreachable then ()
+      else if op = op_br || op = op_call then begin
+        emit_c w idx ~hi;
+        w.cur_pc <- Array.unsafe_get w.tab.a idx;
+        go ()
+      end
+      else if op = op_hole then raise (Desync "pc maps to no instruction")
+      else begin
+        (* Straight-line code; an intrinsic call in the tail falls
+           through too (its return TIP was never traced). *)
+        emit_c w idx ~hi;
+        w.cur_pc <- w.cur_pc + 4;
+        go ()
+      end
+    end
+  in
+  go ()
+
+let decode_raw m ~config ?tail_stop snapshot =
+  let tab = walk_table m in
+  match Packet.scan_psb snapshot ~pos:0 with
+  | None ->
+    {
+      steps = [||];
+      lost_bytes = Bytes.length snapshot;
+      desynced = false;
+      thread_ended = false;
+    }
+  | Some sync_pos ->
+    let period = mtc_period config in
+    let acc = Domain.DLS.get arena_key in
+    Dynbuf.clear acc;
+    let w = { tab; cur_pc = -1; t_lo = 0; acc } in
+    let cur = Packet.Cursor.make snapshot ~pos:sync_pos in
+    let time = ref 0 in
+    let abs_ctc = ref 0 in
+    (* True when the previous packet was an exact timing packet
+       (PSB/TMA/CYC): the control packet directly after one is stamped
+       exactly, hi = lo. *)
+    let prev_exact = ref false in
+    (* First arena t_hi slot still waiting for the next timing packet. *)
+    let pending_from = ref (-1) in
+    let backfill () =
+      if !pending_from >= 0 then begin
+        let v = !time in
+        let n = Dynbuf.length acc in
+        let i = ref (!pending_from + 3) in
+        while !i < n do
+          if Dynbuf.unsafe_get acc !i = hi_pending then
+            Dynbuf.unsafe_set acc !i v;
+          i := !i + 4
+        done;
+        pending_from := -1
+      end
+    in
+    let mark_pending () =
+      if !pending_from < 0 then pending_from := Dynbuf.length acc
+    in
+    let desynced = ref false in
+    let ended = ref false in
+    (try
+       let continue = ref true in
+       while !continue do
+         Packet.Cursor.advance cur;
+         match cur.Packet.Cursor.kind with
+         | Packet.Cursor.Eof -> continue := false
+         | Packet.Cursor.Psb | Packet.Cursor.Tma ->
+           time := cur.Packet.Cursor.value;
+           if period > 0 then abs_ctc := !time / period;
+           backfill ();
+           prev_exact := true
+         | Packet.Cursor.Cyc ->
+           time := !time + cur.Packet.Cursor.value;
+           backfill ();
+           prev_exact := true
+         | Packet.Cursor.Mtc ->
+           if period > 0 then begin
+             (* Smallest absolute counter >= current with this low byte. *)
+             let base = !abs_ctc land lnot 0xff in
+             let candidate = base lor cur.Packet.Cursor.value in
+             let abs =
+               if candidate >= !abs_ctc then candidate else candidate + 0x100
+             in
+             abs_ctc := abs;
+             time := max !time (abs * period)
+           end;
+           backfill ();
+           prev_exact := false
+         | Packet.Cursor.Fup ->
+           if w.cur_pc = -1 then begin
+             w.cur_pc <- cur.Packet.Cursor.value;
+             w.t_lo <- !time
+           end;
+           prev_exact := false
+         | Packet.Cursor.Tnt ->
+           let bits = cur.Packet.Cursor.value in
+           let count = cur.Packet.Cursor.count in
+           if w.cur_pc <> -1 then
+             for j = 0 to count - 1 do
+               let hi =
+                 if !prev_exact && j = 0 then !time
+                 else begin
+                   mark_pending ();
+                   hi_pending
+                 end
+               in
+               consume_tnt_c w
+                 ~taken:((bits lsr j) land 1 = 1)
+                 ~t_lo_ev:!time ~hi
+             done;
+           prev_exact := false
+         | Packet.Cursor.Tip | Packet.Cursor.Tip_end ->
+           let is_end = cur.Packet.Cursor.kind = Packet.Cursor.Tip_end in
+           let target = if is_end then -1 else cur.Packet.Cursor.value in
+           if w.cur_pc <> -1 then begin
+             let hi =
+               if !prev_exact then !time
+               else begin
+                 mark_pending ();
+                 hi_pending
+               end
+             in
+             consume_tip_c w ~target ~is_end ~t_lo_ev:!time ~hi
+           end;
+           prev_exact := false
+       done;
+       match tail_stop with
+       | Some (stop_pc, t_hi) when w.cur_pc <> -1 ->
+         (* The tail ends at the failure, whose time is known. *)
+         walk_tail_c w ~stop_pc ~hi:t_hi
+       | Some _ | None -> ()
+     with
+    | Desync _ -> desynced := true
+    | Thread_end -> ended := true);
+    (* A desync or thread end stops the walk, but hi timestamps come
+       from the whole packet stream (the reference pipeline stamps all
+       packets before walking): keep scanning timing packets so steps
+       already emitted get the same backfill. *)
+    if !pending_from >= 0 then begin
+      let continue = ref true in
+      while !continue && !pending_from >= 0 do
+        Packet.Cursor.advance cur;
+        match cur.Packet.Cursor.kind with
+        | Packet.Cursor.Eof -> continue := false
+        | Packet.Cursor.Psb | Packet.Cursor.Tma ->
+          time := cur.Packet.Cursor.value;
+          if period > 0 then abs_ctc := !time / period;
+          backfill ()
+        | Packet.Cursor.Cyc ->
+          time := !time + cur.Packet.Cursor.value;
+          backfill ()
+        | Packet.Cursor.Mtc ->
+          if period > 0 then begin
+            let base = !abs_ctc land lnot 0xff in
+            let candidate = base lor cur.Packet.Cursor.value in
+            let abs =
+              if candidate >= !abs_ctc then candidate else candidate + 0x100
+            in
+            abs_ctc := abs;
+            time := max !time (abs * period)
+          end;
+          backfill ()
+        | Packet.Cursor.Fup | Packet.Cursor.Tnt | Packet.Cursor.Tip
+        | Packet.Cursor.Tip_end -> ()
+      done
+    end;
+    let n = Dynbuf.length acc / 4 in
+    (* Consecutive steps usually share the same backfilled hi bound, so
+       one [Some] box serves the whole run. *)
+    let last_h = ref min_int in
+    let last_opt = ref None in
+    let steps =
+      Array.init n (fun i ->
+          let base = i * 4 in
+          let h = Dynbuf.unsafe_get acc (base + 3) in
+          {
+            pc = Dynbuf.unsafe_get acc base;
+            iid = Dynbuf.unsafe_get acc (base + 1);
+            t_lo = Dynbuf.unsafe_get acc (base + 2);
+            t_hi =
+              (if h < 0 then None
+               else begin
+                 if h <> !last_h then begin
+                   last_h := h;
+                   last_opt := Some h
+                 end;
+                 !last_opt
+               end);
+          })
+    in
+    { steps; lost_bytes = sync_pos; desynced = !desynced; thread_ended = !ended }
+
+(* --- frozen v1 reference pipeline ---------------------------------------- *)
 
 (* Pair every packet with the time interval the decoder can assign to it:
    [lo] is the clock after the last timing packet at or before it; [hi] is
@@ -51,13 +454,15 @@ let timestamp_packets config packets =
       | Packet.Cyc { delta } ->
         time := !time + delta;
         exact.(i) <- true
-      | Packet.Fup _ | Packet.Tip _ | Packet.Tip_end | Packet.Tnt _ -> ());
+      | Packet.Fup _ | Packet.Tip _ | Packet.Tip_end | Packet.Tnt _
+      | Packet.Tnt_packed _ -> ());
       lo.(i) <- !time)
     arr;
   let is_timing i =
     match fst arr.(i) with
     | Packet.Psb _ | Packet.Tma _ | Packet.Mtc _ | Packet.Cyc _ -> true
-    | Packet.Fup _ | Packet.Tip _ | Packet.Tip_end | Packet.Tnt _ -> false
+    | Packet.Fup _ | Packet.Tip _ | Packet.Tip_end | Packet.Tnt _
+    | Packet.Tnt_packed _ -> false
   in
   let hi = Array.make n None in
   let next_known = ref None in
@@ -75,11 +480,6 @@ type walker = {
   mutable t_lo : int;
   acc : step Dynbuf.t;
 }
-
-exception Desync of string
-exception Thread_end
-
-let max_replay_steps = 5_000_000
 
 let emit w ~t_hi =
   let i = Lir.Irmod.instr_at_pc w.m w.cur_pc in
@@ -175,35 +575,33 @@ let walk_tail w ~stop_pc ~t_hi =
   in
   go ()
 
-let record_metrics ?into r ~snapshot_bytes =
-  let record count observe =
-    count "pt/decode_calls" 1;
-    count "pt/decoded_steps" (Array.length r.steps);
-    count "pt/lost_bytes" r.lost_bytes;
-    count "pt/desyncs" (if r.desynced then 1 else 0);
-    observe "pt/snapshot_bytes" (float_of_int snapshot_bytes)
-  in
-  match into with
-  | Some m ->
-    (* A private (typically pool-worker) registry: record directly, no
-       ambient state touched, so this is safe off the main domain. *)
-    record
-      (fun name n -> Obs.Metrics.add (Obs.Metrics.counter m name) n)
-      (fun name v -> Obs.Metrics.observe (Obs.Metrics.histogram m name) v)
-  | None ->
-    if Obs.Scope.enabled () then record Obs.Scope.count Obs.Scope.observe
+(* The packed multi-bit TNT decodes as if it were the per-bit run it
+   compresses: same stream position for every bit, so the first bit (and
+   only the first) can inherit an exactly-stamped window from a directly
+   preceding timing packet — exactly what consecutive v1 TNT packets got. *)
+let expand_packed packets =
+  List.concat_map
+    (fun (p, pos) ->
+      match p with
+      | Packet.Tnt_packed { bits; count } ->
+        List.init count (fun j -> (Packet.Tnt ((bits lsr j) land 1 = 1), pos))
+      | _ -> [ (p, pos) ])
+    packets
 
-(* The telemetry-free decode.  Safe to call off the main domain (the
-   ambient Obs scope is not domain-safe): parallel callers decode with
-   this and record metrics from the submitting domain afterwards. *)
-let decode_raw m ~config ?tail_stop snapshot =
+let decode_reference m ~config ?tail_stop snapshot =
   Lir.Irmod.layout m;
   match Packet.scan_psb snapshot ~pos:0 with
   | None ->
-    { steps = [||]; lost_bytes = Bytes.length snapshot; desynced = false }
+    {
+      steps = [||];
+      lost_bytes = Bytes.length snapshot;
+      desynced = false;
+      thread_ended = false;
+    }
   | Some sync_pos ->
     let packets =
-      timestamp_packets config (Packet.decode_stream snapshot ~pos:sync_pos)
+      timestamp_packets config
+        (expand_packed (Packet.decode_stream snapshot ~pos:sync_pos))
     in
     let w = { m; cur_pc = -1; t_lo = 0; acc = Dynbuf.create () } in
     let desynced = ref false in
@@ -216,7 +614,8 @@ let decode_raw m ~config ?tail_stop snapshot =
              w.cur_pc <- pc;
              w.t_lo <- t_lo_ev
            end
-         | Packet.Psb _ | Packet.Tma _ | Packet.Mtc _ | Packet.Cyc _ -> ()
+         | Packet.Psb _ | Packet.Tma _ | Packet.Mtc _ | Packet.Cyc _
+         | Packet.Tnt_packed _ -> ()
          | Packet.Tnt _ | Packet.Tip _ | Packet.Tip_end ->
            if w.cur_pc <> -1 then consume_control w p ~t_lo_ev ~t_hi_ev
        in
@@ -233,8 +632,31 @@ let decode_raw m ~config ?tail_stop snapshot =
        instruction; Irmod lookups raise Not_found.  Untrusted ring
        bytes must degrade to a desync, not an escape. *)
     | Not_found -> desynced := true);
-    ignore !ended;
-    { steps = Dynbuf.to_array w.acc; lost_bytes = sync_pos; desynced = !desynced }
+    {
+      steps = Dynbuf.to_array w.acc;
+      lost_bytes = sync_pos;
+      desynced = !desynced;
+      thread_ended = !ended;
+    }
+
+let record_metrics ?into r ~snapshot_bytes =
+  let record count observe =
+    count "pt/decode_calls" 1;
+    count "pt/decoded_steps" (Array.length r.steps);
+    count "pt/lost_bytes" r.lost_bytes;
+    count "pt/desyncs" (if r.desynced then 1 else 0);
+    count "pt/thread_ended" (if r.thread_ended then 1 else 0);
+    observe "pt/snapshot_bytes" (float_of_int snapshot_bytes)
+  in
+  match into with
+  | Some m ->
+    (* A private (typically pool-worker) registry: record directly, no
+       ambient state touched, so this is safe off the main domain. *)
+    record
+      (fun name n -> Obs.Metrics.add (Obs.Metrics.counter m name) n)
+      (fun name v -> Obs.Metrics.observe (Obs.Metrics.histogram m name) v)
+  | None ->
+    if Obs.Scope.enabled () then record Obs.Scope.count Obs.Scope.observe
 
 let decode m ~config ?tail_stop snapshot =
   let r = decode_raw m ~config ?tail_stop snapshot in

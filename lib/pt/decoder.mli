@@ -6,7 +6,17 @@
     walking the CFG — consuming a TNT bit at every conditional branch and a
     TIP at every return — and assigns every replayed instruction a coarse
     time interval [t_lo, t_hi] bounded by the timing packets around it.
-    Those intervals are exactly the partial order of §4.1 (step 3). *)
+    Those intervals are exactly the partial order of §4.1 (step 3).
+
+    Two interchangeable implementations share the {!result} contract.
+    {!decode_raw} is the production path: an allocation-free
+    {!Packet.Cursor} feeds a walker that resolves control flow through a
+    pc-indexed table precomputed per module layout, accumulating steps in
+    a per-domain arena reused across the decodes of a batch.
+    {!decode_reference} is the frozen v1 list pipeline, kept as the
+    benchmark's sequential baseline and the differential-testing oracle:
+    on any input — the full corpus, corrupt rings — the two must return
+    bit-identical results. *)
 
 type step = {
   pc : int;
@@ -25,6 +35,10 @@ type result = {
   desynced : bool;
       (** true when replay hit control flow the packet stream cannot
           resolve (e.g. a branch whose TNT was overwritten) *)
+  thread_ended : bool;
+      (** true when the stream ends with the thread's exit (a TIP.END
+          consumed at a return): the trace is complete, not cut by the
+          ring.  Previously this signal was decoded and then dropped. *)
 }
 
 val decode :
@@ -42,9 +56,22 @@ val decode_raw :
     {!Snorlax_util.Pool} and the submitting domain records metrics per
     result afterwards with {!record_metrics}. *)
 
+val decode_reference :
+  Lir.Irmod.t -> config:Config.t -> ?tail_stop:int * int -> bytes -> result
+(** The frozen v1 pipeline ([Packet.decode_stream] → two-pass
+    timestamping → hashtable-lookup walker), extended only to expand
+    {!Packet.Tnt_packed} runs into per-bit TNT before timestamping.
+    Same contract as {!decode_raw}; exists for benchmarking (the
+    sequential cold baseline) and differential tests. *)
+
+val prepare : Lir.Irmod.t -> unit
+(** Lay the module out and build the decoder's pc-indexed walk table
+    eagerly.  Called from the submitting domain before fanning a batch
+    across a pool so worker domains only read the shared cache. *)
+
 val record_metrics : ?into:Obs.Metrics.t -> result -> snapshot_bytes:int -> unit
 (** Record one decode's pt/* counters (calls, steps, lost bytes, desyncs,
-    snapshot size).  Without [into], records into the ambient scope
-    (no-op when disabled).  With [into], records into that registry
-    directly — a pool worker's private registry, later folded back with
-    {!Obs.Scope.merge_worker}. *)
+    thread exits, snapshot size).  Without [into], records into the
+    ambient scope (no-op when disabled).  With [into], records into that
+    registry directly — a pool worker's private registry, later folded
+    back with {!Obs.Scope.merge_worker}. *)

@@ -15,12 +15,22 @@ type t =
   | Fup of { pc : int }  (** pc bound to the preceding PSB *)
   | Tip of { pc : int }  (** indirect branch (return) target *)
   | Tip_end  (** thread exited (entry function returned) *)
-  | Tnt of bool  (** conditional branch outcome *)
+  | Tnt of bool  (** conditional branch outcome (v1 per-bit form) *)
+  | Tnt_packed of { bits : int; count : int }
+      (** up to {!tnt_max_bits} branch outcomes in one packet, first
+          branch in the least significant bit — the hardware-realistic
+          form (Intel PT packs 6+ TNT bits per byte); the tracer emits
+          these, and the per-bit v1 form stays decodable *)
   | Mtc of { ctc : int }  (** low 8 bits of the coarse time counter *)
   | Tma of { tsc : int }  (** full timestamp after a long quiet gap *)
   | Cyc of { delta : int }  (** ns elapsed since the last timing packet *)
 
+val tnt_max_bits : int
+(** Maximum [count] of a {!Tnt_packed} packet the tracer emits (48). *)
+
 val encode : Buffer.t -> t -> unit
+(** Raises [Invalid_argument] for a {!Tnt_packed} whose [count] is
+    outside [1, tnt_max_bits]; bits above [count] are masked off. *)
 
 val decode_stream : bytes -> pos:int -> (t * int) list
 (** Parse consecutive packets starting at [pos] (which must be a packet
@@ -31,5 +41,40 @@ val decode_stream : bytes -> pos:int -> (t * int) list
 
 val scan_psb : bytes -> pos:int -> int option
 (** Offset of the first PSB at or after [pos], or [None]. *)
+
+(** Allocation-free packet reader: the hot-path alternative to
+    {!decode_stream}.  A cursor steps through the byte stream mutating
+    its own fields — no packet values, tuples or list nodes are built —
+    with the same totality contract: truncated final packet ends the
+    stream, a corrupt header resynchronizes at the next PSB.  The two
+    readers are differentially tested against each other. *)
+module Cursor : sig
+  type kind =
+    | Eof  (** end of stream (incl. a truncated final packet) *)
+    | Psb  (** [value] = tsc *)
+    | Fup  (** [value] = pc *)
+    | Tip  (** [value] = pc *)
+    | Tip_end
+    | Tnt  (** [count] branch bits in [value], LSB first (1 for v1 form) *)
+    | Mtc  (** [value] = ctc *)
+    | Tma  (** [value] = tsc *)
+    | Cyc  (** [value] = delta *)
+
+  type t = {
+    buf : bytes;
+    len : int;
+    mutable pos : int;  (** offset of the NEXT packet *)
+    mutable kind : kind;
+    mutable value : int;
+    mutable count : int;
+  }
+
+  val make : bytes -> pos:int -> t
+  (** A cursor positioned at [pos] (a packet boundary); [kind] is
+      meaningless until the first {!advance}. *)
+
+  val advance : t -> unit
+  (** Step to the next packet, filling [kind]/[value]/[count]. *)
+end
 
 val to_string : t -> string

@@ -5,13 +5,17 @@ type thread_state = {
   mutable last_ctc : int;  (** absolute coarse-clock value last emitted *)
   mutable last_timing_ns : int;
   mutable bytes_since_psb : int;
+      (** charged (v1-equivalent) bytes, not ring bytes — see below *)
   mutable started : bool;
+  mutable pend_bits : int;  (** TNT bits awaiting a packed packet *)
+  mutable pend_count : int;
 }
 
 type t = {
   config : Config.t;
   threads : (int, thread_state) Hashtbl.t;
   scratch : Buffer.t;
+  timing_scratch : Buffer.t;
   mutable bytes_written : int;
   mutable events_seen : int;
   mutable timing_packets : int;
@@ -22,6 +26,7 @@ let create ~config =
     config;
     threads = Hashtbl.create 16;
     scratch = Buffer.create 64;
+    timing_scratch = Buffer.create 16;
     bytes_written = 0;
     events_seen = 0;
     timing_packets = 0;
@@ -38,10 +43,32 @@ let thread_state t tid =
         last_timing_ns = 0;
         bytes_since_psb = 0;
         started = false;
+        pend_bits = 0;
+        pend_count = 0;
       }
     in
     Hashtbl.add t.threads tid ts;
     ts
+
+(* Consecutive branch outcomes accumulate per thread and hit the ring as
+   one packed multi-bit TNT.  The packed run must sit where its first bit
+   was taken, so any packet that is not a TNT bit — PSB, timing, TIP —
+   forces a flush first; a run therefore never spans a timing packet and
+   the expanded stream is position-for-position the v1 per-bit stream.
+
+   Cost accounting is deliberately NOT the ring byte count: the tracing
+   tax fed back into the simulated clock (and [bytes_since_psb], which
+   paces PSBs) charges each TNT bit the 2 wire bytes of the v1 per-bit
+   packet at the event that took the branch.  Charged bytes are therefore
+   bit-identical to v1 — same clock evolution, same interleavings, same
+   PSB cadence — while the ring holds the (smaller) packed encoding. *)
+let flush_pending t ts =
+  if ts.pend_count > 0 then begin
+    Packet.encode t.scratch
+      (Packet.Tnt_packed { bits = ts.pend_bits; count = ts.pend_count });
+    ts.pend_bits <- 0;
+    ts.pend_count <- 0
+  end
 
 (* A TMA re-sync replaces MTC when the coarse counter jumped too far for
    its 8-bit payload to be unambiguous. *)
@@ -50,9 +77,9 @@ let mtc_wrap_guard = 200
 (* [last_timing_ns] mirrors the clock a decoder reconstructs, so CYC
    deltas are relative to the decoder's state, not the raw event times —
    otherwise an MTC followed by a CYC would double-count the gap. *)
-let emit_timing t ts ~now_ns =
+let emit_timing t ts ~into ~now_ns =
   let emit p =
-    Packet.encode t.scratch p;
+    Packet.encode into p;
     t.timing_packets <- t.timing_packets + 1
   in
   (* Returns the decoder clock value after the emitted MTC/TMA, if any.
@@ -110,33 +137,82 @@ let on_control t ~time event =
   let tid = Sim.Hooks.control_event_tid event in
   let ts = thread_state t tid in
   Buffer.clear t.scratch;
+  (* v1-equivalent bytes for this event: drives the cost model and the
+     PSB pacing.  Flushed packed packets are excluded — their bits were
+     charged at their own events. *)
+  let charged = ref 0 in
+  let charge_from len0 = charged := !charged + (Buffer.length t.scratch - len0) in
+  (* Stage the event's timing packets in a side buffer: whether any are
+     due decides whether the pending TNT run must flush first (a packed
+     run cannot span a timing packet), and staging keeps the flush bytes
+     physically before the timing bytes in the ring. *)
+  let stage_timing () =
+    Buffer.clear t.timing_scratch;
+    emit_timing t ts ~into:t.timing_scratch ~now_ns;
+    Buffer.length t.timing_scratch > 0
+  in
+  let commit_timing () =
+    charged := !charged + Buffer.length t.timing_scratch;
+    Buffer.add_buffer t.scratch t.timing_scratch
+  in
   (match event with
-  | Sim.Hooks.Thread_start { entry_pc; _ } -> emit_psb t ts ~now_ns ~pc:entry_pc
+  | Sim.Hooks.Thread_start { entry_pc; _ } ->
+    let len0 = Buffer.length t.scratch in
+    emit_psb t ts ~now_ns ~pc:entry_pc;
+    charge_from len0
   | Sim.Hooks.Cond_branch { pc; taken; _ } ->
-    if
-      ts.started
-      && ts.bytes_since_psb >= t.config.Config.psb_period_bytes
-    then emit_psb t ts ~now_ns ~pc;
-    emit_timing t ts ~now_ns;
-    Packet.encode t.scratch (Packet.Tnt taken)
-  | Sim.Hooks.Ret_branch { target_pc; _ } -> (
-    emit_timing t ts ~now_ns;
-    match target_pc with
+    if ts.started && ts.bytes_since_psb >= t.config.Config.psb_period_bytes
+    then begin
+      flush_pending t ts;
+      let len0 = Buffer.length t.scratch in
+      emit_psb t ts ~now_ns ~pc;
+      charge_from len0
+    end;
+    let timing_due = stage_timing () in
+    if timing_due then begin
+      flush_pending t ts;
+      commit_timing ()
+    end;
+    if ts.pend_count = Packet.tnt_max_bits then flush_pending t ts;
+    ts.pend_bits <- ts.pend_bits lor ((if taken then 1 else 0) lsl ts.pend_count);
+    ts.pend_count <- ts.pend_count + 1;
+    (* The v1 per-bit TNT is header + payload: 2 wire bytes. *)
+    charged := !charged + 2
+  | Sim.Hooks.Ret_branch { target_pc; _ } ->
+    let (_ : bool) = stage_timing () in
+    (* A TIP is not a TNT bit: the pending run always flushes here. *)
+    flush_pending t ts;
+    commit_timing ();
+    let len0 = Buffer.length t.scratch in
+    (match target_pc with
     | Some pc -> Packet.encode t.scratch (Packet.Tip { pc })
-    | None -> Packet.encode t.scratch Packet.Tip_end)
+    | None -> Packet.encode t.scratch Packet.Tip_end);
+    charge_from len0
   | Sim.Hooks.Thread_exit _ -> ());
   let produced = Buffer.length t.scratch in
   if produced > 0 then begin
     Ringbuf.write_bytes ts.ring (Buffer.to_bytes t.scratch);
-    ts.bytes_since_psb <- ts.bytes_since_psb + produced;
     t.bytes_written <- t.bytes_written + produced
   end;
+  ts.bytes_since_psb <- ts.bytes_since_psb + !charged;
   let c = t.config.Config.costs in
   c.Config.per_event_ns
-  +. (c.Config.per_byte_ns *. float_of_int produced)
+  +. (c.Config.per_byte_ns *. float_of_int !charged)
   +. (c.Config.per_thread_ns *. float_of_int (Hashtbl.length t.threads))
 
 let snapshot t =
+  (* Pending TNT runs flush to the rings first: a snapshot must expose
+     every branch the thread has taken, not hide a partial run. *)
+  Hashtbl.iter
+    (fun _ ts ->
+      if ts.pend_count > 0 then begin
+        Buffer.clear t.scratch;
+        flush_pending t ts;
+        let n = Buffer.length t.scratch in
+        Ringbuf.write_bytes ts.ring (Buffer.to_bytes t.scratch);
+        t.bytes_written <- t.bytes_written + n
+      end)
+    t.threads;
   (* Snapshot is the reconciliation point, so the hot per-event path never
      touches the ambient scope: cumulative totals are published here. *)
   if Obs.Scope.enabled () then begin

@@ -25,6 +25,35 @@ let get b i =
   if i < 0 || i >= b.len then invalid_arg "Dynbuf.get";
   b.data.(i)
 
+let set b i x =
+  if i < 0 || i >= b.len then invalid_arg "Dynbuf.set";
+  b.data.(i) <- x
+
+let unsafe_get b i = Array.unsafe_get b.data i
+
+let unsafe_set b i x = Array.unsafe_set b.data i x
+
+(* One growth check for four elements: the decoder pushes fixed-stride
+   records, and per-element bound checks were measurable there. *)
+let push4 b x0 x1 x2 x3 =
+  let cap = Array.length b.data in
+  if b.len + 4 > cap then begin
+    let need = b.len + 4 in
+    let cap' = ref (max 16 (2 * cap)) in
+    while !cap' < need do
+      cap' := 2 * !cap'
+    done;
+    let d = Array.make !cap' x0 in
+    Array.blit b.data 0 d 0 b.len;
+    b.data <- d
+  end;
+  let l = b.len in
+  Array.unsafe_set b.data l x0;
+  Array.unsafe_set b.data (l + 1) x1;
+  Array.unsafe_set b.data (l + 2) x2;
+  Array.unsafe_set b.data (l + 3) x3;
+  b.len <- l + 4
+
 let iter f b =
   for i = 0 to b.len - 1 do
     f b.data.(i)

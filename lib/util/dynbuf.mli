@@ -18,6 +18,22 @@ val push : 'a t -> 'a -> unit
 val get : 'a t -> int -> 'a
 (** Raises [Invalid_argument] outside [0, length - 1]. *)
 
+val set : 'a t -> int -> 'a -> unit
+(** Overwrite an existing element (the decoder's timestamp backfill).
+    Raises [Invalid_argument] outside [0, length - 1]. *)
+
+val unsafe_get : 'a t -> int -> 'a
+(** [get] without the bound check.  Only for indices already proven in
+    range — the decoder's hot loops, where the check was measurable. *)
+
+val unsafe_set : 'a t -> int -> 'a -> unit
+(** [set] without the bound check; same contract as {!unsafe_get}. *)
+
+val push4 : 'a t -> 'a -> 'a -> 'a -> 'a -> unit
+(** Push four elements with a single growth check: the decoder
+    accumulates fixed-stride 4-field records, and per-element checks
+    were measurable there. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 (** In push order. *)
 

@@ -19,7 +19,10 @@ let test_full_registry_agreement () =
         Alcotest.(check bool)
           (bug.Corpus.Bug.id ^ " spurious pairs")
           true
-          (r.Oracle.Diffcheck.spurious = []))
+          (r.Oracle.Diffcheck.spurious = []);
+        Alcotest.(check int)
+          (bug.Corpus.Bug.id ^ " decoder engines agree")
+          0 r.Oracle.Diffcheck.decoder_mismatches)
     Corpus.Registry.all
 
 (* The scored pattern list — order included, since statistics tie-breaks

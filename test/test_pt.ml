@@ -23,6 +23,12 @@ let arbitrary_packet =
         map (fun pc -> Packet.Tip { pc }) (int_range 0 1_000_000);
         return Packet.Tip_end;
         map (fun b -> Packet.Tnt b) bool;
+        map2
+          (fun count bits ->
+            (* Canonical form: bits above [count] are already masked. *)
+            Packet.Tnt_packed { bits = bits land ((1 lsl count) - 1); count })
+          (int_range 1 Packet.tnt_max_bits)
+          (int_range 0 ((1 lsl 30) - 1));
         map (fun ctc -> Packet.Mtc { ctc = ctc land 0xff }) (int_range 0 255);
         map (fun tsc -> Packet.Tma { tsc }) (int_range 0 1_000_000_000);
         map (fun delta -> Packet.Cyc { delta }) (int_range 0 100_000);
@@ -51,6 +57,84 @@ let prop_psb_unique =
       let buf = Buffer.create 256 in
       List.iter (Packet.encode buf) without;
       Packet.scan_psb (Buffer.to_bytes buf) ~pos:0 = None)
+
+let prop_packed_tnt_equals_per_bit =
+  (* The packed multi-bit TNT is pure wire compression: encoding a branch
+     run as one Tnt_packed and decoding — through the list decoder or the
+     cursor — must yield exactly the per-bit v1 run, first branch first. *)
+  QCheck.Test.make ~name:"packed TNT encode/decode equals per-bit v1"
+    ~count:500
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 Packet.tnt_max_bits) bool))
+    (fun branches ->
+      let count = List.length branches in
+      let bits =
+        List.fold_left
+          (fun (acc, j) b -> ((if b then acc lor (1 lsl j) else acc), j + 1))
+          (0, 0) branches
+        |> fst
+      in
+      let buf = Buffer.create 16 in
+      Packet.encode buf (Packet.Psb { tsc = 0 });
+      Packet.encode buf (Packet.Tnt_packed { bits; count });
+      let bytes = Buffer.to_bytes buf in
+      let per_bit =
+        match List.map fst (Packet.decode_stream bytes ~pos:0) with
+        | [ Packet.Psb _; Packet.Tnt_packed { bits = b'; count = c' } ] ->
+          List.init c' (fun j -> (b' lsr j) land 1 = 1)
+        | _ -> []
+      in
+      let cursor_bits =
+        let c = Packet.Cursor.make bytes ~pos:0 in
+        Packet.Cursor.advance c;
+        (* skip the PSB *)
+        Packet.Cursor.advance c;
+        if c.Packet.Cursor.kind = Packet.Cursor.Tnt then
+          List.init c.Packet.Cursor.count (fun j ->
+              (c.Packet.Cursor.value lsr j) land 1 = 1)
+        else []
+      in
+      per_bit = branches && cursor_bits = branches)
+
+let prop_cursor_matches_decode_stream =
+  (* The zero-allocation cursor and the list decoder are two readers of
+     one format: over any well-formed stream they must see the same
+     packet sequence (with packed TNT runs viewed bit-expanded). *)
+  QCheck.Test.make ~name:"Cursor agrees with decode_stream" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 40) arbitrary_packet))
+    (fun packets ->
+      let packets = Packet.Psb { tsc = 0 } :: packets in
+      let buf = Buffer.create 256 in
+      List.iter (Packet.encode buf) packets;
+      let bytes = Buffer.to_bytes buf in
+      let expand = function
+        | Packet.Tnt_packed { bits; count } ->
+          List.init count (fun j ->
+              Packet.Tnt ((bits lsr j) land 1 = 1))
+        | p -> [ p ]
+      in
+      let expected =
+        List.concat_map expand (List.map fst (Packet.decode_stream bytes ~pos:0))
+      in
+      let c = Packet.Cursor.make bytes ~pos:0 in
+      let rec collect acc =
+        Packet.Cursor.advance c;
+        match c.Packet.Cursor.kind with
+        | Packet.Cursor.Eof -> List.rev acc
+        | Packet.Cursor.Psb -> collect (Packet.Psb { tsc = c.Packet.Cursor.value } :: acc)
+        | Packet.Cursor.Fup -> collect (Packet.Fup { pc = c.Packet.Cursor.value } :: acc)
+        | Packet.Cursor.Tip -> collect (Packet.Tip { pc = c.Packet.Cursor.value } :: acc)
+        | Packet.Cursor.Tip_end -> collect (Packet.Tip_end :: acc)
+        | Packet.Cursor.Tnt ->
+          let bits = c.Packet.Cursor.value and n = c.Packet.Cursor.count in
+          let run =
+            List.init n (fun j -> Packet.Tnt ((bits lsr j) land 1 = 1))
+          in
+          collect (List.rev_append run acc)
+        | Packet.Cursor.Mtc -> collect (Packet.Mtc { ctc = c.Packet.Cursor.value } :: acc)
+        | Packet.Cursor.Tma -> collect (Packet.Tma { tsc = c.Packet.Cursor.value } :: acc)
+        | Packet.Cursor.Cyc -> collect (Packet.Cyc { delta = c.Packet.Cursor.value } :: acc)
+      in
+      collect [] = expected)
 
 let test_psb_found_after_garbage () =
   let buf = Buffer.create 64 in
@@ -397,7 +481,9 @@ let prop_decoder_total_on_corrupt_rings =
     (Pt.Driver.snapshot_now driver ~at_time_ns:result.Sim.Interp.final_time_ns)
       .Pt.Driver.traces
   in
-  QCheck.Test.make ~name:"decoder is total on corrupted ring bytes" ~count:200
+  QCheck.Test.make
+    ~name:"decoder is total and matches the reference on corrupted rings"
+    ~count:200
     QCheck.(int_bound 100_000)
     (fun seed ->
       let prng = Snorlax_util.Prng.create ~seed in
@@ -426,10 +512,51 @@ let prop_decoder_total_on_corrupt_rings =
               else ring
             end
           in
-          match Pt.Decoder.decode m ~config:Pt.Config.default ring with
-          | (_ : Pt.Decoder.result) -> true
+          (* Totality, and bit-identical agreement between the cursor
+             walker and the frozen v1 reference pipeline — corrupt bytes
+             must degrade identically in both. *)
+          match
+            ( Pt.Decoder.decode m ~config:Pt.Config.default ring,
+              Pt.Decoder.decode_reference m ~config:Pt.Config.default ring )
+          with
+          | a, b -> a = b
           | exception _ -> false)
         traces)
+
+let test_thread_ended_surfaced () =
+  (* The decoder used to consume TIP.END and then throw the fact away;
+     [thread_ended] now distinguishes a trace that is complete (the
+     thread's entry function returned) from one cut by the ring. *)
+  let m = fixture_module () in
+  let result, driver, _ = run_with_oracle m in
+  let traces =
+    (Pt.Driver.snapshot_now driver ~at_time_ns:result.Sim.Interp.final_time_ns)
+      .Pt.Driver.traces
+  in
+  let config = Pt.Config.default in
+  let ended =
+    List.filter
+      (fun (_, ring) -> (Pt.Decoder.decode m ~config ring).Pt.Decoder.thread_ended)
+      traces
+  in
+  Alcotest.(check bool)
+    "a run to completion decodes ended threads" true
+    (List.length ended > 0);
+  (* Cutting the ring's final byte removes the TIP.END: same trace, but
+     no longer a completed thread. *)
+  let _, ring = List.hd ended in
+  let cut = Bytes.sub ring 0 (Bytes.length ring - 1) in
+  let d = Pt.Decoder.decode m ~config cut in
+  Alcotest.(check bool) "truncated trace is not ended" false
+    d.Pt.Decoder.thread_ended;
+  (* Both engines agree on the flag. *)
+  List.iter
+    (fun (_, ring) ->
+      Alcotest.(check bool)
+        "engines agree on thread_ended"
+        (Pt.Decoder.decode_raw m ~config ring).Pt.Decoder.thread_ended
+        (Pt.Decoder.decode_reference m ~config ring).Pt.Decoder.thread_ended)
+    traces
 
 let test_decoder_mismatched_stream_desyncs () =
   let m = fixture_module () in
@@ -564,6 +691,8 @@ let tests =
       [
         qtest prop_packet_roundtrip;
         qtest prop_psb_unique;
+        qtest prop_packed_tnt_equals_per_bit;
+        qtest prop_cursor_matches_decode_stream;
         Alcotest.test_case "psb after garbage" `Quick test_psb_found_after_garbage;
         Alcotest.test_case "truncated dropped" `Quick test_truncated_packet_dropped;
       ] );
@@ -581,6 +710,8 @@ let tests =
           test_decoder_empty_and_garbage;
         Alcotest.test_case "mismatched stream desyncs" `Quick
           test_decoder_mismatched_stream_desyncs;
+        Alcotest.test_case "thread_ended surfaced" `Quick
+          test_thread_ended_surfaced;
         qtest prop_decoder_total_on_corrupt_rings;
       ] );
     ( "pt.driver",
