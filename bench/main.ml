@@ -354,12 +354,145 @@ let emit_decode_bench () =
     Printf.eprintf "cannot write %s: %s\n" path msg;
     exit 1
 
+(* The streaming fleet under the shard-per-domain service: the same
+   seeded scenario serviced inline (shard_domains = 1) and with one
+   worker domain per shard (shard_domains = 4), sharing one baseline
+   reproduction and starting each timed run from a cold shared decode
+   cache.  The SPSC handoff replays each shard's exact inline operation
+   sequence, so the two bucket tables must compare equal — the runs may
+   differ only in wall clock.  The >= 2x speedup assertion is a
+   multicore claim; on hosts with fewer than 4 cores the ratio is still
+   measured and reported, but the gate records itself as skipped (extra
+   domains cannot beat physics on one core). *)
+let emit_stream_bench () =
+  let module Deploy = Stream.Deploy in
+  let bugs = Corpus.Registry.eval_set in
+  let baselines = Stream.Traffic.prepare bugs in
+  let cfg domains =
+    {
+      Deploy.default_config with
+      Deploy.endpoints = 48;
+      duration_ticks = 72;
+      shards = 4;
+      shard_domains = domains;
+      churn = true;
+      seed = 42;
+    }
+  in
+  let run domains () =
+    Pt.Decode_cache.clear Pt.Decode_cache.shared;
+    Deploy.run ~baselines (cfg domains) bugs
+  in
+  (* Best of 3, like the decode bench: the stable floor, not a mean that
+     inherits GC and scheduler noise. *)
+  let best f =
+    let best = ref None in
+    for _ = 1 to 3 do
+      let s = f () in
+      match !best with
+      | Some (b : Deploy.summary) when b.Deploy.stream_ns <= s.Deploy.stream_ns
+        ->
+        ()
+      | _ -> best := Some s
+    done;
+    Option.get !best
+  in
+  let seq = best (run 1) in
+  let par = best (run 4) in
+  let fail msg =
+    Printf.eprintf "stream bench: %s\n" msg;
+    exit 1
+  in
+  if seq.Deploy.rows <> par.Deploy.rows then
+    fail "bucket tables differ between 1-domain and 4-domain runs";
+  List.iter
+    (fun (tag, (s : Deploy.summary)) ->
+      if not s.Deploy.agree then
+        fail (tag ^ ": incremental diagnosis diverged from batch");
+      if not s.Deploy.accounted then
+        fail (tag ^ ": backpressure accounting failed");
+      if s.Deploy.leftover_queue <> 0 then
+        fail (tag ^ ": final drain left packets queued"))
+    [ ("seq", seq); ("par", par) ];
+  let cores = Domain.recommended_domain_count () in
+  let speedup =
+    if par.Deploy.stream_ns > 0.0 then
+      seq.Deploy.stream_ns /. par.Deploy.stream_ns
+    else 0.0
+  in
+  let gate = if cores >= 4 then "enforced" else "skipped_few_cores" in
+  if gate = "enforced" && speedup < 2.0 then
+    fail
+      (Printf.sprintf "stream_parallel_speedup %.2f < 2.0 (%d cores)" speedup
+         cores);
+  let json =
+    Obs.Json.Obj
+      [
+        ("endpoints", Obs.Json.Int (cfg 1).Deploy.endpoints);
+        ("duration_ticks", Obs.Json.Int (cfg 1).Deploy.duration_ticks);
+        ("shards", Obs.Json.Int (cfg 1).Deploy.shards);
+        ("shard_domains", Obs.Json.Int (cfg 4).Deploy.shard_domains);
+        ("domains_used", Obs.Json.Int par.Deploy.domains_used);
+        ("bugs", Obs.Json.Int (List.length bugs));
+        ("churn", Obs.Json.Bool true);
+        ("offered", Obs.Json.Int par.Deploy.offered);
+        ("shed", Obs.Json.Int par.Deploy.shed);
+        ("drained", Obs.Json.Int par.Deploy.drained);
+        ("buckets", Obs.Json.Int par.Deploy.bucket_count);
+        ("reports_per_sec", Obs.Json.Float par.Deploy.reports_per_sec);
+        ("shed_ratio", Obs.Json.Float par.Deploy.shed_ratio);
+        ( "report_to_diagnosis_p50_ns",
+          Obs.Json.Float par.Deploy.latency_p50_ns );
+        ( "report_to_diagnosis_p99_ns",
+          Obs.Json.Float par.Deploy.latency_p99_ns );
+        ( "shard_latency",
+          Obs.Json.List
+            (Array.to_list
+               (Array.mapi
+                  (fun i (p50, p99) ->
+                    Obs.Json.Obj
+                      [
+                        ("shard", Obs.Json.Int i);
+                        ("queue_wait_p50_ns", Obs.Json.Float p50);
+                        ("queue_wait_p99_ns", Obs.Json.Float p99);
+                      ])
+                  par.Deploy.shard_latency)) );
+        ("incremental_agrees_batch", Obs.Json.Bool par.Deploy.agree);
+        ("accounted", Obs.Json.Bool par.Deploy.accounted);
+        ("rows_identical", Obs.Json.Bool true);
+        ("stream_seq_ns", Obs.Json.Float seq.Deploy.stream_ns);
+        ("stream_par_ns", Obs.Json.Float par.Deploy.stream_ns);
+        ("stream_parallel_speedup", Obs.Json.Float speedup);
+        ("cores", Obs.Json.Int cores);
+        ("parallel_gate", Obs.Json.String gate);
+      ]
+  in
+  let path = "BENCH_stream.json" in
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc (Obs.Json.to_string json);
+        Out_channel.output_char oc '\n')
+  with
+  | () ->
+    Printf.printf
+      "Stream bench written to %s (seq %.1f ms, par %.1f ms, speedup %.2fx \
+       on %d core(s), gate %s)\n%!"
+      path
+      (seq.Deploy.stream_ns /. 1e6)
+      (par.Deploy.stream_ns /. 1e6)
+      speedup cores gate
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" path msg;
+    exit 1
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let decode_only = Array.exists (String.equal "--decode-only") Sys.argv in
   let fleet_only = Array.exists (String.equal "--fleet-only") Sys.argv in
+  let stream_only = Array.exists (String.equal "--stream-only") Sys.argv in
   if decode_only then emit_decode_bench ()
   else if fleet_only then emit_fleet_bench ()
+  else if stream_only then emit_stream_bench ()
   else begin
     emit_pipeline_trace ();
     emit_fleet_bench ();

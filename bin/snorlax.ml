@@ -326,8 +326,11 @@ let chaos_run seeds n_endpoints bug_id all fault_name out obs =
        each...\n%!"
       seeds (List.length classes) (List.length bugs) n_endpoints;
     match
+      (* One bug per pool lane; --decode-jobs (which sets the pool
+         default) therefore scales the chaos sweep too. *)
       Chaos.Harness.run ~endpoints:n_endpoints ~classes
         ~progress:(fun line -> Printf.printf "  %s\n%!" line)
+        ~jobs:(Snorlax_util.Pool.default_jobs ())
         ~seeds bugs
     with
     | Error msg ->
@@ -382,6 +385,9 @@ let stream_json (s : Stream.Deploy.summary) =
       ("endpoints", Obs.Json.Int s.Stream.Deploy.cfg.Stream.Deploy.endpoints);
       ("duration_ticks", Obs.Json.Int s.Stream.Deploy.ticks);
       ("shards", Obs.Json.Int s.Stream.Deploy.cfg.Stream.Deploy.shards);
+      ( "shard_domains",
+        Obs.Json.Int s.Stream.Deploy.cfg.Stream.Deploy.shard_domains );
+      ("domains_used", Obs.Json.Int s.Stream.Deploy.domains_used);
       ("churn", Obs.Json.Bool s.Stream.Deploy.cfg.Stream.Deploy.churn);
       ( "fault",
         Obs.Json.String
@@ -415,14 +421,26 @@ let stream_json (s : Stream.Deploy.summary) =
         Obs.Json.Float s.Stream.Deploy.latency_p50_ns );
       ( "report_to_diagnosis_p99_ns",
         Obs.Json.Float s.Stream.Deploy.latency_p99_ns );
+      ( "shard_latency",
+        Obs.Json.List
+          (Array.to_list
+             (Array.mapi
+                (fun i (p50, p99) ->
+                  Obs.Json.Obj
+                    [
+                      ("shard", Obs.Json.Int i);
+                      ("queue_wait_p50_ns", Obs.Json.Float p50);
+                      ("queue_wait_p99_ns", Obs.Json.Float p99);
+                    ])
+                s.Stream.Deploy.shard_latency)) );
       ("incremental_agrees_batch", Obs.Json.Bool s.Stream.Deploy.agree);
       ("accounted", Obs.Json.Bool s.Stream.Deploy.accounted);
       ("stream_ns", Obs.Json.Float s.Stream.Deploy.stream_ns);
       ("total_ns", Obs.Json.Float s.Stream.Deploy.total_ns);
     ]
 
-let stream_run n_endpoints ticks n_shards churn fault_name shed_str watch
-    bug_id all seed out decode_jobs decode_cache obs =
+let stream_run n_endpoints ticks n_shards shard_domains churn fault_name
+    shed_str watch bug_id all seed out decode_jobs decode_cache obs =
   apply_decode_opts decode_jobs decode_cache;
   if not (setup_obs obs) then 1
   else begin
@@ -467,6 +485,7 @@ let stream_run n_endpoints ticks n_shards churn fault_name shed_str watch
           Stream.Deploy.endpoints = n_endpoints;
           duration_ticks = ticks;
           shards = n_shards;
+          shard_domains;
           churn;
           fault;
           seed;
@@ -475,11 +494,13 @@ let stream_run n_endpoints ticks n_shards churn fault_name shed_str watch
       in
       Printf.printf
         "Streaming %d endpoints x %d scenario%s for %d ticks across %d \
-         shard%s...\n%!"
+         shard%s (%s)...\n%!"
         n_endpoints (List.length bugs)
         (if List.length bugs = 1 then "" else "s")
         ticks n_shards
-        (if n_shards = 1 then "" else "s");
+        (if n_shards = 1 then "" else "s")
+        (if shard_domains <= 1 then "inline"
+         else Printf.sprintf "%d worker domains" shard_domains);
       let tick =
         if watch then
           Some
@@ -779,7 +800,13 @@ let oracle_run bug_id all out decode_jobs decode_cache obs =
       "Cross-checking %d bug(s): diagnosis pipeline vs happens-before \
        oracle...\n%!"
       (List.length bugs);
-    let results = Oracle.Diffcheck.check_all bugs in
+    (* The sweep fans one bug per lane; --decode-jobs (which sets the
+       pool default) therefore scales the registry sweep too. *)
+    let results =
+      Oracle.Diffcheck.check_all
+        ~sweep_jobs:(Snorlax_util.Pool.default_jobs ())
+        bugs
+    in
     let t =
       Snorlax_util.Tablefmt.create
         ~headers:
@@ -1073,6 +1100,15 @@ let stream_cmd =
       & info [ "shards" ] ~docv:"S"
           ~doc:"Collector shards behind the signature-hashing tracker.")
   in
+  let shard_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "shard-domains" ] ~docv:"D"
+          ~doc:
+            "Worker domains for the shard service plane; 1 services \
+             inline on the submitting domain.  Results are \
+             byte-identical whatever the value.")
+  in
   let churn =
     Arg.(
       value & flag
@@ -1136,9 +1172,9 @@ let stream_cmd =
           incremental diagnosis diverges from a from-scratch batch or the \
           backpressure accounting fails to reconcile")
     Term.(
-      const stream_run $ endpoints $ ticks $ shards $ churn $ fault $ shed
-      $ watch $ bug $ all $ seed $ out $ decode_jobs_arg $ decode_cache_arg
-      $ obs_term)
+      const stream_run $ endpoints $ ticks $ shards $ shard_domains $ churn
+      $ fault $ shed $ watch $ bug $ all $ seed $ out $ decode_jobs_arg
+      $ decode_cache_arg $ obs_term)
 
 let dump_cmd =
   Cmd.v (Cmd.info "dump" ~doc:"Print a corpus program's LIR")

@@ -1,6 +1,7 @@
 module Core = Snorlax_core
 module Collector = Fleet.Collector
 module Prng = Snorlax_util.Prng
+module Pool = Snorlax_util.Pool
 
 type trial = {
   cls : Fault.cls;
@@ -174,8 +175,131 @@ let summarize cls trials ~nondeterministic =
         /. float_of_int (List.length ts));
   }
 
+(* One bug's full trial matrix: for each class, [seeds] trials plus the
+   fixed-seed determinism replay.  [modules] is the server-build cache
+   the trials share — process-wide in the sequential path, lane-private
+   in the parallel one (a lane only ever meets its own bug). *)
+let trials_for_bug ~modules ~policy ~endpoints ~classes ~seeds bl =
+  List.map
+    (fun cls ->
+      let trials =
+        List.init seeds (fun seed ->
+            run_trial ~modules ~policy ~endpoints bl cls seed)
+      in
+      (* Fixed-seed determinism: the first seed, replayed. *)
+      let again = run_trial ~modules ~policy ~endpoints bl cls 0 in
+      let nondet =
+        if observable again <> observable (List.hd trials) then 1 else 0
+      in
+      (cls, trials, nondet))
+    classes
+
+let progress_line bl ~classes ~seeds =
+  Printf.sprintf "%s: %d trials across %d fault classes" bl.bug.Corpus.Bug.id
+    (seeds * List.length classes)
+    (List.length classes)
+
+let collect_baseline bug =
+  match Corpus.Runner.collect bug () with
+  | Error msg ->
+    Error
+      (Printf.sprintf "chaos: baseline for %s failed: %s" bug.Corpus.Bug.id
+         msg)
+  | Ok c ->
+    Ok
+      {
+        bug;
+        failing = c.Corpus.Runner.failing;
+        successful = c.Corpus.Runner.successful;
+      }
+
+(* The sweep's lanes in bug input order, each carrying that bug's
+   per-class trials.  Sequential mode is the historical loop exactly:
+   every baseline collected first (stopping at the first failure, trials
+   untouched), then trial matrices bug by bug with progress in between.
+   Parallel mode fans one bug per pool lane — baseline collect included
+   — with a lane-private modules table, sequential nested decode and a
+   private telemetry context; lanes merge back in input order (first
+   baseline error in input order wins, progress replays on the
+   submitting domain), so the report is identical either way. *)
+let sweep_lanes ~eff ~policy ~endpoints ~classes ~seeds ~progress bugs =
+  if eff <= 1 then begin
+    let modules = Hashtbl.create 16 in
+    let baselines =
+      List.fold_left
+        (fun acc bug ->
+          match acc with
+          | Error _ as e -> e
+          | Ok bls -> (
+            match collect_baseline bug with
+            | Error _ as e -> e
+            | Ok bl -> Ok (bl :: bls)))
+        (Ok []) bugs
+    in
+    match baselines with
+    | Error e -> Error e
+    | Ok baselines_rev ->
+      Ok
+        (List.map
+           (fun bl ->
+             let r =
+               trials_for_bug ~modules ~policy ~endpoints ~classes ~seeds bl
+             in
+             progress (progress_line bl ~classes ~seeds);
+             (bl, r))
+           (List.rev baselines_rev))
+  end
+  else begin
+    let arr = Array.of_list bugs in
+    let n = Array.length arr in
+    let telemetry = Obs.Scope.enabled () in
+    let out = Array.make n None in
+    let regs = Array.make n None in
+    Pool.with_pool ~jobs:eff (fun pool ->
+        Pool.run pool n (fun i ->
+            Pool.with_default_jobs 1 @@ fun () ->
+            let go () =
+              let r =
+                match collect_baseline arr.(i) with
+                | Error _ as e -> e
+                | Ok bl ->
+                  let modules = Hashtbl.create 16 in
+                  Ok
+                    ( bl,
+                      trials_for_bug ~modules ~policy ~endpoints ~classes
+                        ~seeds bl )
+              in
+              out.(i) <- Some r
+            in
+            if telemetry then begin
+              let c = Obs.Scope.make () in
+              regs.(i) <- Some c.Obs.Scope.metrics;
+              Obs.Scope.using c go
+            end
+            else go ()));
+    Array.iter (Option.iter Obs.Scope.merge_worker) regs;
+    let first_error = ref None in
+    Array.iter
+      (fun r ->
+        match (r, !first_error) with
+        | Some (Error e), None -> first_error := Some e
+        | _ -> ())
+      out;
+    match !first_error with
+    | Some e -> Error e
+    | None ->
+      Ok
+        (List.init n (fun i ->
+             match out.(i) with
+             | Some (Ok lane) ->
+               let bl, _ = lane in
+               progress (progress_line bl ~classes ~seeds);
+               lane
+             | _ -> assert false))
+  end
+
 let run ?(policy = Collector.default_policy) ?(endpoints = 3)
-    ?(classes = Fault.all) ?(progress = fun _ -> ()) ~seeds bugs =
+    ?(classes = Fault.all) ?(progress = fun _ -> ()) ?jobs ~seeds bugs =
   if seeds < 1 then Error "chaos: seeds < 1"
   else if bugs = [] then Error "chaos: no bugs selected"
   else if endpoints < 1 then Error "chaos: endpoints < 1"
@@ -187,74 +311,37 @@ let run ?(policy = Collector.default_policy) ?(endpoints = 3)
           ("bugs", Obs.Span.Int (List.length bugs));
         ]
     @@ fun () ->
-    let modules = Hashtbl.create 16 in
-    let baselines =
-      List.fold_left
-        (fun acc bug ->
-          match acc with
-          | Error _ as e -> e
-          | Ok bls -> (
-            match Corpus.Runner.collect bug () with
-            | Error msg ->
-              Error
-                (Printf.sprintf "chaos: baseline for %s failed: %s"
-                   bug.Corpus.Bug.id msg)
-            | Ok c ->
-              Ok
-                ({
-                   bug;
-                   failing = c.Corpus.Runner.failing;
-                   successful = c.Corpus.Runner.successful;
-                 }
-                :: bls)))
-        (Ok []) bugs
+    let eff =
+      let j = match jobs with Some j -> max 1 j | None -> 1 in
+      min (min j (Domain.recommended_domain_count ())) (List.length bugs)
     in
-    match baselines with
-    | Error _ as e -> e
-    | Ok baselines_rev ->
-      let baselines = List.rev baselines_rev in
-      let nondet = Hashtbl.create 8 in
-      let trials_by_class = Hashtbl.create 8 in
-      List.iter
-        (fun bl ->
-          List.iter
-            (fun cls ->
-              let trials =
-                List.init seeds (fun seed ->
-                    run_trial ~modules ~policy ~endpoints bl cls seed)
-              in
-              (* Fixed-seed determinism: the first seed, replayed. *)
-              let again = run_trial ~modules ~policy ~endpoints bl cls 0 in
-              if observable again <> observable (List.hd trials) then
-                Hashtbl.replace nondet cls
-                  (1
-                  + Option.value ~default:0 (Hashtbl.find_opt nondet cls));
-              Hashtbl.replace trials_by_class cls
-                (Option.value ~default:[]
-                   (Hashtbl.find_opt trials_by_class cls)
-                @ trials))
-            classes;
-          progress
-            (Printf.sprintf "%s: %d trials across %d fault classes"
-               bl.bug.Corpus.Bug.id
-               (seeds * List.length classes)
-               (List.length classes)))
-        baselines;
+    match sweep_lanes ~eff ~policy ~endpoints ~classes ~seeds ~progress bugs with
+    | Error e -> Error e
+    | Ok lanes ->
+      let baselines = List.map fst lanes in
+      let trials_of cls =
+        List.concat_map
+          (fun (_, per_class) ->
+            List.concat_map
+              (fun (c, ts, _) -> if c = cls then ts else [])
+              per_class)
+          lanes
+      in
+      let nondet_of cls =
+        List.fold_left
+          (fun acc (_, per_class) ->
+            List.fold_left
+              (fun a (c, _, nd) -> if c = cls then a + nd else a)
+              acc per_class)
+          0 lanes
+      in
       let summaries =
         List.map
           (fun cls ->
-            summarize cls
-              (Option.value ~default:[] (Hashtbl.find_opt trials_by_class cls))
-              ~nondeterministic:
-                (Option.value ~default:0 (Hashtbl.find_opt nondet cls)))
+            summarize cls (trials_of cls) ~nondeterministic:(nondet_of cls))
           classes
       in
-      let all_trials =
-        List.concat_map
-          (fun cls ->
-            Option.value ~default:[] (Hashtbl.find_opt trials_by_class cls))
-          classes
-      in
+      let all_trials = List.concat_map trials_of classes in
       (* A reported example is the violation plus the trial's flight-
          recorder tail — the events leading up to the failure, not just
          the bare reconciliation diff.  Tails carry wall-clock stamps,

@@ -62,13 +62,21 @@ val run :
   ?endpoints:int ->
   ?classes:Fault.cls list ->
   ?progress:(string -> unit) ->
+  ?jobs:int ->
   seeds:int ->
   Corpus.Bug.t list ->
   (report, string) result
 (** [run ~seeds bugs] executes [seeds] trials per (bug, fault class).
     [endpoints] (default 3) simulated machines replay each bug.
     [Error] when [seeds < 1], [bugs] is empty, or a bug's lab baseline
-    fails to reproduce.  [progress] receives one line per completed bug. *)
+    fails to reproduce.  [progress] receives one line per completed bug.
+    [jobs] (default 1 = the historical sequential loop) fans the sweep
+    one bug per lane across a scoped domain pool — baseline collect and
+    all that bug's trials together, with a lane-private server-build
+    table and private telemetry merged back in input order.  Trials are
+    already independent per (bug, class, seed), so the report is
+    identical whatever [jobs]; [progress] then fires on the submitting
+    domain as lanes merge, still in bug order. *)
 
 val to_json : report -> Obs.Json.t
 (** The BENCH_chaos.json document: run parameters, per-class rows

@@ -46,16 +46,20 @@ let build_def_table m =
    re-diagnoses the same bucket module repeatedly, and the def table is a
    pure function of the module, so rebuilding it per resolve_anchor call
    was wasted work.  Physical equality keeps a rebuilt (isomorphic but
-   fresh) module from ever seeing another build's instruction objects. *)
-let def_table_cache : (Lir.Irmod.t * (int, Lir.Instr.t) Hashtbl.t) option ref =
-  ref None
+   fresh) module from ever seeing another build's instruction objects.
+   Domain-local so parallel sweeps and shard workers each memoize their
+   own table instead of racing on a shared slot. *)
+let def_table_cache :
+    (Lir.Irmod.t * (int, Lir.Instr.t) Hashtbl.t) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let def_table m =
-  match !def_table_cache with
+  let slot = Domain.DLS.get def_table_cache in
+  match !slot with
   | Some (m', tbl) when m' == m -> tbl
   | Some _ | None ->
     let tbl = build_def_table m in
-    def_table_cache := Some (m, tbl);
+    slot := Some (m, tbl);
     tbl
 
 (* RETracer-style provenance: follow the faulting pointer value back

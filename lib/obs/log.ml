@@ -129,31 +129,46 @@ module Recorder = struct
       Buffer.contents buf
 end
 
-let default_recorder = Recorder.create ~capacity:128 ()
+(* Each domain owns its always-on ring: workers that log never race on
+   a shared array, and a shard worker's events stay in rings that shard
+   owns (its flight recorder via [with_recorder], plus the worker
+   domain's private default ring). *)
+let default_key : Recorder.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Recorder.create ~capacity:128 ())
 
-(* Extra rings currently capturing, innermost first ([with_recorder]). *)
-let extra_recorders : Recorder.t list ref = ref []
+(* Bound at module init, i.e. the main domain's ring. *)
+let default_recorder = Domain.DLS.get default_key
+
+(* Extra rings currently capturing, innermost first ([with_recorder]).
+   Domain-local: a recorder pushed on one domain captures only that
+   domain's events, so a worker wrapping its work in [with_recorder]
+   cannot see (or race with) events from its siblings. *)
+let extra_recorders : Recorder.t list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
 let with_recorder r f =
-  extra_recorders := r :: !extra_recorders;
+  let extras = Domain.DLS.get extra_recorders in
+  extras := r :: !extras;
   Fun.protect
-    ~finally:(fun () ->
-      extra_recorders := List.filter (fun r' -> r' != r) !extra_recorders)
+    ~finally:(fun () -> extras := List.filter (fun r' -> r' != r) !extras)
     f
 
 (* --- emission ----------------------------------------------------------- *)
 
-let min_level = ref Info
+(* Level and sinks are process-wide configuration, written once at CLI
+   startup and read from every domain — atomics make the cross-domain
+   reads well-defined without a lock on the hot path. *)
+let min_level = Atomic.make Info
 
-let set_level l = min_level := l
+let set_level l = Atomic.set min_level l
 
-let level () = !min_level
+let level () = Atomic.get min_level
 
-let sinks : (event -> unit) list ref = ref []
+let sinks : (event -> unit) list Atomic.t = Atomic.make []
 
-let add_sink s = sinks := !sinks @ [ s ]
+let add_sink s = Atomic.set sinks (Atomic.get sinks @ [ s ])
 
-let clear_sinks () = sinks := []
+let clear_sinks () = Atomic.set sinks []
 
 let current_span_name () =
   match Scope.current () with
@@ -173,10 +188,11 @@ let log lvl ?(fields = []) name =
       fields;
     }
   in
-  Recorder.record default_recorder e;
-  List.iter (fun r -> Recorder.record r e) !extra_recorders;
-  if !sinks <> [] && level_rank lvl >= level_rank !min_level then
-    List.iter (fun s -> s e) !sinks
+  Recorder.record (Domain.DLS.get default_key) e;
+  List.iter (fun r -> Recorder.record r e) !(Domain.DLS.get extra_recorders);
+  let ss = Atomic.get sinks in
+  if ss <> [] && level_rank lvl >= level_rank (Atomic.get min_level) then
+    List.iter (fun s -> s e) ss
 
 let debug ?fields name = log Debug ?fields name
 
@@ -186,8 +202,9 @@ let warn ?fields name = log Warn ?fields name
 
 let error ?fields name = log Error ?fields name
 
-let dump_tail () = Recorder.dump default_recorder
+let dump_tail () = Recorder.dump (Domain.DLS.get default_key)
 
 let replay r =
-  if !sinks <> [] then
-    List.iter (fun e -> List.iter (fun s -> s e) !sinks) (Recorder.events r)
+  let ss = Atomic.get sinks in
+  if ss <> [] then
+    List.iter (fun e -> List.iter (fun s -> s e) ss) (Recorder.events r)

@@ -15,9 +15,13 @@
       array store) and is only materialized — formatted, last-N — when a
       failure fires, the iReplayer-style "pay at diagnosis time" trade.
 
-    Like the metrics registry, the log is single-domain mutable state:
-    pool workers must not log (their telemetry travels through private
-    {!Metrics} registries instead). *)
+    The log's mutable state is domain-local: every domain has its own
+    always-on default ring and its own [with_recorder] stack, so worker
+    domains may log freely — their events land in rings the worker (or
+    its shard) owns, never in another domain's.  Sinks and the level
+    threshold are process-wide configuration held in atomics, written at
+    CLI startup; sink output from concurrent domains may interleave at
+    line granularity. *)
 
 type level = Debug | Info | Warn | Error
 
@@ -100,15 +104,20 @@ module Recorder : sig
 end
 
 val default_recorder : Recorder.t
-(** The always-on process-wide ring (capacity 128).  Every event lands
-    here even when no sinks are attached. *)
+(** The main domain's always-on ring (capacity 128).  Every event lands
+    in the emitting domain's own such ring even when no sinks are
+    attached; this handle is the one events on the main domain feed. *)
 
 val with_recorder : Recorder.t -> (unit -> 'a) -> 'a
-(** Additionally capture events emitted during [f] into this ring — the
-    per-endpoint flight recorder.  Nests; always pops, even on raise. *)
+(** Additionally capture events emitted during [f] {e on this domain}
+    into this ring — the per-endpoint/per-shard flight recorder.  Nests;
+    always pops, even on raise.  A ring must not be actively captured by
+    two domains at once ([record] is unsynchronized); the shard service
+    guarantees this by construction — each shard's ring is fed only by
+    the one worker that owns the shard. *)
 
 val dump_tail : unit -> string
-(** {!Recorder.dump} of the default recorder. *)
+(** {!Recorder.dump} of the calling domain's default ring. *)
 
 val replay : Recorder.t -> unit
 (** Re-emit the retained events to the attached sinks, bypassing the

@@ -6,26 +6,39 @@ type ctx = {
   last_values : (string, float) Hashtbl.t;
 }
 
-let state : ctx option ref = ref None
+(* Domain-local: each domain sees its own (usually absent) context, so a
+   worker domain's recording calls are no-ops unless the worker installed
+   a private context with [using].  This is what makes the ambient calls
+   sprinkled through the decoder/collector safe to run on pool and shard
+   domains — they never touch another domain's registry. *)
+let state : ctx option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let make () =
+  {
+    metrics = Metrics.create ();
+    trace = Span.create ();
+    samples_rev = [];
+    n_samples = 0;
+    last_values = Hashtbl.create 32;
+  }
 
 let enable () =
-  let c =
-    {
-      metrics = Metrics.create ();
-      trace = Span.create ();
-      samples_rev = [];
-      n_samples = 0;
-      last_values = Hashtbl.create 32;
-    }
-  in
-  state := Some c;
+  let c = make () in
+  (Domain.DLS.get state) := Some c;
   c
 
-let disable () = state := None
+let disable () = (Domain.DLS.get state) := None
 
-let current () = !state
+let current () = !(Domain.DLS.get state)
 
-let enabled () = Option.is_some !state
+let enabled () = Option.is_some !(Domain.DLS.get state)
+
+let using c f =
+  let slot = Domain.DLS.get state in
+  let prev = !slot in
+  slot := Some c;
+  Fun.protect ~finally:(fun () -> slot := prev) f
 
 (* Counter/gauge time series for the Chrome exporter: at every span or
    timed-section boundary, record the scalars that changed since the last
@@ -60,7 +73,7 @@ let sample c =
   end
 
 let with_span ?args name f =
-  match !state with
+  match !(Domain.DLS.get state) with
   | None -> f ()
   | Some c ->
     Fun.protect
@@ -68,22 +81,22 @@ let with_span ?args name f =
       (fun () -> Span.with_span c.trace ?args name (fun _ -> f ()))
 
 let count name n =
-  match !state with
+  match !(Domain.DLS.get state) with
   | None -> ()
   | Some c -> Metrics.add (Metrics.counter c.metrics name) n
 
 let set_gauge name v =
-  match !state with
+  match !(Domain.DLS.get state) with
   | None -> ()
   | Some c -> Metrics.set (Metrics.gauge c.metrics name) v
 
 let observe name v =
-  match !state with
+  match !(Domain.DLS.get state) with
   | None -> ()
   | Some c -> Metrics.observe (Metrics.histogram c.metrics name) v
 
 let timed name f =
-  match !state with
+  match !(Domain.DLS.get state) with
   | None -> f ()
   | Some c ->
     let t0 = Span.wall_clock_ns () in
@@ -96,10 +109,10 @@ let timed name f =
       f
 
 let merge_worker m =
-  match !state with None -> () | Some c -> Metrics.merge ~into:c.metrics m
+  match !(Domain.DLS.get state) with None -> () | Some c -> Metrics.merge ~into:c.metrics m
 
 let export_chrome () =
-  match !state with
+  match !(Domain.DLS.get state) with
   | None -> None
   | Some c ->
     Some
@@ -107,13 +120,13 @@ let export_chrome () =
          ~samples:(List.rev c.samples_rev) c.trace)
 
 let export_metrics () =
-  match !state with None -> None | Some c -> Some (Metrics.to_json c.metrics)
+  match !(Domain.DLS.get state) with None -> None | Some c -> Some (Metrics.to_json c.metrics)
 
 let export_openmetrics () =
-  match !state with None -> None | Some c -> Some (Openmetrics.render c.metrics)
+  match !(Domain.DLS.get state) with None -> None | Some c -> Some (Openmetrics.render c.metrics)
 
 let summary () =
-  match !state with
+  match !(Domain.DLS.get state) with
   | None -> ""
   | Some c ->
     let buf = Buffer.create 512 in

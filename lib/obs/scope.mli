@@ -5,7 +5,15 @@
     module rather than threading a registry through every signature.
     When no scope is enabled — the default — every recording call is a
     single [None] match, which is what keeps telemetry-off runs at the
-    seed's speed. *)
+    seed's speed.
+
+    The context slot is domain-local ([Domain.DLS]): a freshly spawned
+    domain always starts with no scope, so ambient recording calls on
+    pool or shard worker domains are no-ops unless the worker installs
+    a private context with {!using}.  Cross-domain telemetry therefore
+    flows one way only — workers record into contexts they own, and the
+    submitting domain folds those registries back in with
+    {!merge_worker} after a barrier. *)
 
 type ctx = {
   metrics : Metrics.t;
@@ -17,8 +25,19 @@ type ctx = {
   last_values : (string, float) Hashtbl.t;  (** exporter internals *)
 }
 
+val make : unit -> ctx
+(** A fresh context, not installed anywhere.  Workers pass one to
+    {!using}; the owner reads [ctx.metrics] after the worker quiesces. *)
+
 val enable : unit -> ctx
-(** Install (and return) a fresh context, replacing any previous one. *)
+(** Install (and return) a fresh context on the calling domain,
+    replacing any previous one. *)
+
+val using : ctx -> (unit -> 'a) -> 'a
+(** Run [f] with [c] installed as the calling domain's context,
+    restoring the previous one afterwards (even on raise).  This is how
+    a worker domain gets private ambient telemetry: recordings land in
+    [c.metrics], which the spawning domain merges after joining. *)
 
 val disable : unit -> unit
 

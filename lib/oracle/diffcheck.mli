@@ -76,9 +76,17 @@ val check_bug :
     {!Obs.Scope} when one is enabled. *)
 
 val check_all :
-  ?jobs:int -> ?cache:Pt.Decode_cache.t -> Corpus.Bug.t list ->
+  ?jobs:int ->
+  ?sweep_jobs:int ->
+  ?cache:Pt.Decode_cache.t ->
+  Corpus.Bug.t list ->
   (string * (bug_result, string) result) list
-(** [check_bug] over a bug list, tagged by bug id, in registry order. *)
+(** [check_bug] over a bug list, tagged by bug id, in registry order.
+    [sweep_jobs] (default 1 = sequential) fans the sweep one bug per
+    lane across a scoped domain pool; each lane pins nested decode
+    sequential (so [jobs] is ignored while sweeping in parallel) and
+    runs under a private telemetry context merged back in input order —
+    the result list is identical to the sequential sweep's. *)
 
 val diverged : bug_result -> bool
 (** True for [Diagnosis_miss], [Diagnosis_spurious] and [Oracle_only]. *)

@@ -1,27 +1,53 @@
 type entry = { result : Decoder.result; mutable last_used : int }
 
-type t = {
-  mutable cap : int;
+(* One lock-striped segment: a private hash table, LRU clock and counter
+   set behind its own mutex.  Keys map to segments by digest hash, so
+   concurrent probes from shard/pool domains only contend when they land
+   on the same stripe — the single global mutex the fleet's incremental
+   diagnosis used to serialize on is gone. *)
+type seg = {
   tbl : (string, entry) Hashtbl.t;
-  mutable tick : int;  (* logical clock for LRU recency *)
+  mutable seg_cap : int;
+  mutable tick : int;  (* logical clock for LRU recency, per segment *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
   m : Mutex.t;
 }
 
+type t = {
+  mutable cap : int;  (* total capacity, split across segments *)
+  segs : seg array;  (* length fixed at creation *)
+}
+
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
-let create ?(capacity = 256) () =
-  if capacity < 0 then invalid_arg "Decode_cache.create: negative capacity";
+(* Small caches stay single-segment so their LRU order is exact and
+   observable (the unit tests rely on it); larger ones stripe up to 16
+   ways with at least 16 slots per stripe. *)
+let segments_for capacity = if capacity < 64 then 1 else min 16 (capacity / 16)
+
+let make_seg cap =
   {
-    cap = capacity;
-    tbl = Hashtbl.create (min 64 (max 1 capacity));
+    tbl = Hashtbl.create (min 64 (max 1 cap));
+    seg_cap = cap;
     tick = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
     m = Mutex.create ();
+  }
+
+(* Segment [i] of [k] gets slot [cap/k + 1] while the remainder lasts, so
+   the per-segment capacities always sum to the requested total. *)
+let seg_cap_of ~cap ~nsegs i = (cap / nsegs) + (if i < cap mod nsegs then 1 else 0)
+
+let create ?(capacity = 256) () =
+  if capacity < 0 then invalid_arg "Decode_cache.create: negative capacity";
+  let nsegs = segments_for capacity in
+  {
+    cap = capacity;
+    segs = Array.init nsegs (fun i -> make_seg (seg_cap_of ~cap:capacity ~nsegs i));
   }
 
 let shared = create ()
@@ -30,34 +56,44 @@ let capacity t = t.cap
 
 let enabled t = t.cap > 0
 
-let locked t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+let segments t = Array.length t.segs
 
-(* Linear scan for the LRU entry; capacities are small (hundreds), and the
-   scan only runs on eviction, never on a hit. *)
-let evict_one t =
+let seg_of t k = t.segs.(Hashtbl.hash k mod Array.length t.segs)
+
+let locked s f =
+  Mutex.lock s.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.m) f
+
+(* Linear scan for the segment's LRU entry; segment capacities are small
+   (tens to hundreds), and the scan only runs on eviction, never on a
+   hit.  Called with the segment lock held. *)
+let evict_one s =
   let victim = ref None in
   Hashtbl.iter
     (fun k e ->
       match !victim with
       | Some (_, age) when age <= e.last_used -> ()
       | _ -> victim := Some (k, e.last_used))
-    t.tbl;
+    s.tbl;
   match !victim with
   | Some (k, _) ->
-    Hashtbl.remove t.tbl k;
-    t.evictions <- t.evictions + 1;
+    Hashtbl.remove s.tbl k;
+    s.evictions <- s.evictions + 1;
     Obs.Scope.count "decode_cache/evictions" 1
   | None -> ()
 
 let set_capacity t n =
   if n < 0 then invalid_arg "Decode_cache.set_capacity: negative capacity";
-  locked t @@ fun () ->
   t.cap <- n;
-  while Hashtbl.length t.tbl > n do
-    evict_one t
-  done
+  let nsegs = Array.length t.segs in
+  Array.iteri
+    (fun i s ->
+      locked s @@ fun () ->
+      s.seg_cap <- seg_cap_of ~cap:n ~nsegs i;
+      while Hashtbl.length s.tbl > s.seg_cap do
+        evict_one s
+      done)
+    t.segs
 
 (* The snapshot dominates the key material; hashing it in place and
    folding the digest into a small metadata header avoids copying every
@@ -83,51 +119,65 @@ let key m ~config ?tail_stop snapshot =
   Digest.string (Buffer.contents buf)
 
 let find t k =
-  locked t @@ fun () ->
-  if t.cap = 0 then begin
-    t.misses <- t.misses + 1;
+  let s = seg_of t k in
+  locked s @@ fun () ->
+  match Hashtbl.find_opt s.tbl k with
+  | Some e when s.seg_cap > 0 ->
+    s.tick <- s.tick + 1;
+    e.last_used <- s.tick;
+    s.hits <- s.hits + 1;
+    Obs.Scope.count "decode_cache/hits" 1;
+    Some e.result
+  | Some _ | None ->
+    s.misses <- s.misses + 1;
     Obs.Scope.count "decode_cache/misses" 1;
     None
-  end
-  else
-    match Hashtbl.find_opt t.tbl k with
-    | Some e ->
-      t.tick <- t.tick + 1;
-      e.last_used <- t.tick;
-      t.hits <- t.hits + 1;
-      Obs.Scope.count "decode_cache/hits" 1;
-      Some e.result
-    | None ->
-      t.misses <- t.misses + 1;
-      Obs.Scope.count "decode_cache/misses" 1;
-      None
 
 let add t k result =
-  locked t @@ fun () ->
-  if t.cap > 0 then begin
-    t.tick <- t.tick + 1;
-    (match Hashtbl.find_opt t.tbl k with
-    | Some e -> e.last_used <- t.tick
+  let s = seg_of t k in
+  locked s @@ fun () ->
+  if s.seg_cap > 0 then begin
+    s.tick <- s.tick + 1;
+    match Hashtbl.find_opt s.tbl k with
+    | Some e -> e.last_used <- s.tick
     | None ->
-      while Hashtbl.length t.tbl >= t.cap do
-        evict_one t
+      while Hashtbl.length s.tbl >= s.seg_cap do
+        evict_one s
       done;
-      Hashtbl.add t.tbl k { result; last_used = t.tick })
+      Hashtbl.add s.tbl k { result; last_used = s.tick }
   end
 
-let stats t =
-  locked t @@ fun () ->
+let seg_stats s =
+  locked s @@ fun () ->
   {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
-    entries = Hashtbl.length t.tbl;
+    hits = s.hits;
+    misses = s.misses;
+    evictions = s.evictions;
+    entries = Hashtbl.length s.tbl;
   }
 
+let segment_stats t = Array.map seg_stats t.segs
+
+let stats t =
+  Array.fold_left
+    (fun acc s ->
+      let st = seg_stats s in
+      {
+        hits = acc.hits + st.hits;
+        misses = acc.misses + st.misses;
+        evictions = acc.evictions + st.evictions;
+        entries = acc.entries + st.entries;
+      })
+    { hits = 0; misses = 0; evictions = 0; entries = 0 }
+    t.segs
+
 let clear t =
-  locked t @@ fun () ->
-  Hashtbl.reset t.tbl;
-  t.tick <- 0;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+  Array.iter
+    (fun s ->
+      locked s @@ fun () ->
+      Hashtbl.reset s.tbl;
+      s.tick <- 0;
+      s.hits <- 0;
+      s.misses <- 0;
+      s.evictions <- 0)
+    t.segs

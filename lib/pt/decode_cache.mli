@@ -10,10 +10,18 @@
     (see DESIGN.md).
 
     Hits, misses and evictions are counted on the cache and mirrored to
-    the ambient {!Obs.Scope} as [decode_cache/{hits,misses,evictions}].
-    Operations take the cache's mutex, so probing from several domains is
-    safe, but the usual pattern keeps probes on the submitting domain and
-    fans only raw decodes out. *)
+    the ambient {!Obs.Scope} as [decode_cache/{hits,misses,evictions}]
+    (a no-op on domains without a scope installed).
+
+    The cache is lock-striped: keys map to one of N segments by digest
+    hash, each segment a private table + LRU clock + counters behind its
+    own mutex, so concurrent probes from shard and pool domains only
+    contend when they collide on a stripe.  Caches smaller than 64
+    entries use a single segment, which keeps their LRU order exact;
+    larger ones stripe up to 16 ways (eviction then approximates global
+    LRU per stripe).  The stripe count is fixed at creation —
+    {!set_capacity} redistributes capacity across the existing
+    segments. *)
 
 type t
 
@@ -54,6 +62,16 @@ val add : t -> string -> Decoder.result -> unit
 type stats = { hits : int; misses : int; evictions : int; entries : int }
 
 val stats : t -> stats
+(** Counters summed over every segment (each read under its own lock).
+    Every {!find} increments exactly one of hits/misses, so
+    [hits + misses] equals the total probe count even under concurrent
+    access from many domains. *)
+
+val segments : t -> int
+(** Number of lock stripes (fixed at creation). *)
+
+val segment_stats : t -> stats array
+(** Per-segment counters, in stripe order; {!stats} is their sum. *)
 
 val clear : t -> unit
 (** Drop all entries and reset the hit/miss/eviction counters. *)

@@ -103,27 +103,23 @@ let build_walk_table m =
         set op_straight);
   t
 
-(* One-entry cache keyed on module identity + layout generation.  Decodes
-   of one batch all target the same module; the mutex makes concurrent
-   worker lookups safe, and [prepare] warms it from the submitting domain
-   before a fan-out so workers only ever read. *)
-let table_cache : (Lir.Irmod.t * int * walk_table) option ref = ref None
-let table_mutex = Mutex.create ()
+(* One-entry cache keyed on module identity + layout generation, held in
+   domain-local storage: decodes of one batch all target the same module,
+   and giving each domain its own slot removes the lookup mutex the old
+   shared cache needed — a worker builds the table once per (domain,
+   module) from the read-only post-layout module and then hits every
+   time.  [prepare] still warms the submitting domain's slot. *)
+let table_cache : (Lir.Irmod.t * int * walk_table) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
 let walk_table m =
-  Mutex.lock table_mutex;
-  let table =
-    match !table_cache with
-    | Some (m', gen, t)
-      when m' == m && gen = Lir.Irmod.generation m ->
-      t
-    | _ ->
-      let t = build_walk_table m in
-      table_cache := Some (m, Lir.Irmod.generation m, t);
-      t
-  in
-  Mutex.unlock table_mutex;
-  table
+  let slot = Domain.DLS.get table_cache in
+  match !slot with
+  | Some (m', gen, t) when m' == m && gen = Lir.Irmod.generation m -> t
+  | _ ->
+    let t = build_walk_table m in
+    slot := Some (m, Lir.Irmod.generation m, t);
+    t
 
 let prepare m =
   Lir.Irmod.layout m;

@@ -6,6 +6,7 @@ type config = {
   endpoints : int;
   duration_ticks : int;
   shards : int;
+  shard_domains : int;
   churn : bool;
   fault : Chaos.Fault.cls option;
   seed : int;
@@ -19,6 +20,7 @@ let default_config =
     endpoints = 32;
     duration_ticks = 48;
     shards = 4;
+    shard_domains = 1;
     churn = false;
     fault = None;
     seed = 42;
@@ -93,6 +95,8 @@ type summary = {
   shed_ratio : float;  (** shed / shard-offered *)
   latency_p50_ns : float;
   latency_p99_ns : float;
+  shard_latency : (float * float) array;  (** per-shard (p50, p99) queue-wait *)
+  domains_used : int;  (** worker domains actually spawned; 0 = inline *)
   agree : bool;  (** every bucket's [batch_agrees] *)
   accounted : bool;  (** offered = shed + drained + leftover, per shard *)
   stream_ns : float;  (** the streaming phase (generator setup excluded) *)
@@ -163,8 +167,10 @@ let diagnose_bucket shards shard_idx shard (b : Collector.bucket) =
       (match snap with Some s -> s.Incremental.fast_updates | None -> 0);
   }
 
-let run ?tick cfg bugs =
+let run ?tick ?baselines cfg bugs =
   if cfg.shards < 1 then invalid_arg "Stream.Deploy.run: shards < 1";
+  if cfg.shard_domains < 1 then
+    invalid_arg "Stream.Deploy.run: shard_domains < 1";
   if cfg.duration_ticks < 1 then
     invalid_arg "Stream.Deploy.run: duration_ticks < 1";
   Obs.Scope.with_span "stream"
@@ -172,13 +178,14 @@ let run ?tick cfg bugs =
       [
         ("endpoints", Obs.Span.Int cfg.endpoints);
         ("shards", Obs.Span.Int cfg.shards);
+        ("domains", Obs.Span.Int cfg.shard_domains);
         ("ticks", Obs.Span.Int cfg.duration_ticks);
       ]
   @@ fun () ->
   let t0 = now () in
   let traffic =
     Traffic.create ~seed:cfg.seed ~endpoints:cfg.endpoints ~churn:cfg.churn
-      ?fault:cfg.fault bugs
+      ?fault:cfg.fault ?baselines bugs
   in
   let modules = Hashtbl.create 8 in
   let shards =
@@ -186,11 +193,21 @@ let run ?tick cfg bugs =
         Shard.create ~id ~capacity:cfg.queue_capacity ~shed:cfg.shed ~modules
           ())
   in
-  let router = Router.create shards modules in
   (* Same private-registry trick as the batch fleet: the summary's
-     latency percentiles exist with telemetry off. *)
-  let latency_reg = Obs.Metrics.create () in
-  let latency_hist = Obs.Metrics.histogram latency_reg "latency_ns" in
+     latency percentiles exist with telemetry off.  One registry per
+     shard so each worker domain writes only its own histogram; the
+     fleet-wide percentiles come from a merge at the end. *)
+  let latency_regs = Array.init cfg.shards (fun _ -> Obs.Metrics.create ()) in
+  let latency_hists =
+    Array.map (fun r -> Obs.Metrics.histogram r "latency_ns") latency_regs
+  in
+  let svc =
+    Service.create ~shards ~latency:latency_hists ~domains:cfg.shard_domains
+  in
+  (* [stop] is idempotent: the happy path retires the workers inside the
+     timed region below; this protect only covers exceptional exits. *)
+  Fun.protect ~finally:(fun () -> Service.stop svc) @@ fun () ->
+  let router = Router.create ~offer:(Service.offer svc) shards modules in
   let offered = ref 0 in
   let incidents = ref 0 in
   let joins = ref 0 and leaves = ref 0 and crashes = ref 0 in
@@ -212,9 +229,7 @@ let run ?tick cfg bugs =
     leaves := !leaves + batch.Traffic.leaves;
     crashes := !crashes + batch.Traffic.crashes;
     List.iter (Router.route router) batch.Traffic.packets;
-    Array.iter
-      (fun s -> ignore (Shard.service s ~budget:cfg.drain_per_tick latency_hist))
-      shards;
+    Service.service_all svc ~budget:cfg.drain_per_tick;
     match tick with
     | Some f ->
       f
@@ -235,13 +250,13 @@ let run ?tick cfg bugs =
      the queues, but guard against a zero-budget misconfiguration). *)
   let guard = ref (cfg.queue_capacity * cfg.shards + 1) in
   while depth_total () > 0 && !guard > 0 do
-    Array.iter
-      (fun s ->
-        ignore
-          (Shard.service s ~budget:(max 1 cfg.drain_per_tick) latency_hist))
-      shards;
+    Service.service_all svc ~budget:(max 1 cfg.drain_per_tick);
     decr guard
   done;
+  (* Retire the workers before timing ends: the join is part of the
+     service's cost, and after [stop] every shard is plain data again. *)
+  let domains_used = Service.domains svc in
+  Service.stop svc;
   let t_streamed = now () in
   let rows =
     List.concat
@@ -273,6 +288,16 @@ let run ?tick cfg bugs =
     else float_of_int shed /. float_of_int shard_offered
   in
   Obs.Scope.set_gauge "stream/shed_ratio" shed_ratio;
+  let fleet_reg = Obs.Metrics.create () in
+  Array.iter (fun r -> Obs.Metrics.merge ~into:fleet_reg r) latency_regs;
+  let fleet_hist = Obs.Metrics.histogram fleet_reg "latency_ns" in
+  let shard_latency =
+    Array.map
+      (fun h ->
+        ( Obs.Metrics.percentile h ~p:50.0,
+          Obs.Metrics.percentile h ~p:99.0 ))
+      latency_hists
+  in
   {
     cfg;
     ticks = cfg.duration_ticks;
@@ -303,8 +328,10 @@ let run ?tick cfg bugs =
     reports_per_sec =
       (if secs > 0.0 then float_of_int drained /. secs else 0.0);
     shed_ratio;
-    latency_p50_ns = Obs.Metrics.percentile latency_hist ~p:50.0;
-    latency_p99_ns = Obs.Metrics.percentile latency_hist ~p:99.0;
+    latency_p50_ns = Obs.Metrics.percentile fleet_hist ~p:50.0;
+    latency_p99_ns = Obs.Metrics.percentile fleet_hist ~p:99.0;
+    shard_latency;
+    domains_used;
     agree = List.for_all (fun r -> r.batch_agrees) rows;
     accounted;
     stream_ns;

@@ -7,6 +7,11 @@ type config = {
   endpoints : int;  (** initial fleet size *)
   duration_ticks : int;
   shards : int;
+  shard_domains : int;
+      (** worker domains for the {!Service} plane; 1 = inline
+          single-domain servicing (the historical behaviour).  Results
+          are byte-identical whatever the value — only wall-clock
+          changes. *)
   churn : bool;  (** per-tick join/leave/crash events *)
   fault : Chaos.Fault.cls option;  (** one chaos class over the whole stream *)
   seed : int;
@@ -16,8 +21,8 @@ type config = {
 }
 
 val default_config : config
-(** 32 endpoints, 48 ticks (two diurnal days), 4 shards, no churn, no
-    fault, seed 42, drop-oldest, capacity 256, budget 64. *)
+(** 32 endpoints, 48 ticks (two diurnal days), 4 shards, 1 domain, no
+    churn, no fault, seed 42, drop-oldest, capacity 256, budget 64. *)
 
 type progress = {
   p_tick : int;
@@ -83,9 +88,17 @@ type summary = {
       (** sustained server throughput: drained / streaming wall seconds *)
   shed_ratio : float;  (** shed / shard-offered *)
   latency_p50_ns : float;
-      (** report→diagnosis latency: router arrival to completion of the
-          refresh that folded the report in — queue wait included *)
+      (** report→diagnosis latency, fleet-wide: router arrival to
+          completion of the refresh that folded the report in — queue
+          wait included *)
   latency_p99_ns : float;
+  shard_latency : (float * float) array;
+      (** per-shard (p50, p99) of the same latency, one entry per shard
+          — the tail of a hot shard is visible even when the fleet-wide
+          percentile looks healthy *)
+  domains_used : int;
+      (** worker domains the service plane actually spawned (0 when
+          running inline) *)
   agree : bool;  (** every bucket's [batch_agrees] *)
   accounted : bool;
       (** offered = shed + drained + depth held per shard — the
@@ -94,6 +107,14 @@ type summary = {
   total_ns : float;
 }
 
-val run : ?tick:(progress -> unit) -> config -> Corpus.Bug.t list -> summary
-(** Raises [Invalid_argument] on a non-positive shard count or duration
-    (and whatever {!Traffic.create} raises). *)
+val run :
+  ?tick:(progress -> unit) ->
+  ?baselines:Traffic.baseline list ->
+  config ->
+  Corpus.Bug.t list ->
+  summary
+(** Raises [Invalid_argument] on a non-positive shard count, domain
+    count or duration (and whatever {!Traffic.create} raises).
+    [baselines] (from {!Traffic.prepare}) skips the per-bug reproduction
+    step — share one reproduction across runs when benchmarking the same
+    scenario at several domain counts. *)

@@ -8,6 +8,7 @@ type held = { h_arrival : float; h_trigger_pc : int; h_packet : bytes }
 
 type t = {
   shards : Shard.t array;
+  offer : int -> arrival:float -> bytes -> unit;
   modules : (string, Corpus.Bug.built) Hashtbl.t;
   (* bug id -> (watch_pcs, shard) routes, oldest first — mirroring the
      collector's oldest-bucket-wins success routing. *)
@@ -20,11 +21,15 @@ type t = {
   mutable received : int;
 }
 
-let create ?(pending_cap = 64) shards modules =
+let create ?(pending_cap = 64) ?offer shards modules =
   if Array.length shards = 0 then invalid_arg "Router.create: no shards";
   if pending_cap < 0 then invalid_arg "Router.create: pending_cap < 0";
   {
     shards;
+    offer =
+      (match offer with
+      | Some f -> f
+      | None -> fun idx ~arrival packet -> Shard.offer shards.(idx) ~arrival packet);
     modules;
     routes = Hashtbl.create 8;
     route_keys = Hashtbl.create 16;
@@ -61,7 +66,7 @@ let built_for t bug_id =
 
 let shard_of_key t key = Hashtbl.hash key mod Array.length t.shards
 
-let offer_to t idx ~arrival packet = Shard.offer t.shards.(idx) ~arrival packet
+let offer_to t idx ~arrival packet = t.offer idx ~arrival packet
 
 let try_route_success t ~arrival ~bug_id ~trigger_pc packet =
   match Hashtbl.find_opt t.routes bug_id with

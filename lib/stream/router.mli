@@ -18,12 +18,17 @@ type t
 
 val create :
   ?pending_cap:int ->
+  ?offer:(int -> arrival:float -> bytes -> unit) ->
   Shard.t array ->
   (string, Corpus.Bug.built) Hashtbl.t ->
   t
 (** [pending_cap] (default 64) bounds the held-success pool per bug.
-    The modules table must be the one the shards share.  Raises
-    [Invalid_argument] on an empty shard array or negative cap. *)
+    The modules table must be the one the shards share.  [offer]
+    overrides how a routed packet reaches shard [idx] (default: direct
+    {!Shard.offer}) — the shard-per-domain {!Service} passes its channel
+    enqueue here so routing decisions stay on this domain while queue
+    mutations move to the owning worker.  Raises [Invalid_argument] on
+    an empty shard array or negative cap. *)
 
 val route : t -> bytes -> unit
 (** Route one packet, stamping its arrival time.  Total: malformed

@@ -1,5 +1,6 @@
 module Report = Snorlax_core.Report
 module Prng = Snorlax_util.Prng
+module Pool = Snorlax_util.Pool
 module Wire = Fleet.Wire
 module Inject = Chaos.Inject
 module Fault = Chaos.Fault
@@ -88,42 +89,73 @@ let add_endpoint t =
   t.eps <- t.eps @ [ ep ];
   ep
 
+let baseline_of bug (c : Corpus.Runner.collected) =
+  {
+    bug;
+    b_failing =
+      List.map2
+        (fun r (seed, sync) -> (r, seed, sync))
+        c.Corpus.Runner.failing
+        (List.combine c.Corpus.Runner.failing_seeds c.Corpus.Runner.failing_sync);
+    b_success =
+      List.map2
+        (fun r (seed, sync) -> (r, seed, sync))
+        c.Corpus.Runner.successful
+        (List.combine c.Corpus.Runner.success_seeds c.Corpus.Runner.success_sync);
+    runs_needed = c.Corpus.Runner.runs_needed;
+  }
+
+(* The baseline corpus sweep: one simulator reproduction per bug, fanned
+   across a scoped pool.  Per-bug isolation: each lane runs with
+   sequential nested decode and a private telemetry context; results
+   merge in input order, and failure warnings are (re-)emitted on the
+   coordinating domain, so the outcome is identical to the sequential
+   loop whatever the pool size. *)
+let prepare ?(config = Pt.Config.default) ?jobs bugs =
+  let arr = Array.of_list bugs in
+  let n = Array.length arr in
+  let jobs = match jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
+  let eff = min (min jobs (Domain.recommended_domain_count ())) n in
+  let collect bug = Corpus.Runner.collect bug ~pt_config:config ~seed_base:1 () in
+  let results =
+    if eff <= 1 then Array.map collect arr
+    else begin
+      let telemetry = Obs.Scope.enabled () in
+      let out = Array.make n None in
+      let regs = Array.make n None in
+      Pool.with_pool ~jobs:eff (fun pool ->
+          Pool.run pool n (fun i ->
+              Pool.with_default_jobs 1 @@ fun () ->
+              if telemetry then begin
+                let c = Obs.Scope.make () in
+                regs.(i) <- Some c.Obs.Scope.metrics;
+                Obs.Scope.using c (fun () -> out.(i) <- Some (collect arr.(i)))
+              end
+              else out.(i) <- Some (collect arr.(i))));
+      Array.iter (Option.iter Obs.Scope.merge_worker) regs;
+      Array.map (function Some r -> r | None -> assert false) out
+    end
+  in
+  List.filter_map
+    (fun i ->
+      let bug = arr.(i) in
+      match results.(i) with
+      | Ok c -> Some (baseline_of bug c)
+      | Error msg ->
+        Obs.Log.warn "stream/baseline_failed"
+          ~fields:
+            [
+              ("bug", Obs.Log.Str bug.Corpus.Bug.id);
+              ("reason", Obs.Log.Str msg);
+            ];
+        None)
+    (List.init n Fun.id)
+
 let create ~seed ~endpoints ?(churn = false) ?fault
-    ?(config = Pt.Config.default) bugs =
+    ?(config = Pt.Config.default) ?baselines bugs =
   if endpoints < 1 then invalid_arg "Traffic.create: endpoints < 1";
   let baselines =
-    List.filter_map
-      (fun bug ->
-        match
-          Corpus.Runner.collect bug ~pt_config:config ~seed_base:1 ()
-        with
-        | Ok c ->
-          Some
-            {
-              bug;
-              b_failing =
-                List.map2
-                  (fun r (seed, sync) -> (r, seed, sync))
-                  c.Corpus.Runner.failing
-                  (List.combine c.Corpus.Runner.failing_seeds
-                     c.Corpus.Runner.failing_sync);
-              b_success =
-                List.map2
-                  (fun r (seed, sync) -> (r, seed, sync))
-                  c.Corpus.Runner.successful
-                  (List.combine c.Corpus.Runner.success_seeds
-                     c.Corpus.Runner.success_sync);
-              runs_needed = c.Corpus.Runner.runs_needed;
-            }
-        | Error msg ->
-          Obs.Log.warn "stream/baseline_failed"
-            ~fields:
-              [
-                ("bug", Obs.Log.Str bug.Corpus.Bug.id);
-                ("reason", Obs.Log.Str msg);
-              ];
-          None)
-      bugs
+    match baselines with Some bl -> bl | None -> prepare ~config bugs
   in
   if baselines = [] then invalid_arg "Traffic.create: no bug reproduced";
   let t =

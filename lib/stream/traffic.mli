@@ -27,12 +27,27 @@ type batch = {
 val diurnal_period : int
 (** Ticks per simulated "day" (24). *)
 
+type baseline
+(** One bug's reproduced reports, ready to re-envelope per incident. *)
+
+val prepare :
+  ?config:Pt.Config.t -> ?jobs:int -> Corpus.Bug.t list -> baseline list
+(** Reproduce each bug once (the expensive simulator runs), fanning the
+    corpus across a scoped domain pool ([jobs] lanes, default
+    {!Snorlax_util.Pool.default_jobs}; nested decode inside each lane is
+    sequential).  Results keep input order and bugs that fail to
+    reproduce are dropped with a [stream/baseline_failed] warning, so
+    the output is identical to a sequential loop.  Prepared baselines
+    can feed several {!create} calls — e.g. a 1-domain and a 4-domain
+    run of the same scenario sharing one reproduction. *)
+
 val create :
   seed:int ->
   endpoints:int ->
   ?churn:bool ->
   ?fault:Chaos.Fault.cls ->
   ?config:Pt.Config.t ->
+  ?baselines:baseline list ->
   Corpus.Bug.t list ->
   t
 (** Reproduce each bug once and spin up [endpoints] endpoints, assigned
@@ -42,7 +57,9 @@ val create :
     report (content faults) and every tick's arrival stream (wire
     faults).  A crashing endpoint ships a truncated prefix of its
     incident — the [Endpoint_death] semantics — whether the crash came
-    from churn or from the fault class. *)
+    from churn or from the fault class.  [baselines] (from {!prepare},
+    with the same [config]) skips the reproduction step; [bugs] is then
+    ignored. *)
 
 val tick : t -> batch
 (** Advance one tick: decide churn, let each alive endpoint ship an

@@ -207,26 +207,55 @@ let balanced_chunks ~weights ~chunks =
          (Array.to_list members))
   end
 
+(* --- scoped dedicated pools ---------------------------------------------- *)
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
 (* --- process-wide default and shared pool -------------------------------- *)
 
-let default = ref (Domain.recommended_domain_count ())
+let default = Atomic.make (Domain.recommended_domain_count ())
 
-let default_jobs () = !default
+(* Per-domain override of the process default: a sweep or shard worker
+   that is itself one lane of a fan-out wraps its work in
+   [with_default_jobs 1], and every nested [process ?jobs:None] call it
+   makes resolves to sequential decode instead of fighting over (or
+   double-submitting into) the shared pool from multiple domains. *)
+let override : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let set_default_jobs n = default := max 1 n
+let default_jobs () =
+  match !(Domain.DLS.get override) with
+  | Some n -> n
+  | None -> Atomic.get default
 
+let set_default_jobs n = Atomic.set default (max 1 n)
+
+let with_default_jobs n f =
+  let slot = Domain.DLS.get override in
+  let prev = !slot in
+  slot := Some (max 1 n);
+  Fun.protect ~finally:(fun () -> slot := prev) f
+
+(* Only the main domain mutates [shared] (worker domains run under
+   [with_default_jobs 1] and the sequential decode path never calls
+   [get]), so a plain ref suffices. *)
 let shared : t option ref = ref None
 
 (* A size-1 pool runs everything inline on the submitting domain; one
    cached instance serves every [get ~jobs:1] so sequential requests never
-   borrow the (larger, parallel) shared pool by accident. *)
-let inline_pool = lazy (create ~jobs:1)
+   borrow the (larger, parallel) shared pool by accident.  Eager, not
+   lazy: [Lazy.force] is not domain-safe, and [get ~jobs:1] must be
+   callable from any worker domain.  The instance spawns no domains and
+   holds no batch state on the inline path, so sharing it is free. *)
+let inline_pool = create ~jobs:1
 
 let at_exit_registered = ref false
 
 let get ~jobs =
   let jobs = max 1 jobs in
-  if jobs = 1 then Lazy.force inline_pool
+  if jobs = 1 then inline_pool
   else
     match !shared with
     | Some p when p.size >= jobs && p.stop = false -> p

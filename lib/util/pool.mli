@@ -16,9 +16,10 @@
     yet claimed (items already running on other domains still finish),
     and the exception is re-raised by {!run}/{!await}.
 
-    Batch functions must not touch domain-unsafe global state (the
-    ambient {!Obs} scope included) — record telemetry on the submitting
-    domain after the batch returns. *)
+    Batch functions must not touch domain-unsafe global state — record
+    telemetry into a chunk-private {!Obs.Metrics} registry (or a private
+    scope installed with [Obs.Scope.using]) and fold it back on the
+    submitting domain after the batch returns. *)
 
 type t
 
@@ -78,13 +79,28 @@ val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent; the pool then runs
     batches inline. *)
 
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a dedicated pool and tears it down
+    (joining its domains) when [f] returns or raises.  Use this for
+    scoped fan-outs — corpus sweeps, benchmarks — that should not grow or
+    occupy the process-wide {!get} pool; the dedicated pool never touches
+    the shared slot. *)
+
 val default_jobs : unit -> int
-(** The process-wide default parallelism: initially
-    [Domain.recommended_domain_count ()], overridable with
+(** The default parallelism: the calling domain's {!with_default_jobs}
+    override when one is active, else the process-wide default —
+    initially [Domain.recommended_domain_count ()], overridable with
     {!set_default_jobs} (e.g. from a [--decode-jobs] flag). *)
 
 val set_default_jobs : int -> unit
 (** Clamped below at 1. *)
+
+val with_default_jobs : int -> (unit -> 'a) -> 'a
+(** Run [f] with {!default_jobs} pinned to [max 1 n] {e on the calling
+    domain only}, restoring the previous override afterwards.  Sweep and
+    shard workers wrap their work in [with_default_jobs 1] so nested
+    decode/diagnosis stays sequential inside each lane instead of
+    contending for the shared pool from multiple domains. *)
 
 val get : jobs:int -> t
 (** The shared process-wide pool, (re)created on demand.  [~jobs:1]

@@ -106,6 +106,33 @@ let prop_inject_deterministic =
         && a.Chaos.Inject.faults = b'.Chaos.Inject.faults
         && a.Chaos.Inject.failing_sent = b'.Chaos.Inject.failing_sent)
 
+(* One lane per bug: the parallel sweep must be invisible in the output
+   — identical report (trials are independent per (bug, class, seed))
+   and the same progress lines in the same bug order, just replayed on
+   the submitting domain at merge time. *)
+let test_parallel_sweep_identical () =
+  let bugs =
+    List.filter_map Corpus.Registry.find [ "pbzip2-1"; "aget-1" ]
+  in
+  if List.length bugs <> 2 then Alcotest.fail "corpus bugs missing";
+  let classes = [ Chaos.Fault.Wire_drop; Chaos.Fault.Wire_duplicate ] in
+  let collect jobs =
+    let lines = ref [] in
+    match
+      Chaos.Harness.run ~seeds:2 ~classes
+        ~progress:(fun l -> lines := l :: !lines)
+        ~jobs bugs
+    with
+    | Error msg -> Alcotest.fail msg
+    | Ok r -> (r, List.rev !lines)
+  in
+  let seq_r, seq_lines = collect 1 in
+  let par_r, par_lines = collect 4 in
+  Alcotest.(check bool) "report identical across jobs" true (seq_r = par_r);
+  Alcotest.(check (list string)) "progress replayed in bug order" seq_lines
+    par_lines;
+  Alcotest.(check bool) "gate holds" true (Chaos.Harness.ok par_r)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -119,6 +146,8 @@ let tests =
         Alcotest.test_case "smoke: all classes, gate holds" `Slow
           test_smoke_all_classes;
         Alcotest.test_case "bench json shape" `Quick test_json_shape;
+        Alcotest.test_case "parallel sweep identical" `Slow
+          test_parallel_sweep_identical;
         qtest prop_inject_deterministic;
       ] );
   ]

@@ -499,7 +499,28 @@ let test_bench_diff_asymmetric_keys () =
     (gone.Obs.Bench_diff.new_v = None);
   let added = find_row r "new_ns" in
   Alcotest.(check bool) "added metric reported" true
-    (added.Obs.Bench_diff.old_v = None)
+    (added.Obs.Bench_diff.old_v = None);
+  Alcotest.(check bool) "added gated-named metric never regresses" false
+    added.Obs.Bench_diff.regressed;
+  (* Growing an artifact (new fields land in BENCH_*.json as benches
+     evolve) must compare clean against an older baseline in both
+     directions — only keys present on both sides can gate. *)
+  let grown =
+    diff
+      {|{"stream_seq_ns": 100}|}
+      {|{"stream_seq_ns": 100, "stream_par_ns": 900, "shard_latency": [{"name": "s0", "queue_wait_p99_ns": 5e6}]}|}
+  in
+  Alcotest.(check int) "grown artifact clean vs old baseline" 0
+    grown.Obs.Bench_diff.regressions;
+  let shrunk =
+    diff
+      {|{"stream_seq_ns": 100, "stream_par_ns": 900}|}
+      {|{"stream_seq_ns": 100}|}
+  in
+  Alcotest.(check int) "shrunk artifact clean too" 0
+    shrunk.Obs.Bench_diff.regressions;
+  Alcotest.(check int) "disappeared key still reported" 2
+    (List.length shrunk.Obs.Bench_diff.rows)
 
 let test_bench_diff_named_list_elements () =
   (* Chrome trace events: list elements key by their "name" field, so

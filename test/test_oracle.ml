@@ -51,6 +51,38 @@ let test_decode_jobs_determinism () =
         Alcotest.(check (list string)) (id ^ " jobs=4") sequential (ids 4))
     [ "mysql-5"; "mysql-7"; "httpd-1" ]
 
+(* The corpus sweep itself parallelizes (one lane per bug): the result
+   list must come back in input order with results identical to the
+   sequential sweep, and a reproduction failure must surface as the same
+   Error in the same slot. *)
+let test_sweep_jobs_determinism () =
+  let bugs =
+    List.map Corpus.Registry.find_exn [ "pbzip2-1"; "mysql-5"; "httpd-1" ]
+  in
+  let strip r =
+    List.map
+      (fun (id, res) ->
+        ( id,
+          match res with
+          | Error e -> Error e
+          | Ok (r : Oracle.Diffcheck.bug_result) ->
+            Ok
+              ( Oracle.Diffcheck.classification_name
+                  r.Oracle.Diffcheck.classification,
+                r.Oracle.Diffcheck.spurious,
+                r.Oracle.Diffcheck.decoder_mismatches ) ))
+      r
+  in
+  let seq = strip (Oracle.Diffcheck.check_all bugs) in
+  let par = strip (Oracle.Diffcheck.check_all ~sweep_jobs:4 bugs) in
+  Alcotest.(check int) "same result count" (List.length seq) (List.length par);
+  List.iter2
+    (fun (id_s, r_s) (id_p, r_p) ->
+      Alcotest.(check string) "input order preserved" id_s id_p;
+      Alcotest.(check bool) (id_s ^ ": parallel sweep equals sequential") true
+        (r_s = r_p))
+    seq par
+
 let tests =
   [
     ( "oracle.diffcheck",
@@ -59,5 +91,7 @@ let tests =
           test_full_registry_agreement;
         Alcotest.test_case "decode-jobs 1/2/4 determinism" `Quick
           test_decode_jobs_determinism;
+        Alcotest.test_case "sweep-jobs 1/4 determinism" `Quick
+          test_sweep_jobs_determinism;
       ] );
   ]

@@ -683,6 +683,76 @@ let test_cache_hit_equals_fresh_decode () =
   Alcotest.(check bool) "desynced equal" fresh.Pt.Decoder.desynced
     cached.Pt.Decoder.desynced
 
+let test_cache_striping () =
+  (* Small caches keep one segment — the exact global LRU the eviction
+     unit tests above rely on; big caches stripe, and capacity spreads
+     across the segments with the summed stats still reconciling. *)
+  let small = Cache.create ~capacity:8 () in
+  Alcotest.(check int) "small cache single-segment" 1 (Cache.segments small);
+  let big = Cache.create ~capacity:256 () in
+  Alcotest.(check bool) "big cache stripes" true (Cache.segments big > 1);
+  let m, bytes = cache_fixture () in
+  let d = Pt.Decoder.decode m ~config:Pt.Config.default bytes in
+  for n = 1 to 300 do
+    Cache.add big (Printf.sprintf "k%d" n) d
+  done;
+  let s = Cache.stats big in
+  Alcotest.(check bool) "entries bounded by capacity" true
+    (s.Cache.entries <= 256);
+  let segs = Cache.segment_stats big in
+  Alcotest.(check int) "one stats row per segment" (Cache.segments big)
+    (Array.length segs);
+  let sum f = Array.fold_left (fun a (x : Cache.stats) -> a + f x) 0 segs in
+  Alcotest.(check int) "per-segment entries sum" s.Cache.entries
+    (sum (fun x -> x.Cache.entries));
+  Alcotest.(check int) "per-segment evictions sum" s.Cache.evictions
+    (sum (fun x -> x.Cache.evictions))
+
+(* One decode result shared by every op: the hammer exercises the
+   cache's locking and accounting, not the decoder. *)
+let hammer_fixture =
+  lazy
+    (let m, bytes = cache_fixture () in
+     Pt.Decoder.decode m ~config:Pt.Config.default bytes)
+
+let prop_cache_multidomain_accounting =
+  QCheck.Test.make
+    ~name:"striped cache accounting reconciles under concurrent domains"
+    ~count:10
+    QCheck.(pair (int_range 2 4) (int_range 0 1000))
+    (fun (ndom, salt) ->
+      let d = Lazy.force hammer_fixture in
+      let c = Cache.create ~capacity:128 () in
+      let nkeys = 200 and ops = 400 in
+      let worker w () =
+        let probes = ref 0 in
+        for i = 0 to ops - 1 do
+          let k = Printf.sprintf "k%d" (((i * (w + salt + 1)) + w) mod nkeys) in
+          incr probes;
+          match Cache.find c k with
+          | Some _ -> ()
+          | None -> Cache.add c k d
+        done;
+        !probes
+      in
+      let doms = List.init ndom (fun w -> Domain.spawn (worker w)) in
+      let probes = List.fold_left (fun a t -> a + Domain.join t) 0 doms in
+      let s = Cache.stats c in
+      let segs = Cache.segment_stats c in
+      let sum f = Array.fold_left (fun a (x : Cache.stats) -> a + f x) 0 segs in
+      (* Every probe is a hit or a miss, never lost or double-counted;
+         the per-segment rows sum to the summed stats; entries stay
+         within capacity; and nothing materializes entries out of thin
+         air (every entry and eviction traces back to a missed add). *)
+      s.Cache.hits + s.Cache.misses = probes
+      && sum (fun x -> x.Cache.hits) = s.Cache.hits
+      && sum (fun x -> x.Cache.misses) = s.Cache.misses
+      && sum (fun x -> x.Cache.evictions) = s.Cache.evictions
+      && sum (fun x -> x.Cache.entries) = s.Cache.entries
+      && s.Cache.entries <= 128
+      && s.Cache.entries + s.Cache.evictions <= s.Cache.misses
+      && Array.length segs = Cache.segments c)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let tests =
@@ -730,5 +800,7 @@ let tests =
           test_cache_set_capacity_shrinks;
         Alcotest.test_case "hit equals fresh decode" `Quick
           test_cache_hit_equals_fresh_decode;
+        Alcotest.test_case "striping" `Quick test_cache_striping;
+        qtest prop_cache_multidomain_accounting;
       ] );
   ]

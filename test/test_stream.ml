@@ -434,6 +434,76 @@ let test_stream_all_fault_classes () =
       check_clean name s)
     Chaos.Fault.all
 
+let test_stream_churn_parallel_identical () =
+  (* The service-plane determinism claim: one worker domain per shard
+     must replay exactly the inline per-shard operation sequence, so a
+     seeded churn scenario produces byte-identical results whatever the
+     domain count.  One baseline reproduction shared across both runs —
+     prepare is the expensive part and must not differ either. *)
+  let bug, _ = Lazy.force fixture in
+  let cfg =
+    { small_cfg with Deploy.churn = true; duration_ticks = 24; seed = 11 }
+  in
+  let baselines = Traffic.prepare [ bug ] in
+  let inline =
+    Deploy.run ~baselines { cfg with Deploy.shard_domains = 1 } [ bug ]
+  in
+  let par =
+    Deploy.run ~baselines { cfg with Deploy.shard_domains = 4 } [ bug ]
+  in
+  check_clean "churn inline" inline;
+  check_clean "churn 4 domains" par;
+  Alcotest.(check int) "inline mode spawned no workers" 0
+    inline.Deploy.domains_used;
+  Alcotest.(check bool) "parallel mode spawned workers" true
+    (par.Deploy.domains_used >= 1);
+  Alcotest.(check bool) "bucket tables identical across domain counts" true
+    (inline.Deploy.rows = par.Deploy.rows);
+  Alcotest.(check int) "offered identical" inline.Deploy.offered
+    par.Deploy.offered;
+  Alcotest.(check int) "shed identical" inline.Deploy.shed par.Deploy.shed;
+  Alcotest.(check int) "drained identical" inline.Deploy.drained
+    par.Deploy.drained;
+  Alcotest.(check int) "one latency pair per shard" cfg.Deploy.shards
+    (Array.length par.Deploy.shard_latency);
+  Array.iter
+    (fun (p50, p99) ->
+      Alcotest.(check bool) "per-shard p99 >= p50 >= 0" true
+        (p99 >= p50 && p50 >= 0.0))
+    par.Deploy.shard_latency
+
+let test_stream_fault_classes_parallel_identical () =
+  (* Every chaos fault class, inline vs shard-per-domain: same seeded
+     scenario, same bucket table and accounting totals. *)
+  let bug, _ = Lazy.force fixture in
+  let baselines = Traffic.prepare [ bug ] in
+  List.iter
+    (fun cls ->
+      let name = Chaos.Fault.name cls in
+      let cfg =
+        {
+          small_cfg with
+          Deploy.endpoints = 4;
+          duration_ticks = 6;
+          fault = Some cls;
+          seed = 5;
+        }
+      in
+      let inline =
+        Deploy.run ~baselines { cfg with Deploy.shard_domains = 1 } [ bug ]
+      in
+      let par =
+        Deploy.run ~baselines { cfg with Deploy.shard_domains = 4 } [ bug ]
+      in
+      check_clean (name ^ " under 4 domains") par;
+      Alcotest.(check bool)
+        (name ^ ": rows identical across domain counts")
+        true
+        (inline.Deploy.rows = par.Deploy.rows);
+      Alcotest.(check int) (name ^ ": shed identical") inline.Deploy.shed
+        par.Deploy.shed)
+    Chaos.Fault.all
+
 let test_stream_rejects_bad_config () =
   let bug, _ = Lazy.force fixture in
   Alcotest.check_raises "shards < 1"
@@ -441,7 +511,10 @@ let test_stream_rejects_bad_config () =
       ignore (Deploy.run { small_cfg with Deploy.shards = 0 } [ bug ]));
   Alcotest.check_raises "duration < 1"
     (Invalid_argument "Stream.Deploy.run: duration_ticks < 1") (fun () ->
-      ignore (Deploy.run { small_cfg with Deploy.duration_ticks = 0 } [ bug ]))
+      ignore (Deploy.run { small_cfg with Deploy.duration_ticks = 0 } [ bug ]));
+  Alcotest.check_raises "shard_domains < 1"
+    (Invalid_argument "Stream.Deploy.run: shard_domains < 1") (fun () ->
+      ignore (Deploy.run { small_cfg with Deploy.shard_domains = 0 } [ bug ]))
 
 let tests =
   [
@@ -489,6 +562,10 @@ let tests =
           test_stream_churn;
         Alcotest.test_case "all nine fault classes pass" `Quick
           test_stream_all_fault_classes;
+        Alcotest.test_case "churn identical across domain counts" `Quick
+          test_stream_churn_parallel_identical;
+        Alcotest.test_case "fault classes identical across domain counts"
+          `Quick test_stream_fault_classes_parallel_identical;
         Alcotest.test_case "bad config rejected" `Quick
           test_stream_rejects_bad_config;
       ] );

@@ -620,6 +620,76 @@ let test_pool_default_jobs_clamped () =
   Alcotest.(check int) "set" 6 (Pool.default_jobs ());
   Pool.set_default_jobs saved
 
+let test_pool_with_pool_scoped () =
+  (* The scoped helper: returns the body's value, and its pool is torn
+     down (runs inline afterwards) whether the body returns or raises. *)
+  let escaped = ref None in
+  let v =
+    Pool.with_pool ~jobs:3 (fun p ->
+        escaped := Some p;
+        Array.fold_left ( + ) 0 (Pool.map p (fun _ x -> x) (Array.init 10 Fun.id)))
+  in
+  Alcotest.(check int) "returns the body's value" 45 v;
+  (match !escaped with
+  | Some p ->
+    (* Shut down means inline: batches still run, on this domain. *)
+    Alcotest.(check (array int))
+      "torn down (inline) after exit"
+      [| 0; 2; 4 |]
+      (Pool.map p (fun _ x -> 2 * x) [| 0; 1; 2 |])
+  | None -> Alcotest.fail "body never ran");
+  let raised =
+    match Pool.with_pool ~jobs:2 (fun _ -> failwith "scoped") with
+    | (_ : int) -> false
+    | exception Failure msg -> msg = "scoped"
+  in
+  Alcotest.(check bool) "exception propagates" true raised
+
+let test_pool_with_pool_avoids_shared_slot () =
+  (* Regression for the sweep-isolation audit: a scoped pool must never
+     become (or resize) the process-wide shared pool, and [get ~jobs:1]
+     must hand back the dedicated inline pool without assigning the
+     shared slot — the inline pool is eager and reused, not recreated. *)
+  let shared_before = Pool.get ~jobs:3 in
+  Pool.with_pool ~jobs:5 (fun p ->
+      Alcotest.(check bool) "scoped pool is private" true
+        (p != shared_before));
+  Alcotest.(check bool)
+    "shared slot untouched by with_pool" true
+    (Pool.get ~jobs:2 == shared_before);
+  let i1 = Pool.get ~jobs:1 in
+  let i2 = Pool.get ~jobs:1 in
+  Alcotest.(check bool) "inline pool is the same eager one" true (i1 == i2);
+  Alcotest.(check int) "inline pool is sequential" 1 (Pool.jobs i1);
+  Alcotest.(check bool)
+    "jobs:1 did not leak into the shared slot" true
+    (Pool.get ~jobs:2 == shared_before)
+
+let test_pool_with_default_jobs_scoped () =
+  let saved = Pool.default_jobs () in
+  Pool.set_default_jobs 4;
+  let inner =
+    Pool.with_default_jobs 2 (fun () ->
+        let a = Pool.default_jobs () in
+        let b = Pool.with_default_jobs 1 (fun () -> Pool.default_jobs ()) in
+        let c = Pool.default_jobs () in
+        (a, b, c))
+  in
+  Alcotest.(check (triple int int int)) "nested scoping" (2, 1, 2) inner;
+  Alcotest.(check int) "restored" 4 (Pool.default_jobs ());
+  (match Pool.with_default_jobs 1 (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected raise"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "restored after raise" 4 (Pool.default_jobs ());
+  (* The override is domain-local: a domain spawned inside the scope
+     sees the process default, not the caller's pin. *)
+  let seen_elsewhere =
+    Pool.with_default_jobs 2 (fun () ->
+        Domain.join (Domain.spawn (fun () -> Pool.default_jobs ())))
+  in
+  Alcotest.(check int) "override does not cross domains" 4 seen_elsewhere;
+  Pool.set_default_jobs saved
+
 let prop_pool_map_deterministic =
   QCheck.Test.make ~name:"Pool.map equals Array.mapi for any size" ~count:25
     QCheck.(pair (int_range 1 5) (list small_int))
@@ -728,6 +798,12 @@ let tests =
           test_pool_shutdown_idempotent;
         Alcotest.test_case "default jobs clamped" `Quick
           test_pool_default_jobs_clamped;
+        Alcotest.test_case "with_pool scoped teardown" `Quick
+          test_pool_with_pool_scoped;
+        Alcotest.test_case "with_pool never touches the shared slot" `Quick
+          test_pool_with_pool_avoids_shared_slot;
+        Alcotest.test_case "with_default_jobs domain-local scoping" `Quick
+          test_pool_with_default_jobs_scoped;
         qtest prop_pool_map_deterministic;
       ] );
   ]
