@@ -485,14 +485,51 @@ let emit_stream_bench () =
     Printf.eprintf "cannot write %s: %s\n" path msg;
     exit 1
 
+(* The fix sweep as a benchmark: corpus-wide fix rate per bug class and
+   validation throughput (seeds/sec), written to BENCH_fix.json.  The
+   sweep fans one bug per pool lane; the verdict table is deterministic
+   (asserted parallel == sequential in the test suite), so the numbers
+   here are throughput only. *)
+let emit_fix_bench () =
+  let bugs = Corpus.Registry.all in
+  let results =
+    Fix.Validate.fix_all ~sweep_jobs:(Snorlax_util.Pool.default_jobs ())
+      ~seeds:5 bugs
+  in
+  let s = Fix.Validate.summarize results in
+  if s.Fix.Validate.fix_rate < 0.6 then begin
+    Printf.eprintf "fix bench: fix rate %.2f below the 0.6 floor\n"
+      s.Fix.Validate.fix_rate;
+    exit 1
+  end;
+  let path = "BENCH_fix.json" in
+  match
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc
+          (Obs.Json.to_string (Fix.Validate.to_json results));
+        Out_channel.output_char oc '\n')
+  with
+  | () ->
+    Printf.printf
+      "Fix bench written to %s (%d/%d fixed, %.0f%% rate, %.1f validation \
+       seeds/sec)\n%!"
+      path s.Fix.Validate.fixed s.Fix.Validate.bugs
+      (100.0 *. s.Fix.Validate.fix_rate)
+      s.Fix.Validate.seeds_per_sec
+  | exception Sys_error msg ->
+    Printf.eprintf "cannot write %s: %s\n" path msg;
+    exit 1
+
 let () =
   let quick = Array.exists (String.equal "--quick") Sys.argv in
   let decode_only = Array.exists (String.equal "--decode-only") Sys.argv in
   let fleet_only = Array.exists (String.equal "--fleet-only") Sys.argv in
   let stream_only = Array.exists (String.equal "--stream-only") Sys.argv in
+  let fix_only = Array.exists (String.equal "--fix-only") Sys.argv in
   if decode_only then emit_decode_bench ()
   else if fleet_only then emit_fleet_bench ()
   else if stream_only then emit_stream_bench ()
+  else if fix_only then emit_fix_bench ()
   else begin
     emit_pipeline_trace ();
     emit_fleet_bench ();

@@ -878,6 +878,86 @@ let oracle_run bug_id all out decode_jobs decode_cache obs =
     let obs_ok = emit_obs obs in
     if !diverging = [] && !errors = 0 && json_ok && obs_ok then 0 else 1
 
+let fix_run bug_id all seeds jobs min_fix_rate out decode_jobs decode_cache obs
+    =
+  apply_decode_opts decode_jobs decode_cache;
+  if not (setup_obs obs) then 1
+  else
+  let bugs =
+    match (bug_id, all) with
+    | _, true -> Ok Corpus.Registry.all
+    | Some id, false -> (
+      match Corpus.Registry.find id with
+      | Some bug -> Ok [ bug ]
+      | None -> Error (Printf.sprintf "unknown bug id %s (try `snorlax list`)" id))
+    | None, false -> Error "pass --bug ID or --all"
+  in
+  match bugs with
+  | Error msg ->
+    Printf.eprintf "%s\n" msg;
+    1
+  | Ok bugs ->
+    Printf.printf
+      "Synthesizing and validating patches for %d bug(s) (%d-seed oracle \
+       sweep each)...\n%!"
+      (List.length bugs) seeds;
+    (* One bug per lane, like the oracle sweep; --jobs caps the fan-out
+       (default: the pool's recommended width). *)
+    let sweep_jobs =
+      match jobs with
+      | Some n -> n
+      | None -> Snorlax_util.Pool.default_jobs ()
+    in
+    let results = Fix.Validate.fix_all ~sweep_jobs ~seeds bugs in
+    let t =
+      Snorlax_util.Tablefmt.create
+        ~headers:
+          [ "bug"; "kind"; "template"; "verdict"; "replay"; "sweep"; "notes" ]
+    in
+    List.iter
+      (fun (id, r) ->
+        match r with
+        | Error msg ->
+          Snorlax_util.Tablefmt.add_row t
+            [ id; "-"; "-"; "ERROR: " ^ msg; "-"; "-"; "-" ]
+        | Ok (b : Fix.Validate.bug_report) ->
+          Snorlax_util.Tablefmt.add_row t
+            [
+              id;
+              b.Fix.Validate.bug_kind;
+              (match b.Fix.Validate.template with
+              | Some tpl -> Fix.Patch.template_name tpl
+              | None -> "-");
+              Fix.Validate.verdict_name b.Fix.Validate.verdict;
+              (if b.Fix.Validate.replay_ok then "ok" else "fail");
+              Printf.sprintf "%d seeds" b.Fix.Validate.sweep_seeds;
+              (let reason = Fix.Validate.verdict_reason b.Fix.Validate.verdict in
+               if reason = "" then
+                 Option.value ~default:"" b.Fix.Validate.patch
+               else reason);
+            ])
+      results;
+    Snorlax_util.Tablefmt.print t;
+    let s = Fix.Validate.summarize results in
+    Printf.printf
+      "\n%d/%d fixed (%.0f%%), %d not fixed, %d regressed, %d error(s); %d \
+       validation runs, %.1f runs/s.\n"
+      s.Fix.Validate.fixed s.Fix.Validate.bugs
+      (100. *. s.Fix.Validate.fix_rate)
+      s.Fix.Validate.not_fixed s.Fix.Validate.regressed s.Fix.Validate.errors
+      s.Fix.Validate.total_runs s.Fix.Validate.seeds_per_sec;
+    List.iter
+      (fun (k, f, total) -> Printf.printf "  %-20s %d/%d fixed\n" k f total)
+      s.Fix.Validate.by_kind;
+    let json_ok = write_json out (Fix.Validate.to_json results) in
+    if json_ok then Printf.printf "Fix report written to %s\n" out;
+    let obs_ok = emit_obs obs in
+    let rate_ok = s.Fix.Validate.fix_rate >= min_fix_rate in
+    if not rate_ok then
+      Printf.eprintf "fix rate %.2f below the --min-fix-rate floor %.2f\n"
+        s.Fix.Validate.fix_rate min_fix_rate;
+    if rate_ok && json_ok && obs_ok then 0 else 1
+
 let metrics_lint path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error msg ->
@@ -1257,6 +1337,63 @@ let oracle_cmd =
       const oracle_run $ bug $ all $ out $ decode_jobs_arg $ decode_cache_arg
       $ obs_term)
 
+let fix_cmd =
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"BUG_ID" ~doc:"Fix one corpus bug.")
+  in
+  let all =
+    Arg.(
+      value & flag
+      & info [ "all" ] ~doc:"Fix the full 54-bug corpus.")
+  in
+  let seeds =
+    Arg.(
+      value
+      & opt int Fix.Validate.default_sweep_seeds
+      & info [ "seeds" ] ~docv:"N"
+          ~doc:"Fresh seeds swept under the happens-before oracle per patch.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Pool lanes fixing bugs in parallel (default: the runtime's \
+             recommended domain count); the verdict table is identical at \
+             any width.")
+  in
+  let min_fix_rate =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "min-fix-rate" ] ~docv:"RATE"
+          ~doc:
+            "Exit non-zero when the corpus-wide fix rate falls below this \
+             floor (0.0 - 1.0).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_fix.json"
+      & info [ "out" ] ~docv:"FILE.json"
+          ~doc:"Where to write the fix-validation artifact.")
+  in
+  Cmd.v
+    (Cmd.info "fix"
+       ~doc:
+         "Close the loop: synthesize a candidate patch from each bug's \
+          diagnosis (lock insertion, signal/wait ordering, lock-order \
+          gating), then validate it by replaying the original failing seed \
+          and sweeping fresh seeds under the happens-before oracle; reports \
+          a fixed / not-fixed / regressed verdict per bug")
+    Term.(
+      const fix_run $ bug $ all $ seeds $ jobs $ min_fix_rate $ out
+      $ decode_jobs_arg $ decode_cache_arg $ obs_term)
+
 let metrics_lint_cmd =
   let file_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.txt")
@@ -1296,8 +1433,8 @@ let main_cmd =
           reproduction)")
     [
       list_cmd; diagnose_cmd; fleet_cmd; stream_cmd; chaos_cmd; oracle_cmd;
-      dump_cmd; replay_cmd; validate_cmd; experiment_cmd; bench_compare_cmd;
-      metrics_lint_cmd;
+      fix_cmd; dump_cmd; replay_cmd; validate_cmd; experiment_cmd;
+      bench_compare_cmd; metrics_lint_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -137,6 +137,15 @@ echo "== chaos gate =="
 # nondeterministic replay in the fault-injection sweep fails the build.
 dune exec bin/snorlax.exe -- chaos --seeds 25 --all --out BENCH_chaos.json
 
+echo "== fix gate =="
+# Close the loop over the whole corpus: synthesize a patch from each
+# diagnosis and validate it (failing-seed replay + HB-oracle sweep).
+# The exit status gates the fix rate: at least 60% of the corpus must
+# earn an evidence-backed "fixed" verdict.  Writes BENCH_fix.json for
+# the archive step below.
+dune exec bin/snorlax.exe -- fix --all --seeds 10 --min-fix-rate 0.6 \
+  --out BENCH_fix.json
+
 echo "== bench archive =="
 # Snapshot this run's BENCH_*.json artifacts under bench_history/<rev>/
 # so the perf trajectory accumulates across commits (bench-compare any

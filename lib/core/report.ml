@@ -49,6 +49,18 @@ let of_sim_failure failure ~time_ns ~traces =
       failure_time_ns = time;
       traces;
     }
+  | Sim.Failure.Arith_fault { tid; iid; _ }
+  | Sim.Failure.Undef_read { tid; iid; _ }
+  | Sim.Failure.Thread_misuse { tid; iid; _ } ->
+    (* Runtime-detected faults at a non-access instruction: like an
+       assertion, the diagnosis resolves the anchor to the nearest
+       preceding memory access of the failing thread. *)
+    {
+      info = Crash_info { failing_iid = iid; crash_kind = Assertion };
+      failing_tid = tid;
+      failure_time_ns = time;
+      traces;
+    }
   | Sim.Failure.Deadlock { waiters } ->
     let blocked = List.map (fun (tid, iid, _) -> (tid, iid)) waiters in
     let failing_tid =

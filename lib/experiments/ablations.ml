@@ -103,10 +103,15 @@ type budget_row = {
   b_correct : bool;
 }
 
-let success_budget_sweep ?(bug_id = "pbzip2-1") () =
+let success_budget_sweep ?(bug_id = "pbzip2-1") ?max_tries () =
   let bug = Corpus.Registry.find_exn bug_id in
-  match Corpus.Runner.collect bug () with
-  | Error msg -> failwith ("Ablations.success_budget_sweep: " ^ msg)
+  match Corpus.Runner.collect bug ?max_tries () with
+  | Error msg ->
+    (* Propagate instead of failwith-ing so callers keep the bug and
+       seed context the sweep ran under. *)
+    Error
+      (Printf.sprintf "bug %s (system %s, seeds from 1): %s" bug_id
+         bug.Corpus.Bug.system msg)
   | Ok c ->
     let m = c.Corpus.Runner.built.Corpus.Bug.m in
     let gt = c.Corpus.Runner.built.Corpus.Bug.ground_truth in
@@ -114,7 +119,8 @@ let success_budget_sweep ?(bug_id = "pbzip2-1") () =
       | [] -> []
       | x :: rest -> if n = 0 then [] else x :: take (n - 1) rest
     in
-    List.map
+    Ok
+      (List.map
       (fun successes ->
         let res =
           Core.Diagnosis.diagnose m ~config:Pt.Config.default
@@ -148,7 +154,7 @@ let success_budget_sweep ?(bug_id = "pbzip2-1") () =
             margin = best covers_gt -. best (fun s -> not (covers_gt s));
             b_correct = correct;
           })
-      [ 0; 1; 2; 5; 10 ]
+      [ 0; 1; 2; 5; 10 ])
 
 (* --- printing -------------------------------------------------------------- *)
 
@@ -200,17 +206,20 @@ let print_all () =
   let t =
     Tablefmt.create ~headers:[ "success traces"; "top F1"; "margin"; "correct" ]
   in
-  List.iter
-    (fun r ->
-      Tablefmt.add_row t
-        [
-          string_of_int r.successes;
-          Printf.sprintf "%.2f" r.top_f1;
-          Printf.sprintf "%.2f" r.margin;
-          (if r.b_correct then "yes" else "no");
-        ])
-    (success_budget_sweep ());
-  Tablefmt.print t;
+  (match success_budget_sweep () with
+  | Error msg -> Printf.printf "success-budget sweep unavailable: %s\n" msg
+  | Ok rows ->
+    List.iter
+      (fun r ->
+        Tablefmt.add_row t
+          [
+            string_of_int r.successes;
+            Printf.sprintf "%.2f" r.top_f1;
+            Printf.sprintf "%.2f" r.margin;
+            (if r.b_correct then "yes" else "no");
+          ])
+      rows;
+    Tablefmt.print t);
   Printf.printf
     "Without successful traces every candidate ties at F1 = 1; a handful \
      of traces separates the root cause, supporting the paper's 10x cap \

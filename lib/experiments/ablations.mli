@@ -37,9 +37,12 @@ type budget_row = {
   b_correct : bool;
 }
 
-val success_budget_sweep : ?bug_id:string -> unit -> budget_row list
+val success_budget_sweep :
+  ?bug_id:string -> ?max_tries:int -> unit -> (budget_row list, string) result
 (** Diagnose with 0..10 successful traces: without successes every
     pattern ties at F1 = 1 (no statistical power); a few traces restore
-    the separation, supporting the paper's empirically-chosen 10x cap. *)
+    the separation, supporting the paper's empirically-chosen 10x cap.
+    [Error _] when the bug will not reproduce within [max_tries] seeds;
+    the message carries the bug id, system and seed-scan context. *)
 
 val print_all : unit -> unit

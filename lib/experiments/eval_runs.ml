@@ -8,23 +8,34 @@ type entry = {
 
 let cache : (string, entry) Hashtbl.t = Hashtbl.create 16
 
-let get bug =
+let get_result ?max_tries bug =
   match Hashtbl.find_opt cache bug.Corpus.Bug.id with
-  | Some e -> e
-  | None ->
-    let collected =
-      match Corpus.Runner.collect bug () with
-      | Ok c -> c
-      | Error msg -> failwith ("Eval_runs.get: " ^ msg)
-    in
-    let diagnosis =
-      Core.Diagnosis.diagnose collected.Corpus.Runner.built.Corpus.Bug.m
-        ~config:Pt.Config.default ~failing:collected.Corpus.Runner.failing
-        ~successful:collected.Corpus.Runner.successful
-    in
-    let e = { bug; collected; diagnosis } in
-    Hashtbl.add cache bug.Corpus.Bug.id e;
-    e
+  | Some e -> Ok e
+  | None -> (
+    match Corpus.Runner.collect bug ?max_tries () with
+    | Error msg ->
+      (* Keep the full reproduction context: which bug, which system,
+         and where the seed scan started — the collect loop's own
+         message only carries counts. *)
+      Error
+        (Printf.sprintf "bug %s (system %s, %s, seeds from 1): %s"
+           bug.Corpus.Bug.id bug.Corpus.Bug.system
+           (Corpus.Bug.kind_name bug.Corpus.Bug.kind)
+           msg)
+    | Ok collected ->
+      let diagnosis =
+        Core.Diagnosis.diagnose collected.Corpus.Runner.built.Corpus.Bug.m
+          ~config:Pt.Config.default ~failing:collected.Corpus.Runner.failing
+          ~successful:collected.Corpus.Runner.successful
+      in
+      let e = { bug; collected; diagnosis } in
+      Hashtbl.add cache bug.Corpus.Bug.id e;
+      Ok e)
+
+let get bug =
+  match get_result bug with
+  | Ok e -> e
+  | Error msg -> failwith ("Eval_runs.get: " ^ msg)
 
 let eval_entries () = List.map get Corpus.Registry.eval_set
 

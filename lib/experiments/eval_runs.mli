@@ -9,9 +9,16 @@ type entry = {
   diagnosis : Snorlax_core.Diagnosis.result;
 }
 
-val get : Corpus.Bug.t -> entry
+val get_result : ?max_tries:int -> Corpus.Bug.t -> (entry, string) result
 (** Memoized per bug id (the corpus builds deterministically, so one
-    collection per process is enough). *)
+    collection per process is enough).  Errors are not cached; the
+    message carries the bug id, system, kind and seed-scan context on
+    top of the collect loop's own counts.  [max_tries] bounds the
+    reproduction scan (see {!Corpus.Runner.collect}). *)
+
+val get : Corpus.Bug.t -> entry
+(** [get_result] for callers that treat reproduction failure as fatal;
+    raises [Failure] with the same enriched message. *)
 
 val eval_entries : unit -> entry list
 (** All 11 evaluation bugs, collected and diagnosed. *)

@@ -106,6 +106,8 @@ let layout t =
 
 let generation t = t.generation
 
+let invalidate_layout t = t.laid_out <- false
+
 let ensure_layout t = if not t.laid_out then layout t
 
 let instr_by_iid t iid =

@@ -53,6 +53,13 @@ val generation : t -> int
     pc-indexed walk table — pair the module's physical identity with this
     counter to detect stale caches after [add_func] + re-layout. *)
 
+val invalidate_layout : t -> unit
+(** Mark the current layout stale so the next lookup (or explicit
+    {!layout} call) rebuilds pcs and tables.  [add_func] does this
+    implicitly; in-place rewrites of existing blocks (see {!Rewrite})
+    must call it explicitly — the pcs shift and the iid/pc tables must
+    pick up spliced instructions. *)
+
 val instr_by_iid : t -> int -> Instr.t
 val instr_at_pc : t -> int -> Instr.t
 val block_start_pc : t -> fname:string -> label:string -> int

@@ -1,5 +1,7 @@
 type crash_reason = Null_deref | Use_after_free | Unmapped
 type lock_misuse = Relock | Unlock_unowned | Unlock_free | Wait_unlocked
+type arith_fault = Div_by_zero | Rem_by_zero
+type thread_misuse = Create_not_function | Join_unknown
 
 type t =
   | Crash of { tid : int; iid : int; pc : int; reason : crash_reason; addr : int }
@@ -7,9 +9,14 @@ type t =
   | Deadlock of { waiters : (int * int * int) list }
   | Lock_misuse of
       { tid : int; iid : int; pc : int; addr : int; misuse : lock_misuse }
+  | Arith_fault of { tid : int; iid : int; pc : int; fault : arith_fault }
+  | Undef_read of { tid : int; iid : int; pc : int; rname : string }
+  | Thread_misuse of { tid : int; iid : int; pc : int; misuse : thread_misuse }
 
 let failing_iid = function
-  | Crash { iid; _ } | Assert_fail { iid; _ } | Lock_misuse { iid; _ } -> iid
+  | Crash { iid; _ } | Assert_fail { iid; _ } | Lock_misuse { iid; _ }
+  | Arith_fault { iid; _ } | Undef_read { iid; _ } | Thread_misuse { iid; _ } ->
+    iid
   | Deadlock { waiters } -> (
     match List.rev waiters with
     | (_, iid, _) :: _ -> iid
@@ -20,6 +27,9 @@ let kind_name = function
   | Assert_fail _ -> "assert"
   | Deadlock _ -> "deadlock"
   | Lock_misuse _ -> "lock-misuse"
+  | Arith_fault _ -> "arith-fault"
+  | Undef_read _ -> "undef-read"
+  | Thread_misuse _ -> "thread-misuse"
 
 let reason_to_string = function
   | Null_deref -> "null dereference"
@@ -31,6 +41,14 @@ let misuse_to_string = function
   | Unlock_unowned -> "unlock of a mutex held by another thread"
   | Unlock_free -> "unlock of a mutex nobody holds"
   | Wait_unlocked -> "cond_wait without holding the mutex"
+
+let arith_fault_to_string = function
+  | Div_by_zero -> "division by zero"
+  | Rem_by_zero -> "remainder by zero"
+
+let thread_misuse_to_string = function
+  | Create_not_function -> "thread_create target is not a function"
+  | Join_unknown -> "join of an unknown thread"
 
 let to_string = function
   | Crash { tid; iid; pc; reason; addr } ->
@@ -46,3 +64,13 @@ let to_string = function
   | Lock_misuse { tid; iid; pc; addr; misuse } ->
     Printf.sprintf "lock misuse: thread %d, iid %d, pc 0x%x, %s (mutex 0x%x)"
       tid iid pc (misuse_to_string misuse) addr
+  | Arith_fault { tid; iid; pc; fault } ->
+    Printf.sprintf "arith fault: thread %d, iid %d, pc 0x%x, %s" tid iid pc
+      (arith_fault_to_string fault)
+  | Undef_read { tid; iid; pc; rname } ->
+    Printf.sprintf
+      "undefined-register read: thread %d, iid %d, pc 0x%x, register %%%s" tid
+      iid pc rname
+  | Thread_misuse { tid; iid; pc; misuse } ->
+    Printf.sprintf "thread misuse: thread %d, iid %d, pc 0x%x, %s" tid iid pc
+      (thread_misuse_to_string misuse)

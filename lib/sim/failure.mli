@@ -14,6 +14,12 @@ type lock_misuse =
   | Unlock_free  (** unlocking a mutex nobody holds *)
   | Wait_unlocked  (** cond_wait on a mutex the thread does not hold *)
 
+type arith_fault = Div_by_zero | Rem_by_zero
+
+type thread_misuse =
+  | Create_not_function  (** thread_create's entry pc names no function *)
+  | Join_unknown  (** join of a tid never spawned *)
+
 type t =
   | Crash of { tid : int; iid : int; pc : int; reason : crash_reason; addr : int }
   | Assert_fail of { tid : int; iid : int; pc : int }
@@ -27,13 +33,23 @@ type t =
       (** a lock-API error the runtime detects at the faulting call —
           previously these corrupted owner state or escaped as host
           exceptions; now they are fail-stop events like any other *)
+  | Arith_fault of { tid : int; iid : int; pc : int; fault : arith_fault }
+      (** division/remainder by zero, which a hardware SIGFPE would flag *)
+  | Undef_read of { tid : int; iid : int; pc : int; rname : string }
+      (** use of a register no executed instruction defined — undefined
+          behaviour the interpreter turns fail-stop instead of escaping as
+          a host exception (a synthesized patch that perturbs paths must
+          yield a structured verdict, not abort the validation sweep) *)
+  | Thread_misuse of { tid : int; iid : int; pc : int; misuse : thread_misuse }
+      (** a thread-API error detected at the faulting create/join call *)
 
 val failing_iid : t -> int
 (** The instruction the failure is attributed to; for a deadlock, the lock
     call that closed the cycle (the last element of [waiters]). *)
 
 val kind_name : t -> string
-(** ["crash"], ["assert"], ["deadlock"] or ["lock-misuse"] — what Ubuntu's
-    ErrorTracker-style client reports to the server. *)
+(** ["crash"], ["assert"], ["deadlock"], ["lock-misuse"], ["arith-fault"],
+    ["undef-read"] or ["thread-misuse"] — what Ubuntu's ErrorTracker-style
+    client reports to the server. *)
 
 val to_string : t -> string

@@ -233,12 +233,17 @@ let deadlock_waiters st ~closer cycle =
   let others = List.filter (fun t -> t <> closer_tid) cycle in
   List.map waiter_of others @ [ closer ]
 
+(* Raised by [eval] where no thread/instruction context is at hand;
+   [step] catches it and converts it to a structured [Failure.Undef_read]
+   attributed to the instruction that performed the read. *)
+exception Undef_register of string
+
 let eval st frame v =
   match (v : Lir.Value.t) with
   | Lir.Value.Reg r -> (
     match Hashtbl.find_opt frame.regs r.Lir.Value.rid with
     | Some v -> v
-    | None -> failwith ("Interp: read of undefined register %" ^ r.Lir.Value.rname))
+    | None -> raise (Undef_register r.Lir.Value.rname))
   | Lir.Value.Imm (v, _) -> Int64.to_int v
   | Lir.Value.Global g -> Memory.global_addr st.mem g
   | Lir.Value.Null _ -> 0
@@ -313,15 +318,16 @@ let do_return st th value =
       | Some dst, None -> set_reg caller dst 0
       | None, _ -> ()))
 
+(* Zero divisors never reach here: [step] turns them into a structured
+   [Failure.Arith_fault] before dispatching, with the faulting thread and
+   instruction in hand. *)
 let exec_binop op a b =
   match (op : Lir.Instr.binop) with
   | Lir.Instr.Add -> a + b
   | Lir.Instr.Sub -> a - b
   | Lir.Instr.Mul -> a * b
-  | Lir.Instr.Sdiv ->
-    if b = 0 then failwith "Interp: division by zero" else a / b
-  | Lir.Instr.Srem ->
-    if b = 0 then failwith "Interp: remainder by zero" else a mod b
+  | Lir.Instr.Sdiv -> a / b
+  | Lir.Instr.Srem -> a mod b
   | Lir.Instr.And -> a land b
   | Lir.Instr.Or -> a lor b
   | Lir.Instr.Xor -> a lxor b
@@ -510,25 +516,31 @@ let exec_intrinsic st th frame (i : Lir.Instr.t) dst callee args =
   else if String.equal callee Lir.Intrinsics.thread_create then begin
     advance Cost.thread_spawn;
     let fn_pc = arg 0 and a = arg 1 in
-    let f =
-      match Hashtbl.find_opt st.fn_by_entry_pc fn_pc with
-      | Some f -> f
-      | None -> failwith "Interp: thread_create target is not a function"
-    in
-    let child = spawn_thread st f ~arg:a ~start_clock:th.clock in
-    fire_control st child
-      (Hooks.Thread_start { tid = child.tid; entry_pc = fn_pc });
-    fire_obs st
-      (Hooks.Obs_spawn
-         { parent_tid = th.tid; child_tid = child.tid; iid = i.Lir.Instr.iid;
-           time = th.clock });
-    return child.tid
+    match Hashtbl.find_opt st.fn_by_entry_pc fn_pc with
+    | None ->
+      set_failure st th
+        (Failure.Thread_misuse
+           { tid = th.tid; iid = i.Lir.Instr.iid; pc = i.Lir.Instr.pc;
+             misuse = Failure.Create_not_function })
+    | Some f ->
+      let child = spawn_thread st f ~arg:a ~start_clock:th.clock in
+      fire_control st child
+        (Hooks.Thread_start { tid = child.tid; entry_pc = fn_pc });
+      fire_obs st
+        (Hooks.Obs_spawn
+           { parent_tid = th.tid; child_tid = child.tid; iid = i.Lir.Instr.iid;
+             time = th.clock });
+      return child.tid
   end
   else if String.equal callee Lir.Intrinsics.thread_join then begin
     advance Cost.join;
     let target = arg 0 in
     match Hashtbl.find_opt st.threads target with
-    | None -> failwith "Interp: join of unknown thread"
+    | None ->
+      set_failure st th
+        (Failure.Thread_misuse
+           { tid = th.tid; iid = i.Lir.Instr.iid; pc = i.Lir.Instr.pc;
+             misuse = Failure.Join_unknown })
     | Some tgt ->
       if tgt.status = Finished then
         fire_obs st
@@ -599,7 +611,8 @@ let step st th =
      operations resume at the right place. *)
   frame.idx <- frame.idx + 1;
   let advance cost = th.clock <- th.clock +. jitter st cost in
-  match i.Lir.Instr.kind with
+  try
+    match i.Lir.Instr.kind with
   | Lir.Instr.Alloca { dst; ty } ->
     advance Cost.alloca;
     let size = Lir.Irmod.size_of st.m ty in
@@ -633,9 +646,20 @@ let step st th =
     match Memory.write st.mem ~addr ~value:v with
     | Ok () -> ()
     | Error err -> crash st th i err addr)
-  | Lir.Instr.Binop { dst; op; lhs; rhs } ->
+  | Lir.Instr.Binop { dst; op; lhs; rhs } -> (
     advance Cost.arith;
-    set_reg frame dst (exec_binop op (eval st frame lhs) (eval st frame rhs))
+    let a = eval st frame lhs in
+    let b = eval st frame rhs in
+    match op with
+    | (Lir.Instr.Sdiv | Lir.Instr.Srem) when b = 0 ->
+      let fault =
+        if op = Lir.Instr.Sdiv then Failure.Div_by_zero
+        else Failure.Rem_by_zero
+      in
+      set_failure st th
+        (Failure.Arith_fault
+           { tid = th.tid; iid = i.Lir.Instr.iid; pc = i.Lir.Instr.pc; fault })
+    | _ -> set_reg frame dst (exec_binop op a b))
   | Lir.Instr.Icmp { dst; cmp; lhs; rhs } ->
     advance Cost.arith;
     set_reg frame dst (exec_icmp cmp (eval st frame lhs) (eval st frame rhs))
@@ -693,6 +717,10 @@ let step st th =
     let value = Option.map (eval st frame) v in
     do_return st th value
   | Lir.Instr.Unreachable -> failwith "Interp: reached unreachable"
+  with Undef_register rname ->
+    set_failure st th
+      (Failure.Undef_read
+         { tid = th.tid; iid = i.Lir.Instr.iid; pc = i.Lir.Instr.pc; rname })
 
 let pick_runnable st =
   let best = ref None in

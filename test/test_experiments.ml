@@ -107,7 +107,11 @@ let test_ablation_ring_cliff () =
     < biggest.Experiments.Ablations.decoded_events)
 
 let test_ablation_success_budget () =
-  let rows = Experiments.Ablations.success_budget_sweep () in
+  let rows =
+    match Experiments.Ablations.success_budget_sweep () with
+    | Ok rows -> rows
+    | Error msg -> Alcotest.failf "sweep did not reproduce: %s" msg
+  in
   let zero = List.hd rows in
   let full = List.nth rows (List.length rows - 1) in
   Alcotest.(check bool) "no successes, no separation" true
@@ -115,6 +119,38 @@ let test_ablation_success_budget () =
   Alcotest.(check bool) "full budget separates and is correct" true
     (full.Experiments.Ablations.b_correct
     && full.Experiments.Ablations.margin > 0.5)
+
+(* Reproduction failures must surface which bug and which seed scan
+   failed, not just the collect loop's bare counts.  [max_tries:0] forces
+   the failure instantly without burning reproduction time. *)
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_sweep_error_keeps_context () =
+  match Experiments.Ablations.success_budget_sweep ~bug_id:"pbzip2-1"
+          ~max_tries:0 ()
+  with
+  | Ok _ -> Alcotest.fail "a 0-try sweep cannot reproduce anything"
+  | Error msg ->
+    Alcotest.(check bool) "names the bug" true (contains msg "pbzip2-1");
+    Alcotest.(check bool) "names the system" true (contains msg "pbzip2");
+    Alcotest.(check bool) "names the seed scan" true (contains msg "seeds from 1")
+
+let test_eval_runs_error_keeps_context () =
+  let bug = Corpus.Registry.find_exn "derby-1" in
+  match Experiments.Eval_runs.get_result ~max_tries:0 bug with
+  | Ok _ -> Alcotest.fail "a 0-try collection cannot reproduce anything"
+  | Error msg ->
+    Alcotest.(check bool) "names the bug" true (contains msg "derby-1");
+    Alcotest.(check bool) "names the system" true (contains msg "derby");
+    Alcotest.(check bool) "names the kind" true (contains msg "deadlock");
+    (* The failure must not poison the memo table: a real collection
+       afterwards succeeds and is cached. *)
+    (match Experiments.Eval_runs.get_result bug with
+    | Ok _ -> ()
+    | Error msg -> Alcotest.failf "post-error collection failed: %s" msg)
 
 let test_latency_chromium () =
   Alcotest.(check (float 1e-6)) "factor math" 2052.0
@@ -147,5 +183,9 @@ let tests =
           test_ablation_timing_degrades;
         Alcotest.test_case "ring-buffer cliff" `Slow test_ablation_ring_cliff;
         Alcotest.test_case "success budget" `Slow test_ablation_success_budget;
+        Alcotest.test_case "sweep error keeps context" `Quick
+          test_sweep_error_keeps_context;
+        Alcotest.test_case "eval-runs error keeps context" `Slow
+          test_eval_runs_error_keeps_context;
       ] );
   ]

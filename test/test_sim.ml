@@ -179,6 +179,82 @@ let test_double_free_faults () =
   | Some (Sim.Failure.Crash _) -> ()
   | _ -> Alcotest.fail "expected crash on double free"
 
+(* Division and remainder by zero are structured fail-stop events (a
+   hardware SIGFPE), not host-level [failwith]s that would abort an
+   embedding validation sweep. *)
+let test_div_by_zero_structured () =
+  let m =
+    expr_module (fun b -> B.binop b Lir.Instr.Sdiv (V.i64 7) (V.i64 0))
+  in
+  match failure_of (run m) with
+  | Some (Sim.Failure.Arith_fault { fault = Sim.Failure.Div_by_zero; _ } as f)
+    ->
+    Alcotest.(check string) "kind" "arith-fault" (Sim.Failure.kind_name f)
+  | _ -> Alcotest.fail "expected a structured div-by-zero failure"
+
+let test_rem_by_zero_structured () =
+  let m =
+    expr_module (fun b -> B.binop b Lir.Instr.Srem (V.i64 7) (V.i64 0))
+  in
+  match failure_of (run m) with
+  | Some (Sim.Failure.Arith_fault { fault = Sim.Failure.Rem_by_zero; _ }) -> ()
+  | _ -> Alcotest.fail "expected a structured rem-by-zero failure"
+
+(* A register read the verifier's block-order approximation accepts but no
+   executed instruction defined: jump over the defining block.  Must be a
+   structured failure, not an escaped host exception. *)
+let test_undef_read_structured () =
+  let m = Lir.Irmod.create "t" in
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let def = B.fresh_label b "def" in
+      let use = B.fresh_label b "use" in
+      let skip = B.icmp b Lir.Instr.Eq (V.i64 0) (V.i64 0) in
+      B.cond_br b skip use def;
+      B.start_block b def;
+      let x = B.add b (V.i64 1) (V.i64 2) in
+      B.br b use;
+      B.start_block b use;
+      B.call_void b Lir.Intrinsics.print_i64 [ x ];
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  match failure_of (run m) with
+  | Some (Sim.Failure.Undef_read { rname; _ } as f) ->
+    Alcotest.(check string) "kind" "undef-read" (Sim.Failure.kind_name f);
+    Alcotest.(check bool) "names the register" true (String.length rname > 0)
+  | _ -> Alcotest.fail "expected a structured undefined-register failure"
+
+(* thread_create whose entry pc names no function: a structured
+   thread-misuse at the faulting call. *)
+let test_create_not_function_structured () =
+  let m = Lir.Irmod.create "t" in
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      let t =
+        B.call b ~ret:T.I64 Lir.Intrinsics.thread_create
+          [ V.i64 987_654; V.i64 0 ]
+      in
+      ignore t;
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  match failure_of (run m) with
+  | Some
+      (Sim.Failure.Thread_misuse { misuse = Sim.Failure.Create_not_function; _ }
+       as f) ->
+    Alcotest.(check string) "kind" "thread-misuse" (Sim.Failure.kind_name f)
+  | _ -> Alcotest.fail "expected a structured create-not-function failure"
+
+(* Joining a tid that was never spawned. *)
+let test_join_unknown_structured () =
+  let m = Lir.Irmod.create "t" in
+  B.define m "main" ~params:[] ~ret:T.Void (fun b ->
+      B.call_void b Lir.Intrinsics.thread_join [ V.i64 99 ];
+      B.ret_void b);
+  Lir.Verify.check_exn m;
+  match failure_of (run m) with
+  | Some (Sim.Failure.Thread_misuse { misuse = Sim.Failure.Join_unknown; _ })
+    ->
+    ()
+  | _ -> Alcotest.fail "expected a structured join-of-unknown-tid failure"
+
 (* --- threads & locks ---------------------------------------------------- *)
 
 let counter_module ~locked ~threads ~iters =
@@ -718,6 +794,12 @@ let tests =
         Alcotest.test_case "use after free" `Quick test_use_after_free;
         Alcotest.test_case "assert failure" `Quick test_assert_failure;
         Alcotest.test_case "double free" `Quick test_double_free_faults;
+        Alcotest.test_case "div by zero" `Quick test_div_by_zero_structured;
+        Alcotest.test_case "rem by zero" `Quick test_rem_by_zero_structured;
+        Alcotest.test_case "undef read" `Quick test_undef_read_structured;
+        Alcotest.test_case "create not function" `Quick
+          test_create_not_function_structured;
+        Alcotest.test_case "join unknown" `Quick test_join_unknown_structured;
       ] );
     ( "sim.threads",
       [
